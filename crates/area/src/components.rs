@@ -1,0 +1,132 @@
+//! Per-component areas at 28 nm (paper §V-E) and derived budgets.
+
+use meek_littlecore::LittleCoreConfig;
+
+/// BOOM big-core area at 28 nm (mm², excluding MEEK additions).
+pub const BOOM_AREA_MM2: f64 = 2.811;
+/// Optimized Rocket little-core area (mm², excluding L1 D$, which is
+/// not required for re-execution).
+pub const ROCKET_OPT_AREA_MM2: f64 = 0.092;
+/// Default Rocket little-core area (mm²) — the paper reports its
+/// implementation needed 17.9% more area per (optimized) core than the
+/// DSN'18 synthesis, whose default core scales to 0.078 mm² at 28 nm.
+pub const ROCKET_DEFAULT_AREA_MM2: f64 = 0.078;
+/// DEU area (mm², part of the big core's wrapper).
+pub const DEU_AREA_MM2: f64 = 0.071;
+/// F2 fabric area (mm², part of the big core's wrapper).
+pub const F2_AREA_MM2: f64 = 0.051;
+/// Per-little-core wrapper logic (LSL + MSU + interface ports, mm²).
+pub const LITTLE_WRAPPER_MM2: f64 = 0.059;
+
+/// An itemised MEEK area budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaBudget {
+    /// Number of little cores.
+    pub n_little: usize,
+    /// Little cores total (mm²).
+    pub littles_mm2: f64,
+    /// Big-core wrapper: DEU + F2 (mm²).
+    pub big_wrapper_mm2: f64,
+    /// Little-core wrappers total (mm²).
+    pub little_wrappers_mm2: f64,
+}
+
+impl AreaBudget {
+    /// The paper's configuration: `n` optimized Rockets on one BOOM.
+    pub fn meek(n: usize) -> AreaBudget {
+        AreaBudget {
+            n_little: n,
+            littles_mm2: n as f64 * ROCKET_OPT_AREA_MM2,
+            big_wrapper_mm2: DEU_AREA_MM2 + F2_AREA_MM2,
+            little_wrappers_mm2: n as f64 * LITTLE_WRAPPER_MM2,
+        }
+    }
+
+    /// Total extra silicon on top of the unmodified BOOM (mm²).
+    pub fn total_extra_mm2(&self) -> f64 {
+        self.littles_mm2 + self.big_wrapper_mm2 + self.little_wrappers_mm2
+    }
+
+    /// Overhead relative to the BOOM.
+    pub fn overhead(&self) -> f64 {
+        self.total_extra_mm2() / BOOM_AREA_MM2
+    }
+}
+
+/// MEEK's total area overhead with `n` little cores (the paper's 25.8%
+/// at n = 4).
+pub fn meek_area_overhead(n_little: usize) -> f64 {
+    AreaBudget::meek(n_little).overhead()
+}
+
+/// Area of one little core as configured, interpolating between the
+/// default Rocket and the paper's optimized core using the two
+/// §III-C knobs (divider unrolling, FPU pipeline depth).
+pub fn little_core_area(cfg: &LittleCoreConfig) -> f64 {
+    let delta = ROCKET_OPT_AREA_MM2 - ROCKET_DEFAULT_AREA_MM2;
+    // Divider unrolling dominates the delta (wider datapath replication);
+    // the FPU pipeline registers take the rest.
+    let div_span = (8f64).log2();
+    let div_frac = ((cfg.div_unroll.max(1) as f64).log2() / div_span).min(2.0);
+    let fpu_frac = ((cfg.fpu_stages.saturating_sub(1)) as f64 / 2.0).min(2.0);
+    ROCKET_DEFAULT_AREA_MM2 + delta * (0.6 * div_frac + 0.4 * fpu_frac)
+}
+
+/// Per-component scale factor for an equivalent-area lockstep pair:
+/// the big core is shrunk by linear interpolation until *two* such
+/// cores match one BOOM plus MEEK's extra area (§V-A).
+pub fn ea_lockstep_scale(n_little: usize) -> f64 {
+    (1.0 + meek_area_overhead(n_little)) / 2.0
+}
+
+/// Area of a linearly scaled big core.
+pub fn big_core_scaled_area(factor: f64) -> f64 {
+    BOOM_AREA_MM2 * factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_overhead_25_8_percent() {
+        // 4 x 0.092 + 0.122 + 4 x 0.059 = 0.726 mm² = 25.8% of 2.811.
+        let b = AreaBudget::meek(4);
+        assert!((b.total_extra_mm2() - 0.726).abs() < 1e-9, "{}", b.total_extra_mm2());
+        assert!((b.overhead() - 0.258).abs() < 0.001, "{}", b.overhead());
+    }
+
+    #[test]
+    fn wrapper_is_4_3_percent_of_boom() {
+        // DEU + F2 = 0.122 mm² = 4.3% of the BOOM (paper §V-E).
+        let w = DEU_AREA_MM2 + F2_AREA_MM2;
+        assert!((w - 0.122).abs() < 1e-9);
+        assert!((w / BOOM_AREA_MM2 - 0.043).abs() < 0.001);
+    }
+
+    #[test]
+    fn little_core_area_endpoints() {
+        let opt = little_core_area(&LittleCoreConfig::optimized());
+        let def = little_core_area(&LittleCoreConfig::default_rocket());
+        assert!((opt - ROCKET_OPT_AREA_MM2).abs() < 1e-9, "{opt}");
+        assert!((def - ROCKET_DEFAULT_AREA_MM2).abs() < 1e-9, "{def}");
+        // The paper's 17.9% per-core area increase.
+        assert!((opt / def - 1.179).abs() < 0.01);
+    }
+
+    #[test]
+    fn ea_lockstep_scale_matches_budget() {
+        let s = ea_lockstep_scale(4);
+        // Two scaled cores equal one BOOM + MEEK extra.
+        let pair = 2.0 * big_core_scaled_area(s);
+        let meek = BOOM_AREA_MM2 * (1.0 + meek_area_overhead(4));
+        assert!((pair - meek).abs() < 1e-9);
+        assert!((s - 0.629).abs() < 0.001, "{s}");
+    }
+
+    #[test]
+    fn overhead_grows_with_cores() {
+        assert!(meek_area_overhead(6) > meek_area_overhead(4));
+        assert!(meek_area_overhead(2) < meek_area_overhead(4));
+    }
+}

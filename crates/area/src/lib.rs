@@ -1,0 +1,20 @@
+//! Analytical silicon-area model (paper §V-E/F, Table III).
+//!
+//! The paper synthesises MEEK with TSMC 28 nm PDKs; this crate
+//! reproduces the accounting: per-component areas seeded from the
+//! paper's published measurements, quadratic technology scaling between
+//! nodes, the equivalent-area construction of the lockstep comparator,
+//! and per-variant little-core area estimates for the Fig. 10
+//! performance/area analysis.
+
+pub mod components;
+pub mod table3;
+pub mod tech;
+
+pub use components::{
+    big_core_scaled_area, ea_lockstep_scale, little_core_area, meek_area_overhead, AreaBudget,
+    BOOM_AREA_MM2, DEU_AREA_MM2, F2_AREA_MM2, LITTLE_WRAPPER_MM2, ROCKET_DEFAULT_AREA_MM2,
+    ROCKET_OPT_AREA_MM2,
+};
+pub use table3::{table3, Table3Row};
+pub use tech::scale_area;

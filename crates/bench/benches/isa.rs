@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the ISA substrate: decode/encode
+//! throughput and functional execution rate (these bound overall
+//! simulation speed).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use meek_isa::{decode, encode, exec, ArchState, SparseMemory};
+use meek_workloads::{parsec3, Workload};
+
+fn bench_decode(c: &mut Criterion) {
+    let wl = Workload::build(&parsec3()[0], 1);
+    let words: Vec<u32> = (0..wl.static_len as u64)
+        .map(|i| wl.image().peek_inst(wl.entry() + 4 * i))
+        .collect();
+    let mut g = c.benchmark_group("isa");
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for &w in &words {
+                if decode(black_box(w)).is_ok() {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    let insts: Vec<_> = words.iter().filter_map(|&w| decode(w).ok()).collect();
+    g.throughput(Throughput::Elements(insts.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| insts.iter().map(|i| black_box(encode(i))).count())
+    });
+    g.finish();
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let wl = Workload::build(&parsec3()[0], 1);
+    let mut g = c.benchmark_group("isa");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("functional_execution", |b| {
+        b.iter(|| {
+            let mut st = ArchState::new(wl.entry());
+            let mut mem: SparseMemory = wl.image().clone();
+            let mut n = 0;
+            for _ in 0..N {
+                if exec::step(&mut st, &mut mem).is_err() {
+                    break;
+                }
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_decode, bench_exec
+}
+criterion_main!(benches);

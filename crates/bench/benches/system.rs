@@ -1,0 +1,33 @@
+//! Criterion benchmark of the full MEEK SoC simulation rate — the cost
+//! of regenerating the paper's figures.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use meek_core::{MeekConfig, MeekSystem};
+use meek_workloads::{parsec3, Workload};
+
+fn bench_system(c: &mut Criterion) {
+    let wl = Workload::build(&parsec3()[0], 1);
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("system");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("meek_4core_10k_insts", |b| {
+        b.iter(|| {
+            let mut sys = MeekSystem::new(MeekConfig::default(), &wl, N);
+            sys.run_to_completion(100_000_000).cycles
+        })
+    });
+    g.bench_function("meek_2core_10k_insts", |b| {
+        b.iter(|| {
+            let mut sys = MeekSystem::new(MeekConfig::with_little_cores(2), &wl, N);
+            sys.run_to_completion(100_000_000).cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_system
+}
+criterion_main!(benches);

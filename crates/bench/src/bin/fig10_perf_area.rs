@@ -1,0 +1,108 @@
+//! Figure 10: performance/area analysis of the little core — the
+//! paper's optimized configuration (8-unroll divider, 3-stage FPU)
+//! versus the default Rocket, on the PARSEC verification job.
+//!
+//! Performance is the little cores' verification throughput — replayed
+//! instructions per little-core cycle spent on the verification job
+//! (replay + checkpoint apply/compare + instruction fetch stalls) — and
+//! area is the cluster's silicon (cores + wrappers) from the
+//! `meek-area` model. The paper reports a 15.2% geomean
+//! performance/area improvement, and that four optimized cores match
+//! six default cores.
+
+use meek_area::{little_core_area, LITTLE_WRAPPER_MM2};
+use meek_bench::{banner, measure_meek, sim_insts, write_csv};
+use meek_core::report::{geomean, RunReport};
+use meek_core::MeekConfig;
+use meek_littlecore::LittleCoreConfig;
+use meek_workloads::parsec3;
+
+/// Verification throughput: replayed instructions per little-core cycle
+/// spent on the verification job.
+fn verify_throughput(r: &RunReport) -> f64 {
+    let replayed: u64 = r.littles.iter().map(|l| l.replayed_insts).sum();
+    let cycles: u64 = r
+        .littles
+        .iter()
+        .map(|l| l.busy_cycles + l.apply_cycles + l.compare_cycles + l.icache_stall_cycles)
+        .sum();
+    replayed as f64 / cycles.max(1) as f64
+}
+
+fn cluster_area(cfg: &LittleCoreConfig, n: usize) -> f64 {
+    n as f64 * (little_core_area(cfg) + LITTLE_WRAPPER_MM2)
+}
+
+fn main() {
+    let insts = sim_insts();
+    banner(
+        "Fig. 10 — Little-core performance/area (4-core cluster, PARSEC)",
+        &format!("{insts} dynamic instructions per run"),
+    );
+    let opt = LittleCoreConfig::optimized();
+    let def = LittleCoreConfig::default_rocket();
+    let area_opt = cluster_area(&opt, 4);
+    let area_def = cluster_area(&def, 4);
+    println!("cluster area: optimized {area_opt:.3} mm2, default {area_def:.3} mm2\n");
+    println!("{:<14} {:>10} {:>10} {:>12}", "benchmark", "MEEK(opt)", "default", "improvement");
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for p in &parsec3() {
+        let m_opt = measure_meek(
+            p,
+            MeekConfig { little: opt, ..MeekConfig::default() },
+            insts,
+            0xF1A,
+        );
+        let m_def = measure_meek(
+            p,
+            MeekConfig { little: def, ..MeekConfig::default() },
+            insts,
+            0xF1A,
+        );
+        // Normalised performance/area (higher is better); the figure
+        // plots both series normalised to the default Rocket.
+        let pa_opt = verify_throughput(&m_opt.report) / area_opt;
+        let pa_def = verify_throughput(&m_def.report) / area_def;
+        let ratio = pa_opt / pa_def;
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>11.1}%",
+            p.name,
+            pa_opt / pa_def.max(1e-12),
+            1.0,
+            (ratio - 1.0) * 100.0
+        );
+        rows.push(format!("{},{:.5},{:.5},{:.4}", p.name, pa_opt, pa_def, ratio));
+        ratios.push(ratio);
+    }
+    let g = geomean(&ratios);
+    println!("\ngeomean performance/area improvement: {:.1}% (paper: 15.2%)", (g - 1.0) * 100.0);
+
+    // The paper's companion claim: 4 optimized cores match 6 default
+    // cores on the verification job.
+    let mut s4 = Vec::new();
+    let mut s6 = Vec::new();
+    for p in &parsec3() {
+        let m4 = measure_meek(
+            p,
+            MeekConfig { little: opt, n_little: 4, ..MeekConfig::default() },
+            insts,
+            0xF1B,
+        );
+        let m6 = measure_meek(
+            p,
+            MeekConfig { little: def, n_little: 6, ..MeekConfig::default() },
+            insts,
+            0xF1B,
+        );
+        s4.push(m4.slowdown());
+        s6.push(m6.slowdown());
+    }
+    println!(
+        "4 optimized cores: geomean slowdown {:.3}; 6 default cores: {:.3} (paper: comparable)",
+        geomean(&s4),
+        geomean(&s6)
+    );
+    rows.push(format!("geomean,,,{g:.4}"));
+    write_csv("fig10_perf_area.csv", "benchmark,pa_optimized,pa_default,ratio", &rows);
+}

@@ -1,0 +1,90 @@
+//! Figure 6: performance results for MEEK (4 little cores),
+//! Equivalent-Area LockStep, and Nzdc on SPECint 2006 + PARSEC.
+
+use meek_baselines::{run_ea_lockstep, run_nzdc};
+use meek_bench::{banner, cycle_cap, fmt_slowdown, measure_meek, sim_insts, write_csv};
+use meek_core::report::geomean;
+use meek_core::MeekConfig;
+use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile, Workload};
+
+fn row(p: &BenchmarkProfile, insts: u64) -> (String, f64, Option<f64>, f64) {
+    let seed = 0xF16_6 ^ p.name.len() as u64;
+    let m = measure_meek(p, MeekConfig::default(), insts, seed);
+    let meek = m.slowdown();
+    let wl = Workload::build(p, seed);
+    let lockstep = run_ea_lockstep(4, &wl, insts) as f64 / m.vanilla_cycles as f64;
+    let nzdc = if p.nzdc_compilable {
+        let (c, _) = run_nzdc(&MeekConfig::default().big, &wl, insts);
+        Some(c as f64 / m.vanilla_cycles as f64)
+    } else {
+        None
+    };
+    let _ = cycle_cap(insts);
+    let nz = nzdc.map_or("   fail".to_string(), |n| format!("{:>7}", fmt_slowdown(n)));
+    (
+        format!(
+            "{:<14} {:>7} {:>9} {}",
+            p.name,
+            fmt_slowdown(meek),
+            fmt_slowdown(lockstep),
+            nz
+        ),
+        meek,
+        nzdc,
+        lockstep,
+    )
+}
+
+fn suite(name: &str, profiles: &[BenchmarkProfile], insts: u64, rows: &mut Vec<String>) {
+    println!("\n-- {name} --");
+    println!("{:<14} {:>7} {:>9} {:>7}", "benchmark", "MEEK", "EA-LkStp", "Nzdc");
+    let mut meeks = Vec::new();
+    let mut locks = Vec::new();
+    let mut nzdcs = Vec::new();
+    for p in profiles {
+        let (line, meek, nzdc, lockstep) = row(p, insts);
+        println!("{line}");
+        rows.push(format!(
+            "{},{},{:.4},{:.4},{}",
+            name,
+            p.name,
+            meek,
+            lockstep,
+            nzdc.map_or(String::from(""), |n| format!("{n:.4}"))
+        ));
+        meeks.push(meek);
+        locks.push(lockstep);
+        if let Some(n) = nzdc {
+            nzdcs.push(n);
+        }
+    }
+    let gm = geomean(&meeks);
+    let gl = geomean(&locks);
+    let gn = geomean(&nzdcs);
+    println!(
+        "{:<14} {:>7} {:>9} {:>7}",
+        "geomean",
+        fmt_slowdown(gm),
+        fmt_slowdown(gl),
+        fmt_slowdown(gn)
+    );
+    println!(
+        "   (MEEK overhead {:.1}%, EA-LockStep {:.1}%, Nzdc {:.1}%)",
+        (gm - 1.0) * 100.0,
+        (gl - 1.0) * 100.0,
+        (gn - 1.0) * 100.0
+    );
+    rows.push(format!("{name},geomean,{gm:.4},{gl:.4},{gn:.4}"));
+}
+
+fn main() {
+    let insts = sim_insts();
+    banner(
+        "Fig. 6 — Slowdown: MEEK (4 little cores) vs EA-LockStep vs Nzdc",
+        &format!("SPECint 2006 + PARSEC profiles, {insts} dynamic instructions each"),
+    );
+    let mut rows = Vec::new();
+    suite("SPEC06", &spec_int_2006(), insts, &mut rows);
+    suite("PARSEC", &parsec3(), insts, &mut rows);
+    write_csv("fig6_overhead.csv", "suite,benchmark,meek,ea_lockstep,nzdc", &rows);
+}

@@ -1,0 +1,83 @@
+//! Figure 7: detection-latency density with 4 little cores.
+//!
+//! Faults are injected into the forwarded data (memory addresses/data
+//! and checkpoint register values) at random commit points; latency is
+//! measured from injection to the checker's mismatch report. The paper
+//! injects 5 000–10 000 faults per workload; set `MEEK_FAULTS` to match
+//! (default is a quicker campaign with the same distribution shape).
+
+use meek_bench::{banner, cycle_cap, fault_count, sim_insts, write_csv};
+use meek_core::fault::FaultInjector;
+use meek_core::{MeekConfig, MeekSystem};
+use meek_workloads::{parsec3, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const BUCKET_NS: f64 = 200.0;
+const BUCKETS: usize = 15; // 0..3000 ns, matching the figure's x-axis
+
+fn main() {
+    let per_workload = fault_count();
+    // Each fault occupies the injector until its segment's verdict, a
+    // few segments (~1.5k instructions) later.
+    let insts = sim_insts().max(per_workload as u64 * 2_500);
+    banner(
+        "Fig. 7 — Detection latency, 4 little cores (unit: ns)",
+        &format!("{per_workload} random faults per PARSEC workload, {insts} insts each"),
+    );
+    let mut rows = Vec::new();
+    let mut all: Vec<f64> = Vec::new();
+    println!(
+        "{:<14} {:>6} {:>7} {:>7} {:>9} {:>9} {:>8}",
+        "benchmark", "inj", "det", "masked", "mean(ns)", "max(ns)", "<3us"
+    );
+    for (i, p) in parsec3().iter().enumerate() {
+        let wl = Workload::build(p, 0xF17 + i as u64);
+        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, insts);
+        let mut rng = SmallRng::seed_from_u64(0xFA_17 + i as u64);
+        sys.set_injector(FaultInjector::random_campaign(per_workload, insts, &mut rng));
+        let report = sys.run_to_completion(cycle_cap(insts));
+        let lat: Vec<f64> = report.detections.iter().map(|d| d.latency_ns).collect();
+        let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+        let max = lat.iter().cloned().fold(0.0f64, f64::max);
+        let within = lat.iter().filter(|&&l| l < 3000.0).count() as f64 / lat.len().max(1) as f64;
+        println!(
+            "{:<14} {:>6} {:>7} {:>7} {:>9.1} {:>9.1} {:>7.2}%",
+            p.name,
+            per_workload,
+            lat.len(),
+            report.missed_faults,
+            mean,
+            max,
+            within * 100.0
+        );
+        // Density histogram for the CSV (one row per bucket).
+        let mut hist = [0u32; BUCKETS];
+        for &l in &lat {
+            let b = ((l / BUCKET_NS) as usize).min(BUCKETS - 1);
+            hist[b] += 1;
+        }
+        for (b, h) in hist.iter().enumerate() {
+            rows.push(format!(
+                "{},{},{:.4}",
+                p.name,
+                (b as f64 + 0.5) * BUCKET_NS,
+                *h as f64 / lat.len().max(1) as f64
+            ));
+        }
+        all.extend(lat);
+    }
+    all.sort_by(f64::total_cmp);
+    let n = all.len().max(1);
+    let mean = all.iter().sum::<f64>() / n as f64;
+    let p999 = all[(n as f64 * 0.999) as usize - 1];
+    println!("\ntotal samples: {n}");
+    println!("overall mean: {mean:.1} ns (paper: < 1 us)");
+    println!("99.9th percentile: {p999:.1} ns (paper: 3 us covers > 99.9%)");
+    println!("worst case: {:.1} ns (paper: up to 2.7 us)", all.last().copied().unwrap_or(0.0));
+    println!(
+        "(masked = the flipped bit landed on an architecturally dead value — \n\
+         no architectural error existed to detect)"
+    );
+    write_csv("fig7_latency.csv", "benchmark,bucket_center_ns,density", &rows);
+}

@@ -1,0 +1,52 @@
+//! Figure 8: slowdown when using varying numbers of little cores
+//! (2, 4, 6) on PARSEC.
+
+use meek_bench::{banner, fmt_slowdown, measure_meek, sim_insts, write_csv};
+use meek_core::report::geomean;
+use meek_core::MeekConfig;
+use meek_workloads::parsec3;
+
+fn main() {
+    let insts = sim_insts();
+    let core_counts = [2usize, 4, 6];
+    banner(
+        "Fig. 8 — Slowdown vs little-core count (PARSEC)",
+        &format!("{insts} dynamic instructions per run"),
+    );
+    println!("{:<14} {:>8} {:>8} {:>8}", "benchmark", "2-core", "4-core", "6-core");
+    let mut rows = Vec::new();
+    let mut per_count: Vec<Vec<f64>> = vec![Vec::new(); core_counts.len()];
+    for p in &parsec3() {
+        let mut line = format!("{:<14}", p.name);
+        let mut csv = p.name.to_string();
+        for (i, &n) in core_counts.iter().enumerate() {
+            let m = measure_meek(p, MeekConfig::with_little_cores(n), insts, 0xF18 + n as u64);
+            let s = m.slowdown();
+            line += &format!(" {:>8}", fmt_slowdown(s));
+            csv += &format!(",{s:.4}");
+            per_count[i].push(s);
+        }
+        println!("{line}");
+        rows.push(csv);
+    }
+    let mut gline = format!("{:<14}", "geomean");
+    let mut gcsv = String::from("geomean");
+    for (i, &n) in core_counts.iter().enumerate() {
+        let g = geomean(&per_count[i]);
+        gline += &format!(" {:>8}", fmt_slowdown(g));
+        gcsv += &format!(",{g:.4}");
+        println!(
+            "   {n}-core geomean overhead: {:.1}% (paper: {})",
+            (g - 1.0) * 100.0,
+            match n {
+                2 => "54.9%",
+                4 => "4.4%",
+                6 => "0.3%",
+                _ => "-",
+            }
+        );
+    }
+    println!("{gline}");
+    rows.push(gcsv);
+    write_csv("fig8_scalability.csv", "benchmark,cores2,cores4,cores6", &rows);
+}

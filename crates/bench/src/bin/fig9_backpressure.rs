@@ -1,0 +1,72 @@
+//! Figure 9: backpressure decomposition with 4 little cores —
+//! MEEK + AXI-Interconnect vs MEEK + F2, with the overhead split into
+//! data collecting / data forwarding / little-core components.
+
+use meek_bench::{banner, fmt_slowdown, measure_meek, sim_insts, write_csv};
+use meek_core::report::geomean;
+use meek_core::{FabricKind, MeekConfig};
+use meek_workloads::parsec3;
+
+fn main() {
+    let insts = sim_insts();
+    banner(
+        "Fig. 9 — Backpressure decomposition (4 little cores, PARSEC)",
+        &format!("{insts} dynamic instructions per run"),
+    );
+    println!(
+        "{:<14} {:>8} | {:>8} {:>8} {:>8} | {:>8}",
+        "benchmark", "AXI", "collect", "forward", "little", "F2"
+    );
+    let mut rows = Vec::new();
+    let mut axis = Vec::new();
+    let mut f2s = Vec::new();
+    for p in &parsec3() {
+        let axi = measure_meek(
+            p,
+            MeekConfig { fabric: FabricKind::Axi, ..MeekConfig::default() },
+            insts,
+            0xF19,
+        );
+        let f2 = measure_meek(p, MeekConfig::default(), insts, 0xF19);
+        let s_axi = axi.slowdown();
+        let s_f2 = f2.slowdown();
+        // Decompose the AXI overhead proportionally to its stall sources.
+        let (c, fw, l) = axi.report.stalls.proportions();
+        let over = s_axi - 1.0;
+        println!(
+            "{:<14} {:>8} | {:>7.1}% {:>7.1}% {:>7.1}% | {:>8}",
+            p.name,
+            fmt_slowdown(s_axi),
+            c * over * 100.0,
+            fw * over * 100.0,
+            l * over * 100.0,
+            fmt_slowdown(s_f2),
+        );
+        rows.push(format!(
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            p.name,
+            s_axi,
+            c * over,
+            fw * over,
+            l * over,
+            s_f2
+        ));
+        axis.push(s_axi);
+        f2s.push(s_f2);
+    }
+    let ga = geomean(&axis);
+    let gf = geomean(&f2s);
+    println!("{:<14} {:>8} | {:>26} | {:>8}", "geomean", fmt_slowdown(ga), "", fmt_slowdown(gf));
+    println!(
+        "\nAXI-Interconnect geomean overhead: {:.1}% (paper: 16.7%)",
+        (ga - 1.0) * 100.0
+    );
+    println!("F2 geomean overhead: {:.1}% (paper: < 5%)", (gf - 1.0) * 100.0);
+    println!("F2 shifts the system from forwarding-bound to computation-bound.");
+    rows.push(format!("geomean,{ga:.4},,,,{gf:.4}"));
+    write_csv(
+        "fig9_backpressure.csv",
+        "benchmark,axi_slowdown,collect_overhead,forward_overhead,little_overhead,f2_slowdown",
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Table I: the MEEK ISA — mnemonics, privilege, encodings.
+
+use meek_bench::{banner, write_csv};
+use meek_isa::meek::MeekOp;
+use meek_isa::{encode, Inst, Reg};
+
+fn main() {
+    banner("Tab. I — MEEK ISA (Priv 1/0: kernel/user modes)", "custom-0 major opcode");
+    let ops: [(MeekOp, &str); 7] = [
+        (MeekOp::BHook { rs1: Reg::X10, rs2: Reg::X11 }, "Hook big core rs1 with little core rs2."),
+        (MeekOp::BCheck { rs1: Reg::X10 }, "Enable/Disable checking capacity."),
+        (MeekOp::LMode { rs1: Reg::X10, rs2: Reg::X11 }, "Switch little core rs1's mode to rs2."),
+        (MeekOp::LRecord { rs1: Reg::X10 }, "Record arch. registers to address rs1."),
+        (MeekOp::LApply { rs1: Reg::X10 }, "Apply arch. registers from address rs1."),
+        (MeekOp::LJal { rs1: Reg::X10 }, "Jump to rs1 (PC of main thread)."),
+        (MeekOp::LRslt { rd: Reg::X10 }, "Return the check results."),
+    ];
+    println!("{:<22} {:>4} {:>12}  {}", "instruction", "priv", "encoding", "description");
+    let mut rows = Vec::new();
+    for (op, desc) in ops {
+        let word = encode(&Inst::Meek(op));
+        let priv_level = u8::from(op.is_privileged());
+        println!("{:<22} {:>4} {:>#12x}  {}", op.to_string(), priv_level, word, desc);
+        rows.push(format!("{},{},{:#010x},{}", op.mnemonic(), priv_level, word, desc));
+    }
+    write_csv("tab1_isa.csv", "mnemonic,priv,encoding,description", &rows);
+}

@@ -1,0 +1,73 @@
+//! Table II: hardware configurations evaluated.
+
+use meek_bench::{banner, write_csv};
+use meek_bigcore::BigCoreConfig;
+use meek_littlecore::LittleCoreConfig;
+use meek_mem::HierarchyConfig;
+
+fn main() {
+    banner("Tab. II — Hardware configurations evaluated", "");
+    let big = BigCoreConfig::sonic_boom();
+    let big_mem = HierarchyConfig::big_core();
+    let little = LittleCoreConfig::optimized();
+    let little_mem = HierarchyConfig::little_core();
+
+    println!("Big Core");
+    println!("  Core          {}-width OoO superscalar SonicBoom @3.2GHz", big.width);
+    println!(
+        "  Pipeline      {}-entry ROB, {}-entry IQ, {}-entry LDQ/STQ,",
+        big.rob, big.iq, big.ldq
+    );
+    println!(
+        "                {} Int/FP Phy Registers, {} Int ALUs, {} FP/Mult/Div ALU,",
+        big.int_prf, big.int_alu, big.fp_muldiv
+    );
+    println!("                {} MEM, {} Jump Unit, {} CSR Unit", big.mem_ports, big.jump_units, big.csr_units);
+    println!(
+        "  Branch Pred.  TAGE, {}-entry BTB, {}-entry RAS, 6 TAGE tables, {}-{} bit history",
+        big.tage.btb_entries,
+        big.tage.ras_entries,
+        big.tage.histories[0],
+        big.tage.histories[5]
+    );
+    println!("Memory Hierarchy");
+    println!("  L1 ICache     {} KB, {}-way, {} MSHRs", big_mem.l1i.size / 1024, big_mem.l1i.ways, big_mem.l1i.mshrs);
+    println!("  L1 DCache     {} KB, {}-way, {} MSHRs", big_mem.l1d.size / 1024, big_mem.l1d.ways, big_mem.l1d.mshrs);
+    println!("  L2 Cache      {} KB, {}-way, {} MSHRs", big_mem.l2.size / 1024, big_mem.l2.ways, big_mem.l2.mshrs);
+    println!("  LLC           {} MB, {}-way, {} MSHRs", big_mem.llc.size / 1024 / 1024, big_mem.llc.ways, big_mem.llc.mshrs);
+    println!("  Memory        DDR3-class, max {} requests", big_mem.dram_max_requests);
+    println!("Little Cores");
+    println!(
+        "  Cores         4 x in-order Rocket, 5-stage, @1.6GHz, {}-Unroll DIV, {}-stage FPU",
+        little.div_unroll, little.fpu_stages
+    );
+    println!(
+        "  LSL           4 KB ({} run-time records + status way), 5000-instruction time-out",
+        little.lsl.runtime_capacity
+    );
+    println!(
+        "  L1 Cache      {} KB, {}-way for both I- and D-Cache",
+        little_mem.l1i.size / 1024,
+        little_mem.l1i.ways
+    );
+
+    let rows = vec![
+        format!("big.width,{}", big.width),
+        format!("big.rob,{}", big.rob),
+        format!("big.iq,{}", big.iq),
+        format!("big.ldq,{}", big.ldq),
+        format!("big.stq,{}", big.stq),
+        format!("big.int_prf,{}", big.int_prf),
+        format!("big.btb,{}", big.tage.btb_entries),
+        format!("big.ras,{}", big.tage.ras_entries),
+        format!("mem.l1i_kb,{}", big_mem.l1i.size / 1024),
+        format!("mem.l1d_kb,{}", big_mem.l1d.size / 1024),
+        format!("mem.l2_kb,{}", big_mem.l2.size / 1024),
+        format!("mem.llc_mb,{}", big_mem.llc.size / 1024 / 1024),
+        format!("little.div_unroll,{}", little.div_unroll),
+        format!("little.fpu_stages,{}", little.fpu_stages),
+        format!("little.lsl_records,{}", little.lsl.runtime_capacity),
+        format!("little.l1_kb,{}", little_mem.l1i.size / 1024),
+    ];
+    write_csv("tab2_config.csv", "parameter,value", &rows);
+}

@@ -1,0 +1,48 @@
+//! Table III: hardware overhead in MEEK and DSN'18.
+
+use meek_area::{table3, AreaBudget};
+use meek_bench::{banner, write_csv};
+
+fn main() {
+    banner(
+        "Tab. III — Hardware overhead (excluding L1 D$ in little cores)",
+        "TSMC 28nm accounting; DSN'18 column under its own configuration",
+    );
+    let rows_out: Vec<String> = table3()
+        .iter()
+        .map(|r| {
+            println!("{r}\n");
+            format!(
+                "{},{},{},{},{:.1},{:.1},{:.0},{:.0},{:.3},{:.3},{:.3},{:.3},{},{:.4}",
+                r.design,
+                r.big_core,
+                r.little_core,
+                r.n_little,
+                r.freq_ghz.0,
+                r.freq_ghz.1,
+                r.tech_nm.0,
+                r.tech_nm.1,
+                r.area_mm2.0,
+                r.area_mm2.1,
+                r.area_28nm_mm2.0,
+                r.area_28nm_mm2.1,
+                r.wrapper_mm2
+                    .map_or(String::from("x"), |(b, l)| format!("{b:.3}/{l:.3}")),
+                r.overhead
+            )
+        })
+        .collect();
+
+    let budget = AreaBudget::meek(4);
+    println!("MEEK itemisation (mm2):");
+    println!("  4 x Rocket           {:.3}", budget.littles_mm2);
+    println!("  DEU + F2 (wrapper)   {:.3}", budget.big_wrapper_mm2);
+    println!("  4 x LSL/MSU wrapper  {:.3}", budget.little_wrappers_mm2);
+    println!("  total extra          {:.3}  ({:.1}% of the BOOM)", budget.total_extra_mm2(), budget.overhead() * 100.0);
+
+    write_csv(
+        "tab3_area.csv",
+        "design,big,little,n,freq_big,freq_little,tech_big,tech_little,area_big,area_little,area28_big,area28_little,wrapper,overhead",
+        &rows_out,
+    );
+}

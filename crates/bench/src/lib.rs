@@ -1,0 +1,98 @@
+//! Shared harness utilities for the experiment binaries that regenerate
+//! the paper's tables and figures.
+//!
+//! Every binary prints the paper-style rows to stdout and writes a CSV
+//! under `results/`. Run sizes are tuned for minutes-scale regeneration;
+//! set `MEEK_SIM_INSTS` / `MEEK_FAULTS` for larger campaigns.
+
+use meek_bigcore::BigCoreConfig;
+use meek_core::{run_vanilla, MeekConfig, MeekSystem, RunReport};
+use meek_workloads::{BenchmarkProfile, Workload};
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Default dynamic instruction budget per run.
+pub const DEFAULT_SIM_INSTS: u64 = 60_000;
+
+/// Dynamic instructions per run (`MEEK_SIM_INSTS` env override).
+pub fn sim_insts() -> u64 {
+    std::env::var("MEEK_SIM_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_SIM_INSTS)
+}
+
+/// Faults per workload for the detection-latency campaign
+/// (`MEEK_FAULTS` env override; the paper uses 5 000–10 000).
+pub fn fault_count() -> usize {
+    std::env::var("MEEK_FAULTS").ok().and_then(|v| v.parse().ok()).unwrap_or(300)
+}
+
+/// Simulation liveness bound, scaled to the instruction budget.
+pub fn cycle_cap(max_insts: u64) -> u64 {
+    (max_insts * 400).max(20_000_000)
+}
+
+/// The `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes CSV rows (with header) to `results/<name>.csv`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{header}").expect("write header");
+    for r in rows {
+        writeln!(f, "{r}").expect("write row");
+    }
+    println!("\n[csv] {}", path.display());
+}
+
+/// A vanilla + MEEK measurement pair for one workload.
+pub struct MeekMeasurement {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Vanilla big-core cycles.
+    pub vanilla_cycles: u64,
+    /// MEEK run report.
+    pub report: RunReport,
+}
+
+impl MeekMeasurement {
+    /// Slowdown of the MEEK run.
+    pub fn slowdown(&self) -> f64 {
+        self.report.slowdown_vs(self.vanilla_cycles)
+    }
+}
+
+/// Runs one workload under vanilla and MEEK configurations.
+pub fn measure_meek(profile: &BenchmarkProfile, cfg: MeekConfig, insts: u64, seed: u64) -> MeekMeasurement {
+    let wl = Workload::build(profile, seed);
+    let vanilla_cycles = run_vanilla(&cfg.big, &wl, insts);
+    let mut sys = MeekSystem::new(cfg, &wl, insts);
+    let report = sys.run_to_completion(cycle_cap(insts));
+    MeekMeasurement { name: profile.name, vanilla_cycles, report }
+}
+
+/// Vanilla cycles for one workload at the Table II configuration.
+pub fn measure_vanilla(profile: &BenchmarkProfile, insts: u64, seed: u64) -> u64 {
+    let wl = Workload::build(profile, seed);
+    run_vanilla(&BigCoreConfig::sonic_boom(), &wl, insts)
+}
+
+/// Pretty-prints a slowdown as the paper's figures do.
+pub fn fmt_slowdown(s: f64) -> String {
+    format!("{s:.3}")
+}
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, caption: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("{caption}");
+    println!("================================================================");
+}

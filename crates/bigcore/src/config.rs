@@ -1,0 +1,178 @@
+//! Big-core configuration (Table II) and the equivalent-area scaling used
+//! to construct the EA-LockStep comparator.
+
+use crate::tage::TageConfig;
+use meek_mem::HierarchyConfig;
+
+/// Microarchitectural parameters of the out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BigCoreConfig {
+    /// Superscalar width (fetch/rename/commit per cycle).
+    pub width: u32,
+    /// Re-order buffer entries.
+    pub rob: u32,
+    /// Issue-queue entries.
+    pub iq: u32,
+    /// Load-queue entries.
+    pub ldq: u32,
+    /// Store-queue entries.
+    pub stq: u32,
+    /// Physical integer registers (beyond the 32 architectural).
+    pub int_prf: u32,
+    /// Physical floating-point registers.
+    pub fp_prf: u32,
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// FP / multiply / divide ALUs (shared, per Table II).
+    pub fp_muldiv: u32,
+    /// Memory (AGU/D$) ports.
+    pub mem_ports: u32,
+    /// Jump units.
+    pub jump_units: u32,
+    /// CSR units.
+    pub csr_units: u32,
+    /// Front-end depth: cycles from fetch to earliest issue.
+    pub frontend_depth: u64,
+    /// Extra cycles to redirect fetch after a resolved mispredict.
+    pub redirect_penalty: u64,
+    /// Front-end re-steer bubble when a taken direct branch misses the
+    /// BTB (the target is decoded from the instruction, so this is a
+    /// decode-stage redirect, not an execute-stage flush).
+    pub btb_resteer_penalty: u64,
+    /// Branch predictor configuration.
+    pub tage: TageConfig,
+    /// Cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Integer divide latency (pipelined OoO divider).
+    pub div_latency: u64,
+    /// FP add latency.
+    pub fp_add_latency: u64,
+    /// FP multiply latency.
+    pub fp_mul_latency: u64,
+    /// FP divide latency.
+    pub fp_div_latency: u64,
+}
+
+impl BigCoreConfig {
+    /// The paper's 4-wide SonicBOOM configuration (Table II).
+    pub fn sonic_boom() -> BigCoreConfig {
+        BigCoreConfig {
+            width: 4,
+            rob: 128,
+            iq: 96,
+            ldq: 32,
+            stq: 32,
+            int_prf: 128,
+            fp_prf: 128,
+            int_alu: 2,
+            fp_muldiv: 1,
+            mem_ports: 2,
+            jump_units: 1,
+            csr_units: 1,
+            frontend_depth: 6,
+            redirect_penalty: 4,
+            btb_resteer_penalty: 3,
+            tage: TageConfig::default(),
+            hierarchy: HierarchyConfig::big_core(),
+            mul_latency: 3,
+            div_latency: 16,
+            fp_add_latency: 4,
+            fp_mul_latency: 4,
+            fp_div_latency: 20,
+        }
+    }
+
+    /// Linear interpolation on each configurable component, used to build
+    /// the Equivalent-Area LockStep comparator (§V-A): the paper scales
+    /// the BOOM down until *two* such cores match MEEK's area budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.1 <= factor <= 1.0`.
+    pub fn scaled(factor: f64) -> BigCoreConfig {
+        assert!((0.1..=1.0).contains(&factor), "scale factor {factor} out of range");
+        let base = BigCoreConfig::sonic_boom();
+        let s = |v: u32, min: u32| -> u32 { ((v as f64 * factor).round() as u32).max(min) };
+        // Private caches are configurable BOOM components too: halve the
+        // ways (capacity scales with the ways at fixed sets) and scale
+        // the MSHR files. The shared LLC/DRAM are SoC-level and stay.
+        let mut hierarchy = base.hierarchy;
+        let sw = |v: u32, min: u32| -> u32 { ((v as f64 * factor).round() as u32).max(min) };
+        hierarchy.l1i.ways = sw(hierarchy.l1i.ways, 1);
+        hierarchy.l1i.size = hierarchy.l1i.size / base.hierarchy.l1i.ways * hierarchy.l1i.ways;
+        hierarchy.l1i.mshrs = sw(hierarchy.l1i.mshrs, 2);
+        hierarchy.l1d.ways = sw(hierarchy.l1d.ways, 1);
+        hierarchy.l1d.size = hierarchy.l1d.size / base.hierarchy.l1d.ways * hierarchy.l1d.ways;
+        hierarchy.l1d.mshrs = sw(hierarchy.l1d.mshrs, 2);
+        hierarchy.l2.ways = sw(hierarchy.l2.ways, 2);
+        hierarchy.l2.size = hierarchy.l2.size / base.hierarchy.l2.ways * hierarchy.l2.ways;
+        hierarchy.l2.mshrs = sw(hierarchy.l2.mshrs, 2);
+        BigCoreConfig {
+            width: s(base.width, 1),
+            rob: s(base.rob, 8),
+            iq: s(base.iq, 4),
+            ldq: s(base.ldq, 4),
+            stq: s(base.stq, 4),
+            int_prf: s(base.int_prf, 40),
+            fp_prf: s(base.fp_prf, 40),
+            int_alu: s(base.int_alu, 1),
+            fp_muldiv: 1,
+            mem_ports: s(base.mem_ports, 1),
+            jump_units: 1,
+            csr_units: 1,
+            tage: TageConfig::scaled(factor),
+            hierarchy,
+            ..base
+        }
+    }
+}
+
+impl Default for BigCoreConfig {
+    fn default() -> Self {
+        BigCoreConfig::sonic_boom()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let c = BigCoreConfig::sonic_boom();
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rob, 128);
+        assert_eq!(c.iq, 96);
+        assert_eq!(c.ldq, 32);
+        assert_eq!(c.stq, 32);
+        assert_eq!(c.int_alu, 2);
+        assert_eq!(c.mem_ports, 2);
+    }
+
+    #[test]
+    fn scaling_shrinks_structures() {
+        let half = BigCoreConfig::scaled(0.5);
+        assert_eq!(half.width, 2);
+        assert_eq!(half.rob, 64);
+        assert_eq!(half.iq, 48);
+        assert_eq!(half.int_alu, 1);
+        let full = BigCoreConfig::scaled(1.0);
+        assert_eq!(full, BigCoreConfig::sonic_boom());
+    }
+
+    #[test]
+    fn scaling_respects_minimums() {
+        let tiny = BigCoreConfig::scaled(0.1);
+        assert!(tiny.width >= 1);
+        assert!(tiny.rob >= 8);
+        assert!(tiny.int_prf >= 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scaling_bounds_checked() {
+        let _ = BigCoreConfig::scaled(1.5);
+    }
+}

@@ -1,0 +1,808 @@
+//! The out-of-order engine: fetch, dispatch, issue, execute, 4-wide
+//! commit, with the MEEK observation channel at the commit boundary.
+
+use crate::config::BigCoreConfig;
+use crate::tage::{Btb, Ras, Tage};
+use meek_isa::inst::{ExecClass, Inst};
+use meek_isa::{Reg, Retired};
+use meek_mem::{AccessKind, MemHierarchy};
+use std::collections::VecDeque;
+
+/// Why the commit stage is stalled by the DEU/fabric (the Fig. 9
+/// decomposition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommitStall {
+    /// The DC-Buffer cannot accept the extracted data this cycle.
+    DataCollect,
+    /// Downstream fabric congestion (DC-Buffer full because the NoC/bus
+    /// cannot drain it).
+    DataForward,
+    /// The little cores cannot keep up: target LSL full or no free
+    /// checker to open a new segment.
+    LittleCore,
+}
+
+/// A commit-slot verdict from the [`CommitHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitDecision {
+    /// Let the instruction retire.
+    Proceed,
+    /// Block this commit slot (and the rest of the commit group) this
+    /// cycle for the given reason.
+    Stall(CommitStall),
+}
+
+/// The MEEK observation channel: invoked for each retiring instruction at
+/// commit, exactly where the paper's DEU taps the core (Fig. 3). The
+/// system layer implements the DEU/RCP logic behind this trait; the core
+/// itself stays un-invasive.
+pub trait CommitHook {
+    /// Called once per commit slot with the retiring instruction.
+    fn on_commit(&mut self, lane: usize, ret: &Retired, now: u64) -> CommitDecision;
+}
+
+/// The vanilla core: checking disabled (`b.check(DISABLE)`), all commits
+/// proceed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHook;
+
+impl CommitHook for NullHook {
+    fn on_commit(&mut self, _lane: usize, _ret: &Retired, _now: u64) -> CommitDecision {
+        CommitDecision::Proceed
+    }
+}
+
+/// Counters of the big core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BigCoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Conditional-branch direction mispredicts.
+    pub direction_mispredicts: u64,
+    /// Indirect/target mispredicts (BTB/RAS).
+    pub target_mispredicts: u64,
+    /// Cycles the commit group was cut short by DC-Buffer admission.
+    pub stall_collect: u64,
+    /// Cycles cut short by fabric congestion.
+    pub stall_forward: u64,
+    /// Cycles cut short waiting on little cores.
+    pub stall_little: u64,
+    /// Cycles fetch was blocked by a full ROB.
+    pub rob_full_cycles: u64,
+    /// Cycles fetch was blocked by a full IQ.
+    pub iq_full_cycles: u64,
+    /// Cycles fetch was blocked by a full LDQ.
+    pub ldq_full_cycles: u64,
+    /// Cycles fetch was blocked by a full STQ.
+    pub stq_full_cycles: u64,
+    /// Sum of ROB occupancy over cycles (mean occupancy = this / cycles).
+    pub occupancy_sum: u64,
+}
+
+impl BigCoreStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Total MEEK-induced commit-stall cycles.
+    pub fn meek_stalls(&self) -> u64 {
+        self.stall_collect + self.stall_forward + self.stall_little
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Uop {
+    seq: u64,
+    ret: Retired,
+    /// Producer seqs this uop waits on.
+    deps: Vec<u64>,
+    /// Earliest issue cycle (front-end depth).
+    min_issue: u64,
+    issued: bool,
+    complete_at: u64,
+    is_load: bool,
+    is_store: bool,
+}
+
+/// The out-of-order superscalar core.
+///
+/// Drive it with [`BigCore::tick`], passing a functional oracle that
+/// yields the program's dynamic instruction stream in commit order.
+#[derive(Debug, Clone)]
+pub struct BigCore {
+    cfg: BigCoreConfig,
+    tage: Tage,
+    btb: Btb,
+    ras: Ras,
+    hier: MemHierarchy,
+    window: VecDeque<Uop>,
+    pending: Option<Retired>,
+    next_seq: u64,
+    iq_count: u32,
+    ldq_count: u32,
+    stq_count: u32,
+    int_prf_free: u32,
+    fp_prf_free: u32,
+    int_producer: [Option<u64>; 32],
+    fp_producer: [Option<u64>; 32],
+    /// Fetch blocked until the mispredicted branch with this seq resolves.
+    fetch_stalled_on: Option<u64>,
+    fetch_resume_at: u64,
+    cur_fetch_line: Option<u64>,
+    div_busy_until: u64,
+    oracle_done: bool,
+    stats: BigCoreStats,
+}
+
+impl BigCore {
+    /// Creates a core in reset.
+    pub fn new(cfg: BigCoreConfig) -> BigCore {
+        BigCore {
+            cfg,
+            tage: Tage::new(cfg.tage),
+            btb: Btb::new(cfg.tage.btb_entries),
+            ras: Ras::new(cfg.tage.ras_entries),
+            hier: MemHierarchy::new(cfg.hierarchy),
+            window: VecDeque::new(),
+            pending: None,
+            next_seq: 0,
+            iq_count: 0,
+            ldq_count: 0,
+            stq_count: 0,
+            int_prf_free: cfg.int_prf.saturating_sub(32),
+            fp_prf_free: cfg.fp_prf.saturating_sub(32),
+            int_producer: [None; 32],
+            fp_producer: [None; 32],
+            fetch_stalled_on: None,
+            fetch_resume_at: 0,
+            cur_fetch_line: None,
+            div_busy_until: 0,
+            oracle_done: false,
+            stats: BigCoreStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BigCoreConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> BigCoreStats {
+        self.stats
+    }
+
+    /// Whether all fetched instructions have committed and the oracle is
+    /// exhausted.
+    pub fn is_drained(&self) -> bool {
+        self.oracle_done && self.window.is_empty() && self.pending.is_none()
+    }
+
+    /// In-flight instructions (ROB occupancy).
+    pub fn rob_occupancy(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Memory-hierarchy statistics (read-only view).
+    pub fn hierarchy_stats(&self) -> (meek_mem::CacheStats, meek_mem::CacheStats, meek_mem::CacheStats, meek_mem::CacheStats) {
+        self.hier.stats()
+    }
+
+    /// Pre-warms the instruction cache over `[base, base + len)` —
+    /// used by harnesses that measure steady-state behaviour (real
+    /// workloads loop, so their code is resident after the first
+    /// iteration).
+    pub fn prewarm_icache(&mut self, base: u64, len: u64) {
+        let mut addr = base & !63;
+        while addr < base + len {
+            let _ = self.hier.inst_fetch(addr, 0);
+            let _ = self.hier.inst_fetch(addr, 0);
+            addr += 64;
+        }
+    }
+
+    /// Pre-warms the data cache over `[base, base + len)`.
+    pub fn prewarm_dcache(&mut self, base: u64, len: u64) {
+        let mut addr = base & !63;
+        while addr < base + len {
+            let _ = self.hier.data_access(addr, AccessKind::Read, 0);
+            let _ = self.hier.data_access(addr, AccessKind::Read, 0);
+            addr += 64;
+        }
+    }
+
+    fn uop_by_seq(&self, seq: u64) -> Option<&Uop> {
+        let base = self.window.front()?.seq;
+        if seq < base {
+            return None; // already committed => complete
+        }
+        self.window.get((seq - base) as usize)
+    }
+
+    fn deps_ready(&self, uop: &Uop, now: u64) -> bool {
+        uop.deps.iter().all(|&d| match self.uop_by_seq(d) {
+            None => true,
+            Some(p) => p.issued && p.complete_at <= now,
+        })
+    }
+
+    /// One big-core cycle: commit, issue, fetch.
+    ///
+    /// `oracle` yields the next dynamic instruction (commit order);
+    /// `hook` is the DEU observation channel. Returns the number of
+    /// instructions committed this cycle.
+    pub fn tick<H: CommitHook>(
+        &mut self,
+        now: u64,
+        oracle: &mut dyn FnMut() -> Option<Retired>,
+        hook: &mut H,
+    ) -> u32 {
+        self.stats.cycles += 1;
+        self.stats.occupancy_sum += self.window.len() as u64;
+        let committed = self.commit(now, hook);
+        self.issue(now);
+        self.fetch(now, oracle);
+        committed
+    }
+
+    fn commit<H: CommitHook>(&mut self, now: u64, hook: &mut H) -> u32 {
+        let mut committed = 0;
+        for lane in 0..self.cfg.width as usize {
+            let Some(head) = self.window.front() else { break };
+            if !head.issued || head.complete_at > now {
+                break;
+            }
+            match hook.on_commit(lane, &head.ret, now) {
+                CommitDecision::Proceed => {
+                    let uop = self.window.pop_front().expect("head exists");
+                    if uop.is_load {
+                        self.ldq_count -= 1;
+                    }
+                    if uop.is_store {
+                        self.stq_count -= 1;
+                    }
+                    if let Some(rd) = uop.ret.inst.int_dest() {
+                        if rd != Reg::X0 {
+                            self.int_prf_free += 1;
+                        }
+                    }
+                    if uop.ret.inst.fp_dest().is_some() {
+                        self.fp_prf_free += 1;
+                    }
+                    self.stats.committed += 1;
+                    committed += 1;
+                }
+                CommitDecision::Stall(reason) => {
+                    match reason {
+                        CommitStall::DataCollect => self.stats.stall_collect += 1,
+                        CommitStall::DataForward => self.stats.stall_forward += 1,
+                        CommitStall::LittleCore => self.stats.stall_little += 1,
+                    }
+                    break;
+                }
+            }
+        }
+        committed
+    }
+
+    fn latency(&self, class: ExecClass) -> u64 {
+        match class {
+            ExecClass::IntAlu | ExecClass::Branch | ExecClass::Jump => 1,
+            ExecClass::IntMul => self.cfg.mul_latency,
+            ExecClass::IntDiv => self.cfg.div_latency,
+            ExecClass::FpAdd => self.cfg.fp_add_latency,
+            ExecClass::FpMul => self.cfg.fp_mul_latency,
+            ExecClass::FpDiv => self.cfg.fp_div_latency,
+            ExecClass::Store => 1,
+            ExecClass::Csr | ExecClass::System | ExecClass::Meek => 1,
+            ExecClass::Load => unreachable!("loads query the hierarchy"),
+        }
+    }
+
+    fn issue(&mut self, now: u64) {
+        let mut alu = self.cfg.int_alu;
+        let mut mem = self.cfg.mem_ports;
+        let mut jump = self.cfg.jump_units;
+        let mut csr = self.cfg.csr_units;
+        // The FP/Mul pipe issues one op per cycle; the iterative divider
+        // (SonicBOOM's separate FDiv/SqrtUnit) blocks until complete.
+        let mut fpm = self.cfg.fp_muldiv;
+        let mut div = u32::from(now >= self.div_busy_until);
+
+        // Collect issue decisions first (oldest-first), then apply, to
+        // keep the borrow checker and ordering honest.
+        let mut issued: Vec<(usize, u64)> = Vec::new();
+        let mut store_addrs: Vec<(u64, u64)> = self
+            .window
+            .iter()
+            .filter(|u| u.is_store && u.issued)
+            .filter_map(|u| u.ret.mem.map(|m| (u.seq, m.addr & !7)))
+            .collect();
+
+        for i in 0..self.window.len() {
+            if alu == 0 && mem == 0 && jump == 0 && csr == 0 && fpm == 0 && div == 0 {
+                break;
+            }
+            let uop = &self.window[i];
+            if uop.issued || uop.min_issue > now {
+                continue;
+            }
+            if !self.deps_ready(uop, now) {
+                continue;
+            }
+            let class = uop.ret.class;
+            let unit = match class {
+                ExecClass::IntAlu | ExecClass::Branch => &mut alu,
+                ExecClass::Load | ExecClass::Store => &mut mem,
+                ExecClass::Jump => &mut jump,
+                ExecClass::Csr | ExecClass::System | ExecClass::Meek => &mut csr,
+                ExecClass::IntDiv | ExecClass::FpDiv => &mut div,
+                _ => &mut fpm,
+            };
+            if *unit == 0 {
+                continue;
+            }
+            *unit -= 1;
+            let complete_at = if class == ExecClass::Load {
+                let addr = uop.ret.mem.expect("load has mem").addr;
+                let seq = uop.seq;
+                // Store-to-load forwarding from older in-flight stores.
+                let forwarded = store_addrs.iter().any(|&(s, a)| s < seq && a == addr & !7);
+                if forwarded {
+                    now + 2
+                } else {
+                    self.hier.data_access(addr, AccessKind::Read, now).ready_at
+                }
+            } else {
+                now + self.latency(class)
+            };
+            let uop = &mut self.window[i];
+            uop.issued = true;
+            uop.complete_at = complete_at;
+            if uop.is_store {
+                if let Some(m) = uop.ret.mem {
+                    store_addrs.push((uop.seq, m.addr & !7));
+                }
+            }
+            if class == ExecClass::IntDiv || class == ExecClass::FpDiv {
+                // The iterative divider is unpipelined.
+                self.div_busy_until = complete_at;
+            }
+            issued.push((i, complete_at));
+            self.iq_count -= 1;
+            // Resolve a fetch block when the offending branch issues.
+            if self.fetch_stalled_on == Some(self.window[i].seq) {
+                self.fetch_stalled_on = None;
+                self.fetch_resume_at = complete_at + self.cfg.redirect_penalty;
+            }
+        }
+    }
+
+    fn fetch(&mut self, now: u64, oracle: &mut dyn FnMut() -> Option<Retired>) {
+        if self.fetch_stalled_on.is_some() || now < self.fetch_resume_at {
+            return;
+        }
+        for _slot in 0..self.cfg.width {
+            if self.window.len() as u32 >= self.cfg.rob {
+                self.stats.rob_full_cycles += 1;
+                break;
+            }
+            if self.iq_count >= self.cfg.iq {
+                self.stats.iq_full_cycles += 1;
+                break;
+            }
+            let Some(ret) = self.pending.take().or_else(|| {
+                let r = oracle();
+                if r.is_none() {
+                    self.oracle_done = true;
+                }
+                r
+            }) else {
+                break;
+            };
+            // Structure-specific admission.
+            let is_load = ret.class == ExecClass::Load;
+            let is_store = ret.class == ExecClass::Store;
+            if is_load && self.ldq_count >= self.cfg.ldq {
+                self.stats.ldq_full_cycles += 1;
+                self.pending = Some(ret);
+                break;
+            }
+            if is_store && self.stq_count >= self.cfg.stq {
+                self.stats.stq_full_cycles += 1;
+                self.pending = Some(ret);
+                break;
+            }
+            let needs_int_prf = ret.inst.int_dest().map_or(false, |r| r != Reg::X0);
+            if needs_int_prf && self.int_prf_free == 0 {
+                self.pending = Some(ret);
+                break;
+            }
+            let needs_fp_prf = ret.inst.fp_dest().is_some();
+            if needs_fp_prf && self.fp_prf_free == 0 {
+                self.pending = Some(ret);
+                break;
+            }
+            // I-cache timing per line.
+            let line = ret.pc >> 6;
+            if self.cur_fetch_line != Some(line) {
+                let outcome = self.hier.inst_fetch(ret.pc, now);
+                self.cur_fetch_line = Some(line);
+                if outcome.ready_at > now + 1 {
+                    self.fetch_resume_at = outcome.ready_at;
+                    self.pending = Some(ret);
+                    break;
+                }
+            }
+            // Commit resources are available: dispatch.
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut deps = Vec::new();
+            for src in ret.inst.int_srcs().into_iter().flatten() {
+                if src != Reg::X0 {
+                    if let Some(p) = self.int_producer[src.index() as usize] {
+                        deps.push(p);
+                    }
+                }
+            }
+            for src in ret.inst.fp_srcs().into_iter().flatten() {
+                if let Some(p) = self.fp_producer[src.index() as usize] {
+                    deps.push(p);
+                }
+            }
+            if let Some(rd) = ret.inst.int_dest() {
+                if rd != Reg::X0 {
+                    self.int_producer[rd.index() as usize] = Some(seq);
+                    self.int_prf_free -= 1;
+                }
+            }
+            if let Some(rd) = ret.inst.fp_dest() {
+                self.fp_producer[rd.index() as usize] = Some(seq);
+                self.fp_prf_free -= 1;
+            }
+            if is_load {
+                self.ldq_count += 1;
+            }
+            if is_store {
+                self.stq_count += 1;
+            }
+            self.iq_count += 1;
+            self.stats.fetched += 1;
+
+            // Branch prediction.
+            let mut end_group = false;
+            let mut mispredict = false;
+            if let Some(b) = ret.branch {
+                match ret.inst {
+                    Inst::Branch { .. } => {
+                        let predicted = self.tage.predict(ret.pc);
+                        self.tage.update(ret.pc, b.taken, predicted);
+                        if predicted != b.taken {
+                            mispredict = true;
+                            self.stats.direction_mispredicts += 1;
+                        } else if b.taken {
+                            if self.btb.lookup(ret.pc) != Some(b.target) {
+                                // Direct branch: the target comes out of
+                                // decode — a front-end re-steer bubble,
+                                // not an execute-stage flush.
+                                self.fetch_resume_at =
+                                    (now + 1 + self.cfg.btb_resteer_penalty).max(self.fetch_resume_at);
+                                self.stats.target_mispredicts += 1;
+                            }
+                            end_group = true;
+                        }
+                        if b.taken {
+                            self.btb.update(ret.pc, b.target);
+                        }
+                    }
+                    Inst::Jal { rd, .. } => {
+                        // Direct jump: target decoded in the front end.
+                        if rd == Reg::X1 {
+                            self.ras.push(ret.pc + 4);
+                        }
+                        end_group = true;
+                    }
+                    Inst::Jalr { rd, rs1, .. } => {
+                        let is_return = rs1 == Reg::X1 && rd == Reg::X0;
+                        let predicted_target =
+                            if is_return { self.ras.pop() } else { self.btb.lookup(ret.pc) };
+                        if predicted_target != Some(b.target) {
+                            mispredict = true;
+                            self.stats.target_mispredicts += 1;
+                        }
+                        if rd == Reg::X1 {
+                            self.ras.push(ret.pc + 4);
+                        }
+                        self.btb.update(ret.pc, b.target);
+                        end_group = true;
+                    }
+                    _ => {
+                        end_group = true;
+                    }
+                }
+                // Fetch continues at the (possibly taken) target next cycle.
+                self.cur_fetch_line = Some(ret.next_pc >> 6);
+            }
+
+            self.window.push_back(Uop {
+                seq,
+                ret,
+                deps,
+                min_issue: now + self.cfg.frontend_depth,
+                issued: false,
+                complete_at: u64::MAX,
+                is_load,
+                is_store,
+            });
+
+            if mispredict {
+                self.fetch_stalled_on = Some(seq);
+                break;
+            }
+            if end_group {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_isa::exec;
+    use meek_isa::inst::{AluImmOp, BranchOp, LoadOp, MulDivOp, StoreOp};
+    use meek_isa::{encode, ArchState, Bus, SparseMemory};
+
+    /// Runs `insts` (looped `iters` times via a backward branch harness)
+    /// on the vanilla core; returns (cycles, committed).
+    fn run_program(insts: &[Inst], max_cycles: u64) -> (u64, u64) {
+        let words: Vec<u32> = insts.iter().map(encode).collect();
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x1000, &words);
+        for i in 0..4096u64 {
+            mem.write(0x10_0000 + i * 8, 8, i);
+        }
+        let mut st = ArchState::new(0x1000);
+        st.set_x(Reg::X5, 0x10_0000);
+        let end = 0x1000 + 4 * words.len() as u64;
+        let mut core = BigCore::new(BigCoreConfig::sonic_boom());
+        core.prewarm_icache(0x1000, 4 * words.len() as u64);
+        let mut hook = NullHook;
+        let mut done = false;
+        let mut oracle = move || {
+            if done || st.pc >= end {
+                return None;
+            }
+            match exec::step(&mut st, &mut mem) {
+                Ok(r) => Some(r),
+                Err(_) => {
+                    done = true;
+                    None
+                }
+            }
+        };
+        for now in 0..max_cycles {
+            core.tick(now, &mut oracle, &mut hook);
+            if core.is_drained() {
+                return (now + 1, core.stats().committed);
+            }
+        }
+        panic!("core did not drain in {max_cycles} cycles (committed {})", core.stats().committed);
+    }
+
+    fn straightline_alu(n: usize) -> Vec<Inst> {
+        // Independent chains across 8 registers: high ILP.
+        (0..n)
+            .map(|i| Inst::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::from_index((1 + (i % 8)) as u8),
+                rs1: Reg::from_index((1 + (i % 8)) as u8),
+                imm: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn superscalar_alu_ipc_near_two() {
+        // 2 int ALUs bound ALU-only IPC at 2.
+        let (cycles, committed) = run_program(&straightline_alu(2000), 100_000);
+        let ipc = committed as f64 / cycles as f64;
+        assert!(ipc > 1.5, "ALU IPC {ipc:.2} too low");
+        assert!(ipc <= 2.05, "ALU IPC {ipc:.2} exceeds ALU bandwidth");
+    }
+
+    #[test]
+    fn dependent_chain_is_serial() {
+        // A single dependence chain: IPC near 1.
+        let insts: Vec<Inst> = (0..2000)
+            .map(|_| Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X6, rs1: Reg::X6, imm: 1 })
+            .collect();
+        let (cycles, committed) = run_program(&insts, 100_000);
+        let ipc = committed as f64 / cycles as f64;
+        assert!(ipc < 1.1, "dependent chain IPC {ipc:.2} should be ~1");
+    }
+
+    #[test]
+    fn div_chain_much_slower_than_alu() {
+        let divs: Vec<Inst> = std::iter::once(Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::X7,
+            rs1: Reg::X0,
+            imm: 1000,
+        })
+        .chain((0..200).map(|_| Inst::MulDiv {
+            op: MulDivOp::Div,
+            rd: Reg::X8,
+            rs1: Reg::X7,
+            rs2: Reg::X7,
+        }))
+        .collect();
+        let (div_cycles, _) = run_program(&divs, 100_000);
+        let (alu_cycles, _) = run_program(&straightline_alu(201), 100_000);
+        assert!(
+            div_cycles > alu_cycles + 200 * 10,
+            "divides ({div_cycles}) must be far slower than ALU ({alu_cycles})"
+        );
+    }
+
+    #[test]
+    fn cold_loads_stall_warm_loads_fly() {
+        // Scattered loads at 2 KB stride: cold misses the stream
+        // prefetcher cannot cover (no adjacent-line residency).
+        let mut insts = Vec::new();
+        for i in 0..256 {
+            insts.push(Inst::Load { op: LoadOp::Ld, rd: Reg::X6, rs1: Reg::X5, offset: ((i * 251) % 256) as i32 * 8 });
+            insts.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X5, rs1: Reg::X5, imm: 2040 });
+        }
+        let (cold, _) = run_program(&insts, 1_000_000);
+        // Same loads but hitting one line repeatedly.
+        let mut warm = Vec::new();
+        for _ in 0..256 {
+            warm.push(Inst::Load { op: LoadOp::Ld, rd: Reg::X6, rs1: Reg::X5, offset: 0 });
+        }
+        let (hot, _) = run_program(&warm, 1_000_000);
+        assert!(cold > hot, "cold loads ({cold}) must cost more than L1 hits ({hot})");
+    }
+
+    #[test]
+    fn predictable_loop_outruns_random_branches() {
+        // A loop executed 500 times, whose inner branch is either always
+        // not-taken (learnable) or driven by an LCG bit (unpredictable).
+        let make = |random: bool| -> Vec<Inst> {
+            let mut v = vec![
+                // x20 = 500 iterations; x21 = LCG state.
+                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X20, rs1: Reg::X0, imm: 500 },
+                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X21, rs1: Reg::X0, imm: 1234 },
+                // x22 = 1103515245 (glibc LCG multiplier, odd).
+                Inst::Lui { rd: Reg::X22, imm: 0x41C65 },
+                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X22, rs1: Reg::X22, imm: -403 },
+            ];
+            let loop_start = v.len();
+            if random {
+                // x21 = x21 * x22 + 1309; x9 = (x21 >> 17) & 1.
+                v.push(Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::X21, rs1: Reg::X21, rs2: Reg::X22 });
+                v.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X21, rs1: Reg::X21, imm: 1309 });
+                v.push(Inst::AluImm { op: AluImmOp::Srli, rd: Reg::X9, rs1: Reg::X21, imm: 17 });
+                v.push(Inst::AluImm { op: AluImmOp::Andi, rd: Reg::X9, rs1: Reg::X9, imm: 1 });
+            } else {
+                v.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X9, rs1: Reg::X0, imm: 1 });
+                v.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X9, rs1: Reg::X9, imm: 0 });
+                v.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X9, rs1: Reg::X9, imm: 0 });
+                v.push(Inst::AluImm { op: AluImmOp::Andi, rd: Reg::X9, rs1: Reg::X9, imm: 1 });
+            }
+            // if x9 == 0 skip one filler instruction
+            v.push(Inst::Branch { op: BranchOp::Beq, rs1: Reg::X9, rs2: Reg::X0, offset: 8 });
+            v.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X10, rs1: Reg::X10, imm: 1 });
+            // x20 -= 1; bne x20, x0, loop_start
+            v.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X20, rs1: Reg::X20, imm: -1 });
+            let back = (loop_start as i32 - v.len() as i32) * 4;
+            v.push(Inst::Branch { op: BranchOp::Bne, rs1: Reg::X20, rs2: Reg::X0, offset: back });
+            v
+        };
+        let (biased_cycles, biased_n) = run_program(&make(false), 1_000_000);
+        let (random_cycles, random_n) = run_program(&make(true), 1_000_000);
+        // Similar dynamic lengths; the random one must be clearly slower.
+        assert!(biased_n.abs_diff(random_n) < 600);
+        assert!(
+            random_cycles as f64 > biased_cycles as f64 * 1.2,
+            "random branches ({random_cycles}) must cost more than biased ({biased_cycles})"
+        );
+    }
+
+    #[test]
+    fn store_load_forwarding() {
+        // store to x5+0 then load it back repeatedly: forwarding keeps it fast.
+        let mut insts = Vec::new();
+        for _ in 0..200 {
+            insts.push(Inst::Store { op: StoreOp::Sd, rs1: Reg::X5, rs2: Reg::X7, offset: 0 });
+            insts.push(Inst::Load { op: LoadOp::Ld, rd: Reg::X8, rs1: Reg::X5, offset: 0 });
+        }
+        let (cycles, committed) = run_program(&insts, 100_000);
+        assert_eq!(committed, 400);
+        let ipc = committed as f64 / cycles as f64;
+        assert!(ipc > 0.8, "forwarded store/load pairs should sustain ~1 IPC, got {ipc:.2}");
+    }
+
+    #[test]
+    fn commit_hook_stall_throttles_core() {
+        struct StallEveryOther {
+            n: u64,
+        }
+        impl CommitHook for StallEveryOther {
+            fn on_commit(&mut self, _lane: usize, _ret: &Retired, _now: u64) -> CommitDecision {
+                self.n += 1;
+                if self.n % 2 == 0 {
+                    CommitDecision::Stall(CommitStall::DataCollect)
+                } else {
+                    CommitDecision::Proceed
+                }
+            }
+        }
+        let insts = straightline_alu(1000);
+        let words: Vec<u32> = insts.iter().map(encode).collect();
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x1000, &words);
+        let mut st = ArchState::new(0x1000);
+        let end = 0x1000 + 4 * words.len() as u64;
+        let mut core = BigCore::new(BigCoreConfig::sonic_boom());
+        let mut hook = StallEveryOther { n: 0 };
+        let oracle = move |st: &mut ArchState, mem: &mut SparseMemory| {
+            if st.pc >= end {
+                None
+            } else {
+                exec::step(st, mem).ok()
+            }
+        };
+        let mut now = 0;
+        while !core.is_drained() && now < 100_000 {
+            let mut o = || oracle(&mut st, &mut mem);
+            core.tick(now, &mut o, &mut hook);
+            now += 1;
+        }
+        assert!(core.is_drained());
+        let s = core.stats();
+        assert!(s.stall_collect > 0, "hook stalls must be accounted");
+        let ipc = s.ipc();
+        assert!(ipc < 1.5, "a stalling hook must throttle commit (ipc {ipc:.2})");
+    }
+
+    #[test]
+    fn narrow_core_is_slower() {
+        let insts = straightline_alu(2000);
+        let run_with = |cfg: BigCoreConfig| -> u64 {
+            let words: Vec<u32> = insts.iter().map(encode).collect();
+            let mut mem = SparseMemory::new();
+            mem.load_program(0x1000, &words);
+            let mut st = ArchState::new(0x1000);
+            let end = 0x1000 + 4 * words.len() as u64;
+            let mut core = BigCore::new(cfg);
+            let mut hook = NullHook;
+            let mut now = 0;
+            while !core.is_drained() && now < 1_000_000 {
+                let mut o = || if st.pc >= end { None } else { exec::step(&mut st, &mut mem).ok() };
+                core.tick(now, &mut o, &mut hook);
+                now += 1;
+            }
+            now
+        };
+        let full = run_with(BigCoreConfig::sonic_boom());
+        let half = run_with(BigCoreConfig::scaled(0.5));
+        assert!(half > full, "half-scaled core ({half}) must be slower than full ({full})");
+    }
+
+    #[test]
+    fn drained_reports_correctly() {
+        let (cycles, committed) = run_program(&straightline_alu(10), 10_000);
+        assert_eq!(committed, 10);
+        assert!(cycles > 6, "front-end depth implies a minimum latency");
+    }
+}

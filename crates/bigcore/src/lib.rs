@@ -1,0 +1,33 @@
+//! The MEEK big core: a SonicBOOM-class out-of-order superscalar timing
+//! model with the paper's non-intrusive commit-stage observation channel.
+//!
+//! # Modelling approach
+//!
+//! The model is *timing-directed and commit-order-functional*: a
+//! functional oracle (built from [`meek_isa::exec`]) supplies the dynamic
+//! instruction stream in program order, and this crate decides *when*
+//! each instruction flows through fetch, rename/dispatch, issue,
+//! execution, and 4-wide commit, under the structural constraints of
+//! Table II (128-entry ROB, 96-entry IQ, 32-entry LDQ/STQ, 128 physical
+//! registers, per-class functional units, TAGE + BTB + RAS front end,
+//! and the cache hierarchy of `meek-mem`). Wrong-path instructions are
+//! not simulated; a mispredicted branch instead blocks fetch until it
+//! resolves plus a redirect penalty — the standard trace-driven
+//! approximation (Sniper-class fidelity).
+//!
+//! # The observation channel
+//!
+//! MEEK's only change to the core is the Data Extraction Unit reading
+//! retiring instructions at commit (paper Fig. 3). The model exposes the
+//! same non-intrusive boundary as a [`CommitHook`]: the system layer
+//! implements the DEU there, and a hook may veto a commit slot
+//! ([`CommitDecision::Stall`]) exactly like DC-Buffer backpressure
+//! preempting the commit stage. A [`NullHook`] yields the vanilla core.
+
+pub mod config;
+pub mod core;
+pub mod tage;
+
+pub use crate::core::{BigCore, BigCoreStats, CommitDecision, CommitHook, CommitStall, NullHook};
+pub use config::BigCoreConfig;
+pub use tage::{Btb, Ras, Tage, TageConfig};

@@ -1,0 +1,287 @@
+//! The branch-prediction front end: a TAGE direction predictor with six
+//! tagged tables (geometric history lengths 2–64, per Table II), a
+//! 256-entry BTB, and a 32-entry return-address stack.
+
+/// TAGE predictor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TageConfig {
+    /// log2 of entries per tagged table.
+    pub table_bits: u32,
+    /// History length of each tagged table (geometric, 2..=64).
+    pub histories: [u32; 6],
+    /// log2 of bimodal (base predictor) entries.
+    pub bimodal_bits: u32,
+    /// BTB entries.
+    pub btb_entries: u32,
+    /// Return-address-stack entries.
+    pub ras_entries: u32,
+}
+
+impl Default for TageConfig {
+    fn default() -> Self {
+        TageConfig {
+            table_bits: 9,
+            histories: [2, 4, 8, 16, 32, 64],
+            bimodal_bits: 12,
+            btb_entries: 256,
+            ras_entries: 32,
+        }
+    }
+}
+
+impl TageConfig {
+    /// Scales table sizes for the EA-LockStep comparator.
+    pub fn scaled(factor: f64) -> TageConfig {
+        let base = TageConfig::default();
+        let shrink = |bits: u32| -> u32 {
+            let scaled = (1u64 << bits) as f64 * factor;
+            (scaled.max(16.0).log2().round() as u32).max(4)
+        };
+        TageConfig {
+            table_bits: shrink(base.table_bits),
+            bimodal_bits: shrink(base.bimodal_bits),
+            btb_entries: ((base.btb_entries as f64 * factor).round() as u32).max(16),
+            ras_entries: ((base.ras_entries as f64 * factor).round() as u32).max(4),
+            ..base
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    tag: u16,
+    ctr: i8, // -4..=3, taken when >= 0
+    useful: u8,
+}
+
+/// TAGE direction predictor.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    cfg: TageConfig,
+    bimodal: Vec<i8>,
+    tables: Vec<Vec<TageEntry>>,
+    /// Global history (newest outcome in bit 0).
+    ghist: u64,
+    /// Predictions made.
+    pub lookups: u64,
+    /// Mispredictions recorded via `update`.
+    pub mispredicts: u64,
+}
+
+impl Tage {
+    /// Creates a predictor with cleared tables.
+    pub fn new(cfg: TageConfig) -> Tage {
+        Tage {
+            cfg,
+            bimodal: vec![0; 1 << cfg.bimodal_bits],
+            tables: (0..6).map(|_| vec![TageEntry::default(); 1 << cfg.table_bits]).collect(),
+            ghist: 0,
+            lookups: 0,
+            mispredicts: 0,
+        }
+    }
+
+    fn fold(&self, pc: u64, hist_len: u32) -> (usize, u16) {
+        let mask = if hist_len >= 64 { u64::MAX } else { (1u64 << hist_len) - 1 };
+        let h = self.ghist & mask;
+        // Fold history into index/tag widths.
+        let folded = h ^ (h >> 17) ^ (h >> 31) ^ (pc >> 2) ^ (pc >> 13);
+        let idx = (folded as usize) & ((1 << self.cfg.table_bits) - 1);
+        let tag = (((h >> 3) ^ (pc >> 2) ^ (h << 2)) & 0x3FF) as u16;
+        (idx, tag)
+    }
+
+    fn provider(&self, pc: u64) -> Option<(usize, usize)> {
+        // Longest-history matching table wins.
+        for t in (0..6).rev() {
+            let (idx, tag) = self.fold(pc, self.cfg.histories[t]);
+            if self.tables[t][idx].tag == tag && self.tables[t][idx].useful > 0 {
+                return Some((t, idx));
+            }
+        }
+        None
+    }
+
+    /// Predicts the direction of the conditional branch at `pc`.
+    pub fn predict(&mut self, pc: u64) -> bool {
+        self.lookups += 1;
+        match self.provider(pc) {
+            Some((t, idx)) => self.tables[t][idx].ctr >= 0,
+            None => {
+                let idx = (pc >> 2) as usize & ((1 << self.cfg.bimodal_bits) - 1);
+                self.bimodal[idx] >= 0
+            }
+        }
+    }
+
+    /// Trains the predictor with the actual outcome and rolls history.
+    pub fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        if taken != predicted {
+            self.mispredicts += 1;
+        }
+        match self.provider(pc) {
+            Some((t, idx)) => {
+                let e = &mut self.tables[t][idx];
+                e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
+                if taken == predicted {
+                    e.useful = (e.useful + 1).min(3);
+                } else if e.useful > 0 {
+                    e.useful -= 1;
+                }
+            }
+            None => {
+                let idx = (pc >> 2) as usize & ((1 << self.cfg.bimodal_bits) - 1);
+                let c = &mut self.bimodal[idx];
+                *c = (*c + if taken { 1 } else { -1 }).clamp(-2, 1);
+            }
+        }
+        // Allocate a new entry in a longer table on mispredict.
+        if taken != predicted {
+            for t in 0..6 {
+                let (idx, tag) = self.fold(pc, self.cfg.histories[t]);
+                let e = &mut self.tables[t][idx];
+                if e.useful == 0 {
+                    *e = TageEntry { tag, ctr: if taken { 0 } else { -1 }, useful: 1 };
+                    break;
+                }
+            }
+        }
+        self.ghist = (self.ghist << 1) | taken as u64;
+    }
+
+    /// Observed misprediction rate so far.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// A direct-mapped branch target buffer.
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (pc, target)
+}
+
+impl Btb {
+    /// Creates an empty BTB with `entries` slots.
+    pub fn new(entries: u32) -> Btb {
+        Btb { entries: vec![None; entries as usize] }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        (pc >> 2) as usize % self.entries.len()
+    }
+
+    /// Looks up the predicted target for `pc`.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.idx(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs/updates the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.idx(pc);
+        self.entries[i] = Some((pc, target));
+    }
+}
+
+/// A return-address stack.
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u64>,
+    cap: usize,
+}
+
+impl Ras {
+    /// Creates an empty RAS with capacity `entries`.
+    pub fn new(entries: u32) -> Ras {
+        Ras { stack: Vec::new(), cap: entries as usize }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        if self.stack.len() == self.cap {
+            self.stack.remove(0);
+        }
+        self.stack.push(addr);
+    }
+
+    /// Pops the predicted return address (on a return).
+    pub fn pop(&mut self) -> Option<u64> {
+        self.stack.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_biased_branch() {
+        let mut t = Tage::new(TageConfig::default());
+        let pc = 0x1000;
+        for _ in 0..64 {
+            let p = t.predict(pc);
+            t.update(pc, true, p);
+        }
+        assert!(t.predict(pc), "always-taken branch must be learned");
+        assert!(t.mispredict_rate() < 0.2);
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut t = Tage::new(TageConfig::default());
+        let pc = 0x2000;
+        let mut wrong_late = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let p = t.predict(pc);
+            if i >= 200 && p != taken {
+                wrong_late += 1;
+            }
+            t.update(pc, taken, p);
+        }
+        assert!(
+            wrong_late < 40,
+            "TAGE should learn a period-2 pattern via history (late errors: {wrong_late}/200)"
+        );
+    }
+
+    #[test]
+    fn random_pattern_mispredicts_often() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut t = Tage::new(TageConfig::default());
+        let pc = 0x3000;
+        for _ in 0..2000 {
+            let taken = rng.gen_bool(0.5);
+            let p = t.predict(pc);
+            t.update(pc, taken, p);
+        }
+        assert!(t.mispredict_rate() > 0.3, "random branches cannot be predicted");
+    }
+
+    #[test]
+    fn btb_and_ras() {
+        let mut btb = Btb::new(16);
+        assert_eq!(btb.lookup(0x40), None);
+        btb.update(0x40, 0x1000);
+        assert_eq!(btb.lookup(0x40), Some(0x1000));
+        // Conflicting pc evicts.
+        btb.update(0x40 + 16 * 4, 0x2000);
+        assert_eq!(btb.lookup(0x40), None);
+
+        let mut ras = Ras::new(2);
+        ras.push(0x10);
+        ras.push(0x20);
+        ras.push(0x30); // overflows, drops 0x10
+        assert_eq!(ras.pop(), Some(0x30));
+        assert_eq!(ras.pop(), Some(0x20));
+        assert_eq!(ras.pop(), None);
+    }
+}

@@ -1,0 +1,569 @@
+//! The Data Extraction Unit (paper §III-A, Fig. 3).
+//!
+//! The DEU sits on the commit stage as a read-only observation channel:
+//! its Commit Detector watches opcode/funct fields of retiring
+//! instructions, extracts *run-time data* (load/store addresses and
+//! data, CSR read results) between checkpoints and *status data* (the
+//! architectural register files) at checkpoints, and hands packets to
+//! the forwarding fabric through the per-commit-path DC-Buffers.
+//!
+//! Because the timing model is commit-order-functional, the DEU keeps a
+//! commit-order **shadow register state** — the model equivalent of
+//! reading the PRFs through the preempting controller of Fig. 3 — and
+//! snapshots it into a [`RegCheckpoint`] at every RCP.
+//!
+//! RCPs are taken when (paper §II): the targeted LSL is full (segment
+//! record budget), the instruction timeout (5 000) is reached, or the
+//! kernel is trapped. Checkpoint transfers are chunked to the fabric's
+//! datapath width and streamed in the background through the status
+//! FIFOs, multicast to the checkers of both adjacent segments when both
+//! can receive (selective broadcast); when no little core is free for
+//! the next segment, the SRCP transfer is *owed* and sent as soon as the
+//! OS hands the DEU a checker — and in the meantime the big core's
+//! commit of further logged instructions stalls, which is exactly the
+//! computation-bound backpressure of §V-D.
+
+use crate::fault::FaultInjector;
+use crate::segments::SegmentManager;
+use meek_bigcore::{CommitDecision, CommitHook, CommitStall};
+use meek_fabric::{DestMask, Fabric, Packet, PacketKind, PacketSink, Payload};
+use meek_isa::state::RegCheckpoint;
+use meek_isa::{Retired, WbDest};
+use meek_littlecore::LittleCore;
+use meek_mem::byte_parity;
+use std::collections::VecDeque;
+
+/// Nanoseconds per big-core cycle at 3.2 GHz (Table II).
+pub const BIG_CORE_NS_PER_CYCLE: f64 = 0.3125;
+
+/// An in-flight checkpoint transfer (chunked over status packets).
+#[derive(Debug, Clone)]
+struct Transfer {
+    seg: u32,
+    inst_count: u64,
+    cp: RegCheckpoint,
+    dest: DestMask,
+    next_chunk: u8,
+    total: u8,
+}
+
+/// An SRCP transfer that could not be multicast because the next
+/// segment had no checker yet.
+#[derive(Debug, Clone)]
+struct OwedSrcp {
+    /// The segment whose checker, once assigned, must receive this.
+    seg_to_open: u32,
+    cp: RegCheckpoint,
+    inst_count: u64,
+}
+
+/// DEU state: shadow registers, segmentation counters, and the transfer
+/// queue.
+#[derive(Debug, Clone)]
+pub struct DeuState {
+    /// Checking capacity (toggled by `b.check`).
+    pub enabled: bool,
+    shadow: RegCheckpoint,
+    seq: u64,
+    /// Current (open) segment id; segment ids start at 1.
+    pub seg: u32,
+    insts_in_seg: u64,
+    records_in_seg: u64,
+    record_budget: u64,
+    timeout: u64,
+    kernel_trap_pending: bool,
+    transfers: VecDeque<Transfer>,
+    owed: Option<OwedSrcp>,
+    lane_rr: usize,
+    lanes: usize,
+    chunks_per_cp: u8,
+    /// Set once the final checkpoint has been queued at end of run.
+    pub finalized: bool,
+    /// RCPs taken.
+    pub rcps: u64,
+    /// Run-time packets pushed.
+    pub runtime_packets: u64,
+    /// LSQ parity double-checks performed (footnote 2).
+    pub parity_checks: u64,
+    /// Parity mismatches caught in the LSQ window (faults injected into
+    /// LSQ data rather than the fabric would land here).
+    pub parity_errors: u64,
+}
+
+impl DeuState {
+    /// Creates a DEU for a big core with `lanes` commit paths, a fabric
+    /// carrying `payload_words` 64-bit words per packet, and the given
+    /// segmentation parameters.
+    pub fn new(
+        lanes: usize,
+        payload_words: u32,
+        record_budget: u64,
+        timeout: u64,
+        initial: RegCheckpoint,
+    ) -> DeuState {
+        let total_words = RegCheckpoint::WORDS as u32;
+        let chunks = total_words.div_ceil(payload_words) as u8;
+        DeuState {
+            enabled: true,
+            shadow: initial,
+            seq: 0,
+            seg: 1,
+            insts_in_seg: 0,
+            records_in_seg: 0,
+            record_budget,
+            timeout,
+            kernel_trap_pending: false,
+            transfers: VecDeque::new(),
+            owed: None,
+            lane_rr: 0,
+            lanes,
+            chunks_per_cp: chunks,
+            finalized: false,
+            rcps: 0,
+            runtime_packets: 0,
+            parity_checks: 0,
+            parity_errors: 0,
+        }
+    }
+
+    /// Status chunks one checkpoint occupies in an LSL.
+    pub fn chunks_per_cp(&self) -> usize {
+        self.chunks_per_cp as usize
+    }
+
+    /// Instructions committed in the open segment.
+    pub fn insts_in_seg(&self) -> u64 {
+        self.insts_in_seg
+    }
+
+    /// A copy of the commit-order shadow registers (the PRF view the DEU
+    /// reads at an RCP).
+    pub fn shadow_checkpoint(&self) -> RegCheckpoint {
+        self.shadow
+    }
+
+    /// Whether a segment boundary is due before the next commit.
+    fn boundary_due(&self) -> bool {
+        self.records_in_seg >= self.record_budget
+            || self.insts_in_seg >= self.timeout
+            || self.kernel_trap_pending
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn next_lane(&mut self) -> usize {
+        self.lane_rr = (self.lane_rr + 1) % self.lanes;
+        self.lane_rr
+    }
+
+    /// Queues a checkpoint transfer.
+    pub(crate) fn queue_transfer(&mut self, seg: u32, inst_count: u64, cp: RegCheckpoint, dest: DestMask) {
+        self.transfers.push_back(Transfer {
+            seg,
+            inst_count,
+            cp,
+            dest,
+            next_chunk: 0,
+            total: self.chunks_per_cp,
+        });
+    }
+
+    /// Streams queued checkpoint chunks into the DC-Buffers. Called once
+    /// per big-core cycle; pushes as many chunks as the status FIFOs
+    /// accept this cycle.
+    pub fn pump_transfers(&mut self, fabric: &mut dyn Fabric, injector: &mut FaultInjector, now: u64) {
+        while let Some(t) = self.transfers.front_mut() {
+            let is_last = t.next_chunk + 1 == t.total;
+            let payload = if is_last {
+                Payload::RcpEnd { seg: t.seg, inst_count: t.inst_count, cp: Box::new(t.cp) }
+            } else {
+                Payload::RcpChunk { seg: t.seg, chunk: t.next_chunk, total: t.total }
+            };
+            let seg = t.seg;
+            let dest = t.dest;
+            let mut pkt = Packet { seq: 0, dest, payload, created_at: now };
+            let was_busy = injector.busy();
+            if is_last {
+                injector.maybe_corrupt(&mut pkt, now, seg);
+            }
+            pkt.seq = self.next_seq();
+            let lane = self.next_lane();
+            match fabric.try_push(lane, pkt) {
+                Ok(()) => {
+                    let t = self.transfers.front_mut().expect("front exists");
+                    t.next_chunk += 1;
+                    if t.next_chunk == t.total {
+                        self.transfers.pop_front();
+                    }
+                }
+                Err(_) => {
+                    // Chunk retained (next_chunk unchanged); undo a
+                    // corruption that fired on the dropped packet.
+                    if !was_busy && injector.busy() {
+                        injector.revert();
+                    }
+                    self.seq -= 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Whether all checkpoint data has left the DEU.
+    pub fn transfers_drained(&self) -> bool {
+        self.transfers.is_empty()
+    }
+}
+
+/// The DEU wired to the rest of the system for one big-core `tick` —
+/// implements the big core's [`CommitHook`] observation channel.
+pub struct DeuHook<'a> {
+    /// DEU state.
+    pub deu: &'a mut DeuState,
+    /// The forwarding fabric (F2 or AXI).
+    pub fabric: &'a mut dyn Fabric,
+    /// The little cores (for LSL admission queries and assignment).
+    pub littles: &'a mut [LittleCore],
+    /// Segment-to-checker scheduling.
+    pub seg_mgr: &'a mut SegmentManager,
+    /// Fault injector (corrupts forwarded packets).
+    pub injector: &'a mut FaultInjector,
+}
+
+impl DeuHook<'_> {
+    /// Ensures segment `seg` has a checker, delivering any owed SRCP to
+    /// the newly assigned core. Returns the checker id if available.
+    pub(crate) fn ensure_checker(&mut self, seg: u32) -> Option<usize> {
+        if let Some(c) = self.seg_mgr.checker_of(seg) {
+            return Some(c);
+        }
+        let c = self.seg_mgr.try_open(seg, self.littles)?;
+        if let Some(owed) = self.deu.owed.take() {
+            if owed.seg_to_open == seg {
+                // Deliver the SRCP the multicast could not reach earlier —
+                // unless the core carried it as its own previous ERCP.
+                let prev_checker_same = self
+                    .littles
+                    .get(c)
+                    .map_or(false, |lc| lc.id == c)
+                    && self.seg_mgr.checker_of(seg.wrapping_sub(1)) == Some(c);
+                if !prev_checker_same {
+                    self.deu.queue_transfer(
+                        owed.seg_to_open - 1,
+                        owed.inst_count,
+                        owed.cp,
+                        DestMask::single(c),
+                    );
+                }
+            } else {
+                self.deu.owed = Some(owed);
+            }
+        }
+        Some(c)
+    }
+
+    /// Handles a due segment boundary before committing an instruction.
+    /// Returns `None` when commit may proceed, or a stall verdict.
+    fn handle_boundary(&mut self, _now: u64) -> Option<CommitDecision> {
+        let cur = self.deu.seg;
+        // The current segment's checker receives the checkpoint as its
+        // ERCP — unless it already delivered a (failure) verdict while
+        // the segment was still committing.
+        let cur_checker = if self.seg_mgr.is_concluded(cur) {
+            None
+        } else {
+            match self.seg_mgr.checker_of(cur).or_else(|| self.ensure_checker(cur)) {
+                Some(c) => Some(c),
+                None => return Some(CommitDecision::Stall(CommitStall::LittleCore)),
+            }
+        };
+        let mut dest = DestMask::default();
+        if let Some(c) = cur_checker {
+            dest = dest.with(c);
+        }
+        let cp = self.deu.shadow;
+        let inst_count = self.deu.insts_in_seg;
+        match self.seg_mgr.try_open(cur + 1, self.littles) {
+            Some(next_checker) => {
+                dest = dest.with(next_checker);
+            }
+            None => {
+                // Selective broadcast: send now to the ready checker,
+                // owe the SRCP to the eventual checker of cur + 1.
+                self.deu.owed = Some(OwedSrcp { seg_to_open: cur + 1, cp, inst_count });
+            }
+        }
+        if !dest.is_empty() {
+            self.deu.queue_transfer(cur, inst_count, cp, dest);
+        }
+        self.deu.rcps += 1;
+        self.deu.seg = cur + 1;
+        self.deu.insts_in_seg = 0;
+        self.deu.records_in_seg = 0;
+        self.deu.kernel_trap_pending = false;
+        None
+    }
+
+    /// Builds and pushes the run-time packet for a retiring instruction.
+    fn push_runtime(&mut self, lane: usize, ret: &Retired, now: u64) -> Option<CommitDecision> {
+        let seg = self.deu.seg;
+        let payload = if let Some(m) = ret.mem {
+            // Footnote 2: double-check the parity carried through the
+            // LSQ window before the data leaves the core.
+            self.deu.parity_checks += 1;
+            if !meek_mem::check_parity(m.data, byte_parity(m.data)) {
+                self.deu.parity_errors += 1;
+            }
+            Payload::Mem { seg, addr: m.addr, size: m.size, data: m.data, is_store: m.is_store }
+        } else if let Some((addr, data)) = ret.csr_read {
+            Payload::Csr { seg, addr, data }
+        } else {
+            return None;
+        };
+        if self.seg_mgr.is_concluded(seg) {
+            // The checker already reported this segment (a detection
+            // fired mid-segment); the remaining records have no consumer.
+            return None;
+        }
+        let Some(checker) = self.ensure_checker(seg) else {
+            return Some(CommitDecision::Stall(CommitStall::LittleCore));
+        };
+        let mut pkt = Packet {
+            seq: 0,
+            dest: DestMask::single(checker),
+            payload,
+            created_at: now,
+        };
+        let was_busy = self.injector.busy();
+        self.injector.maybe_corrupt(&mut pkt, now, seg);
+        pkt.seq = self.deu.next_seq();
+        match self.fabric.try_push(lane, pkt) {
+            Ok(()) => {
+                self.deu.runtime_packets += 1;
+                self.deu.records_in_seg += 1;
+                None
+            }
+            Err(_) => {
+                if !was_busy && self.injector.busy() {
+                    self.injector.revert();
+                }
+                self.deu.seq -= 1;
+                let reason = if !self.littles[checker].lsl.can_accept(PacketKind::Runtime) {
+                    CommitStall::LittleCore
+                } else {
+                    CommitStall::DataForward
+                };
+                Some(CommitDecision::Stall(reason))
+            }
+        }
+    }
+
+    fn update_shadow(&mut self, ret: &Retired) {
+        match ret.wb {
+            Some((WbDest::Int(r), v)) => {
+                if r.index() != 0 {
+                    self.deu.shadow.x[r.index() as usize] = v;
+                }
+            }
+            Some((WbDest::Fp(r), v)) => self.deu.shadow.f[r.index() as usize] = v,
+            None => {}
+        }
+        self.deu.shadow.pc = ret.next_pc;
+    }
+}
+
+impl CommitHook for DeuHook<'_> {
+    fn on_commit(&mut self, lane: usize, ret: &Retired, now: u64) -> CommitDecision {
+        if !self.deu.enabled {
+            self.update_shadow(ret);
+            return CommitDecision::Proceed;
+        }
+        if self.deu.boundary_due() {
+            if let Some(stall) = self.handle_boundary(now) {
+                return stall;
+            }
+        }
+        if let Some(stall) = self.push_runtime(lane, ret, now) {
+            return stall;
+        }
+        self.update_shadow(ret);
+        self.deu.insts_in_seg += 1;
+        if ret.is_kernel_trap {
+            self.deu.kernel_trap_pending = true;
+        }
+        CommitDecision::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_fabric::{F2Config, F2};
+    use meek_littlecore::LittleCoreConfig;
+    use meek_isa::inst::{AluImmOp, Inst};
+    use meek_isa::{ExecClass, Reg};
+
+    fn fake_retired(seg_pc: u64, mem: Option<meek_isa::MemAccess>, trap: bool) -> Retired {
+        let inst = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 1 };
+        Retired {
+            pc: seg_pc,
+            raw: 0,
+            inst,
+            class: if mem.is_some() { ExecClass::Load } else { ExecClass::IntAlu },
+            next_pc: seg_pc + 4,
+            branch: None,
+            mem,
+            csr_read: None,
+            is_kernel_trap: trap,
+            wb: Some((WbDest::Int(Reg::X1), 7)),
+        }
+    }
+
+    struct Rig {
+        deu: DeuState,
+        fabric: F2,
+        littles: Vec<LittleCore>,
+        seg_mgr: SegmentManager,
+        injector: FaultInjector,
+    }
+
+    impl Rig {
+        fn new(n_little: usize, budget: u64, timeout: u64) -> Rig {
+            let mut rig = Rig {
+                deu: DeuState::new(4, 4, budget, timeout, RegCheckpoint::zeroed(0x1000)),
+                fabric: F2::new(F2Config::default()),
+                littles: (0..n_little)
+                    .map(|i| LittleCore::new(i, LittleCoreConfig::optimized(), 17))
+                    .collect(),
+                seg_mgr: SegmentManager::new(),
+                injector: FaultInjector::new(vec![]),
+            };
+            // Segment 1 opens at b.hook time.
+            rig.seg_mgr.try_open(1, &mut rig.littles).expect("core available");
+            rig
+        }
+
+        fn hook(&mut self) -> DeuHook<'_> {
+            DeuHook {
+                deu: &mut self.deu,
+                fabric: &mut self.fabric,
+                littles: &mut self.littles,
+                seg_mgr: &mut self.seg_mgr,
+                injector: &mut self.injector,
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_triggers_rcp() {
+        let mut rig = Rig::new(2, 1_000_000, 10);
+        for i in 0..10 {
+            let r = fake_retired(0x1000 + i * 4, None, false);
+            assert_eq!(rig.hook().on_commit(0, &r, i), CommitDecision::Proceed);
+        }
+        assert_eq!(rig.deu.rcps, 0);
+        // The 11th commit crosses the timeout boundary.
+        let r = fake_retired(0x1028, None, false);
+        assert_eq!(rig.hook().on_commit(0, &r, 10), CommitDecision::Proceed);
+        assert_eq!(rig.deu.rcps, 1);
+        assert_eq!(rig.deu.seg, 2);
+        assert_eq!(rig.deu.insts_in_seg(), 1);
+    }
+
+    #[test]
+    fn record_budget_triggers_rcp() {
+        let mut rig = Rig::new(2, 3, 1_000_000);
+        for i in 0..4 {
+            let mem = Some(meek_isa::MemAccess { addr: 0x8000 + i * 8, size: 8, data: i, is_store: false });
+            let r = fake_retired(0x1000 + i * 4, mem, false);
+            assert_eq!(rig.hook().on_commit(0, &r, i), CommitDecision::Proceed, "commit {i}");
+        }
+        assert_eq!(rig.deu.rcps, 1, "boundary after 3 records");
+        assert_eq!(rig.deu.seg, 2);
+    }
+
+    #[test]
+    fn kernel_trap_triggers_rcp() {
+        let mut rig = Rig::new(2, 1_000_000, 1_000_000);
+        let r = fake_retired(0x1000, None, true);
+        rig.hook().on_commit(0, &r, 0);
+        assert_eq!(rig.deu.rcps, 0);
+        let r2 = fake_retired(0x1004, None, false);
+        rig.hook().on_commit(0, &r2, 1);
+        assert_eq!(rig.deu.rcps, 1, "RCP right after the trap");
+    }
+
+    #[test]
+    fn single_core_owes_srcp_and_makes_progress() {
+        let mut rig = Rig::new(1, 2, 1_000_000);
+        // Fill segment 1's budget.
+        for i in 0..2 {
+            let mem = Some(meek_isa::MemAccess { addr: 0x8000 + i * 8, size: 8, data: i, is_store: false });
+            let r = fake_retired(0x1000 + i * 4, mem, false);
+            assert_eq!(rig.hook().on_commit(0, &r, i), CommitDecision::Proceed);
+        }
+        // Boundary: the only core is busy with segment 1, so the next
+        // segment cannot open — but the ERCP is still emitted (owed
+        // SRCP), and the boundary itself does not stall commit of
+        // non-memory instructions.
+        let r = fake_retired(0x1010, None, false);
+        assert_eq!(rig.hook().on_commit(0, &r, 3), CommitDecision::Proceed);
+        assert_eq!(rig.deu.rcps, 1);
+        assert_eq!(rig.deu.seg, 2);
+        // A memory op in segment 2 cannot be logged yet: no checker.
+        let mem = Some(meek_isa::MemAccess { addr: 0x9000, size: 8, data: 1, is_store: true });
+        let r = fake_retired(0x1014, mem, false);
+        assert_eq!(
+            rig.hook().on_commit(0, &r, 4),
+            CommitDecision::Stall(CommitStall::LittleCore)
+        );
+    }
+
+    #[test]
+    fn shadow_tracks_writebacks() {
+        let mut rig = Rig::new(2, 1_000_000, 1_000_000);
+        let r = fake_retired(0x1000, None, false);
+        rig.hook().on_commit(0, &r, 0);
+        assert_eq!(rig.deu.shadow.x[1], 7);
+        assert_eq!(rig.deu.shadow.pc, 0x1004);
+    }
+
+    #[test]
+    fn disabled_deu_is_transparent() {
+        let mut rig = Rig::new(1, 1, 1);
+        rig.deu.enabled = false;
+        for i in 0..100 {
+            let mem = Some(meek_isa::MemAccess { addr: 0x8000, size: 8, data: 0, is_store: true });
+            let r = fake_retired(0x1000 + i * 4, mem, false);
+            assert_eq!(rig.hook().on_commit(0, &r, i), CommitDecision::Proceed);
+        }
+        assert_eq!(rig.deu.rcps, 0);
+        assert_eq!(rig.deu.runtime_packets, 0);
+    }
+
+    #[test]
+    fn chunking_matches_fabric_width() {
+        let deu = DeuState::new(4, 4, 10, 10, RegCheckpoint::zeroed(0));
+        assert_eq!(deu.chunks_per_cp(), 17); // ceil(65 / 4)
+        let deu2 = DeuState::new(4, 2, 10, 10, RegCheckpoint::zeroed(0));
+        assert_eq!(deu2.chunks_per_cp(), 33); // ceil(65 / 2)
+    }
+
+    #[test]
+    fn pump_streams_checkpoints() {
+        let mut rig = Rig::new(2, 1, 1_000_000);
+        // One record then a boundary.
+        let mem = Some(meek_isa::MemAccess { addr: 0x8000, size: 8, data: 5, is_store: false });
+        rig.hook().on_commit(0, &fake_retired(0x1000, mem, false), 0);
+        rig.hook().on_commit(0, &fake_retired(0x1004, None, false), 1);
+        assert_eq!(rig.deu.rcps, 1);
+        assert!(!rig.deu.transfers_drained());
+        for now in 2..50 {
+            rig.deu.pump_transfers(&mut rig.fabric, &mut rig.injector, now);
+        }
+        assert!(rig.deu.transfers_drained());
+    }
+}

@@ -1,0 +1,330 @@
+//! Fault injection into forwarded data (paper §V-B).
+//!
+//! Faults are injected "in the forwarded data from the F2 connected to
+//! the big core, e.g., data and address of memory operations and
+//! architectural register data, simulating the hardware faults without
+//! disrupting the big core's normal execution". Exactly that: the
+//! injector flips one bit of a packet as the DEU hands it to the fabric;
+//! the big core's architectural execution is untouched, and the checker
+//! must notice the divergence.
+
+use meek_fabric::{Packet, Payload};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Where to flip a bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Address of a forwarded memory record.
+    MemAddr,
+    /// Data of a forwarded memory record.
+    MemData,
+    /// A register value inside a forwarded checkpoint.
+    RcpRegister,
+}
+
+/// A pending fault: armed at a commit index, fires on the next matching
+/// packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Commit index (instructions retired) at which the fault arms.
+    pub arm_at_commit: u64,
+    /// Which field to corrupt.
+    pub site: FaultSite,
+    /// Bit to flip (masked to the field width).
+    pub bit: u32,
+}
+
+/// Outcome of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionRecord {
+    /// Where the bit was flipped.
+    pub site: FaultSite,
+    /// Big-core cycle of injection.
+    pub injected_cycle: u64,
+    /// Big-core cycle of detection (checker mismatch report).
+    pub detected_cycle: u64,
+    /// Detection latency in nanoseconds.
+    pub latency_ns: f64,
+    /// Segment in which the fault was detected.
+    pub seg: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    spec: FaultSpec,
+    injected: u64,
+    fseg: u32,
+    fseg_passed: bool,
+    next_passed: bool,
+}
+
+/// Injector state machine: Idle -> Armed -> InFlight -> (recorded).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    queue: Vec<FaultSpec>,
+    armed: Option<FaultSpec>,
+    in_flight: Option<InFlight>,
+    /// Completed detections.
+    pub detections: Vec<DetectionRecord>,
+    /// Faults injected whose segment verified *clean* (undetected) —
+    /// must stay zero; any entry is a soundness bug.
+    pub missed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with a queue of faults (sorted by arm time).
+    pub fn new(mut faults: Vec<FaultSpec>) -> FaultInjector {
+        faults.sort_by_key(|f| f.arm_at_commit);
+        faults.reverse(); // pop() yields earliest first
+        FaultInjector { queue: faults, armed: None, in_flight: None, detections: Vec::new(), missed: 0 }
+    }
+
+    /// Generates `n` random faults spread uniformly over `commit_span`
+    /// instructions, mirroring the paper's 5 000–10 000 random faults.
+    pub fn random_campaign(n: usize, commit_span: u64, rng: &mut SmallRng) -> FaultInjector {
+        let mut faults = Vec::with_capacity(n);
+        for i in 0..n {
+            let site = match rng.gen_range(0..3) {
+                0 => FaultSite::MemAddr,
+                1 => FaultSite::MemData,
+                _ => FaultSite::RcpRegister,
+            };
+            let at = (i as u64 + 1) * commit_span / (n as u64 + 1);
+            faults.push(FaultSpec { arm_at_commit: at, site, bit: rng.gen_range(0..64) });
+        }
+        FaultInjector::new(faults)
+    }
+
+    /// Whether a fault is currently in flight (awaiting detection).
+    pub fn busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Re-arms the in-flight fault: used when the corrupted packet was
+    /// rejected by a full DC-Buffer and dropped (the retried push builds
+    /// a fresh packet, so the corruption must fire again).
+    pub fn revert(&mut self) {
+        if let Some(fl) = self.in_flight.take() {
+            self.armed = Some(fl.spec);
+        }
+    }
+
+    /// Faults remaining in the queue (not yet armed).
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Debug string of the injector state.
+    pub fn debug(&self) -> String {
+        format!(
+            "armed={:?} in_flight={:?} queued={} det={} missed={}",
+            self.armed,
+            self.in_flight,
+            self.queue.len(),
+            self.detections.len(),
+            self.missed
+        )
+    }
+
+    /// Arms the next fault once the commit counter passes its trigger.
+    /// One fault is outstanding at a time so latencies are unambiguous.
+    pub fn advance(&mut self, committed: u64) {
+        if self.armed.is_none() && self.in_flight.is_none() {
+            if let Some(&f) = self.queue.last() {
+                if committed >= f.arm_at_commit {
+                    self.queue.pop();
+                    self.armed = Some(f);
+                }
+            }
+        }
+    }
+
+    /// Offers a packet to the injector just before it enters the fabric;
+    /// if a matching fault is armed, one bit is flipped in place.
+    pub fn maybe_corrupt(&mut self, pkt: &mut Packet, now: u64, seg: u32) {
+        let Some(f) = self.armed else { return };
+        let hit = match (&mut pkt.payload, f.site) {
+            (Payload::Mem { addr, .. }, FaultSite::MemAddr) => {
+                *addr ^= 1 << (f.bit % 64);
+                true
+            }
+            (Payload::Mem { data, size, .. }, FaultSite::MemData) => {
+                // Flip within the access width so the corruption is live.
+                let width_bits = (*size as u32) * 8;
+                *data ^= 1 << (f.bit % width_bits);
+                true
+            }
+            (Payload::RcpEnd { cp, .. }, FaultSite::RcpRegister) => {
+                // Flip a bit of a (pseudo-randomly chosen) live register.
+                let idx = (f.bit as usize * 7 + 3) % 31 + 1; // x1..x31
+                cp.x[idx] ^= 1 << (f.bit % 64);
+                true
+            }
+            _ => false,
+        };
+        if hit {
+            self.armed = None;
+            self.in_flight = Some(InFlight {
+                spec: f,
+                injected: now,
+                fseg: seg,
+                fseg_passed: false,
+                next_passed: false,
+            });
+        }
+    }
+
+    /// Reports a segment verification result to the injector.
+    ///
+    /// A memory-record fault must be detected while its own segment
+    /// replays; a checkpoint fault is the ERCP of segment `fseg` *and*
+    /// the SRCP of `fseg + 1`, so detection may land in either (segments
+    /// can complete out of order across cores). A fault whose candidate
+    /// segments all verified clean is counted in
+    /// [`FaultInjector::missed`].
+    pub fn on_segment_verified(&mut self, seg: u32, pass: bool, now: u64, ns_per_cycle: f64) {
+        let Some(fl) = &mut self.in_flight else { return };
+        if seg < fl.fseg {
+            return;
+        }
+        if !pass {
+            let latency_ns = (now - fl.injected) as f64 * ns_per_cycle;
+            self.detections.push(DetectionRecord {
+                site: fl.spec.site,
+                injected_cycle: fl.injected,
+                detected_cycle: now,
+                latency_ns,
+                seg,
+            });
+            self.in_flight = None;
+            return;
+        }
+        match fl.spec.site {
+            FaultSite::MemAddr | FaultSite::MemData => {
+                if seg == fl.fseg {
+                    self.missed += 1;
+                    self.in_flight = None;
+                }
+            }
+            FaultSite::RcpRegister => {
+                if seg == fl.fseg {
+                    fl.fseg_passed = true;
+                } else if seg == fl.fseg + 1 {
+                    fl.next_passed = true;
+                }
+                // `fseg`'s own verdict can predate the injection (its
+                // checker may have failed on an earlier fault before the
+                // corrupted ERCP even arrived). Once verdicts are well
+                // past the concurrency window, stop waiting for it.
+                let fseg_unreachable = seg > fl.fseg + 4;
+                if fl.next_passed && (fl.fseg_passed || fseg_unreachable) {
+                    self.missed += 1;
+                    self.in_flight = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_fabric::DestMask;
+    use rand::SeedableRng;
+
+    fn mem_pkt() -> Packet {
+        Packet {
+            seq: 0,
+            dest: DestMask::single(0),
+            payload: Payload::Mem { seg: 1, addr: 0x1000, size: 8, data: 0xAB, is_store: true },
+            created_at: 0,
+        }
+    }
+
+    #[test]
+    fn corrupts_exactly_one_outstanding_fault() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 10,
+            site: FaultSite::MemData,
+            bit: 3,
+        }]);
+        inj.advance(5);
+        let mut p = mem_pkt();
+        inj.maybe_corrupt(&mut p, 100, 1);
+        assert_eq!(p, mem_pkt(), "not armed yet");
+        inj.advance(10);
+        inj.maybe_corrupt(&mut p, 100, 1);
+        match p.payload {
+            Payload::Mem { data, .. } => assert_eq!(data, 0xAB ^ 8),
+            _ => unreachable!(),
+        }
+        assert!(inj.busy());
+        // A second packet is NOT corrupted.
+        let mut q = mem_pkt();
+        inj.maybe_corrupt(&mut q, 101, 1);
+        assert_eq!(q, mem_pkt());
+    }
+
+    #[test]
+    fn latency_recorded_on_detection() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::MemAddr,
+            bit: 5,
+        }]);
+        inj.advance(0);
+        let mut p = mem_pkt();
+        inj.maybe_corrupt(&mut p, 1000, 4);
+        inj.on_segment_verified(4, false, 4200, 0.3125);
+        assert_eq!(inj.detections.len(), 1);
+        let d = &inj.detections[0];
+        assert_eq!(d.injected_cycle, 1000);
+        assert_eq!(d.detected_cycle, 4200);
+        assert!((d.latency_ns - 3200.0 * 0.3125).abs() < 1e-9);
+        assert!(!inj.busy());
+        assert_eq!(inj.missed, 0);
+    }
+
+    #[test]
+    fn rcp_fault_may_detect_in_next_segment() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::RcpRegister,
+            bit: 9,
+        }]);
+        inj.advance(0);
+        let mut p = Packet {
+            seq: 0,
+            dest: DestMask::single(0),
+            payload: Payload::RcpEnd {
+                seg: 3,
+                inst_count: 100,
+                cp: Box::new(meek_isa::state::RegCheckpoint::zeroed(0)),
+            },
+            created_at: 0,
+        };
+        inj.maybe_corrupt(&mut p, 500, 3);
+        assert!(inj.busy());
+        // Segment 3 verifies clean (fault was in its ERCP *as forwarded*,
+        // but detection can land in segment 4 whose SRCP it corrupts).
+        inj.on_segment_verified(3, true, 600, 0.3125);
+        assert!(inj.busy(), "still awaiting detection in segment 4");
+        inj.on_segment_verified(4, false, 900, 0.3125);
+        assert_eq!(inj.detections.len(), 1);
+    }
+
+    #[test]
+    fn random_campaign_is_ordered_and_sized() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut inj = FaultInjector::random_campaign(100, 1_000_000, &mut rng);
+        let mut last = 0;
+        let mut n = 0;
+        while let Some(f) = inj.queue.pop() {
+            assert!(f.arm_at_commit >= last);
+            last = f.arm_at_commit;
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+}

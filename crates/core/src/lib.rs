@@ -1,0 +1,51 @@
+//! **MEEK** — *Make Each Error Count*: heterogeneous parallel error
+//! detection for out-of-order superscalar processors.
+//!
+//! This crate is the paper's primary contribution: it assembles the big
+//! core (`meek-bigcore`), the little checker cores (`meek-littlecore`),
+//! and the forwarding fabric (`meek-fabric`) into a full error-detecting
+//! SoC, and adds everything that lives *between* those components in the
+//! paper:
+//!
+//! * the **DEU** ([`deu`]) — the commit-stage Data Extraction Unit,
+//!   including the commit-order shadow register state it reads in place
+//!   of the PRFs, run-time/status packet generation, RCP triggering
+//!   (LSL-full / 5000-instruction timeout / kernel trap), and the LSQ
+//!   parity double-check of footnote 2;
+//! * **segmentation** ([`segments`]) — checker-thread scheduling of
+//!   segments onto little cores (the OS's `b.hook`/`l.mode` management);
+//! * the **OS model** ([`os`]) — Algorithms 1 and 2 (context switches and
+//!   the checker-thread programming model) and the Fig. 5 page-fault
+//!   deadlock with its one-instruction-behind fix;
+//! * **fault injection** ([`fault`]) — bit flips in forwarded data, with
+//!   detection-latency measurement (Fig. 7);
+//! * the **system** ([`system`]) — the two-clock-domain simulation loop
+//!   (3.2 GHz big domain, 1.6 GHz little domain) and run reports with the
+//!   stall decomposition of Fig. 9.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use meek_core::{MeekConfig, MeekSystem};
+//! use meek_workloads::{parsec3, Workload};
+//!
+//! let profile = &parsec3()[0]; // blackscholes
+//! let wl = Workload::build(profile, 1);
+//! let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 20_000);
+//! let report = sys.run_to_completion(10_000_000);
+//! assert_eq!(report.failed_segments, 0, "clean run must verify");
+//! assert!(report.verified_segments > 0);
+//! ```
+
+pub mod deu;
+pub mod fault;
+pub mod os;
+pub mod report;
+pub mod segments;
+pub mod system;
+
+pub use deu::{DeuHook, DeuState, BIG_CORE_NS_PER_CYCLE};
+pub use fault::{DetectionRecord, FaultSite, FaultSpec};
+pub use report::{RunReport, StallBreakdown};
+pub use segments::SegmentManager;
+pub use system::{run_vanilla, FabricKind, MeekConfig, MeekSystem};

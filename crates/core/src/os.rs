@@ -1,0 +1,235 @@
+//! The OS kernel model: context switches (Algorithms 1 and 2), the
+//! checker-thread programming model, and the Fig. 5 page-fault deadlock
+//! with its one-instruction-behind fix.
+//!
+//! The timing simulator embeds the *effects* of these protocols (LSL
+//! reservation, segment assignment, replay gating); this module models
+//! the protocols themselves so they can be verified and demonstrated —
+//! the few-lines-of-kernel-code claim of the paper is about exactly
+//! these call sequences.
+
+use std::fmt;
+
+/// One call made by the modified kernel scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsCall {
+    /// `MEEK.b.check(DISABLE)` — Algorithm 1 line 3.
+    BCheckDisable,
+    /// `Kernel.Intr(DISABLE)`.
+    IntrDisable,
+    /// `Kernel.Context.save(current)`.
+    ContextSave,
+    /// `MEEK.b.hook(core, checker)` — Algorithm 1 line 12.
+    BHook {
+        /// Big-core index.
+        big: usize,
+        /// Little-core index reserved for the checker thread.
+        little: usize,
+    },
+    /// `Kernel.Context.init(next)` for new releases.
+    ContextInit,
+    /// `Kernel.Context.restore(next)` otherwise.
+    ContextRestore,
+    /// `Kernel.Intr(ENABLE)`.
+    IntrEnable,
+    /// `MEEK.b.check(ENABLE)` — Algorithm 1 line 20.
+    BCheckEnable,
+    /// `Kernel.Context.jalr(pc)`.
+    Jalr,
+    /// `MEEK.l.mode(MODE_APPLICATION)` — Algorithm 2 line 3.
+    LModeApplication,
+    /// `MEEK.l.mode(MODE_CHECK)` — Algorithm 2 line 7.
+    LModeCheck,
+}
+
+/// Emits the big core's context-switch call sequence (Algorithm 1).
+///
+/// When `new_release` is true, the scheduler hooks every little core in
+/// `checker_cores` to `big_core` before initialising the new context.
+pub fn big_core_context_switch(big_core: usize, new_release: bool, checker_cores: &[usize]) -> Vec<OsCall> {
+    let mut calls = vec![OsCall::BCheckDisable, OsCall::IntrDisable, OsCall::ContextSave];
+    if new_release {
+        for &c in checker_cores {
+            calls.push(OsCall::BHook { big: big_core, little: c });
+        }
+        calls.push(OsCall::ContextInit);
+    } else {
+        calls.push(OsCall::ContextRestore);
+    }
+    calls.push(OsCall::IntrEnable);
+    calls.push(OsCall::BCheckEnable);
+    calls.push(OsCall::Jalr);
+    calls
+}
+
+/// Emits the little core's context-switch call sequence (Algorithm 2,
+/// lines 2–10): mode returns to APPLICATION across the switch and is set
+/// to CHECK only when the incoming task is a checker thread.
+pub fn little_core_context_switch(next_is_checker: bool) -> Vec<OsCall> {
+    let mut calls = vec![OsCall::LModeApplication, OsCall::ContextSave, OsCall::ContextRestore];
+    if next_is_checker {
+        calls.push(OsCall::LModeCheck);
+    }
+    calls.push(OsCall::Jalr);
+    calls
+}
+
+/// Outcome of the Fig. 5 page-fault scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFaultOutcome {
+    /// The little core overtook the main thread, faulted on an
+    /// instruction page, and blocked on the memory-status lock held by a
+    /// big core that is itself waiting for the checker: deadlock.
+    Deadlock,
+    /// The big core reached the fault first, handled it through its own
+    /// page-fault handler, and the checker replayed the kernel's work:
+    /// no cross-core lock wait.
+    ResolvedByBigCore,
+}
+
+impl fmt::Display for PageFaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageFaultOutcome::Deadlock => write!(f, "deadlock (checker blocked on big core's lock)"),
+            PageFaultOutcome::ResolvedByBigCore => {
+                write!(f, "resolved (page fault handled by the big core first)")
+            }
+        }
+    }
+}
+
+/// A discrete model of the Fig. 5 kernel-verification deadlock.
+///
+/// Events: the main thread executes instructions `0..n`; an instruction
+/// page is invalid from `faulting_inst` onward. The main thread's LSL is
+/// full, so the big core is *blocked waiting on the checker* when the
+/// scenario begins. If the checker may run ahead of the main thread's
+/// commit point (`one_behind_fix == false`), it reaches the invalid page
+/// first, raises the fault on the little core, and requests the
+/// memory-status lock — which the blocked big core holds: deadlock
+/// (Fig. 5a). With the fix, the checker is kept at least one
+/// instruction behind, so the *big core* faults first and handles it
+/// (Fig. 5b); synchronising on I/O additionally guarantees no page used
+/// by an unfinished checker is written out.
+#[derive(Debug, Clone, Copy)]
+pub struct PageFaultScenario {
+    /// Instruction index at which the page becomes invalid.
+    pub faulting_inst: u64,
+    /// Commit progress of the main thread (may lag the checker when the
+    /// fix is off).
+    pub main_progress: u64,
+    /// Whether the one-instruction-behind fix is applied.
+    pub one_behind_fix: bool,
+    /// Whether I/O is synchronised with checker completion (prevents
+    /// page-out of in-use pages).
+    pub io_sync: bool,
+}
+
+impl PageFaultScenario {
+    /// Runs the scenario to its outcome.
+    pub fn resolve(&self) -> PageFaultOutcome {
+        // Checker position: with the fix it can never pass
+        // main_progress - 1; without it, it may run to the fault point.
+        let checker_limit = if self.one_behind_fix {
+            self.main_progress.saturating_sub(1)
+        } else {
+            u64::MAX
+        };
+        // Without I/O synchronisation a page may additionally be written
+        // out *before* the checker reaches it, which manifests the same
+        // way: the checker faults on an instruction the main thread has
+        // already retired.
+        let page_out_race = !self.io_sync && !self.one_behind_fix;
+        let checker_faults_first =
+            checker_limit >= self.faulting_inst && (self.main_progress < self.faulting_inst || page_out_race);
+        if checker_faults_first {
+            PageFaultOutcome::Deadlock
+        } else {
+            PageFaultOutcome::ResolvedByBigCore
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm1_ordering() {
+        let calls = big_core_context_switch(0, true, &[1, 2, 3, 4]);
+        // b.check(DISABLE) first, b.check(ENABLE) after interrupts are
+        // re-enabled, jalr last.
+        assert_eq!(calls.first(), Some(&OsCall::BCheckDisable));
+        assert_eq!(calls.last(), Some(&OsCall::Jalr));
+        let enable_pos = calls.iter().position(|c| *c == OsCall::BCheckEnable).unwrap();
+        let intr_pos = calls.iter().position(|c| *c == OsCall::IntrEnable).unwrap();
+        assert!(intr_pos < enable_pos);
+        // Four hooks for four checker cores.
+        let hooks = calls.iter().filter(|c| matches!(c, OsCall::BHook { .. })).count();
+        assert_eq!(hooks, 4);
+        assert!(calls.contains(&OsCall::ContextInit));
+        assert!(!calls.contains(&OsCall::ContextRestore));
+    }
+
+    #[test]
+    fn algorithm1_restore_path_has_no_hooks() {
+        let calls = big_core_context_switch(0, false, &[1, 2]);
+        assert!(calls.iter().all(|c| !matches!(c, OsCall::BHook { .. })));
+        assert!(calls.contains(&OsCall::ContextRestore));
+    }
+
+    #[test]
+    fn algorithm2_mode_switching() {
+        let checker = little_core_context_switch(true);
+        assert_eq!(checker.first(), Some(&OsCall::LModeApplication));
+        assert!(checker.contains(&OsCall::LModeCheck));
+        let app = little_core_context_switch(false);
+        assert!(!app.contains(&OsCall::LModeCheck));
+    }
+
+    #[test]
+    fn fig5a_deadlock_without_fix() {
+        let scenario = PageFaultScenario {
+            faulting_inst: 100,
+            main_progress: 90,
+            one_behind_fix: false,
+            io_sync: false,
+        };
+        assert_eq!(scenario.resolve(), PageFaultOutcome::Deadlock);
+    }
+
+    #[test]
+    fn fig5b_fix_resolves() {
+        let scenario = PageFaultScenario {
+            faulting_inst: 100,
+            main_progress: 90,
+            one_behind_fix: true,
+            io_sync: true,
+        };
+        assert_eq!(scenario.resolve(), PageFaultOutcome::ResolvedByBigCore);
+    }
+
+    #[test]
+    fn fix_holds_even_at_fault_boundary() {
+        // Main thread exactly at the faulting instruction: the big core
+        // raises and handles the fault; the checker (one behind) cannot.
+        let scenario = PageFaultScenario {
+            faulting_inst: 100,
+            main_progress: 100,
+            one_behind_fix: true,
+            io_sync: true,
+        };
+        assert_eq!(scenario.resolve(), PageFaultOutcome::ResolvedByBigCore);
+    }
+
+    #[test]
+    fn io_sync_alone_is_not_enough() {
+        let scenario = PageFaultScenario {
+            faulting_inst: 100,
+            main_progress: 50,
+            one_behind_fix: false,
+            io_sync: true,
+        };
+        assert_eq!(scenario.resolve(), PageFaultOutcome::Deadlock);
+    }
+}

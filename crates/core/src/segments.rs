@@ -1,0 +1,122 @@
+//! Segment-to-checker scheduling: the OS-side management of checker
+//! threads (paper §IV-B).
+//!
+//! The LSL is reserved for a single checker thread at scheduling time
+//! (`b.hook`), and a checker pinned to an application thread cannot
+//! migrate before its re-execution completes. Ownership returns to the
+//! OS at the end of each checkpoint, so segments are handed to whichever
+//! hooked little core is idle — round-robin when several are.
+
+use meek_littlecore::LittleCore;
+use std::collections::{HashMap, HashSet};
+
+/// Tracks which little core verifies which segment.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentManager {
+    assignments: HashMap<u32, usize>,
+    /// Segments whose verdict has been delivered (pass or fail). A
+    /// failed segment concludes as soon as the mismatch is reported —
+    /// possibly while the big core is still producing its records — and
+    /// must never be re-opened.
+    concluded: HashSet<u32>,
+    next_rr: usize,
+    /// Total segments opened.
+    pub opened: u64,
+}
+
+impl SegmentManager {
+    /// Creates an empty manager.
+    pub fn new() -> SegmentManager {
+        SegmentManager::default()
+    }
+
+    /// The checker core verifying `seg`, if one was assigned.
+    pub fn checker_of(&self, seg: u32) -> Option<usize> {
+        self.assignments.get(&seg).copied()
+    }
+
+    /// Tries to open segment `seg` on an idle hooked core (round-robin
+    /// tie-break). Returns the chosen core id, or `None` when every
+    /// checker is still busy — the caller must stall, exactly the
+    /// "computation-bound" backpressure of §V-D.
+    pub fn try_open(&mut self, seg: u32, littles: &mut [LittleCore]) -> Option<usize> {
+        if self.concluded.contains(&seg) {
+            return None; // verdict already delivered; never re-open
+        }
+        if let Some(&c) = self.assignments.get(&seg) {
+            return Some(c); // already open
+        }
+        let n = littles.len();
+        for probe in 0..n {
+            let c = (self.next_rr + probe) % n;
+            if littles[c].is_idle() {
+                littles[c].assign(seg);
+                self.assignments.insert(seg, c);
+                self.next_rr = (c + 1) % n;
+                self.opened += 1;
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Releases bookkeeping for a finished segment and marks its verdict
+    /// delivered.
+    pub fn finish(&mut self, seg: u32) {
+        self.assignments.remove(&seg);
+        self.concluded.insert(seg);
+    }
+
+    /// Whether `seg` has already delivered its verdict.
+    pub fn is_concluded(&self, seg: u32) -> bool {
+        self.concluded.contains(&seg)
+    }
+
+    /// Number of currently open segments.
+    pub fn open_count(&self) -> usize {
+        self.assignments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_littlecore::LittleCoreConfig;
+
+    fn cores(n: usize) -> Vec<LittleCore> {
+        (0..n).map(|i| LittleCore::new(i, LittleCoreConfig::optimized(), 17)).collect()
+    }
+
+    #[test]
+    fn round_robin_over_idle_cores() {
+        let mut mgr = SegmentManager::new();
+        let mut littles = cores(3);
+        assert_eq!(mgr.try_open(1, &mut littles), Some(0));
+        assert_eq!(mgr.try_open(2, &mut littles), Some(1));
+        assert_eq!(mgr.try_open(3, &mut littles), Some(2));
+        // All busy now.
+        assert_eq!(mgr.try_open(4, &mut littles), None);
+        assert_eq!(mgr.open_count(), 3);
+    }
+
+    #[test]
+    fn reopen_is_idempotent() {
+        let mut mgr = SegmentManager::new();
+        let mut littles = cores(2);
+        let a = mgr.try_open(1, &mut littles);
+        let b = mgr.try_open(1, &mut littles);
+        assert_eq!(a, b);
+        assert_eq!(mgr.opened, 1);
+    }
+
+    #[test]
+    fn checker_of_reflects_assignment() {
+        let mut mgr = SegmentManager::new();
+        let mut littles = cores(2);
+        mgr.try_open(1, &mut littles);
+        assert_eq!(mgr.checker_of(1), Some(0));
+        assert_eq!(mgr.checker_of(2), None);
+        mgr.finish(1);
+        assert_eq!(mgr.checker_of(1), None);
+    }
+}

@@ -1,0 +1,471 @@
+//! The assembled MEEK SoC: one big core, N little cores, the forwarding
+//! fabric, and the OS-side segment scheduling, simulated across the two
+//! clock domains of Fig. 2 (3.2 GHz big core / 1.6 GHz little cores).
+
+use crate::deu::{DeuHook, DeuState, BIG_CORE_NS_PER_CYCLE};
+use crate::fault::{FaultInjector, FaultSpec};
+use crate::report::{RunReport, StallBreakdown};
+use crate::segments::SegmentManager;
+use meek_bigcore::{BigCore, BigCoreConfig, NullHook};
+use meek_fabric::{AxiConfig, AxiInterconnect, DestMask, F2Config, Fabric, PacketSink, F2};
+use meek_isa::SparseMemory;
+use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig};
+use meek_workloads::{Workload, WorkloadRun};
+
+/// Which interconnect forwards extracted data (the Fig. 9 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricKind {
+    /// The paper's bespoke fabric (§III-B).
+    F2,
+    /// The full-featured AXI-Interconnect baseline.
+    Axi,
+}
+
+/// Configuration of a complete MEEK system.
+#[derive(Debug, Clone)]
+pub struct MeekConfig {
+    /// Number of little (checker) cores hooked to the big core.
+    pub n_little: usize,
+    /// Little-core microarchitecture.
+    pub little: LittleCoreConfig,
+    /// Big-core microarchitecture.
+    pub big: BigCoreConfig,
+    /// Interconnect choice.
+    pub fabric: FabricKind,
+    /// Run-time records per segment before an RCP is forced ("targeted
+    /// LSL full"). Defaults to the LSL run-time capacity.
+    pub seg_record_budget: u64,
+    /// Instruction timeout per segment (Table II: 5 000).
+    pub seg_timeout: u64,
+}
+
+impl Default for MeekConfig {
+    fn default() -> Self {
+        let little = LittleCoreConfig::optimized();
+        MeekConfig {
+            n_little: 4,
+            little,
+            big: BigCoreConfig::sonic_boom(),
+            fabric: FabricKind::F2,
+            seg_record_budget: little.lsl.runtime_capacity as u64,
+            seg_timeout: 5_000,
+        }
+    }
+}
+
+impl MeekConfig {
+    /// The paper's Table II configuration with `n` little cores.
+    pub fn with_little_cores(n: usize) -> MeekConfig {
+        MeekConfig { n_little: n, ..MeekConfig::default() }
+    }
+}
+
+/// The full system under simulation.
+pub struct MeekSystem {
+    cfg: MeekConfig,
+    big: BigCore,
+    littles: Vec<LittleCore>,
+    fabric: Box<dyn Fabric>,
+    deu: DeuState,
+    seg_mgr: SegmentManager,
+    injector: FaultInjector,
+    run: WorkloadRun,
+    image: SparseMemory,
+    now: u64,
+    app_done_cycle: Option<u64>,
+    verified_segments: u64,
+    failed_segments: u64,
+}
+
+impl MeekSystem {
+    /// Builds a system around `workload`, capped at `max_insts` dynamic
+    /// instructions. Performs the OS-side setup: `b.hook` of the little
+    /// cores, `l.mode(CHECK)`, seeding of checkpoint 0 (the program's
+    /// initial state) on segment 1's checker, and `b.check(ENABLE)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_little` is zero.
+    pub fn new(cfg: MeekConfig, workload: &Workload, max_insts: u64) -> MeekSystem {
+        let fabric: Box<dyn Fabric> = match cfg.fabric {
+            FabricKind::F2 => Box::new(F2::new(F2Config {
+                lanes: cfg.big.width as usize,
+                ..F2Config::default()
+            })),
+            FabricKind::Axi => Box::new(AxiInterconnect::new(AxiConfig {
+                lanes: cfg.big.width as usize,
+                ..AxiConfig::default()
+            })),
+        };
+        MeekSystem::with_fabric(cfg, workload, max_insts, fabric)
+    }
+
+    /// Builds a system with a caller-provided interconnect (used by the
+    /// ablation harnesses to sweep fabric parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_little` is zero.
+    pub fn with_fabric(
+        cfg: MeekConfig,
+        workload: &Workload,
+        max_insts: u64,
+        fabric: Box<dyn Fabric>,
+    ) -> MeekSystem {
+        assert!(cfg.n_little > 0, "MEEK needs at least one little core");
+        let run = workload.run(max_insts);
+        let initial_cp = run.initial_checkpoint();
+        let mut deu = DeuState::new(
+            cfg.big.width as usize,
+            fabric.payload_words(),
+            cfg.seg_record_budget,
+            cfg.seg_timeout,
+            initial_cp,
+        );
+        let chunks = deu.chunks_per_cp();
+        let mut littles: Vec<LittleCore> = (0..cfg.n_little)
+            .map(|i| {
+                let mut lc = LittleCore::new(i, cfg.little, chunks);
+                // The shared L2/LLC are warm with the program by the time
+                // checker threads are hooked.
+                lc.prewarm_code(workload.entry(), 4 * workload.static_len as u64);
+                lc
+            })
+            .collect();
+        let mut big = BigCore::new(cfg.big);
+        // Steady-state measurement: the loop body is resident after the
+        // first iteration on real hardware.
+        big.prewarm_icache(workload.entry(), 4 * workload.static_len as u64);
+        let mut seg_mgr = SegmentManager::new();
+        let first = seg_mgr.try_open(1, &mut littles).expect("a little core is idle at boot");
+        littles[first].seed_initial_checkpoint(initial_cp);
+        deu.enabled = true;
+        MeekSystem {
+            cfg,
+            big,
+            littles,
+            fabric,
+            deu,
+            seg_mgr,
+            injector: FaultInjector::new(Vec::new()),
+            run,
+            image: workload.image().clone(),
+            now: 0,
+            app_done_cycle: None,
+            verified_segments: 0,
+            failed_segments: 0,
+        }
+    }
+
+    /// Installs a fault-injection campaign (replaces any previous one).
+    pub fn set_faults(&mut self, faults: Vec<FaultSpec>) {
+        self.injector = FaultInjector::new(faults);
+    }
+
+    /// Installs a pre-built injector (e.g. a random campaign).
+    pub fn set_injector(&mut self, injector: FaultInjector) {
+        self.injector = injector;
+    }
+
+    /// Current big-core cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &MeekConfig {
+        &self.cfg
+    }
+
+    /// One big-core cycle of the whole SoC.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // Little clock domain: every second big cycle (1.6 GHz).
+        if now % 2 == 0 {
+            let tl = now / 2;
+            for lc in &mut self.littles {
+                if let Some(ev) = lc.tick_check(tl, &self.image) {
+                    if let CheckerEvent::SegmentVerified { seg, pass, .. } = ev {
+                        self.seg_mgr.finish(seg);
+                        if pass {
+                            self.verified_segments += 1;
+                        } else {
+                            self.failed_segments += 1;
+                        }
+                        self.injector.on_segment_verified(seg, pass, now, BIG_CORE_NS_PER_CYCLE);
+                    }
+                }
+            }
+        }
+        // DEU background streaming of checkpoint chunks.
+        self.deu.pump_transfers(self.fabric.as_mut(), &mut self.injector, now);
+        // Fabric moves packets toward the LSLs.
+        {
+            let mut sinks: Vec<&mut dyn PacketSink> = self
+                .littles
+                .iter_mut()
+                .map(|l| &mut l.lsl as &mut dyn PacketSink)
+                .collect();
+            self.fabric.tick(now, &mut sinks);
+        }
+        // Big clock domain.
+        if self.big.is_drained() && self.app_done_cycle.is_none() {
+            self.app_done_cycle = Some(now);
+        }
+        if !self.big.is_drained() {
+            let MeekSystem { big, littles, fabric, deu, seg_mgr, injector, run, .. } = self;
+            let mut oracle = || run.next_retired();
+            let mut hook = DeuHook {
+                deu,
+                fabric: fabric.as_mut(),
+                littles,
+                seg_mgr,
+                injector,
+            };
+            big.tick(now, &mut oracle, &mut hook);
+        } else {
+            self.finalize(now);
+        }
+        self.injector.advance(self.big.stats().committed);
+        self.now += 1;
+    }
+
+    /// Emits the final checkpoint once the program has fully committed.
+    fn finalize(&mut self, now: u64) {
+        if self.deu.finalized || !self.deu.enabled {
+            self.deu.finalized = true;
+            return;
+        }
+        let MeekSystem { littles, fabric, deu, seg_mgr, injector, .. } = self;
+        let mut hook = DeuHook {
+            deu,
+            fabric: fabric.as_mut(),
+            littles,
+            seg_mgr,
+            injector,
+        };
+        if hook.finalize_segment(now) {
+            self.deu.finalized = true;
+        }
+    }
+
+    /// Whether everything has drained: program committed, checkpoints
+    /// forwarded, fabric empty, all checkers idle.
+    pub fn is_complete(&self) -> bool {
+        self.big.is_drained()
+            && self.deu.finalized
+            && self.deu.transfers_drained()
+            && self.fabric.is_empty()
+            && self.littles.iter().all(LittleCore::is_idle)
+    }
+
+    /// Runs until [`MeekSystem::is_complete`] or `max_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to complete within `max_cycles` — a
+    /// liveness bug, not a measurement artefact.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> RunReport {
+        let start = self.now;
+        while !self.is_complete() {
+            assert!(
+                self.now - start < max_cycles,
+                "system failed to drain within {max_cycles} cycles \
+                 (committed {}, seg {}, verified {}, rob {})",
+                self.big.stats().committed,
+                self.deu.seg,
+                self.verified_segments,
+                self.big.rob_occupancy(),
+            );
+            self.tick();
+        }
+        self.report()
+    }
+
+    /// A one-line liveness snapshot for debugging stuck simulations.
+    pub fn debug_state(&self) -> String {
+        let littles: Vec<String> = self
+            .littles
+            .iter()
+            .map(|l| {
+                format!(
+                    "core{}(assign={:?} idle={} lsl_rt={} lsl_st={} replayed={})",
+                    l.id,
+                    l.assignment(),
+                    l.is_idle(),
+                    l.lsl.runtime_len(),
+                    l.lsl.status_len(),
+                    l.replayed(),
+                )
+            })
+            .collect();
+        format!(
+            "now={} drained={} finalized={} transfers_drained={} fabric_empty={} seg={} verified={} failed={} littles=[{}]",
+            self.now,
+            self.big.is_drained(),
+            self.deu.finalized,
+            self.deu.transfers_drained(),
+            self.fabric.is_empty(),
+            self.deu.seg,
+            self.verified_segments,
+            self.failed_segments,
+            littles.join(", ")
+        )
+    }
+
+    /// Faults still queued in the injector (not yet armed).
+    pub fn injector_remaining(&self) -> usize {
+        self.injector.remaining()
+    }
+
+    /// Debug string of the injector state.
+    pub fn injector_debug(&self) -> String {
+        self.injector.debug()
+    }
+
+    /// Debug phases of every little core.
+    pub fn debug_little_phases(&self) -> String {
+        self.littles
+            .iter()
+            .map(|l| format!("core{}: {}", l.id, l.debug_phase()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Builds the run report at any point.
+    pub fn report(&self) -> RunReport {
+        let big = self.big.stats();
+        RunReport {
+            cycles: self.now,
+            app_cycles: self.app_done_cycle.unwrap_or(self.now),
+            ns: self.now as f64 * BIG_CORE_NS_PER_CYCLE,
+            committed: big.committed,
+            big,
+            fabric: self.fabric.stats(),
+            littles: self.littles.iter().map(|l| l.stats()).collect(),
+            verified_segments: self.verified_segments,
+            failed_segments: self.failed_segments,
+            stalls: StallBreakdown {
+                data_collect: big.stall_collect,
+                data_forward: big.stall_forward,
+                little_core: big.stall_little,
+            },
+            detections: self.injector.detections.clone(),
+            missed_faults: self.injector.missed,
+            rcps: self.deu.rcps,
+        }
+    }
+}
+
+impl DeuHook<'_> {
+    /// Queues the final checkpoint (no successor segment). Returns
+    /// `true` once queued.
+    pub(crate) fn finalize_segment(&mut self, _now: u64) -> bool {
+        let seg = self.deu.seg;
+        if self.seg_mgr.is_concluded(seg) {
+            return true; // verdict already delivered mid-segment
+        }
+        let Some(checker) = self.ensure_checker(seg) else {
+            return false;
+        };
+        let cp = self.deu.shadow_checkpoint();
+        let inst_count = self.deu.insts_in_seg();
+        self.deu.queue_transfer(seg, inst_count, cp, DestMask::single(checker));
+        self.deu.rcps += 1;
+        true
+    }
+}
+
+/// Runs `workload` on the vanilla big core (checking disabled) and
+/// returns the cycle count — the denominator of every slowdown figure.
+pub fn run_vanilla(cfg: &BigCoreConfig, workload: &Workload, max_insts: u64) -> u64 {
+    let mut big = BigCore::new(*cfg);
+    big.prewarm_icache(workload.entry(), 4 * workload.static_len as u64);
+    let mut run = workload.run(max_insts);
+    let mut hook = NullHook;
+    let mut now = 0u64;
+    while !big.is_drained() {
+        let mut oracle = || run.next_retired();
+        big.tick(now, &mut oracle, &mut hook);
+        now += 1;
+    }
+    now
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultSite, FaultSpec};
+    use meek_workloads::parsec3;
+
+    fn small_workload() -> Workload {
+        Workload::build(&parsec3()[0], 11)
+    }
+
+    #[test]
+    fn clean_run_verifies_every_segment() {
+        let wl = small_workload();
+        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 15_000);
+        let report = sys.run_to_completion(5_000_000);
+        assert_eq!(report.failed_segments, 0);
+        assert!(report.verified_segments > 0);
+        assert_eq!(report.committed, 15_000);
+        assert_eq!(report.rcps as u64, report.verified_segments);
+    }
+
+    #[test]
+    fn slowdown_is_small_with_four_cores() {
+        let wl = small_workload();
+        let cfg = MeekConfig::default();
+        let vanilla = run_vanilla(&cfg.big, &wl, 15_000);
+        let mut sys = MeekSystem::new(cfg, &wl, 15_000);
+        let report = sys.run_to_completion(5_000_000);
+        let slowdown = report.slowdown_vs(vanilla);
+        assert!(slowdown < 1.6, "4-core slowdown {slowdown:.3} unreasonably high");
+        assert!(slowdown >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn injected_fault_is_detected() {
+        let wl = small_workload();
+        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
+        sys.set_faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }]);
+        let report = sys.run_to_completion(5_000_000);
+        assert_eq!(report.detections.len(), 1, "missed: {}", report.missed_faults);
+        assert_eq!(report.missed_faults, 0);
+        assert_eq!(report.failed_segments, 1);
+        let d = &report.detections[0];
+        assert!(d.latency_ns > 0.0);
+        assert!(d.detected_cycle > d.injected_cycle);
+    }
+
+    #[test]
+    fn single_little_core_still_completes() {
+        let wl = small_workload();
+        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(1), &wl, 6_000);
+        let report = sys.run_to_completion(20_000_000);
+        assert_eq!(report.failed_segments, 0);
+        assert!(report.verified_segments > 0);
+    }
+
+    #[test]
+    fn more_little_cores_never_slower() {
+        let wl = small_workload();
+        let run_n = |n: usize| {
+            let mut sys = MeekSystem::new(MeekConfig::with_little_cores(n), &wl, 10_000);
+            sys.run_to_completion(30_000_000).cycles
+        };
+        let two = run_n(2);
+        let four = run_n(4);
+        assert!(four <= two + two / 10, "4 cores ({four}) should not be slower than 2 ({two})");
+    }
+
+    #[test]
+    fn axi_fabric_completes() {
+        let wl = small_workload();
+        let cfg = MeekConfig { fabric: FabricKind::Axi, ..MeekConfig::default() };
+        let mut sys = MeekSystem::new(cfg, &wl, 8_000);
+        let report = sys.run_to_completion(30_000_000);
+        assert_eq!(report.failed_segments, 0);
+    }
+}

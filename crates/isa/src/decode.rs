@@ -1,0 +1,430 @@
+//! Binary decoding of 32-bit machine words into [`Inst`].
+
+use crate::encode::*;
+use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::meek::MeekOp;
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Error returned when a 32-bit word is not a recognised instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognised instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> Reg {
+    Reg::from_index(((w >> 7) & 0x1F) as u8)
+}
+
+fn rs1(w: u32) -> Reg {
+    Reg::from_index(((w >> 15) & 0x1F) as u8)
+}
+
+fn rs2(w: u32) -> Reg {
+    Reg::from_index(((w >> 20) & 0x1F) as u8)
+}
+
+fn frd(w: u32) -> FReg {
+    FReg::new(((w >> 7) & 0x1F) as u8)
+}
+
+fn frs1(w: u32) -> FReg {
+    FReg::new(((w >> 15) & 0x1F) as u8)
+}
+
+fn frs2(w: u32) -> FReg {
+    FReg::new(((w >> 20) & 0x1F) as u8)
+}
+
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | (((w >> 7) & 0x1F) as i32)
+}
+
+fn imm_b(w: u32) -> i32 {
+    let imm = (((w >> 31) & 1) << 12)
+        | (((w >> 7) & 1) << 11)
+        | (((w >> 25) & 0x3F) << 5)
+        | (((w >> 8) & 0xF) << 1);
+    ((imm as i32) << 19) >> 19
+}
+
+fn imm_u(w: u32) -> i32 {
+    (w as i32) >> 12
+}
+
+fn imm_j(w: u32) -> i32 {
+    let imm = (((w >> 31) & 1) << 20)
+        | (((w >> 12) & 0xFF) << 12)
+        | (((w >> 20) & 1) << 11)
+        | (((w >> 21) & 0x3FF) << 1);
+    ((imm as i32) << 11) >> 11
+}
+
+/// Decodes a 32-bit machine word into an [`Inst`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not an instruction this
+/// simulator implements (RV64IM, Zicsr, the D-extension subset, or the
+/// MEEK ISA extension).
+pub fn decode(w: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError { word: w });
+    let opcode = w & 0x7F;
+    let inst = match opcode {
+        OP_LUI => Inst::Lui { rd: rd(w), imm: imm_u(w) },
+        OP_AUIPC => Inst::Auipc { rd: rd(w), imm: imm_u(w) },
+        OP_JAL => Inst::Jal { rd: rd(w), offset: imm_j(w) },
+        OP_JALR => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            Inst::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+        }
+        OP_BRANCH => {
+            let op = match funct3(w) {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return err,
+            };
+            Inst::Branch { op, rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) }
+        }
+        OP_LOAD => {
+            let op = match funct3(w) {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b011 => LoadOp::Ld,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                0b110 => LoadOp::Lwu,
+                _ => return err,
+            };
+            Inst::Load { op, rd: rd(w), rs1: rs1(w), offset: imm_i(w) }
+        }
+        OP_STORE => {
+            let op = match funct3(w) {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                0b011 => StoreOp::Sd,
+                _ => return err,
+            };
+            Inst::Store { op, rs1: rs1(w), rs2: rs2(w), offset: imm_s(w) }
+        }
+        OP_IMM => {
+            let op = match funct3(w) {
+                0b000 => AluImmOp::Addi,
+                0b010 => AluImmOp::Slti,
+                0b011 => AluImmOp::Sltiu,
+                0b100 => AluImmOp::Xori,
+                0b110 => AluImmOp::Ori,
+                0b111 => AluImmOp::Andi,
+                0b001 => {
+                    if funct7(w) & !1 != 0 {
+                        return err;
+                    }
+                    return Ok(Inst::AluImm {
+                        op: AluImmOp::Slli,
+                        rd: rd(w),
+                        rs1: rs1(w),
+                        imm: ((w >> 20) & 0x3F) as i32,
+                    });
+                }
+                0b101 => {
+                    let shamt = ((w >> 20) & 0x3F) as i32;
+                    let op = match funct7(w) & !1 {
+                        0x00 => AluImmOp::Srli,
+                        0x20 => AluImmOp::Srai,
+                        _ => return err,
+                    };
+                    return Ok(Inst::AluImm { op, rd: rd(w), rs1: rs1(w), imm: shamt });
+                }
+                _ => return err,
+            };
+            Inst::AluImm { op, rd: rd(w), rs1: rs1(w), imm: imm_i(w) }
+        }
+        OP_IMM_32 => match funct3(w) {
+            0b000 => Inst::AluImm { op: AluImmOp::Addiw, rd: rd(w), rs1: rs1(w), imm: imm_i(w) },
+            0b001 => {
+                if funct7(w) != 0 {
+                    return err;
+                }
+                Inst::AluImm { op: AluImmOp::Slliw, rd: rd(w), rs1: rs1(w), imm: ((w >> 20) & 0x1F) as i32 }
+            }
+            0b101 => {
+                let shamt = ((w >> 20) & 0x1F) as i32;
+                let op = match funct7(w) {
+                    0x00 => AluImmOp::Srliw,
+                    0x20 => AluImmOp::Sraiw,
+                    _ => return err,
+                };
+                Inst::AluImm { op, rd: rd(w), rs1: rs1(w), imm: shamt }
+            }
+            _ => return err,
+        },
+        OP_OP => {
+            let key = (funct7(w), funct3(w));
+            if funct7(w) == 0x01 {
+                let op = match funct3(w) {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    _ => MulDivOp::Remu,
+                };
+                return Ok(Inst::MulDiv { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) });
+            }
+            let op = match key {
+                (0x00, 0b000) => AluOp::Add,
+                (0x20, 0b000) => AluOp::Sub,
+                (0x00, 0b001) => AluOp::Sll,
+                (0x00, 0b010) => AluOp::Slt,
+                (0x00, 0b011) => AluOp::Sltu,
+                (0x00, 0b100) => AluOp::Xor,
+                (0x00, 0b101) => AluOp::Srl,
+                (0x20, 0b101) => AluOp::Sra,
+                (0x00, 0b110) => AluOp::Or,
+                (0x00, 0b111) => AluOp::And,
+                _ => return err,
+            };
+            Inst::Alu { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        OP_OP_32 => {
+            if funct7(w) == 0x01 {
+                let op = match funct3(w) {
+                    0b000 => MulDivOp::Mulw,
+                    0b100 => MulDivOp::Divw,
+                    0b101 => MulDivOp::Divuw,
+                    0b110 => MulDivOp::Remw,
+                    0b111 => MulDivOp::Remuw,
+                    _ => return err,
+                };
+                return Ok(Inst::MulDiv { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) });
+            }
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0b000) => AluOp::Addw,
+                (0x20, 0b000) => AluOp::Subw,
+                (0x00, 0b001) => AluOp::Sllw,
+                (0x00, 0b101) => AluOp::Srlw,
+                (0x20, 0b101) => AluOp::Sraw,
+                _ => return err,
+            };
+            Inst::Alu { op, rd: rd(w), rs1: rs1(w), rs2: rs2(w) }
+        }
+        OP_LOAD_FP => {
+            if funct3(w) != 0b011 {
+                return err;
+            }
+            Inst::Fld { rd: frd(w), rs1: rs1(w), offset: imm_i(w) }
+        }
+        OP_STORE_FP => {
+            if funct3(w) != 0b011 {
+                return err;
+            }
+            Inst::Fsd { rs1: rs1(w), rs2: frs2(w), offset: imm_s(w) }
+        }
+        OP_MADD => {
+            if (w >> 25) & 0x3 != 0b01 {
+                return err;
+            }
+            Inst::FmaddD {
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rs3: FReg::new(((w >> 27) & 0x1F) as u8),
+            }
+        }
+        OP_OP_FP => match funct7(w) {
+            0x01 => Inst::Fp { op: FpOp::FaddD, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x05 => Inst::Fp { op: FpOp::FsubD, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x09 => Inst::Fp { op: FpOp::FmulD, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x0D => Inst::Fp { op: FpOp::FdivD, rd: frd(w), rs1: frs1(w), rs2: frs2(w) },
+            0x2D => Inst::Fp { op: FpOp::FsqrtD, rd: frd(w), rs1: frs1(w), rs2: frs1(w) },
+            0x11 => {
+                if funct3(w) != 0 {
+                    return err;
+                }
+                Inst::Fp { op: FpOp::FsgnjD, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0x15 => {
+                let op = match funct3(w) {
+                    0b000 => FpOp::FminD,
+                    0b001 => FpOp::FmaxD,
+                    _ => return err,
+                };
+                Inst::Fp { op, rd: frd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0x51 => {
+                let op = match funct3(w) {
+                    0b010 => FpCmpOp::FeqD,
+                    0b001 => FpCmpOp::FltD,
+                    0b000 => FpCmpOp::FleD,
+                    _ => return err,
+                };
+                Inst::FpCmp { op, rd: rd(w), rs1: frs1(w), rs2: frs2(w) }
+            }
+            0x69 => {
+                if (w >> 20) & 0x1F != 0x02 {
+                    return err;
+                }
+                Inst::FcvtDL { rd: frd(w), rs1: rs1(w) }
+            }
+            0x61 => {
+                if (w >> 20) & 0x1F != 0x02 {
+                    return err;
+                }
+                Inst::FcvtLD { rd: rd(w), rs1: frs1(w) }
+            }
+            0x71 => Inst::FmvXD { rd: rd(w), rs1: frs1(w) },
+            0x79 => Inst::FmvDX { rd: frd(w), rs1: rs1(w) },
+            _ => return err,
+        },
+        OP_SYSTEM => match funct3(w) {
+            0b000 => match w >> 20 {
+                0 => Inst::Ecall,
+                1 => Inst::Ebreak,
+                _ => return err,
+            },
+            0b001 => Inst::Csr { op: CsrOp::Rw, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 },
+            0b010 => Inst::Csr { op: CsrOp::Rs, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 },
+            0b011 => Inst::Csr { op: CsrOp::Rc, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 },
+            0b101 => Inst::Csr { op: CsrOp::Rwi, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 },
+            0b110 => Inst::Csr { op: CsrOp::Rsi, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 },
+            0b111 => Inst::Csr { op: CsrOp::Rci, rd: rd(w), rs1: rs1(w), csr: (w >> 20) as u16 },
+            _ => return err,
+        },
+        OP_MISC_MEM => {
+            if funct3(w) != 0 {
+                return err;
+            }
+            Inst::Fence
+        }
+        OP_CUSTOM_0 => {
+            let op = match funct3(w) {
+                0 => MeekOp::BHook { rs1: rs1(w), rs2: rs2(w) },
+                1 => MeekOp::BCheck { rs1: rs1(w) },
+                2 => MeekOp::LMode { rs1: rs1(w), rs2: rs2(w) },
+                3 => MeekOp::LRecord { rs1: rs1(w) },
+                4 => MeekOp::LApply { rs1: rs1(w) },
+                5 => MeekOp::LJal { rs1: rs1(w) },
+                6 => MeekOp::LRslt { rd: rd(w) },
+                _ => return err,
+            };
+            Inst::Meek(op)
+        }
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_known_words() {
+        assert_eq!(
+            decode(0x0015_8513).unwrap(),
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X10, rs1: Reg::X11, imm: 1 }
+        );
+        assert_eq!(
+            decode(0xFFF5_0513).unwrap(),
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X10, rs1: Reg::X10, imm: -1 }
+        );
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Inst::Ebreak);
+        assert_eq!(
+            decode(0xFE00_0EE3).unwrap(),
+            Inst::Branch { op: BranchOp::Beq, rs1: Reg::X0, rs2: Reg::X0, offset: -4 }
+        );
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+        // Valid opcode, invalid funct3 for JALR.
+        assert!(decode(0x0000_1067).is_err());
+    }
+
+    #[test]
+    fn roundtrip_spot_checks() {
+        let insts = [
+            Inst::Lui { rd: Reg::X5, imm: -1 },
+            Inst::Auipc { rd: Reg::X6, imm: 0x7FFFF },
+            Inst::Jal { rd: Reg::X1, offset: -1048576 },
+            Inst::Jal { rd: Reg::X0, offset: 1048574 },
+            Inst::Jalr { rd: Reg::X1, rs1: Reg::X5, offset: -2048 },
+            Inst::Branch { op: BranchOp::Bgeu, rs1: Reg::X7, rs2: Reg::X8, offset: -4096 },
+            Inst::Branch { op: BranchOp::Blt, rs1: Reg::X7, rs2: Reg::X8, offset: 4094 },
+            Inst::Load { op: LoadOp::Lwu, rd: Reg::X9, rs1: Reg::X10, offset: 2047 },
+            Inst::Store { op: StoreOp::Sh, rs1: Reg::X11, rs2: Reg::X12, offset: -2048 },
+            Inst::AluImm { op: AluImmOp::Srai, rd: Reg::X13, rs1: Reg::X14, imm: 63 },
+            Inst::AluImm { op: AluImmOp::Sraiw, rd: Reg::X13, rs1: Reg::X14, imm: 31 },
+            Inst::Alu { op: AluOp::Sraw, rd: Reg::X15, rs1: Reg::X16, rs2: Reg::X17 },
+            Inst::MulDiv { op: MulDivOp::Remuw, rd: Reg::X18, rs1: Reg::X19, rs2: Reg::X20 },
+            Inst::Fld { rd: FReg::new(1), rs1: Reg::X2, offset: 16 },
+            Inst::Fsd { rs1: Reg::X2, rs2: FReg::new(3), offset: -8 },
+            Inst::Fp { op: FpOp::FdivD, rd: FReg::new(4), rs1: FReg::new(5), rs2: FReg::new(6) },
+            Inst::FpCmp { op: FpCmpOp::FltD, rd: Reg::X21, rs1: FReg::new(7), rs2: FReg::new(8) },
+            Inst::FmaddD { rd: FReg::new(9), rs1: FReg::new(10), rs2: FReg::new(11), rs3: FReg::new(12) },
+            Inst::FcvtDL { rd: FReg::new(13), rs1: Reg::X22 },
+            Inst::FcvtLD { rd: Reg::X23, rs1: FReg::new(14) },
+            Inst::FmvXD { rd: Reg::X24, rs1: FReg::new(15) },
+            Inst::FmvDX { rd: FReg::new(16), rs1: Reg::X25 },
+            Inst::Csr { op: CsrOp::Rs, rd: Reg::X26, rs1: Reg::X27, csr: 0xC00 },
+            Inst::Fence,
+            Inst::Meek(MeekOp::BHook { rs1: Reg::X10, rs2: Reg::X11 }),
+            Inst::Meek(MeekOp::LRslt { rd: Reg::X12 }),
+        ];
+        for inst in &insts {
+            let word = encode(inst);
+            assert_eq!(decode(word), Ok(*inst), "roundtrip failed for {inst:?} ({word:#010x})");
+        }
+    }
+
+    #[test]
+    fn fsqrt_uses_rs1_twice() {
+        // FSQRT.D encodes rs2 = 0; we canonicalise the decoded form with
+        // rs2 = rs1 so the dependence tracking sees one source.
+        let word = encode(&Inst::Fp {
+            op: FpOp::FsqrtD,
+            rd: FReg::new(2),
+            rs1: FReg::new(3),
+            rs2: FReg::new(3),
+        });
+        assert_eq!(
+            decode(word).unwrap(),
+            Inst::Fp { op: FpOp::FsqrtD, rd: FReg::new(2), rs1: FReg::new(3), rs2: FReg::new(3) }
+        );
+    }
+}

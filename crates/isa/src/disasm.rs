@@ -1,0 +1,202 @@
+//! A small disassembler for debugging traces and failed checks.
+
+use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use std::fmt;
+
+/// Wrapper that formats an [`Inst`] as assembly text.
+///
+/// # Example
+///
+/// ```
+/// use meek_isa::{disasm::Disasm, Inst, Reg};
+/// use meek_isa::inst::{AluImmOp};
+///
+/// let i = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X10, rs1: Reg::X11, imm: -4 };
+/// assert_eq!(Disasm(&i).to_string(), "addi a0, a1, -4");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Disasm<'a>(pub &'a Inst);
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+        AluOp::Addw => "addw",
+        AluOp::Subw => "subw",
+        AluOp::Sllw => "sllw",
+        AluOp::Srlw => "srlw",
+        AluOp::Sraw => "sraw",
+    }
+}
+
+fn alu_imm_name(op: AluImmOp) -> &'static str {
+    match op {
+        AluImmOp::Addi => "addi",
+        AluImmOp::Slti => "slti",
+        AluImmOp::Sltiu => "sltiu",
+        AluImmOp::Xori => "xori",
+        AluImmOp::Ori => "ori",
+        AluImmOp::Andi => "andi",
+        AluImmOp::Slli => "slli",
+        AluImmOp::Srli => "srli",
+        AluImmOp::Srai => "srai",
+        AluImmOp::Addiw => "addiw",
+        AluImmOp::Slliw => "slliw",
+        AluImmOp::Srliw => "srliw",
+        AluImmOp::Sraiw => "sraiw",
+    }
+}
+
+fn muldiv_name(op: MulDivOp) -> &'static str {
+    match op {
+        MulDivOp::Mul => "mul",
+        MulDivOp::Mulh => "mulh",
+        MulDivOp::Mulhsu => "mulhsu",
+        MulDivOp::Mulhu => "mulhu",
+        MulDivOp::Div => "div",
+        MulDivOp::Divu => "divu",
+        MulDivOp::Rem => "rem",
+        MulDivOp::Remu => "remu",
+        MulDivOp::Mulw => "mulw",
+        MulDivOp::Divw => "divw",
+        MulDivOp::Divuw => "divuw",
+        MulDivOp::Remw => "remw",
+        MulDivOp::Remuw => "remuw",
+    }
+}
+
+impl fmt::Display for Disasm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self.0 {
+            Inst::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", imm & 0xFFFFF),
+            Inst::Auipc { rd, imm } => write!(f, "auipc {rd}, {:#x}", imm & 0xFFFFF),
+            Inst::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Inst::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let name = match op {
+                    BranchOp::Beq => "beq",
+                    BranchOp::Bne => "bne",
+                    BranchOp::Blt => "blt",
+                    BranchOp::Bge => "bge",
+                    BranchOp::Bltu => "bltu",
+                    BranchOp::Bgeu => "bgeu",
+                };
+                write!(f, "{name} {rs1}, {rs2}, {offset}")
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let name = match op {
+                    LoadOp::Lb => "lb",
+                    LoadOp::Lh => "lh",
+                    LoadOp::Lw => "lw",
+                    LoadOp::Ld => "ld",
+                    LoadOp::Lbu => "lbu",
+                    LoadOp::Lhu => "lhu",
+                    LoadOp::Lwu => "lwu",
+                };
+                write!(f, "{name} {rd}, {offset}({rs1})")
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let name = match op {
+                    StoreOp::Sb => "sb",
+                    StoreOp::Sh => "sh",
+                    StoreOp::Sw => "sw",
+                    StoreOp::Sd => "sd",
+                };
+                write!(f, "{name} {rs2}, {offset}({rs1})")
+            }
+            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{} {rd}, {rs1}, {imm}", alu_imm_name(op)),
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(op)),
+            Inst::MulDiv { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", muldiv_name(op)),
+            Inst::Fld { rd, rs1, offset } => write!(f, "fld {rd}, {offset}({rs1})"),
+            Inst::Fsd { rs1, rs2, offset } => write!(f, "fsd {rs2}, {offset}({rs1})"),
+            Inst::Fp { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpOp::FaddD => "fadd.d",
+                    FpOp::FsubD => "fsub.d",
+                    FpOp::FmulD => "fmul.d",
+                    FpOp::FdivD => "fdiv.d",
+                    FpOp::FsqrtD => return write!(f, "fsqrt.d {rd}, {rs1}"),
+                    FpOp::FsgnjD => "fsgnj.d",
+                    FpOp::FminD => "fmin.d",
+                    FpOp::FmaxD => "fmax.d",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FpCmp { op, rd, rs1, rs2 } => {
+                let name = match op {
+                    FpCmpOp::FeqD => "feq.d",
+                    FpCmpOp::FltD => "flt.d",
+                    FpCmpOp::FleD => "fle.d",
+                };
+                write!(f, "{name} {rd}, {rs1}, {rs2}")
+            }
+            Inst::FmaddD { rd, rs1, rs2, rs3 } => write!(f, "fmadd.d {rd}, {rs1}, {rs2}, {rs3}"),
+            Inst::FcvtDL { rd, rs1 } => write!(f, "fcvt.d.l {rd}, {rs1}"),
+            Inst::FcvtLD { rd, rs1 } => write!(f, "fcvt.l.d {rd}, {rs1}"),
+            Inst::FmvXD { rd, rs1 } => write!(f, "fmv.x.d {rd}, {rs1}"),
+            Inst::FmvDX { rd, rs1 } => write!(f, "fmv.d.x {rd}, {rs1}"),
+            Inst::Csr { op, rd, rs1, csr } => {
+                let name = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                    CsrOp::Rwi => "csrrwi",
+                    CsrOp::Rsi => "csrrsi",
+                    CsrOp::Rci => "csrrci",
+                };
+                match op {
+                    CsrOp::Rwi | CsrOp::Rsi | CsrOp::Rci => {
+                        write!(f, "{name} {rd}, {csr:#x}, {}", rs1.index())
+                    }
+                    _ => write!(f, "{name} {rd}, {csr:#x}, {rs1}"),
+                }
+            }
+            Inst::Fence => write!(f, "fence"),
+            Inst::Ecall => write!(f, "ecall"),
+            Inst::Ebreak => write!(f, "ebreak"),
+            Inst::Meek(op) => write!(f, "{op}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn formats() {
+        let cases: [(Inst, &str); 7] = [
+            (Inst::Lui { rd: Reg::X10, imm: 0x12345 }, "lui a0, 0x12345"),
+            (Inst::Jal { rd: Reg::X1, offset: -8 }, "jal ra, -8"),
+            (
+                Inst::Load { op: LoadOp::Ld, rd: Reg::X10, rs1: Reg::X2, offset: 16 },
+                "ld a0, 16(sp)",
+            ),
+            (
+                Inst::Store { op: StoreOp::Sd, rs1: Reg::X2, rs2: Reg::X10, offset: 16 },
+                "sd a0, 16(sp)",
+            ),
+            (
+                Inst::Fp { op: FpOp::FdivD, rd: FReg::new(1), rs1: FReg::new(2), rs2: FReg::new(3) },
+                "fdiv.d f1, f2, f3",
+            ),
+            (Inst::Ecall, "ecall"),
+            (
+                Inst::Meek(crate::meek::MeekOp::LApply { rs1: Reg::X10 }),
+                "l.apply a0",
+            ),
+        ];
+        for (inst, expect) in cases {
+            assert_eq!(Disasm(&inst).to_string(), expect);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Binary encoding of [`Inst`] into 32-bit RISC-V machine words.
+//!
+//! The workload generator in `meek-workloads` uses this to emit real
+//! machine code into simulated memory, which the core models then fetch
+//! and [`decode()`](crate::decode()).
+
+use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::meek::MeekOp;
+use crate::reg::{FReg, Reg};
+
+pub(crate) const OP_LOAD: u32 = 0x03;
+pub(crate) const OP_LOAD_FP: u32 = 0x07;
+pub(crate) const OP_MISC_MEM: u32 = 0x0F;
+pub(crate) const OP_IMM: u32 = 0x13;
+pub(crate) const OP_AUIPC: u32 = 0x17;
+pub(crate) const OP_IMM_32: u32 = 0x1B;
+pub(crate) const OP_STORE: u32 = 0x23;
+pub(crate) const OP_STORE_FP: u32 = 0x27;
+pub(crate) const OP_OP: u32 = 0x33;
+pub(crate) const OP_LUI: u32 = 0x37;
+pub(crate) const OP_OP_32: u32 = 0x3B;
+pub(crate) const OP_MADD: u32 = 0x43;
+pub(crate) const OP_OP_FP: u32 = 0x53;
+pub(crate) const OP_BRANCH: u32 = 0x63;
+pub(crate) const OP_JALR: u32 = 0x67;
+pub(crate) const OP_JAL: u32 = 0x6F;
+pub(crate) const OP_SYSTEM: u32 = 0x73;
+/// The *custom-0* major opcode hosting the MEEK ISA extension.
+pub(crate) const OP_CUSTOM_0: u32 = 0x0B;
+
+fn r_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, rs2: u8, funct7: u32) -> u32 {
+    opcode | ((rd as u32) << 7) | (funct3 << 12) | ((rs1 as u32) << 15) | ((rs2 as u32) << 20) | (funct7 << 25)
+}
+
+fn i_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-imm {imm} out of range");
+    opcode | ((rd as u32) << 7) | (funct3 << 12) | ((rs1 as u32) << 15) | (((imm as u32) & 0xFFF) << 20)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-imm {imm} out of range");
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1F) << 7)
+        | (funct3 << 12)
+        | ((rs1 as u32) << 15)
+        | ((rs2 as u32) << 20)
+        | (((imm >> 5) & 0x7F) << 25)
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
+    debug_assert!((-4096..=4095).contains(&imm) && imm % 2 == 0, "B-imm {imm} out of range");
+    let imm = imm as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | (funct3 << 12)
+        | ((rs1 as u32) << 15)
+        | ((rs2 as u32) << 20)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn u_type(opcode: u32, rd: u8, imm: i32) -> u32 {
+    opcode | ((rd as u32) << 7) | ((imm as u32) << 12)
+}
+
+fn j_type(opcode: u32, rd: u8, imm: i32) -> u32 {
+    debug_assert!((-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0, "J-imm {imm} out of range");
+    let imm = imm as u32;
+    opcode
+        | ((rd as u32) << 7)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+fn x(r: Reg) -> u8 {
+    r.index()
+}
+
+fn f(r: FReg) -> u8 {
+    r.index()
+}
+
+/// Encodes a decoded instruction into its 32-bit machine word.
+///
+/// The inverse of [`decode()`](crate::decode()): for every `Inst` produced by
+/// this crate, `decode(encode(i)) == Ok(i)` (property-tested).
+///
+/// # Panics
+///
+/// Debug builds panic if an immediate is out of range for its format
+/// (the workload generator never produces such immediates).
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => u_type(OP_LUI, x(rd), imm),
+        Inst::Auipc { rd, imm } => u_type(OP_AUIPC, x(rd), imm),
+        Inst::Jal { rd, offset } => j_type(OP_JAL, x(rd), offset),
+        Inst::Jalr { rd, rs1, offset } => i_type(OP_JALR, x(rd), 0, x(rs1), offset),
+        Inst::Branch { op, rs1, rs2, offset } => {
+            let funct3 = match op {
+                BranchOp::Beq => 0b000,
+                BranchOp::Bne => 0b001,
+                BranchOp::Blt => 0b100,
+                BranchOp::Bge => 0b101,
+                BranchOp::Bltu => 0b110,
+                BranchOp::Bgeu => 0b111,
+            };
+            b_type(OP_BRANCH, funct3, x(rs1), x(rs2), offset)
+        }
+        Inst::Load { op, rd, rs1, offset } => {
+            let funct3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Ld => 0b011,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+                LoadOp::Lwu => 0b110,
+            };
+            i_type(OP_LOAD, x(rd), funct3, x(rs1), offset)
+        }
+        Inst::Store { op, rs1, rs2, offset } => {
+            let funct3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+                StoreOp::Sd => 0b011,
+            };
+            s_type(OP_STORE, funct3, x(rs1), x(rs2), offset)
+        }
+        Inst::AluImm { op, rd, rs1, imm } => match op {
+            AluImmOp::Addi => i_type(OP_IMM, x(rd), 0b000, x(rs1), imm),
+            AluImmOp::Slti => i_type(OP_IMM, x(rd), 0b010, x(rs1), imm),
+            AluImmOp::Sltiu => i_type(OP_IMM, x(rd), 0b011, x(rs1), imm),
+            AluImmOp::Xori => i_type(OP_IMM, x(rd), 0b100, x(rs1), imm),
+            AluImmOp::Ori => i_type(OP_IMM, x(rd), 0b110, x(rs1), imm),
+            AluImmOp::Andi => i_type(OP_IMM, x(rd), 0b111, x(rs1), imm),
+            AluImmOp::Slli => i_type(OP_IMM, x(rd), 0b001, x(rs1), imm & 0x3F),
+            AluImmOp::Srli => i_type(OP_IMM, x(rd), 0b101, x(rs1), imm & 0x3F),
+            AluImmOp::Srai => i_type(OP_IMM, x(rd), 0b101, x(rs1), (imm & 0x3F) | 0x400),
+            AluImmOp::Addiw => i_type(OP_IMM_32, x(rd), 0b000, x(rs1), imm),
+            AluImmOp::Slliw => i_type(OP_IMM_32, x(rd), 0b001, x(rs1), imm & 0x1F),
+            AluImmOp::Srliw => i_type(OP_IMM_32, x(rd), 0b101, x(rs1), imm & 0x1F),
+            AluImmOp::Sraiw => i_type(OP_IMM_32, x(rd), 0b101, x(rs1), (imm & 0x1F) | 0x400),
+        },
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let (opcode, funct3, funct7) = match op {
+                AluOp::Add => (OP_OP, 0b000, 0x00),
+                AluOp::Sub => (OP_OP, 0b000, 0x20),
+                AluOp::Sll => (OP_OP, 0b001, 0x00),
+                AluOp::Slt => (OP_OP, 0b010, 0x00),
+                AluOp::Sltu => (OP_OP, 0b011, 0x00),
+                AluOp::Xor => (OP_OP, 0b100, 0x00),
+                AluOp::Srl => (OP_OP, 0b101, 0x00),
+                AluOp::Sra => (OP_OP, 0b101, 0x20),
+                AluOp::Or => (OP_OP, 0b110, 0x00),
+                AluOp::And => (OP_OP, 0b111, 0x00),
+                AluOp::Addw => (OP_OP_32, 0b000, 0x00),
+                AluOp::Subw => (OP_OP_32, 0b000, 0x20),
+                AluOp::Sllw => (OP_OP_32, 0b001, 0x00),
+                AluOp::Srlw => (OP_OP_32, 0b101, 0x00),
+                AluOp::Sraw => (OP_OP_32, 0b101, 0x20),
+            };
+            r_type(opcode, x(rd), funct3, x(rs1), x(rs2), funct7)
+        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => {
+            let (opcode, funct3) = match op {
+                MulDivOp::Mul => (OP_OP, 0b000),
+                MulDivOp::Mulh => (OP_OP, 0b001),
+                MulDivOp::Mulhsu => (OP_OP, 0b010),
+                MulDivOp::Mulhu => (OP_OP, 0b011),
+                MulDivOp::Div => (OP_OP, 0b100),
+                MulDivOp::Divu => (OP_OP, 0b101),
+                MulDivOp::Rem => (OP_OP, 0b110),
+                MulDivOp::Remu => (OP_OP, 0b111),
+                MulDivOp::Mulw => (OP_OP_32, 0b000),
+                MulDivOp::Divw => (OP_OP_32, 0b100),
+                MulDivOp::Divuw => (OP_OP_32, 0b101),
+                MulDivOp::Remw => (OP_OP_32, 0b110),
+                MulDivOp::Remuw => (OP_OP_32, 0b111),
+            };
+            r_type(opcode, x(rd), funct3, x(rs1), x(rs2), 0x01)
+        }
+        Inst::Fld { rd, rs1, offset } => i_type(OP_LOAD_FP, f(rd), 0b011, x(rs1), offset),
+        Inst::Fsd { rs1, rs2, offset } => s_type(OP_STORE_FP, 0b011, x(rs1), f(rs2), offset),
+        Inst::Fp { op, rd, rs1, rs2 } => {
+            let (funct7, funct3, rs2_field) = match op {
+                FpOp::FaddD => (0x01, 0b000, f(rs2)),
+                FpOp::FsubD => (0x05, 0b000, f(rs2)),
+                FpOp::FmulD => (0x09, 0b000, f(rs2)),
+                FpOp::FdivD => (0x0D, 0b000, f(rs2)),
+                FpOp::FsqrtD => (0x2D, 0b000, 0),
+                FpOp::FsgnjD => (0x11, 0b000, f(rs2)),
+                FpOp::FminD => (0x15, 0b000, f(rs2)),
+                FpOp::FmaxD => (0x15, 0b001, f(rs2)),
+            };
+            r_type(OP_OP_FP, f(rd), funct3, f(rs1), rs2_field, funct7)
+        }
+        Inst::FpCmp { op, rd, rs1, rs2 } => {
+            let funct3 = match op {
+                FpCmpOp::FeqD => 0b010,
+                FpCmpOp::FltD => 0b001,
+                FpCmpOp::FleD => 0b000,
+            };
+            r_type(OP_OP_FP, x(rd), funct3, f(rs1), f(rs2), 0x51)
+        }
+        Inst::FmaddD { rd, rs1, rs2, rs3 } => {
+            // R4-type: rs3 in [31:27], fmt=01 (D) in [26:25].
+            r_type(OP_MADD, f(rd), 0b000, f(rs1), f(rs2), 0) | (0b01 << 25) | ((f(rs3) as u32) << 27)
+        }
+        Inst::FcvtDL { rd, rs1 } => r_type(OP_OP_FP, f(rd), 0b000, x(rs1), 0x02, 0x69),
+        Inst::FcvtLD { rd, rs1 } => r_type(OP_OP_FP, x(rd), 0b001, f(rs1), 0x02, 0x61),
+        Inst::FmvXD { rd, rs1 } => r_type(OP_OP_FP, x(rd), 0b000, f(rs1), 0x00, 0x71),
+        Inst::FmvDX { rd, rs1 } => r_type(OP_OP_FP, f(rd), 0b000, x(rs1), 0x00, 0x79),
+        Inst::Csr { op, rd, rs1, csr } => {
+            let funct3 = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+                CsrOp::Rwi => 0b101,
+                CsrOp::Rsi => 0b110,
+                CsrOp::Rci => 0b111,
+            };
+            OP_SYSTEM | ((x(rd) as u32) << 7) | (funct3 << 12) | ((x(rs1) as u32) << 15) | ((csr as u32) << 20)
+        }
+        Inst::Fence => i_type(OP_MISC_MEM, 0, 0b000, 0, 0x0FF),
+        Inst::Ecall => OP_SYSTEM,
+        Inst::Ebreak => OP_SYSTEM | (1 << 20),
+        Inst::Meek(op) => {
+            let funct3 = op.funct3() as u32;
+            let (rd, rs1, rs2) = match op {
+                MeekOp::BHook { rs1, rs2 } | MeekOp::LMode { rs1, rs2 } => (0, x(rs1), x(rs2)),
+                MeekOp::BCheck { rs1 }
+                | MeekOp::LRecord { rs1 }
+                | MeekOp::LApply { rs1 }
+                | MeekOp::LJal { rs1 } => (0, x(rs1), 0),
+                MeekOp::LRslt { rd } => (x(rd), 0, 0),
+            };
+            r_type(OP_CUSTOM_0, rd, funct3, rs1, rs2, 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against the RISC-V spec / GNU assembler output.
+        // addi a0, a1, 1  -> 0x00158513
+        assert_eq!(
+            encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X10, rs1: Reg::X11, imm: 1 }),
+            0x0015_8513
+        );
+        // add a0, a1, a2 -> 0x00C58533
+        assert_eq!(
+            encode(&Inst::Alu { op: AluOp::Add, rd: Reg::X10, rs1: Reg::X11, rs2: Reg::X12 }),
+            0x00C5_8533
+        );
+        // sub a0, a1, a2 -> 0x40C58533
+        assert_eq!(
+            encode(&Inst::Alu { op: AluOp::Sub, rd: Reg::X10, rs1: Reg::X11, rs2: Reg::X12 }),
+            0x40C5_8533
+        );
+        // ld a0, 8(sp) -> 0x00813503
+        assert_eq!(
+            encode(&Inst::Load { op: LoadOp::Ld, rd: Reg::X10, rs1: Reg::X2, offset: 8 }),
+            0x0081_3503
+        );
+        // sd a0, 8(sp) -> 0x00A13423
+        assert_eq!(
+            encode(&Inst::Store { op: StoreOp::Sd, rs1: Reg::X2, rs2: Reg::X10, offset: 8 }),
+            0x00A1_3423
+        );
+        // beq a0, a1, +16 -> 0x00B50863
+        assert_eq!(
+            encode(&Inst::Branch { op: BranchOp::Beq, rs1: Reg::X10, rs2: Reg::X11, offset: 16 }),
+            0x00B5_0863
+        );
+        // jal ra, +8 -> 0x008000EF; jal ra, +2048 exercises imm[11] -> 0x001000EF
+        assert_eq!(encode(&Inst::Jal { rd: Reg::X1, offset: 8 }), 0x0080_00EF);
+        assert_eq!(encode(&Inst::Jal { rd: Reg::X1, offset: 2048 }), 0x0010_00EF);
+        // lui a0, 0x12345 -> 0x12345537
+        assert_eq!(encode(&Inst::Lui { rd: Reg::X10, imm: 0x12345 }), 0x1234_5537);
+        // mul a0, a1, a2 -> 0x02C58533
+        assert_eq!(
+            encode(&Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::X10, rs1: Reg::X11, rs2: Reg::X12 }),
+            0x02C5_8533
+        );
+        // ecall -> 0x00000073
+        assert_eq!(encode(&Inst::Ecall), 0x0000_0073);
+        // ebreak -> 0x00100073
+        assert_eq!(encode(&Inst::Ebreak), 0x0010_0073);
+    }
+
+    #[test]
+    fn negative_immediates() {
+        // addi a0, a0, -1 -> 0xFFF50513
+        assert_eq!(
+            encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X10, rs1: Reg::X10, imm: -1 }),
+            0xFFF5_0513
+        );
+        // beq x0, x0, -4 -> 0xFE000EE3
+        assert_eq!(
+            encode(&Inst::Branch { op: BranchOp::Beq, rs1: Reg::X0, rs2: Reg::X0, offset: -4 }),
+            0xFE00_0EE3
+        );
+    }
+
+    #[test]
+    fn meek_encodings_distinct() {
+        let ops = [
+            Inst::Meek(MeekOp::BHook { rs1: Reg::X10, rs2: Reg::X11 }),
+            Inst::Meek(MeekOp::BCheck { rs1: Reg::X10 }),
+            Inst::Meek(MeekOp::LMode { rs1: Reg::X10, rs2: Reg::X11 }),
+            Inst::Meek(MeekOp::LRecord { rs1: Reg::X10 }),
+            Inst::Meek(MeekOp::LApply { rs1: Reg::X10 }),
+            Inst::Meek(MeekOp::LJal { rs1: Reg::X10 }),
+            Inst::Meek(MeekOp::LRslt { rd: Reg::X10 }),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for op in &ops {
+            let word = encode(op);
+            assert_eq!(word & 0x7F, OP_CUSTOM_0, "custom-0 opcode for {op:?}");
+            assert!(seen.insert(word), "duplicate encoding for {op:?}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The functional memory interface used by the executor.
+//!
+//! Timing (caches, MSHRs, DRAM) lives in `meek-mem`; this module only
+//! defines the *functional* [`Bus`] trait plus a simple page-sparse
+//! backing store.
+
+use std::collections::HashMap;
+
+/// A functional memory bus: byte-addressed reads and writes of 1–8 bytes.
+///
+/// Addresses are masked to their natural alignment by the executor, so
+/// implementations may assume aligned accesses.
+pub trait Bus {
+    /// Reads `size` bytes (1, 2, 4, or 8) at `addr`, zero-extended.
+    fn read(&mut self, addr: u64, size: u8) -> u64;
+
+    /// Writes the low `size` bytes of `val` at `addr`.
+    fn write(&mut self, addr: u64, size: u8, val: u64);
+
+    /// Fetches a 32-bit instruction word at `addr`.
+    fn fetch(&mut self, addr: u64) -> u32 {
+        self.read(addr, 4) as u32
+    }
+}
+
+impl<B: Bus + ?Sized> Bus for &mut B {
+    fn read(&mut self, addr: u64, size: u8) -> u64 {
+        (**self).read(addr, size)
+    }
+
+    fn write(&mut self, addr: u64, size: u8, val: u64) {
+        (**self).write(addr, size, val)
+    }
+
+    fn fetch(&mut self, addr: u64) -> u32 {
+        (**self).fetch(addr)
+    }
+}
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse, page-allocated memory. Unwritten bytes read as zero.
+///
+/// # Example
+///
+/// ```
+/// use meek_isa::{Bus, SparseMemory};
+///
+/// let mut mem = SparseMemory::new();
+/// mem.write(0x8000_0000, 8, 0x0123_4567_89AB_CDEF);
+/// assert_eq!(mem.read(0x8000_0000, 4), 0x89AB_CDEF);
+/// assert_eq!(mem.read(0x8000_0004, 4), 0x0123_4567);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> SparseMemory {
+        SparseMemory { pages: HashMap::new() }
+    }
+
+    /// Copies a program (a slice of 32-bit words) to `base`, in order.
+    pub fn load_program(&mut self, base: u64, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write(base + 4 * i as u64, 4, *w as u64);
+        }
+    }
+
+    /// Number of resident pages (for tests and stats).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads without requiring `&mut self` — used by the little cores,
+    /// which share the program image read-only during replay.
+    pub fn peek(&self, addr: u64, size: u8) -> u64 {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let mut v = 0u64;
+        for i in 0..size as u64 {
+            v |= (self.byte(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Fetches a 32-bit instruction word without requiring `&mut self`.
+    pub fn peek_inst(&self, addr: u64) -> u32 {
+        self.peek(addr, 4) as u32
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    fn byte(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+}
+
+impl Bus for SparseMemory {
+    fn read(&mut self, addr: u64, size: u8) -> u64 {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        let mut v = 0u64;
+        for i in 0..size as u64 {
+            v |= (self.byte(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn write(&mut self, addr: u64, size: u8, val: u64) {
+        debug_assert!(matches!(size, 1 | 2 | 4 | 8));
+        for i in 0..size as u64 {
+            let a = addr + i;
+            let page = self.page_mut(a);
+            page[(a & (PAGE_SIZE as u64 - 1)) as usize] = (val >> (8 * i)) as u8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mut m = SparseMemory::new();
+        assert_eq!(m.read(0xFFFF_0000, 8), 0);
+        assert_eq!(m.page_count(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write(0x100, 8, 0x0102_0304_0506_0708);
+        assert_eq!(m.read(0x100, 1), 0x08);
+        assert_eq!(m.read(0x107, 1), 0x01);
+        assert_eq!(m.read(0x100, 2), 0x0708);
+        assert_eq!(m.read(0x104, 4), 0x0102_0304);
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut m = SparseMemory::new();
+        m.write(0xFFC, 8, u64::MAX);
+        assert_eq!(m.read(0xFFC, 8), u64::MAX);
+        assert_eq!(m.page_count(), 2);
+    }
+
+    #[test]
+    fn partial_overwrite() {
+        let mut m = SparseMemory::new();
+        m.write(0x200, 8, u64::MAX);
+        m.write(0x202, 2, 0);
+        assert_eq!(m.read(0x200, 8), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn program_loading_and_fetch() {
+        let mut m = SparseMemory::new();
+        m.load_program(0x1000, &[0xAABB_CCDD, 0x1122_3344]);
+        assert_eq!(m.fetch(0x1000), 0xAABB_CCDD);
+        assert_eq!(m.fetch(0x1004), 0x1122_3344);
+    }
+}

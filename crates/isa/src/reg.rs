@@ -1,0 +1,154 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An integer (GPR) register index, `x0`–`x31`.
+///
+/// `x0` is hardwired to zero; writes to it are discarded by
+/// [`ArchState`](crate::ArchState).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    X0 = 0, X1, X2, X3, X4, X5, X6, X7,
+    X8, X9, X10, X11, X12, X13, X14, X15,
+    X16, X17, X18, X19, X20, X21, X22, X23,
+    X24, X25, X26, X27, X28, X29, X30, X31,
+}
+
+impl Reg {
+    /// All 32 registers in index order.
+    pub const ALL: [Reg; 32] = {
+        let mut a = [Reg::X0; 32];
+        let mut i = 0u8;
+        while i < 32 {
+            a[i as usize] = Reg::from_index_const(i);
+            i += 1;
+        }
+        a
+    };
+
+    const fn from_index_const(i: u8) -> Reg {
+        // Safety note avoided: plain match keeps this const-friendly and safe.
+        match i {
+            0 => Reg::X0, 1 => Reg::X1, 2 => Reg::X2, 3 => Reg::X3,
+            4 => Reg::X4, 5 => Reg::X5, 6 => Reg::X6, 7 => Reg::X7,
+            8 => Reg::X8, 9 => Reg::X9, 10 => Reg::X10, 11 => Reg::X11,
+            12 => Reg::X12, 13 => Reg::X13, 14 => Reg::X14, 15 => Reg::X15,
+            16 => Reg::X16, 17 => Reg::X17, 18 => Reg::X18, 19 => Reg::X19,
+            20 => Reg::X20, 21 => Reg::X21, 22 => Reg::X22, 23 => Reg::X23,
+            24 => Reg::X24, 25 => Reg::X25, 26 => Reg::X26, 27 => Reg::X27,
+            28 => Reg::X28, 29 => Reg::X29, 30 => Reg::X30, _ => Reg::X31,
+        }
+    }
+
+    /// Builds a register from a 5-bit index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn from_index(i: u8) -> Reg {
+        assert!(i < 32, "register index {i} out of range");
+        Reg::from_index_const(i)
+    }
+
+    /// The 5-bit encoding index of this register.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// The ABI name (`zero`, `ra`, `sp`, …) used by the disassembler.
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1",
+            "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4",
+            "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.index() as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+/// A floating-point register index, `f0`–`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+impl FReg {
+    /// Builds a floating-point register from a 5-bit index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 32`.
+    #[inline]
+    pub fn new(i: u8) -> FReg {
+        assert!(i < 32, "fp register index {i} out of range");
+        FReg(i)
+    }
+
+    /// The 5-bit encoding index of this register.
+    #[inline]
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn reg_all_in_order() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::from_index(32);
+    }
+
+    #[test]
+    fn abi_names() {
+        assert_eq!(Reg::X0.abi_name(), "zero");
+        assert_eq!(Reg::X2.abi_name(), "sp");
+        assert_eq!(Reg::X10.abi_name(), "a0");
+        assert_eq!(Reg::X31.abi_name(), "t6");
+        assert_eq!(Reg::X10.to_string(), "a0");
+    }
+
+    #[test]
+    fn freg_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(FReg::new(i).index(), i);
+            assert_eq!(FReg::new(i).to_string(), format!("f{i}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freg_out_of_range_panics() {
+        let _ = FReg::new(32);
+    }
+}

@@ -1,0 +1,198 @@
+//! Architectural state: PC, integer and floating-point register files,
+//! and a small CSR file.
+
+use crate::reg::{FReg, Reg};
+use std::collections::BTreeMap;
+
+/// Architectural register state of a hart.
+///
+/// Floating-point registers are stored as raw `u64` bit patterns so that
+/// checkpoint comparison (the ERCP register check in the paper) is exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: u64,
+    x: [u64; 32],
+    f: [u64; 32],
+    csrs: BTreeMap<u16, u64>,
+}
+
+impl ArchState {
+    /// Creates a state with all registers zero and the PC at `pc`.
+    pub fn new(pc: u64) -> ArchState {
+        ArchState { pc, x: [0; 32], f: [0; 32], csrs: BTreeMap::new() }
+    }
+
+    /// Reads integer register `r` (`x0` always reads zero).
+    #[inline]
+    pub fn x(&self, r: Reg) -> u64 {
+        self.x[r.index() as usize]
+    }
+
+    /// Writes integer register `r`; writes to `x0` are discarded.
+    #[inline]
+    pub fn set_x(&mut self, r: Reg, v: u64) {
+        if r != Reg::X0 {
+            self.x[r.index() as usize] = v;
+        }
+    }
+
+    /// Reads floating-point register `r` as a raw bit pattern.
+    #[inline]
+    pub fn f(&self, r: FReg) -> u64 {
+        self.f[r.index() as usize]
+    }
+
+    /// Writes floating-point register `r` with a raw bit pattern.
+    #[inline]
+    pub fn set_f(&mut self, r: FReg, v: u64) {
+        self.f[r.index() as usize] = v;
+    }
+
+    /// Reads CSR `addr` (unset CSRs read as zero).
+    #[inline]
+    pub fn csr(&self, addr: u16) -> u64 {
+        self.csrs.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes CSR `addr`.
+    #[inline]
+    pub fn set_csr(&mut self, addr: u16, v: u64) {
+        self.csrs.insert(addr, v);
+    }
+
+    /// A snapshot of the architectural registers — the paper's Register
+    /// Checkpoint (RCP) payload: 32 GPRs + 32 FPRs + PC.
+    pub fn checkpoint(&self) -> RegCheckpoint {
+        RegCheckpoint { pc: self.pc, x: self.x, f: self.f }
+    }
+
+    /// Overwrites the architectural registers from a checkpoint — the
+    /// `l.apply` operation of the MEEK ISA.
+    pub fn apply_checkpoint(&mut self, cp: &RegCheckpoint) {
+        self.pc = cp.pc;
+        self.x = cp.x;
+        self.x[0] = 0;
+        self.f = cp.f;
+    }
+}
+
+impl Default for ArchState {
+    fn default() -> Self {
+        ArchState::new(0)
+    }
+}
+
+/// A Register Checkpoint (RCP): the architectural register payload that
+/// the big core's DEU extracts from the PRFs and forwards through F2 at
+/// segment boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegCheckpoint {
+    /// PC at the checkpoint (the first instruction of the next segment).
+    pub pc: u64,
+    /// Integer register values.
+    pub x: [u64; 32],
+    /// Floating-point register bit patterns.
+    pub f: [u64; 32],
+}
+
+impl RegCheckpoint {
+    /// A checkpoint of all-zero registers at `pc`.
+    pub fn zeroed(pc: u64) -> RegCheckpoint {
+        RegCheckpoint { pc, x: [0; 32], f: [0; 32] }
+    }
+
+    /// Number of 64-bit words in the checkpoint payload (x + f + pc).
+    pub const WORDS: usize = 65;
+
+    /// Compares two checkpoints, returning the first mismatching
+    /// component, if any. Used for the ERCP register check.
+    pub fn first_mismatch(&self, other: &RegCheckpoint) -> Option<CheckpointMismatch> {
+        if self.pc != other.pc {
+            return Some(CheckpointMismatch::Pc { expected: self.pc, actual: other.pc });
+        }
+        for i in 0..32 {
+            if self.x[i] != other.x[i] {
+                return Some(CheckpointMismatch::X { index: i as u8, expected: self.x[i], actual: other.x[i] });
+            }
+        }
+        for i in 0..32 {
+            if self.f[i] != other.f[i] {
+                return Some(CheckpointMismatch::F { index: i as u8, expected: self.f[i], actual: other.f[i] });
+            }
+        }
+        None
+    }
+}
+
+/// A mismatching component found when comparing two register checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CheckpointMismatch {
+    Pc { expected: u64, actual: u64 },
+    X { index: u8, expected: u64, actual: u64 },
+    F { index: u8, expected: u64, actual: u64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_hardwired_zero() {
+        let mut st = ArchState::new(0);
+        st.set_x(Reg::X0, 0xDEAD);
+        assert_eq!(st.x(Reg::X0), 0);
+        st.set_x(Reg::X1, 0xDEAD);
+        assert_eq!(st.x(Reg::X1), 0xDEAD);
+    }
+
+    #[test]
+    fn csr_default_zero() {
+        let mut st = ArchState::new(0);
+        assert_eq!(st.csr(0xC00), 0);
+        st.set_csr(0xC00, 7);
+        assert_eq!(st.csr(0xC00), 7);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let mut st = ArchState::new(0x1000);
+        st.set_x(Reg::X5, 99);
+        st.set_f(FReg::new(3), 0x3FF0_0000_0000_0000);
+        let cp = st.checkpoint();
+        let mut other = ArchState::new(0);
+        other.apply_checkpoint(&cp);
+        assert_eq!(other.pc, 0x1000);
+        assert_eq!(other.x(Reg::X5), 99);
+        assert_eq!(other.f(FReg::new(3)), 0x3FF0_0000_0000_0000);
+        assert_eq!(cp.first_mismatch(&other.checkpoint()), None);
+    }
+
+    #[test]
+    fn checkpoint_apply_keeps_x0_zero() {
+        let mut cp = RegCheckpoint::zeroed(0);
+        cp.x[0] = 42; // corrupted checkpoint must not break the zero register
+        let mut st = ArchState::new(0);
+        st.apply_checkpoint(&cp);
+        assert_eq!(st.x(Reg::X0), 0);
+    }
+
+    #[test]
+    fn mismatch_detection() {
+        let a = RegCheckpoint::zeroed(0x100);
+        let mut b = a;
+        assert_eq!(a.first_mismatch(&b), None);
+        b.x[7] = 1;
+        assert_eq!(
+            a.first_mismatch(&b),
+            Some(CheckpointMismatch::X { index: 7, expected: 0, actual: 1 })
+        );
+        let mut c = a;
+        c.pc = 0x104;
+        assert!(matches!(a.first_mismatch(&c), Some(CheckpointMismatch::Pc { .. })));
+        let mut d = a;
+        d.f[31] = 5;
+        assert!(matches!(a.first_mismatch(&d), Some(CheckpointMismatch::F { index: 31, .. })));
+    }
+}

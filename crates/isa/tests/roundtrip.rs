@@ -1,0 +1,207 @@
+//! Property tests: encode/decode roundtrip over the full instruction
+//! space, plus executor invariants.
+
+use meek_isa::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use meek_isa::meek::MeekOp;
+use meek_isa::{decode, encode, exec, ArchState, FReg, Reg, SparseMemory};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::from_index)
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+fn i_imm() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn b_imm() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+fn j_imm() -> impl Strategy<Value = i32> {
+    (-(1i32 << 19)..(1 << 19)).prop_map(|x| x * 2)
+}
+
+prop_compose! {
+    fn any_alu()(op in prop_oneof![
+        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Sll), Just(AluOp::Slt),
+        Just(AluOp::Sltu), Just(AluOp::Xor), Just(AluOp::Srl), Just(AluOp::Sra),
+        Just(AluOp::Or), Just(AluOp::And), Just(AluOp::Addw), Just(AluOp::Subw),
+        Just(AluOp::Sllw), Just(AluOp::Srlw), Just(AluOp::Sraw)
+    ], rd in any_reg(), rs1 in any_reg(), rs2 in any_reg()) -> Inst {
+        Inst::Alu { op, rd, rs1, rs2 }
+    }
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
+        (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
+        (any_reg(), j_imm()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (any_reg(), any_reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (
+            prop_oneof![
+                Just(BranchOp::Beq), Just(BranchOp::Bne), Just(BranchOp::Blt),
+                Just(BranchOp::Bge), Just(BranchOp::Bltu), Just(BranchOp::Bgeu)
+            ],
+            any_reg(), any_reg(), b_imm()
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
+        (
+            prop_oneof![
+                Just(LoadOp::Lb), Just(LoadOp::Lh), Just(LoadOp::Lw), Just(LoadOp::Ld),
+                Just(LoadOp::Lbu), Just(LoadOp::Lhu), Just(LoadOp::Lwu)
+            ],
+            any_reg(), any_reg(), i_imm()
+        )
+            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
+        (
+            prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw), Just(StoreOp::Sd)],
+            any_reg(), any_reg(), i_imm()
+        )
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
+        (
+            prop_oneof![
+                Just(AluImmOp::Addi), Just(AluImmOp::Slti), Just(AluImmOp::Sltiu),
+                Just(AluImmOp::Xori), Just(AluImmOp::Ori), Just(AluImmOp::Andi),
+                Just(AluImmOp::Addiw)
+            ],
+            any_reg(), any_reg(), i_imm()
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)],
+            any_reg(), any_reg(), 0i32..64
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluImmOp::Slliw), Just(AluImmOp::Srliw), Just(AluImmOp::Sraiw)],
+            any_reg(), any_reg(), 0i32..32
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+        any_alu(),
+        (
+            prop_oneof![
+                Just(MulDivOp::Mul), Just(MulDivOp::Mulh), Just(MulDivOp::Mulhsu),
+                Just(MulDivOp::Mulhu), Just(MulDivOp::Div), Just(MulDivOp::Divu),
+                Just(MulDivOp::Rem), Just(MulDivOp::Remu), Just(MulDivOp::Mulw),
+                Just(MulDivOp::Divw), Just(MulDivOp::Divuw), Just(MulDivOp::Remw),
+                Just(MulDivOp::Remuw)
+            ],
+            any_reg(), any_reg(), any_reg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv { op, rd, rs1, rs2 }),
+        (any_freg(), any_reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Fld { rd, rs1, offset }),
+        (any_reg(), any_freg(), i_imm()).prop_map(|(rs1, rs2, offset)| Inst::Fsd { rs1, rs2, offset }),
+        (
+            prop_oneof![
+                Just(FpOp::FaddD), Just(FpOp::FsubD), Just(FpOp::FmulD), Just(FpOp::FdivD),
+                Just(FpOp::FsgnjD), Just(FpOp::FminD), Just(FpOp::FmaxD)
+            ],
+            any_freg(), any_freg(), any_freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Fp { op, rd, rs1, rs2 }),
+        // FSQRT canonically carries rs2 == rs1.
+        (any_freg(), any_freg()).prop_map(|(rd, rs1)| Inst::Fp { op: FpOp::FsqrtD, rd, rs1, rs2: rs1 }),
+        (
+            prop_oneof![Just(FpCmpOp::FeqD), Just(FpCmpOp::FltD), Just(FpCmpOp::FleD)],
+            any_reg(), any_freg(), any_freg()
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp { op, rd, rs1, rs2 }),
+        (any_freg(), any_freg(), any_freg(), any_freg())
+            .prop_map(|(rd, rs1, rs2, rs3)| Inst::FmaddD { rd, rs1, rs2, rs3 }),
+        (any_freg(), any_reg()).prop_map(|(rd, rs1)| Inst::FcvtDL { rd, rs1 }),
+        (any_reg(), any_freg()).prop_map(|(rd, rs1)| Inst::FcvtLD { rd, rs1 }),
+        (any_reg(), any_freg()).prop_map(|(rd, rs1)| Inst::FmvXD { rd, rs1 }),
+        (any_freg(), any_reg()).prop_map(|(rd, rs1)| Inst::FmvDX { rd, rs1 }),
+        (
+            prop_oneof![
+                Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc),
+                Just(CsrOp::Rwi), Just(CsrOp::Rsi), Just(CsrOp::Rci)
+            ],
+            any_reg(), any_reg(), 0u16..4096
+        )
+            .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
+        Just(Inst::Fence),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| Inst::Meek(MeekOp::BHook { rs1, rs2 })),
+        any_reg().prop_map(|rs1| Inst::Meek(MeekOp::BCheck { rs1 })),
+        (any_reg(), any_reg()).prop_map(|(rs1, rs2)| Inst::Meek(MeekOp::LMode { rs1, rs2 })),
+        any_reg().prop_map(|rs1| Inst::Meek(MeekOp::LRecord { rs1 })),
+        any_reg().prop_map(|rs1| Inst::Meek(MeekOp::LApply { rs1 })),
+        any_reg().prop_map(|rs1| Inst::Meek(MeekOp::LJal { rs1 })),
+        any_reg().prop_map(|rd| Inst::Meek(MeekOp::LRslt { rd })),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every instruction the crate can represent.
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let word = encode(&inst);
+        prop_assert_eq!(decode(word), Ok(inst));
+    }
+
+    /// Decoding never panics on arbitrary words.
+    #[test]
+    fn decode_total(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    /// If an arbitrary word decodes, re-encoding reproduces an equivalent
+    /// instruction (decode is a left inverse of encode on its image).
+    #[test]
+    fn decode_encode_stability(word in any::<u32>()) {
+        if let Ok(inst) = decode(word) {
+            let word2 = encode(&inst);
+            prop_assert_eq!(decode(word2), Ok(inst));
+        }
+    }
+
+    /// Functional execution is deterministic: identical initial state and
+    /// memory produce identical retirement records.
+    #[test]
+    fn execution_deterministic(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        // A tiny random straight-line program of ALU ops (always executable).
+        let mut prog = Vec::new();
+        for _ in 0..20 {
+            let rd = Reg::from_index(rng.gen_range(1..32));
+            let rs1 = Reg::from_index(rng.gen_range(0..32));
+            let rs2 = Reg::from_index(rng.gen_range(0..32));
+            prog.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 });
+            prog.push(Inst::AluImm { op: AluImmOp::Xori, rd, rs1, imm: rng.gen_range(-2048..2048) });
+        }
+        let words: Vec<u32> = prog.iter().map(encode).collect();
+        let run = || {
+            let mut mem = SparseMemory::new();
+            mem.load_program(0x1000, &words);
+            let mut st = ArchState::new(0x1000);
+            let mut records = Vec::new();
+            for _ in 0..prog.len() {
+                records.push(exec::step(&mut st, &mut mem).unwrap());
+            }
+            (st, records)
+        };
+        let (st_a, rec_a) = run();
+        let (st_b, rec_b) = run();
+        prop_assert_eq!(st_a, st_b);
+        prop_assert_eq!(rec_a, rec_b);
+    }
+
+    /// x0 stays zero under arbitrary ALU writes.
+    #[test]
+    fn x0_invariant(rs1 in any_reg(), imm in i_imm()) {
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x0, &[encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X0, rs1, imm })]);
+        let mut st = ArchState::new(0x0);
+        exec::step(&mut st, &mut mem).unwrap();
+        prop_assert_eq!(st.x(Reg::X0), 0);
+    }
+}

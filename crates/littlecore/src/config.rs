@@ -1,0 +1,129 @@
+//! Little-core configuration (Table II plus the Fig. 10 ablation knobs).
+
+use meek_mem::HierarchyConfig;
+
+/// Load-Store Log geometry (Table II: 4 KB, 5000-instruction timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LslConfig {
+    /// Run-time way capacity in 16-byte records (address + data).
+    pub runtime_capacity: usize,
+    /// Status way capacity in fabric chunks (a 65-word checkpoint is
+    /// `ceil(65 / payload_words)` chunks).
+    pub status_capacity_chunks: usize,
+}
+
+impl Default for LslConfig {
+    fn default() -> Self {
+        // 4 KB split 3 KB run-time way (192 records x 16 B) + 1 KB status
+        // way (holds two in-flight checkpoints at F2's chunking).
+        LslConfig { runtime_capacity: 192, status_capacity_chunks: 40 }
+    }
+}
+
+/// Microarchitectural parameters of one little core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LittleCoreConfig {
+    /// Divider unroll factor: bits retired per divide cycle. The default
+    /// Rocket divider is 1-bit-per-cycle; the paper's optimized little
+    /// core unrolls 8x (Table II: "8-Unroll DIV").
+    pub div_unroll: u32,
+    /// FPU pipeline depth; depth > 1 means pipelined FP issue (Table II:
+    /// "3-stage FPU"). Depth 1 models an unpipelined blocking FPU.
+    pub fpu_stages: u32,
+    /// FP divide latency in cycles.
+    pub fdiv_latency: u64,
+    /// Integer multiply latency in cycles.
+    pub mul_latency: u64,
+    /// Taken-branch redirect penalty in cycles (no branch predictor).
+    pub branch_penalty: u64,
+    /// Cache hierarchy (the 4 KB private L1s of Table II).
+    pub hierarchy: HierarchyConfig,
+    /// Load-Store Log geometry.
+    pub lsl: LslConfig,
+    /// Cycles to apply a checkpoint through the MSU (l.apply streams the
+    /// 65 checkpoint words through the register-file write ports).
+    pub apply_latency: u64,
+    /// Cycles to compare the ERCP register file at segment end.
+    pub compare_latency: u64,
+}
+
+impl LittleCoreConfig {
+    /// The paper's optimized little core (Table II): 8-unroll divider,
+    /// 3-stage FPU. Four of these match six default Rockets on the
+    /// verification job (§V-D).
+    pub fn optimized() -> LittleCoreConfig {
+        LittleCoreConfig {
+            div_unroll: 8,
+            fpu_stages: 3,
+            fdiv_latency: 50,
+            mul_latency: 4,
+            branch_penalty: 3,
+            hierarchy: HierarchyConfig::little_core(),
+            lsl: LslConfig::default(),
+            apply_latency: 17,
+            compare_latency: 17,
+        }
+    }
+
+    /// A default Rocket core: iterative 1-bit divider, unpipelined FPU —
+    /// the Fig. 10 baseline.
+    pub fn default_rocket() -> LittleCoreConfig {
+        LittleCoreConfig {
+            div_unroll: 1,
+            fpu_stages: 1,
+            fdiv_latency: 58,
+            mul_latency: 6,
+            branch_penalty: 3,
+            hierarchy: HierarchyConfig::little_core(),
+            lsl: LslConfig::default(),
+            apply_latency: 17,
+            compare_latency: 17,
+        }
+    }
+
+    /// Integer divide latency implied by the unroll factor.
+    pub fn div_latency(&self) -> u64 {
+        (64 / self.div_unroll.max(1) as u64) + 2
+    }
+
+    /// FP add/mul effective issue cost. Rocket's FPU has no bypass into
+    /// the integer pipeline: a pipelined (3-stage) FPU costs ~2 cycles
+    /// per dependent operation, an unpipelined FPU blocks for ~5.
+    pub fn fp_issue_cost(&self) -> u64 {
+        if self.fpu_stages > 1 {
+            2
+        } else {
+            5
+        }
+    }
+}
+
+impl Default for LittleCoreConfig {
+    fn default() -> Self {
+        LittleCoreConfig::optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_latency_scales_with_unroll() {
+        assert_eq!(LittleCoreConfig::optimized().div_latency(), 10); // 64/8 + 2
+        assert_eq!(LittleCoreConfig::default_rocket().div_latency(), 66); // 64/1 + 2
+    }
+
+    #[test]
+    fn optimized_beats_default_on_fp() {
+        let opt = LittleCoreConfig::optimized();
+        let def = LittleCoreConfig::default_rocket();
+        assert!(opt.fp_issue_cost() < def.fp_issue_cost());
+        assert!(opt.fdiv_latency < def.fdiv_latency);
+    }
+
+    #[test]
+    fn default_is_optimized() {
+        assert_eq!(LittleCoreConfig::default(), LittleCoreConfig::optimized());
+    }
+}

@@ -1,0 +1,1025 @@
+//! The little-core pipeline model and checker state machine.
+//!
+//! The checker thread's programming model (Algorithm 2 of the paper) is
+//! realised as a phase machine driven by the MSU:
+//!
+//! 1. **WaitSrcp** — the `while (MEEK.NewSRCP()->invalid);` busy loop,
+//!    waiting for the segment's Start-RCP to be assembled in the LSL;
+//! 2. **Apply** — `l.apply`, streaming the checkpoint into the register
+//!    files;
+//! 3. **Replay** — re-executing the segment's instructions with the
+//!    Memory-Access stage multiplexed onto the LSL;
+//! 4. **Compare** — the End-RCP register-file comparison, after which
+//!    `l.rslt` reports pass/fail and the core returns to WaitSrcp.
+//!
+//! Memory-operation mismatches (address, size, value, record type) are
+//! detected *during* replay, directly in the LSL (paper footnote 1);
+//! register corruptions are caught at the ERCP comparison.
+
+use crate::config::LittleCoreConfig;
+use crate::lsl::{release_status_chunks, LoadStoreLog, RuntimeRecord, StatusRecord};
+use meek_isa::exec;
+use meek_isa::inst::{ExecClass, Inst};
+use meek_isa::state::{CheckpointMismatch, RegCheckpoint};
+use meek_isa::{decode, ArchState, Bus, SparseMemory};
+use meek_mem::MemHierarchy;
+
+/// What diverged when a check fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MismatchKind {
+    /// A replayed load computed a different effective address.
+    LoadAddr,
+    /// A replayed store computed a different effective address.
+    StoreAddr,
+    /// A replayed store produced different data.
+    StoreData,
+    /// Access width differed from the logged record.
+    AccessSize,
+    /// The log supplied a record of the wrong type (load vs store vs CSR).
+    RecordType,
+    /// A replayed CSR access targeted a different CSR.
+    CsrAddr,
+    /// Replay raised a trap the main thread did not (e.g. a corrupted
+    /// SRCP PC steering fetch into non-code bytes).
+    ReplayTrap,
+    /// The ERCP register-file comparison failed.
+    Register(CheckpointMismatch),
+}
+
+/// Events reported by the checker to the system/OS layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckerEvent {
+    /// Replay of a segment has begun (SRCP applied).
+    SegmentStarted {
+        /// Segment id.
+        seg: u32,
+    },
+    /// A segment finished verification.
+    SegmentVerified {
+        /// Segment id.
+        seg: u32,
+        /// `true` if every comparison matched.
+        pass: bool,
+        /// First divergence observed, if any.
+        mismatch: Option<MismatchKind>,
+    },
+}
+
+/// Stall/activity accounting for one little core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LittleCoreStats {
+    /// Instructions replayed.
+    pub replayed_insts: u64,
+    /// Cycles spent replaying (issue + structural stalls).
+    pub busy_cycles: u64,
+    /// Cycles spent waiting for LSL data (SRCP or run-time records).
+    pub wait_data_cycles: u64,
+    /// Cycles spent in `l.apply` checkpoint restores.
+    pub apply_cycles: u64,
+    /// Cycles spent in ERCP comparisons.
+    pub compare_cycles: u64,
+    /// Stall cycles attributable to the divider.
+    pub div_stall_cycles: u64,
+    /// Stall cycles attributable to the FPU.
+    pub fp_stall_cycles: u64,
+    /// Stall cycles attributable to I-cache misses.
+    pub icache_stall_cycles: u64,
+    /// Segments fully verified.
+    pub segments_checked: u64,
+    /// Segments that failed verification.
+    pub mismatches: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Algorithm 2 line 19: busy-wait for the SRCP.
+    WaitSrcp,
+    /// `l.apply` in progress.
+    Apply { remaining: u64 },
+    /// Replaying the current segment.
+    Replay,
+    /// ERCP register comparison in progress.
+    Compare { remaining: u64, result: Option<MismatchKind> },
+}
+
+/// One little core with MSU and LSL, running a checker thread.
+///
+/// The core is driven by the system at the little-clock rate via
+/// [`LittleCore::tick_check`]; forwarded packets arrive in [`LittleCore::lsl`]
+/// through the fabric's `PacketSink` interface.
+#[derive(Debug, Clone)]
+pub struct LittleCore {
+    /// Core id (the index the fabric's `DestMask` refers to).
+    pub id: usize,
+    cfg: LittleCoreConfig,
+    /// The Load-Store Log (exposed so the fabric can deliver into it).
+    pub lsl: LoadStoreLog,
+    hier: MemHierarchy,
+    arch: ArchState,
+    phase: Phase,
+    /// Segment currently assigned by the scheduler (`None` = idle core).
+    assignment: Option<u32>,
+    /// SRCP retained from the previous segment's ERCP (single-core case:
+    /// checkpoint n is both ERCP of n and SRCP of n+1).
+    carried_srcp: Option<StatusRecord>,
+    /// The ERCP being waited for / compared against.
+    ercp: Option<StatusRecord>,
+    /// Replay progress within the current segment.
+    replayed: u64,
+    /// Fabric chunking (how many status chunks one checkpoint occupies).
+    chunks_per_cp: usize,
+    /// Destination register of the previous instruction if it was a load
+    /// (for the load-use bubble).
+    last_load_dest: Option<meek_isa::Reg>,
+    /// Little-cycle until which the pipeline is busy.
+    busy_until: u64,
+    stats: LittleCoreStats,
+}
+
+impl LittleCore {
+    /// Creates an idle little core.
+    pub fn new(id: usize, cfg: LittleCoreConfig, chunks_per_cp: usize) -> LittleCore {
+        LittleCore {
+            id,
+            cfg,
+            lsl: LoadStoreLog::new(cfg.lsl),
+            hier: MemHierarchy::new(cfg.hierarchy),
+            arch: ArchState::new(0),
+            phase: Phase::WaitSrcp,
+            assignment: None,
+            carried_srcp: None,
+            ercp: None,
+            replayed: 0,
+            chunks_per_cp,
+            last_load_dest: None,
+            busy_until: 0,
+            stats: LittleCoreStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LittleCoreConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> LittleCoreStats {
+        self.stats
+    }
+
+    /// The segment currently assigned, if any.
+    pub fn assignment(&self) -> Option<u32> {
+        self.assignment
+    }
+
+    /// Whether the core is between segments (can take a new assignment).
+    pub fn is_idle(&self) -> bool {
+        self.assignment.is_none()
+    }
+
+    /// Assigns a segment to verify. Called by the scheduler after
+    /// `b.hook`/`l.mode` reserve this core's LSL for the checker thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core already has an assignment.
+    pub fn assign(&mut self, seg: u32) {
+        assert!(self.assignment.is_none(), "core {} already has an assignment", self.id);
+        self.assignment = Some(seg);
+        self.phase = Phase::WaitSrcp;
+        self.replayed = 0;
+    }
+
+    /// Replay progress (instructions replayed in the current segment).
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Advances the checker by one little-core cycle.
+    ///
+    /// `imem` is the shared read-only program image. Returns an event when
+    /// a segment starts or finishes.
+    pub fn tick_check(&mut self, now: u64, imem: &SparseMemory) -> Option<CheckerEvent> {
+        if now < self.busy_until {
+            return None;
+        }
+        let Some(seg) = self.assignment else {
+            return None;
+        };
+        match &mut self.phase {
+            Phase::WaitSrcp => {
+                // SRCP of segment n is checkpoint n-1 (carried over when
+                // this core verified the previous segment).
+                while self.lsl.peek_status().map_or(false, |r| r.seg < seg - 1) {
+                    self.lsl.pop_status();
+                    release_status_chunks(&mut self.lsl, self.chunks_per_cp);
+                }
+                let srcp = if self.carried_srcp.as_ref().map(|r| r.seg) == Some(seg - 1) {
+                    self.carried_srcp.take()
+                } else if self.lsl.peek_status().map(|r| r.seg) == Some(seg - 1) {
+                    let rec = self.lsl.pop_status();
+                    release_status_chunks(&mut self.lsl, self.chunks_per_cp);
+                    rec
+                } else {
+                    None
+                };
+                match srcp {
+                    Some(rec) => {
+                        self.arch.apply_checkpoint(&rec.cp);
+                        self.phase = Phase::Apply { remaining: self.cfg.apply_latency };
+                    }
+                    None => {
+                        self.stats.wait_data_cycles += 1;
+                    }
+                }
+                None
+            }
+            Phase::Apply { remaining } => {
+                self.stats.apply_cycles += 1;
+                *remaining -= 1;
+                if *remaining == 0 {
+                    self.phase = Phase::Replay;
+                    self.last_load_dest = None;
+                    return Some(CheckerEvent::SegmentStarted { seg });
+                }
+                None
+            }
+            Phase::Replay => self.replay_cycle(now, seg, imem),
+            Phase::Compare { remaining, result } => {
+                self.stats.compare_cycles += 1;
+                *remaining -= 1;
+                if *remaining == 0 {
+                    let mismatch = *result;
+                    self.finish_segment(seg, mismatch)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Ensures the ERCP for `seg` is popped into `self.ercp`.
+    fn take_ercp(&mut self, seg: u32) -> bool {
+        if self.ercp.as_ref().map(|r| r.seg) == Some(seg) {
+            return true;
+        }
+        while self.lsl.peek_status().map_or(false, |r| r.seg < seg) {
+            self.lsl.pop_status();
+            release_status_chunks(&mut self.lsl, self.chunks_per_cp);
+        }
+        if self.lsl.peek_status().map(|r| r.seg) == Some(seg) {
+            let rec = self.lsl.pop_status();
+            release_status_chunks(&mut self.lsl, self.chunks_per_cp);
+            self.ercp = rec;
+            return true;
+        }
+        false
+    }
+
+    fn replay_cycle(&mut self, now: u64, seg: u32, imem: &SparseMemory) -> Option<CheckerEvent> {
+        // Do we know the segment length yet?
+        let end = if self.take_ercp(seg) {
+            Some(self.ercp.as_ref().expect("ercp present").inst_count)
+        } else {
+            None
+        };
+        if let Some(end) = end {
+            if self.replayed >= end {
+                self.phase = Phase::Compare {
+                    remaining: self.cfg.compare_latency,
+                    result: self.compare_ercp(),
+                };
+                return None;
+            }
+        }
+        // Drop stale records from segments this core abandoned after a
+        // detection (they may still have been in flight through the
+        // fabric when the segment finished).
+        while self.lsl.peek_runtime().map_or(false, |r| r.seg() < seg) {
+            self.lsl.pop_runtime();
+        }
+        // Without the ERCP we may only replay while the next run-time
+        // record provably belongs to this segment — this keeps the
+        // checker behind the main thread (the paper's deadlock fix) and
+        // prevents overrunning the unknown segment boundary.
+        if end.is_none() {
+            match self.lsl.peek_runtime() {
+                Some(rec) if rec.seg() == seg => {}
+                _ => {
+                    self.stats.wait_data_cycles += 1;
+                    return None;
+                }
+            }
+        }
+        // Fetch through the 4 KB I-cache.
+        let fetch = self.hier.inst_fetch(self.arch.pc, now);
+        if fetch.ready_at > now + 1 {
+            let stall = fetch.ready_at - now - 1;
+            self.stats.icache_stall_cycles += stall;
+            self.busy_until = fetch.ready_at - 1;
+            // The instruction issues when fetch resolves; charge the wait
+            // and fall through next tick.
+            return None;
+        }
+        let raw = imem.peek_inst(self.arch.pc);
+        let Ok(inst) = decode(raw) else {
+            return self.detect(seg, MismatchKind::ReplayTrap);
+        };
+        // Structural timing: issue cost in cycles beyond this one.
+        let mut extra = 0u64;
+        match inst.class() {
+            ExecClass::IntDiv => {
+                let c = self.cfg.div_latency() - 1;
+                self.stats.div_stall_cycles += c;
+                extra += c;
+            }
+            ExecClass::IntMul => {
+                let c = self.cfg.mul_latency - 1;
+                extra += c;
+            }
+            ExecClass::FpDiv => {
+                let c = self.cfg.fdiv_latency - 1;
+                self.stats.fp_stall_cycles += c;
+                extra += c;
+            }
+            ExecClass::FpAdd | ExecClass::FpMul => {
+                let c = self.cfg.fp_issue_cost() - 1;
+                self.stats.fp_stall_cycles += c;
+                extra += c;
+            }
+            _ => {}
+        }
+        // Load-use bubble.
+        if let Some(dest) = self.last_load_dest {
+            if inst.int_srcs().iter().flatten().any(|&r| r == dest) {
+                extra += 1;
+            }
+        }
+        self.last_load_dest = None;
+        // Execute, with memory multiplexed onto the LSL.
+        let outcome = self.replay_inst(seg, inst, raw);
+        self.replayed += 1;
+        self.stats.replayed_insts += 1;
+        match outcome {
+            Ok(redirect) => {
+                if redirect {
+                    extra += self.cfg.branch_penalty;
+                }
+                self.stats.busy_cycles += 1 + extra;
+                self.busy_until = now + 1 + extra;
+                if let Inst::Load { rd, .. } = inst {
+                    self.last_load_dest = Some(rd);
+                }
+                // Check for segment end right away so the Compare phase
+                // begins on the next cycle.
+                None
+            }
+            Err(kind) => self.detect(seg, kind),
+        }
+    }
+
+    /// Replays one instruction; `Ok(true)` means the PC was redirected.
+    fn replay_inst(&mut self, seg: u32, inst: Inst, raw: u32) -> Result<bool, MismatchKind> {
+        let pc = self.arch.pc;
+        match inst {
+            Inst::Load { op, rd, rs1, offset } => {
+                let size = op.size();
+                let addr = self.arch.x(rs1).wrapping_add(offset as i64 as u64) & !(size as u64 - 1);
+                let rec = self.next_mem_record(seg)?;
+                let (raddr, rsize, rdata, rstore) = rec;
+                if rstore {
+                    return Err(MismatchKind::RecordType);
+                }
+                if rsize != size {
+                    return Err(MismatchKind::AccessSize);
+                }
+                if raddr != addr {
+                    return Err(MismatchKind::LoadAddr);
+                }
+                self.arch.set_x(rd, rdata);
+                self.arch.pc = pc.wrapping_add(4);
+                Ok(false)
+            }
+            Inst::Fld { rd, rs1, offset } => {
+                let addr = self.arch.x(rs1).wrapping_add(offset as i64 as u64) & !7;
+                let (raddr, rsize, rdata, rstore) = self.next_mem_record(seg)?;
+                if rstore {
+                    return Err(MismatchKind::RecordType);
+                }
+                if rsize != 8 {
+                    return Err(MismatchKind::AccessSize);
+                }
+                if raddr != addr {
+                    return Err(MismatchKind::LoadAddr);
+                }
+                self.arch.set_f(rd, rdata);
+                self.arch.pc = pc.wrapping_add(4);
+                Ok(false)
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let size = op.size();
+                let addr = self.arch.x(rs1).wrapping_add(offset as i64 as u64) & !(size as u64 - 1);
+                let mask = if size == 8 { u64::MAX } else { (1u64 << (8 * size)) - 1 };
+                let data = self.arch.x(rs2) & mask;
+                let (raddr, rsize, rdata, rstore) = self.next_mem_record(seg)?;
+                if !rstore {
+                    return Err(MismatchKind::RecordType);
+                }
+                if rsize != size {
+                    return Err(MismatchKind::AccessSize);
+                }
+                if raddr != addr {
+                    return Err(MismatchKind::StoreAddr);
+                }
+                if rdata != data {
+                    return Err(MismatchKind::StoreData);
+                }
+                self.arch.pc = pc.wrapping_add(4);
+                Ok(false)
+            }
+            Inst::Fsd { rs1, rs2, offset } => {
+                let addr = self.arch.x(rs1).wrapping_add(offset as i64 as u64) & !7;
+                let data = self.arch.f(rs2);
+                let (raddr, rsize, rdata, rstore) = self.next_mem_record(seg)?;
+                if !rstore {
+                    return Err(MismatchKind::RecordType);
+                }
+                if rsize != 8 {
+                    return Err(MismatchKind::AccessSize);
+                }
+                if raddr != addr {
+                    return Err(MismatchKind::StoreAddr);
+                }
+                if rdata != data {
+                    return Err(MismatchKind::StoreData);
+                }
+                self.arch.pc = pc.wrapping_add(4);
+                Ok(false)
+            }
+            Inst::Csr { op, rd, rs1: _, csr } => {
+                // Non-repeatable: take the logged value (paper footnote 1).
+                while self.lsl.peek_runtime().map_or(false, |r| r.seg() < seg) {
+                    self.lsl.pop_runtime();
+                }
+                match self.lsl.pop_runtime() {
+                    Some(RuntimeRecord::Csr { seg: rseg, addr, data }) => {
+                        if rseg != seg {
+                            return Err(MismatchKind::RecordType);
+                        }
+                        if addr != csr {
+                            return Err(MismatchKind::CsrAddr);
+                        }
+                        // Only the read value is architecturally visible to
+                        // the replay; the write side-effect is re-applied to
+                        // the local CSR file for completeness.
+                        let _ = op;
+                        self.arch.set_csr(csr, data);
+                        self.arch.set_x(rd, data);
+                        self.arch.pc = pc.wrapping_add(4);
+                        Ok(false)
+                    }
+                    Some(_) => Err(MismatchKind::RecordType),
+                    None => Err(MismatchKind::RecordType),
+                }
+            }
+            _ => {
+                // Repeatable instructions replay functionally; they cannot
+                // touch memory (Load/Store/Csr handled above).
+                let mut no_mem = NoMem;
+                let before = self.arch.pc;
+                let r = exec::execute(&mut self.arch, &mut no_mem, pc, raw, inst);
+                debug_assert_eq!(before, pc);
+                Ok(r.branch.map_or(false, |b| b.taken))
+            }
+        }
+    }
+
+    fn next_mem_record(&mut self, seg: u32) -> Result<(u64, u8, u64, bool), MismatchKind> {
+        while self.lsl.peek_runtime().map_or(false, |r| r.seg() < seg) {
+            self.lsl.pop_runtime();
+        }
+        match self.lsl.pop_runtime() {
+            Some(RuntimeRecord::Mem { seg: rseg, addr, size, data, is_store }) => {
+                if rseg != seg {
+                    Err(MismatchKind::RecordType)
+                } else {
+                    Ok((addr, size, data, is_store))
+                }
+            }
+            Some(RuntimeRecord::Csr { .. }) => Err(MismatchKind::RecordType),
+            None => Err(MismatchKind::RecordType),
+        }
+    }
+
+    fn compare_ercp(&self) -> Option<MismatchKind> {
+        let ercp = self.ercp.as_ref().expect("compare requires ERCP");
+        let ours = self.arch.checkpoint();
+        ercp.cp.first_mismatch(&ours).map(MismatchKind::Register)
+    }
+
+    /// Immediate detection during replay (LSL comparison).
+    fn detect(&mut self, seg: u32, kind: MismatchKind) -> Option<CheckerEvent> {
+        self.finish_segment(seg, Some(kind))
+    }
+
+    fn finish_segment(&mut self, seg: u32, mismatch: Option<MismatchKind>) -> Option<CheckerEvent> {
+        self.stats.segments_checked += 1;
+        if mismatch.is_some() {
+            self.stats.mismatches += 1;
+        }
+        // Retain the ERCP: it is the SRCP of segment seg + 1 if this core
+        // is assigned that segment next.
+        self.carried_srcp = self.ercp.take();
+        // Drop any unconsumed run-time records of this segment (a detected
+        // divergence abandons the remainder of the log).
+        while self.lsl.peek_runtime().map(|r| r.seg()) == Some(seg) {
+            self.lsl.pop_runtime();
+        }
+        self.assignment = None;
+        self.replayed = 0;
+        self.phase = Phase::WaitSrcp;
+        Some(CheckerEvent::SegmentVerified { seg, pass: mismatch.is_none(), mismatch })
+    }
+
+    /// Warms the code image into the shared cache levels (the big core
+    /// has already been executing this program, so the little core's
+    /// instruction misses hit a warm shared L2 rather than DRAM). The
+    /// private 4 KB L1I is flushed afterwards so its capacity pressure
+    /// stays realistic.
+    pub fn prewarm_code(&mut self, base: u64, len: u64) {
+        let mut addr = base & !63;
+        while addr < base + len {
+            let _ = self.hier.inst_fetch(addr, 0);
+            let _ = self.hier.inst_fetch(addr, 0);
+            addr += 64;
+        }
+        self.hier.flush_l1();
+    }
+
+    /// Seeds the SRCP for the very first segment (checkpoint 0 — the
+    /// program's initial architectural state, synthesised by the OS at
+    /// `b.hook` time rather than forwarded through the fabric).
+    pub fn seed_initial_checkpoint(&mut self, cp: RegCheckpoint) {
+        self.carried_srcp = Some(StatusRecord { seg: 0, inst_count: 0, cp, arrived_at: 0 });
+    }
+
+    /// Executes one instruction of an ordinary application thread — the
+    /// core's *application mode* (paper Fig. 4): memory goes through the
+    /// private caches rather than the LSL, exactly as on an unmodified
+    /// Rocket. The scheduler flips between this and
+    /// [`LittleCore::tick_check`] with `l.mode` (Algorithm 2).
+    ///
+    /// Returns the retired instruction once its timing completes, or
+    /// `None` on a stall cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architectural trap if the thread executes an illegal
+    /// instruction.
+    pub fn tick_application(
+        &mut self,
+        now: u64,
+        st: &mut ArchState,
+        mem: &mut SparseMemory,
+    ) -> Result<Option<meek_isa::Retired>, meek_isa::Trap> {
+        if now < self.busy_until {
+            return Ok(None);
+        }
+        let fetch = self.hier.inst_fetch(st.pc, now);
+        if fetch.ready_at > now + 1 {
+            self.stats.icache_stall_cycles += fetch.ready_at - now - 1;
+            self.busy_until = fetch.ready_at - 1;
+            return Ok(None);
+        }
+        let ret = exec::step(st, mem)?;
+        let mut extra = 0u64;
+        match ret.class {
+            ExecClass::IntDiv => extra += self.cfg.div_latency() - 1,
+            ExecClass::IntMul => extra += self.cfg.mul_latency - 1,
+            ExecClass::FpDiv => extra += self.cfg.fdiv_latency - 1,
+            ExecClass::FpAdd | ExecClass::FpMul => extra += self.cfg.fp_issue_cost() - 1,
+            ExecClass::Load | ExecClass::Store => {
+                if let Some(m) = ret.mem {
+                    let o = self.hier.data_access(m.addr, meek_mem::AccessKind::Read, now);
+                    extra += o.ready_at.saturating_sub(now + 1);
+                }
+            }
+            _ => {}
+        }
+        if ret.branch.map_or(false, |b| b.taken) {
+            extra += self.cfg.branch_penalty;
+        }
+        self.stats.busy_cycles += 1 + extra;
+        self.busy_until = now + 1 + extra;
+        Ok(Some(ret))
+    }
+
+    /// Debug snapshot of the checker's internal phase.
+    pub fn debug_phase(&self) -> String {
+        let phase = match &self.phase {
+            Phase::WaitSrcp => "WaitSrcp".to_string(),
+            Phase::Apply { remaining } => format!("Apply({remaining})"),
+            Phase::Replay => "Replay".to_string(),
+            Phase::Compare { remaining, .. } => format!("Compare({remaining})"),
+        };
+        format!(
+            "{phase} carried={:?} ercp={:?} busy_until={} head_rt_seg={:?} head_st_seg={:?}",
+            self.carried_srcp.as_ref().map(|r| r.seg),
+            self.ercp.as_ref().map(|r| r.seg),
+            self.busy_until,
+            self.lsl.peek_runtime().map(|r| r.seg()),
+            self.lsl.peek_status().map(|r| r.seg),
+        )
+    }
+
+    /// Resets core state for reuse by the scheduler (mode switch to
+    /// application mode and back clears the LSL reservation).
+    pub fn reset(&mut self) {
+        self.lsl.clear();
+        self.hier.flush_l1();
+        self.phase = Phase::WaitSrcp;
+        self.assignment = None;
+        self.carried_srcp = None;
+        self.ercp = None;
+        self.replayed = 0;
+        self.busy_until = 0;
+        self.last_load_dest = None;
+    }
+}
+
+/// A `Bus` for replay of non-memory instructions: any access is a logic
+/// error, because loads/stores/CSRs are intercepted before execution.
+struct NoMem;
+
+impl Bus for NoMem {
+    fn read(&mut self, _addr: u64, _size: u8) -> u64 {
+        unreachable!("non-memory instruction accessed memory during replay")
+    }
+
+    fn write(&mut self, _addr: u64, _size: u8, _val: u64) {
+        unreachable!("non-memory instruction accessed memory during replay")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_fabric::{DestMask, Packet, PacketSink, Payload};
+    use meek_isa::encode;
+    use meek_isa::inst::{AluImmOp, AluOp, BranchOp, LoadOp, StoreOp};
+    use meek_isa::Reg;
+
+    const CHUNKS: usize = 17;
+
+    /// Builds a tiny program, runs it functionally to produce the log and
+    /// checkpoints, and returns (imem, srcp, records, ercp, n_insts).
+    fn golden_run(insts: &[Inst]) -> (SparseMemory, RegCheckpoint, Vec<Packet>, RegCheckpoint) {
+        let words: Vec<u32> = insts.iter().map(encode).collect();
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x1000, &words);
+        // Data region init.
+        for i in 0..64u64 {
+            mem.write(0x8000 + i * 8, 8, i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        let mut st = ArchState::new(0x1000);
+        st.set_x(Reg::X5, 0x8000);
+        let srcp = st.checkpoint();
+        let end_pc = 0x1000 + 4 * words.len() as u64;
+        let mut pkts = Vec::new();
+        let mut seq = 0u64;
+        while st.pc < end_pc {
+            let r = exec::step(&mut st, &mut mem).expect("golden run must not trap");
+            if let Some(m) = r.mem {
+                pkts.push(Packet {
+                    seq,
+                    dest: DestMask::single(0),
+                    payload: Payload::Mem {
+                        seg: 1,
+                        addr: m.addr,
+                        size: m.size,
+                        data: m.data,
+                        is_store: m.is_store,
+                    },
+                    created_at: 0,
+                });
+                seq += 1;
+            }
+            if let Some((addr, data)) = r.csr_read {
+                pkts.push(Packet {
+                    seq,
+                    dest: DestMask::single(0),
+                    payload: Payload::Csr { seg: 1, addr, data },
+                    created_at: 0,
+                });
+                seq += 1;
+            }
+        }
+        (mem, srcp, pkts, st.checkpoint())
+    }
+
+    fn make_core() -> LittleCore {
+        LittleCore::new(0, LittleCoreConfig::optimized(), CHUNKS)
+    }
+
+    fn deliver_ercp(core: &mut LittleCore, seg: u32, inst_count: u64, cp: RegCheckpoint) {
+        core.lsl.deliver(
+            Packet {
+                seq: u64::MAX,
+                dest: DestMask::single(0),
+                payload: Payload::RcpEnd { seg, inst_count, cp: Box::new(cp) },
+                created_at: 0,
+            },
+            0,
+        );
+    }
+
+    fn run_to_event(core: &mut LittleCore, imem: &SparseMemory, limit: u64) -> (CheckerEvent, u64) {
+        for now in 0..limit {
+            if let Some(ev) = core.tick_check(now, imem) {
+                if matches!(ev, CheckerEvent::SegmentVerified { .. }) {
+                    return (ev, now);
+                }
+            }
+        }
+        panic!("no verification event within {limit} cycles");
+    }
+
+    fn test_program() -> Vec<Inst> {
+        vec![
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 7 },
+            Inst::Load { op: LoadOp::Ld, rd: Reg::X2, rs1: Reg::X5, offset: 0 },
+            Inst::Alu { op: AluOp::Add, rd: Reg::X3, rs1: Reg::X1, rs2: Reg::X2 },
+            Inst::Store { op: StoreOp::Sd, rs1: Reg::X5, rs2: Reg::X3, offset: 8 },
+            Inst::Load { op: LoadOp::Lw, rd: Reg::X4, rs1: Reg::X5, offset: 16 },
+            Inst::Branch { op: BranchOp::Beq, rs1: Reg::X0, rs2: Reg::X0, offset: 8 },
+            // skipped by the taken branch
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X6, rs1: Reg::X0, imm: 99 },
+            Inst::Store { op: StoreOp::Sd, rs1: Reg::X5, rs2: Reg::X4, offset: 24 },
+        ]
+    }
+
+    /// The branch at index 5 skips index 6, so 7 instructions execute.
+    const EXECUTED: u64 = 7;
+
+    #[test]
+    fn clean_replay_passes() {
+        let (imem, srcp, pkts, ercp) = golden_run(&test_program());
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        for p in pkts {
+            core.lsl.deliver(p, 0);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let (ev, _) = run_to_event(&mut core, &imem, 10_000);
+        assert_eq!(ev, CheckerEvent::SegmentVerified { seg: 1, pass: true, mismatch: None });
+        assert_eq!(core.stats().replayed_insts, EXECUTED);
+        assert_eq!(core.stats().mismatches, 0);
+    }
+
+    #[test]
+    fn corrupted_load_data_detected_at_store_or_ercp() {
+        let (imem, srcp, mut pkts, ercp) = golden_run(&test_program());
+        // Corrupt the load's logged data (fault in forwarded run-time data).
+        for p in &mut pkts {
+            if let Payload::Mem { data, is_store: false, .. } = &mut p.payload {
+                *data ^= 1 << 17;
+                break;
+            }
+        }
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        for p in pkts {
+            core.lsl.deliver(p, 0);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let (ev, _) = run_to_event(&mut core, &imem, 10_000);
+        match ev {
+            CheckerEvent::SegmentVerified { pass, mismatch, .. } => {
+                assert!(!pass);
+                // The corrupted x2 propagates into x3, stored at offset 8:
+                // detected as StoreData in the LSL, before the ERCP.
+                assert_eq!(mismatch, Some(MismatchKind::StoreData));
+            }
+            ev => panic!("unexpected event {ev:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_store_addr_detected() {
+        let (imem, srcp, mut pkts, ercp) = golden_run(&test_program());
+        for p in &mut pkts {
+            if let Payload::Mem { addr, is_store: true, .. } = &mut p.payload {
+                *addr ^= 0x40;
+                break;
+            }
+        }
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        for p in pkts {
+            core.lsl.deliver(p, 0);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let (ev, _) = run_to_event(&mut core, &imem, 10_000);
+        assert!(matches!(
+            ev,
+            CheckerEvent::SegmentVerified { pass: false, mismatch: Some(MismatchKind::StoreAddr), .. }
+        ));
+    }
+
+    #[test]
+    fn corrupted_ercp_register_detected_at_compare() {
+        let (imem, srcp, pkts, mut ercp) = golden_run(&test_program());
+        ercp.x[3] ^= 0x8000; // corrupt forwarded status data
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        for p in pkts {
+            core.lsl.deliver(p, 0);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let (ev, _) = run_to_event(&mut core, &imem, 10_000);
+        assert!(matches!(
+            ev,
+            CheckerEvent::SegmentVerified {
+                pass: false,
+                mismatch: Some(MismatchKind::Register(CheckpointMismatch::X { index: 3, .. })),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn replay_waits_for_data() {
+        let (imem, srcp, pkts, ercp) = golden_run(&test_program());
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        // Run 100 cycles with no data: the core applies the SRCP then
+        // waits (it cannot replay ahead of the log).
+        for now in 0..100 {
+            core.tick_check(now, &imem);
+        }
+        assert!(core.stats().wait_data_cycles > 0);
+        assert_eq!(core.stats().replayed_insts, 0, "must not run ahead of the log");
+        for p in pkts {
+            core.lsl.deliver(p, 100);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let mut done = false;
+        for now in 100..10_000 {
+            if let Some(CheckerEvent::SegmentVerified { pass, .. }) = core.tick_check(now, &imem) {
+                assert!(pass);
+                done = true;
+                break;
+            }
+        }
+        assert!(done);
+    }
+
+    #[test]
+    fn div_heavy_replay_is_slower_on_default_rocket() {
+        use meek_isa::inst::MulDivOp;
+        let mut prog = vec![Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 1000 }];
+        for _ in 0..32 {
+            prog.push(Inst::MulDiv { op: MulDivOp::Div, rd: Reg::X2, rs1: Reg::X1, rs2: Reg::X1 });
+        }
+        let (imem, srcp, pkts, ercp) = golden_run(&prog);
+        let n = prog.len() as u64;
+
+        let run_with = |cfg: LittleCoreConfig| {
+            let mut core = LittleCore::new(0, cfg, CHUNKS);
+            core.seed_initial_checkpoint(srcp);
+            core.assign(1);
+            for p in pkts.clone() {
+                core.lsl.deliver(p, 0);
+            }
+            deliver_ercp(&mut core, 1, n, ercp);
+            let (_, cycles) = run_to_event(&mut core, &imem, 100_000);
+            cycles
+        };
+        let fast = run_with(LittleCoreConfig::optimized());
+        let slow = run_with(LittleCoreConfig::default_rocket());
+        assert!(
+            slow > fast + 32 * 40,
+            "1-bit divider ({slow} cyc) must be far slower than 8-unroll ({fast} cyc)"
+        );
+    }
+
+    #[test]
+    fn reassignment_after_completion() {
+        let (imem, srcp, pkts, ercp) = golden_run(&test_program());
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        for p in pkts {
+            core.lsl.deliver(p, 0);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let (_, t) = run_to_event(&mut core, &imem, 10_000);
+        assert!(core.is_idle());
+        // The ERCP of segment 1 was carried as the SRCP of segment 2.
+        core.assign(2);
+        // Provide segment 2: empty segment (0 instructions) ending in the
+        // same state.
+        deliver_ercp(&mut core, 2, 0, ercp);
+        let mut done = false;
+        for now in (t + 1)..(t + 1000) {
+            if let Some(CheckerEvent::SegmentVerified { seg: 2, pass, .. }) = core.tick_check(now, &imem) {
+                assert!(pass);
+                done = true;
+                break;
+            }
+        }
+        assert!(done, "second segment must verify using the carried SRCP");
+    }
+}
+
+#[cfg(test)]
+mod app_mode_tests {
+    use super::*;
+    use meek_isa::encode;
+    use meek_isa::inst::{AluImmOp, Inst, LoadOp, MulDivOp};
+    use meek_isa::Reg;
+
+    fn run_app(insts: &[Inst], cfg: LittleCoreConfig) -> (u64, ArchState) {
+        let words: Vec<u32> = insts.iter().map(encode).collect();
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x1000, &words);
+        let mut st = ArchState::new(0x1000);
+        st.set_x(Reg::X5, 0x8000);
+        let mut core = LittleCore::new(0, cfg, 17);
+        core.prewarm_code(0x1000, 4 * words.len() as u64);
+        let end = 0x1000 + 4 * words.len() as u64;
+        let mut now = 0u64;
+        while st.pc < end {
+            core.tick_application(now, &mut st, &mut mem).expect("no trap");
+            now += 1;
+            assert!(now < 1_000_000, "application run diverged");
+        }
+        (now, st)
+    }
+
+    #[test]
+    fn application_mode_executes_correctly() {
+        let (cycles, st) = run_app(
+            &[
+                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 5 },
+                Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X2, rs1: Reg::X1, imm: 7 },
+                Inst::Load { op: LoadOp::Ld, rd: Reg::X3, rs1: Reg::X5, offset: 0 },
+            ],
+            LittleCoreConfig::optimized(),
+        );
+        assert_eq!(st.x(Reg::X2), 12);
+        assert!(cycles >= 3);
+    }
+
+    #[test]
+    fn application_divides_cost_more_on_default_rocket() {
+        let prog: Vec<Inst> = std::iter::once(Inst::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::X1,
+            rs1: Reg::X0,
+            imm: 100,
+        })
+        .chain((0..16).map(|_| Inst::MulDiv {
+            op: MulDivOp::Div,
+            rd: Reg::X2,
+            rs1: Reg::X1,
+            rs2: Reg::X1,
+        }))
+        .collect();
+        let (opt, _) = run_app(&prog, LittleCoreConfig::optimized());
+        let (def, _) = run_app(&prog, LittleCoreConfig::default_rocket());
+        assert!(def > opt + 16 * 40, "1-bit divider must dominate ({def} vs {opt})");
+    }
+
+    #[test]
+    fn application_memory_pays_cache_latency() {
+        // A cold scattered load must cost more than an L1 hit.
+        let mut mem = SparseMemory::new();
+        let prog = [
+            encode(&Inst::Load { op: LoadOp::Ld, rd: Reg::X1, rs1: Reg::X5, offset: 0 }),
+            encode(&Inst::Load { op: LoadOp::Ld, rd: Reg::X2, rs1: Reg::X5, offset: 0 }),
+        ];
+        mem.load_program(0x1000, &prog);
+        let mut st = ArchState::new(0x1000);
+        st.set_x(Reg::X5, 0x20_0000);
+        let mut core = LittleCore::new(0, LittleCoreConfig::optimized(), 17);
+        core.prewarm_code(0x1000, 8);
+        let mut now = 0u64;
+        let mut retired_at = Vec::new();
+        while st.pc < 0x1008 {
+            if let Some(r) = core.tick_application(now, &mut st, &mut mem).expect("no trap") {
+                retired_at.push((r.pc, now));
+            }
+            now += 1;
+            assert!(now < 100_000);
+        }
+        // The first (cold) load's shadow is visible as a gap before the
+        // second finishes.
+        assert!(now > 20, "cold load should stall the pipeline ({now})");
+    }
+}

@@ -1,0 +1,24 @@
+//! The MEEK little core: an in-order, 5-stage scalar core (Rocket-class)
+//! upgraded with the **Mode Switch Unit** (MSU) and the **Load-Store Log**
+//! (LSL) so it can run checker threads (paper §III-C, Fig. 4).
+//!
+//! In *application* mode the core behaves like an ordinary in-order CPU
+//! with its private 4 KB L1 caches. In *check* mode the MSU has applied a
+//! Start Register Checkpoint (SRCP) to the architectural registers and
+//! the Memory-Access stage is multiplexed onto the LSL: loads return the
+//! logged data, stores are compared against the logged address and value,
+//! and the segment ends with an End-RCP register-file comparison.
+//!
+//! Timing follows a classic 5-stage in-order pipeline: CPI 1 plus
+//! structural stalls (iterative divider, FPU pipeline depth, load-use
+//! bubble, taken-branch redirect, I-cache misses). The divider unroll
+//! factor and FPU depth are the paper's §III-C "performance-gap
+//! mitigation" knobs, ablated in Fig. 10.
+
+pub mod config;
+pub mod core;
+pub mod lsl;
+
+pub use crate::core::{CheckerEvent, LittleCore, LittleCoreStats, MismatchKind};
+pub use config::{LittleCoreConfig, LslConfig};
+pub use lsl::{LoadStoreLog, RuntimeRecord, StatusRecord};

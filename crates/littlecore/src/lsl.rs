@@ -1,0 +1,286 @@
+//! The Load-Store Log: dual-way FIFOs buffering forwarded data
+//! (paper Fig. 4 b).
+//!
+//! Because the little core consumes the log strictly in order, the LSL is
+//! built from FIFOs rather than a way-associative structure — the paper's
+//! complexity reduction. One way holds run-time records (loads, stores,
+//! CSR results), the other holds status (checkpoint) chunks, which are
+//! assembled back into [`StatusRecord`]s as the final chunk arrives.
+
+use crate::config::LslConfig;
+use meek_fabric::{Packet, PacketKind, PacketSink, Payload};
+use meek_isa::state::RegCheckpoint;
+use std::collections::VecDeque;
+
+/// One run-time entry: a load, store, or CSR result to replay against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeRecord {
+    /// A logged memory access.
+    Mem {
+        /// Segment the record belongs to.
+        seg: u32,
+        /// Effective address the big core used.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// Load result / store payload.
+        data: u64,
+        /// `true` for stores.
+        is_store: bool,
+    },
+    /// A logged CSR read result (non-repeatable).
+    Csr {
+        /// Segment the record belongs to.
+        seg: u32,
+        /// CSR address.
+        addr: u16,
+        /// Value the big core observed.
+        data: u64,
+    },
+}
+
+impl RuntimeRecord {
+    /// The segment this record belongs to.
+    pub fn seg(&self) -> u32 {
+        match *self {
+            RuntimeRecord::Mem { seg, .. } | RuntimeRecord::Csr { seg, .. } => seg,
+        }
+    }
+}
+
+/// An assembled register checkpoint with its segment metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusRecord {
+    /// Segment this checkpoint ends (ERCP of `seg`, SRCP of `seg + 1`).
+    pub seg: u32,
+    /// Replay length of segment `seg` in instructions.
+    pub inst_count: u64,
+    /// The checkpoint.
+    pub cp: RegCheckpoint,
+    /// Big-core cycle at which the final chunk arrived.
+    pub arrived_at: u64,
+}
+
+/// The Load-Store Log.
+#[derive(Debug, Clone)]
+pub struct LoadStoreLog {
+    cfg: LslConfig,
+    runtime: VecDeque<RuntimeRecord>,
+    status_chunks: usize,
+    status: VecDeque<StatusRecord>,
+    /// Total packets delivered into this LSL.
+    pub delivered: u64,
+    /// High-water mark of the run-time way.
+    pub peak_runtime: usize,
+}
+
+impl LoadStoreLog {
+    /// Creates an empty log.
+    pub fn new(cfg: LslConfig) -> LoadStoreLog {
+        LoadStoreLog {
+            cfg,
+            runtime: VecDeque::new(),
+            status_chunks: 0,
+            status: VecDeque::new(),
+            delivered: 0,
+            peak_runtime: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LslConfig {
+        &self.cfg
+    }
+
+    /// Entries currently in the run-time way.
+    pub fn runtime_len(&self) -> usize {
+        self.runtime.len()
+    }
+
+    /// Assembled checkpoints waiting to be consumed.
+    pub fn status_len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Whether both ways are empty.
+    pub fn is_empty(&self) -> bool {
+        self.runtime.is_empty() && self.status.is_empty() && self.status_chunks == 0
+    }
+
+    /// Pops the next run-time record (in-order consumption).
+    pub fn pop_runtime(&mut self) -> Option<RuntimeRecord> {
+        self.runtime.pop_front()
+    }
+
+    /// Peeks the next run-time record.
+    pub fn peek_runtime(&self) -> Option<&RuntimeRecord> {
+        self.runtime.front()
+    }
+
+    /// Pops the next assembled checkpoint.
+    pub fn pop_status(&mut self) -> Option<StatusRecord> {
+        let r = self.status.pop_front();
+        if r.is_some() {
+            // Free the chunks this checkpoint occupied (accounted at
+            // RcpEnd arrival as `total` chunks).
+            // Chunk accounting is decremented as chunks are retired below.
+        }
+        r
+    }
+
+    /// Peeks the next assembled checkpoint.
+    pub fn peek_status(&self) -> Option<&StatusRecord> {
+        self.status.front()
+    }
+
+    /// Drops everything (MSU reset on mode switch / reallocation).
+    pub fn clear(&mut self) {
+        self.runtime.clear();
+        self.status.clear();
+        self.status_chunks = 0;
+    }
+}
+
+impl PacketSink for LoadStoreLog {
+    fn can_accept(&self, kind: PacketKind) -> bool {
+        match kind {
+            PacketKind::Runtime => self.runtime.len() < self.cfg.runtime_capacity,
+            PacketKind::Status => self.status_chunks < self.cfg.status_capacity_chunks,
+        }
+    }
+
+    fn deliver(&mut self, pkt: Packet, now: u64) {
+        self.delivered += 1;
+        match pkt.payload {
+            Payload::Mem { seg, addr, size, data, is_store } => {
+                self.runtime.push_back(RuntimeRecord::Mem { seg, addr, size, data, is_store });
+                self.peak_runtime = self.peak_runtime.max(self.runtime.len());
+            }
+            Payload::Csr { seg, addr, data } => {
+                self.runtime.push_back(RuntimeRecord::Csr { seg, addr, data });
+                self.peak_runtime = self.peak_runtime.max(self.runtime.len());
+            }
+            Payload::RcpChunk { .. } => {
+                self.status_chunks += 1;
+            }
+            Payload::RcpEnd { seg, inst_count, cp } => {
+                // The in-flight chunks of this checkpoint are consumed by
+                // the assembly; the assembled record takes their place
+                // until applied.
+                self.status.push_back(StatusRecord { seg, inst_count, cp: *cp, arrived_at: now });
+                self.status_chunks += 1;
+            }
+        }
+    }
+}
+
+/// Frees the status-way chunks of a consumed checkpoint.
+///
+/// Kept as a free function so the checker (which knows the fabric's
+/// chunking) can release capacity when it applies a checkpoint.
+pub fn release_status_chunks(lsl: &mut LoadStoreLog, chunks: usize) {
+    lsl.status_chunks = lsl.status_chunks.saturating_sub(chunks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_fabric::DestMask;
+
+    fn mem_packet(seq: u64, addr: u64, data: u64, is_store: bool) -> Packet {
+        Packet {
+            seq,
+            dest: DestMask::single(0),
+            payload: Payload::Mem { seg: 0, addr, size: 8, data, is_store },
+            created_at: 0,
+        }
+    }
+
+    fn rcp_end(seq: u64, seg: u32, inst_count: u64) -> Packet {
+        Packet {
+            seq,
+            dest: DestMask::single(0),
+            payload: Payload::RcpEnd { seg, inst_count, cp: Box::new(RegCheckpoint::zeroed(0x1000)) },
+            created_at: 7,
+        }
+    }
+
+    #[test]
+    fn runtime_fifo_order() {
+        let mut lsl = LoadStoreLog::new(LslConfig::default());
+        lsl.deliver(mem_packet(0, 0x10, 1, false), 0);
+        lsl.deliver(mem_packet(1, 0x18, 2, true), 0);
+        assert_eq!(lsl.runtime_len(), 2);
+        assert_eq!(
+            lsl.pop_runtime(),
+            Some(RuntimeRecord::Mem { seg: 0, addr: 0x10, size: 8, data: 1, is_store: false })
+        );
+        assert_eq!(
+            lsl.pop_runtime(),
+            Some(RuntimeRecord::Mem { seg: 0, addr: 0x18, size: 8, data: 2, is_store: true })
+        );
+        assert_eq!(lsl.pop_runtime(), None);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut lsl = LoadStoreLog::new(LslConfig { runtime_capacity: 2, status_capacity_chunks: 1 });
+        assert!(lsl.can_accept(PacketKind::Runtime));
+        lsl.deliver(mem_packet(0, 0, 0, false), 0);
+        lsl.deliver(mem_packet(1, 8, 0, false), 0);
+        assert!(!lsl.can_accept(PacketKind::Runtime));
+        assert!(lsl.can_accept(PacketKind::Status));
+        lsl.deliver(rcp_end(2, 0, 10), 0);
+        assert!(!lsl.can_accept(PacketKind::Status));
+    }
+
+    #[test]
+    fn checkpoint_assembly() {
+        let mut lsl = LoadStoreLog::new(LslConfig::default());
+        for c in 0..16 {
+            lsl.deliver(
+                Packet {
+                    seq: c,
+                    dest: DestMask::single(0),
+                    payload: Payload::RcpChunk { seg: 3, chunk: c as u8, total: 17 },
+                    created_at: 0,
+                },
+                c,
+            );
+        }
+        assert_eq!(lsl.status_len(), 0, "not assembled until the final chunk");
+        lsl.deliver(rcp_end(16, 3, 555), 99);
+        let rec = lsl.pop_status().expect("assembled");
+        assert_eq!(rec.seg, 3);
+        assert_eq!(rec.inst_count, 555);
+        assert_eq!(rec.arrived_at, 99);
+        release_status_chunks(&mut lsl, 17);
+        assert!(lsl.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut lsl = LoadStoreLog::new(LslConfig::default());
+        lsl.deliver(mem_packet(0, 0, 0, false), 0);
+        lsl.deliver(rcp_end(1, 0, 1), 0);
+        lsl.clear();
+        assert!(lsl.is_empty());
+        assert!(lsl.can_accept(PacketKind::Runtime));
+        assert!(lsl.can_accept(PacketKind::Status));
+    }
+
+    #[test]
+    fn csr_records_flow_through_runtime_way() {
+        let mut lsl = LoadStoreLog::new(LslConfig::default());
+        lsl.deliver(
+            Packet {
+                seq: 0,
+                dest: DestMask::single(0),
+                payload: Payload::Csr { seg: 0, addr: 0xC00, data: 42 },
+                created_at: 0,
+            },
+            0,
+        );
+        assert_eq!(lsl.pop_runtime(), Some(RuntimeRecord::Csr { seg: 0, addr: 0xC00, data: 42 }));
+    }
+}

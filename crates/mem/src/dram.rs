@@ -1,0 +1,96 @@
+//! A bandwidth- and occupancy-limited DRAM model (Table II: DDR3 @1066,
+//! maximum 32 outstanding requests).
+
+/// DRAM timing model: fixed access latency, a cap on in-flight requests,
+/// and a minimum interval between request issues (channel bandwidth).
+#[derive(Debug, Clone)]
+pub struct Dram {
+    latency: u64,
+    max_requests: u32,
+    issue_interval: u64,
+    in_flight: Vec<u64>,
+    last_issue: u64,
+    /// Total requests served.
+    pub requests: u64,
+    /// Cycles requests spent queueing for a slot or the channel.
+    pub queue_cycles: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_requests` is zero.
+    pub fn new(latency: u64, max_requests: u32, issue_interval: u64) -> Dram {
+        assert!(max_requests > 0, "DRAM needs at least one request slot");
+        Dram {
+            latency,
+            max_requests,
+            issue_interval,
+            in_flight: Vec::new(),
+            last_issue: 0,
+            requests: 0,
+            queue_cycles: 0,
+        }
+    }
+
+    /// Issues a request at `now`; returns the completion time.
+    pub fn access(&mut self, now: u64) -> u64 {
+        self.in_flight.retain(|&t| t > now);
+        let mut issue = now.max(self.last_issue + self.issue_interval);
+        if self.in_flight.len() as u32 >= self.max_requests {
+            let earliest = self.in_flight.iter().copied().min().unwrap_or(now);
+            issue = issue.max(earliest);
+            self.in_flight.retain(|&t| t > earliest);
+        }
+        self.queue_cycles += issue.saturating_sub(now);
+        self.last_issue = issue;
+        let done = issue + self.latency;
+        self.in_flight.push(done);
+        self.requests += 1;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_when_idle() {
+        let mut d = Dram::new(200, 32, 4);
+        assert_eq!(d.access(1000), 1200);
+        assert_eq!(d.access(2000), 2200);
+    }
+
+    #[test]
+    fn issue_interval_limits_bandwidth() {
+        let mut d = Dram::new(100, 32, 10);
+        let a = d.access(0);
+        let b = d.access(0);
+        let c = d.access(0);
+        assert_eq!(a, 110);
+        assert_eq!(b, 120);
+        assert_eq!(c, 130);
+        assert!(d.queue_cycles > 0);
+    }
+
+    #[test]
+    fn occupancy_cap() {
+        let mut d = Dram::new(1000, 2, 0);
+        let a = d.access(0);
+        let b = d.access(0);
+        assert_eq!(a, 1000);
+        assert_eq!(b, 1000);
+        // Third request must wait for a slot.
+        let c = d.access(0);
+        assert_eq!(c, 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request slot")]
+    fn zero_slots_panics() {
+        let _ = Dram::new(1, 0, 0);
+    }
+}

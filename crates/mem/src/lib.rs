@@ -1,0 +1,26 @@
+//! Memory-hierarchy timing models for the MEEK simulator.
+//!
+//! The functional contents of memory live in `meek_isa::SparseMemory`;
+//! this crate models *when* accesses complete: set-associative caches with
+//! LRU replacement and MSHR-limited miss handling, a bandwidth-limited
+//! DRAM, and the multi-level [`MemHierarchy`] of the paper's Table II.
+//!
+//! It also provides the [`parity`] helpers modelling the paper's LSQ
+//! protection (footnote 2: cache parity bits are copied into the LSQ and
+//! double-checked when data is forwarded to the F2 fabric).
+//!
+//! All latencies are expressed in cycles of whichever clock domain owns
+//! the hierarchy; the configs in [`config`] are written for the big core's
+//! 3.2 GHz domain and the little cores' 1.6 GHz domain respectively.
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod hierarchy;
+pub mod parity;
+
+pub use cache::{AccessKind, Cache, CacheStats};
+pub use config::{CacheConfig, HierarchyConfig};
+pub use dram::Dram;
+pub use hierarchy::{AccessOutcome, MemHierarchy, ServedBy};
+pub use parity::{byte_parity, check_parity, Parity};

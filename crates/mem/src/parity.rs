@@ -1,0 +1,83 @@
+//! Parity protection modelling the paper's LSQ redundancy fix.
+//!
+//! Footnote 2 of the paper: data is parity-protected in the cache and
+//! fully duplicated once it reaches the LSL, but there is a window in the
+//! LSQ where it would otherwise be protected by neither. MEEK copies the
+//! cache's parity bits into the LSQ and double-checks them when the data
+//! is forwarded to F2. This module provides that parity representation;
+//! the big-core LSQ carries a [`Parity`] alongside each entry and the DEU
+//! re-checks it at forwarding time.
+
+/// Per-byte even parity of a 64-bit value: bit *i* of a `Parity` is the
+/// XOR of the bits of byte *i*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parity(pub u8);
+
+/// Computes the per-byte parity of `value`.
+///
+/// # Example
+///
+/// ```
+/// use meek_mem::{byte_parity, check_parity};
+///
+/// let p = byte_parity(0xFF00_0001_0000_0300);
+/// assert!(check_parity(0xFF00_0001_0000_0300, p));
+/// assert!(!check_parity(0xFF00_0001_0000_0301, p)); // single-bit flip detected
+/// ```
+pub fn byte_parity(value: u64) -> Parity {
+    let mut p = 0u8;
+    for i in 0..8 {
+        let byte = (value >> (8 * i)) as u8;
+        p |= ((byte.count_ones() as u8) & 1) << i;
+    }
+    Parity(p)
+}
+
+/// Checks `value` against a previously computed parity.
+pub fn check_parity(value: u64, parity: Parity) -> bool {
+    byte_parity(value) == parity
+}
+
+impl Parity {
+    /// Parity of the zero value (all zero bits).
+    pub const ZERO: Parity = Parity(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_parity() {
+        assert_eq!(byte_parity(0), Parity::ZERO);
+        assert!(check_parity(0, Parity::ZERO));
+    }
+
+    #[test]
+    fn detects_any_single_bit_flip() {
+        let v = 0xDEAD_BEEF_0123_4567u64;
+        let p = byte_parity(v);
+        for bit in 0..64 {
+            let corrupted = v ^ (1u64 << bit);
+            assert!(!check_parity(corrupted, p), "flip of bit {bit} undetected");
+        }
+    }
+
+    #[test]
+    fn misses_double_flip_in_same_byte() {
+        // Even parity cannot see an even number of flips within one byte —
+        // exactly the coverage the paper's per-byte parity provides.
+        let v = 0x0000_0000_0000_00FFu64;
+        let p = byte_parity(v);
+        let corrupted = v ^ 0b11; // two flips in byte 0
+        assert!(check_parity(corrupted, p));
+    }
+
+    #[test]
+    fn catches_double_flip_across_bytes() {
+        let v = 0x1234_5678_9ABC_DEF0u64;
+        let p = byte_parity(v);
+        let corrupted = v ^ 0x0000_0100_0000_0001; // one flip in two bytes
+        assert!(!check_parity(corrupted, p));
+    }
+}

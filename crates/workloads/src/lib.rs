@@ -1,0 +1,38 @@
+//! Synthetic workloads standing in for SPECint 2006 and PARSEC 3.
+//!
+//! The paper evaluates MEEK on full SPECint 2006 and PARSEC 3
+//! (simmedium). Neither suite can be redistributed here, so this crate
+//! synthesises **real RISC-V programs** whose *dynamic characteristics*
+//! match published characterisations of each benchmark: instruction mix
+//! (including the division density that makes swaptions MEEK's worst
+//! case), branch predictability, working-set size, and memory-access
+//! randomness. The programs are loops of generated basic blocks executed
+//! by the functional oracle — every load, store, branch and divide is
+//! actually executed and therefore actually logged, forwarded, and
+//! replayed by the checker cores.
+//!
+//! See DESIGN.md ("Substitution table") for why this preserves the
+//! behaviours the paper's figures measure.
+//!
+//! # Example
+//!
+//! ```
+//! use meek_workloads::{parsec3, Workload};
+//!
+//! let profile = parsec3().into_iter().find(|p| p.name == "swaptions").unwrap();
+//! let wl = Workload::build(&profile, 42);
+//! let mut run = wl.run(10_000);
+//! let mut divides = 0;
+//! while let Some(r) = run.next_retired() {
+//!     if matches!(r.class, meek_isa::ExecClass::IntDiv | meek_isa::ExecClass::FpDiv) {
+//!         divides += 1;
+//!     }
+//! }
+//! assert!(divides > 100, "swaptions is divide-heavy");
+//! ```
+
+pub mod codegen;
+pub mod profile;
+
+pub use codegen::{Workload, WorkloadRun};
+pub use profile::{parsec3, spec_int_2006, BenchmarkProfile, InstMix, Suite};

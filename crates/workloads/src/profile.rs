@@ -1,0 +1,294 @@
+//! Per-benchmark profiles for SPECint 2006 and PARSEC 3.
+//!
+//! The numbers are drawn from published characterisations of the suites
+//! (instruction mixes, branch behaviour, working sets). They are
+//! deliberately coarse — the paper's results depend on *relative*
+//! behaviours (swaptions' division density, mcf's memory-boundedness,
+//! libquantum's streaming predictability), which these profiles preserve.
+
+/// Which benchmark suite a profile belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint 2006 (12 integer benchmarks).
+    SpecInt2006,
+    /// PARSEC 3.0 with the simmedium dataset (8 benchmarks).
+    Parsec3,
+}
+
+/// Dynamic instruction mix (fractions of retired instructions). The
+/// remainder after all listed classes is plain integer ALU work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstMix {
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+    /// Conditional branches.
+    pub branch: f64,
+    /// Integer multiplies.
+    pub mul: f64,
+    /// Integer divides.
+    pub div: f64,
+    /// FP add/sub.
+    pub fp_add: f64,
+    /// FP multiplies.
+    pub fp_mul: f64,
+    /// FP divides.
+    pub fp_div: f64,
+}
+
+impl InstMix {
+    /// Fraction left for plain ALU instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the listed fractions exceed 1.
+    pub fn alu(&self) -> f64 {
+        let used = self.load
+            + self.store
+            + self.branch
+            + self.mul
+            + self.div
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div;
+        assert!(used <= 1.0, "instruction mix exceeds 100% ({used})");
+        1.0 - used
+    }
+
+    /// Fraction of memory instructions (loads + stores).
+    pub fn mem(&self) -> f64 {
+        self.load + self.store
+    }
+}
+
+/// A benchmark profile: everything the generator needs to synthesise a
+/// program with this benchmark's dynamic character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Dynamic instruction mix.
+    pub mix: InstMix,
+    /// Fraction of conditional branches that follow learnable patterns
+    /// (the rest are data-driven and effectively random).
+    pub branch_predictability: f64,
+    /// Data working-set size in bytes.
+    pub working_set: u64,
+    /// Fraction of memory accesses that are randomly scattered over the
+    /// working set (the rest stream sequentially).
+    pub random_access: f64,
+    /// Static instructions in the main loop (instruction footprint).
+    pub code_footprint: u32,
+    /// ECALLs (kernel traps → forced RCPs) per 10 000 instructions.
+    pub syscall_per_10k: u32,
+    /// Whether Nzdc's compiler pass handles this benchmark (the paper
+    /// reports compile failures on gcc, omnetpp, xalancbmk, freqmine).
+    pub nzdc_compilable: bool,
+}
+
+macro_rules! mix {
+    (l $l:expr, s $s:expr, b $b:expr $(, mul $m:expr)? $(, div $d:expr)?
+     $(, fa $fa:expr)? $(, fm $fm:expr)? $(, fd $fd:expr)?) => {{
+        #[allow(unused_mut)]
+        let mut m = InstMix {
+            load: $l, store: $s, branch: $b,
+            mul: 0.0, div: 0.0, fp_add: 0.0, fp_mul: 0.0, fp_div: 0.0,
+        };
+        $(m.mul = $m;)?
+        $(m.div = $d;)?
+        $(m.fp_add = $fa;)?
+        $(m.fp_mul = $fm;)?
+        $(m.fp_div = $fd;)?
+        m
+    }};
+}
+
+const MB: u64 = 1024 * 1024;
+
+/// The 12 SPECint 2006 benchmark profiles.
+pub fn spec_int_2006() -> Vec<BenchmarkProfile> {
+    use Suite::SpecInt2006 as S;
+    vec![
+        BenchmarkProfile {
+            name: "perlbench", suite: S,
+            mix: mix!(l 0.24, s 0.11, b 0.21, mul 0.005, div 0.001),
+            branch_predictability: 0.94, working_set: 8 * MB, random_access: 0.50,
+            code_footprint: 12_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "bzip2", suite: S,
+            mix: mix!(l 0.26, s 0.09, b 0.15, mul 0.01),
+            branch_predictability: 0.89, working_set: 4 * MB, random_access: 0.35,
+            code_footprint: 3_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "gcc", suite: S,
+            mix: mix!(l 0.25, s 0.13, b 0.20, mul 0.004),
+            branch_predictability: 0.91, working_set: 16 * MB, random_access: 0.50,
+            code_footprint: 16_000, syscall_per_10k: 0, nzdc_compilable: false,
+        },
+        BenchmarkProfile {
+            name: "mcf", suite: S,
+            mix: mix!(l 0.31, s 0.09, b 0.19),
+            branch_predictability: 0.90, working_set: 64 * MB, random_access: 0.85,
+            code_footprint: 1_500, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "gobmk", suite: S,
+            mix: mix!(l 0.20, s 0.14, b 0.20, mul 0.006),
+            branch_predictability: 0.86, working_set: 2 * MB, random_access: 0.40,
+            code_footprint: 10_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "hmmer", suite: S,
+            mix: mix!(l 0.28, s 0.16, b 0.08, mul 0.01),
+            branch_predictability: 0.97, working_set: MB, random_access: 0.10,
+            code_footprint: 2_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "sjeng", suite: S,
+            mix: mix!(l 0.21, s 0.08, b 0.21, mul 0.005),
+            branch_predictability: 0.88, working_set: 2 * MB, random_access: 0.45,
+            code_footprint: 6_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "libquantum", suite: S,
+            mix: mix!(l 0.25, s 0.05, b 0.27, mul 0.01),
+            branch_predictability: 0.99, working_set: 32 * MB, random_access: 0.02,
+            code_footprint: 800, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "h264ref", suite: S,
+            mix: mix!(l 0.35, s 0.15, b 0.08, mul 0.02),
+            branch_predictability: 0.95, working_set: MB, random_access: 0.20,
+            code_footprint: 6_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "omnetpp", suite: S,
+            mix: mix!(l 0.30, s 0.17, b 0.20),
+            branch_predictability: 0.92, working_set: 32 * MB, random_access: 0.80,
+            code_footprint: 10_000, syscall_per_10k: 0, nzdc_compilable: false,
+        },
+        BenchmarkProfile {
+            name: "astar", suite: S,
+            mix: mix!(l 0.27, s 0.05, b 0.16),
+            branch_predictability: 0.88, working_set: 16 * MB, random_access: 0.70,
+            code_footprint: 2_500, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "xalancbmk", suite: S,
+            mix: mix!(l 0.30, s 0.09, b 0.25),
+            branch_predictability: 0.93, working_set: 16 * MB, random_access: 0.60,
+            code_footprint: 14_000, syscall_per_10k: 0, nzdc_compilable: false,
+        },
+    ]
+}
+
+/// The 8 PARSEC 3 benchmark profiles (simmedium-scaled working sets).
+pub fn parsec3() -> Vec<BenchmarkProfile> {
+    use Suite::Parsec3 as P;
+    vec![
+        BenchmarkProfile {
+            name: "blackscholes", suite: P,
+            mix: mix!(l 0.25, s 0.08, b 0.08, fa 0.18, fm 0.14, fd 0.010),
+            branch_predictability: 0.97, working_set: 2 * MB, random_access: 0.10,
+            code_footprint: 1_200, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "bodytrack", suite: P,
+            mix: mix!(l 0.26, s 0.09, b 0.13, fa 0.10, fm 0.08, fd 0.004),
+            branch_predictability: 0.93, working_set: 8 * MB, random_access: 0.35,
+            code_footprint: 5_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "dedup", suite: P,
+            mix: mix!(l 0.27, s 0.15, b 0.16, mul 0.02),
+            branch_predictability: 0.92, working_set: 16 * MB, random_access: 0.50,
+            code_footprint: 4_000, syscall_per_10k: 2, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "ferret", suite: P,
+            mix: mix!(l 0.29, s 0.10, b 0.14, fa 0.06, fm 0.05),
+            branch_predictability: 0.92, working_set: 24 * MB, random_access: 0.55,
+            code_footprint: 6_000, syscall_per_10k: 1, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "fluidanimate", suite: P,
+            mix: mix!(l 0.27, s 0.10, b 0.10, fa 0.14, fm 0.11, fd 0.006),
+            branch_predictability: 0.94, working_set: 8 * MB, random_access: 0.30,
+            code_footprint: 3_000, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "streamcluster", suite: P,
+            mix: mix!(l 0.33, s 0.04, b 0.12, fa 0.12, fm 0.10),
+            branch_predictability: 0.96, working_set: 16 * MB, random_access: 0.15,
+            code_footprint: 1_500, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+        BenchmarkProfile {
+            name: "freqmine", suite: P,
+            mix: mix!(l 0.30, s 0.12, b 0.18),
+            branch_predictability: 0.91, working_set: 16 * MB, random_access: 0.60,
+            code_footprint: 8_000, syscall_per_10k: 0, nzdc_compilable: false,
+        },
+        BenchmarkProfile {
+            name: "swaptions", suite: P,
+            // The paper's worst case for MEEK: frequent divisions, where
+            // the Rocket divider is far weaker than BOOM's (§V-A).
+            mix: mix!(l 0.22, s 0.08, b 0.10, mul 0.01, div 0.020, fa 0.13, fm 0.12, fd 0.030),
+            branch_predictability: 0.95, working_set: MB, random_access: 0.20,
+            code_footprint: 2_500, syscall_per_10k: 0, nzdc_compilable: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_complete() {
+        assert_eq!(spec_int_2006().len(), 12);
+        assert_eq!(parsec3().len(), 8);
+    }
+
+    #[test]
+    fn mixes_are_valid() {
+        for p in spec_int_2006().into_iter().chain(parsec3()) {
+            let alu = p.mix.alu();
+            assert!(alu > 0.0 && alu < 1.0, "{}: alu fraction {alu}", p.name);
+            assert!((0.0..=1.0).contains(&p.branch_predictability), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.random_access), "{}", p.name);
+            assert!(p.working_set >= MB, "{}", p.name);
+            assert!(p.code_footprint >= 500, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn nzdc_failures_match_paper() {
+        let failing: Vec<&str> = spec_int_2006()
+            .into_iter()
+            .chain(parsec3())
+            .filter(|p| !p.nzdc_compilable)
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(failing, vec!["gcc", "omnetpp", "xalancbmk", "freqmine"]);
+    }
+
+    #[test]
+    fn swaptions_is_div_heavy() {
+        let parsec = parsec3();
+        let swaptions = parsec.iter().find(|p| p.name == "swaptions").unwrap();
+        for p in &parsec {
+            if p.name != "swaptions" {
+                assert!(
+                    swaptions.mix.div + swaptions.mix.fp_div > p.mix.div + p.mix.fp_div,
+                    "swaptions must out-divide {}",
+                    p.name
+                );
+            }
+        }
+    }
+}

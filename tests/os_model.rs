@@ -1,0 +1,84 @@
+//! OS-model integration: the kernel protocol of Algorithms 1–2 and the
+//! Fig. 5 deadlock analysis, plus MEEK-ISA privilege semantics.
+
+use meek_core::os::{
+    big_core_context_switch, little_core_context_switch, OsCall, PageFaultOutcome,
+    PageFaultScenario,
+};
+use meek_isa::meek::MeekOp;
+use meek_isa::{decode, encode, Inst, Reg};
+
+#[test]
+fn checking_disabled_across_the_whole_switch() {
+    // b.check(DISABLE) must precede every kernel action and
+    // b.check(ENABLE) must follow interrupt re-enable (Algorithm 1).
+    for new_release in [false, true] {
+        let calls = big_core_context_switch(0, new_release, &[1, 2]);
+        assert_eq!(calls.first(), Some(&OsCall::BCheckDisable));
+        let enable = calls.iter().position(|c| *c == OsCall::BCheckEnable).expect("enable");
+        let intr = calls.iter().position(|c| *c == OsCall::IntrEnable).expect("intr");
+        let jalr = calls.iter().position(|c| *c == OsCall::Jalr).expect("jalr");
+        assert!(intr < enable && enable < jalr);
+    }
+}
+
+#[test]
+fn hooks_only_on_new_release() {
+    let hooks = |calls: &[OsCall]| {
+        calls.iter().filter(|c| matches!(c, OsCall::BHook { .. })).count()
+    };
+    assert_eq!(hooks(&big_core_context_switch(0, true, &[1, 2, 3, 4])), 4);
+    assert_eq!(hooks(&big_core_context_switch(0, false, &[1, 2, 3, 4])), 0);
+}
+
+#[test]
+fn little_core_mode_protocol() {
+    // Algorithm 2: mode drops to APPLICATION on entry; CHECK only set
+    // when the next task is a checker thread.
+    let to_checker = little_core_context_switch(true);
+    assert_eq!(to_checker.first(), Some(&OsCall::LModeApplication));
+    assert!(to_checker.contains(&OsCall::LModeCheck));
+    let to_app = little_core_context_switch(false);
+    assert!(!to_app.contains(&OsCall::LModeCheck));
+}
+
+#[test]
+fn fig5_deadlock_matrix() {
+    let base = PageFaultScenario {
+        faulting_inst: 500,
+        main_progress: 400,
+        one_behind_fix: false,
+        io_sync: false,
+    };
+    // Naive: deadlock. Fix: resolved. I/O sync alone: still deadlocks.
+    assert_eq!(base.resolve(), PageFaultOutcome::Deadlock);
+    assert_eq!(
+        PageFaultScenario { one_behind_fix: true, io_sync: true, ..base }.resolve(),
+        PageFaultOutcome::ResolvedByBigCore
+    );
+    assert_eq!(
+        PageFaultScenario { io_sync: true, ..base }.resolve(),
+        PageFaultOutcome::Deadlock
+    );
+}
+
+#[test]
+fn privileged_instructions_match_table1() {
+    // b.hook / b.check / l.mode are kernel-mode (they can cause little
+    // core contention or erroneous memory accesses); the rest are user.
+    let table: [(MeekOp, bool); 7] = [
+        (MeekOp::BHook { rs1: Reg::X10, rs2: Reg::X11 }, true),
+        (MeekOp::BCheck { rs1: Reg::X10 }, true),
+        (MeekOp::LMode { rs1: Reg::X10, rs2: Reg::X11 }, true),
+        (MeekOp::LRecord { rs1: Reg::X10 }, false),
+        (MeekOp::LApply { rs1: Reg::X10 }, false),
+        (MeekOp::LJal { rs1: Reg::X10 }, false),
+        (MeekOp::LRslt { rd: Reg::X10 }, false),
+    ];
+    for (op, privileged) in table {
+        assert_eq!(op.is_privileged(), privileged, "{op}");
+        // And each must encode/decode through the custom-0 space.
+        let word = encode(&Inst::Meek(op));
+        assert_eq!(decode(word), Ok(Inst::Meek(op)));
+    }
+}
