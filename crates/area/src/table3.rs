@@ -1,6 +1,9 @@
 //! Table III: hardware overhead in MEEK versus DSN'18.
 
-use crate::components::{meek_area_overhead, BOOM_AREA_MM2, ROCKET_OPT_AREA_MM2, LITTLE_WRAPPER_MM2, DEU_AREA_MM2, F2_AREA_MM2};
+use crate::components::{
+    meek_area_overhead, BOOM_AREA_MM2, DEU_AREA_MM2, F2_AREA_MM2, LITTLE_WRAPPER_MM2,
+    ROCKET_OPT_AREA_MM2,
+};
 use crate::tech::scale_area;
 use std::fmt;
 
@@ -32,7 +35,11 @@ pub struct Table3Row {
 
 impl fmt::Display for Table3Row {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<10} big: {} little: {} x{}", self.design, self.big_core, self.little_core, self.n_little)?;
+        writeln!(
+            f,
+            "{:<10} big: {} little: {} x{}",
+            self.design, self.big_core, self.little_core, self.n_little
+        )?;
         writeln!(f, "  freq   {:.1} / {:.1} GHz", self.freq_ghz.0, self.freq_ghz.1)?;
         writeln!(f, "  tech   {:.0} / {:.0} nm", self.tech_nm.0, self.tech_nm.1)?;
         writeln!(f, "  area   {:.3} / {:.3} mm2", self.area_mm2.0, self.area_mm2.1)?;

@@ -45,24 +45,15 @@ fn shadow_reg(r: Reg) -> Reg {
 
 fn remap(inst: &Inst) -> Option<Inst> {
     Some(match *inst {
-        Inst::Alu { op, rd, rs1, rs2 } => Inst::Alu {
-            op,
-            rd: shadow_reg(rd),
-            rs1: shadow_reg(rs1),
-            rs2: shadow_reg(rs2),
-        },
-        Inst::AluImm { op, rd, rs1, imm } => Inst::AluImm {
-            op,
-            rd: shadow_reg(rd),
-            rs1: shadow_reg(rs1),
-            imm,
-        },
-        Inst::MulDiv { op, rd, rs1, rs2 } => Inst::MulDiv {
-            op,
-            rd: shadow_reg(rd),
-            rs1: shadow_reg(rs1),
-            rs2: shadow_reg(rs2),
-        },
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            Inst::Alu { op, rd: shadow_reg(rd), rs1: shadow_reg(rs1), rs2: shadow_reg(rs2) }
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            Inst::AluImm { op, rd: shadow_reg(rd), rs1: shadow_reg(rs1), imm }
+        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => {
+            Inst::MulDiv { op, rd: shadow_reg(rd), rs1: shadow_reg(rs1), rs2: shadow_reg(rs2) }
+        }
         Inst::Lui { rd, imm } => Inst::Lui { rd: shadow_reg(rd), imm },
         Inst::Auipc { rd, imm } => Inst::Auipc { rd: shadow_reg(rd), imm },
         // FP shadows reuse the same FP registers' upper half in real
@@ -133,8 +124,12 @@ impl<F: FnMut() -> Option<Retired>> NzdcStream<F> {
         self.emitted += 1;
         // `queue` is popped from the back, so push in reverse order.
         match r.class {
-            ExecClass::IntAlu | ExecClass::IntMul | ExecClass::IntDiv
-            | ExecClass::FpAdd | ExecClass::FpMul | ExecClass::FpDiv => {
+            ExecClass::IntAlu
+            | ExecClass::IntMul
+            | ExecClass::IntDiv
+            | ExecClass::FpAdd
+            | ExecClass::FpMul
+            | ExecClass::FpDiv => {
                 if let Some(sh) = remap(&r.inst) {
                     self.queue.push(synth(&r, sh));
                 }
@@ -144,22 +139,13 @@ impl<F: FnMut() -> Option<Retired>> NzdcStream<F> {
                 // read memory, so a corrupted load value cannot silently
                 // poison only one stream.
                 if let Inst::Load { op, rd, rs1, offset } = r.inst {
-                    let mut dup = synth(&r, Inst::Load {
-                        op,
-                        rd: shadow_reg(rd),
-                        rs1,
-                        offset,
-                    });
+                    let mut dup = synth(&r, Inst::Load { op, rd: shadow_reg(rd), rs1, offset });
                     dup.class = ExecClass::Load;
                     dup.mem = r.mem;
                     self.queue.push(dup);
                 } else if let Some(rd) = r.inst.int_dest() {
-                    let mv = Inst::AluImm {
-                        op: AluImmOp::Addi,
-                        rd: shadow_reg(rd),
-                        rs1: rd,
-                        imm: 0,
-                    };
+                    let mv =
+                        Inst::AluImm { op: AluImmOp::Addi, rd: shadow_reg(rd), rs1: rd, imm: 0 };
                     self.queue.push(synth(&r, mv));
                 }
             }
@@ -179,12 +165,8 @@ impl<F: FnMut() -> Option<Retired>> NzdcStream<F> {
                         meek_isa::StoreOp::Sd => meek_isa::LoadOp::Ld,
                     };
                     self.queue.push(check_branch(&r, rs2, rs2));
-                    let mut back = synth(&r, Inst::Load {
-                        op: lb_op,
-                        rd: shadow_reg(rs2),
-                        rs1: sr1,
-                        offset,
-                    });
+                    let mut back =
+                        synth(&r, Inst::Load { op: lb_op, rd: shadow_reg(rs2), rs1: sr1, offset });
                     back.class = ExecClass::Load;
                     back.mem = r.mem.map(|mut m| {
                         m.is_store = false;
@@ -286,12 +268,35 @@ mod tests {
     #[test]
     fn shadow_map_is_injective_on_live_regs() {
         let live = [
-            Reg::X6, Reg::X7, Reg::X8, Reg::X9, Reg::X10, Reg::X11,
-            Reg::X14, Reg::X15, Reg::X18, Reg::X19, Reg::X20,
+            Reg::X6,
+            Reg::X7,
+            Reg::X8,
+            Reg::X9,
+            Reg::X10,
+            Reg::X11,
+            Reg::X14,
+            Reg::X15,
+            Reg::X18,
+            Reg::X19,
+            Reg::X20,
         ];
         let all_used = [
-            Reg::X5, Reg::X6, Reg::X7, Reg::X8, Reg::X9, Reg::X10, Reg::X11, Reg::X12,
-            Reg::X14, Reg::X15, Reg::X18, Reg::X19, Reg::X20, Reg::X24, Reg::X25, Reg::X26,
+            Reg::X5,
+            Reg::X6,
+            Reg::X7,
+            Reg::X8,
+            Reg::X9,
+            Reg::X10,
+            Reg::X11,
+            Reg::X12,
+            Reg::X14,
+            Reg::X15,
+            Reg::X18,
+            Reg::X19,
+            Reg::X20,
+            Reg::X24,
+            Reg::X25,
+            Reg::X26,
         ];
         let mut seen = std::collections::HashSet::new();
         for r in live {

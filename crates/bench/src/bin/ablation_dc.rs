@@ -4,31 +4,69 @@
 //! The dual-channel buffers absorb commit bursts; the HM-NoC's
 //! two-packets-per-cycle and multicast are what keep the fabric off the
 //! critical path (paper §III-B).
+//!
+//! Every sweep point is an independent simulation, so the whole grid
+//! fans out on the `meek-campaign` executor (`MEEK_THREADS` workers);
+//! results are printed in sweep order regardless of thread count.
 
-use meek_bench::{banner, cycle_cap, sim_insts, write_csv};
-use meek_core::{run_vanilla, FabricKind, MeekConfig, MeekSystem};
+use meek_bench::{banner, cycle_cap, executor, sim_insts, write_csv};
+use meek_core::{run_vanilla, FabricKind, MeekConfig, MeekSystem, RunReport};
 use meek_fabric::{AxiConfig, AxiInterconnect, DcBufferConfig, F2Config, Fabric, F2};
 use meek_workloads::{parsec3, Workload};
 
+/// One point of the sweep grid.
+#[derive(Clone, Copy)]
+enum Point {
+    /// Built-in fabric comparison (F2 vs AXI system configuration).
+    Fabric(&'static str, FabricKind),
+    /// F2 with both DC-Buffer channels swept to `depth`.
+    DcDepth(usize),
+}
+
+fn simulate(point: Point, wl: &Workload, insts: u64) -> RunReport {
+    match point {
+        Point::Fabric(_, kind) => {
+            let cfg = MeekConfig { fabric: kind, ..MeekConfig::default() };
+            MeekSystem::new(cfg, wl, insts).run_to_completion(cycle_cap(insts))
+        }
+        Point::DcDepth(depth) => {
+            let cfg = MeekConfig { fabric: FabricKind::F2, ..MeekConfig::default() };
+            // Depth applies to both channels.
+            let fabric = Box::new(F2::new(F2Config {
+                dc: DcBufferConfig { runtime_depth: depth, status_depth: depth * 2 },
+                ..F2Config::default()
+            }));
+            MeekSystem::with_fabric(cfg, wl, insts, fabric).run_to_completion(cycle_cap(insts))
+        }
+    }
+}
+
 fn main() {
     let insts = sim_insts();
+    let ex = executor();
     banner(
         "Ablation — DC-Buffer depth and fabric bandwidth (bodytrack, 4 cores)",
-        &format!("{insts} dynamic instructions per point"),
+        &format!("{insts} dynamic instructions per point, {} threads", ex.threads()),
     );
     let p = parsec3().into_iter().find(|p| p.name == "bodytrack").expect("profile");
     let wl = Workload::build(&p, 0xAB2);
     let vanilla = run_vanilla(&MeekConfig::default().big, &wl, insts);
     let mut rows = Vec::new();
 
+    let fabric_points = [
+        Point::Fabric("F2 (256b, 2/cyc)", FabricKind::F2),
+        Point::Fabric("AXI (128b, 1/beat)", FabricKind::Axi),
+    ];
+    let depth_points: Vec<Point> = [1usize, 2, 4, 8, 16].map(Point::DcDepth).to_vec();
+    let grid: Vec<Point> = fabric_points.iter().chain(depth_points.iter()).copied().collect();
+    let reports = ex.map(&grid, |_i, &point| simulate(point, &wl, insts));
+
     // Fabric bandwidth comparison at fixed DC depth (uses the built-in
     // F2 vs AXI system configurations).
     println!("\nInterconnect comparison:");
     println!("{:>18} {:>10} {:>10} {:>10}", "fabric", "slowdown", "txns", "mcastSave");
-    for (name, kind) in [("F2 (256b, 2/cyc)", FabricKind::F2), ("AXI (128b, 1/beat)", FabricKind::Axi)] {
-        let cfg = MeekConfig { fabric: kind, ..MeekConfig::default() };
-        let mut sys = MeekSystem::new(cfg, &wl, insts);
-        let r = sys.run_to_completion(cycle_cap(insts));
+    for (point, r) in grid.iter().zip(&reports).take(fabric_points.len()) {
+        let Point::Fabric(name, _) = point else { unreachable!("grid starts with fabrics") };
         println!(
             "{name:>18} {:>10.3} {:>10} {:>10}",
             r.slowdown_vs(vanilla),
@@ -63,21 +101,8 @@ fn main() {
     // into commit stalls.
     println!("\nDC-Buffer depth sweep (F2):");
     println!("{:>8} {:>10} {:>10}", "depth", "slowdown", "collect+fwd");
-    for depth in [1usize, 2, 4, 8, 16] {
-        let mut cfg = MeekConfig::default();
-        cfg.fabric = FabricKind::F2;
-        // Rebuild the system with a custom fabric depth via the public
-        // config: depth applies to both channels.
-        let mut sys = MeekSystem::with_fabric(
-            cfg,
-            &wl,
-            insts,
-            Box::new(F2::new(F2Config {
-                dc: DcBufferConfig { runtime_depth: depth, status_depth: depth * 2 },
-                ..F2Config::default()
-            })),
-        );
-        let r = sys.run_to_completion(cycle_cap(insts));
+    for (point, r) in grid.iter().zip(&reports).skip(fabric_points.len()) {
+        let Point::DcDepth(depth) = point else { unreachable!("grid tail is depths") };
         println!(
             "{depth:>8} {:>10.3} {:>10}",
             r.slowdown_vs(vanilla),

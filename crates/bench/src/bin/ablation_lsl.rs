@@ -28,20 +28,12 @@ fn main() {
             lsl: LslConfig { runtime_capacity: capacity, ..LslConfig::default() },
             ..LittleCoreConfig::optimized()
         };
-        let cfg = MeekConfig {
-            little,
-            seg_record_budget: capacity as u64,
-            ..MeekConfig::default()
-        };
+        let cfg =
+            MeekConfig { little, seg_record_budget: capacity as u64, ..MeekConfig::default() };
         let mut sys = MeekSystem::new(cfg, &wl, insts);
         let r = sys.run_to_completion(cycle_cap(insts));
         let seg_len = r.committed / r.rcps.max(1);
-        println!(
-            "{capacity:>8} {:>10.3} {:>8} {:>10}",
-            r.slowdown_vs(vanilla),
-            r.rcps,
-            seg_len
-        );
+        println!("{capacity:>8} {:>10.3} {:>8} {:>10}", r.slowdown_vs(vanilla), r.rcps, seg_len);
         rows.push(format!("lsl,{capacity},{:.4},{},{seg_len}", r.slowdown_vs(vanilla), r.rcps));
     }
 

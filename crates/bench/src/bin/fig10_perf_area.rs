@@ -48,18 +48,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     for p in &parsec3() {
-        let m_opt = measure_meek(
-            p,
-            MeekConfig { little: opt, ..MeekConfig::default() },
-            insts,
-            0xF1A,
-        );
-        let m_def = measure_meek(
-            p,
-            MeekConfig { little: def, ..MeekConfig::default() },
-            insts,
-            0xF1A,
-        );
+        let m_opt =
+            measure_meek(p, MeekConfig { little: opt, ..MeekConfig::default() }, insts, 0xF1A);
+        let m_def =
+            measure_meek(p, MeekConfig { little: def, ..MeekConfig::default() }, insts, 0xF1A);
         // Normalised performance/area (higher is better); the figure
         // plots both series normalised to the default Rocket.
         let pa_opt = verify_throughput(&m_opt.report) / area_opt;

@@ -1,17 +1,29 @@
 //! Figure 6: performance results for MEEK (4 little cores),
 //! Equivalent-Area LockStep, and Nzdc on SPECint 2006 + PARSEC.
+//!
+//! Each benchmark's three measurements (MEEK, EA-LockStep, Nzdc) run as
+//! one task on the `meek-campaign` executor, fanned out across
+//! `MEEK_THREADS` worker threads; the workload program is built once
+//! per benchmark and shared by all three runs. Output is identical
+//! whatever the thread count.
 
 use meek_baselines::{run_ea_lockstep, run_nzdc};
-use meek_bench::{banner, cycle_cap, fmt_slowdown, measure_meek, sim_insts, write_csv};
+use meek_bench::{banner, executor, fmt_slowdown, measure_meek_workload, sim_insts, write_csv};
 use meek_core::report::geomean;
 use meek_core::MeekConfig;
-use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile, Workload};
+use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile, WorkloadCache};
 
-fn row(p: &BenchmarkProfile, insts: u64) -> (String, f64, Option<f64>, f64) {
-    let seed = 0xF16_6 ^ p.name.len() as u64;
-    let m = measure_meek(p, MeekConfig::default(), insts, seed);
-    let meek = m.slowdown();
-    let wl = Workload::build(p, seed);
+struct Row {
+    name: &'static str,
+    meek: f64,
+    lockstep: f64,
+    nzdc: Option<f64>,
+}
+
+fn row(p: &BenchmarkProfile, cache: &WorkloadCache, insts: u64) -> Row {
+    let seed = 0xF166 ^ p.name.len() as u64;
+    let wl = cache.get(p, seed);
+    let m = measure_meek_workload(p.name, &wl, MeekConfig::default(), insts);
     let lockstep = run_ea_lockstep(4, &wl, insts) as f64 / m.vanilla_cycles as f64;
     let nzdc = if p.nzdc_compilable {
         let (c, _) = run_nzdc(&MeekConfig::default().big, &wl, insts);
@@ -19,42 +31,35 @@ fn row(p: &BenchmarkProfile, insts: u64) -> (String, f64, Option<f64>, f64) {
     } else {
         None
     };
-    let _ = cycle_cap(insts);
-    let nz = nzdc.map_or("   fail".to_string(), |n| format!("{:>7}", fmt_slowdown(n)));
-    (
-        format!(
-            "{:<14} {:>7} {:>9} {}",
-            p.name,
-            fmt_slowdown(meek),
-            fmt_slowdown(lockstep),
-            nz
-        ),
-        meek,
-        nzdc,
-        lockstep,
-    )
+    Row { name: p.name, meek: m.slowdown(), lockstep, nzdc }
 }
 
-fn suite(name: &str, profiles: &[BenchmarkProfile], insts: u64, rows: &mut Vec<String>) {
+fn suite(name: &str, rows_in: &[Row], rows: &mut Vec<String>) {
     println!("\n-- {name} --");
     println!("{:<14} {:>7} {:>9} {:>7}", "benchmark", "MEEK", "EA-LkStp", "Nzdc");
     let mut meeks = Vec::new();
     let mut locks = Vec::new();
     let mut nzdcs = Vec::new();
-    for p in profiles {
-        let (line, meek, nzdc, lockstep) = row(p, insts);
-        println!("{line}");
+    for r in rows_in {
+        let nz = r.nzdc.map_or("   fail".to_string(), |n| format!("{:>7}", fmt_slowdown(n)));
+        println!(
+            "{:<14} {:>7} {:>9} {}",
+            r.name,
+            fmt_slowdown(r.meek),
+            fmt_slowdown(r.lockstep),
+            nz
+        );
         rows.push(format!(
             "{},{},{:.4},{:.4},{}",
             name,
-            p.name,
-            meek,
-            lockstep,
-            nzdc.map_or(String::from(""), |n| format!("{n:.4}"))
+            r.name,
+            r.meek,
+            r.lockstep,
+            r.nzdc.map_or(String::from(""), |n| format!("{n:.4}"))
         ));
-        meeks.push(meek);
-        locks.push(lockstep);
-        if let Some(n) = nzdc {
+        meeks.push(r.meek);
+        locks.push(r.lockstep);
+        if let Some(n) = r.nzdc {
             nzdcs.push(n);
         }
     }
@@ -79,12 +84,21 @@ fn suite(name: &str, profiles: &[BenchmarkProfile], insts: u64, rows: &mut Vec<S
 
 fn main() {
     let insts = sim_insts();
+    let ex = executor();
     banner(
         "Fig. 6 — Slowdown: MEEK (4 little cores) vs EA-LockStep vs Nzdc",
-        &format!("SPECint 2006 + PARSEC profiles, {insts} dynamic instructions each"),
+        &format!(
+            "SPECint 2006 + PARSEC profiles, {insts} dynamic instructions each, {} threads",
+            ex.threads()
+        ),
     );
+    let spec06 = spec_int_2006();
+    let parsec = parsec3();
+    let all: Vec<BenchmarkProfile> = spec06.iter().cloned().chain(parsec.iter().cloned()).collect();
+    let cache = WorkloadCache::new();
+    let measured = ex.map(&all, |_i, p| row(p, &cache, insts));
     let mut rows = Vec::new();
-    suite("SPEC06", &spec_int_2006(), insts, &mut rows);
-    suite("PARSEC", &parsec3(), insts, &mut rows);
+    suite("SPEC06", &measured[..spec06.len()], &mut rows);
+    suite("PARSEC", &measured[spec06.len()..], &mut rows);
     write_csv("fig6_overhead.csv", "suite,benchmark,meek,ea_lockstep,nzdc", &rows);
 }

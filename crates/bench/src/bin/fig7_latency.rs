@@ -5,79 +5,77 @@
 //! measured from injection to the checker's mismatch report. The paper
 //! injects 5 000–10 000 faults per workload; set `MEEK_FAULTS` to match
 //! (default is a quicker campaign with the same distribution shape).
+//!
+//! The campaign runs on the sharded `meek-campaign` engine: shards fan
+//! out across `MEEK_THREADS` worker threads (default: all hardware
+//! threads) and the numbers are identical whatever the thread count.
 
-use meek_bench::{banner, cycle_cap, fault_count, sim_insts, write_csv};
-use meek_core::fault::FaultInjector;
-use meek_core::{MeekConfig, MeekSystem};
-use meek_workloads::{parsec3, Workload};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use meek_bench::{banner, executor, fault_count, write_csv};
+use meek_campaign::{run_campaign, AggregateSink, CampaignSpec, RecordSink};
+use meek_workloads::parsec3;
+use std::time::Instant;
 
 const BUCKET_NS: f64 = 200.0;
 const BUCKETS: usize = 15; // 0..3000 ns, matching the figure's x-axis
 
 fn main() {
     let per_workload = fault_count();
-    // Each fault occupies the injector until its segment's verdict, a
-    // few segments (~1.5k instructions) later.
-    let insts = sim_insts().max(per_workload as u64 * 2_500);
+    let spec = CampaignSpec::new(parsec3(), per_workload, 0xFA_17);
+    let ex = executor();
     banner(
         "Fig. 7 — Detection latency, 4 little cores (unit: ns)",
-        &format!("{per_workload} random faults per PARSEC workload, {insts} insts each"),
+        &format!(
+            "{per_workload} random faults per PARSEC workload, {} shards on {} threads",
+            spec.shards().len(),
+            ex.threads()
+        ),
     );
+    let started = Instant::now();
+    let mut agg = AggregateSink::new();
+    let summary = {
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg];
+        run_campaign(&spec, &ex, &mut sinks).expect("campaign I/O cannot fail in-memory")
+    };
     let mut rows = Vec::new();
-    let mut all: Vec<f64> = Vec::new();
     println!(
-        "{:<14} {:>6} {:>7} {:>7} {:>9} {:>9} {:>8}",
-        "benchmark", "inj", "det", "masked", "mean(ns)", "max(ns)", "<3us"
+        "{:<14} {:>6} {:>7} {:>7} {:>8} {:>9} {:>9} {:>8}",
+        "benchmark", "inj", "det", "masked", "pending", "mean(ns)", "max(ns)", "<3us"
     );
-    for (i, p) in parsec3().iter().enumerate() {
-        let wl = Workload::build(p, 0xF17 + i as u64);
-        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, insts);
-        let mut rng = SmallRng::seed_from_u64(0xFA_17 + i as u64);
-        sys.set_injector(FaultInjector::random_campaign(per_workload, insts, &mut rng));
-        let report = sys.run_to_completion(cycle_cap(insts));
-        let lat: Vec<f64> = report.detections.iter().map(|d| d.latency_ns).collect();
-        let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
-        let max = lat.iter().cloned().fold(0.0f64, f64::max);
-        let within = lat.iter().filter(|&&l| l < 3000.0).count() as f64 / lat.len().max(1) as f64;
+    for (name, stats) in agg.per_workload() {
         println!(
-            "{:<14} {:>6} {:>7} {:>7} {:>9.1} {:>9.1} {:>7.2}%",
-            p.name,
-            per_workload,
-            lat.len(),
-            report.missed_faults,
-            mean,
-            max,
-            within * 100.0
+            "{:<14} {:>6} {:>7} {:>7} {:>8} {:>9.1} {:>9.1} {:>7.2}%",
+            name,
+            stats.faults,
+            stats.detected,
+            stats.masked,
+            stats.pending,
+            stats.mean_ns(),
+            stats.max_ns(),
+            stats.fraction_under(3000.0) * 100.0
         );
         // Density histogram for the CSV (one row per bucket).
-        let mut hist = [0u32; BUCKETS];
-        for &l in &lat {
-            let b = ((l / BUCKET_NS) as usize).min(BUCKETS - 1);
-            hist[b] += 1;
+        for (b, density) in stats.histogram(BUCKET_NS, BUCKETS).into_iter().enumerate() {
+            rows.push(format!("{},{},{:.4}", name, (b as f64 + 0.5) * BUCKET_NS, density));
         }
-        for (b, h) in hist.iter().enumerate() {
-            rows.push(format!(
-                "{},{},{:.4}",
-                p.name,
-                (b as f64 + 0.5) * BUCKET_NS,
-                *h as f64 / lat.len().max(1) as f64
-            ));
-        }
-        all.extend(lat);
     }
-    all.sort_by(f64::total_cmp);
-    let n = all.len().max(1);
-    let mean = all.iter().sum::<f64>() / n as f64;
-    let p999 = all[(n as f64 * 0.999) as usize - 1];
-    println!("\ntotal samples: {n}");
-    println!("overall mean: {mean:.1} ns (paper: < 1 us)");
-    println!("99.9th percentile: {p999:.1} ns (paper: 3 us covers > 99.9%)");
-    println!("worst case: {:.1} ns (paper: up to 2.7 us)", all.last().copied().unwrap_or(0.0));
+    let overall = agg.overall();
+    println!("\ntotal samples: {}", overall.detected);
+    println!("overall mean: {:.1} ns (paper: < 1 us)", overall.mean_ns());
+    println!(
+        "99.9th percentile: {:.1} ns (paper: 3 us covers > 99.9%)",
+        overall.percentile_ns(0.999)
+    );
+    println!("worst case: {:.1} ns (paper: up to 2.7 us)", overall.max_ns());
     println!(
         "(masked = the flipped bit landed on an architecturally dead value — \n\
-         no architectural error existed to detect)"
+         no architectural error existed to detect; pending = no verdict by end of run)"
+    );
+    println!(
+        "campaign: {} faults across {} shards in {:.2?} ({:.0} faults/s)",
+        summary.faults,
+        summary.shards,
+        started.elapsed(),
+        summary.faults as f64 / started.elapsed().as_secs_f64().max(1e-9)
     );
     write_csv("fig7_latency.csv", "benchmark,bucket_center_ns,density", &rows);
 }

@@ -57,10 +57,7 @@ fn main() {
     let ga = geomean(&axis);
     let gf = geomean(&f2s);
     println!("{:<14} {:>8} | {:>26} | {:>8}", "geomean", fmt_slowdown(ga), "", fmt_slowdown(gf));
-    println!(
-        "\nAXI-Interconnect geomean overhead: {:.1}% (paper: 16.7%)",
-        (ga - 1.0) * 100.0
-    );
+    println!("\nAXI-Interconnect geomean overhead: {:.1}% (paper: 16.7%)", (ga - 1.0) * 100.0);
     println!("F2 geomean overhead: {:.1}% (paper: < 5%)", (gf - 1.0) * 100.0);
     println!("F2 shifts the system from forwarding-bound to computation-bound.");
     rows.push(format!("geomean,{ga:.4},,,,{gf:.4}"));

@@ -15,7 +15,7 @@ fn main() {
         (MeekOp::LJal { rs1: Reg::X10 }, "Jump to rs1 (PC of main thread)."),
         (MeekOp::LRslt { rd: Reg::X10 }, "Return the check results."),
     ];
-    println!("{:<22} {:>4} {:>12}  {}", "instruction", "priv", "encoding", "description");
+    println!("{:<22} {:>4} {:>12}  description", "instruction", "priv", "encoding");
     let mut rows = Vec::new();
     for (op, desc) in ops {
         let word = encode(&Inst::Meek(op));

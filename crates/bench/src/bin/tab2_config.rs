@@ -22,19 +22,39 @@ fn main() {
         "                {} Int/FP Phy Registers, {} Int ALUs, {} FP/Mult/Div ALU,",
         big.int_prf, big.int_alu, big.fp_muldiv
     );
-    println!("                {} MEM, {} Jump Unit, {} CSR Unit", big.mem_ports, big.jump_units, big.csr_units);
+    println!(
+        "                {} MEM, {} Jump Unit, {} CSR Unit",
+        big.mem_ports, big.jump_units, big.csr_units
+    );
     println!(
         "  Branch Pred.  TAGE, {}-entry BTB, {}-entry RAS, 6 TAGE tables, {}-{} bit history",
-        big.tage.btb_entries,
-        big.tage.ras_entries,
-        big.tage.histories[0],
-        big.tage.histories[5]
+        big.tage.btb_entries, big.tage.ras_entries, big.tage.histories[0], big.tage.histories[5]
     );
     println!("Memory Hierarchy");
-    println!("  L1 ICache     {} KB, {}-way, {} MSHRs", big_mem.l1i.size / 1024, big_mem.l1i.ways, big_mem.l1i.mshrs);
-    println!("  L1 DCache     {} KB, {}-way, {} MSHRs", big_mem.l1d.size / 1024, big_mem.l1d.ways, big_mem.l1d.mshrs);
-    println!("  L2 Cache      {} KB, {}-way, {} MSHRs", big_mem.l2.size / 1024, big_mem.l2.ways, big_mem.l2.mshrs);
-    println!("  LLC           {} MB, {}-way, {} MSHRs", big_mem.llc.size / 1024 / 1024, big_mem.llc.ways, big_mem.llc.mshrs);
+    println!(
+        "  L1 ICache     {} KB, {}-way, {} MSHRs",
+        big_mem.l1i.size / 1024,
+        big_mem.l1i.ways,
+        big_mem.l1i.mshrs
+    );
+    println!(
+        "  L1 DCache     {} KB, {}-way, {} MSHRs",
+        big_mem.l1d.size / 1024,
+        big_mem.l1d.ways,
+        big_mem.l1d.mshrs
+    );
+    println!(
+        "  L2 Cache      {} KB, {}-way, {} MSHRs",
+        big_mem.l2.size / 1024,
+        big_mem.l2.ways,
+        big_mem.l2.mshrs
+    );
+    println!(
+        "  LLC           {} MB, {}-way, {} MSHRs",
+        big_mem.llc.size / 1024 / 1024,
+        big_mem.llc.ways,
+        big_mem.llc.mshrs
+    );
     println!("  Memory        DDR3-class, max {} requests", big_mem.dram_max_requests);
     println!("Little Cores");
     println!(

@@ -26,8 +26,7 @@ fn main() {
                 r.area_mm2.1,
                 r.area_28nm_mm2.0,
                 r.area_28nm_mm2.1,
-                r.wrapper_mm2
-                    .map_or(String::from("x"), |(b, l)| format!("{b:.3}/{l:.3}")),
+                r.wrapper_mm2.map_or(String::from("x"), |(b, l)| format!("{b:.3}/{l:.3}")),
                 r.overhead
             )
         })
@@ -38,7 +37,11 @@ fn main() {
     println!("  4 x Rocket           {:.3}", budget.littles_mm2);
     println!("  DEU + F2 (wrapper)   {:.3}", budget.big_wrapper_mm2);
     println!("  4 x LSL/MSU wrapper  {:.3}", budget.little_wrappers_mm2);
-    println!("  total extra          {:.3}  ({:.1}% of the BOOM)", budget.total_extra_mm2(), budget.overhead() * 100.0);
+    println!(
+        "  total extra          {:.3}  ({:.1}% of the BOOM)",
+        budget.total_extra_mm2(),
+        budget.overhead() * 100.0
+    );
 
     write_csv(
         "tab3_area.csv",

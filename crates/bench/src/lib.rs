@@ -2,10 +2,14 @@
 //! the paper's tables and figures.
 //!
 //! Every binary prints the paper-style rows to stdout and writes a CSV
-//! under `results/`. Run sizes are tuned for minutes-scale regeneration;
-//! set `MEEK_SIM_INSTS` / `MEEK_FAULTS` for larger campaigns.
+//! under `results/` (`MEEK_RESULTS_DIR` override). Run sizes are tuned
+//! for minutes-scale regeneration: set `MEEK_SIM_INSTS` for longer
+//! perf runs (fig 6/8/9, ablations), `MEEK_FAULTS` for larger fig 7
+//! fault campaigns, and `MEEK_THREADS` to bound the parallel
+//! harnesses (0 = all hardware threads).
 
 use meek_bigcore::BigCoreConfig;
+use meek_campaign::Executor;
 use meek_core::{run_vanilla, MeekConfig, MeekSystem, RunReport};
 use meek_workloads::{BenchmarkProfile, Workload};
 use std::fs;
@@ -17,10 +21,7 @@ pub const DEFAULT_SIM_INSTS: u64 = 60_000;
 
 /// Dynamic instructions per run (`MEEK_SIM_INSTS` env override).
 pub fn sim_insts() -> u64 {
-    std::env::var("MEEK_SIM_INSTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_SIM_INSTS)
+    std::env::var("MEEK_SIM_INSTS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_SIM_INSTS)
 }
 
 /// Faults per workload for the detection-latency campaign
@@ -29,15 +30,31 @@ pub fn fault_count() -> usize {
     std::env::var("MEEK_FAULTS").ok().and_then(|v| v.parse().ok()).unwrap_or(300)
 }
 
-/// Simulation liveness bound, scaled to the instruction budget.
-pub fn cycle_cap(max_insts: u64) -> u64 {
-    (max_insts * 400).max(20_000_000)
+pub use meek_core::cycle_cap;
+
+/// Worker threads for the experiment harnesses (`MEEK_THREADS` env
+/// override; 0 = one per hardware thread).
+pub fn threads() -> usize {
+    std::env::var("MEEK_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
-/// The `results/` directory (created on demand).
+/// The shared executor the experiment binaries fan out on. Output stays
+/// deterministic regardless of `MEEK_THREADS`: the executor re-sequences
+/// results into task order.
+pub fn executor() -> Executor {
+    Executor::new(threads())
+}
+
+/// The results directory (created on demand): `MEEK_RESULTS_DIR` if
+/// set, else `results/` at the repository root — so campaign output
+/// works outside the source tree (containers, CI, installed binaries).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    fs::create_dir_all(&dir).expect("create results dir");
+    let dir = match std::env::var_os("MEEK_RESULTS_DIR") {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results"),
+    };
+    fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("create results dir {}: {e}", dir.display()));
     dir
 }
 
@@ -70,12 +87,29 @@ impl MeekMeasurement {
 }
 
 /// Runs one workload under vanilla and MEEK configurations.
-pub fn measure_meek(profile: &BenchmarkProfile, cfg: MeekConfig, insts: u64, seed: u64) -> MeekMeasurement {
+pub fn measure_meek(
+    profile: &BenchmarkProfile,
+    cfg: MeekConfig,
+    insts: u64,
+    seed: u64,
+) -> MeekMeasurement {
     let wl = Workload::build(profile, seed);
-    let vanilla_cycles = run_vanilla(&cfg.big, &wl, insts);
-    let mut sys = MeekSystem::new(cfg, &wl, insts);
+    measure_meek_workload(profile.name, &wl, cfg, insts)
+}
+
+/// Like [`measure_meek`], but on a pre-built workload — the harnesses
+/// share one build per benchmark (via `meek_workloads::WorkloadCache`)
+/// across the MEEK run and every baseline.
+pub fn measure_meek_workload(
+    name: &'static str,
+    wl: &Workload,
+    cfg: MeekConfig,
+    insts: u64,
+) -> MeekMeasurement {
+    let vanilla_cycles = run_vanilla(&cfg.big, wl, insts);
+    let mut sys = MeekSystem::new(cfg, wl, insts);
     let report = sys.run_to_completion(cycle_cap(insts));
-    MeekMeasurement { name: profile.name, vanilla_cycles, report }
+    MeekMeasurement { name, vanilla_cycles, report }
 }
 
 /// Vanilla cycles for one workload at the Table II configuration.

@@ -193,7 +193,10 @@ impl BigCore {
     }
 
     /// Memory-hierarchy statistics (read-only view).
-    pub fn hierarchy_stats(&self) -> (meek_mem::CacheStats, meek_mem::CacheStats, meek_mem::CacheStats, meek_mem::CacheStats) {
+    pub fn hierarchy_stats(
+        &self,
+    ) -> (meek_mem::CacheStats, meek_mem::CacheStats, meek_mem::CacheStats, meek_mem::CacheStats)
+    {
         self.hier.stats()
     }
 
@@ -422,7 +425,7 @@ impl BigCore {
                 self.pending = Some(ret);
                 break;
             }
-            let needs_int_prf = ret.inst.int_dest().map_or(false, |r| r != Reg::X0);
+            let needs_int_prf = ret.inst.int_dest().is_some_and(|r| r != Reg::X0);
             if needs_int_prf && self.int_prf_free == 0 {
                 self.pending = Some(ret);
                 break;
@@ -494,8 +497,8 @@ impl BigCore {
                                 // Direct branch: the target comes out of
                                 // decode — a front-end re-steer bubble,
                                 // not an execute-stage flush.
-                                self.fetch_resume_at =
-                                    (now + 1 + self.cfg.btb_resteer_penalty).max(self.fetch_resume_at);
+                                self.fetch_resume_at = (now + 1 + self.cfg.btb_resteer_penalty)
+                                    .max(self.fetch_resume_at);
                                 self.stats.target_mispredicts += 1;
                             }
                             end_group = true;
@@ -660,7 +663,12 @@ mod tests {
         // prefetcher cannot cover (no adjacent-line residency).
         let mut insts = Vec::new();
         for i in 0..256 {
-            insts.push(Inst::Load { op: LoadOp::Ld, rd: Reg::X6, rs1: Reg::X5, offset: ((i * 251) % 256) as i32 * 8 });
+            insts.push(Inst::Load {
+                op: LoadOp::Ld,
+                rd: Reg::X6,
+                rs1: Reg::X5,
+                offset: ((i * 251) % 256) * 8,
+            });
             insts.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X5, rs1: Reg::X5, imm: 2040 });
         }
         let (cold, _) = run_program(&insts, 1_000_000);
@@ -689,7 +697,12 @@ mod tests {
             let loop_start = v.len();
             if random {
                 // x21 = x21 * x22 + 1309; x9 = (x21 >> 17) & 1.
-                v.push(Inst::MulDiv { op: MulDivOp::Mul, rd: Reg::X21, rs1: Reg::X21, rs2: Reg::X22 });
+                v.push(Inst::MulDiv {
+                    op: MulDivOp::Mul,
+                    rd: Reg::X21,
+                    rs1: Reg::X21,
+                    rs2: Reg::X22,
+                });
                 v.push(Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X21, rs1: Reg::X21, imm: 1309 });
                 v.push(Inst::AluImm { op: AluImmOp::Srli, rd: Reg::X9, rs1: Reg::X21, imm: 17 });
                 v.push(Inst::AluImm { op: AluImmOp::Andi, rd: Reg::X9, rs1: Reg::X9, imm: 1 });
@@ -740,7 +753,7 @@ mod tests {
         impl CommitHook for StallEveryOther {
             fn on_commit(&mut self, _lane: usize, _ret: &Retired, _now: u64) -> CommitDecision {
                 self.n += 1;
-                if self.n % 2 == 0 {
+                if self.n.is_multiple_of(2) {
                     CommitDecision::Stall(CommitStall::DataCollect)
                 } else {
                     CommitDecision::Proceed

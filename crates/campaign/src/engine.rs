@@ -1,0 +1,247 @@
+//! The campaign engine: expands a [`CampaignSpec`] into shards, runs
+//! them on the work-stealing [`Executor`], and streams every shard's
+//! detections through the configured sinks in deterministic order.
+//!
+//! Each worker builds its own [`MeekSystem`] (systems are `Send` but a
+//! simulation is single-threaded by nature); the *programs* under test
+//! are built once per benchmark in a shared [`WorkloadCache`] and
+//! shared by reference, so codegen cost is O(benchmarks), not
+//! O(faults).
+
+use crate::executor::Executor;
+use crate::sink::{CampaignRecord, RecordSink, ShardSummary};
+use crate::spec::{CampaignSpec, ShardSpec};
+use meek_core::MeekSystem;
+use meek_workloads::WorkloadCache;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Campaign-wide roll-up returned by [`run_campaign`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Shards simulated.
+    pub shards: usize,
+    /// Faults queued across all shards.
+    pub faults: usize,
+    /// Faults detected by the checkers.
+    pub detected: usize,
+    /// Faults masked (flipped bit was architecturally dead).
+    pub masked: u64,
+    /// Faults with no verdict when their shard drained.
+    pub pending: usize,
+    /// Segments verified clean across all shards.
+    pub verified_segments: u64,
+    /// Segments that failed verification across all shards.
+    pub failed_segments: u64,
+    /// Big-core cycles simulated (sum over shards).
+    pub sim_cycles: u64,
+    /// Instructions committed (sum over shards).
+    pub committed: u64,
+    /// Distinct programs synthesised.
+    pub workloads_built: usize,
+}
+
+/// Result of one shard's simulation, in deterministic shard order.
+struct ShardResult {
+    records: Vec<CampaignRecord>,
+    summary: ShardSummary,
+}
+
+/// An empty result for a shard skipped after campaign cancellation.
+fn cancelled_shard(shard: &ShardSpec) -> ShardResult {
+    ShardResult {
+        records: Vec::new(),
+        summary: ShardSummary {
+            workload: shard.workload,
+            shard: shard.shard_in_workload,
+            faults: 0,
+            detected: 0,
+            masked: 0,
+            pending: 0,
+            verified_segments: 0,
+            failed_segments: 0,
+            cycles: 0,
+            committed: 0,
+        },
+    }
+}
+
+/// Runs one shard: build (or reuse) the program, queue the shard's
+/// faults, simulate to drain, and package the detections.
+fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> ShardResult {
+    let profile = &spec.workloads[shard.workload_idx];
+    let workload = cache.get(profile, spec.workload_seed(profile));
+    let faults = shard.fault_specs();
+    let n_faults = faults.len();
+    let mut sys = MeekSystem::new(spec.config.clone(), &workload, shard.insts);
+    sys.set_faults(faults);
+    let report = sys.run_to_completion(shard.cycle_cap());
+    let pending = sys.injector_unresolved();
+    let records: Vec<CampaignRecord> = report
+        .detections
+        .iter()
+        .map(|d| CampaignRecord {
+            workload: shard.workload,
+            shard: shard.shard_in_workload,
+            detection: *d,
+        })
+        .collect();
+    ShardResult {
+        summary: ShardSummary {
+            workload: shard.workload,
+            shard: shard.shard_in_workload,
+            faults: n_faults,
+            detected: records.len(),
+            masked: report.missed_faults,
+            pending,
+            verified_segments: report.verified_segments,
+            failed_segments: report.failed_segments,
+            cycles: report.cycles,
+            committed: report.committed,
+        },
+        records,
+    }
+}
+
+/// Runs the whole campaign on `executor`, streaming records and shard
+/// summaries through `sinks` in shard order (records within a shard
+/// stay in injection order). Returns the campaign roll-up.
+///
+/// Results are **independent of the executor's thread count**: shards
+/// are self-contained, their RNG streams are derived from the spec, and
+/// sink delivery is re-sequenced into shard order.
+///
+/// # Errors
+///
+/// Returns the first sink I/O error; simulation itself does not fail
+/// (a shard that cannot drain is a liveness bug and panics).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    executor: &Executor,
+    sinks: &mut [&mut dyn RecordSink],
+) -> io::Result<CampaignSummary> {
+    let shards = spec.shards();
+    let cache = WorkloadCache::new();
+    let mut summary = CampaignSummary { shards: shards.len(), ..CampaignSummary::default() };
+    let mut sink_err: Option<io::Error> = None;
+    // Set on the first sink error: a full campaign can be hours of
+    // simulation, all of it discarded once the run is doomed, so
+    // workers skip any shard they pick up after the flag is raised.
+    let cancelled = AtomicBool::new(false);
+    executor.map_ordered(
+        &shards,
+        |_idx, shard| {
+            if cancelled.load(Ordering::Relaxed) {
+                cancelled_shard(shard)
+            } else {
+                run_shard(spec, &cache, shard)
+            }
+        },
+        |_idx, result: ShardResult| {
+            let s = &result.summary;
+            summary.faults += s.faults;
+            summary.detected += s.detected;
+            summary.masked += s.masked;
+            summary.pending += s.pending;
+            summary.verified_segments += s.verified_segments;
+            summary.failed_segments += s.failed_segments;
+            summary.sim_cycles += s.cycles;
+            summary.committed += s.committed;
+            if sink_err.is_some() {
+                return; // keep draining workers, stop writing
+            }
+            for sink in sinks.iter_mut() {
+                let r = result
+                    .records
+                    .iter()
+                    .try_for_each(|rec| sink.on_record(rec))
+                    .and_then(|()| sink.on_shard(s));
+                if let Err(e) = r {
+                    sink_err = Some(e);
+                    cancelled.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+        },
+    );
+    if let Some(e) = sink_err {
+        return Err(e);
+    }
+    for sink in sinks.iter_mut() {
+        sink.finish()?;
+    }
+    summary.workloads_built = cache.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{AggregateSink, CsvSink};
+    use meek_workloads::parsec3;
+
+    fn tiny_spec() -> CampaignSpec {
+        // blackscholes: the smallest code footprint in the PARSEC set.
+        let profiles = vec![parsec3()[0].clone()];
+        let mut spec = CampaignSpec::new(profiles, 6, 0xD15EA5E);
+        spec.faults_per_shard = 3;
+        spec
+    }
+
+    #[test]
+    fn every_fault_is_accounted_for() {
+        let spec = tiny_spec();
+        let mut agg = AggregateSink::new();
+        let summary = {
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg];
+            run_campaign(&spec, &Executor::new(2), &mut sinks).unwrap()
+        };
+        assert_eq!(summary.shards, 2);
+        assert_eq!(summary.faults, 6);
+        assert_eq!(
+            summary.detected + summary.masked as usize + summary.pending,
+            summary.faults,
+            "fault bookkeeping must balance: {summary:?}"
+        );
+        assert!(summary.detected > 0, "a campaign this size must detect something");
+        // A corrupted checkpoint is both one segment's ERCP and the
+        // next one's SRCP, so a single detection can fail two segments.
+        assert!(summary.failed_segments >= summary.detected as u64);
+        assert_eq!(summary.workloads_built, 1, "one benchmark, one build");
+        let overall = agg.overall();
+        assert_eq!(overall.detected, summary.detected);
+        assert!(overall.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let spec = tiny_spec();
+        let run_with = |threads: usize| {
+            let mut csv = CsvSink::new(Vec::new());
+            let summary = {
+                let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut csv];
+                run_campaign(&spec, &Executor::new(threads), &mut sinks).unwrap()
+            };
+            (summary, csv.into_inner())
+        };
+        let (s1, bytes1) = run_with(1);
+        let (s4, bytes4) = run_with(4);
+        assert_eq!(s1, s4);
+        assert_eq!(bytes1, bytes4, "CSV output must be byte-identical across thread counts");
+    }
+
+    #[test]
+    fn sink_errors_propagate() {
+        struct FailingSink;
+        impl RecordSink for FailingSink {
+            fn on_record(&mut self, _rec: &CampaignRecord) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+        }
+        let spec = tiny_spec();
+        let mut failing = FailingSink;
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut failing];
+        let err = run_campaign(&spec, &Executor::new(2), &mut sinks).unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+}

@@ -1,0 +1,180 @@
+//! A small work-stealing executor with deterministic result ordering.
+//!
+//! Workers pull task indices from a shared atomic counter — the
+//! degenerate (and contention-free) form of work stealing where every
+//! thread steals from one global queue — so a slow shard never idles
+//! the other threads. Results stream back over a channel and are
+//! re-sequenced into task order before they reach the caller, which is
+//! what makes campaign output *byte-identical regardless of thread
+//! count*: the consumer observes results in task order whether one
+//! thread or sixteen produced them.
+
+use std::collections::BTreeMap;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Fixed-size pool of worker threads pulling from a shared task queue.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// An executor with `threads` workers; `0` means one per available
+    /// hardware thread.
+    pub fn new(threads: usize) -> Executor {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `work` over every item on the pool and hands each result to
+    /// `consume` **in item order**, streaming: result `i` is consumed as
+    /// soon as results `0..=i` all exist, while later items are still
+    /// running. A panicking task propagates to the caller.
+    pub fn map_ordered<I, T, F, C>(&self, items: &[I], work: F, mut consume: C)
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+        C: FnMut(usize, T),
+    {
+        if items.is_empty() {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let workers = self.threads.min(items.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let work = &work;
+                    s.spawn(move || loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= items.len() {
+                            break;
+                        }
+                        let out = work(idx, &items[idx]);
+                        if tx.send((idx, out)).is_err() {
+                            break; // receiver gone: a sibling panicked
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            // Re-sequence: emit the contiguous prefix as it completes.
+            let mut pending = BTreeMap::new();
+            let mut emitted = 0usize;
+            for (idx, out) in rx {
+                pending.insert(idx, out);
+                while let Some(out) = pending.remove(&emitted) {
+                    consume(emitted, out);
+                    emitted += 1;
+                }
+            }
+            // Join explicitly so a worker's panic payload (not the
+            // scope's generic message) reaches the caller.
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
+    /// Runs `work` over every item and returns the results in item
+    /// order. A panicking task propagates to the caller.
+    pub fn map<I, T, F>(&self, items: &[I], work: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(items.len());
+        self.map_ordered(items, work, |_idx, v| out.push(v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn results_arrive_in_item_order() {
+        let items: Vec<u64> = (0..50).collect();
+        for threads in [1, 2, 8] {
+            let ex = Executor::new(threads);
+            let out = ex.map(&items, |i, &x| {
+                // Reverse the natural completion order.
+                std::thread::sleep(Duration::from_micros(200 - 2 * i as u64));
+                x * 10
+            });
+            assert_eq!(out, items.iter().map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn consume_sees_contiguous_prefix() {
+        let items: Vec<usize> = (0..20).collect();
+        let mut seen = Vec::new();
+        Executor::new(4).map_ordered(
+            &items,
+            |_, &x| x,
+            |idx, v| {
+                assert_eq!(idx, v);
+                seen.push(idx);
+            },
+        );
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let runs = AtomicUsize::new(0);
+        let items = vec![(); 113];
+        let out = Executor::new(7).map(&items, |i, _| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 113);
+        assert_eq!(out.len(), 113);
+    }
+
+    #[test]
+    fn zero_threads_means_hardware_parallelism() {
+        assert!(Executor::new(0).threads() >= 1);
+        assert_eq!(Executor::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = Executor::new(4).map(&[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..8).collect();
+        Executor::new(2).map(&items, |i, _| {
+            if i == 3 {
+                panic!("task 3 exploded");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,298 @@
+//! `meek-campaign` — CLI front-end for the sharded fault-injection
+//! campaign engine.
+//!
+//! ```text
+//! meek-campaign --suite specint --faults 1000 --threads 8 --out results/
+//! ```
+//!
+//! Writes `campaign_records.csv` (one row per detection, byte-identical
+//! for a given spec regardless of thread count), optionally
+//! `campaign_records.jsonl`, and `campaign_summary.csv` (per-workload
+//! latency stats), and prints the paper-style summary table.
+
+use meek_campaign::{
+    run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink, RecordSink,
+};
+use meek_core::MeekConfig;
+use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile};
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+meek-campaign — sharded, deterministic fault-injection campaigns
+
+USAGE:
+    meek-campaign [OPTIONS]
+
+OPTIONS:
+    --suite <specint|parsec|all|NAME[,NAME...]>
+                          Benchmarks to inject into; names select
+                          individual benchmarks [default: parsec]
+    --faults <N>          Faults per workload [default: 1000]
+    --threads <N>         Worker threads; 0 = all hardware threads
+                          [default: 0]
+    --out <DIR>           Output directory [default: $MEEK_RESULTS_DIR
+                          or ./results]
+    --format <csv|jsonl|both>
+                          Record file format(s) [default: csv]
+    --seed <N>            Campaign master seed [default: 3203334829]
+    --shard-faults <N>    Faults per shard (parallel grain) [default: 25]
+    --insts-per-fault <N> Instruction headroom per fault [default: 4000]
+    --little <N>          Checker cores per system [default: 4]
+    --quiet               Suppress the per-workload table
+    -h, --help            Print this help
+";
+
+struct Args {
+    suite: String,
+    faults: usize,
+    threads: usize,
+    out: PathBuf,
+    format: String,
+    seed: u64,
+    shard_faults: usize,
+    insts_per_fault: u64,
+    little: usize,
+    quiet: bool,
+}
+
+impl Args {
+    fn default_out() -> PathBuf {
+        match std::env::var_os("MEEK_RESULTS_DIR") {
+            Some(d) if !d.is_empty() => PathBuf::from(d),
+            _ => PathBuf::from("results"),
+        }
+    }
+
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            suite: "parsec".into(),
+            faults: 1000,
+            threads: 0,
+            out: Args::default_out(),
+            format: "csv".into(),
+            seed: 0xBEEF_CAAD,
+            shard_faults: 25,
+            insts_per_fault: meek_campaign::spec::DEFAULT_INSTS_PER_FAULT,
+            little: 4,
+            quiet: false,
+        };
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--suite" => args.suite = value("--suite")?,
+                "--faults" => args.faults = parse_num(&value("--faults")?, "--faults")?,
+                "--threads" => args.threads = parse_num(&value("--threads")?, "--threads")?,
+                "--out" => args.out = PathBuf::from(value("--out")?),
+                "--format" => args.format = value("--format")?,
+                "--seed" => args.seed = parse_num(&value("--seed")?, "--seed")?,
+                "--shard-faults" => {
+                    args.shard_faults = parse_num(&value("--shard-faults")?, "--shard-faults")?
+                }
+                "--insts-per-fault" => {
+                    args.insts_per_fault =
+                        parse_num(&value("--insts-per-fault")?, "--insts-per-fault")?
+                }
+                "--little" => args.little = parse_num(&value("--little")?, "--little")?,
+                "--quiet" => args.quiet = true,
+                "-h" | "--help" => return Err(String::new()),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if args.faults == 0 {
+            return Err("--faults must be positive".into());
+        }
+        if args.shard_faults == 0 || args.insts_per_fault == 0 || args.little == 0 {
+            return Err("--shard-faults, --insts-per-fault and --little must be positive".into());
+        }
+        if !matches!(args.format.as_str(), "csv" | "jsonl" | "both") {
+            return Err(format!("--format must be csv, jsonl or both, got `{}`", args.format));
+        }
+        Ok(args)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse `{s}` as a number"))
+}
+
+/// Resolves a `--suite` value to benchmark profiles.
+fn resolve_suite(suite: &str) -> Result<Vec<BenchmarkProfile>, String> {
+    match suite {
+        "specint" | "spec" | "specint2006" => Ok(spec_int_2006()),
+        "parsec" | "parsec3" => Ok(parsec3()),
+        "all" => Ok(spec_int_2006().into_iter().chain(parsec3()).collect()),
+        names => {
+            let all: Vec<BenchmarkProfile> = spec_int_2006().into_iter().chain(parsec3()).collect();
+            let mut picked = Vec::new();
+            for name in names.split(',') {
+                let name = name.trim();
+                match all.iter().find(|p| p.name == name) {
+                    Some(p) => picked.push(p.clone()),
+                    None => {
+                        let known: Vec<&str> = all.iter().map(|p| p.name).collect();
+                        return Err(format!(
+                            "unknown benchmark `{name}`; known: {}",
+                            known.join(", ")
+                        ));
+                    }
+                }
+            }
+            Ok(picked)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> io::Result<()> {
+    let workloads = resolve_suite(&args.suite).map_err(io::Error::other)?;
+    let spec = CampaignSpec {
+        workloads,
+        config: MeekConfig::with_little_cores(args.little),
+        faults_per_workload: args.faults,
+        faults_per_shard: args.shard_faults,
+        insts_per_fault: args.insts_per_fault,
+        seed: args.seed,
+    };
+    let executor = Executor::new(args.threads);
+    fs::create_dir_all(&args.out)?;
+
+    let mut agg = AggregateSink::new();
+    let mut csv = if matches!(args.format.as_str(), "csv" | "both") {
+        let path = args.out.join("campaign_records.csv");
+        Some((CsvSink::new(BufWriter::new(File::create(&path)?)), path))
+    } else {
+        None
+    };
+    let mut jsonl = if matches!(args.format.as_str(), "jsonl" | "both") {
+        let path = args.out.join("campaign_records.jsonl");
+        Some((JsonlSink::new(BufWriter::new(File::create(&path)?)), path))
+    } else {
+        None
+    };
+
+    let n_workloads = spec.workloads.len();
+    println!(
+        "meek-campaign: {} fault(s) x {} workload(s), {} shard(s) on {} thread(s), seed {:#x}",
+        args.faults,
+        n_workloads,
+        spec.shards().len(),
+        executor.threads(),
+        args.seed
+    );
+    let started = Instant::now();
+    let summary = {
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg];
+        if let Some((s, _)) = csv.as_mut() {
+            sinks.push(s);
+        }
+        if let Some((s, _)) = jsonl.as_mut() {
+            sinks.push(s);
+        }
+        run_campaign(&spec, &executor, &mut sinks)?
+    };
+    let wall = started.elapsed();
+
+    if !args.quiet {
+        println!(
+            "\n{:<14} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9} {:>8}",
+            "benchmark", "inj", "det", "masked", "mean(ns)", "p99(ns)", "max(ns)", "<3us"
+        );
+        for (name, stats) in agg.per_workload() {
+            println!(
+                "{:<14} {:>7} {:>7} {:>7} {:>9.1} {:>9.1} {:>9.1} {:>7.2}%",
+                name,
+                stats.faults,
+                stats.detected,
+                stats.masked,
+                stats.mean_ns(),
+                stats.percentile_ns(0.99),
+                stats.max_ns(),
+                stats.fraction_under(3000.0) * 100.0
+            );
+        }
+    }
+    let overall = agg.overall();
+    println!(
+        "\ntotal: {} injected, {} detected, {} masked, {} pending",
+        summary.faults, summary.detected, summary.masked, summary.pending
+    );
+    println!(
+        "latency: mean {:.1} ns, p50 {:.1} ns, p99 {:.1} ns, p99.9 {:.1} ns, max {:.1} ns",
+        overall.mean_ns(),
+        overall.percentile_ns(0.50),
+        overall.percentile_ns(0.99),
+        overall.percentile_ns(0.999),
+        overall.max_ns()
+    );
+    println!(
+        "simulated {} cycles / {} insts across {} shards ({} program build(s)) in {:.2?} \
+         ({:.0} faults/s)",
+        summary.sim_cycles,
+        summary.committed,
+        summary.shards,
+        summary.workloads_built,
+        wall,
+        summary.faults as f64 / wall.as_secs_f64().max(1e-9)
+    );
+
+    // Per-workload summary CSV.
+    let summary_path = args.out.join("campaign_summary.csv");
+    let mut f = BufWriter::new(File::create(&summary_path)?);
+    writeln!(
+        f,
+        "workload,faults,detected,masked,pending,mean_ns,p50_ns,p99_ns,p999_ns,max_ns,frac_under_3us"
+    )?;
+    for (name, s) in agg.per_workload() {
+        writeln!(
+            f,
+            "{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.5}",
+            name,
+            s.faults,
+            s.detected,
+            s.masked,
+            s.pending,
+            s.mean_ns(),
+            s.percentile_ns(0.50),
+            s.percentile_ns(0.99),
+            s.percentile_ns(0.999),
+            s.max_ns(),
+            s.fraction_under(3000.0)
+        )?;
+    }
+    f.flush()?;
+    println!("[csv] {}", summary_path.display());
+    if let Some((_, path)) = &csv {
+        println!("[csv] {}", path.display());
+    }
+    if let Some((_, path)) = &jsonl {
+        println!("[jsonl] {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Campaign determinism: the same `CampaignSpec` + seed must produce
+//! byte-identical `DetectionRecord` streams at `--threads 1` and
+//! `--threads 8`, and re-running a spec must reproduce a prior
+//! campaign exactly.
+
+use meek_campaign::{
+    run_campaign, AggregateSink, CampaignSpec, CampaignSummary, CsvSink, Executor, JsonlSink,
+    RecordSink,
+};
+use meek_workloads::parsec3;
+
+/// Two benchmarks, three shards each — enough to exercise cross-thread
+/// interleaving and the reorder buffer without a long test.
+fn spec() -> CampaignSpec {
+    let profiles = parsec3()
+        .into_iter()
+        .filter(|p| p.name == "blackscholes" || p.name == "swaptions")
+        .collect();
+    let mut spec = CampaignSpec::new(profiles, 12, 0x5EED_CAFE);
+    spec.faults_per_shard = 4;
+    spec
+}
+
+fn run_with_threads(threads: usize) -> (CampaignSummary, Vec<u8>, Vec<u8>, AggregateSink) {
+    let mut csv = CsvSink::new(Vec::new());
+    let mut jsonl = JsonlSink::new(Vec::new());
+    let mut agg = AggregateSink::new();
+    let summary = {
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut csv, &mut jsonl, &mut agg];
+        run_campaign(&spec(), &Executor::new(threads), &mut sinks).expect("campaign runs")
+    };
+    (summary, csv.into_inner(), jsonl.into_inner(), agg)
+}
+
+#[test]
+fn one_thread_and_eight_threads_produce_identical_records() {
+    let (s1, csv1, jsonl1, agg1) = run_with_threads(1);
+    let (s8, csv8, jsonl8, agg8) = run_with_threads(8);
+
+    assert_eq!(s1, s8, "campaign summaries must match across thread counts");
+    assert_eq!(csv1, csv8, "CSV byte streams must be identical");
+    assert_eq!(jsonl1, jsonl8, "JSONL byte streams must be identical");
+    assert_eq!(
+        agg1.overall().latencies_ns(),
+        agg8.overall().latencies_ns(),
+        "latency samples must be identical"
+    );
+
+    // The campaign actually did something worth comparing.
+    assert_eq!(s1.faults, 24);
+    assert!(s1.detected > 0, "no detections: {s1:?}");
+    assert!(!csv1.is_empty());
+}
+
+#[test]
+fn rerunning_the_same_spec_reproduces_the_campaign() {
+    let (a, csv_a, _, _) = run_with_threads(3);
+    let (b, csv_b, _, _) = run_with_threads(3);
+    assert_eq!(a, b);
+    assert_eq!(csv_a, csv_b);
+}
+
+#[test]
+fn different_seeds_produce_different_campaigns() {
+    let base = spec();
+    let mut reseeded = spec();
+    reseeded.seed ^= 0xFFFF;
+    let run = |s: &CampaignSpec| {
+        let mut csv = CsvSink::new(Vec::new());
+        {
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut csv];
+            run_campaign(s, &Executor::new(4), &mut sinks).expect("campaign runs");
+        }
+        csv.into_inner()
+    };
+    assert_ne!(run(&base), run(&reseeded), "the seed must actually steer the campaign");
+}

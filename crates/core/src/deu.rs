@@ -160,7 +160,13 @@ impl DeuState {
     }
 
     /// Queues a checkpoint transfer.
-    pub(crate) fn queue_transfer(&mut self, seg: u32, inst_count: u64, cp: RegCheckpoint, dest: DestMask) {
+    pub(crate) fn queue_transfer(
+        &mut self,
+        seg: u32,
+        inst_count: u64,
+        cp: RegCheckpoint,
+        dest: DestMask,
+    ) {
         self.transfers.push_back(Transfer {
             seg,
             inst_count,
@@ -174,7 +180,12 @@ impl DeuState {
     /// Streams queued checkpoint chunks into the DC-Buffers. Called once
     /// per big-core cycle; pushes as many chunks as the status FIFOs
     /// accept this cycle.
-    pub fn pump_transfers(&mut self, fabric: &mut dyn Fabric, injector: &mut FaultInjector, now: u64) {
+    pub fn pump_transfers(
+        &mut self,
+        fabric: &mut dyn Fabric,
+        injector: &mut FaultInjector,
+        now: u64,
+    ) {
         while let Some(t) = self.transfers.front_mut() {
             let is_last = t.next_chunk + 1 == t.total;
             let payload = if is_last {
@@ -245,10 +256,7 @@ impl DeuHook<'_> {
             if owed.seg_to_open == seg {
                 // Deliver the SRCP the multicast could not reach earlier —
                 // unless the core carried it as its own previous ERCP.
-                let prev_checker_same = self
-                    .littles
-                    .get(c)
-                    .map_or(false, |lc| lc.id == c)
+                let prev_checker_same = self.littles.get(c).is_some_and(|lc| lc.id == c)
                     && self.seg_mgr.checker_of(seg.wrapping_sub(1)) == Some(c);
                 if !prev_checker_same {
                     self.deu.queue_transfer(
@@ -331,12 +339,7 @@ impl DeuHook<'_> {
         let Some(checker) = self.ensure_checker(seg) else {
             return Some(CommitDecision::Stall(CommitStall::LittleCore));
         };
-        let mut pkt = Packet {
-            seq: 0,
-            dest: DestMask::single(checker),
-            payload,
-            created_at: now,
-        };
+        let mut pkt = Packet { seq: 0, dest: DestMask::single(checker), payload, created_at: now };
         let was_busy = self.injector.busy();
         self.injector.maybe_corrupt(&mut pkt, now, seg);
         pkt.seq = self.deu.next_seq();
@@ -363,11 +366,10 @@ impl DeuHook<'_> {
 
     fn update_shadow(&mut self, ret: &Retired) {
         match ret.wb {
-            Some((WbDest::Int(r), v)) => {
-                if r.index() != 0 {
-                    self.deu.shadow.x[r.index() as usize] = v;
-                }
+            Some((WbDest::Int(r), v)) if r.index() != 0 => {
+                self.deu.shadow.x[r.index() as usize] = v;
             }
+            Some((WbDest::Int(_), _)) => {} // x0 writes are architectural no-ops
             Some((WbDest::Fp(r), v)) => self.deu.shadow.f[r.index() as usize] = v,
             None => {}
         }
@@ -402,9 +404,9 @@ impl CommitHook for DeuHook<'_> {
 mod tests {
     use super::*;
     use meek_fabric::{F2Config, F2};
-    use meek_littlecore::LittleCoreConfig;
     use meek_isa::inst::{AluImmOp, Inst};
     use meek_isa::{ExecClass, Reg};
+    use meek_littlecore::LittleCoreConfig;
 
     fn fake_retired(seg_pc: u64, mem: Option<meek_isa::MemAccess>, trap: bool) -> Retired {
         let inst = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 1 };
@@ -477,7 +479,12 @@ mod tests {
     fn record_budget_triggers_rcp() {
         let mut rig = Rig::new(2, 3, 1_000_000);
         for i in 0..4 {
-            let mem = Some(meek_isa::MemAccess { addr: 0x8000 + i * 8, size: 8, data: i, is_store: false });
+            let mem = Some(meek_isa::MemAccess {
+                addr: 0x8000 + i * 8,
+                size: 8,
+                data: i,
+                is_store: false,
+            });
             let r = fake_retired(0x1000 + i * 4, mem, false);
             assert_eq!(rig.hook().on_commit(0, &r, i), CommitDecision::Proceed, "commit {i}");
         }
@@ -501,7 +508,12 @@ mod tests {
         let mut rig = Rig::new(1, 2, 1_000_000);
         // Fill segment 1's budget.
         for i in 0..2 {
-            let mem = Some(meek_isa::MemAccess { addr: 0x8000 + i * 8, size: 8, data: i, is_store: false });
+            let mem = Some(meek_isa::MemAccess {
+                addr: 0x8000 + i * 8,
+                size: 8,
+                data: i,
+                is_store: false,
+            });
             let r = fake_retired(0x1000 + i * 4, mem, false);
             assert_eq!(rig.hook().on_commit(0, &r, i), CommitDecision::Proceed);
         }
@@ -516,10 +528,7 @@ mod tests {
         // A memory op in segment 2 cannot be logged yet: no checker.
         let mem = Some(meek_isa::MemAccess { addr: 0x9000, size: 8, data: 1, is_store: true });
         let r = fake_retired(0x1014, mem, false);
-        assert_eq!(
-            rig.hook().on_commit(0, &r, 4),
-            CommitDecision::Stall(CommitStall::LittleCore)
-        );
+        assert_eq!(rig.hook().on_commit(0, &r, 4), CommitDecision::Stall(CommitStall::LittleCore));
     }
 
     #[test]

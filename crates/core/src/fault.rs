@@ -50,6 +50,27 @@ pub struct DetectionRecord {
     pub seg: u32,
 }
 
+/// The paper's random fault distribution (§V-B): sites drawn uniformly
+/// from {memory address, memory data, checkpoint register}, a random
+/// bit, arm points spread evenly over `arm_span` committed
+/// instructions. The single source of the distribution — the serial
+/// [`FaultInjector::random_campaign`] and the sharded campaign engine
+/// both sample from here, so the figures and campaign records measure
+/// the same thing.
+pub fn random_fault_specs(n: usize, arm_span: u64, rng: &mut SmallRng) -> Vec<FaultSpec> {
+    let mut faults = Vec::with_capacity(n);
+    for i in 0..n {
+        let site = match rng.gen_range(0..3) {
+            0 => FaultSite::MemAddr,
+            1 => FaultSite::MemData,
+            _ => FaultSite::RcpRegister,
+        };
+        let arm_at = (i as u64 + 1) * arm_span / (n as u64 + 1);
+        faults.push(FaultSpec { arm_at_commit: arm_at, site, bit: rng.gen_range(0..64) });
+    }
+    faults
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     spec: FaultSpec,
@@ -77,23 +98,19 @@ impl FaultInjector {
     pub fn new(mut faults: Vec<FaultSpec>) -> FaultInjector {
         faults.sort_by_key(|f| f.arm_at_commit);
         faults.reverse(); // pop() yields earliest first
-        FaultInjector { queue: faults, armed: None, in_flight: None, detections: Vec::new(), missed: 0 }
+        FaultInjector {
+            queue: faults,
+            armed: None,
+            in_flight: None,
+            detections: Vec::new(),
+            missed: 0,
+        }
     }
 
     /// Generates `n` random faults spread uniformly over `commit_span`
     /// instructions, mirroring the paper's 5 000–10 000 random faults.
     pub fn random_campaign(n: usize, commit_span: u64, rng: &mut SmallRng) -> FaultInjector {
-        let mut faults = Vec::with_capacity(n);
-        for i in 0..n {
-            let site = match rng.gen_range(0..3) {
-                0 => FaultSite::MemAddr,
-                1 => FaultSite::MemData,
-                _ => FaultSite::RcpRegister,
-            };
-            let at = (i as u64 + 1) * commit_span / (n as u64 + 1);
-            faults.push(FaultSpec { arm_at_commit: at, site, bit: rng.gen_range(0..64) });
-        }
-        FaultInjector::new(faults)
+        FaultInjector::new(random_fault_specs(n, commit_span, rng))
     }
 
     /// Whether a fault is currently in flight (awaiting detection).
@@ -113,6 +130,15 @@ impl FaultInjector {
     /// Faults remaining in the queue (not yet armed).
     pub fn remaining(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Faults with no verdict yet: still queued, armed but not fired,
+    /// or in flight awaiting a segment verdict. At end of run these are
+    /// the faults the campaign must report as *pending* — typically a
+    /// tail fault whose corrupted checkpoint was the program's last, so
+    /// no successor segment ever delivered a verdict.
+    pub fn unresolved(&self) -> usize {
+        self.queue.len() + self.armed.is_some() as usize + self.in_flight.is_some() as usize
     }
 
     /// Debug string of the injector state.

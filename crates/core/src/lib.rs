@@ -45,7 +45,7 @@ pub mod segments;
 pub mod system;
 
 pub use deu::{DeuHook, DeuState, BIG_CORE_NS_PER_CYCLE};
-pub use fault::{DetectionRecord, FaultSite, FaultSpec};
+pub use fault::{random_fault_specs, DetectionRecord, FaultSite, FaultSpec};
 pub use report::{RunReport, StallBreakdown};
 pub use segments::SegmentManager;
-pub use system::{run_vanilla, FabricKind, MeekConfig, MeekSystem};
+pub use system::{cycle_cap, run_vanilla, FabricKind, MeekConfig, MeekSystem};

@@ -46,7 +46,11 @@ pub enum OsCall {
 ///
 /// When `new_release` is true, the scheduler hooks every little core in
 /// `checker_cores` to `big_core` before initialising the new context.
-pub fn big_core_context_switch(big_core: usize, new_release: bool, checker_cores: &[usize]) -> Vec<OsCall> {
+pub fn big_core_context_switch(
+    big_core: usize,
+    new_release: bool,
+    checker_cores: &[usize],
+) -> Vec<OsCall> {
     let mut calls = vec![OsCall::BCheckDisable, OsCall::IntrDisable, OsCall::ContextSave];
     if new_release {
         for &c in checker_cores {
@@ -90,7 +94,9 @@ pub enum PageFaultOutcome {
 impl fmt::Display for PageFaultOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PageFaultOutcome::Deadlock => write!(f, "deadlock (checker blocked on big core's lock)"),
+            PageFaultOutcome::Deadlock => {
+                write!(f, "deadlock (checker blocked on big core's lock)")
+            }
             PageFaultOutcome::ResolvedByBigCore => {
                 write!(f, "resolved (page fault handled by the big core first)")
             }
@@ -130,18 +136,15 @@ impl PageFaultScenario {
     pub fn resolve(&self) -> PageFaultOutcome {
         // Checker position: with the fix it can never pass
         // main_progress - 1; without it, it may run to the fault point.
-        let checker_limit = if self.one_behind_fix {
-            self.main_progress.saturating_sub(1)
-        } else {
-            u64::MAX
-        };
+        let checker_limit =
+            if self.one_behind_fix { self.main_progress.saturating_sub(1) } else { u64::MAX };
         // Without I/O synchronisation a page may additionally be written
         // out *before* the checker reaches it, which manifests the same
         // way: the checker faults on an instruction the main thread has
         // already retired.
         let page_out_race = !self.io_sync && !self.one_behind_fix;
-        let checker_faults_first =
-            checker_limit >= self.faulting_inst && (self.main_progress < self.faulting_inst || page_out_race);
+        let checker_faults_first = checker_limit >= self.faulting_inst
+            && (self.main_progress < self.faulting_inst || page_out_race);
         if checker_faults_first {
             PageFaultOutcome::Deadlock
         } else {

@@ -28,11 +28,7 @@ impl StallBreakdown {
     /// Fig. 9 harness to draw the stacked decomposition.
     pub fn proportions(&self) -> (f64, f64, f64) {
         let t = self.total().max(1) as f64;
-        (
-            self.data_collect as f64 / t,
-            self.data_forward as f64 / t,
-            self.little_core as f64 / t,
-        )
+        (self.data_collect as f64 / t, self.data_forward as f64 / t, self.little_core as f64 / t)
     }
 }
 
@@ -84,14 +80,18 @@ impl RunReport {
         if self.detections.is_empty() {
             return None;
         }
-        Some(self.detections.iter().map(|d| d.latency_ns).sum::<f64>() / self.detections.len() as f64)
+        Some(
+            self.detections.iter().map(|d| d.latency_ns).sum::<f64>()
+                / self.detections.len() as f64,
+        )
     }
 
     /// Worst-case detection latency in nanoseconds.
     pub fn max_detection_ns(&self) -> Option<f64> {
-        self.detections.iter().map(|d| d.latency_ns).fold(None, |acc, x| {
-            Some(acc.map_or(x, |a: f64| a.max(x)))
-        })
+        self.detections
+            .iter()
+            .map(|d| d.latency_ns)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
     }
 }
 

@@ -65,7 +65,7 @@ pub struct MeekSystem {
     cfg: MeekConfig,
     big: BigCore,
     littles: Vec<LittleCore>,
-    fabric: Box<dyn Fabric>,
+    fabric: Box<dyn Fabric + Send>,
     deu: DeuState,
     seg_mgr: SegmentManager,
     injector: FaultInjector,
@@ -87,11 +87,10 @@ impl MeekSystem {
     ///
     /// Panics if `cfg.n_little` is zero.
     pub fn new(cfg: MeekConfig, workload: &Workload, max_insts: u64) -> MeekSystem {
-        let fabric: Box<dyn Fabric> = match cfg.fabric {
-            FabricKind::F2 => Box::new(F2::new(F2Config {
-                lanes: cfg.big.width as usize,
-                ..F2Config::default()
-            })),
+        let fabric: Box<dyn Fabric + Send> = match cfg.fabric {
+            FabricKind::F2 => {
+                Box::new(F2::new(F2Config { lanes: cfg.big.width as usize, ..F2Config::default() }))
+            }
             FabricKind::Axi => Box::new(AxiInterconnect::new(AxiConfig {
                 lanes: cfg.big.width as usize,
                 ..AxiConfig::default()
@@ -110,7 +109,7 @@ impl MeekSystem {
         cfg: MeekConfig,
         workload: &Workload,
         max_insts: u64,
-        fabric: Box<dyn Fabric>,
+        fabric: Box<dyn Fabric + Send>,
     ) -> MeekSystem {
         assert!(cfg.n_little > 0, "MEEK needs at least one little core");
         let run = workload.run(max_insts);
@@ -181,19 +180,19 @@ impl MeekSystem {
     pub fn tick(&mut self) {
         let now = self.now;
         // Little clock domain: every second big cycle (1.6 GHz).
-        if now % 2 == 0 {
+        if now.is_multiple_of(2) {
             let tl = now / 2;
             for lc in &mut self.littles {
-                if let Some(ev) = lc.tick_check(tl, &self.image) {
-                    if let CheckerEvent::SegmentVerified { seg, pass, .. } = ev {
-                        self.seg_mgr.finish(seg);
-                        if pass {
-                            self.verified_segments += 1;
-                        } else {
-                            self.failed_segments += 1;
-                        }
-                        self.injector.on_segment_verified(seg, pass, now, BIG_CORE_NS_PER_CYCLE);
+                if let Some(CheckerEvent::SegmentVerified { seg, pass, .. }) =
+                    lc.tick_check(tl, &self.image)
+                {
+                    self.seg_mgr.finish(seg);
+                    if pass {
+                        self.verified_segments += 1;
+                    } else {
+                        self.failed_segments += 1;
                     }
+                    self.injector.on_segment_verified(seg, pass, now, BIG_CORE_NS_PER_CYCLE);
                 }
             }
         }
@@ -201,11 +200,8 @@ impl MeekSystem {
         self.deu.pump_transfers(self.fabric.as_mut(), &mut self.injector, now);
         // Fabric moves packets toward the LSLs.
         {
-            let mut sinks: Vec<&mut dyn PacketSink> = self
-                .littles
-                .iter_mut()
-                .map(|l| &mut l.lsl as &mut dyn PacketSink)
-                .collect();
+            let mut sinks: Vec<&mut dyn PacketSink> =
+                self.littles.iter_mut().map(|l| &mut l.lsl as &mut dyn PacketSink).collect();
             self.fabric.tick(now, &mut sinks);
         }
         // Big clock domain.
@@ -215,13 +211,7 @@ impl MeekSystem {
         if !self.big.is_drained() {
             let MeekSystem { big, littles, fabric, deu, seg_mgr, injector, run, .. } = self;
             let mut oracle = || run.next_retired();
-            let mut hook = DeuHook {
-                deu,
-                fabric: fabric.as_mut(),
-                littles,
-                seg_mgr,
-                injector,
-            };
+            let mut hook = DeuHook { deu, fabric: fabric.as_mut(), littles, seg_mgr, injector };
             big.tick(now, &mut oracle, &mut hook);
         } else {
             self.finalize(now);
@@ -237,13 +227,7 @@ impl MeekSystem {
             return;
         }
         let MeekSystem { littles, fabric, deu, seg_mgr, injector, .. } = self;
-        let mut hook = DeuHook {
-            deu,
-            fabric: fabric.as_mut(),
-            littles,
-            seg_mgr,
-            injector,
-        };
+        let mut hook = DeuHook { deu, fabric: fabric.as_mut(), littles, seg_mgr, injector };
         if hook.finalize_segment(now) {
             self.deu.finalized = true;
         }
@@ -318,6 +302,12 @@ impl MeekSystem {
         self.injector.remaining()
     }
 
+    /// Faults with no verdict: queued, armed, or in flight (see
+    /// [`FaultInjector::unresolved`](crate::fault::FaultInjector::unresolved)).
+    pub fn injector_unresolved(&self) -> usize {
+        self.injector.unresolved()
+    }
+
     /// Debug string of the injector state.
     pub fn injector_debug(&self) -> String {
         self.injector.debug()
@@ -376,6 +366,14 @@ impl DeuHook<'_> {
     }
 }
 
+/// Simulation liveness bound for a run of `max_insts` dynamic
+/// instructions: generous enough that only a genuine deadlock trips
+/// it. Both the experiment harnesses and the campaign engine cap
+/// [`MeekSystem::run_to_completion`] with this.
+pub fn cycle_cap(max_insts: u64) -> u64 {
+    (max_insts * 400).max(20_000_000)
+}
+
 /// Runs `workload` on the vanilla big core (checking disabled) and
 /// returns the cycle count — the denominator of every slowdown figure.
 pub fn run_vanilla(cfg: &BigCoreConfig, workload: &Workload, max_insts: u64) -> u64 {
@@ -403,6 +401,17 @@ mod tests {
     }
 
     #[test]
+    fn meek_system_is_send() {
+        // The campaign engine builds and runs whole systems on worker
+        // threads; a non-Send field sneaking into the SoC would break
+        // that at a distance, so pin it here.
+        fn assert_send<T: Send>() {}
+        assert_send::<MeekSystem>();
+        assert_send::<MeekConfig>();
+        assert_send::<crate::report::RunReport>();
+    }
+
+    #[test]
     fn clean_run_verifies_every_segment() {
         let wl = small_workload();
         let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 15_000);
@@ -410,7 +419,7 @@ mod tests {
         assert_eq!(report.failed_segments, 0);
         assert!(report.verified_segments > 0);
         assert_eq!(report.committed, 15_000);
-        assert_eq!(report.rcps as u64, report.verified_segments);
+        assert_eq!(report.rcps, report.verified_segments);
     }
 
     #[test]

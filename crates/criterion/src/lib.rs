@@ -1,0 +1,178 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, vendored so `cargo bench` works fully offline.
+//!
+//! Implements the subset the `meek-bench` harnesses use: groups,
+//! per-element throughput, `sample_size`, and `Bencher::iter`. Instead
+//! of criterion's statistical machinery it runs a short warm-up, then
+//! `sample_size` timed samples, and reports the median sample with
+//! throughput. Good enough to spot order-of-magnitude regressions; not
+//! a replacement for real criterion runs.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting benchmark
+/// bodies.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (reported as elem/s).
+    Elements(u64),
+    /// Bytes processed per iteration (reported as B/s).
+    Bytes(u64),
+}
+
+/// Top-level harness handle passed to every benchmark function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { sample_size: self.sample_size, throughput: None }
+    }
+
+    /// Runs a stand-alone benchmark (group of one).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let mut g = BenchmarkGroup { sample_size: self.sample_size, throughput: None };
+        g.bench_function(name, f);
+    }
+}
+
+/// A group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Times one benchmark: warm-up iteration, then `sample_size`
+    /// samples; reports the median.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        f(&mut b); // warm-up (also sizes one sample)
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            samples.push(if b.iters > 0 { b.elapsed / b.iters } else { Duration::ZERO });
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if !median.is_zero() => {
+                format!("  ({:.2e} elem/s)", n as f64 / median.as_secs_f64())
+            }
+            Some(Throughput::Bytes(n)) if !median.is_zero() => {
+                format!("  ({:.2e} B/s)", n as f64 / median.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("  {name}: median {median:?} over {} samples{rate}", samples.len());
+    }
+
+    /// Ends the group (criterion-API parity; prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Per-benchmark timing handle.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `body`, accumulating into the current sample.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        let start = Instant::now();
+        black_box(body());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Builds a benchmark group runner, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("count", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn plain_macro_form_compiles() {
+        criterion_group!(simple, sample_bench);
+        simple();
+    }
+}

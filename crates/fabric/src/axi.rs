@@ -72,7 +72,7 @@ impl AxiInterconnect {
                 }
                 if let Some(p) = buf.head(kind) {
                     if p.created_at + self.cfg.bus_latency <= now
-                        && best.map_or(true, |(s, _, _)| p.seq < s)
+                        && best.is_none_or(|(s, _, _)| p.seq < s)
                     {
                         best = Some((p.seq, lane, kind));
                     }
@@ -95,18 +95,16 @@ impl Fabric for AxiInterconnect {
 
     fn tick(&mut self, now: u64, sinks: &mut [&mut dyn PacketSink]) {
         // One beat per `cycles_per_beat` big-core cycles.
-        if now % self.cfg.cycles_per_beat != 0 {
+        if !now.is_multiple_of(self.cfg.cycles_per_beat) {
             return;
         }
         let mut skip: Vec<PacketKind> = Vec::new();
         let mut saw_blocked = false;
-        loop {
-            let Some((lane, kind)) = self.lowest_head(now, &skip) else {
-                break;
-            };
+        while let Some((lane, kind)) = self.lowest_head(now, &skip) {
             let head = self.buffers[lane].head(kind).expect("head exists");
             // Unicast: serve one targeted core that can accept.
-            let Some(core) = head.dest.iter().find(|&c| c < sinks.len() && sinks[c].can_accept(kind))
+            let Some(core) =
+                head.dest.iter().find(|&c| c < sinks.len() && sinks[c].can_accept(kind))
             else {
                 // The oldest packet of this kind is blocked: stall the
                 // kind so younger packets cannot overtake it.
@@ -178,12 +176,18 @@ mod tests {
     }
 
     fn status_pkt(seq: u64, dest: DestMask) -> Packet {
-        Packet { seq, dest, payload: Payload::RcpChunk { seg: 0, chunk: 0, total: 1 }, created_at: 0 }
+        Packet {
+            seq,
+            dest,
+            payload: Payload::RcpChunk { seg: 0, chunk: 0, total: 1 },
+            created_at: 0,
+        }
     }
 
     fn run(axi: &mut AxiInterconnect, sinks: &mut [Sink], from: u64, to: u64) {
         for now in from..to {
-            let mut refs: Vec<&mut dyn PacketSink> = sinks.iter_mut().map(|s| s as &mut dyn PacketSink).collect();
+            let mut refs: Vec<&mut dyn PacketSink> =
+                sinks.iter_mut().map(|s| s as &mut dyn PacketSink).collect();
             axi.tick(now, &mut refs);
         }
     }

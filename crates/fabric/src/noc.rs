@@ -72,7 +72,7 @@ impl F2 {
                 }
                 if let Some(p) = buf.head(kind) {
                     if p.created_at + self.cfg.hop_latency <= now
-                        && best.map_or(true, |(s, _, _)| p.seq < s)
+                        && best.is_none_or(|(s, _, _)| p.seq < s)
                     {
                         best = Some((p.seq, lane, kind));
                     }
@@ -205,12 +205,18 @@ mod tests {
     }
 
     fn status_pkt(seq: u64, dest: DestMask) -> Packet {
-        Packet { seq, dest, payload: Payload::RcpChunk { seg: 1, chunk: 0, total: 1 }, created_at: 0 }
+        Packet {
+            seq,
+            dest,
+            payload: Payload::RcpChunk { seg: 1, chunk: 0, total: 1 },
+            created_at: 0,
+        }
     }
 
     fn run_ticks(f2: &mut F2, sinks: &mut [TestSink], from: u64, to: u64) {
         for now in from..to {
-            let mut refs: Vec<&mut dyn PacketSink> = sinks.iter_mut().map(|s| s as &mut dyn PacketSink).collect();
+            let mut refs: Vec<&mut dyn PacketSink> =
+                sinks.iter_mut().map(|s| s as &mut dyn PacketSink).collect();
             f2.tick(now, &mut refs);
         }
     }
@@ -233,7 +239,8 @@ mod tests {
     fn per_destination_order_preserved() {
         let mut f2 = F2::new(F2Config { hop_latency: 0, ..F2Config::default() });
         // Spread seq 0..8 across lanes out of lane order.
-        for (lane, seq) in [(3usize, 0u64), (1, 1), (0, 2), (2, 3), (1, 4), (3, 5), (0, 6), (2, 7)] {
+        for (lane, seq) in [(3usize, 0u64), (1, 1), (0, 2), (2, 3), (1, 4), (3, 5), (0, 6), (2, 7)]
+        {
             f2.try_push(lane, mem_pkt(seq, DestMask::single(0))).unwrap();
         }
         let mut sinks = vec![TestSink::unbounded()];

@@ -178,7 +178,8 @@ mod tests {
         assert_eq!(Payload::Csr { seg: 0, addr: 0xC00, data: 1 }.kind(), PacketKind::Runtime);
         assert_eq!(Payload::RcpChunk { seg: 0, chunk: 0, total: 17 }.kind(), PacketKind::Status);
         assert_eq!(
-            Payload::RcpEnd { seg: 0, inst_count: 1, cp: Box::new(RegCheckpoint::zeroed(0)) }.kind(),
+            Payload::RcpEnd { seg: 0, inst_count: 1, cp: Box::new(RegCheckpoint::zeroed(0)) }
+                .kind(),
             PacketKind::Status
         );
     }

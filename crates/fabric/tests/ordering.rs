@@ -62,7 +62,11 @@ fn plan_strategy() -> impl Strategy<Value = Vec<PacketPlan>> {
     )
 }
 
-fn run_fabric(mut fabric: Box<dyn Fabric>, plans: &[PacketPlan], tight_sinks: bool) -> Vec<RecordingSink> {
+fn run_fabric(
+    mut fabric: Box<dyn Fabric>,
+    plans: &[PacketPlan],
+    tight_sinks: bool,
+) -> Vec<RecordingSink> {
     let cap = if tight_sinks { 3 } else { usize::MAX };
     let mut sinks: Vec<RecordingSink> = (0..4)
         .map(|_| RecordingSink { runtime_cap: cap, status_cap: cap, ..RecordingSink::default() })
@@ -116,7 +120,7 @@ fn run_fabric(mut fabric: Box<dyn Fabric>, plans: &[PacketPlan], tight_sinks: bo
                 sinks.iter_mut().map(|s| s as &mut dyn PacketSink).collect();
             fabric.tick(now, &mut refs);
         }
-        if tight_sinks && now % 3 == 0 {
+        if tight_sinks && now.is_multiple_of(3) {
             for s in &mut sinks {
                 s.drain_some(2);
             }

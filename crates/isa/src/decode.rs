@@ -1,7 +1,9 @@
 //! Binary decoding of 32-bit machine words into [`Inst`].
 
 use crate::encode::*;
-use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::inst::{
+    AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp,
+};
 use crate::meek::MeekOp;
 use crate::reg::{FReg, Reg};
 use std::fmt;
@@ -174,7 +176,12 @@ pub fn decode(w: u32) -> Result<Inst, DecodeError> {
                 if funct7(w) != 0 {
                     return err;
                 }
-                Inst::AluImm { op: AluImmOp::Slliw, rd: rd(w), rs1: rs1(w), imm: ((w >> 20) & 0x1F) as i32 }
+                Inst::AluImm {
+                    op: AluImmOp::Slliw,
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    imm: ((w >> 20) & 0x1F) as i32,
+                }
             }
             0b101 => {
                 let shamt = ((w >> 20) & 0x1F) as i32;
@@ -396,7 +403,12 @@ mod tests {
             Inst::Fsd { rs1: Reg::X2, rs2: FReg::new(3), offset: -8 },
             Inst::Fp { op: FpOp::FdivD, rd: FReg::new(4), rs1: FReg::new(5), rs2: FReg::new(6) },
             Inst::FpCmp { op: FpCmpOp::FltD, rd: Reg::X21, rs1: FReg::new(7), rs2: FReg::new(8) },
-            Inst::FmaddD { rd: FReg::new(9), rs1: FReg::new(10), rs2: FReg::new(11), rs3: FReg::new(12) },
+            Inst::FmaddD {
+                rd: FReg::new(9),
+                rs1: FReg::new(10),
+                rs2: FReg::new(11),
+                rs3: FReg::new(12),
+            },
             Inst::FcvtDL { rd: FReg::new(13), rs1: Reg::X22 },
             Inst::FcvtLD { rd: Reg::X23, rs1: FReg::new(14) },
             Inst::FmvXD { rd: Reg::X24, rs1: FReg::new(15) },

@@ -1,6 +1,8 @@
 //! A small disassembler for debugging traces and failed checks.
 
-use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::inst::{
+    AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp,
+};
 use std::fmt;
 
 /// Wrapper that formats an [`Inst`] as assembly text.
@@ -112,9 +114,13 @@ impl fmt::Display for Disasm<'_> {
                 };
                 write!(f, "{name} {rs2}, {offset}({rs1})")
             }
-            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{} {rd}, {rs1}, {imm}", alu_imm_name(op)),
+            Inst::AluImm { op, rd, rs1, imm } => {
+                write!(f, "{} {rd}, {rs1}, {imm}", alu_imm_name(op))
+            }
             Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(op)),
-            Inst::MulDiv { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", muldiv_name(op)),
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                write!(f, "{} {rd}, {rs1}, {rs2}", muldiv_name(op))
+            }
             Inst::Fld { rd, rs1, offset } => write!(f, "fld {rd}, {offset}({rs1})"),
             Inst::Fsd { rs1, rs2, offset } => write!(f, "fsd {rs2}, {offset}({rs1})"),
             Inst::Fp { op, rd, rs1, rs2 } => {
@@ -186,14 +192,16 @@ mod tests {
                 "sd a0, 16(sp)",
             ),
             (
-                Inst::Fp { op: FpOp::FdivD, rd: FReg::new(1), rs1: FReg::new(2), rs2: FReg::new(3) },
+                Inst::Fp {
+                    op: FpOp::FdivD,
+                    rd: FReg::new(1),
+                    rs1: FReg::new(2),
+                    rs2: FReg::new(3),
+                },
                 "fdiv.d f1, f2, f3",
             ),
             (Inst::Ecall, "ecall"),
-            (
-                Inst::Meek(crate::meek::MeekOp::LApply { rs1: Reg::X10 }),
-                "l.apply a0",
-            ),
+            (Inst::Meek(crate::meek::MeekOp::LApply { rs1: Reg::X10 }), "l.apply a0"),
         ];
         for (inst, expect) in cases {
             assert_eq!(Disasm(&inst).to_string(), expect);

@@ -4,7 +4,9 @@
 //! machine code into simulated memory, which the core models then fetch
 //! and [`decode()`](crate::decode()).
 
-use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::inst::{
+    AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp,
+};
 use crate::meek::MeekOp;
 use crate::reg::{FReg, Reg};
 
@@ -29,12 +31,21 @@ pub(crate) const OP_SYSTEM: u32 = 0x73;
 pub(crate) const OP_CUSTOM_0: u32 = 0x0B;
 
 fn r_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, rs2: u8, funct7: u32) -> u32 {
-    opcode | ((rd as u32) << 7) | (funct3 << 12) | ((rs1 as u32) << 15) | ((rs2 as u32) << 20) | (funct7 << 25)
+    opcode
+        | ((rd as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1 as u32) << 15)
+        | ((rs2 as u32) << 20)
+        | (funct7 << 25)
 }
 
 fn i_type(opcode: u32, rd: u8, funct3: u32, rs1: u8, imm: i32) -> u32 {
     debug_assert!((-2048..=2047).contains(&imm), "I-imm {imm} out of range");
-    opcode | ((rd as u32) << 7) | (funct3 << 12) | ((rs1 as u32) << 15) | (((imm as u32) & 0xFFF) << 20)
+    opcode
+        | ((rd as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1 as u32) << 15)
+        | (((imm as u32) & 0xFFF) << 20)
 }
 
 fn s_type(opcode: u32, funct3: u32, rs1: u8, rs2: u8, imm: i32) -> u32 {
@@ -66,7 +77,10 @@ fn u_type(opcode: u32, rd: u8, imm: i32) -> u32 {
 }
 
 fn j_type(opcode: u32, rd: u8, imm: i32) -> u32 {
-    debug_assert!((-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0, "J-imm {imm} out of range");
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&imm) && imm % 2 == 0,
+        "J-imm {imm} out of range"
+    );
     let imm = imm as u32;
     opcode
         | ((rd as u32) << 7)
@@ -209,7 +223,9 @@ pub fn encode(inst: &Inst) -> u32 {
         }
         Inst::FmaddD { rd, rs1, rs2, rs3 } => {
             // R4-type: rs3 in [31:27], fmt=01 (D) in [26:25].
-            r_type(OP_MADD, f(rd), 0b000, f(rs1), f(rs2), 0) | (0b01 << 25) | ((f(rs3) as u32) << 27)
+            r_type(OP_MADD, f(rd), 0b000, f(rs1), f(rs2), 0)
+                | (0b01 << 25)
+                | ((f(rs3) as u32) << 27)
         }
         Inst::FcvtDL { rd, rs1 } => r_type(OP_OP_FP, f(rd), 0b000, x(rs1), 0x02, 0x69),
         Inst::FcvtLD { rd, rs1 } => r_type(OP_OP_FP, x(rd), 0b001, f(rs1), 0x02, 0x61),
@@ -224,7 +240,11 @@ pub fn encode(inst: &Inst) -> u32 {
                 CsrOp::Rsi => 0b110,
                 CsrOp::Rci => 0b111,
             };
-            OP_SYSTEM | ((x(rd) as u32) << 7) | (funct3 << 12) | ((x(rs1) as u32) << 15) | ((csr as u32) << 20)
+            OP_SYSTEM
+                | ((x(rd) as u32) << 7)
+                | (funct3 << 12)
+                | ((x(rs1) as u32) << 15)
+                | ((csr as u32) << 20)
         }
         Inst::Fence => i_type(OP_MISC_MEM, 0, 0b000, 0, 0x0FF),
         Inst::Ecall => OP_SYSTEM,

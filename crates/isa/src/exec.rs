@@ -3,9 +3,11 @@
 //! models (big core, little core) consume.
 
 use crate::decode::{decode, DecodeError};
-use crate::inst::{AluImmOp, AluOp, BranchOp, CsrOp, ExecClass, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp};
-use crate::mem::Bus;
+use crate::inst::{
+    AluImmOp, AluOp, BranchOp, CsrOp, ExecClass, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp,
+};
 use crate::meek::MeekOp;
+use crate::mem::Bus;
 use crate::reg::{FReg, Reg};
 use crate::state::ArchState;
 use std::fmt;
@@ -143,13 +145,15 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
             let target = pc.wrapping_add(offset as i64 as u64);
             st.set_x(rd, pc.wrapping_add(4));
             next_pc = target;
-            branch = Some(BranchInfo { taken: true, target, is_conditional: false, is_indirect: false });
+            branch =
+                Some(BranchInfo { taken: true, target, is_conditional: false, is_indirect: false });
         }
         Inst::Jalr { rd, rs1, offset } => {
             let target = st.x(rs1).wrapping_add(offset as i64 as u64) & !1;
             st.set_x(rd, pc.wrapping_add(4));
             next_pc = target;
-            branch = Some(BranchInfo { taken: true, target, is_conditional: false, is_indirect: true });
+            branch =
+                Some(BranchInfo { taken: true, target, is_conditional: false, is_indirect: true });
         }
         Inst::Branch { op, rs1, rs2, offset } => {
             let (a, b) = (st.x(rs1), st.x(rs2));
@@ -270,20 +274,15 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
             st.set_x(rd, v);
         }
         Inst::FmaddD { rd, rs1, rs2, rs3 } => {
-            let (a, b, c) = (
-                f64::from_bits(st.f(rs1)),
-                f64::from_bits(st.f(rs2)),
-                f64::from_bits(st.f(rs3)),
-            );
+            let (a, b, c) =
+                (f64::from_bits(st.f(rs1)), f64::from_bits(st.f(rs2)), f64::from_bits(st.f(rs3)));
             st.set_f(rd, a.mul_add(b, c).to_bits());
         }
         Inst::FcvtDL { rd, rs1 } => st.set_f(rd, (st.x(rs1) as i64 as f64).to_bits()),
         Inst::FcvtLD { rd, rs1 } => {
             let v = f64::from_bits(st.f(rs1));
             // RISC-V FCVT.L.D saturating semantics (NaN -> i64::MAX).
-            let out = if v.is_nan() {
-                i64::MAX
-            } else if v >= i64::MAX as f64 {
+            let out = if v.is_nan() || v >= i64::MAX as f64 {
                 i64::MAX
             } else if v <= i64::MIN as f64 {
                 i64::MIN
@@ -320,7 +319,12 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
             MeekOp::LJal { rs1 } => {
                 let target = st.x(rs1) & !1;
                 next_pc = target;
-                branch = Some(BranchInfo { taken: true, target, is_conditional: false, is_indirect: true });
+                branch = Some(BranchInfo {
+                    taken: true,
+                    target,
+                    is_conditional: false,
+                    is_indirect: true,
+                });
             }
             MeekOp::LRslt { rd } => st.set_x(rd, 1),
             _ => {}
@@ -363,13 +367,7 @@ fn muldiv(op: MulDivOp, a: u64, b: u64) -> u64 {
                 (a / b) as u64
             }
         }
-        MulDivOp::Divu => {
-            if b == 0 {
-                u64::MAX
-            } else {
-                a / b
-            }
-        }
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
         MulDivOp::Rem => {
             let (a, b) = (a as i64, b as i64);
             if b == 0 {
@@ -401,8 +399,7 @@ fn muldiv(op: MulDivOp, a: u64, b: u64) -> u64 {
         }
         MulDivOp::Divuw => {
             let (a, b) = (a as u32, b as u32);
-            let v = if b == 0 { u32::MAX } else { a / b };
-            sext(v as u64, 32)
+            sext(a.checked_div(b).unwrap_or(u32::MAX) as u64, 32)
         }
         MulDivOp::Remw => {
             let (a, b) = (a as i32, b as i32);
@@ -478,7 +475,10 @@ mod tests {
         assert_eq!(muldiv(MulDivOp::Remu, 7, 0), 7);
         assert_eq!(muldiv(MulDivOp::Div, -7i64 as u64, 2), (-3i64) as u64);
         assert_eq!(muldiv(MulDivOp::Rem, -7i64 as u64, 2), (-1i64) as u64);
-        assert_eq!(muldiv(MulDivOp::Divw, i32::MIN as u32 as u64, -1i64 as u64), i32::MIN as i64 as u64);
+        assert_eq!(
+            muldiv(MulDivOp::Divw, i32::MIN as u32 as u64, -1i64 as u64),
+            i32::MIN as i64 as u64
+        );
         assert_eq!(muldiv(MulDivOp::Divw, 10, 0), u64::MAX);
         assert_eq!(muldiv(MulDivOp::Mulhu, u64::MAX, u64::MAX), u64::MAX - 1);
         assert_eq!(muldiv(MulDivOp::Mulh, -1i64 as u64, -1i64 as u64), 0);
@@ -534,10 +534,18 @@ mod tests {
         );
         let mut st = ArchState::new(0x1000);
         let b = step(&mut st, &mut mem).unwrap();
-        assert_eq!(b.branch, Some(BranchInfo { taken: true, target: 0x1008, is_conditional: true, is_indirect: false }));
+        assert_eq!(
+            b.branch,
+            Some(BranchInfo {
+                taken: true,
+                target: 0x1008,
+                is_conditional: true,
+                is_indirect: false
+            })
+        );
         assert_eq!(st.pc, 0x1008);
         let nb = step(&mut st, &mut mem).unwrap();
-        assert_eq!(nb.branch.unwrap().taken, false);
+        assert!(!nb.branch.unwrap().taken);
         assert_eq!(st.pc, 0x100C);
         assert_eq!(st.x(Reg::X1), 0); // skipped instruction never executed
     }
@@ -610,9 +618,24 @@ mod tests {
                 encode(&Inst::Lui { rd: Reg::X1, imm: 2 }), // x1 = 0x2000
                 encode(&Inst::Fld { rd: FReg::new(1), rs1: Reg::X1, offset: 0 }),
                 encode(&Inst::Fld { rd: FReg::new(2), rs1: Reg::X1, offset: 8 }),
-                encode(&Inst::Fp { op: FpOp::FmulD, rd: FReg::new(3), rs1: FReg::new(1), rs2: FReg::new(2) }),
-                encode(&Inst::Fp { op: FpOp::FdivD, rd: FReg::new(4), rs1: FReg::new(1), rs2: FReg::new(2) }),
-                encode(&Inst::FpCmp { op: FpCmpOp::FltD, rd: Reg::X2, rs1: FReg::new(1), rs2: FReg::new(2) }),
+                encode(&Inst::Fp {
+                    op: FpOp::FmulD,
+                    rd: FReg::new(3),
+                    rs1: FReg::new(1),
+                    rs2: FReg::new(2),
+                }),
+                encode(&Inst::Fp {
+                    op: FpOp::FdivD,
+                    rd: FReg::new(4),
+                    rs1: FReg::new(1),
+                    rs2: FReg::new(2),
+                }),
+                encode(&Inst::FpCmp {
+                    op: FpCmpOp::FltD,
+                    rd: Reg::X2,
+                    rs1: FReg::new(1),
+                    rs2: FReg::new(2),
+                }),
                 encode(&Inst::FcvtLD { rd: Reg::X3, rs1: FReg::new(3) }),
             ],
         );
@@ -647,10 +670,7 @@ mod tests {
         let mut mem = SparseMemory::new();
         mem.write(0x1000, 4, 0);
         let mut st = ArchState::new(0x1000);
-        assert_eq!(
-            step(&mut st, &mut mem),
-            Err(Trap::IllegalInstruction { pc: 0x1000, word: 0 })
-        );
+        assert_eq!(step(&mut st, &mut mem), Err(Trap::IllegalInstruction { pc: 0x1000, word: 0 }));
     }
 
     #[test]
@@ -669,7 +689,13 @@ mod tests {
         mem.write(0x100, 8, 0x1122_3344_5566_7788);
         let mut st = ArchState::new(0);
         st.set_x(Reg::X1, 0x103); // misaligned base for a word load
-        execute(&mut st, &mut mem, 0, 0, Inst::Load { op: LoadOp::Lw, rd: Reg::X2, rs1: Reg::X1, offset: 0 });
+        execute(
+            &mut st,
+            &mut mem,
+            0,
+            0,
+            Inst::Load { op: LoadOp::Lw, rd: Reg::X2, rs1: Reg::X1, offset: 0 },
+        );
         // masked down to 0x100
         assert_eq!(st.x(Reg::X2), 0x5566_7788);
     }

@@ -180,26 +180,109 @@ pub enum CsrOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Inst {
-    Lui { rd: Reg, imm: i32 },
-    Auipc { rd: Reg, imm: i32 },
-    Jal { rd: Reg, offset: i32 },
-    Jalr { rd: Reg, rs1: Reg, offset: i32 },
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i32 },
-    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i32 },
-    Store { op: StoreOp, rs1: Reg, rs2: Reg, offset: i32 },
-    AluImm { op: AluImmOp, rd: Reg, rs1: Reg, imm: i32 },
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
-    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
-    Fld { rd: FReg, rs1: Reg, offset: i32 },
-    Fsd { rs1: Reg, rs2: FReg, offset: i32 },
-    Fp { op: FpOp, rd: FReg, rs1: FReg, rs2: FReg },
-    FpCmp { op: FpCmpOp, rd: Reg, rs1: FReg, rs2: FReg },
-    FmaddD { rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg },
-    FcvtDL { rd: FReg, rs1: Reg },
-    FcvtLD { rd: Reg, rs1: FReg },
-    FmvXD { rd: Reg, rs1: FReg },
-    FmvDX { rd: FReg, rs1: Reg },
-    Csr { op: CsrOp, rd: Reg, rs1: Reg, csr: u16 },
+    Lui {
+        rd: Reg,
+        imm: i32,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i32,
+    },
+    Jal {
+        rd: Reg,
+        offset: i32,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    Load {
+        op: LoadOp,
+        rd: Reg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Store {
+        op: StoreOp,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
+    AluImm {
+        op: AluImmOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    MulDiv {
+        op: MulDivOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Fld {
+        rd: FReg,
+        rs1: Reg,
+        offset: i32,
+    },
+    Fsd {
+        rs1: Reg,
+        rs2: FReg,
+        offset: i32,
+    },
+    Fp {
+        op: FpOp,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
+    FpCmp {
+        op: FpCmpOp,
+        rd: Reg,
+        rs1: FReg,
+        rs2: FReg,
+    },
+    FmaddD {
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rs3: FReg,
+    },
+    FcvtDL {
+        rd: FReg,
+        rs1: Reg,
+    },
+    FcvtLD {
+        rd: Reg,
+        rs1: FReg,
+    },
+    FmvXD {
+        rd: Reg,
+        rs1: FReg,
+    },
+    FmvDX {
+        rd: FReg,
+        rs1: Reg,
+    },
+    Csr {
+        op: CsrOp,
+        rd: Reg,
+        rs1: Reg,
+        csr: u16,
+    },
     Fence,
     Ecall,
     Ebreak,
@@ -252,9 +335,11 @@ impl Inst {
                 _ => ExecClass::FpAdd,
             },
             Inst::FmaddD { .. } => ExecClass::FpMul,
-            Inst::FpCmp { .. } | Inst::FcvtDL { .. } | Inst::FcvtLD { .. } | Inst::FmvXD { .. } | Inst::FmvDX { .. } => {
-                ExecClass::FpAdd
-            }
+            Inst::FpCmp { .. }
+            | Inst::FcvtDL { .. }
+            | Inst::FcvtLD { .. }
+            | Inst::FmvXD { .. }
+            | Inst::FmvDX { .. } => ExecClass::FpAdd,
             Inst::Csr { .. } => ExecClass::Csr,
             Inst::Fence | Inst::Ecall | Inst::Ebreak => ExecClass::System,
             Inst::Meek(_) => ExecClass::Meek,
@@ -316,7 +401,9 @@ impl Inst {
     /// Floating-point source registers (up to three).
     pub fn fp_srcs(&self) -> [Option<FReg>; 3] {
         match *self {
-            Inst::Fp { rs1, rs2, .. } | Inst::FpCmp { rs1, rs2, .. } => [Some(rs1), Some(rs2), None],
+            Inst::Fp { rs1, rs2, .. } | Inst::FpCmp { rs1, rs2, .. } => {
+                [Some(rs1), Some(rs2), None]
+            }
             Inst::FmaddD { rs1, rs2, rs3, .. } => [Some(rs1), Some(rs2), Some(rs3)],
             Inst::Fsd { rs2, .. } => [Some(rs2), None, None],
             Inst::FcvtLD { rs1, .. } | Inst::FmvXD { rs1, .. } => [Some(rs1), None, None],
@@ -349,7 +436,8 @@ mod tests {
         assert_eq!(div.class(), ExecClass::IntDiv);
         let mul = Inst::MulDiv { op: MulDivOp::Mulw, rd: Reg::X1, rs1: Reg::X2, rs2: Reg::X3 };
         assert_eq!(mul.class(), ExecClass::IntMul);
-        let fdiv = Inst::Fp { op: FpOp::FdivD, rd: FReg::new(1), rs1: FReg::new(2), rs2: FReg::new(3) };
+        let fdiv =
+            Inst::Fp { op: FpOp::FdivD, rd: FReg::new(1), rs1: FReg::new(2), rs2: FReg::new(3) };
         assert_eq!(fdiv.class(), ExecClass::FpDiv);
         let ld = Inst::Load { op: LoadOp::Ld, rd: Reg::X1, rs1: Reg::X2, offset: 0 };
         assert_eq!(ld.class(), ExecClass::Load);

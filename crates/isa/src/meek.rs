@@ -71,10 +71,7 @@ impl MeekOp {
     /// `l.mode` can cause erroneous execution from unintended memory
     /// accesses, so all three are privileged and reached via OS syscall.
     pub fn is_privileged(self) -> bool {
-        matches!(
-            self,
-            MeekOp::BHook { .. } | MeekOp::BCheck { .. } | MeekOp::LMode { .. }
-        )
+        matches!(self, MeekOp::BHook { .. } | MeekOp::BCheck { .. } | MeekOp::LMode { .. })
     }
 
     /// Mnemonic string, e.g. `"b.hook"`.
@@ -159,10 +156,7 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(
-            MeekOp::BHook { rs1: Reg::X10, rs2: Reg::X11 }.to_string(),
-            "b.hook a0, a1"
-        );
+        assert_eq!(MeekOp::BHook { rs1: Reg::X10, rs2: Reg::X11 }.to_string(), "b.hook a0, a1");
         assert_eq!(MeekOp::LRslt { rd: Reg::X10 }.to_string(), "l.rslt a0");
     }
 

@@ -10,10 +10,38 @@ use std::fmt;
 #[repr(u8)]
 #[allow(missing_docs)]
 pub enum Reg {
-    X0 = 0, X1, X2, X3, X4, X5, X6, X7,
-    X8, X9, X10, X11, X12, X13, X14, X15,
-    X16, X17, X18, X19, X20, X21, X22, X23,
-    X24, X25, X26, X27, X28, X29, X30, X31,
+    X0 = 0,
+    X1,
+    X2,
+    X3,
+    X4,
+    X5,
+    X6,
+    X7,
+    X8,
+    X9,
+    X10,
+    X11,
+    X12,
+    X13,
+    X14,
+    X15,
+    X16,
+    X17,
+    X18,
+    X19,
+    X20,
+    X21,
+    X22,
+    X23,
+    X24,
+    X25,
+    X26,
+    X27,
+    X28,
+    X29,
+    X30,
+    X31,
 }
 
 impl Reg {
@@ -31,14 +59,38 @@ impl Reg {
     const fn from_index_const(i: u8) -> Reg {
         // Safety note avoided: plain match keeps this const-friendly and safe.
         match i {
-            0 => Reg::X0, 1 => Reg::X1, 2 => Reg::X2, 3 => Reg::X3,
-            4 => Reg::X4, 5 => Reg::X5, 6 => Reg::X6, 7 => Reg::X7,
-            8 => Reg::X8, 9 => Reg::X9, 10 => Reg::X10, 11 => Reg::X11,
-            12 => Reg::X12, 13 => Reg::X13, 14 => Reg::X14, 15 => Reg::X15,
-            16 => Reg::X16, 17 => Reg::X17, 18 => Reg::X18, 19 => Reg::X19,
-            20 => Reg::X20, 21 => Reg::X21, 22 => Reg::X22, 23 => Reg::X23,
-            24 => Reg::X24, 25 => Reg::X25, 26 => Reg::X26, 27 => Reg::X27,
-            28 => Reg::X28, 29 => Reg::X29, 30 => Reg::X30, _ => Reg::X31,
+            0 => Reg::X0,
+            1 => Reg::X1,
+            2 => Reg::X2,
+            3 => Reg::X3,
+            4 => Reg::X4,
+            5 => Reg::X5,
+            6 => Reg::X6,
+            7 => Reg::X7,
+            8 => Reg::X8,
+            9 => Reg::X9,
+            10 => Reg::X10,
+            11 => Reg::X11,
+            12 => Reg::X12,
+            13 => Reg::X13,
+            14 => Reg::X14,
+            15 => Reg::X15,
+            16 => Reg::X16,
+            17 => Reg::X17,
+            18 => Reg::X18,
+            19 => Reg::X19,
+            20 => Reg::X20,
+            21 => Reg::X21,
+            22 => Reg::X22,
+            23 => Reg::X23,
+            24 => Reg::X24,
+            25 => Reg::X25,
+            26 => Reg::X26,
+            27 => Reg::X27,
+            28 => Reg::X28,
+            29 => Reg::X29,
+            30 => Reg::X30,
+            _ => Reg::X31,
         }
     }
 
@@ -62,9 +114,9 @@ impl Reg {
     /// The ABI name (`zero`, `ra`, `sp`, …) used by the disassembler.
     pub fn abi_name(self) -> &'static str {
         const NAMES: [&str; 32] = [
-            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1",
-            "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3", "s4",
-            "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
         ];
         NAMES[self.index() as usize]
     }

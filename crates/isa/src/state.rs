@@ -113,12 +113,20 @@ impl RegCheckpoint {
         }
         for i in 0..32 {
             if self.x[i] != other.x[i] {
-                return Some(CheckpointMismatch::X { index: i as u8, expected: self.x[i], actual: other.x[i] });
+                return Some(CheckpointMismatch::X {
+                    index: i as u8,
+                    expected: self.x[i],
+                    actual: other.x[i],
+                });
             }
         }
         for i in 0..32 {
             if self.f[i] != other.f[i] {
-                return Some(CheckpointMismatch::F { index: i as u8, expected: self.f[i], actual: other.f[i] });
+                return Some(CheckpointMismatch::F {
+                    index: i as u8,
+                    expected: self.f[i],
+                    actual: other.f[i],
+                });
             }
         }
         None

@@ -1,7 +1,9 @@
 //! Property tests: encode/decode roundtrip over the full instruction
 //! space, plus executor invariants.
 
-use meek_isa::inst::{AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use meek_isa::inst::{
+    AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp,
+};
 use meek_isa::meek::MeekOp;
 use meek_isa::{decode, encode, exec, ArchState, FReg, Reg, SparseMemory};
 use proptest::prelude::*;
@@ -42,74 +44,135 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Inst::Lui { rd, imm }),
         (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm)| Inst::Auipc { rd, imm }),
         (any_reg(), j_imm()).prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (any_reg(), any_reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (any_reg(), any_reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (
             prop_oneof![
-                Just(BranchOp::Beq), Just(BranchOp::Bne), Just(BranchOp::Blt),
-                Just(BranchOp::Bge), Just(BranchOp::Bltu), Just(BranchOp::Bgeu)
+                Just(BranchOp::Beq),
+                Just(BranchOp::Bne),
+                Just(BranchOp::Blt),
+                Just(BranchOp::Bge),
+                Just(BranchOp::Bltu),
+                Just(BranchOp::Bgeu)
             ],
-            any_reg(), any_reg(), b_imm()
+            any_reg(),
+            any_reg(),
+            b_imm()
         )
             .prop_map(|(op, rs1, rs2, offset)| Inst::Branch { op, rs1, rs2, offset }),
         (
             prop_oneof![
-                Just(LoadOp::Lb), Just(LoadOp::Lh), Just(LoadOp::Lw), Just(LoadOp::Ld),
-                Just(LoadOp::Lbu), Just(LoadOp::Lhu), Just(LoadOp::Lwu)
+                Just(LoadOp::Lb),
+                Just(LoadOp::Lh),
+                Just(LoadOp::Lw),
+                Just(LoadOp::Ld),
+                Just(LoadOp::Lbu),
+                Just(LoadOp::Lhu),
+                Just(LoadOp::Lwu)
             ],
-            any_reg(), any_reg(), i_imm()
+            any_reg(),
+            any_reg(),
+            i_imm()
         )
             .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
         (
             prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw), Just(StoreOp::Sd)],
-            any_reg(), any_reg(), i_imm()
+            any_reg(),
+            any_reg(),
+            i_imm()
         )
             .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
         (
             prop_oneof![
-                Just(AluImmOp::Addi), Just(AluImmOp::Slti), Just(AluImmOp::Sltiu),
-                Just(AluImmOp::Xori), Just(AluImmOp::Ori), Just(AluImmOp::Andi),
+                Just(AluImmOp::Addi),
+                Just(AluImmOp::Slti),
+                Just(AluImmOp::Sltiu),
+                Just(AluImmOp::Xori),
+                Just(AluImmOp::Ori),
+                Just(AluImmOp::Andi),
                 Just(AluImmOp::Addiw)
             ],
-            any_reg(), any_reg(), i_imm()
+            any_reg(),
+            any_reg(),
+            i_imm()
         )
             .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
         (
             prop_oneof![Just(AluImmOp::Slli), Just(AluImmOp::Srli), Just(AluImmOp::Srai)],
-            any_reg(), any_reg(), 0i32..64
+            any_reg(),
+            any_reg(),
+            0i32..64
         )
             .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
         (
             prop_oneof![Just(AluImmOp::Slliw), Just(AluImmOp::Srliw), Just(AluImmOp::Sraiw)],
-            any_reg(), any_reg(), 0i32..32
+            any_reg(),
+            any_reg(),
+            0i32..32
         )
             .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
         any_alu(),
         (
             prop_oneof![
-                Just(MulDivOp::Mul), Just(MulDivOp::Mulh), Just(MulDivOp::Mulhsu),
-                Just(MulDivOp::Mulhu), Just(MulDivOp::Div), Just(MulDivOp::Divu),
-                Just(MulDivOp::Rem), Just(MulDivOp::Remu), Just(MulDivOp::Mulw),
-                Just(MulDivOp::Divw), Just(MulDivOp::Divuw), Just(MulDivOp::Remw),
+                Just(MulDivOp::Mul),
+                Just(MulDivOp::Mulh),
+                Just(MulDivOp::Mulhsu),
+                Just(MulDivOp::Mulhu),
+                Just(MulDivOp::Div),
+                Just(MulDivOp::Divu),
+                Just(MulDivOp::Rem),
+                Just(MulDivOp::Remu),
+                Just(MulDivOp::Mulw),
+                Just(MulDivOp::Divw),
+                Just(MulDivOp::Divuw),
+                Just(MulDivOp::Remw),
                 Just(MulDivOp::Remuw)
             ],
-            any_reg(), any_reg(), any_reg()
+            any_reg(),
+            any_reg(),
+            any_reg()
         )
             .prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv { op, rd, rs1, rs2 }),
-        (any_freg(), any_reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Fld { rd, rs1, offset }),
-        (any_reg(), any_freg(), i_imm()).prop_map(|(rs1, rs2, offset)| Inst::Fsd { rs1, rs2, offset }),
+        (any_freg(), any_reg(), i_imm()).prop_map(|(rd, rs1, offset)| Inst::Fld {
+            rd,
+            rs1,
+            offset
+        }),
+        (any_reg(), any_freg(), i_imm()).prop_map(|(rs1, rs2, offset)| Inst::Fsd {
+            rs1,
+            rs2,
+            offset
+        }),
         (
             prop_oneof![
-                Just(FpOp::FaddD), Just(FpOp::FsubD), Just(FpOp::FmulD), Just(FpOp::FdivD),
-                Just(FpOp::FsgnjD), Just(FpOp::FminD), Just(FpOp::FmaxD)
+                Just(FpOp::FaddD),
+                Just(FpOp::FsubD),
+                Just(FpOp::FmulD),
+                Just(FpOp::FdivD),
+                Just(FpOp::FsgnjD),
+                Just(FpOp::FminD),
+                Just(FpOp::FmaxD)
             ],
-            any_freg(), any_freg(), any_freg()
+            any_freg(),
+            any_freg(),
+            any_freg()
         )
             .prop_map(|(op, rd, rs1, rs2)| Inst::Fp { op, rd, rs1, rs2 }),
         // FSQRT canonically carries rs2 == rs1.
-        (any_freg(), any_freg()).prop_map(|(rd, rs1)| Inst::Fp { op: FpOp::FsqrtD, rd, rs1, rs2: rs1 }),
+        (any_freg(), any_freg()).prop_map(|(rd, rs1)| Inst::Fp {
+            op: FpOp::FsqrtD,
+            rd,
+            rs1,
+            rs2: rs1
+        }),
         (
             prop_oneof![Just(FpCmpOp::FeqD), Just(FpCmpOp::FltD), Just(FpCmpOp::FleD)],
-            any_reg(), any_freg(), any_freg()
+            any_reg(),
+            any_freg(),
+            any_freg()
         )
             .prop_map(|(op, rd, rs1, rs2)| Inst::FpCmp { op, rd, rs1, rs2 }),
         (any_freg(), any_freg(), any_freg(), any_freg())
@@ -120,10 +183,16 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (any_freg(), any_reg()).prop_map(|(rd, rs1)| Inst::FmvDX { rd, rs1 }),
         (
             prop_oneof![
-                Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc),
-                Just(CsrOp::Rwi), Just(CsrOp::Rsi), Just(CsrOp::Rci)
+                Just(CsrOp::Rw),
+                Just(CsrOp::Rs),
+                Just(CsrOp::Rc),
+                Just(CsrOp::Rwi),
+                Just(CsrOp::Rsi),
+                Just(CsrOp::Rci)
             ],
-            any_reg(), any_reg(), 0u16..4096
+            any_reg(),
+            any_reg(),
+            0u16..4096
         )
             .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
         Just(Inst::Fence),

@@ -203,14 +203,12 @@ impl LittleCore {
         if now < self.busy_until {
             return None;
         }
-        let Some(seg) = self.assignment else {
-            return None;
-        };
+        let seg = self.assignment?;
         match &mut self.phase {
             Phase::WaitSrcp => {
                 // SRCP of segment n is checkpoint n-1 (carried over when
                 // this core verified the previous segment).
-                while self.lsl.peek_status().map_or(false, |r| r.seg < seg - 1) {
+                while self.lsl.peek_status().is_some_and(|r| r.seg < seg - 1) {
                     self.lsl.pop_status();
                     release_status_chunks(&mut self.lsl, self.chunks_per_cp);
                 }
@@ -263,7 +261,7 @@ impl LittleCore {
         if self.ercp.as_ref().map(|r| r.seg) == Some(seg) {
             return true;
         }
-        while self.lsl.peek_status().map_or(false, |r| r.seg < seg) {
+        while self.lsl.peek_status().is_some_and(|r| r.seg < seg) {
             self.lsl.pop_status();
             release_status_chunks(&mut self.lsl, self.chunks_per_cp);
         }
@@ -295,7 +293,7 @@ impl LittleCore {
         // Drop stale records from segments this core abandoned after a
         // detection (they may still have been in flight through the
         // fabric when the segment finished).
-        while self.lsl.peek_runtime().map_or(false, |r| r.seg() < seg) {
+        while self.lsl.peek_runtime().is_some_and(|r| r.seg() < seg) {
             self.lsl.pop_runtime();
         }
         // Without the ERCP we may only replay while the next run-time
@@ -458,7 +456,7 @@ impl LittleCore {
             }
             Inst::Csr { op, rd, rs1: _, csr } => {
                 // Non-repeatable: take the logged value (paper footnote 1).
-                while self.lsl.peek_runtime().map_or(false, |r| r.seg() < seg) {
+                while self.lsl.peek_runtime().is_some_and(|r| r.seg() < seg) {
                     self.lsl.pop_runtime();
                 }
                 match self.lsl.pop_runtime() {
@@ -489,13 +487,13 @@ impl LittleCore {
                 let before = self.arch.pc;
                 let r = exec::execute(&mut self.arch, &mut no_mem, pc, raw, inst);
                 debug_assert_eq!(before, pc);
-                Ok(r.branch.map_or(false, |b| b.taken))
+                Ok(r.branch.is_some_and(|b| b.taken))
             }
         }
     }
 
     fn next_mem_record(&mut self, seg: u32) -> Result<(u64, u8, u64, bool), MismatchKind> {
-        while self.lsl.peek_runtime().map_or(false, |r| r.seg() < seg) {
+        while self.lsl.peek_runtime().is_some_and(|r| r.seg() < seg) {
             self.lsl.pop_runtime();
         }
         match self.lsl.pop_runtime() {
@@ -606,7 +604,7 @@ impl LittleCore {
             }
             _ => {}
         }
-        if ret.branch.map_or(false, |b| b.taken) {
+        if ret.branch.is_some_and(|b| b.taken) {
             extra += self.cfg.branch_penalty;
         }
         self.stats.busy_cycles += 1 + extra;
@@ -825,7 +823,11 @@ mod tests {
         let (ev, _) = run_to_event(&mut core, &imem, 10_000);
         assert!(matches!(
             ev,
-            CheckerEvent::SegmentVerified { pass: false, mismatch: Some(MismatchKind::StoreAddr), .. }
+            CheckerEvent::SegmentVerified {
+                pass: false,
+                mismatch: Some(MismatchKind::StoreAddr),
+                ..
+            }
         ));
     }
 
@@ -882,7 +884,8 @@ mod tests {
     #[test]
     fn div_heavy_replay_is_slower_on_default_rocket() {
         use meek_isa::inst::MulDivOp;
-        let mut prog = vec![Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 1000 }];
+        let mut prog =
+            vec![Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 1000 }];
         for _ in 0..32 {
             prog.push(Inst::MulDiv { op: MulDivOp::Div, rd: Reg::X2, rs1: Reg::X1, rs2: Reg::X1 });
         }
@@ -927,7 +930,9 @@ mod tests {
         deliver_ercp(&mut core, 2, 0, ercp);
         let mut done = false;
         for now in (t + 1)..(t + 1000) {
-            if let Some(CheckerEvent::SegmentVerified { seg: 2, pass, .. }) = core.tick_check(now, &imem) {
+            if let Some(CheckerEvent::SegmentVerified { seg: 2, pass, .. }) =
+                core.tick_check(now, &imem)
+            {
                 assert!(pass);
                 done = true;
                 break;

@@ -200,7 +200,11 @@ mod tests {
         Packet {
             seq,
             dest: DestMask::single(0),
-            payload: Payload::RcpEnd { seg, inst_count, cp: Box::new(RegCheckpoint::zeroed(0x1000)) },
+            payload: Payload::RcpEnd {
+                seg,
+                inst_count,
+                cp: Box::new(RegCheckpoint::zeroed(0x1000)),
+            },
             created_at: 7,
         }
     }
@@ -224,7 +228,8 @@ mod tests {
 
     #[test]
     fn capacity_enforced() {
-        let mut lsl = LoadStoreLog::new(LslConfig { runtime_capacity: 2, status_capacity_chunks: 1 });
+        let mut lsl =
+            LoadStoreLog::new(LslConfig { runtime_capacity: 2, status_capacity_chunks: 1 });
         assert!(lsl.can_accept(PacketKind::Runtime));
         lsl.deliver(mem_packet(0, 0, 0, false), 0);
         lsl.deliver(mem_packet(1, 8, 0, false), 0);

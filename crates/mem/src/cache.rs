@@ -54,7 +54,10 @@ pub(crate) enum Probe {
     /// Miss; the access must go to the next level. Contains the cycle at
     /// which an MSHR became available (≥ the request time when the MSHR
     /// file was full, or when a same-line miss will be resolved).
-    Miss { issue_at: u64, merged: bool },
+    Miss {
+        issue_at: u64,
+        merged: bool,
+    },
 }
 
 /// A timing-only set-associative cache.
@@ -185,9 +188,7 @@ impl Cache {
         let la = self.line_addr(addr);
         let set = self.set_of(la);
         let w = self.cfg.ways as usize;
-        self.lines[set * w..(set + 1) * w]
-            .iter()
-            .any(|l| l.valid && l.tag == la)
+        self.lines[set * w..(set + 1) * w].iter().any(|l| l.valid && l.tag == la)
     }
 }
 
@@ -251,7 +252,8 @@ mod tests {
 
     #[test]
     fn mshr_full_delays_issue() {
-        let mut c = Cache::new(CacheConfig { size: 256, ways: 2, line: 64, mshrs: 1, hit_latency: 1 });
+        let mut c =
+            Cache::new(CacheConfig { size: 256, ways: 2, line: 64, mshrs: 1, hit_latency: 1 });
         c.probe(0x000, 0);
         c.fill(0x000, 100);
         // Second miss while the only MSHR is busy: issue waits until 100.

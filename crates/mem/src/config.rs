@@ -62,7 +62,13 @@ impl HierarchyConfig {
             l1i: CacheConfig { size: 32 * 1024, ways: 4, line: 64, mshrs: 8, hit_latency: 1 },
             l1d: CacheConfig { size: 32 * 1024, ways: 4, line: 64, mshrs: 8, hit_latency: 4 },
             l2: CacheConfig { size: 512 * 1024, ways: 8, line: 64, mshrs: 12, hit_latency: 14 },
-            llc: CacheConfig { size: 4 * 1024 * 1024, ways: 8, line: 64, mshrs: 8, hit_latency: 42 },
+            llc: CacheConfig {
+                size: 4 * 1024 * 1024,
+                ways: 8,
+                line: 64,
+                mshrs: 8,
+                hit_latency: 42,
+            },
             dram_latency: 220,
             dram_max_requests: 32,
             dram_issue_interval: 4,
@@ -78,7 +84,13 @@ impl HierarchyConfig {
             l1i: CacheConfig { size: 4 * 1024, ways: 2, line: 64, mshrs: 2, hit_latency: 1 },
             l1d: CacheConfig { size: 4 * 1024, ways: 2, line: 64, mshrs: 2, hit_latency: 1 },
             l2: CacheConfig { size: 512 * 1024, ways: 8, line: 64, mshrs: 12, hit_latency: 7 },
-            llc: CacheConfig { size: 4 * 1024 * 1024, ways: 8, line: 64, mshrs: 8, hit_latency: 21 },
+            llc: CacheConfig {
+                size: 4 * 1024 * 1024,
+                ways: 8,
+                line: 64,
+                mshrs: 8,
+                hit_latency: 21,
+            },
             dram_latency: 110,
             dram_max_requests: 32,
             dram_issue_interval: 2,

@@ -1,0 +1,283 @@
+//! Minimal, dependency-free stand-in for the `rand` crate (0.8 API
+//! subset), vendored so the workspace builds fully offline.
+//!
+//! Implements exactly the surface this repository uses: `SmallRng`
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] extension
+//! methods `gen`, `gen_range`, and `gen_bool`. The generator is
+//! xoshiro256++ (the same family the real `SmallRng` uses on 64-bit
+//! targets) seeded through SplitMix64, so streams are high-quality and
+//! deterministic — but they are **not** bit-compatible with the real
+//! crate, which is fine here: nothing in the repo depends on the
+//! specific stream, only on determinism per seed.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait StandardSample {
+    /// Draws one uniformly-distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample uniformly.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                // The i128 widening makes the span exact for every 64-bit
+                // integer type; the 128-bit multiply maps 64 random bits
+                // onto [0, span) without modulo bias.
+                let span = (high as i128 - low as i128) as u64;
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (low as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformSample> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end)
+    }
+}
+
+impl<T: UniformSample + InclusiveEnd> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_between(rng, lo, hi.bump())
+    }
+}
+
+/// Helper for `..=` ranges: the exclusive bound one past `self`.
+pub trait InclusiveEnd {
+    /// `self + 1`, panicking at the type's maximum (a full-domain
+    /// inclusive range is not needed anywhere in this workspace).
+    fn bump(self) -> Self;
+}
+
+macro_rules! impl_inclusive_end {
+    ($($t:ty),*) => {$(
+        impl InclusiveEnd for $t {
+            #[inline]
+            fn bump(self) -> Self {
+                self.checked_add(1).expect("gen_range: inclusive range ends at type max")
+            }
+        }
+    )*};
+}
+impl_inclusive_end!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing extension trait, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly-distributed value of type `T`.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic PRNG: xoshiro256++ seeded via
+    /// SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> SmallRng {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let a_next: u64 = a.gen();
+        assert_ne!(a_next, c.gen::<u64>());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i32 = rng.gen_range(-2048..2048);
+            assert!((-2048..2048).contains(&v));
+            let u: usize = rng.gen_range(0..6);
+            assert!(u < 6);
+            let w: u32 = rng.gen_range(0..64);
+            assert!(w < 64);
+            let i: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 6 values should appear: {seen:?}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..3_300).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn gen_bool_rejects_bad_p() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        rng.gen_bool(1.5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Shared, thread-safe cache of built workloads.
+//!
+//! Synthesising a [`Workload`] runs the full code generator — thousands
+//! of instructions of codegen plus working-set initialisation — so a
+//! fault-injection campaign that runs hundreds of simulations per
+//! benchmark must not rebuild the program for every fault. The cache
+//! builds each `(profile, seed)` pair exactly once, even under
+//! concurrent first access from many campaign worker threads, and hands
+//! out `Arc<Workload>` clones that share the underlying program image.
+
+use crate::codegen::Workload;
+use crate::profile::BenchmarkProfile;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+// The campaign engine moves built programs across threads; workloads
+// are plain data, and these assertions keep them that way.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+    assert_send_sync::<BenchmarkProfile>();
+};
+
+/// A build-once slot for one `(benchmark, seed)` pair.
+type Slot = Arc<OnceLock<Arc<Workload>>>;
+
+/// A thread-safe, build-once cache of synthesised workloads keyed by
+/// `(benchmark name, seed)`.
+#[derive(Default)]
+pub struct WorkloadCache {
+    // Two-level locking: the map lock is held only to find or insert the
+    // per-key cell, never during codegen, so distinct benchmarks build
+    // concurrently while duplicate requests for one benchmark block on
+    // its cell instead of building twice.
+    slots: Mutex<HashMap<(&'static str, u64), Slot>>,
+}
+
+impl WorkloadCache {
+    /// Creates an empty cache.
+    pub fn new() -> WorkloadCache {
+        WorkloadCache::default()
+    }
+
+    /// Returns the workload for `(profile, seed)`, building it on first
+    /// access. Concurrent callers for the same key build once and share.
+    pub fn get(&self, profile: &BenchmarkProfile, seed: u64) -> Arc<Workload> {
+        let cell = {
+            let mut slots = self.slots.lock().expect("workload cache poisoned");
+            Arc::clone(slots.entry((profile.name, seed)).or_default())
+        };
+        Arc::clone(cell.get_or_init(|| Arc::new(Workload::build(profile, seed))))
+    }
+
+    /// Number of distinct workloads built so far.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .expect("workload cache poisoned")
+            .values()
+            .filter(|c| c.get().is_some())
+            .count()
+    }
+
+    /// Whether nothing has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::parsec3;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn same_key_shares_one_build() {
+        let cache = WorkloadCache::new();
+        let p = &parsec3()[0];
+        let a = cache.get(p, 7);
+        let b = cache.get(p, 7);
+        assert!(Arc::ptr_eq(&a, &b), "same (profile, seed) must share");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_seeds_build_distinct_programs() {
+        let cache = WorkloadCache::new();
+        let p = &parsec3()[0];
+        let a = cache.get(p, 1);
+        let b = cache.get(p, 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_first_access_builds_once() {
+        let cache = Arc::new(WorkloadCache::new());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let profiles = parsec3();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = Arc::clone(&cache);
+                let hits = Arc::clone(&hits);
+                let p = &profiles[0];
+                s.spawn(move || {
+                    let wl = cache.get(p, 42);
+                    assert_eq!(wl.name, p.name);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+        assert_eq!(cache.len(), 1, "eight threads, one build");
+    }
+}

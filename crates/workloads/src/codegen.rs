@@ -281,8 +281,14 @@ impl<'p> Generator<'p> {
                     R_MASK
                 };
                 self.emit_xorshift();
-                self.emit(Class::Alu, Inst::Alu { op: AluOp::And, rd: R_TMP, rs1: R_XS, rs2: mask });
-                self.emit(Class::Alu, Inst::Alu { op: AluOp::Add, rd: R_RANDPTR, rs1: R_BASE, rs2: R_TMP });
+                self.emit(
+                    Class::Alu,
+                    Inst::Alu { op: AluOp::And, rd: R_TMP, rs1: R_XS, rs2: mask },
+                );
+                self.emit(
+                    Class::Alu,
+                    Inst::Alu { op: AluOp::Add, rd: R_RANDPTR, rs1: R_BASE, rs2: R_TMP },
+                );
             }
             R_RANDPTR
         } else {
@@ -290,10 +296,27 @@ impl<'p> Generator<'p> {
             if self.stream_imm >= 2040 {
                 self.stream_imm = 0;
                 // Advance and wrap the streaming pointer within the set.
-                self.emit(Class::Alu, Inst::AluImm { op: AluImmOp::Addi, rd: R_STREAMPTR, rs1: R_STREAMPTR, imm: 2040 });
-                self.emit(Class::Alu, Inst::Alu { op: AluOp::Sub, rd: R_TMP, rs1: R_STREAMPTR, rs2: R_BASE });
-                self.emit(Class::Alu, Inst::Alu { op: AluOp::And, rd: R_TMP, rs1: R_TMP, rs2: R_MASK });
-                self.emit(Class::Alu, Inst::Alu { op: AluOp::Add, rd: R_STREAMPTR, rs1: R_BASE, rs2: R_TMP });
+                self.emit(
+                    Class::Alu,
+                    Inst::AluImm {
+                        op: AluImmOp::Addi,
+                        rd: R_STREAMPTR,
+                        rs1: R_STREAMPTR,
+                        imm: 2040,
+                    },
+                );
+                self.emit(
+                    Class::Alu,
+                    Inst::Alu { op: AluOp::Sub, rd: R_TMP, rs1: R_STREAMPTR, rs2: R_BASE },
+                );
+                self.emit(
+                    Class::Alu,
+                    Inst::Alu { op: AluOp::And, rd: R_TMP, rs1: R_TMP, rs2: R_MASK },
+                );
+                self.emit(
+                    Class::Alu,
+                    Inst::Alu { op: AluOp::Add, rd: R_STREAMPTR, rs1: R_BASE, rs2: R_TMP },
+                );
             }
             R_STREAMPTR
         }
@@ -408,21 +431,34 @@ impl<'p> Generator<'p> {
         self.load_const(R_HOTMASK, hot_mask);
         let mid_mask = (self.mask.min(256 * 1024 - 1)) & !7;
         self.load_const(R_MIDMASK, mid_mask);
-        self.emit(Class::Alu, Inst::AluImm { op: AluImmOp::Addi, rd: R_DIVISOR, rs1: Reg::X0, imm: 3 });
-        self.emit(Class::Alu, Inst::Alu { op: AluOp::Add, rd: R_RANDPTR, rs1: R_BASE, rs2: Reg::X0 });
-        self.emit(Class::Alu, Inst::Alu { op: AluOp::Add, rd: R_STREAMPTR, rs1: R_BASE, rs2: Reg::X0 });
+        self.emit(
+            Class::Alu,
+            Inst::AluImm { op: AluImmOp::Addi, rd: R_DIVISOR, rs1: Reg::X0, imm: 3 },
+        );
+        self.emit(
+            Class::Alu,
+            Inst::Alu { op: AluOp::Add, rd: R_RANDPTR, rs1: R_BASE, rs2: Reg::X0 },
+        );
+        self.emit(
+            Class::Alu,
+            Inst::Alu { op: AluOp::Add, rd: R_STREAMPTR, rs1: R_BASE, rs2: Reg::X0 },
+        );
         // Loop counter: effectively unbounded; the run cap governs length.
         self.load_const(R_LOOP, 0x0FFF_FFFF);
         // FP constant pool + chain seeds.
         self.load_const(R_TMP, FP_CONST_BASE);
         for i in 0..6u8 {
-            self.emit(Class::Load, Inst::Fld { rd: FReg::new(i), rs1: R_TMP, offset: (i as i32) * 8 });
+            self.emit(
+                Class::Load,
+                Inst::Fld { rd: FReg::new(i), rs1: R_TMP, offset: (i as i32) * 8 },
+            );
         }
         // Seed integer chain registers from the xorshift state.
         for (i, &r) in CHAIN.iter().enumerate() {
-            self.emit(Class::Alu, Inst::AluImm {
-                op: AluImmOp::Addi, rd: r, rs1: R_XS, imm: (i as i32 + 1) * 97,
-            });
+            self.emit(
+                Class::Alu,
+                Inst::AluImm { op: AluImmOp::Addi, rd: r, rs1: R_XS, imm: (i as i32 + 1) * 97 },
+            );
         }
 
         // ---- Loop body (deficit-driven class selection) ----
@@ -455,7 +491,7 @@ impl<'p> Generator<'p> {
                 emitted_ecall = true;
             }
             // Periodically fold fresh entropy into the integer chain.
-            if self.prog.len() % 64 == 0 {
+            if self.prog.len().is_multiple_of(64) {
                 self.emit_xorshift();
                 let rd = self.chain();
                 self.emit(Class::Alu, Inst::Alu { op: AluOp::Add, rd, rs1: rd, rs2: R_XS });
@@ -469,7 +505,10 @@ impl<'p> Generator<'p> {
 
         // ---- Loop control ----
         // counter -= 1; exit when zero (skip the back-jump); else jump back.
-        self.emit(Class::Alu, Inst::AluImm { op: AluImmOp::Addi, rd: R_LOOP, rs1: R_LOOP, imm: -1 });
+        self.emit(
+            Class::Alu,
+            Inst::AluImm { op: AluImmOp::Addi, rd: R_LOOP, rs1: R_LOOP, imm: -1 },
+        );
         self.prog.push(Inst::Branch { op: BranchOp::Beq, rs1: R_LOOP, rs2: Reg::X0, offset: 8 });
         let back = (body_start as i64 - self.prog.len() as i64) * 4;
         assert!(back >= -(1 << 20), "loop body too large for a J-type back-jump ({back})");

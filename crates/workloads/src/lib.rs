@@ -31,8 +31,10 @@
 //! assert!(divides > 100, "swaptions is divide-heavy");
 //! ```
 
+pub mod cache;
 pub mod codegen;
 pub mod profile;
 
+pub use cache::WorkloadCache;
 pub use codegen::{Workload, WorkloadRun};
 pub use profile::{parsec3, spec_int_2006, BenchmarkProfile, InstMix, Suite};

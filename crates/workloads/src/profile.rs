@@ -113,76 +113,136 @@ pub fn spec_int_2006() -> Vec<BenchmarkProfile> {
     use Suite::SpecInt2006 as S;
     vec![
         BenchmarkProfile {
-            name: "perlbench", suite: S,
+            name: "perlbench",
+            suite: S,
             mix: mix!(l 0.24, s 0.11, b 0.21, mul 0.005, div 0.001),
-            branch_predictability: 0.94, working_set: 8 * MB, random_access: 0.50,
-            code_footprint: 12_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.94,
+            working_set: 8 * MB,
+            random_access: 0.50,
+            code_footprint: 12_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "bzip2", suite: S,
+            name: "bzip2",
+            suite: S,
             mix: mix!(l 0.26, s 0.09, b 0.15, mul 0.01),
-            branch_predictability: 0.89, working_set: 4 * MB, random_access: 0.35,
-            code_footprint: 3_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.89,
+            working_set: 4 * MB,
+            random_access: 0.35,
+            code_footprint: 3_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "gcc", suite: S,
+            name: "gcc",
+            suite: S,
             mix: mix!(l 0.25, s 0.13, b 0.20, mul 0.004),
-            branch_predictability: 0.91, working_set: 16 * MB, random_access: 0.50,
-            code_footprint: 16_000, syscall_per_10k: 0, nzdc_compilable: false,
+            branch_predictability: 0.91,
+            working_set: 16 * MB,
+            random_access: 0.50,
+            code_footprint: 16_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: false,
         },
         BenchmarkProfile {
-            name: "mcf", suite: S,
+            name: "mcf",
+            suite: S,
             mix: mix!(l 0.31, s 0.09, b 0.19),
-            branch_predictability: 0.90, working_set: 64 * MB, random_access: 0.85,
-            code_footprint: 1_500, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.90,
+            working_set: 64 * MB,
+            random_access: 0.85,
+            code_footprint: 1_500,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "gobmk", suite: S,
+            name: "gobmk",
+            suite: S,
             mix: mix!(l 0.20, s 0.14, b 0.20, mul 0.006),
-            branch_predictability: 0.86, working_set: 2 * MB, random_access: 0.40,
-            code_footprint: 10_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.86,
+            working_set: 2 * MB,
+            random_access: 0.40,
+            code_footprint: 10_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "hmmer", suite: S,
+            name: "hmmer",
+            suite: S,
             mix: mix!(l 0.28, s 0.16, b 0.08, mul 0.01),
-            branch_predictability: 0.97, working_set: MB, random_access: 0.10,
-            code_footprint: 2_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.97,
+            working_set: MB,
+            random_access: 0.10,
+            code_footprint: 2_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "sjeng", suite: S,
+            name: "sjeng",
+            suite: S,
             mix: mix!(l 0.21, s 0.08, b 0.21, mul 0.005),
-            branch_predictability: 0.88, working_set: 2 * MB, random_access: 0.45,
-            code_footprint: 6_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.88,
+            working_set: 2 * MB,
+            random_access: 0.45,
+            code_footprint: 6_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "libquantum", suite: S,
+            name: "libquantum",
+            suite: S,
             mix: mix!(l 0.25, s 0.05, b 0.27, mul 0.01),
-            branch_predictability: 0.99, working_set: 32 * MB, random_access: 0.02,
-            code_footprint: 800, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.99,
+            working_set: 32 * MB,
+            random_access: 0.02,
+            code_footprint: 800,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "h264ref", suite: S,
+            name: "h264ref",
+            suite: S,
             mix: mix!(l 0.35, s 0.15, b 0.08, mul 0.02),
-            branch_predictability: 0.95, working_set: MB, random_access: 0.20,
-            code_footprint: 6_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.95,
+            working_set: MB,
+            random_access: 0.20,
+            code_footprint: 6_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "omnetpp", suite: S,
+            name: "omnetpp",
+            suite: S,
             mix: mix!(l 0.30, s 0.17, b 0.20),
-            branch_predictability: 0.92, working_set: 32 * MB, random_access: 0.80,
-            code_footprint: 10_000, syscall_per_10k: 0, nzdc_compilable: false,
+            branch_predictability: 0.92,
+            working_set: 32 * MB,
+            random_access: 0.80,
+            code_footprint: 10_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: false,
         },
         BenchmarkProfile {
-            name: "astar", suite: S,
+            name: "astar",
+            suite: S,
             mix: mix!(l 0.27, s 0.05, b 0.16),
-            branch_predictability: 0.88, working_set: 16 * MB, random_access: 0.70,
-            code_footprint: 2_500, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.88,
+            working_set: 16 * MB,
+            random_access: 0.70,
+            code_footprint: 2_500,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "xalancbmk", suite: S,
+            name: "xalancbmk",
+            suite: S,
             mix: mix!(l 0.30, s 0.09, b 0.25),
-            branch_predictability: 0.93, working_set: 16 * MB, random_access: 0.60,
-            code_footprint: 14_000, syscall_per_10k: 0, nzdc_compilable: false,
+            branch_predictability: 0.93,
+            working_set: 16 * MB,
+            random_access: 0.60,
+            code_footprint: 14_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: false,
         },
     ]
 }
@@ -192,54 +252,94 @@ pub fn parsec3() -> Vec<BenchmarkProfile> {
     use Suite::Parsec3 as P;
     vec![
         BenchmarkProfile {
-            name: "blackscholes", suite: P,
+            name: "blackscholes",
+            suite: P,
             mix: mix!(l 0.25, s 0.08, b 0.08, fa 0.18, fm 0.14, fd 0.010),
-            branch_predictability: 0.97, working_set: 2 * MB, random_access: 0.10,
-            code_footprint: 1_200, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.97,
+            working_set: 2 * MB,
+            random_access: 0.10,
+            code_footprint: 1_200,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "bodytrack", suite: P,
+            name: "bodytrack",
+            suite: P,
             mix: mix!(l 0.26, s 0.09, b 0.13, fa 0.10, fm 0.08, fd 0.004),
-            branch_predictability: 0.93, working_set: 8 * MB, random_access: 0.35,
-            code_footprint: 5_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.93,
+            working_set: 8 * MB,
+            random_access: 0.35,
+            code_footprint: 5_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "dedup", suite: P,
+            name: "dedup",
+            suite: P,
             mix: mix!(l 0.27, s 0.15, b 0.16, mul 0.02),
-            branch_predictability: 0.92, working_set: 16 * MB, random_access: 0.50,
-            code_footprint: 4_000, syscall_per_10k: 2, nzdc_compilable: true,
+            branch_predictability: 0.92,
+            working_set: 16 * MB,
+            random_access: 0.50,
+            code_footprint: 4_000,
+            syscall_per_10k: 2,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "ferret", suite: P,
+            name: "ferret",
+            suite: P,
             mix: mix!(l 0.29, s 0.10, b 0.14, fa 0.06, fm 0.05),
-            branch_predictability: 0.92, working_set: 24 * MB, random_access: 0.55,
-            code_footprint: 6_000, syscall_per_10k: 1, nzdc_compilable: true,
+            branch_predictability: 0.92,
+            working_set: 24 * MB,
+            random_access: 0.55,
+            code_footprint: 6_000,
+            syscall_per_10k: 1,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "fluidanimate", suite: P,
+            name: "fluidanimate",
+            suite: P,
             mix: mix!(l 0.27, s 0.10, b 0.10, fa 0.14, fm 0.11, fd 0.006),
-            branch_predictability: 0.94, working_set: 8 * MB, random_access: 0.30,
-            code_footprint: 3_000, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.94,
+            working_set: 8 * MB,
+            random_access: 0.30,
+            code_footprint: 3_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "streamcluster", suite: P,
+            name: "streamcluster",
+            suite: P,
             mix: mix!(l 0.33, s 0.04, b 0.12, fa 0.12, fm 0.10),
-            branch_predictability: 0.96, working_set: 16 * MB, random_access: 0.15,
-            code_footprint: 1_500, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.96,
+            working_set: 16 * MB,
+            random_access: 0.15,
+            code_footprint: 1_500,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
         BenchmarkProfile {
-            name: "freqmine", suite: P,
+            name: "freqmine",
+            suite: P,
             mix: mix!(l 0.30, s 0.12, b 0.18),
-            branch_predictability: 0.91, working_set: 16 * MB, random_access: 0.60,
-            code_footprint: 8_000, syscall_per_10k: 0, nzdc_compilable: false,
+            branch_predictability: 0.91,
+            working_set: 16 * MB,
+            random_access: 0.60,
+            code_footprint: 8_000,
+            syscall_per_10k: 0,
+            nzdc_compilable: false,
         },
         BenchmarkProfile {
-            name: "swaptions", suite: P,
+            name: "swaptions",
+            suite: P,
             // The paper's worst case for MEEK: frequent divisions, where
             // the Rocket divider is far weaker than BOOM's (§V-A).
             mix: mix!(l 0.22, s 0.08, b 0.10, mul 0.01, div 0.020, fa 0.13, fm 0.12, fd 0.030),
-            branch_predictability: 0.95, working_set: MB, random_access: 0.20,
-            code_footprint: 2_500, syscall_per_10k: 0, nzdc_compilable: true,
+            branch_predictability: 0.95,
+            working_set: MB,
+            random_access: 0.20,
+            code_footprint: 2_500,
+            syscall_per_10k: 0,
+            nzdc_compilable: true,
         },
     ]
 }

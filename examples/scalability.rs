@@ -27,10 +27,7 @@ fn main() {
         let mut sys = MeekSystem::new(MeekConfig::with_little_cores(n), &workload, insts);
         let report = sys.run_to_completion(200_000_000);
         let s = report.slowdown_vs(vanilla);
-        println!(
-            "{n:>6} {:>10} {:>10.3} {:>12}",
-            report.cycles, s, report.stalls.little_core
-        );
+        println!("{n:>6} {:>10} {:>10.3} {:>12}", report.cycles, s, report.stalls.little_core);
         if let Some(p) = prev {
             assert!(
                 s <= p * 1.10,

@@ -1,0 +1,24 @@
+//! Umbrella crate for the MEEK reproduction: re-exports every
+//! sub-crate under one roof so downstream users (and the repo's
+//! top-level `tests/` and `examples/`) can depend on a single package.
+//!
+//! The actual implementation lives in the `crates/` workspace:
+//!
+//! * [`isa`] — RV64 subset: decode/encode/execute, architectural state
+//! * [`mem`] — cache hierarchy, DRAM, parity
+//! * [`bigcore`] — OoO superscalar timing model (SonicBOOM-class)
+//! * [`littlecore`] — in-order checker core with the Load-Store Log
+//! * [`fabric`] — the F2 forwarding fabric and the AXI baseline
+//! * [`core`] — the assembled MEEK SoC (DEU, segments, OS model, faults)
+//! * [`workloads`] — SPECint 2006 / PARSEC 3 profile-driven codegen
+//! * [`baselines`] — EA-LockStep and Nzdc comparison points
+//! * [`area`] — Table III area model
+//! * [`campaign`] — sharded, deterministic fault-injection campaigns
+
+pub use meek_area as area;
+pub use meek_baselines as baselines;
+pub use meek_campaign as campaign;
+pub use meek_core as core;
+pub use meek_isa as isa;
+pub use meek_littlecore as littlecore;
+pub use meek_workloads as workloads;

@@ -63,11 +63,7 @@ fn campaign_has_high_coverage_and_sane_latencies() {
     let mut rng = SmallRng::seed_from_u64(0xCA4);
     sys.set_injector(FaultInjector::random_campaign(40, insts, &mut rng));
     let r = sys.run_to_completion(CAP);
-    assert!(
-        r.detections.len() >= 10,
-        "campaign too small: {} detections",
-        r.detections.len()
-    );
+    assert!(r.detections.len() >= 10, "campaign too small: {} detections", r.detections.len());
     // Data and checkpoint faults can land on architecturally dead
     // values (masked faults, standard AVF derating); unmasked coverage
     // must still dominate.

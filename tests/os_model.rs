@@ -24,9 +24,8 @@ fn checking_disabled_across_the_whole_switch() {
 
 #[test]
 fn hooks_only_on_new_release() {
-    let hooks = |calls: &[OsCall]| {
-        calls.iter().filter(|c| matches!(c, OsCall::BHook { .. })).count()
-    };
+    let hooks =
+        |calls: &[OsCall]| calls.iter().filter(|c| matches!(c, OsCall::BHook { .. })).count();
     assert_eq!(hooks(&big_core_context_switch(0, true, &[1, 2, 3, 4])), 4);
     assert_eq!(hooks(&big_core_context_switch(0, false, &[1, 2, 3, 4])), 0);
 }
@@ -56,10 +55,7 @@ fn fig5_deadlock_matrix() {
         PageFaultScenario { one_behind_fix: true, io_sync: true, ..base }.resolve(),
         PageFaultOutcome::ResolvedByBigCore
     );
-    assert_eq!(
-        PageFaultScenario { io_sync: true, ..base }.resolve(),
-        PageFaultOutcome::Deadlock
-    );
+    assert_eq!(PageFaultScenario { io_sync: true, ..base }.resolve(), PageFaultOutcome::Deadlock);
 }
 
 #[test]

@@ -33,10 +33,7 @@ fn fig8_shape_superlinear_decline() {
     let (g2, g4, g6) = (geomean(&s2), geomean(&s4), geomean(&s6));
     assert!(g2 > g4 && g4 >= g6, "monotone decline: {g2:.3} {g4:.3} {g6:.3}");
     // Superlinear: the 2->4 drop dwarfs the 4->6 drop.
-    assert!(
-        (g2 - g4) > 2.0 * (g4 - g6),
-        "superlinear decline expected: {g2:.3} {g4:.3} {g6:.3}"
-    );
+    assert!((g2 - g4) > 2.0 * (g4 - g6), "superlinear decline expected: {g2:.3} {g4:.3} {g6:.3}");
     assert!(g2 > 1.25, "2 cores must visibly throttle ({g2:.3})");
     assert!(g4 < 1.25, "4 cores must mostly keep up ({g4:.3})");
 }
@@ -81,10 +78,7 @@ fn fig9_shape_axi_worse_than_f2() {
         f2.push(slowdown(MeekConfig::default(), &wl, vanilla));
     }
     let (ga, gf) = (geomean(&axi), geomean(&f2));
-    assert!(
-        ga > gf + 0.02,
-        "AXI ({ga:.3}) must cost more than F2 ({gf:.3})"
-    );
+    assert!(ga > gf + 0.02, "AXI ({ga:.3}) must cost more than F2 ({gf:.3})");
     assert!(fwd_dominant >= 2, "AXI overhead should be forwarding-bound");
 }
 
