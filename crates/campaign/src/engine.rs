@@ -76,7 +76,7 @@ fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> S
     let mut sys = MeekSystem::new(spec.config.clone(), &workload, shard.insts);
     sys.set_faults(faults);
     let report = sys.run_to_completion(shard.cycle_cap());
-    let pending = sys.injector_unresolved();
+    let pending = report.pending_faults;
     let records: Vec<CampaignRecord> = report
         .detections
         .iter()

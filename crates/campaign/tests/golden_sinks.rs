@@ -1,0 +1,144 @@
+//! Golden-file tests for the campaign sinks: byte-exact CSV and
+//! JSON-lines output for a fixed, synthetic record stream.
+//!
+//! Campaign output is consumed by offline tooling and compared across
+//! runs by the determinism CI job; a formatting drift (column order, a
+//! float precision change, a forgotten header) silently invalidates
+//! both. These tests pin the exact bytes without simulating anything —
+//! the record stream is synthesized from a fixed seed, so a sink
+//! regression is caught in milliseconds, not after a full campaign.
+
+use meek_campaign::{AggregateSink, CampaignRecord, CsvSink, JsonlSink, RecordSink, ShardSummary};
+use meek_core::fault::{DetectionRecord, FaultSite};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const GOLDEN_CSV: &str = include_str!("golden/records.csv");
+const GOLDEN_JSONL: &str = include_str!("golden/records.jsonl");
+
+/// A fixed synthetic campaign: three workloads, two shards each, a
+/// handful of detections per shard — every field driven by one seeded
+/// stream so the bytes are reproducible forever.
+fn synthetic_stream() -> (Vec<CampaignRecord>, Vec<ShardSummary>) {
+    let mut rng = SmallRng::seed_from_u64(0x60_1D);
+    let mut records = Vec::new();
+    let mut shards = Vec::new();
+    for workload in ["blackscholes", "mcf", "swaptions"] {
+        for shard in 0..2u32 {
+            let detections = rng.gen_range(2..5usize);
+            for _ in 0..detections {
+                let injected_cycle = rng.gen_range(1_000..2_000_000u64);
+                let delta = rng.gen_range(10..20_000u64);
+                records.push(CampaignRecord {
+                    workload,
+                    shard,
+                    detection: DetectionRecord {
+                        site: match rng.gen_range(0..3) {
+                            0 => FaultSite::MemAddr,
+                            1 => FaultSite::MemData,
+                            _ => FaultSite::RcpRegister,
+                        },
+                        injected_cycle,
+                        detected_cycle: injected_cycle + delta,
+                        latency_ns: delta as f64 * 0.3125,
+                        seg: rng.gen_range(1..400u32),
+                    },
+                });
+            }
+            shards.push(ShardSummary {
+                workload,
+                shard,
+                faults: detections + 1,
+                detected: detections,
+                masked: 1,
+                pending: 0,
+                verified_segments: rng.gen_range(50..500u64),
+                failed_segments: detections as u64,
+                cycles: rng.gen_range(1_000_000..9_000_000u64),
+                committed: rng.gen_range(100_000..900_000u64),
+            });
+        }
+    }
+    (records, shards)
+}
+
+fn drive(sink: &mut dyn RecordSink) {
+    let (records, shards) = synthetic_stream();
+    let mut by_shard = records.iter().peekable();
+    for s in &shards {
+        while let Some(r) = by_shard.peek() {
+            if (r.workload, r.shard) != (s.workload, s.shard) {
+                break;
+            }
+            sink.on_record(by_shard.next().unwrap()).unwrap();
+        }
+        sink.on_shard(s).unwrap();
+    }
+    sink.finish().unwrap();
+}
+
+/// Regenerates the golden files after an *intentional* format change:
+/// `MEEK_REGEN_GOLDEN=1 cargo test -p meek-campaign golden`.
+#[test]
+fn regenerate_golden_files_when_asked() {
+    if std::env::var_os("MEEK_REGEN_GOLDEN").is_none() {
+        return;
+    }
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    let mut csv = CsvSink::new(Vec::new());
+    drive(&mut csv);
+    std::fs::write(format!("{dir}/records.csv"), csv.into_inner()).unwrap();
+    let mut jsonl = JsonlSink::new(Vec::new());
+    drive(&mut jsonl);
+    std::fs::write(format!("{dir}/records.jsonl"), jsonl.into_inner()).unwrap();
+}
+
+#[test]
+fn csv_sink_matches_golden_bytes() {
+    let mut sink = CsvSink::new(Vec::new());
+    drive(&mut sink);
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    assert_eq!(text, GOLDEN_CSV, "CSV byte format drifted from tests/golden/records.csv");
+}
+
+#[test]
+fn jsonl_sink_matches_golden_bytes() {
+    let mut sink = JsonlSink::new(Vec::new());
+    drive(&mut sink);
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    assert_eq!(text, GOLDEN_JSONL, "JSONL byte format drifted from tests/golden/records.jsonl");
+}
+
+#[test]
+fn jsonl_lines_parse_as_flat_json_objects() {
+    // Without a JSON dependency, check the invariants tooling relies
+    // on: one object per line, no nesting, stable key order.
+    const KEYS: [&str; 7] =
+        ["workload", "shard", "site", "injected_cycle", "detected_cycle", "latency_ns", "seg"];
+    for line in GOLDEN_JSONL.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
+        assert_eq!(line.matches('{').count(), 1, "nested object: {line}");
+        let mut at = 0;
+        for key in KEYS {
+            let needle = format!("\"{key}\":");
+            let pos = line[at..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("key `{key}` missing or out of order: {line}"));
+            at += pos + needle.len();
+        }
+    }
+}
+
+#[test]
+fn aggregate_sink_tallies_the_synthetic_stream() {
+    let mut agg = AggregateSink::new();
+    drive(&mut agg);
+    let (records, shards) = synthetic_stream();
+    let overall = agg.overall();
+    assert_eq!(overall.detected, records.len());
+    assert_eq!(overall.faults, shards.iter().map(|s| s.faults).sum::<usize>());
+    assert_eq!(overall.masked, shards.len() as u64);
+    assert_eq!(agg.per_workload().len(), 3);
+    assert!(overall.mean_ns() > 0.0);
+    assert!(overall.percentile_ns(1.0) >= overall.percentile_ns(0.5));
+}

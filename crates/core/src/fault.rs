@@ -9,6 +9,7 @@
 //! must notice the divergence.
 
 use meek_fabric::{Packet, Payload};
+use meek_isa::state::RegCheckpoint;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -33,6 +34,66 @@ pub struct FaultSpec {
     pub site: FaultSite,
     /// Bit to flip (masked to the field width).
     pub bit: u32,
+}
+
+/// The register index a [`FaultSite::RcpRegister`] fault with `bit`
+/// corrupts — a pseudo-random live register in `x1..x31`. Exposed so
+/// external oracles (the difftest coverage prover) can reproduce the
+/// exact architectural effect of an injected checkpoint fault.
+pub fn rcp_register_index(bit: u32) -> usize {
+    (bit as usize * 7 + 3) % 31 + 1
+}
+
+/// The clean (pre-flip) value of the packet field a fault corrupted,
+/// captured at injection time. A masked verdict alone says "the
+/// candidate segments verified clean"; this record is what lets an
+/// external oracle *prove* the mask benign by re-running the golden
+/// program with and without the corruption applied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CorruptedField {
+    /// A run-time memory record, as forwarded before the flip.
+    Mem {
+        /// Effective address of the logged access.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+        /// Load result / store payload before corruption.
+        data: u64,
+        /// `true` for stores.
+        is_store: bool,
+    },
+    /// A checkpoint register: the flipped `x` index (see
+    /// [`rcp_register_index`]) and the whole clean checkpoint (boxed:
+    /// a checkpoint is 65 words, far larger than the memory variant).
+    Register {
+        /// Index into `RegCheckpoint::x`.
+        index: usize,
+        /// The checkpoint as it was before the flip.
+        clean_cp: Box<RegCheckpoint>,
+    },
+}
+
+/// An injected fault whose candidate segments all verified clean — the
+/// flipped bit was (apparently) architecturally dead. Distinguished
+/// from *pending* faults (no verdict at all) in [`RunReport`]:
+/// a masked fault has positive evidence of cleanliness, a pending fault
+/// has none.
+///
+/// [`RunReport`]: crate::report::RunReport
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskRecord {
+    /// The fault as specified.
+    pub spec: FaultSpec,
+    /// Big-core cycle of injection.
+    pub injected_cycle: u64,
+    /// Segment whose forwarded data was corrupted.
+    pub seg: u32,
+    /// Commit count when the fault armed. The corrupted packet is the
+    /// first matching-site packet extracted after this commit index —
+    /// the anchor an external golden re-run needs to locate the fault.
+    pub armed_at_commit: u64,
+    /// Clean value of the corrupted field.
+    pub field: CorruptedField,
 }
 
 /// Outcome of one injected fault.
@@ -71,26 +132,50 @@ pub fn random_fault_specs(n: usize, arm_span: u64, rng: &mut SmallRng) -> Vec<Fa
     faults
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct InFlight {
     spec: FaultSpec,
     injected: u64,
     fseg: u32,
+    armed_at_commit: u64,
+    field: CorruptedField,
     fseg_passed: bool,
     next_passed: bool,
+}
+
+impl InFlight {
+    fn mask_record(&self) -> MaskRecord {
+        MaskRecord {
+            spec: self.spec,
+            injected_cycle: self.injected,
+            seg: self.fseg,
+            armed_at_commit: self.armed_at_commit,
+            field: self.field.clone(),
+        }
+    }
 }
 
 /// Injector state machine: Idle -> Armed -> InFlight -> (recorded).
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     queue: Vec<FaultSpec>,
-    armed: Option<FaultSpec>,
+    armed: Option<(FaultSpec, u64)>,
     in_flight: Option<InFlight>,
+    /// Faults with positive clean evidence (successor segment verified)
+    /// whose own segment's verdict is still outstanding. They no longer
+    /// occupy the injection pipeline, but a late *fail* verdict for a
+    /// candidate segment upgrades them to a detection — the old
+    /// "unreachable after 4 segments" heuristic silently dropped those
+    /// late detections and misreported them as masked.
+    tentative: Vec<InFlight>,
     /// Completed detections.
     pub detections: Vec<DetectionRecord>,
-    /// Faults injected whose segment verified *clean* (undetected) —
-    /// must stay zero; any entry is a soundness bug.
-    pub missed: u64,
+    /// Faults whose candidate segments all verified *clean*: the flip
+    /// landed on architecturally dead data. The checker never reported
+    /// them, so every entry must be provable benign — the difftest
+    /// coverage oracle re-runs the golden program with the recorded
+    /// corruption and fails loudly if behaviour diverges.
+    pub masked: Vec<MaskRecord>,
 }
 
 impl FaultInjector {
@@ -102,8 +187,9 @@ impl FaultInjector {
             queue: faults,
             armed: None,
             in_flight: None,
+            tentative: Vec::new(),
             detections: Vec::new(),
-            missed: 0,
+            masked: Vec::new(),
         }
     }
 
@@ -123,7 +209,7 @@ impl FaultInjector {
     /// a fresh packet, so the corruption must fire again).
     pub fn revert(&mut self) {
         if let Some(fl) = self.in_flight.take() {
-            self.armed = Some(fl.spec);
+            self.armed = Some((fl.spec, fl.armed_at_commit));
         }
     }
 
@@ -133,23 +219,30 @@ impl FaultInjector {
     }
 
     /// Faults with no verdict yet: still queued, armed but not fired,
-    /// or in flight awaiting a segment verdict. At end of run these are
-    /// the faults the campaign must report as *pending* — typically a
-    /// tail fault whose corrupted checkpoint was the program's last, so
-    /// no successor segment ever delivered a verdict.
+    /// in flight awaiting a segment verdict, or tentatively masked with
+    /// their own segment's verdict outstanding. At end of run
+    /// ([`FaultInjector::resolve_at_drain`]) tentatives settle to
+    /// masked; what remains is what the campaign must report as
+    /// *pending* — typically a tail fault whose corrupted checkpoint
+    /// was the program's last, so no successor segment ever delivered a
+    /// verdict.
     pub fn unresolved(&self) -> usize {
-        self.queue.len() + self.armed.is_some() as usize + self.in_flight.is_some() as usize
+        self.queue.len()
+            + self.armed.is_some() as usize
+            + self.in_flight.is_some() as usize
+            + self.tentative.len()
     }
 
     /// Debug string of the injector state.
     pub fn debug(&self) -> String {
         format!(
-            "armed={:?} in_flight={:?} queued={} det={} missed={}",
-            self.armed,
-            self.in_flight,
+            "armed={:?} in_flight={:?} queued={} tentative={} det={} masked={}",
+            self.armed.map(|(f, _)| f),
+            self.in_flight.as_ref().map(|fl| fl.spec),
             self.queue.len(),
+            self.tentative.len(),
             self.detections.len(),
-            self.missed
+            self.masked.len()
         )
     }
 
@@ -160,7 +253,11 @@ impl FaultInjector {
             if let Some(&f) = self.queue.last() {
                 if committed >= f.arm_at_commit {
                     self.queue.pop();
-                    self.armed = Some(f);
+                    // Record the commit count at arming: the corrupted
+                    // packet is the first matching-site packet extracted
+                    // after this many commits — the anchor the coverage
+                    // oracle's golden re-run uses to locate the fault.
+                    self.armed = Some((f, committed));
                 }
             }
         }
@@ -169,32 +266,47 @@ impl FaultInjector {
     /// Offers a packet to the injector just before it enters the fabric;
     /// if a matching fault is armed, one bit is flipped in place.
     pub fn maybe_corrupt(&mut self, pkt: &mut Packet, now: u64, seg: u32) {
-        let Some(f) = self.armed else { return };
-        let hit = match (&mut pkt.payload, f.site) {
-            (Payload::Mem { addr, .. }, FaultSite::MemAddr) => {
+        let Some((f, armed_at_commit)) = self.armed else { return };
+        let field = match (&mut pkt.payload, f.site) {
+            (Payload::Mem { addr, size, data, is_store, .. }, FaultSite::MemAddr) => {
+                let clean = CorruptedField::Mem {
+                    addr: *addr,
+                    size: *size,
+                    data: *data,
+                    is_store: *is_store,
+                };
                 *addr ^= 1 << (f.bit % 64);
-                true
+                Some(clean)
             }
-            (Payload::Mem { data, size, .. }, FaultSite::MemData) => {
+            (Payload::Mem { addr, size, data, is_store, .. }, FaultSite::MemData) => {
+                let clean = CorruptedField::Mem {
+                    addr: *addr,
+                    size: *size,
+                    data: *data,
+                    is_store: *is_store,
+                };
                 // Flip within the access width so the corruption is live.
                 let width_bits = (*size as u32) * 8;
                 *data ^= 1 << (f.bit % width_bits);
-                true
+                Some(clean)
             }
             (Payload::RcpEnd { cp, .. }, FaultSite::RcpRegister) => {
                 // Flip a bit of a (pseudo-randomly chosen) live register.
-                let idx = (f.bit as usize * 7 + 3) % 31 + 1; // x1..x31
+                let idx = rcp_register_index(f.bit);
+                let clean = CorruptedField::Register { index: idx, clean_cp: Box::new(**cp) };
                 cp.x[idx] ^= 1 << (f.bit % 64);
-                true
+                Some(clean)
             }
-            _ => false,
+            _ => None,
         };
-        if hit {
+        if let Some(field) = field {
             self.armed = None;
             self.in_flight = Some(InFlight {
                 spec: f,
                 injected: now,
                 fseg: seg,
+                armed_at_commit,
+                field,
                 fseg_passed: false,
                 next_passed: false,
             });
@@ -207,9 +319,30 @@ impl FaultInjector {
     /// replays; a checkpoint fault is the ERCP of segment `fseg` *and*
     /// the SRCP of `fseg + 1`, so detection may land in either (segments
     /// can complete out of order across cores). A fault whose candidate
-    /// segments all verified clean is counted in
-    /// [`FaultInjector::missed`].
+    /// segments all verified clean is recorded in
+    /// [`FaultInjector::masked`].
     pub fn on_segment_verified(&mut self, seg: u32, pass: bool, now: u64, ns_per_cycle: f64) {
+        // Tentatively-masked faults first. A tentative's successor
+        // segment has already verified clean (that is how it became
+        // tentative), so the only verdict still owed is its *own*
+        // segment's: a fail upgrades the tentative to a (late)
+        // detection, a clean verdict confirms the mask.
+        if let Some(pos) = self.tentative.iter().position(|fl| seg == fl.fseg) {
+            let fl = self.tentative.remove(pos);
+            if pass {
+                self.masked.push(fl.mask_record());
+            } else {
+                let latency_ns = (now - fl.injected) as f64 * ns_per_cycle;
+                self.detections.push(DetectionRecord {
+                    site: fl.spec.site,
+                    injected_cycle: fl.injected,
+                    detected_cycle: now,
+                    latency_ns,
+                    seg,
+                });
+                return; // the fail verdict is this fault's detection
+            }
+        }
         let Some(fl) = &mut self.in_flight else { return };
         if seg < fl.fseg {
             return;
@@ -229,7 +362,8 @@ impl FaultInjector {
         match fl.spec.site {
             FaultSite::MemAddr | FaultSite::MemData => {
                 if seg == fl.fseg {
-                    self.missed += 1;
+                    let rec = fl.mask_record();
+                    self.masked.push(rec);
                     self.in_flight = None;
                 }
             }
@@ -239,16 +373,57 @@ impl FaultInjector {
                 } else if seg == fl.fseg + 1 {
                     fl.next_passed = true;
                 }
-                // `fseg`'s own verdict can predate the injection (its
-                // checker may have failed on an earlier fault before the
-                // corrupted ERCP even arrived). Once verdicts are well
-                // past the concurrency window, stop waiting for it.
-                let fseg_unreachable = seg > fl.fseg + 4;
-                if fl.next_passed && (fl.fseg_passed || fseg_unreachable) {
-                    self.missed += 1;
+                if fl.next_passed && fl.fseg_passed {
+                    let rec = fl.mask_record();
+                    self.masked.push(rec);
+                    self.in_flight = None;
+                } else if fl.next_passed && seg > fl.fseg + 4 {
+                    // `fseg`'s own verdict can predate the injection (its
+                    // checker may have concluded before the corrupted
+                    // packet existed) — or it may simply be slow. Well
+                    // past the concurrency window, release the pipeline
+                    // but keep the fault *tentative*: if `fseg`'s verdict
+                    // does arrive late, it still settles this fault
+                    // instead of being silently dropped.
+                    let fl = fl.clone();
+                    self.tentative.push(fl);
                     self.in_flight = None;
                 }
             }
+        }
+    }
+
+    /// Delivers end-of-run verdicts for the in-flight fault once no more
+    /// segment verifications can arrive (the system has drained).
+    ///
+    /// Without this, a checkpoint fault whose *successor* segment
+    /// verified clean but whose own segment's verdict predated the
+    /// injection stays `in_flight` forever and is reported as *pending*
+    /// — indistinguishable from a fault that never fired — even though
+    /// the evidence says it was masked. At drain, a fault whose every
+    /// delivered candidate verdict was clean resolves to masked; a fault
+    /// with no verdict at all (e.g. a corrupted final checkpoint with no
+    /// successor segment) stays pending.
+    pub fn resolve_at_drain(&mut self) {
+        // Tentatives whose own-segment verdict never arrived: the clean
+        // successor verdict stands — masked.
+        for fl in self.tentative.drain(..) {
+            self.masked.push(fl.mask_record());
+        }
+        let Some(fl) = self.in_flight.take() else { return };
+        let masked = match fl.spec.site {
+            // A memory-record fault is judged only by its own segment;
+            // no verdict by drain means the record was never replayed.
+            FaultSite::MemAddr | FaultSite::MemData => false,
+            // Either candidate segment verifying clean is positive
+            // evidence: the corrupted ERCP matched the replay, or the
+            // corrupted SRCP replayed to a clean ERCP.
+            FaultSite::RcpRegister => fl.fseg_passed || fl.next_passed,
+        };
+        if masked {
+            self.masked.push(fl.mask_record());
+        } else {
+            self.in_flight = Some(fl);
         }
     }
 }
@@ -309,7 +484,7 @@ mod tests {
         assert_eq!(d.detected_cycle, 4200);
         assert!((d.latency_ns - 3200.0 * 0.3125).abs() < 1e-9);
         assert!(!inj.busy());
-        assert_eq!(inj.missed, 0);
+        assert!(inj.masked.is_empty());
     }
 
     #[test]
@@ -338,6 +513,160 @@ mod tests {
         assert!(inj.busy(), "still awaiting detection in segment 4");
         inj.on_segment_verified(4, false, 900, 0.3125);
         assert_eq!(inj.detections.len(), 1);
+    }
+
+    #[test]
+    fn masked_mem_fault_records_clean_field() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::MemData,
+            bit: 2,
+        }]);
+        inj.advance(17);
+        let mut p = mem_pkt();
+        inj.maybe_corrupt(&mut p, 50, 2);
+        // Segment 2 verifies clean: the flip landed on dead data.
+        inj.on_segment_verified(2, true, 400, 0.3125);
+        assert!(!inj.busy());
+        assert_eq!(inj.masked.len(), 1);
+        let m = &inj.masked[0];
+        assert_eq!(m.seg, 2);
+        assert_eq!(m.armed_at_commit, 17, "arming commit index is the re-run anchor");
+        assert_eq!(
+            m.field,
+            CorruptedField::Mem { addr: 0x1000, size: 8, data: 0xAB, is_store: true },
+            "the clean pre-flip record must be captured"
+        );
+    }
+
+    #[test]
+    fn rcp_mask_resolves_at_drain_not_pending() {
+        // The latent reporting bug: fseg's verdict predates the
+        // injection, the successor verifies clean, the run drains — the
+        // fault used to stay in_flight forever and count as pending.
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::RcpRegister,
+            bit: 11,
+        }]);
+        inj.advance(0);
+        let mut p = Packet {
+            seq: 0,
+            dest: DestMask::single(0),
+            payload: Payload::RcpEnd {
+                seg: 5,
+                inst_count: 100,
+                cp: Box::new(meek_isa::state::RegCheckpoint::zeroed(0x1000)),
+            },
+            created_at: 0,
+        };
+        inj.maybe_corrupt(&mut p, 500, 5);
+        // Only the successor's verdict arrives (clean); segment 5's
+        // checker concluded before the corrupted ERCP existed.
+        inj.on_segment_verified(6, true, 900, 0.3125);
+        assert!(inj.busy(), "no drain yet: still awaiting fseg's (impossible) verdict");
+        assert_eq!(inj.unresolved(), 1);
+        inj.resolve_at_drain();
+        assert!(!inj.busy());
+        assert_eq!(inj.unresolved(), 0, "resolved masked, not pending");
+        assert_eq!(inj.masked.len(), 1);
+        match &inj.masked[0].field {
+            CorruptedField::Register { index, clean_cp } => {
+                assert_eq!(*index, rcp_register_index(11));
+                assert_eq!(**clean_cp, meek_isa::state::RegCheckpoint::zeroed(0x1000));
+            }
+            f => panic!("wrong field kind: {f:?}"),
+        }
+    }
+
+    #[test]
+    fn late_fail_verdict_upgrades_tentative_mask_to_detection() {
+        // The lost-detection bug: successor segments verify clean and
+        // race past the concurrency window, then the corrupted
+        // segment's own checker finally fails. The old heuristic had
+        // already written the fault off as masked; now the tentative
+        // record turns the late verdict into a detection.
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::RcpRegister,
+            bit: 7,
+        }]);
+        inj.advance(100);
+        let mut p = Packet {
+            seq: 0,
+            dest: DestMask::single(0),
+            payload: Payload::RcpEnd {
+                seg: 10,
+                inst_count: 100,
+                cp: Box::new(meek_isa::state::RegCheckpoint::zeroed(0x1000)),
+            },
+            created_at: 0,
+        };
+        inj.maybe_corrupt(&mut p, 500, 10);
+        inj.on_segment_verified(11, true, 600, 0.3125); // successor clean
+        for seg in 12..=15 {
+            inj.on_segment_verified(seg, true, 600 + seg as u64, 0.3125);
+        }
+        assert!(!inj.busy(), "well past the window: pipeline released");
+        assert!(inj.masked.is_empty(), "but not yet declared masked");
+        assert_eq!(inj.unresolved(), 1, "tentative counts as unresolved");
+        // Segment 10's slow checker finally reports the corrupted ERCP.
+        inj.on_segment_verified(10, false, 2_000, 0.3125);
+        assert_eq!(inj.detections.len(), 1, "late fail verdict must become a detection");
+        assert_eq!(inj.detections[0].seg, 10);
+        assert!(inj.masked.is_empty());
+        assert_eq!(inj.unresolved(), 0);
+    }
+
+    #[test]
+    fn tentative_confirms_masked_on_clean_own_verdict() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::RcpRegister,
+            bit: 7,
+        }]);
+        inj.advance(0);
+        let mut p = Packet {
+            seq: 0,
+            dest: DestMask::single(0),
+            payload: Payload::RcpEnd {
+                seg: 10,
+                inst_count: 100,
+                cp: Box::new(meek_isa::state::RegCheckpoint::zeroed(0x1000)),
+            },
+            created_at: 0,
+        };
+        inj.maybe_corrupt(&mut p, 500, 10);
+        for seg in 11..=15 {
+            inj.on_segment_verified(seg, true, 600, 0.3125);
+        }
+        inj.on_segment_verified(10, true, 2_000, 0.3125);
+        assert_eq!(inj.masked.len(), 1, "own clean verdict confirms the mask");
+        assert!(inj.detections.is_empty());
+        assert_eq!(inj.unresolved(), 0);
+    }
+
+    #[test]
+    fn unfired_fault_stays_pending_at_drain() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 1_000_000,
+            site: FaultSite::MemAddr,
+            bit: 0,
+        }]);
+        inj.advance(10);
+        inj.resolve_at_drain();
+        assert_eq!(inj.unresolved(), 1, "a fault that never armed is pending, not masked");
+        assert!(inj.masked.is_empty());
+    }
+
+    #[test]
+    fn corrupted_register_index_is_shared() {
+        // The oracle-side reconstruction must use the same mapping the
+        // injector does.
+        for bit in 0..64 {
+            let idx = rcp_register_index(bit);
+            assert!((1..32).contains(&idx), "bit {bit} -> x{idx}");
+        }
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod segments;
 pub mod system;
 
 pub use deu::{DeuHook, DeuState, BIG_CORE_NS_PER_CYCLE};
-pub use fault::{random_fault_specs, DetectionRecord, FaultSite, FaultSpec};
+pub use fault::{
+    random_fault_specs, rcp_register_index, CorruptedField, DetectionRecord, FaultSite, FaultSpec,
+    MaskRecord,
+};
 pub use report::{RunReport, StallBreakdown};
 pub use segments::SegmentManager;
 pub use system::{cycle_cap, run_vanilla, FabricKind, MeekConfig, MeekSystem};

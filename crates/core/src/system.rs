@@ -263,6 +263,10 @@ impl MeekSystem {
             );
             self.tick();
         }
+        // No further segment verdicts can arrive: settle the in-flight
+        // fault (masked if every delivered candidate verdict was clean)
+        // so the report separates masked from genuinely pending faults.
+        self.injector.resolve_at_drain();
         self.report()
     }
 
@@ -302,12 +306,6 @@ impl MeekSystem {
         self.injector.remaining()
     }
 
-    /// Faults with no verdict: queued, armed, or in flight (see
-    /// [`FaultInjector::unresolved`](crate::fault::FaultInjector::unresolved)).
-    pub fn injector_unresolved(&self) -> usize {
-        self.injector.unresolved()
-    }
-
     /// Debug string of the injector state.
     pub fn injector_debug(&self) -> String {
         self.injector.debug()
@@ -341,7 +339,9 @@ impl MeekSystem {
                 little_core: big.stall_little,
             },
             detections: self.injector.detections.clone(),
-            missed_faults: self.injector.missed,
+            missed_faults: self.injector.masked.len() as u64,
+            masked_faults: self.injector.masked.clone(),
+            pending_faults: self.injector.unresolved(),
             rcps: self.deu.rcps,
         }
     }

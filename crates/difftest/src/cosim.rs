@@ -1,0 +1,463 @@
+//! The three-way co-simulation oracle.
+//!
+//! One fuzzed program is executed three ways and lock-stepped:
+//!
+//! 1. **Golden** — the `meek-isa` functional interpreter, stepping a
+//!    fresh architectural state over a fresh memory image. Its retired
+//!    stream and checkpoints are the reference.
+//! 2. **LittleCore replay** — a real checker core fed the golden run's
+//!    forwarded data (memory records, CSR results, checkpoints), one
+//!    segment at a time, exactly as the fabric would deliver it. Every
+//!    replayed segment must verify clean; the first mismatch is
+//!    reported with its [`MismatchKind`] and a disassembled trace
+//!    window.
+//! 3. **Full system** — the whole MEEK SoC (big core, DEU, fabric,
+//!    checker cluster) runs the program as a workload; its commit
+//!    stream is the big core's and every segment it forwards must
+//!    verify against the littlecore cluster.
+//!
+//! A clean program must agree across all three; any disagreement is a
+//! [`Divergence`] — a bug in one of the models (or a real escape in the
+//! detection architecture), pinpointed for shrinking.
+
+use crate::fuzz::FuzzProgram;
+use meek_core::{cycle_cap, MeekConfig, MeekSystem};
+use meek_fabric::{DestMask, Packet, PacketSink, Payload};
+use meek_isa::disasm::{disasm_window, disasm_word};
+use meek_isa::state::RegCheckpoint;
+use meek_isa::{exec, ArchState, Retired, Trap};
+use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig, MismatchKind};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Status chunks one checkpoint occupies at the F2 fabric's chunking
+/// (65 words / 4 per packet). Shared with the coverage prover's replay
+/// twin so both littlecore drivers stay on the fabric's real geometry.
+pub(crate) const CHUNKS_PER_CP: usize = 17;
+
+/// Dynamic-instruction ceiling for a golden run; fuzzed programs are
+/// orders of magnitude shorter, so hitting this means non-termination.
+pub const GOLDEN_CAP: u64 = 500_000;
+
+/// Configuration of one co-simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct CosimConfig {
+    /// Instructions per replay segment in the lock-step littlecore way.
+    pub seg_len: u64,
+    /// Checker cores in the full-system way.
+    pub n_little: usize,
+    /// Dynamic instructions of context in divergence trace windows.
+    pub window: usize,
+}
+
+impl Default for CosimConfig {
+    fn default() -> Self {
+        CosimConfig { seg_len: 192, n_little: 4, window: 8 }
+    }
+}
+
+/// The first architectural disagreement between the three executions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The golden interpreter trapped — the fuzzer emitted a program
+    /// that is not trap-free along its executed path (a fuzzer bug) or
+    /// a shrink candidate broke its own control flow.
+    GoldenTrap {
+        /// Trapping PC.
+        pc: u64,
+        /// The word that failed to decode.
+        word: u32,
+        /// Disassembly around the trap.
+        window: String,
+    },
+    /// The littlecore replay disagreed with the golden stream.
+    Replay {
+        /// Segment (1-based) in which the mismatch fired.
+        seg: u32,
+        /// What diverged.
+        kind: MismatchKind,
+        /// Dynamic instruction index (into the golden trace) of the
+        /// failing comparison.
+        at_index: u64,
+        /// Disassembled golden-trace window ending at the divergence.
+        window: String,
+    },
+    /// The littlecore replay made no progress within its cycle budget.
+    ReplayStuck {
+        /// Segment that hung.
+        seg: u32,
+        /// Replay progress when the budget expired.
+        replayed: u64,
+    },
+    /// The full-system run disagreed with the golden run (commit count,
+    /// segment verdicts, or an outright liveness panic).
+    System {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::GoldenTrap { pc, word, window } => {
+                write!(f, "golden interpreter trapped at {pc:#x} (word {word:#010x})\n{window}")
+            }
+            Divergence::Replay { seg, kind, at_index, window } => {
+                write!(
+                    f,
+                    "littlecore replay diverged in segment {seg} at dynamic index {at_index}: \
+                     {kind:?}\n{window}"
+                )
+            }
+            Divergence::ReplayStuck { seg, replayed } => {
+                write!(f, "littlecore replay stuck in segment {seg} after {replayed} instructions")
+            }
+            Divergence::System { detail } => write!(f, "full-system divergence: {detail}"),
+        }
+    }
+}
+
+/// A completed golden (reference) execution.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// The retired-instruction stream.
+    pub trace: Vec<Retired>,
+    /// Architectural registers after the last instruction.
+    pub final_cp: RegCheckpoint,
+}
+
+/// Runs the golden interpreter to program exit (or [`GOLDEN_CAP`]).
+///
+/// # Errors
+///
+/// Returns [`Divergence::GoldenTrap`] if the program traps.
+pub fn golden_run(prog: &FuzzProgram) -> Result<GoldenRun, Divergence> {
+    golden_run_bounded(prog, GOLDEN_CAP)
+}
+
+/// [`golden_run`] with a caller-chosen instruction ceiling — the shrink
+/// pre-screen rejects runaway candidates at a much lower bound than the
+/// fuzzer-facing cap, so a relink-manufactured infinite loop costs only
+/// `cap` interpreter steps to discard.
+pub fn golden_run_bounded(prog: &FuzzProgram, cap: u64) -> Result<GoldenRun, Divergence> {
+    let mut mem = prog.image();
+    let mut st = ArchState::new(prog.entry());
+    let mut trace = Vec::new();
+    while st.pc != prog.exit_pc() && (trace.len() as u64) < cap {
+        match exec::step(&mut st, &mut mem) {
+            Ok(r) => trace.push(r),
+            Err(Trap::IllegalInstruction { pc, word }) => {
+                let start = pc.saturating_sub(16).max(prog.entry());
+                return Err(Divergence::GoldenTrap {
+                    pc,
+                    word,
+                    window: disasm_window(&prog.image(), start, 9, pc),
+                });
+            }
+        }
+    }
+    Ok(GoldenRun { trace, final_cp: st.checkpoint() })
+}
+
+/// Renders the golden-trace window ending at dynamic index `at` — the
+/// "what was executing when it diverged" view.
+fn trace_window(golden: &GoldenRun, at: usize, n: usize) -> String {
+    let lo = at.saturating_sub(n.saturating_sub(1));
+    let mut out = String::new();
+    for (j, r) in golden.trace[lo..=at.min(golden.trace.len() - 1)].iter().enumerate() {
+        let idx = lo + j;
+        let cursor = if idx == at { "=>" } else { "  " };
+        out.push_str(&format!("{cursor} [{idx}] {:#08x}: {}\n", r.pc, disasm_word(r.raw)));
+    }
+    out
+}
+
+/// Result of one three-way co-simulation.
+#[derive(Debug, Clone)]
+pub struct CosimVerdict {
+    /// Dynamic instructions the golden run retired.
+    pub executed: u64,
+    /// Segments lock-step-replayed on the littlecore way.
+    pub segments: u32,
+    /// Big-core cycles the full-system way took (0 if it diverged).
+    pub system_cycles: u64,
+    /// First disagreement, if any.
+    pub divergence: Option<Divergence>,
+}
+
+/// Runs all three ways and lock-steps them.
+pub fn run(prog: &FuzzProgram, cfg: &CosimConfig) -> CosimVerdict {
+    let mut verdict = CosimVerdict { executed: 0, segments: 0, system_cycles: 0, divergence: None };
+    let golden = match golden_run(prog) {
+        Ok(g) => g,
+        Err(d) => {
+            verdict.divergence = Some(d);
+            return verdict;
+        }
+    };
+    verdict.executed = golden.trace.len() as u64;
+    if golden.trace.is_empty() {
+        return verdict;
+    }
+    match replay_lockstep(prog, &golden, cfg) {
+        Ok(segments) => verdict.segments = segments,
+        Err(d) => {
+            verdict.divergence = Some(d);
+            return verdict;
+        }
+    }
+    match system_check(prog, &golden, cfg) {
+        Ok(cycles) => verdict.system_cycles = cycles,
+        Err(d) => verdict.divergence = Some(d),
+    }
+    verdict
+}
+
+/// Way 2: feeds the golden run's forwarded data to a real littlecore,
+/// one segment at a time, and demands a clean verdict for every one.
+fn replay_lockstep(
+    prog: &FuzzProgram,
+    golden: &GoldenRun,
+    cfg: &CosimConfig,
+) -> Result<u32, Divergence> {
+    let image = prog.image();
+    let mut core = LittleCore::new(0, LittleCoreConfig::optimized(), CHUNKS_PER_CP);
+    core.seed_initial_checkpoint(ArchState::new(prog.entry()).checkpoint());
+    let n = golden.trace.len();
+    let seg_len = cfg.seg_len.max(1) as usize;
+    let n_segs = n.div_ceil(seg_len);
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    // Replaying the segment's end state requires the checkpoint *after*
+    // its last instruction; track it by replaying the writebacks the
+    // golden trace already carries.
+    let mut shadow = ArchState::new(prog.entry());
+    for seg_idx in 0..n_segs {
+        let seg = (seg_idx + 1) as u32;
+        let start = seg_idx * seg_len;
+        let end = (start + seg_len).min(n);
+        core.assign(seg);
+        for r in &golden.trace[start..end] {
+            if let Some(m) = r.mem {
+                core.lsl.deliver(
+                    Packet {
+                        seq,
+                        dest: DestMask::single(0),
+                        payload: Payload::Mem {
+                            seg,
+                            addr: m.addr,
+                            size: m.size,
+                            data: m.data,
+                            is_store: m.is_store,
+                        },
+                        created_at: now,
+                    },
+                    now,
+                );
+                seq += 1;
+            }
+            if let Some((addr, data)) = r.csr_read {
+                core.lsl.deliver(
+                    Packet {
+                        seq,
+                        dest: DestMask::single(0),
+                        payload: Payload::Csr { seg, addr, data },
+                        created_at: now,
+                    },
+                    now,
+                );
+                seq += 1;
+            }
+        }
+        // ERCP: the golden architectural state after the segment's last
+        // instruction, reconstructed from the trace's writeback records
+        // (the same commit-order view the DEU shadows).
+        for r in &golden.trace[start..end] {
+            apply_writeback(&mut shadow, r);
+        }
+        let ercp = shadow.checkpoint();
+        core.lsl.deliver(
+            Packet {
+                seq,
+                dest: DestMask::single(0),
+                payload: Payload::RcpEnd {
+                    seg,
+                    inst_count: (end - start) as u64,
+                    cp: Box::new(ercp),
+                },
+                created_at: now,
+            },
+            now,
+        );
+        seq += 1;
+        let replayed_before = core.stats().replayed_insts;
+        let deadline = now + 400 * (end - start) as u64 + 50_000;
+        loop {
+            match core.tick_check(now, &image) {
+                Some(CheckerEvent::SegmentVerified { seg: vseg, pass, mismatch }) => {
+                    now += 1;
+                    if !pass {
+                        let in_seg = core.stats().replayed_insts - replayed_before;
+                        // The failing comparison is the last replayed
+                        // instruction (LSL mismatches) or the segment end
+                        // (ERCP register mismatches).
+                        let at = (start as u64 + in_seg.saturating_sub(1)).min(n as u64 - 1);
+                        return Err(Divergence::Replay {
+                            seg: vseg,
+                            kind: mismatch.expect("failed segment carries a mismatch"),
+                            at_index: at,
+                            window: trace_window(golden, at as usize, cfg.window),
+                        });
+                    }
+                    break;
+                }
+                _ => now += 1,
+            }
+            if now > deadline {
+                return Err(Divergence::ReplayStuck {
+                    seg,
+                    replayed: core.stats().replayed_insts - replayed_before,
+                });
+            }
+        }
+    }
+    Ok(n_segs as u32)
+}
+
+/// Applies a retired instruction's writeback to a commit-order shadow
+/// state (the DEU's view), so segment-end checkpoints can be cut at
+/// arbitrary trace indices.
+fn apply_writeback(shadow: &mut ArchState, r: &Retired) {
+    use meek_isa::WbDest;
+    if let Some((dest, v)) = r.wb {
+        match dest {
+            WbDest::Int(reg) => shadow.set_x(reg, v),
+            WbDest::Fp(freg) => shadow.set_f(freg, v),
+        }
+    }
+    shadow.pc = r.next_pc;
+}
+
+/// Way 3: the full MEEK SoC runs the program; the big core's commit
+/// stream must match the golden count and every forwarded segment must
+/// verify clean on the checker cluster.
+fn system_check(
+    prog: &FuzzProgram,
+    golden: &GoldenRun,
+    cfg: &CosimConfig,
+) -> Result<u64, Divergence> {
+    let n = golden.trace.len() as u64;
+    let wl = prog.workload();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(cfg.n_little), &wl, n);
+        sys.run_to_completion(cycle_cap(n))
+    }));
+    let report = match outcome {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic".to_string());
+            return Err(Divergence::System { detail: format!("liveness panic: {msg}") });
+        }
+    };
+    if report.committed != n {
+        return Err(Divergence::System {
+            detail: format!(
+                "big core committed {} instructions, golden retired {n}",
+                report.committed
+            ),
+        });
+    }
+    if report.failed_segments != 0 {
+        return Err(Divergence::System {
+            detail: format!(
+                "{} of {} forwarded segments failed verification on a fault-free run",
+                report.failed_segments,
+                report.failed_segments + report.verified_segments
+            ),
+        });
+    }
+    if !report.detections.is_empty() || report.missed_faults != 0 {
+        return Err(Divergence::System {
+            detail: format!(
+                "phantom fault activity: {} detections, {} masked, with no injector",
+                report.detections.len(),
+                report.missed_faults
+            ),
+        });
+    }
+    if report.verified_segments != report.rcps {
+        return Err(Divergence::System {
+            detail: format!(
+                "{} RCPs taken but {} segments verified",
+                report.rcps, report.verified_segments
+            ),
+        });
+    }
+    Ok(report.cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::{fuzz_program, FuzzConfig};
+
+    #[test]
+    fn clean_programs_cosim_clean() {
+        for seed in 0..6 {
+            let prog = fuzz_program(seed, &FuzzConfig::default());
+            let v = run(&prog, &CosimConfig::default());
+            assert!(v.divergence.is_none(), "seed {seed} diverged: {}", v.divergence.unwrap());
+            assert!(v.executed > 0);
+            assert!(v.segments >= 1);
+            assert!(v.system_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn corrupted_golden_data_is_caught_by_replay() {
+        // Sanity that the lock-step way actually *can* fail: corrupt one
+        // forwarded store's data by corrupting the trace copy.
+        let prog = fuzz_program(3, &FuzzConfig::default());
+        let mut golden = golden_run(&prog).expect("clean");
+        let victim = golden
+            .trace
+            .iter()
+            .position(|r| r.mem.is_some_and(|m| m.is_store))
+            .expect("fuzzed programs store");
+        if let Some(m) = &mut golden.trace[victim].mem {
+            m.data ^= 1 << 5;
+        }
+        let d = replay_lockstep(&prog, &golden, &CosimConfig::default())
+            .expect_err("corruption must be detected");
+        match d {
+            Divergence::Replay { kind, window, .. } => {
+                assert!(
+                    matches!(
+                        kind,
+                        MismatchKind::StoreData
+                            | MismatchKind::StoreAddr
+                            | MismatchKind::Register(_)
+                    ),
+                    "unexpected kind {kind:?}"
+                );
+                assert!(window.contains("=>"), "window must mark the divergence:\n{window}");
+            }
+            d => panic!("unexpected divergence {d}"),
+        }
+    }
+
+    #[test]
+    fn seg_len_does_not_change_the_verdict() {
+        let prog = fuzz_program(11, &FuzzConfig::default());
+        for seg_len in [7, 64, 1000] {
+            let cfg = CosimConfig { seg_len, ..CosimConfig::default() };
+            let v = run(&prog, &cfg);
+            assert!(v.divergence.is_none(), "seg_len {seg_len}: {}", v.divergence.unwrap());
+        }
+    }
+}

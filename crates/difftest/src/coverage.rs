@@ -1,0 +1,367 @@
+//! The fault-coverage oracle.
+//!
+//! For every injected [`FaultSpec`] the full-system run must end in one
+//! of three defensible states:
+//!
+//! * **Detected** — a checker reported the corrupted segment;
+//! * **Masked, proven benign** — no checker fired, but a *replay twin*
+//!   (a littlecore replay of the whole golden run with only the
+//!   recorded corruption applied) verifies clean end to end, proving
+//!   the flipped bit could not reach any compared artifact: every load
+//!   and store address, every store value, every CSR access, and the
+//!   final register file match the fault-free run;
+//! * **Pending** — the fault never fired (armed too late for any
+//!   matching packet) or its verdict structurally cannot arrive.
+//!
+//! Anything else — a masked fault whose replay twin *does* mismatch
+//! (the checker should have caught it), a corruption anchor that cannot
+//! be reconciled with the golden trace, a liveness panic — is an
+//! **escape**, and escapes fail loudly: they are exactly the
+//! silent-data-corruption events the MEEK architecture exists to
+//! prevent.
+
+use crate::cosim::GoldenRun;
+use crate::fuzz::FuzzProgram;
+use meek_core::{
+    cycle_cap, CorruptedField, FaultSite, FaultSpec, MaskRecord, MeekConfig, MeekSystem,
+};
+use meek_fabric::{DestMask, Packet, PacketSink, Payload};
+use meek_isa::state::RegCheckpoint;
+use meek_isa::{exec, ArchState};
+use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Classification of one injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOutcome {
+    /// A checker reported the corrupted segment.
+    Detected {
+        /// Injection-to-detection latency in nanoseconds.
+        latency_ns: f64,
+    },
+    /// No checker fired, and the replay twin proved the corruption
+    /// unable to reach any compared artifact.
+    MaskedProvenBenign,
+    /// The fault never received a verdict (and never corrupted live
+    /// comparison data): still queued, armed without a matching packet,
+    /// or structurally unverdictable.
+    Pending,
+    /// A corruption the checkers missed that the replay twin shows (or
+    /// cannot disprove) to be able to reach compared state.
+    Escaped {
+        /// Why this is an escape.
+        reason: String,
+    },
+}
+
+impl FaultOutcome {
+    /// Whether this outcome is an escape.
+    pub fn is_escape(&self) -> bool {
+        matches!(self, FaultOutcome::Escaped { .. })
+    }
+}
+
+impl fmt::Display for FaultOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultOutcome::Detected { latency_ns } => write!(f, "detected ({latency_ns:.1} ns)"),
+            FaultOutcome::MaskedProvenBenign => write!(f, "masked (proven benign)"),
+            FaultOutcome::Pending => write!(f, "pending (no verdict)"),
+            FaultOutcome::Escaped { reason } => write!(f, "ESCAPED: {reason}"),
+        }
+    }
+}
+
+/// A per-case fault plan: `n` faults cycling through the three sites,
+/// arm points spread over the front 60 % of the run so verdicts can
+/// land before drain.
+pub fn fault_plan(seed: u64, n: usize, executed: u64) -> Vec<FaultSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA_017);
+    let span = (executed * 6 / 10).max(1);
+    (0..n)
+        .map(|i| {
+            let site = match i % 3 {
+                0 => FaultSite::RcpRegister,
+                1 => FaultSite::MemData,
+                _ => FaultSite::MemAddr,
+            };
+            FaultSpec { arm_at_commit: rng.gen_range(0..span), site, bit: rng.gen_range(0..64) }
+        })
+        .collect()
+}
+
+/// Injects `spec` into a full-system run of `prog` and classifies the
+/// outcome against the golden reference.
+pub fn classify(
+    prog: &FuzzProgram,
+    golden: &GoldenRun,
+    spec: FaultSpec,
+    n_little: usize,
+) -> FaultOutcome {
+    let n = golden.trace.len() as u64;
+    let wl = prog.workload();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(n_little), &wl, n);
+        sys.set_faults(vec![spec]);
+        sys.run_to_completion(cycle_cap(n))
+    }));
+    let report = match outcome {
+        Ok(r) => r,
+        Err(_) => {
+            return FaultOutcome::Escaped {
+                reason: format!("system failed to drain with fault {spec:?}"),
+            }
+        }
+    };
+    if let Some(d) = report.detections.first() {
+        return FaultOutcome::Detected { latency_ns: d.latency_ns };
+    }
+    if let Some(mask) = report.masked_faults.first() {
+        return prove_benign(prog, golden, mask);
+    }
+    if report.pending_faults > 0 {
+        return FaultOutcome::Pending;
+    }
+    FaultOutcome::Escaped { reason: format!("fault {spec:?} vanished without a verdict") }
+}
+
+/// Proves a masked fault benign by replay twin, or convicts it as an
+/// escape.
+///
+/// The twin replays the *entire* golden run on a littlecore as one
+/// segment, with exactly the recorded corruption applied (a flipped
+/// forwarded record, or a flipped start-checkpoint register), and the
+/// fault-free final registers as the end checkpoint. The replay
+/// compares every artifact the MEEK checkers compare; if it verifies
+/// clean, no per-segment re-check in the real system could have seen
+/// the corruption either — the mask is benign. If it mismatches, the
+/// real system should have detected it, and the masked verdict is an
+/// escape.
+fn prove_benign(prog: &FuzzProgram, golden: &GoldenRun, mask: &MaskRecord) -> FaultOutcome {
+    match &mask.field {
+        &CorruptedField::Mem { addr, size, data, is_store } => {
+            // The corrupted packet is the first memory record extracted
+            // after arming: first trace index >= armed commit count
+            // with a memory access.
+            let from = (mask.armed_at_commit as usize).min(golden.trace.len());
+            let Some(idx) =
+                golden.trace[from..].iter().position(|r| r.mem.is_some()).map(|p| p + from)
+            else {
+                return FaultOutcome::Escaped {
+                    reason: format!("masked memory fault has no anchoring access: {mask:?}"),
+                };
+            };
+            let m = golden.trace[idx].mem.expect("anchored on a memory access");
+            if (m.addr, m.size, m.data, m.is_store) != (addr, size, data, is_store) {
+                return FaultOutcome::Escaped {
+                    reason: format!(
+                        "mask anchor mismatch: trace has {m:?} where injector recorded {:?}",
+                        mask.field
+                    ),
+                };
+            }
+            let (caddr, cdata) = match mask.spec.site {
+                FaultSite::MemAddr => (addr ^ (1 << (mask.spec.bit % 64)), data),
+                FaultSite::MemData => (addr, data ^ (1 << (mask.spec.bit % (size as u32 * 8)))),
+                FaultSite::RcpRegister => unreachable!("register fault with a memory field"),
+            };
+            let srcp = ArchState::new(prog.entry()).checkpoint();
+            replay_twin(prog, golden, 0, srcp, Some((idx, caddr, cdata)), mask)
+        }
+        CorruptedField::Register { index, clean_cp } => {
+            // Locate the boundary the corrupted checkpoint was cut at:
+            // the first golden state equal to the clean checkpoint.
+            let Some(j) = find_state_index(prog, clean_cp) else {
+                return FaultOutcome::Escaped {
+                    reason: format!(
+                        "masked checkpoint fault's clean state not found in the golden run: \
+                         {mask:?}"
+                    ),
+                };
+            };
+            let mut srcp = **clean_cp;
+            srcp.x[*index] ^= 1 << (mask.spec.bit % 64);
+            replay_twin(prog, golden, j, srcp, None, mask)
+        }
+    }
+}
+
+/// Scans the golden run for the first architectural state equal to
+/// `cp`, returning how many instructions had retired at that point.
+fn find_state_index(prog: &FuzzProgram, cp: &RegCheckpoint) -> Option<usize> {
+    let mut mem = prog.image();
+    let mut st = ArchState::new(prog.entry());
+    let mut executed = 0usize;
+    loop {
+        if st.pc == cp.pc && st.checkpoint() == *cp {
+            return Some(executed);
+        }
+        if st.pc == prog.exit_pc() || executed as u64 >= crate::cosim::GOLDEN_CAP {
+            return None;
+        }
+        exec::step(&mut st, &mut mem).ok()?;
+        executed += 1;
+    }
+}
+
+/// Replays `golden.trace[start..]` on a littlecore as one giant
+/// segment: SRCP = `srcp` (possibly corrupted), run-time records from
+/// the golden trace — with the record anchored at `corrupt`'s absolute
+/// trace index replaced by the corrupted `(addr, data)` — and the
+/// fault-free final registers as the ERCP.
+fn replay_twin(
+    prog: &FuzzProgram,
+    golden: &GoldenRun,
+    start: usize,
+    srcp: RegCheckpoint,
+    corrupt: Option<(usize, u64, u64)>,
+    mask: &MaskRecord,
+) -> FaultOutcome {
+    let image = prog.image();
+    let mut core = LittleCore::new(0, LittleCoreConfig::optimized(), crate::cosim::CHUNKS_PER_CP);
+    core.seed_initial_checkpoint(srcp);
+    core.assign(1);
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    for (i, r) in golden.trace[start..].iter().enumerate() {
+        let abs = start + i;
+        if let Some(m) = r.mem {
+            let (addr, data) = match corrupt {
+                Some((idx, caddr, cdata)) if idx == abs => (caddr, cdata),
+                _ => (m.addr, m.data),
+            };
+            core.lsl.deliver(
+                Packet {
+                    seq,
+                    dest: DestMask::single(0),
+                    payload: Payload::Mem {
+                        seg: 1,
+                        addr,
+                        size: m.size,
+                        data,
+                        is_store: m.is_store,
+                    },
+                    created_at: 0,
+                },
+                0,
+            );
+            seq += 1;
+        }
+        if let Some((addr, data)) = r.csr_read {
+            core.lsl.deliver(
+                Packet {
+                    seq,
+                    dest: DestMask::single(0),
+                    payload: Payload::Csr { seg: 1, addr, data },
+                    created_at: 0,
+                },
+                0,
+            );
+            seq += 1;
+        }
+    }
+    let len = (golden.trace.len() - start) as u64;
+    core.lsl.deliver(
+        Packet {
+            seq,
+            dest: DestMask::single(0),
+            payload: Payload::RcpEnd { seg: 1, inst_count: len, cp: Box::new(golden.final_cp) },
+            created_at: 0,
+        },
+        0,
+    );
+    let deadline = 400 * len + 50_000;
+    loop {
+        if let Some(CheckerEvent::SegmentVerified { pass, mismatch, .. }) =
+            core.tick_check(now, &image)
+        {
+            return if pass {
+                FaultOutcome::MaskedProvenBenign
+            } else {
+                FaultOutcome::Escaped {
+                    reason: format!(
+                        "replay twin caught the masked corruption as {:?} — the checkers \
+                         should have: {mask:?}",
+                        mismatch.expect("failed segment carries a mismatch")
+                    ),
+                }
+            };
+        }
+        now += 1;
+        if now > deadline {
+            return FaultOutcome::Escaped {
+                reason: format!("replay twin made no progress with the corruption: {mask:?}"),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosim::golden_run;
+    use crate::fuzz::{fuzz_program, FuzzConfig};
+
+    #[test]
+    fn injected_faults_never_escape() {
+        let mut detected = 0;
+        let mut masked = 0;
+        let mut pending = 0;
+        for seed in 0..8u64 {
+            let prog = fuzz_program(seed, &FuzzConfig::default());
+            let golden = golden_run(&prog).expect("clean");
+            for spec in fault_plan(seed, 3, golden.trace.len() as u64) {
+                match classify(&prog, &golden, spec, 4) {
+                    FaultOutcome::Detected { latency_ns } => {
+                        assert!(latency_ns > 0.0);
+                        detected += 1;
+                    }
+                    FaultOutcome::MaskedProvenBenign => masked += 1,
+                    FaultOutcome::Pending => pending += 1,
+                    FaultOutcome::Escaped { reason } => {
+                        panic!("seed {seed}, {spec:?}: {reason}")
+                    }
+                }
+            }
+        }
+        assert!(detected > 0, "most faults must be detected ({detected}/{masked}/{pending})");
+    }
+
+    #[test]
+    fn replay_twin_convicts_a_live_corruption() {
+        // Hand a fabricated mask record for a *store data* corruption —
+        // something the LSL comparison catches immediately — and check
+        // the prover convicts rather than excuses it.
+        let prog = fuzz_program(5, &FuzzConfig::default());
+        let golden = golden_run(&prog).expect("clean");
+        let idx = golden
+            .trace
+            .iter()
+            .position(|r| r.mem.is_some_and(|m| m.is_store))
+            .expect("fuzzed programs store");
+        let m = golden.trace[idx].mem.unwrap();
+        let mask = MaskRecord {
+            spec: FaultSpec { arm_at_commit: idx as u64, site: FaultSite::MemData, bit: 2 },
+            injected_cycle: 100,
+            seg: 1,
+            armed_at_commit: idx as u64,
+            field: CorruptedField::Mem { addr: m.addr, size: m.size, data: m.data, is_store: true },
+        };
+        let outcome = prove_benign(&prog, &golden, &mask);
+        assert!(outcome.is_escape(), "a live store corruption must convict, got {outcome}");
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_bounded() {
+        let a = fault_plan(9, 6, 1000);
+        let b = fault_plan(9, 6, 1000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|f| f.arm_at_commit < 600 && f.bit < 64));
+        let sites: std::collections::HashSet<_> =
+            a.iter().map(|f| format!("{:?}", f.site)).collect();
+        assert_eq!(sites.len(), 3, "all three sites appear");
+    }
+}

@@ -1,0 +1,50 @@
+//! **meek-difftest** — differential fuzzing and fault-coverage oracle
+//! for the MEEK simulator.
+//!
+//! The MEEK paper's central claim is that the checker cores catch *any*
+//! architectural divergence of the big core. Until now the replay path
+//! was exercised only by profile-driven workloads and hand-written
+//! tests; nothing adversarially searched for programs where the three
+//! executions disagree, or for injected faults the checkers silently
+//! miss. This crate closes that gap with four pieces:
+//!
+//! * a **seed-deterministic program fuzzer** ([`fuzz`]) emitting
+//!   arbitrary instruction mixes with real control flow, misaligned and
+//!   overlapping memory traffic, CSR churn and kernel traps;
+//! * a **three-way co-simulation oracle** ([`cosim`]) lock-stepping the
+//!   big core's commit stream, the golden `meek-isa` interpreter, and a
+//!   littlecore replay, reporting the first divergence with a
+//!   disassembled trace window;
+//! * a **fault-coverage oracle** ([`coverage`]) that classifies every
+//!   injected [`FaultSpec`] as detected, masked-proven-benign (a golden
+//!   twin re-run with and without the corruption behaves identically),
+//!   or **escaped** — and escapes fail loudly;
+//! * a **shrinker** ([`shrink`]) that minimises a divergent program and
+//!   emits it as a ready-to-commit `#[test]`.
+//!
+//! The `meek-difftest` CLI fans cases out over the `meek-campaign`
+//! executor; its report is byte-identical for a given seed at any
+//! `--threads`.
+//!
+//! # Example
+//!
+//! ```
+//! use meek_difftest::{cosim, fuzz_program, CosimConfig, FuzzConfig};
+//!
+//! let prog = fuzz_program(7, &FuzzConfig { static_len: 60 });
+//! let verdict = cosim::run(&prog, &CosimConfig::default());
+//! assert!(verdict.divergence.is_none(), "{}", verdict.divergence.unwrap());
+//! assert!(verdict.executed > 0);
+//! ```
+//!
+//! [`FaultSpec`]: meek_core::FaultSpec
+
+pub mod cosim;
+pub mod coverage;
+pub mod fuzz;
+pub mod shrink;
+
+pub use cosim::{golden_run, CosimConfig, CosimVerdict, Divergence, GoldenRun};
+pub use coverage::{classify, fault_plan, FaultOutcome};
+pub use fuzz::{fuzz_program, FuzzConfig, FuzzProgram};
+pub use shrink::{emit_test, minimize, shrink_insts};

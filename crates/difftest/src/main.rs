@@ -1,0 +1,289 @@
+//! `meek-difftest` — CLI front-end for the differential fuzzing and
+//! fault-coverage oracle.
+//!
+//! ```text
+//! meek-difftest --cases 1000 --seed 0 --threads 8
+//! ```
+//!
+//! Each case fuzzes one program, lock-steps it across the three
+//! execution ways, then injects a small fault plan and classifies every
+//! fault. The process exits non-zero on any divergence or coverage
+//! escape. All of stdout is a pure function of the flags: cases fan out
+//! over the campaign executor and results are re-sequenced into case
+//! order, so output is byte-identical at any `--threads`.
+
+use meek_campaign::Executor;
+use meek_difftest::{
+    classify, cosim, emit_test, fault_plan, fuzz_program, golden_run, minimize, CosimConfig,
+    Divergence, FaultOutcome, FuzzConfig,
+};
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "\
+meek-difftest — differential fuzzing & fault-coverage oracle for MEEK
+
+USAGE:
+    meek-difftest [OPTIONS]
+
+OPTIONS:
+    --cases <N>        Fuzzed programs to co-simulate [default: 100]
+    --seed <S>         Campaign seed: decimal, 0x-hex, or any string
+                       (hashed) [default: 0]
+    --threads <N>      Worker threads; 0 = all hardware threads
+                       [default: 0]
+    --faults <N>       Faults injected and classified per case
+                       [default: 3]
+    --seg-len <N>      Instructions per lock-step replay segment
+                       [default: 192]
+    --static-len <N>   Static body length of fuzzed programs
+                       [default: 220]
+    --little <N>       Checker cores in the full-system way [default: 4]
+    --shrink           On divergence, shrink the first failing case and
+                       print a ready-to-commit #[test]
+    --emit-test <PATH> With --shrink, also write the #[test] to PATH
+    -h, --help         Print this help
+";
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    threads: usize,
+    faults: usize,
+    seg_len: u64,
+    static_len: usize,
+    little: usize,
+    shrink: bool,
+    emit_path: Option<String>,
+}
+
+/// Parses a seed: decimal, `0x`-prefixed hex, or — for anything else —
+/// an FNV-1a hash of the string, so mnemonic seeds like `0xMEEK` work.
+fn parse_seed(s: &str) -> u64 {
+    if let Ok(v) = s.parse::<u64>() {
+        return v;
+    }
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        if let Ok(v) = u64::from_str_radix(hex, 16) {
+            return v;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse `{s}` as a number"))
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args {
+            cases: 100,
+            seed: 0,
+            threads: 0,
+            faults: 3,
+            seg_len: 192,
+            static_len: 220,
+            little: 4,
+            shrink: false,
+            emit_path: None,
+        };
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value =
+                |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--cases" => args.cases = parse_num(&value("--cases")?, "--cases")?,
+                "--seed" => args.seed = parse_seed(&value("--seed")?),
+                "--threads" => args.threads = parse_num(&value("--threads")?, "--threads")?,
+                "--faults" => args.faults = parse_num(&value("--faults")?, "--faults")?,
+                "--seg-len" => args.seg_len = parse_num(&value("--seg-len")?, "--seg-len")?,
+                "--static-len" => {
+                    args.static_len = parse_num(&value("--static-len")?, "--static-len")?
+                }
+                "--little" => args.little = parse_num(&value("--little")?, "--little")?,
+                "--shrink" => args.shrink = true,
+                "--emit-test" => args.emit_path = Some(value("--emit-test")?),
+                "-h" | "--help" => return Err(String::new()),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if args.cases == 0 || args.seg_len == 0 || args.static_len == 0 || args.little == 0 {
+            return Err("--cases, --seg-len, --static-len and --little must be positive".into());
+        }
+        Ok(args)
+    }
+}
+
+/// SplitMix64 finaliser, for deriving per-case seeds.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct CaseResult {
+    case_seed: u64,
+    executed: u64,
+    segments: u32,
+    system_cycles: u64,
+    divergence: Option<Divergence>,
+    outcomes: Vec<(meek_core::FaultSpec, FaultOutcome)>,
+}
+
+fn run_case(case_seed: u64, args: &Args) -> CaseResult {
+    let cfg =
+        CosimConfig { seg_len: args.seg_len, n_little: args.little, ..CosimConfig::default() };
+    let prog = fuzz_program(case_seed, &FuzzConfig { static_len: args.static_len });
+    let verdict = cosim::run(&prog, &cfg);
+    let mut outcomes = Vec::new();
+    if verdict.divergence.is_none() && args.faults > 0 {
+        // Only a program whose clean run agrees three ways is a valid
+        // substrate for coverage classification.
+        let golden = golden_run(&prog).expect("clean cosim implies clean golden");
+        for spec in fault_plan(case_seed, args.faults, verdict.executed) {
+            let outcome = classify(&prog, &golden, spec, args.little);
+            outcomes.push((spec, outcome));
+        }
+    }
+    CaseResult {
+        case_seed,
+        executed: verdict.executed,
+        segments: verdict.segments,
+        system_cycles: verdict.system_cycles,
+        divergence: verdict.divergence,
+        outcomes,
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match Args::parse(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let executor = Executor::new(args.threads);
+    println!(
+        "meek-difftest: {} case(s), seed {:#x}, {} fault(s)/case, seg-len {}, static-len {}, \
+         {} little core(s)",
+        args.cases, args.seed, args.faults, args.seg_len, args.static_len, args.little
+    );
+    let started = Instant::now();
+
+    let case_ids: Vec<u64> = (0..args.cases).collect();
+    let mut failures: Vec<(u64, Divergence)> = Vec::new();
+    let mut escapes: Vec<(u64, meek_core::FaultSpec, String)> = Vec::new();
+    let (mut executed, mut segments, mut cycles) = (0u64, 0u64, 0u64);
+    let (mut detected, mut masked, mut pending, mut total_faults) = (0u64, 0u64, 0u64, 0u64);
+    let mut latency_sum = 0.0f64;
+    executor.map_ordered(
+        &case_ids,
+        |_idx, &case| run_case(splitmix(args.seed ^ case.wrapping_mul(0x9E37_79B9)), &args),
+        |idx, r: CaseResult| {
+            executed += r.executed;
+            segments += r.segments as u64;
+            cycles += r.system_cycles;
+            if let Some(d) = r.divergence {
+                println!("case {idx} (seed {:#x}): DIVERGENCE\n{d}", r.case_seed);
+                failures.push((r.case_seed, d));
+            }
+            for (spec, outcome) in r.outcomes {
+                total_faults += 1;
+                match outcome {
+                    FaultOutcome::Detected { latency_ns } => {
+                        detected += 1;
+                        latency_sum += latency_ns;
+                    }
+                    FaultOutcome::MaskedProvenBenign => masked += 1,
+                    FaultOutcome::Pending => pending += 1,
+                    FaultOutcome::Escaped { reason } => {
+                        println!(
+                            "case {idx} (seed {:#x}): FAULT ESCAPE {spec:?}: {reason}",
+                            r.case_seed
+                        );
+                        escapes.push((r.case_seed, spec, reason));
+                    }
+                }
+            }
+        },
+    );
+
+    println!(
+        "\nthree-way: {} case(s), {} instruction(s) co-simulated, {} segment(s) replayed, \
+         {} divergence(s)",
+        args.cases,
+        executed,
+        segments,
+        failures.len()
+    );
+    if total_faults > 0 {
+        println!(
+            "coverage: {total_faults} fault(s) — {detected} detected ({:.1}%), {masked} \
+             masked-proven-benign, {pending} pending, {} ESCAPED",
+            100.0 * detected as f64 / total_faults as f64,
+            escapes.len()
+        );
+        if detected > 0 {
+            println!("mean detection latency: {:.1} ns", latency_sum / detected as f64);
+        }
+    }
+    eprintln!(
+        "[timing] {} case(s) on {} thread(s), {} big-core cycle(s) simulated in {:.2?}",
+        args.cases,
+        executor.threads(),
+        cycles,
+        started.elapsed()
+    );
+
+    if args.shrink {
+        if let Some((case_seed, _)) = failures.first() {
+            let cfg = CosimConfig {
+                seg_len: args.seg_len,
+                n_little: args.little,
+                ..CosimConfig::default()
+            };
+            eprintln!("[shrink] minimising case seed {case_seed:#x}...");
+            let prog = fuzz_program(*case_seed, &FuzzConfig { static_len: args.static_len });
+            let min = minimize(&prog, &cfg);
+            let test = emit_test(
+                &format!("shrunk_case_{case_seed:x}"),
+                &min,
+                &format!(
+                    "Shrunk by `meek-difftest --shrink` from seed {case_seed:#x} \
+                     ({} -> {} instructions).",
+                    prog.words.len(),
+                    min.words.len()
+                ),
+            );
+            println!("\n// ---- ready-to-commit regression test ----\n{test}");
+            if let Some(path) = &args.emit_path {
+                match std::fs::File::create(path).and_then(|mut f| f.write_all(test.as_bytes())) {
+                    Ok(()) => eprintln!("[shrink] wrote {path}"),
+                    Err(e) => eprintln!("[shrink] cannot write {path}: {e}"),
+                }
+            }
+        } else {
+            eprintln!("[shrink] nothing to shrink: no divergence");
+        }
+    }
+
+    if failures.is_empty() && escapes.is_empty() {
+        println!("OK: zero divergences, zero escapes");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

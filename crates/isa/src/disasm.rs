@@ -173,10 +173,58 @@ impl fmt::Display for Disasm<'_> {
     }
 }
 
+/// Disassembles a raw machine word, falling back to a `.word` directive
+/// when the word does not decode — the form trace windows want, since a
+/// divergence investigation must render corrupt fetches too.
+pub fn disasm_word(raw: u32) -> String {
+    match crate::decode::decode(raw) {
+        Ok(inst) => Disasm(&inst).to_string(),
+        Err(_) => format!(".word {raw:#010x}"),
+    }
+}
+
+/// Renders a disassembled window of `n` instructions starting at
+/// `start_pc`, one `pc: disassembly` line per word, marking `mark_pc`
+/// with a `=>` cursor. Used by the difftest divergence reports.
+pub fn disasm_window(
+    image: &crate::mem::SparseMemory,
+    start_pc: u64,
+    n: usize,
+    mark_pc: u64,
+) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        let pc = start_pc + 4 * i as u64;
+        let cursor = if pc == mark_pc { "=>" } else { "  " };
+        let line = disasm_word(image.peek_inst(pc));
+        out.push_str(&format!("{cursor} {pc:#08x}: {line}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::reg::{FReg, Reg};
+
+    #[test]
+    fn undecodable_word_renders_as_directive() {
+        assert_eq!(disasm_word(0), ".word 0x00000000");
+        assert_eq!(
+            disasm_word(crate::encode(&Inst::Ecall)),
+            "ecall",
+            "decodable words disassemble normally"
+        );
+    }
+
+    #[test]
+    fn window_marks_the_cursor_line() {
+        let mut mem = crate::mem::SparseMemory::new();
+        mem.load_program(0x1000, &[crate::encode(&Inst::Ecall), crate::encode(&Inst::Fence)]);
+        let w = disasm_window(&mem, 0x1000, 2, 0x1004);
+        assert!(w.contains("   0x001000: ecall"), "window:\n{w}");
+        assert!(w.contains("=> 0x001004: fence"), "window:\n{w}");
+    }
 
     #[test]
     fn formats() {

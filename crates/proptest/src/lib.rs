@@ -220,6 +220,141 @@ pub mod collection {
     }
 }
 
+/// Test-case shrinking, mirroring the spirit of real proptest's
+/// shrinkers as standalone building blocks.
+///
+/// Real proptest couples shrinking to its strategy tree; this shim keeps
+/// generation simple (no shrinking during `proptest!` runs) and instead
+/// exposes the shrinkers directly, driven by a caller-supplied failure
+/// predicate — which is exactly the shape a differential-test minimizer
+/// needs: "here is a failing value, make it smaller while it still
+/// fails".
+pub mod shrink {
+    /// Integer types the bisection shrinker handles.
+    pub trait ShrinkInt: Copy + PartialOrd {
+        /// The value halfway between `lo` and `self`, rounded toward
+        /// `lo`.
+        fn midpoint_toward(self, lo: Self) -> Self;
+    }
+
+    macro_rules! impl_shrink_int {
+        ($($t:ty),*) => {$(
+            impl ShrinkInt for $t {
+                #[inline]
+                fn midpoint_toward(self, lo: Self) -> Self {
+                    // i128 widening keeps the average exact for every
+                    // 64-bit type, signed or not.
+                    ((lo as i128 + self as i128).div_euclid(2)) as $t
+                }
+            }
+        )*};
+    }
+    impl_shrink_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Shrinks `value` toward `lo` by bisection, returning the smallest
+    /// value (closest to `lo`) for which `fails` still returns `true`.
+    /// `fails(value)` is assumed `true` on entry; `lo` itself is tried
+    /// first, so a predicate failing everywhere shrinks all the way.
+    pub fn int<T: ShrinkInt, F: FnMut(T) -> bool>(value: T, lo: T, mut fails: F) -> T {
+        if fails(lo) {
+            return lo;
+        }
+        // Invariant: fails(hi) && !fails(known_good).
+        let mut good = lo;
+        let mut hi = value;
+        loop {
+            let mid = hi.midpoint_toward(good);
+            if mid <= good || mid >= hi {
+                return hi;
+            }
+            if fails(mid) {
+                hi = mid;
+            } else {
+                good = mid;
+            }
+        }
+    }
+
+    /// Shrinks a failing `Vec` by removing chunks (largest first, the
+    /// classic ddmin scan) until no single removal reproduces the
+    /// failure. `fails(&items)` is assumed `true` on entry and holds for
+    /// the returned vector.
+    pub fn vec<T: Clone, F: FnMut(&[T]) -> bool>(items: Vec<T>, fails: F) -> Vec<T> {
+        vec_with(
+            items,
+            |cur, start, end| {
+                let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+                candidate.extend_from_slice(&cur[..start]);
+                candidate.extend_from_slice(&cur[end..]);
+                candidate
+            },
+            fails,
+        )
+    }
+
+    /// The ddmin scan with a caller-supplied removal operator:
+    /// `remove(items, start, end)` builds the candidate with
+    /// `items[start..end]` taken out, patching up whatever internal
+    /// structure removal disturbs (e.g. relative branch offsets in an
+    /// instruction stream). [`vec`] is this with plain slicing.
+    pub fn vec_with<T, R, F>(items: Vec<T>, mut remove: R, mut fails: F) -> Vec<T>
+    where
+        R: FnMut(&[T], usize, usize) -> Vec<T>,
+        F: FnMut(&[T]) -> bool,
+    {
+        let mut cur = items;
+        let mut chunk = (cur.len() / 2).max(1);
+        loop {
+            let mut removed_any = false;
+            let mut start = 0;
+            while start < cur.len() {
+                let end = (start + chunk).min(cur.len());
+                let candidate = remove(&cur, start, end);
+                if fails(&candidate) {
+                    cur = candidate;
+                    removed_any = true;
+                    // Re-scan from the same position: the element now at
+                    // `start` has not been tried at this chunk size.
+                } else {
+                    start += chunk;
+                }
+                if cur.is_empty() {
+                    return cur;
+                }
+            }
+            if chunk == 1 && !removed_any {
+                return cur;
+            }
+            if !removed_any {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+    }
+
+    /// Element-wise simplification pass: for each position, tries the
+    /// replacements `simplify` proposes (in order) and keeps the first
+    /// that still fails. Run after [`vec`] to canonicalise the survivors
+    /// (e.g. replacing instructions with NOPs).
+    pub fn elements<T: Clone, S, F>(items: Vec<T>, mut simplify: S, mut fails: F) -> Vec<T>
+    where
+        S: FnMut(&T) -> Vec<T>,
+        F: FnMut(&[T]) -> bool,
+    {
+        let mut cur = items;
+        for i in 0..cur.len() {
+            for replacement in simplify(&cur[i]) {
+                let mut candidate = cur.clone();
+                candidate[i] = replacement;
+                if fails(&candidate) {
+                    cur = candidate;
+                    break;
+                }
+            }
+        }
+        cur
+    }
+}
+
 /// Per-test configuration, mirroring `proptest::test_runner::Config`.
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -339,6 +474,65 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+}
+
+#[cfg(test)]
+mod shrink_tests {
+    use super::shrink;
+
+    #[test]
+    fn int_bisects_to_the_boundary() {
+        // Smallest failing value is 37.
+        let mut evals = 0;
+        let min = shrink::int(100_000u64, 0, |x| {
+            evals += 1;
+            x >= 37
+        });
+        assert_eq!(min, 37);
+        assert!(evals <= 40, "bisection, not a linear scan ({evals} evals)");
+    }
+
+    #[test]
+    fn int_handles_signed_ranges() {
+        assert_eq!(shrink::int(500i64, -500, |x| x >= -123), -123);
+        assert_eq!(shrink::int(0i32, 0, |_| true), 0, "lo itself failing wins");
+        assert_eq!(shrink::int(9u8, 0, |x| x == 9), 9, "nothing smaller fails");
+    }
+
+    #[test]
+    fn vec_removes_everything_irrelevant() {
+        // Failure needs both a 7 and a 42, in that order.
+        let items: Vec<u32> = (0..100).collect();
+        let shrunk = shrink::vec(items, |v| {
+            let p7 = v.iter().position(|&x| x == 7);
+            let p42 = v.iter().position(|&x| x == 42);
+            matches!((p7, p42), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(shrunk, vec![7, 42], "only the two load-bearing elements survive");
+    }
+
+    #[test]
+    fn vec_can_shrink_to_empty() {
+        let shrunk = shrink::vec(vec![1u8, 2, 3, 4], |_| true);
+        assert!(shrunk.is_empty());
+    }
+
+    #[test]
+    fn vec_preserves_the_failure() {
+        // Pathological predicate: fails only on exact original.
+        let orig = vec![9u8, 8, 7];
+        let shrunk = shrink::vec(orig.clone(), |v| v == orig.as_slice());
+        assert_eq!(shrunk, orig, "an unshrinkable case comes back intact");
+    }
+
+    #[test]
+    fn elements_canonicalises_survivors() {
+        // Fails while the vector sums to >= 10; every element can try
+        // to become 0 then 1.
+        let shrunk =
+            shrink::elements(vec![9u32, 9, 9], |_| vec![0, 1], |v| v.iter().sum::<u32>() >= 10);
+        assert_eq!(shrunk.iter().sum::<u32>(), 10, "each element minimised in turn: {shrunk:?}");
+    }
 }
 
 #[cfg(test)]

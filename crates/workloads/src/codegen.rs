@@ -94,6 +94,22 @@ impl Workload {
         Generator::new(profile, seed).generate()
     }
 
+    /// Wraps an arbitrary pre-built program image as a workload, so
+    /// external generators (the difftest fuzzer) can run programs the
+    /// profile-driven codegen would never emit through the full MEEK
+    /// system. The program must be trap-free along its executed path and
+    /// reach `exit_pc` (or the run cap) like generated workloads do.
+    pub fn from_image(
+        name: &'static str,
+        image: SparseMemory,
+        entry: u64,
+        exit_pc: u64,
+        static_len: usize,
+        initial: ArchState,
+    ) -> Workload {
+        Workload { name, image, entry, exit_pc, static_len, initial }
+    }
+
     /// The read-only program image (little cores fetch from this).
     pub fn image(&self) -> &SparseMemory {
         &self.image
