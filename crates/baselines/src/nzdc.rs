@@ -76,6 +76,7 @@ fn synth(base: &Retired, inst: Inst) -> Retired {
         branch: None,
         mem: None,
         csr_read: None,
+        csr_write: None,
         is_kernel_trap: false,
         wb: None,
     }

@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the recovery subsystem: the fig-7-style
+//! recovery-latency curve (how long detect→rollback→re-execute→verify
+//! takes as the fault lands later in the run, i.e. with more state to
+//! squash) plus the checkpointing overhead a fault-free run pays for
+//! carrying the undo-log and pinned checkpoints.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use meek_core::{cycle_cap, FaultSite, FaultSpec, MeekConfig, MeekSystem, RecoveryPolicy};
+use meek_workloads::{parsec3, Workload};
+
+const INSTS: u64 = 12_000;
+
+fn workload() -> Workload {
+    Workload::build(&parsec3()[0], 11) // blackscholes: smallest footprint
+}
+
+/// The recovery-latency curve: one detected fault per run, armed
+/// progressively deeper into the program. Each iteration simulates the
+/// whole detect→rollback→re-execute→verify loop; the reported
+/// per-element time is dominated by the re-executed tail, which is the
+/// quantity the latency figure plots.
+fn bench_recovery_latency_curve(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("recover/latency_curve");
+    g.throughput(Throughput::Elements(1));
+    for arm_at in [2_000u64, 5_000, 8_000] {
+        g.bench_function(&format!("arm_at_{arm_at}"), |b| {
+            b.iter(|| {
+                let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
+                let mut sys = MeekSystem::new(cfg, black_box(&wl), INSTS);
+                sys.set_faults(vec![FaultSpec {
+                    arm_at_commit: arm_at,
+                    site: FaultSite::MemAddr,
+                    bit: 9,
+                }]);
+                let report = sys.run_to_completion(cycle_cap(INSTS));
+                assert_eq!(report.recovery.unrecovered, 0);
+                report.recovery.recovery_cycles_total
+            })
+        });
+    }
+    g.finish();
+}
+
+/// What an always-on recovery policy costs when nothing ever fails:
+/// the undo-log journaling and per-boundary checkpoint pinning on the
+/// fault-free hot path, vs the detect-only baseline.
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("recover/clean_run");
+    g.throughput(Throughput::Elements(INSTS));
+    g.bench_function("detect_only", |b| {
+        b.iter(|| {
+            let mut sys = MeekSystem::new(MeekConfig::default(), black_box(&wl), INSTS);
+            sys.run_to_completion(cycle_cap(INSTS)).cycles
+        })
+    });
+    g.bench_function("recovery_enabled", |b| {
+        b.iter(|| {
+            let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
+            let mut sys = MeekSystem::new(cfg, black_box(&wl), INSTS);
+            let report = sys.run_to_completion(cycle_cap(INSTS));
+            assert!(report.recovery.storage_bytes_hwm > 0);
+            report.cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_recovery_latency_curve, bench_checkpoint_overhead
+}
+criterion_main!(benches);

@@ -192,6 +192,32 @@ impl BigCore {
         self.window.len()
     }
 
+    /// Squashes every in-flight (uncommitted) instruction and re-anchors
+    /// the commit counter at `committed` — the big-core half of a
+    /// recovery rollback. The ROB, issue queue, LSQ, rename state and
+    /// PRF free lists reset as a full-pipeline flush would; fetch
+    /// resumes after the redirect penalty, and the oracle is re-polled
+    /// (the caller rewinds it to the matching instruction index).
+    /// Cumulative stats other than `committed` are preserved: squashed
+    /// fetches and stalls really happened.
+    pub fn rollback(&mut self, now: u64, committed: u64) {
+        self.window.clear();
+        self.pending = None;
+        self.iq_count = 0;
+        self.ldq_count = 0;
+        self.stq_count = 0;
+        self.int_prf_free = self.cfg.int_prf.saturating_sub(32);
+        self.fp_prf_free = self.cfg.fp_prf.saturating_sub(32);
+        self.int_producer = [None; 32];
+        self.fp_producer = [None; 32];
+        self.fetch_stalled_on = None;
+        self.fetch_resume_at = now + self.cfg.redirect_penalty;
+        self.cur_fetch_line = None;
+        self.div_busy_until = 0;
+        self.oracle_done = false;
+        self.stats.committed = committed;
+    }
+
     /// Memory-hierarchy statistics (read-only view).
     pub fn hierarchy_stats(
         &self,

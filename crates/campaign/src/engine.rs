@@ -39,6 +39,14 @@ pub struct CampaignSummary {
     pub committed: u64,
     /// Distinct programs synthesised.
     pub workloads_built: usize,
+    /// Recovery rollbacks executed across all shards.
+    pub rollbacks: u64,
+    /// Failure episodes fully recovered across all shards.
+    pub recovered: u64,
+    /// Failure episodes abandoned across all shards.
+    pub unrecovered: u64,
+    /// Largest recovery-storage high-water mark any shard reached.
+    pub storage_bytes_hwm: u64,
 }
 
 /// Result of one shard's simulation, in deterministic shard order.
@@ -62,6 +70,10 @@ fn cancelled_shard(shard: &ShardSpec) -> ShardResult {
             failed_segments: 0,
             cycles: 0,
             committed: 0,
+            rollbacks: 0,
+            recovered: 0,
+            unrecovered: 0,
+            storage_bytes_hwm: 0,
         },
     }
 }
@@ -98,6 +110,10 @@ fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> S
             failed_segments: report.failed_segments,
             cycles: report.cycles,
             committed: report.committed,
+            rollbacks: report.recovery.rollbacks,
+            recovered: report.recovery.recovered,
+            unrecovered: report.recovery.unrecovered,
+            storage_bytes_hwm: report.recovery.storage_bytes_hwm,
         },
         records,
     }
@@ -147,6 +163,10 @@ pub fn run_campaign(
             summary.failed_segments += s.failed_segments;
             summary.sim_cycles += s.cycles;
             summary.committed += s.committed;
+            summary.rollbacks += s.rollbacks;
+            summary.recovered += s.recovered;
+            summary.unrecovered += s.unrecovered;
+            summary.storage_bytes_hwm = summary.storage_bytes_hwm.max(s.storage_bytes_hwm);
             if sink_err.is_some() {
                 return; // keep draining workers, stop writing
             }
@@ -211,6 +231,22 @@ mod tests {
         let overall = agg.overall();
         assert_eq!(overall.detected, summary.detected);
         assert!(overall.mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn recovery_campaign_recovers_every_detection() {
+        let mut spec = tiny_spec();
+        spec.config = meek_core::MeekConfig::with_recovery(4, meek_core::RecoveryPolicy::enabled());
+        let mut agg = AggregateSink::new();
+        let summary = {
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg];
+            run_campaign(&spec, &Executor::new(2), &mut sinks).unwrap()
+        };
+        assert!(summary.detected > 0);
+        assert!(summary.rollbacks > 0, "detections must trigger rollbacks: {summary:?}");
+        assert_eq!(summary.unrecovered, 0, "every episode must recover: {summary:?}");
+        assert!(summary.recovered > 0 && summary.recovered <= summary.rollbacks, "{summary:?}");
+        assert!(summary.storage_bytes_hwm > 0, "checkpoints and undo-log must be accounted");
     }
 
     #[test]

@@ -42,6 +42,9 @@ OPTIONS:
     --shard-faults <N>    Faults per shard (parallel grain) [default: 25]
     --insts-per-fault <N> Instruction headroom per fault [default: 4000]
     --little <N>          Checker cores per system [default: 4]
+    --recover             Enable checkpoint/rollback recovery: every
+                          detection rolls the big core back to the last
+                          verified checkpoint and re-executes
     --quiet               Suppress the per-workload table
     -h, --help            Print this help
 ";
@@ -56,6 +59,7 @@ struct Args {
     shard_faults: usize,
     insts_per_fault: u64,
     little: usize,
+    recover: bool,
     quiet: bool,
 }
 
@@ -78,6 +82,7 @@ impl Args {
             shard_faults: 25,
             insts_per_fault: meek_campaign::spec::DEFAULT_INSTS_PER_FAULT,
             little: 4,
+            recover: false,
             quiet: false,
         };
         let mut it = argv.iter();
@@ -99,6 +104,7 @@ impl Args {
                         parse_num(&value("--insts-per-fault")?, "--insts-per-fault")?
                 }
                 "--little" => args.little = parse_num(&value("--little")?, "--little")?,
+                "--recover" => args.recover = true,
                 "--quiet" => args.quiet = true,
                 "-h" | "--help" => return Err(String::new()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -172,9 +178,14 @@ fn main() -> ExitCode {
 
 fn run(args: &Args) -> io::Result<()> {
     let workloads = resolve_suite(&args.suite).map_err(io::Error::other)?;
+    let config = if args.recover {
+        MeekConfig::with_recovery(args.little, meek_core::RecoveryPolicy::enabled())
+    } else {
+        MeekConfig::with_little_cores(args.little)
+    };
     let spec = CampaignSpec {
         workloads,
-        config: MeekConfig::with_little_cores(args.little),
+        config,
         faults_per_workload: args.faults,
         faults_per_shard: args.shard_faults,
         insts_per_fault: args.insts_per_fault,
@@ -243,6 +254,13 @@ fn run(args: &Args) -> io::Result<()> {
         "\ntotal: {} injected, {} detected, {} masked, {} pending",
         summary.faults, summary.detected, summary.masked, summary.pending
     );
+    if args.recover {
+        println!(
+            "recovery: {} rollback(s), {} episode(s) recovered, {} unrecovered, \
+             storage high-water {} byte(s)",
+            summary.rollbacks, summary.recovered, summary.unrecovered, summary.storage_bytes_hwm
+        );
+    }
     println!(
         "latency: mean {:.1} ns, p50 {:.1} ns, p99 {:.1} ns, p99.9 {:.1} ns, max {:.1} ns",
         overall.mean_ns(),

@@ -24,26 +24,33 @@ pub fn site_name(site: FaultSite) -> &'static str {
         FaultSite::MemAddr => "mem_addr",
         FaultSite::MemData => "mem_data",
         FaultSite::RcpRegister => "rcp_register",
+        FaultSite::LsqParity => "lsq_parity",
+        FaultSite::CacheData => "cache_data",
     }
 }
 
 impl CampaignRecord {
     /// CSV header matching [`CampaignRecord::csv_row`].
     pub const CSV_HEADER: &'static str =
-        "workload,shard,site,injected_cycle,detected_cycle,latency_ns,seg";
+        "workload,shard,site,injected_cycle,detected_cycle,latency_ns,seg,recovered,\
+         recovery_cycles";
 
-    /// One CSV row (no newline).
+    /// One CSV row (no newline). The recovery-latency columns are `0,0`
+    /// for detect-only campaigns and for parity-window detections
+    /// (corrected in place, nothing to roll back).
     pub fn csv_row(&self) -> String {
         let d = &self.detection;
         format!(
-            "{},{},{},{},{},{:.3},{}",
+            "{},{},{},{},{},{:.3},{},{},{}",
             self.workload,
             self.shard,
             site_name(d.site),
             d.injected_cycle,
             d.detected_cycle,
             d.latency_ns,
-            d.seg
+            d.seg,
+            u8::from(d.recovery_cycles.is_some()),
+            d.recovery_cycles.unwrap_or(0)
         )
     }
 
@@ -52,14 +59,17 @@ impl CampaignRecord {
         let d = &self.detection;
         format!(
             "{{\"workload\":\"{}\",\"shard\":{},\"site\":\"{}\",\"injected_cycle\":{},\
-             \"detected_cycle\":{},\"latency_ns\":{:.3},\"seg\":{}}}",
+             \"detected_cycle\":{},\"latency_ns\":{:.3},\"seg\":{},\"recovered\":{},\
+             \"recovery_cycles\":{}}}",
             self.workload,
             self.shard,
             site_name(d.site),
             d.injected_cycle,
             d.detected_cycle,
             d.latency_ns,
-            d.seg
+            d.seg,
+            d.recovery_cycles.is_some(),
+            d.recovery_cycles.unwrap_or(0)
         )
     }
 }
@@ -90,6 +100,15 @@ pub struct ShardSummary {
     pub cycles: u64,
     /// Instructions committed.
     pub committed: u64,
+    /// Recovery rollbacks executed (0 in detect-only campaigns).
+    pub rollbacks: u64,
+    /// Failure episodes fully recovered (pass verdict after rollback).
+    pub recovered: u64,
+    /// Failure episodes abandoned by the recovery policy.
+    pub unrecovered: u64,
+    /// High-water mark of recovery storage (pinned checkpoints plus
+    /// undo-log) in modelled bytes.
+    pub storage_bytes_hwm: u64,
 }
 
 /// Receives campaign results in deterministic (shard, record) order.
@@ -179,6 +198,12 @@ pub struct LatencyStats {
     pub pending: usize,
     /// Faults queued.
     pub faults: usize,
+    /// Recovery rollbacks executed.
+    pub rollbacks: u64,
+    /// Failure episodes fully recovered.
+    pub recovered: u64,
+    /// Failure episodes the recovery policy abandoned.
+    pub unrecovered: u64,
 }
 
 impl LatencyStats {
@@ -281,10 +306,16 @@ impl RecordSink for AggregateSink {
         w.masked += s.masked;
         w.pending += s.pending;
         w.faults += s.faults;
+        w.rollbacks += s.rollbacks;
+        w.recovered += s.recovered;
+        w.unrecovered += s.unrecovered;
         self.overall.detected += s.detected;
         self.overall.masked += s.masked;
         self.overall.pending += s.pending;
         self.overall.faults += s.faults;
+        self.overall.rollbacks += s.rollbacks;
+        self.overall.recovered += s.recovered;
+        self.overall.unrecovered += s.unrecovered;
         Ok(())
     }
 
@@ -312,22 +343,30 @@ mod tests {
                 detected_cycle: 420,
                 latency_ns,
                 seg: 3,
+                recovery_cycles: None,
             },
         }
+    }
+
+    fn recovered_rec(workload: &'static str, shard: u32, cycles: u64) -> CampaignRecord {
+        let mut r = rec(workload, shard, 80.0);
+        r.detection.recovery_cycles = Some(cycles);
+        r
     }
 
     #[test]
     fn csv_is_stable_and_headed() {
         let mut sink = CsvSink::new(Vec::new());
         sink.on_record(&rec("mcf", 1, 100.0)).unwrap();
-        sink.on_record(&rec("mcf", 2, 200.5)).unwrap();
+        sink.on_record(&recovered_rec("mcf", 2, 5_120)).unwrap();
         sink.finish().unwrap();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(
             text,
-            "workload,shard,site,injected_cycle,detected_cycle,latency_ns,seg\n\
-             mcf,1,mem_data,100,420,100.000,3\n\
-             mcf,2,mem_data,100,420,200.500,3\n"
+            "workload,shard,site,injected_cycle,detected_cycle,latency_ns,seg,recovered,\
+             recovery_cycles\n\
+             mcf,1,mem_data,100,420,100.000,3,0,0\n\
+             mcf,2,mem_data,100,420,80.000,3,1,5120\n"
         );
     }
 
@@ -335,12 +374,17 @@ mod tests {
     fn jsonl_is_one_flat_object_per_line() {
         let mut sink = JsonlSink::new(Vec::new());
         sink.on_record(&rec("astar", 0, 62.5)).unwrap();
+        sink.on_record(&recovered_rec("astar", 0, 900)).unwrap();
         sink.finish().unwrap();
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert_eq!(
             text,
             "{\"workload\":\"astar\",\"shard\":0,\"site\":\"mem_data\",\
-             \"injected_cycle\":100,\"detected_cycle\":420,\"latency_ns\":62.500,\"seg\":3}\n"
+             \"injected_cycle\":100,\"detected_cycle\":420,\"latency_ns\":62.500,\"seg\":3,\
+             \"recovered\":false,\"recovery_cycles\":0}\n\
+             {\"workload\":\"astar\",\"shard\":0,\"site\":\"mem_data\",\
+             \"injected_cycle\":100,\"detected_cycle\":420,\"latency_ns\":80.000,\"seg\":3,\
+             \"recovered\":true,\"recovery_cycles\":900}\n"
         );
     }
 
@@ -361,12 +405,19 @@ mod tests {
             failed_segments: 100,
             cycles: 1,
             committed: 1,
+            rollbacks: 40,
+            recovered: 39,
+            unrecovered: 1,
+            storage_bytes_hwm: 4096,
         })
         .unwrap();
         agg.finish().unwrap();
         let s = agg.overall();
         assert_eq!(s.detected, 100);
         assert_eq!(s.masked, 10);
+        assert_eq!(s.rollbacks, 40);
+        assert_eq!(s.recovered, 39);
+        assert_eq!(s.unrecovered, 1);
         assert!((s.mean_ns() - 50.5).abs() < 1e-9);
         assert_eq!(s.percentile_ns(0.5), 50.0);
         assert_eq!(s.percentile_ns(0.99), 99.0);

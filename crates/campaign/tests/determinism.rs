@@ -61,6 +61,48 @@ fn rerunning_the_same_spec_reproduces_the_campaign() {
 }
 
 #[test]
+fn recovery_campaign_is_thread_count_invariant() {
+    // The same contract with the full detect->rollback->re-execute
+    // loop in play: rollbacks re-execute instructions, annotate
+    // detections with recovery latencies, and none of it may depend on
+    // worker scheduling.
+    let run = |threads: usize| {
+        let mut spec = spec();
+        spec.config = meek_core::MeekConfig::with_recovery(4, meek_core::RecoveryPolicy::enabled());
+        let mut csv = CsvSink::new(Vec::new());
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let summary = {
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut csv, &mut jsonl];
+            run_campaign(&spec, &Executor::new(threads), &mut sinks).expect("campaign runs")
+        };
+        (summary, csv.into_inner(), jsonl.into_inner())
+    };
+    let (s1, csv1, jsonl1) = run(1);
+    let (s8, csv8, jsonl8) = run(8);
+    assert_eq!(s1, s8);
+    assert_eq!(csv1, csv8, "recovery CSV must be byte-identical across thread counts");
+    assert_eq!(jsonl1, jsonl8);
+    assert!(s1.rollbacks > 0, "the campaign must actually recover something: {s1:?}");
+    assert_eq!(s1.unrecovered, 0);
+    let text = String::from_utf8(csv1).unwrap();
+    assert!(
+        text.lines().next().unwrap().ends_with("recovered,recovery_cycles"),
+        "records must carry the recovery-latency columns"
+    );
+    // At least one record must carry a real per-detection recovery
+    // annotation (recovered=1 with a nonzero cycle count), not just
+    // summary-level rollback totals.
+    assert!(
+        text.lines().skip(1).any(|l| {
+            let mut cols = l.rsplit(',');
+            let cycles = cols.next();
+            cols.next() == Some("1") && cycles.is_some_and(|c| c != "0")
+        }),
+        "no record carries a completed recovery annotation:\n{text}"
+    );
+}
+
+#[test]
 fn different_seeds_produce_different_campaigns() {
     let base = spec();
     let mut reseeded = spec();

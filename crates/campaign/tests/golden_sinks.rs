@@ -26,9 +26,18 @@ fn synthetic_stream() -> (Vec<CampaignRecord>, Vec<ShardSummary>) {
     for workload in ["blackscholes", "mcf", "swaptions"] {
         for shard in 0..2u32 {
             let detections = rng.gen_range(2..5usize);
+            let mut recovered = 0u64;
             for _ in 0..detections {
                 let injected_cycle = rng.gen_range(1_000..2_000_000u64);
                 let delta = rng.gen_range(10..20_000u64);
+                // Half the synthetic detections recovered, pinning both
+                // states of the recovery-latency columns.
+                let recovery_cycles = if rng.gen_bool(0.5) {
+                    recovered += 1;
+                    Some(rng.gen_range(500..80_000u64))
+                } else {
+                    None
+                };
                 records.push(CampaignRecord {
                     workload,
                     shard,
@@ -42,6 +51,7 @@ fn synthetic_stream() -> (Vec<CampaignRecord>, Vec<ShardSummary>) {
                         detected_cycle: injected_cycle + delta,
                         latency_ns: delta as f64 * 0.3125,
                         seg: rng.gen_range(1..400u32),
+                        recovery_cycles,
                     },
                 });
             }
@@ -56,6 +66,10 @@ fn synthetic_stream() -> (Vec<CampaignRecord>, Vec<ShardSummary>) {
                 failed_segments: detections as u64,
                 cycles: rng.gen_range(1_000_000..9_000_000u64),
                 committed: rng.gen_range(100_000..900_000u64),
+                rollbacks: recovered,
+                recovered,
+                unrecovered: 0,
+                storage_bytes_hwm: rng.gen_range(10_000..200_000u64),
             });
         }
     }
@@ -113,8 +127,17 @@ fn jsonl_sink_matches_golden_bytes() {
 fn jsonl_lines_parse_as_flat_json_objects() {
     // Without a JSON dependency, check the invariants tooling relies
     // on: one object per line, no nesting, stable key order.
-    const KEYS: [&str; 7] =
-        ["workload", "shard", "site", "injected_cycle", "detected_cycle", "latency_ns", "seg"];
+    const KEYS: [&str; 9] = [
+        "workload",
+        "shard",
+        "site",
+        "injected_cycle",
+        "detected_cycle",
+        "latency_ns",
+        "seg",
+        "recovered",
+        "recovery_cycles",
+    ];
     for line in GOLDEN_JSONL.lines() {
         assert!(line.starts_with('{') && line.ends_with('}'), "not an object: {line}");
         assert_eq!(line.matches('{').count(), 1, "nested object: {line}");

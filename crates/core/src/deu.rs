@@ -31,7 +31,8 @@ use meek_isa::state::RegCheckpoint;
 use meek_isa::{Retired, WbDest};
 use meek_littlecore::LittleCore;
 use meek_mem::byte_parity;
-use std::collections::VecDeque;
+use meek_recover::RecoveryManager;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Nanoseconds per big-core cycle at 3.2 GHz (Table II).
 pub const BIG_CORE_NS_PER_CYCLE: f64 = 0.3125;
@@ -64,6 +65,13 @@ pub struct DeuState {
     /// Checking capacity (toggled by `b.check`).
     pub enabled: bool,
     shadow: RegCheckpoint,
+    /// Commit-order CSR shadow (RCPs exclude CSRs; recovery rollback
+    /// must restore them, so the DEU tracks CSR write side-effects the
+    /// same way it shadows the PRFs).
+    pub(crate) shadow_csrs: BTreeMap<u16, u64>,
+    /// Cumulative instructions committed — the commit-index anchor for
+    /// pinned recovery checkpoints.
+    pub(crate) committed_total: u64,
     seq: u64,
     /// Current (open) segment id; segment ids start at 1.
     pub seg: u32,
@@ -106,6 +114,8 @@ impl DeuState {
         DeuState {
             enabled: true,
             shadow: initial,
+            shadow_csrs: BTreeMap::new(),
+            committed_total: 0,
             seq: 0,
             seg: 1,
             insts_in_seg: 0,
@@ -227,6 +237,30 @@ impl DeuState {
     pub fn transfers_drained(&self) -> bool {
         self.transfers.is_empty()
     }
+
+    /// Rewinds the DEU to the start of segment `seg` — the extraction
+    /// half of a recovery rollback. In-flight transfers and the owed
+    /// SRCP are squashed (the fabric flush drops their already-pushed
+    /// chunks), the shadow state snaps to the restored checkpoint, and
+    /// segmentation restarts at the rolled-back boundary.
+    pub(crate) fn rollback(
+        &mut self,
+        seg: u32,
+        cp: RegCheckpoint,
+        csrs: BTreeMap<u16, u64>,
+        commit_index: u64,
+    ) {
+        self.seg = seg;
+        self.insts_in_seg = 0;
+        self.records_in_seg = 0;
+        self.kernel_trap_pending = false;
+        self.shadow = cp;
+        self.shadow_csrs = csrs;
+        self.committed_total = commit_index;
+        self.transfers.clear();
+        self.owed = None;
+        self.finalized = false;
+    }
 }
 
 /// The DEU wired to the rest of the system for one big-core `tick` —
@@ -242,6 +276,9 @@ pub struct DeuHook<'a> {
     pub seg_mgr: &'a mut SegmentManager,
     /// Fault injector (corrupts forwarded packets).
     pub injector: &'a mut FaultInjector,
+    /// Recovery manager (pins a checkpoint at every segment boundary;
+    /// inert when the policy is disabled).
+    pub recover: &'a mut RecoveryManager,
 }
 
 impl DeuHook<'_> {
@@ -312,6 +349,17 @@ impl DeuHook<'_> {
         self.deu.insts_in_seg = 0;
         self.deu.records_in_seg = 0;
         self.deu.kernel_trap_pending = false;
+        // The boundary state is the new segment's start checkpoint:
+        // pinned until its verdict drains, it is what a detection in
+        // segment `cur + 1` rolls back to.
+        if self.recover.enabled() {
+            self.recover.pin_checkpoint(
+                cur + 1,
+                self.deu.committed_total,
+                cp,
+                self.deu.shadow_csrs.clone(),
+            );
+        }
         None
     }
 
@@ -320,9 +368,18 @@ impl DeuHook<'_> {
         let seg = self.deu.seg;
         let payload = if let Some(m) = ret.mem {
             // Footnote 2: double-check the parity carried through the
-            // LSQ window before the data leaves the core.
+            // LSQ window before the data leaves the core. An injected
+            // LSQ-window flip strikes after the cache parity was copied,
+            // so the check fails, the error is counted, and the clean
+            // data is re-read — the corruption never leaves the core.
             self.deu.parity_checks += 1;
-            if !meek_mem::check_parity(m.data, byte_parity(m.data)) {
+            let carried = byte_parity(m.data);
+            let window_data = match self.injector.lsq_parity_strike(now, seg, BIG_CORE_NS_PER_CYCLE)
+            {
+                Some(bit) => m.data ^ (1 << (bit % (m.size as u32 * 8))),
+                None => m.data,
+            };
+            if !meek_mem::check_parity(window_data, carried) {
                 self.deu.parity_errors += 1;
             }
             Payload::Mem { seg, addr: m.addr, size: m.size, data: m.data, is_store: m.is_store }
@@ -373,6 +430,9 @@ impl DeuHook<'_> {
             Some((WbDest::Fp(r), v)) => self.deu.shadow.f[r.index() as usize] = v,
             None => {}
         }
+        if let Some((addr, v)) = ret.csr_write {
+            self.deu.shadow_csrs.insert(addr, v);
+        }
         self.deu.shadow.pc = ret.next_pc;
     }
 }
@@ -393,6 +453,7 @@ impl CommitHook for DeuHook<'_> {
         }
         self.update_shadow(ret);
         self.deu.insts_in_seg += 1;
+        self.deu.committed_total += 1;
         if ret.is_kernel_trap {
             self.deu.kernel_trap_pending = true;
         }
@@ -419,6 +480,7 @@ mod tests {
             branch: None,
             mem,
             csr_read: None,
+            csr_write: None,
             is_kernel_trap: trap,
             wb: Some((WbDest::Int(Reg::X1), 7)),
         }
@@ -430,6 +492,7 @@ mod tests {
         littles: Vec<LittleCore>,
         seg_mgr: SegmentManager,
         injector: FaultInjector,
+        recover: RecoveryManager,
     }
 
     impl Rig {
@@ -442,6 +505,7 @@ mod tests {
                     .collect(),
                 seg_mgr: SegmentManager::new(),
                 injector: FaultInjector::new(vec![]),
+                recover: RecoveryManager::new(meek_recover::RecoveryPolicy::default()),
             };
             // Segment 1 opens at b.hook time.
             rig.seg_mgr.try_open(1, &mut rig.littles).expect("core available");
@@ -455,6 +519,7 @@ mod tests {
                 littles: &mut self.littles,
                 seg_mgr: &mut self.seg_mgr,
                 injector: &mut self.injector,
+                recover: &mut self.recover,
             }
         }
     }

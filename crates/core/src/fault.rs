@@ -22,6 +22,18 @@ pub enum FaultSite {
     MemData,
     /// A register value inside a forwarded checkpoint.
     RcpRegister,
+    /// A data bit in the LSQ window between cache and DEU — the span
+    /// footnote 2 protects with carried cache parity. The flip strikes
+    /// *after* the parity bits were copied, so the DEU's forwarding-time
+    /// double-check catches it immediately and re-reads the clean data:
+    /// always detected, with ~one-cycle latency, without failing any
+    /// segment.
+    LsqParity,
+    /// A data bit of a cache read (load result) as forwarded to the
+    /// checker. Unlike [`FaultSite::MemData`] this only strikes load
+    /// records: the corrupted value feeds the replay's dependent
+    /// computation and surfaces at a downstream store or the ERCP.
+    CacheData,
 }
 
 /// A pending fault: armed at a commit index, fires on the next matching
@@ -109,6 +121,11 @@ pub struct DetectionRecord {
     pub latency_ns: f64,
     /// Segment in which the fault was detected.
     pub seg: u32,
+    /// Big-core cycles from this detection to the completed recovery
+    /// (rollback + re-execution + clean re-verification) it triggered.
+    /// `None` in detect-only runs — and for parity-window detections,
+    /// which are corrected in place and need no rollback.
+    pub recovery_cycles: Option<u64>,
 }
 
 /// The paper's random fault distribution (§V-B): sites drawn uniformly
@@ -176,6 +193,10 @@ pub struct FaultInjector {
     /// coverage oracle re-runs the golden program with the recorded
     /// corruption and fails loudly if behaviour diverges.
     pub masked: Vec<MaskRecord>,
+    /// When `true`, armed faults do not fire: the recovery subsystem's
+    /// golden escalation re-executes a repeatedly-failing region with
+    /// injection suppressed, modelling a fully-trusted re-run.
+    pub suppressed: bool,
 }
 
 impl FaultInjector {
@@ -190,6 +211,7 @@ impl FaultInjector {
             tentative: Vec::new(),
             detections: Vec::new(),
             masked: Vec::new(),
+            suppressed: false,
         }
     }
 
@@ -266,6 +288,9 @@ impl FaultInjector {
     /// Offers a packet to the injector just before it enters the fabric;
     /// if a matching fault is armed, one bit is flipped in place.
     pub fn maybe_corrupt(&mut self, pkt: &mut Packet, now: u64, seg: u32) {
+        if self.suppressed {
+            return;
+        }
         let Some((f, armed_at_commit)) = self.armed else { return };
         let field = match (&mut pkt.payload, f.site) {
             (Payload::Mem { addr, size, data, is_store, .. }, FaultSite::MemAddr) => {
@@ -278,7 +303,15 @@ impl FaultInjector {
                 *addr ^= 1 << (f.bit % 64);
                 Some(clean)
             }
-            (Payload::Mem { addr, size, data, is_store, .. }, FaultSite::MemData) => {
+            // A CacheData fault models corrupted cache *read* data:
+            // it strikes the first forwarded load record after arming;
+            // stores carry LSQ data, not cache reads, and leave the
+            // fault armed.
+            (Payload::Mem { is_store: true, .. }, FaultSite::CacheData) => None,
+            (
+                Payload::Mem { addr, size, data, is_store, .. },
+                FaultSite::MemData | FaultSite::CacheData,
+            ) => {
                 let clean = CorruptedField::Mem {
                     addr: *addr,
                     size: *size,
@@ -313,6 +346,58 @@ impl FaultInjector {
         }
     }
 
+    /// Offers the LSQ-window parity double-check point to the injector.
+    /// If a [`FaultSite::LsqParity`] fault is armed, it strikes here:
+    /// the returned bit is flipped into the parity-checked window copy
+    /// (the caller's per-byte parity check then fails, exactly as
+    /// footnote 2's carried cache parity would catch it), the clean
+    /// data is re-read, and the fault resolves as an immediate
+    /// detection — it never reaches the fabric or a checker.
+    pub fn lsq_parity_strike(&mut self, now: u64, seg: u32, ns_per_cycle: f64) -> Option<u32> {
+        if self.suppressed {
+            return None;
+        }
+        let (f, _) = self.armed?;
+        if f.site != FaultSite::LsqParity {
+            return None;
+        }
+        self.armed = None;
+        self.detections.push(DetectionRecord {
+            site: FaultSite::LsqParity,
+            injected_cycle: now,
+            detected_cycle: now + 1,
+            latency_ns: ns_per_cycle,
+            seg,
+            recovery_cycles: None,
+        });
+        Some(f.bit)
+    }
+
+    /// Squashes injector state for a recovery rollback to `first_seg`:
+    /// a fault whose corrupted packet belonged to a squashed segment
+    /// never got (and can never get) a verdict — its corruption was
+    /// wiped with the segment — so it re-queues and fires again during
+    /// re-execution. Resolved faults (detected or masked) are untouched.
+    pub fn on_rollback(&mut self, first_seg: u32) {
+        let mut requeue = Vec::new();
+        if self.in_flight.as_ref().is_some_and(|fl| fl.fseg >= first_seg) {
+            requeue.push(self.in_flight.take().expect("checked above").spec);
+        }
+        let mut i = 0;
+        while i < self.tentative.len() {
+            if self.tentative[i].fseg >= first_seg {
+                requeue.push(self.tentative.remove(i).spec);
+            } else {
+                i += 1;
+            }
+        }
+        if !requeue.is_empty() {
+            self.queue.extend(requeue);
+            self.queue.sort_by_key(|f| f.arm_at_commit);
+            self.queue.reverse(); // pop() yields earliest first
+        }
+    }
+
     /// Reports a segment verification result to the injector.
     ///
     /// A memory-record fault must be detected while its own segment
@@ -339,6 +424,7 @@ impl FaultInjector {
                     detected_cycle: now,
                     latency_ns,
                     seg,
+                    recovery_cycles: None,
                 });
                 return; // the fail verdict is this fault's detection
             }
@@ -355,12 +441,16 @@ impl FaultInjector {
                 detected_cycle: now,
                 latency_ns,
                 seg,
+                recovery_cycles: None,
             });
             self.in_flight = None;
             return;
         }
         match fl.spec.site {
-            FaultSite::MemAddr | FaultSite::MemData => {
+            FaultSite::LsqParity => {
+                unreachable!("parity faults detect at forwarding time and are never in flight")
+            }
+            FaultSite::MemAddr | FaultSite::MemData | FaultSite::CacheData => {
                 if seg == fl.fseg {
                     let rec = fl.mask_record();
                     self.masked.push(rec);
@@ -412,9 +502,12 @@ impl FaultInjector {
         }
         let Some(fl) = self.in_flight.take() else { return };
         let masked = match fl.spec.site {
+            FaultSite::LsqParity => {
+                unreachable!("parity faults detect at forwarding time and are never in flight")
+            }
             // A memory-record fault is judged only by its own segment;
             // no verdict by drain means the record was never replayed.
-            FaultSite::MemAddr | FaultSite::MemData => false,
+            FaultSite::MemAddr | FaultSite::MemData | FaultSite::CacheData => false,
             // Either candidate segment verifying clean is positive
             // evidence: the corrupted ERCP matched the replay, or the
             // corrupted SRCP replayed to a clean ERCP.
@@ -657,6 +750,99 @@ mod tests {
         inj.resolve_at_drain();
         assert_eq!(inj.unresolved(), 1, "a fault that never armed is pending, not masked");
         assert!(inj.masked.is_empty());
+    }
+
+    #[test]
+    fn lsq_parity_fault_detects_at_the_window() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::LsqParity,
+            bit: 13,
+        }]);
+        inj.advance(0);
+        // The parity fault must not touch forwarded packets…
+        let mut p = mem_pkt();
+        inj.maybe_corrupt(&mut p, 90, 2);
+        assert_eq!(p, mem_pkt());
+        // …it strikes at the LSQ parity double-check.
+        assert_eq!(inj.lsq_parity_strike(100, 2, 0.3125), Some(13));
+        assert!(!inj.busy(), "parity detections never occupy the pipeline");
+        assert_eq!(inj.detections.len(), 1);
+        let d = &inj.detections[0];
+        assert_eq!(d.site, FaultSite::LsqParity);
+        assert_eq!(d.detected_cycle, d.injected_cycle + 1);
+        assert!(d.latency_ns > 0.0);
+        assert_eq!(inj.lsq_parity_strike(101, 2, 0.3125), None, "one-shot");
+    }
+
+    #[test]
+    fn cache_data_fault_skips_stores_and_strikes_loads() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::CacheData,
+            bit: 4,
+        }]);
+        inj.advance(0);
+        let mut store = mem_pkt(); // is_store: true
+        inj.maybe_corrupt(&mut store, 50, 1);
+        assert_eq!(store, mem_pkt(), "stores carry LSQ data, not cache reads");
+        assert!(!inj.busy());
+        let mut load = Packet {
+            seq: 1,
+            dest: DestMask::single(0),
+            payload: Payload::Mem { seg: 1, addr: 0x2000, size: 4, data: 0xF0, is_store: false },
+            created_at: 0,
+        };
+        inj.maybe_corrupt(&mut load, 51, 1);
+        match load.payload {
+            Payload::Mem { data, .. } => assert_eq!(data, 0xF0 ^ 0x10),
+            _ => unreachable!(),
+        }
+        assert!(inj.busy());
+        inj.on_segment_verified(1, false, 500, 0.3125);
+        assert_eq!(inj.detections.len(), 1);
+        assert_eq!(inj.detections[0].site, FaultSite::CacheData);
+    }
+
+    #[test]
+    fn suppressed_injector_holds_fire() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 0,
+            site: FaultSite::MemData,
+            bit: 1,
+        }]);
+        inj.advance(0);
+        inj.suppressed = true;
+        let mut p = mem_pkt();
+        inj.maybe_corrupt(&mut p, 10, 1);
+        assert_eq!(p, mem_pkt(), "golden re-execution must see no corruption");
+        inj.suppressed = false;
+        inj.maybe_corrupt(&mut p, 11, 1);
+        assert_ne!(p, mem_pkt(), "the armed fault fires once suppression lifts");
+    }
+
+    #[test]
+    fn rollback_requeues_unresolved_faults_of_squashed_segments() {
+        let mut inj = FaultInjector::new(vec![FaultSpec {
+            arm_at_commit: 7,
+            site: FaultSite::MemData,
+            bit: 2,
+        }]);
+        inj.advance(10);
+        let mut p = mem_pkt();
+        inj.maybe_corrupt(&mut p, 100, 5);
+        assert!(inj.busy());
+        // Rollback to segment 4 squashes segment 5's corrupted packet.
+        inj.on_rollback(4);
+        assert!(!inj.busy());
+        assert_eq!(inj.remaining(), 1, "the fault re-queues and will fire again");
+        // A rollback *behind* the fault's segment leaves it alone.
+        inj.advance(10);
+        let mut q = mem_pkt();
+        inj.maybe_corrupt(&mut q, 200, 6);
+        assert!(inj.busy());
+        inj.on_rollback(7);
+        assert!(inj.busy(), "segment 6 predates the rollback point");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use fault::{
     random_fault_specs, rcp_register_index, CorruptedField, DetectionRecord, FaultSite, FaultSpec,
     MaskRecord,
 };
+pub use meek_recover::{RecoveryPolicy, RecoveryReport};
 pub use report::{RunReport, StallBreakdown};
 pub use segments::SegmentManager;
 pub use system::{cycle_cap, run_vanilla, FabricKind, MeekConfig, MeekSystem};

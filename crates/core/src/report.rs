@@ -5,6 +5,7 @@ use crate::fault::{DetectionRecord, MaskRecord};
 use meek_bigcore::BigCoreStats;
 use meek_fabric::FabricStats;
 use meek_littlecore::LittleCoreStats;
+use meek_recover::RecoveryReport;
 
 /// Commit-stall decomposition (Fig. 9's three components).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -75,6 +76,10 @@ pub struct RunReport {
     pub pending_faults: usize,
     /// RCPs taken.
     pub rcps: u64,
+    /// Recovery-subsystem metrics (all-zero in detect-only runs):
+    /// rollbacks, recovery latency, re-executed instructions, and the
+    /// checkpoint/undo-log storage high-water mark.
+    pub recovery: RecoveryReport,
 }
 
 impl RunReport {

@@ -3,13 +3,14 @@
 //! clock domains of Fig. 2 (3.2 GHz big core / 1.6 GHz little cores).
 
 use crate::deu::{DeuHook, DeuState, BIG_CORE_NS_PER_CYCLE};
-use crate::fault::{FaultInjector, FaultSpec};
+use crate::fault::{FaultInjector, FaultSite, FaultSpec};
 use crate::report::{RunReport, StallBreakdown};
 use crate::segments::SegmentManager;
 use meek_bigcore::{BigCore, BigCoreConfig, NullHook};
 use meek_fabric::{AxiConfig, AxiInterconnect, DestMask, F2Config, Fabric, PacketSink, F2};
-use meek_isa::SparseMemory;
+use meek_isa::{ArchState, SparseMemory};
 use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig};
+use meek_recover::{RecoveryManager, RecoveryPolicy};
 use meek_workloads::{Workload, WorkloadRun};
 
 /// Which interconnect forwards extracted data (the Fig. 9 ablation).
@@ -37,6 +38,10 @@ pub struct MeekConfig {
     pub seg_record_budget: u64,
     /// Instruction timeout per segment (Table II: 5 000).
     pub seg_timeout: u64,
+    /// Recovery policy: disabled by default (the paper's detect-only
+    /// pipeline); [`RecoveryPolicy::enabled`] turns detections into
+    /// checkpoint rollbacks and re-execution.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for MeekConfig {
@@ -49,6 +54,7 @@ impl Default for MeekConfig {
             fabric: FabricKind::F2,
             seg_record_budget: little.lsl.runtime_capacity as u64,
             seg_timeout: 5_000,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -57,6 +63,12 @@ impl MeekConfig {
     /// The paper's Table II configuration with `n` little cores.
     pub fn with_little_cores(n: usize) -> MeekConfig {
         MeekConfig { n_little: n, ..MeekConfig::default() }
+    }
+
+    /// [`MeekConfig::with_little_cores`] plus an enabled recovery
+    /// policy: the full detect→rollback→re-execute→verify loop.
+    pub fn with_recovery(n: usize, policy: RecoveryPolicy) -> MeekConfig {
+        MeekConfig { n_little: n, recovery: policy, ..MeekConfig::default() }
     }
 }
 
@@ -69,6 +81,7 @@ pub struct MeekSystem {
     deu: DeuState,
     seg_mgr: SegmentManager,
     injector: FaultInjector,
+    recover: RecoveryManager,
     run: WorkloadRun,
     image: SparseMemory,
     now: u64,
@@ -112,8 +125,16 @@ impl MeekSystem {
         fabric: Box<dyn Fabric + Send>,
     ) -> MeekSystem {
         assert!(cfg.n_little > 0, "MEEK needs at least one little core");
-        let run = workload.run(max_insts);
+        let mut run = workload.run(max_insts);
+        if cfg.recovery.enabled {
+            run.enable_undo();
+        }
         let initial_cp = run.initial_checkpoint();
+        let mut recover = RecoveryManager::new(cfg.recovery);
+        // Checkpoint 0 — the program's initial state — is segment 1's
+        // start checkpoint; pin it so even a first-segment detection
+        // has a rollback target.
+        recover.pin_checkpoint(1, 0, initial_cp, run.state().csr_snapshot());
         let mut deu = DeuState::new(
             cfg.big.width as usize,
             fabric.payload_words(),
@@ -147,6 +168,7 @@ impl MeekSystem {
             deu,
             seg_mgr,
             injector: FaultInjector::new(Vec::new()),
+            recover,
             run,
             image: workload.image().clone(),
             now: 0,
@@ -186,15 +208,50 @@ impl MeekSystem {
                 if let Some(CheckerEvent::SegmentVerified { seg, pass, .. }) =
                     lc.tick_check(tl, &self.image)
                 {
-                    self.seg_mgr.finish(seg);
+                    self.seg_mgr.finish(seg, pass);
                     if pass {
                         self.verified_segments += 1;
                     } else {
                         self.failed_segments += 1;
                     }
                     self.injector.on_segment_verified(seg, pass, now, BIG_CORE_NS_PER_CYCLE);
+                    if pass {
+                        let out = self.recover.on_verified(seg, now);
+                        if let Some(through) = out.release_through {
+                            self.run.release_undo_through(through);
+                        }
+                        if out.episode_closed {
+                            // Golden escalation (if any) ends with the
+                            // episode; annotate the detections this
+                            // recovery closed with their latency.
+                            self.injector.suppressed = false;
+                            let started = out.episode_started.unwrap_or(now);
+                            for d in self.injector.detections.iter_mut().filter(|d| {
+                                d.recovery_cycles.is_none()
+                                    && d.detected_cycle >= started
+                                    && d.site != FaultSite::LsqParity
+                            }) {
+                                d.recovery_cycles = Some(now - d.detected_cycle);
+                            }
+                        }
+                    } else {
+                        // FailAction::Scheduled queues a rollback that
+                        // executes once older verdicts are final;
+                        // Ignored/GiveUp leave detect-only behaviour.
+                        let _ = self.recover.on_failed(seg, now);
+                    }
                 }
             }
+        }
+        // A scheduled rollback fires once every older segment's verdict
+        // is final (they might fail too and deepen the target).
+        if let Some(target) = self.recover.pending_target() {
+            if self.seg_mgr.concluded_through() >= target.saturating_sub(1) {
+                self.execute_rollback(now);
+            }
+        }
+        if self.recover.enabled() {
+            self.recover.note_storage(self.run.undo_bytes());
         }
         // DEU background streaming of checkpoint chunks.
         self.deu.pump_transfers(self.fabric.as_mut(), &mut self.injector, now);
@@ -209,9 +266,11 @@ impl MeekSystem {
             self.app_done_cycle = Some(now);
         }
         if !self.big.is_drained() {
-            let MeekSystem { big, littles, fabric, deu, seg_mgr, injector, run, .. } = self;
+            let MeekSystem { big, littles, fabric, deu, seg_mgr, injector, recover, run, .. } =
+                self;
             let mut oracle = || run.next_retired();
-            let mut hook = DeuHook { deu, fabric: fabric.as_mut(), littles, seg_mgr, injector };
+            let mut hook =
+                DeuHook { deu, fabric: fabric.as_mut(), littles, seg_mgr, injector, recover };
             big.tick(now, &mut oracle, &mut hook);
         } else {
             self.finalize(now);
@@ -220,27 +279,59 @@ impl MeekSystem {
         self.now += 1;
     }
 
+    /// Executes the scheduled rollback: restores the oracle (registers,
+    /// CSRs, memory via the undo-log), squashes the big-core pipeline
+    /// and every in-flight packet, voids suspect verdicts, resets the
+    /// checker cluster, and re-opens the target segment with its start
+    /// checkpoint seeded as the carried SRCP.
+    fn execute_rollback(&mut self, now: u64) {
+        let committed = self.big.stats().committed;
+        let (target, golden) = self.recover.take_rollback(committed);
+        self.run.rollback(target.commit_index, &target.cp, target.csrs.clone());
+        self.big.rollback(now + self.cfg.recovery.restore_cycles, target.commit_index);
+        self.fabric.flush();
+        for lc in &mut self.littles {
+            lc.reset();
+        }
+        let voided_passes = self.seg_mgr.rollback(target.seg);
+        self.verified_segments -= voided_passes;
+        self.deu.rollback(target.seg, target.cp, target.csrs, target.commit_index);
+        let checker = self
+            .seg_mgr
+            .try_open(target.seg, &mut self.littles)
+            .expect("every checker is idle right after the squash");
+        self.littles[checker].seed_carried_srcp(target.seg.wrapping_sub(1), target.cp, now / 2);
+        self.injector.on_rollback(target.seg);
+        self.injector.suppressed = golden;
+        // The application is no longer "done": it has re-execution
+        // ahead of it, and that time is part of the measured run.
+        self.app_done_cycle = None;
+    }
+
     /// Emits the final checkpoint once the program has fully committed.
     fn finalize(&mut self, now: u64) {
         if self.deu.finalized || !self.deu.enabled {
             self.deu.finalized = true;
             return;
         }
-        let MeekSystem { littles, fabric, deu, seg_mgr, injector, .. } = self;
-        let mut hook = DeuHook { deu, fabric: fabric.as_mut(), littles, seg_mgr, injector };
+        let MeekSystem { littles, fabric, deu, seg_mgr, injector, recover, .. } = self;
+        let mut hook =
+            DeuHook { deu, fabric: fabric.as_mut(), littles, seg_mgr, injector, recover };
         if hook.finalize_segment(now) {
             self.deu.finalized = true;
         }
     }
 
     /// Whether everything has drained: program committed, checkpoints
-    /// forwarded, fabric empty, all checkers idle.
+    /// forwarded, fabric empty, all checkers idle, and no recovery
+    /// (scheduled rollback or open failure episode) outstanding.
     pub fn is_complete(&self) -> bool {
         self.big.is_drained()
             && self.deu.finalized
             && self.deu.transfers_drained()
             && self.fabric.is_empty()
             && self.littles.iter().all(LittleCore::is_idle)
+            && !self.recover.in_flight()
     }
 
     /// Runs until [`MeekSystem::is_complete`] or `max_cycles`.
@@ -267,7 +358,22 @@ impl MeekSystem {
         // fault (masked if every delivered candidate verdict was clean)
         // so the report separates masked from genuinely pending faults.
         self.injector.resolve_at_drain();
+        self.recover.resolve_at_drain();
         self.report()
+    }
+
+    /// Final architectural state of the application (the functional
+    /// oracle's registers, PC and CSRs). After a recovered run this
+    /// must equal a fault-free golden execution — the invariant
+    /// `meek-difftest --recover` enforces.
+    pub fn final_state(&self) -> &ArchState {
+        self.run.state()
+    }
+
+    /// Final functional memory of the application (same oracle role as
+    /// [`MeekSystem::final_state`]).
+    pub fn final_memory(&self) -> &SparseMemory {
+        self.run.memory()
     }
 
     /// A one-line liveness snapshot for debugging stuck simulations.
@@ -343,6 +449,7 @@ impl MeekSystem {
             masked_faults: self.injector.masked.clone(),
             pending_faults: self.injector.unresolved(),
             rcps: self.deu.rcps,
+            recovery: *self.recover.report(),
         }
     }
 }
@@ -467,6 +574,110 @@ mod tests {
         let two = run_n(2);
         let four = run_n(4);
         assert!(four <= two + two / 10, "4 cores ({four}) should not be slower than 2 ({two})");
+    }
+
+    #[test]
+    fn detected_fault_recovers_to_clean_completion() {
+        let wl = small_workload();
+        let detect_only = {
+            let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
+            sys.set_faults(vec![FaultSpec {
+                arm_at_commit: 4_000,
+                site: FaultSite::MemAddr,
+                bit: 9,
+            }]);
+            sys.run_to_completion(5_000_000)
+        };
+        assert!(detect_only.recovery.rollbacks == 0 && detect_only.detections.len() == 1);
+        assert_eq!(detect_only.detections[0].recovery_cycles, None);
+
+        let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
+        let mut sys = MeekSystem::new(cfg, &wl, 12_000);
+        sys.set_faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }]);
+        let report = sys.run_to_completion(10_000_000);
+        assert_eq!(report.detections.len(), 1);
+        let r = &report.recovery;
+        assert_eq!(r.rollbacks, 1, "one detection, one rollback: {r:?}");
+        assert_eq!(r.recovered, 1);
+        assert_eq!(r.unrecovered, 0);
+        assert!(r.reexecuted_insts > 0);
+        assert!(r.recovery_cycles_total > 0);
+        assert!(r.storage_bytes_hwm > 0);
+        let cycles = report.detections[0].recovery_cycles;
+        assert!(cycles.is_some_and(|c| c > 0), "detection must carry its recovery latency");
+        // The run still commits everything and the re-executed segment
+        // verifies clean: recovery restored, re-ran, and re-checked.
+        assert_eq!(report.committed, 12_000);
+        assert_eq!(report.failed_segments, 1);
+        // Final state equals a fault-free run of the same workload.
+        let mut clean = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
+        clean.run_to_completion(5_000_000);
+        assert_eq!(sys.final_state(), clean.final_state(), "recovery must be state-preserving");
+    }
+
+    #[test]
+    fn recovery_survives_a_fault_barrage() {
+        let wl = small_workload();
+        let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
+        let mut sys = MeekSystem::new(cfg, &wl, 15_000);
+        let faults = (0..6)
+            .map(|i| FaultSpec {
+                arm_at_commit: 1_500 + i * 2_000,
+                site: match i % 3 {
+                    0 => FaultSite::MemAddr,
+                    1 => FaultSite::MemData,
+                    _ => FaultSite::RcpRegister,
+                },
+                bit: (i as u32 * 11 + 3) % 48,
+            })
+            .collect();
+        sys.set_faults(faults);
+        let report = sys.run_to_completion(20_000_000);
+        let r = &report.recovery;
+        assert_eq!(r.unrecovered, 0, "every detection must recover: {r:?}");
+        assert_eq!(r.recovered, report.detections.len() as u64 - lsq(&report));
+        assert_eq!(report.committed, 15_000);
+        let mut clean = MeekSystem::new(MeekConfig::default(), &wl, 15_000);
+        clean.run_to_completion(5_000_000);
+        assert_eq!(sys.final_state(), clean.final_state());
+    }
+
+    fn lsq(report: &RunReport) -> u64 {
+        report.detections.iter().filter(|d| d.site == FaultSite::LsqParity).count() as u64
+    }
+
+    #[test]
+    fn lsq_parity_fault_detected_without_failing_a_segment() {
+        let wl = small_workload();
+        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
+        sys.set_faults(vec![FaultSpec {
+            arm_at_commit: 3_000,
+            site: FaultSite::LsqParity,
+            bit: 21,
+        }]);
+        let report = sys.run_to_completion(5_000_000);
+        assert_eq!(report.detections.len(), 1);
+        assert_eq!(report.detections[0].site, FaultSite::LsqParity);
+        assert_eq!(report.failed_segments, 0, "parity catches it before any checker sees it");
+        assert!(report.big.cycles > 0);
+        assert_eq!(report.missed_faults, 0);
+    }
+
+    #[test]
+    fn cache_data_fault_is_detected_by_replay() {
+        let wl = small_workload();
+        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
+        sys.set_faults(vec![FaultSpec {
+            arm_at_commit: 3_000,
+            site: FaultSite::CacheData,
+            bit: 5,
+        }]);
+        let report = sys.run_to_completion(5_000_000);
+        assert_eq!(
+            report.detections.len() + report.missed_faults as usize,
+            1,
+            "a load-data flip is either detected or provably dead: {report:?}"
+        );
     }
 
     #[test]

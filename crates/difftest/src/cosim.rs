@@ -125,6 +125,12 @@ pub struct GoldenRun {
     pub trace: Vec<Retired>,
     /// Architectural registers after the last instruction.
     pub final_cp: RegCheckpoint,
+    /// Full architectural state after the last instruction (registers
+    /// plus CSRs — the recovery oracle compares CSRs too).
+    pub final_state: ArchState,
+    /// Memory after the last instruction (code + data), for the
+    /// recovery oracle's golden-equal final-state check.
+    pub final_mem: meek_isa::SparseMemory,
 }
 
 /// Runs the golden interpreter to program exit (or [`GOLDEN_CAP`]).
@@ -157,7 +163,7 @@ pub fn golden_run_bounded(prog: &FuzzProgram, cap: u64) -> Result<GoldenRun, Div
             }
         }
     }
-    Ok(GoldenRun { trace, final_cp: st.checkpoint() })
+    Ok(GoldenRun { trace, final_cp: st.checkpoint(), final_state: st, final_mem: mem })
 }
 
 /// Renders the golden-trace window ending at dynamic index `at` — the

@@ -75,18 +75,21 @@ impl fmt::Display for FaultOutcome {
     }
 }
 
-/// A per-case fault plan: `n` faults cycling through the three sites,
-/// arm points spread over the front 60 % of the run so verdicts can
-/// land before drain.
+/// A per-case fault plan: `n` faults cycling through all five sites —
+/// the three fabric sites of §V-B plus the LSQ parity window and cache
+/// data bits — arm points spread over the front 60 % of the run so
+/// verdicts can land before drain.
 pub fn fault_plan(seed: u64, n: usize, executed: u64) -> Vec<FaultSpec> {
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA_017);
     let span = (executed * 6 / 10).max(1);
     (0..n)
         .map(|i| {
-            let site = match i % 3 {
+            let site = match i % 5 {
                 0 => FaultSite::RcpRegister,
                 1 => FaultSite::MemData,
-                _ => FaultSite::MemAddr,
+                2 => FaultSite::MemAddr,
+                3 => FaultSite::LsqParity,
+                _ => FaultSite::CacheData,
             };
             FaultSpec { arm_at_commit: rng.gen_range(0..span), site, bit: rng.gen_range(0..64) }
         })
@@ -116,6 +119,18 @@ pub fn classify(
             }
         }
     };
+    classify_with(prog, golden, spec, &report)
+}
+
+/// Classifies an already-completed run's report against the golden
+/// reference — shared by detect-only [`classify`] and the recovery
+/// oracle, which needs the report *and* the drained system.
+pub fn classify_with(
+    prog: &FuzzProgram,
+    golden: &GoldenRun,
+    spec: FaultSpec,
+    report: &meek_core::RunReport,
+) -> FaultOutcome {
     if let Some(d) = report.detections.first() {
         return FaultOutcome::Detected { latency_ns: d.latency_ns };
     }
@@ -143,12 +158,16 @@ pub fn classify(
 fn prove_benign(prog: &FuzzProgram, golden: &GoldenRun, mask: &MaskRecord) -> FaultOutcome {
     match &mask.field {
         &CorruptedField::Mem { addr, size, data, is_store } => {
-            // The corrupted packet is the first memory record extracted
-            // after arming: first trace index >= armed commit count
-            // with a memory access.
+            // The corrupted packet is the first matching memory record
+            // extracted after arming: first trace index >= armed commit
+            // count with a memory access (a *load* for cache-data
+            // faults, which skip stores).
+            let loads_only = mask.spec.site == FaultSite::CacheData;
             let from = (mask.armed_at_commit as usize).min(golden.trace.len());
-            let Some(idx) =
-                golden.trace[from..].iter().position(|r| r.mem.is_some()).map(|p| p + from)
+            let Some(idx) = golden.trace[from..]
+                .iter()
+                .position(|r| r.mem.is_some_and(|m| !(loads_only && m.is_store)))
+                .map(|p| p + from)
             else {
                 return FaultOutcome::Escaped {
                     reason: format!("masked memory fault has no anchoring access: {mask:?}"),
@@ -165,8 +184,13 @@ fn prove_benign(prog: &FuzzProgram, golden: &GoldenRun, mask: &MaskRecord) -> Fa
             }
             let (caddr, cdata) = match mask.spec.site {
                 FaultSite::MemAddr => (addr ^ (1 << (mask.spec.bit % 64)), data),
-                FaultSite::MemData => (addr, data ^ (1 << (mask.spec.bit % (size as u32 * 8)))),
+                FaultSite::MemData | FaultSite::CacheData => {
+                    (addr, data ^ (1 << (mask.spec.bit % (size as u32 * 8))))
+                }
                 FaultSite::RcpRegister => unreachable!("register fault with a memory field"),
+                FaultSite::LsqParity => {
+                    unreachable!("parity faults always detect; they never mask")
+                }
             };
             let srcp = ArchState::new(prog.entry()).checkpoint();
             replay_twin(prog, golden, 0, srcp, Some((idx, caddr, cdata)), mask)
@@ -356,12 +380,12 @@ mod tests {
 
     #[test]
     fn fault_plan_is_deterministic_and_bounded() {
-        let a = fault_plan(9, 6, 1000);
-        let b = fault_plan(9, 6, 1000);
+        let a = fault_plan(9, 10, 1000);
+        let b = fault_plan(9, 10, 1000);
         assert_eq!(a, b);
         assert!(a.iter().all(|f| f.arm_at_commit < 600 && f.bit < 64));
         let sites: std::collections::HashSet<_> =
             a.iter().map(|f| format!("{:?}", f.site)).collect();
-        assert_eq!(sites.len(), 3, "all three sites appear");
+        assert_eq!(sites.len(), 5, "all five sites appear");
     }
 }

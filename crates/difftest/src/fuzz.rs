@@ -442,26 +442,48 @@ impl Fuzzer {
         self.emit(Inst::Branch { op: BranchOp::Bne, rs1: R_LOOP, rs2: Reg::X0, offset: back });
     }
 
-    /// Unconditional jumps: a forward `jal` over dead code, or a
+    /// Unconditional jumps: a forward `jal` over dead code, a
     /// `jal`+`jalr` pair exercising indirect control flow with a
-    /// link-register-derived target.
+    /// link-register-derived target, or an `auipc`/`addi`/`jalr`
+    /// triplet computing its target as a pc-relative constant (the
+    /// classic materialised-address indirect-jump idiom).
     fn emit_jump(&mut self) {
-        if self.rng.gen_bool(0.5) {
-            let k = self.rng.gen_range(1..=3);
-            let rd = if self.rng.gen_bool(0.5) { Reg::X0 } else { self.reg() };
-            self.emit(Inst::Jal { rd, offset: 4 * (k + 1) });
-            for _ in 0..k {
-                self.emit_simple(); // dead code: fetched by nobody
+        match self.rng.gen_range(0..3) {
+            0 => {
+                let k = self.rng.gen_range(1..=3);
+                let rd = if self.rng.gen_bool(0.5) { Reg::X0 } else { self.reg() };
+                self.emit(Inst::Jal { rd, offset: 4 * (k + 1) });
+                for _ in 0..k {
+                    self.emit_simple(); // dead code: fetched by nobody
+                }
             }
-        } else {
-            // jal x1, +4 lands on the jalr; jalr jumps to x1 + 4(k+1),
-            // skipping k instructions — an indirect branch whose target
-            // is a run-time register value.
-            let k = self.rng.gen_range(0..=2);
-            self.emit(Inst::Jal { rd: Reg::X1, offset: 4 });
-            self.emit(Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 4 * (k + 1) });
-            for _ in 0..k {
-                self.emit_simple();
+            1 => {
+                // jal x1, +4 lands on the jalr; jalr jumps to x1 + 4(k+1),
+                // skipping k instructions — an indirect branch whose target
+                // is a run-time register value.
+                let k = self.rng.gen_range(0..=2);
+                self.emit(Inst::Jal { rd: Reg::X1, offset: 4 });
+                self.emit(Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 4 * (k + 1) });
+                for _ in 0..k {
+                    self.emit_simple();
+                }
+            }
+            _ => {
+                // auipc x1, 0 materialises its own address; the addi
+                // adds the instruction-count displacement to the target
+                // (3 + k slots ahead); the jalr jumps through it.
+                let k = self.rng.gen_range(0..=2);
+                self.emit(Inst::Auipc { rd: Reg::X1, imm: 0 });
+                self.emit(Inst::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::X1,
+                    rs1: Reg::X1,
+                    imm: 4 * (3 + k),
+                });
+                self.emit(Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 0 });
+                for _ in 0..k {
+                    self.emit_simple();
+                }
             }
         }
     }

@@ -20,7 +20,11 @@
 //!   twin re-run with and without the corruption behaves identically),
 //!   or **escaped** — and escapes fail loudly;
 //! * a **shrinker** ([`shrink`]) that minimises a divergent program and
-//!   emits it as a ready-to-commit `#[test]`.
+//!   emits it as a ready-to-commit `#[test]`;
+//! * a **recovery oracle** ([`recover`], CLI `--recover`) that re-runs
+//!   every fault with checkpoint/rollback recovery enabled and demands
+//!   that each detected fault end with a final architectural state
+//!   (registers, CSRs, memory) equal to the golden interpreter's.
 //!
 //! The `meek-difftest` CLI fans cases out over the `meek-campaign`
 //! executor; its report is byte-identical for a given seed at any
@@ -42,9 +46,11 @@
 pub mod cosim;
 pub mod coverage;
 pub mod fuzz;
+pub mod recover;
 pub mod shrink;
 
 pub use cosim::{golden_run, CosimConfig, CosimVerdict, Divergence, GoldenRun};
-pub use coverage::{classify, fault_plan, FaultOutcome};
+pub use coverage::{classify, classify_with, fault_plan, FaultOutcome};
 pub use fuzz::{fuzz_program, FuzzConfig, FuzzProgram};
+pub use recover::{verify_recovery, RecoveryVerdict};
 pub use shrink::{emit_test, minimize, shrink_insts};

@@ -14,8 +14,8 @@
 
 use meek_campaign::Executor;
 use meek_difftest::{
-    classify, cosim, emit_test, fault_plan, fuzz_program, golden_run, minimize, CosimConfig,
-    Divergence, FaultOutcome, FuzzConfig,
+    classify, cosim, emit_test, fault_plan, fuzz_program, golden_run, minimize, verify_recovery,
+    CosimConfig, Divergence, FaultOutcome, FuzzConfig, RecoveryVerdict,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -40,6 +40,9 @@ OPTIONS:
     --static-len <N>   Static body length of fuzzed programs
                        [default: 220]
     --little <N>       Checker cores in the full-system way [default: 4]
+    --recover          Run every fault with checkpoint/rollback recovery
+                       enabled and verify each detected fault recovers
+                       to a golden-equal final state
     --shrink           On divergence, shrink the first failing case and
                        print a ready-to-commit #[test]
     --emit-test <PATH> With --shrink, also write the #[test] to PATH
@@ -54,6 +57,7 @@ struct Args {
     seg_len: u64,
     static_len: usize,
     little: usize,
+    recover: bool,
     shrink: bool,
     emit_path: Option<String>,
 }
@@ -90,6 +94,7 @@ impl Args {
             seg_len: 192,
             static_len: 220,
             little: 4,
+            recover: false,
             shrink: false,
             emit_path: None,
         };
@@ -107,6 +112,7 @@ impl Args {
                     args.static_len = parse_num(&value("--static-len")?, "--static-len")?
                 }
                 "--little" => args.little = parse_num(&value("--little")?, "--little")?,
+                "--recover" => args.recover = true,
                 "--shrink" => args.shrink = true,
                 "--emit-test" => args.emit_path = Some(value("--emit-test")?),
                 "-h" | "--help" => return Err(String::new()),
@@ -134,7 +140,7 @@ struct CaseResult {
     segments: u32,
     system_cycles: u64,
     divergence: Option<Divergence>,
-    outcomes: Vec<(meek_core::FaultSpec, FaultOutcome)>,
+    outcomes: Vec<(meek_core::FaultSpec, FaultOutcome, Option<RecoveryVerdict>)>,
 }
 
 fn run_case(case_seed: u64, args: &Args) -> CaseResult {
@@ -148,8 +154,13 @@ fn run_case(case_seed: u64, args: &Args) -> CaseResult {
         // substrate for coverage classification.
         let golden = golden_run(&prog).expect("clean cosim implies clean golden");
         for spec in fault_plan(case_seed, args.faults, verdict.executed) {
-            let outcome = classify(&prog, &golden, spec, args.little);
-            outcomes.push((spec, outcome));
+            if args.recover {
+                let (outcome, recovery) = verify_recovery(&prog, &golden, spec, args.little);
+                outcomes.push((spec, outcome, Some(recovery)));
+            } else {
+                let outcome = classify(&prog, &golden, spec, args.little);
+                outcomes.push((spec, outcome, None));
+            }
         }
     }
     CaseResult {
@@ -188,6 +199,8 @@ fn main() -> ExitCode {
     let mut escapes: Vec<(u64, meek_core::FaultSpec, String)> = Vec::new();
     let (mut executed, mut segments, mut cycles) = (0u64, 0u64, 0u64);
     let (mut detected, mut masked, mut pending, mut total_faults) = (0u64, 0u64, 0u64, 0u64);
+    let (mut recovered, mut rollbacks, mut unrecovered) = (0u64, 0u64, 0u64);
+    let mut worst_recovery_cycles = 0u64;
     let mut latency_sum = 0.0f64;
     executor.map_ordered(
         &case_ids,
@@ -200,7 +213,7 @@ fn main() -> ExitCode {
                 println!("case {idx} (seed {:#x}): DIVERGENCE\n{d}", r.case_seed);
                 failures.push((r.case_seed, d));
             }
-            for (spec, outcome) in r.outcomes {
+            for (spec, outcome, recovery) in r.outcomes {
                 total_faults += 1;
                 match outcome {
                     FaultOutcome::Detected { latency_ns } => {
@@ -216,6 +229,24 @@ fn main() -> ExitCode {
                         );
                         escapes.push((r.case_seed, spec, reason));
                     }
+                }
+                match recovery {
+                    Some(RecoveryVerdict::Recovered { rollbacks: n, max_cycles }) => {
+                        recovered += 1;
+                        rollbacks += n;
+                        worst_recovery_cycles = worst_recovery_cycles.max(max_cycles);
+                    }
+                    Some(
+                        v @ (RecoveryVerdict::Unrecovered { .. }
+                        | RecoveryVerdict::StateDiverged { .. }),
+                    ) => {
+                        println!(
+                            "case {idx} (seed {:#x}): RECOVERY FAILURE {spec:?}: {v}",
+                            r.case_seed
+                        );
+                        unrecovered += 1;
+                    }
+                    Some(RecoveryVerdict::NothingToRecover) | None => {}
                 }
             }
         },
@@ -239,6 +270,13 @@ fn main() -> ExitCode {
         if detected > 0 {
             println!("mean detection latency: {:.1} ns", latency_sum / detected as f64);
         }
+    }
+    if args.recover && total_faults > 0 {
+        println!(
+            "recovery: {recovered} detection(s) recovered to golden-equal final state \
+             ({rollbacks} rollback(s), worst episode {worst_recovery_cycles} cycle(s)), \
+             {unrecovered} UNRECOVERED"
+        );
     }
     eprintln!(
         "[timing] {} case(s) on {} thread(s), {} big-core cycle(s) simulated in {:.2?}",
@@ -280,8 +318,12 @@ fn main() -> ExitCode {
         }
     }
 
-    if failures.is_empty() && escapes.is_empty() {
-        println!("OK: zero divergences, zero escapes");
+    if failures.is_empty() && escapes.is_empty() && unrecovered == 0 {
+        if args.recover {
+            println!("OK: zero divergences, zero escapes, zero unrecovered detections");
+        } else {
+            println!("OK: zero divergences, zero escapes");
+        }
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

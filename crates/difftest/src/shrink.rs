@@ -21,8 +21,20 @@ use meek_isa::Reg;
 /// Removes `insts[start..end]`, rewriting every branch/`jal` offset
 /// that crosses the removed range so surviving control flow still
 /// targets the same surviving instructions. A target *inside* the
-/// range snaps to the first instruction after it. (`jalr` offsets are
-/// link-register-relative and therefore position-independent already.)
+/// range snaps to the first instruction after it.
+///
+/// `jalr` offsets are link-register-relative, but the fuzzer's two
+/// indirect-jump idioms make their targets positionally decodable, so
+/// they relink too:
+///
+/// * `jal rs1, +4; jalr _, rs1, off` — the link register holds the
+///   jalr's own address, so `off` is pc-relative in disguise;
+/// * `auipc rd, 0; addi rd, rd, Δ; jalr _, rd, 0` — `Δ` is the byte
+///   displacement from the `auipc`, rebuilt against the adjusted
+///   indices.
+///
+/// Without this, any removal between an indirect jump and its target
+/// breaks the candidate and indirect-jump reproducers stop shrinking.
 pub fn remove_range_relinked(insts: &[Inst], start: usize, end: usize) -> Vec<Inst> {
     let removed = end - start;
     // Adjusted index of original index j after the removal.
@@ -35,20 +47,54 @@ pub fn remove_range_relinked(insts: &[Inst], start: usize, end: usize) -> Vec<In
             j - removed as i64
         }
     };
+    let kept = |j: usize| !(start..end).contains(&j);
     insts
         .iter()
         .enumerate()
-        .filter(|(i, _)| !(start..end).contains(i))
+        .filter(|(i, _)| kept(*i))
         .map(|(i, inst)| {
-            let relink = |offset: i32| -> i32 {
-                let target = i as i64 + offset as i64 / 4;
-                ((adj(target) - adj(i as i64)) * 4) as i32
+            // New offset for a pc-relative displacement anchored at
+            // original index `anchor`.
+            let relink_at = |anchor: usize, offset: i32| -> i32 {
+                let target = anchor as i64 + offset as i64 / 4;
+                ((adj(target) - adj(anchor as i64)) * 4) as i32
             };
             match *inst {
                 Inst::Branch { op, rs1, rs2, offset } => {
-                    Inst::Branch { op, rs1, rs2, offset: relink(offset) }
+                    Inst::Branch { op, rs1, rs2, offset: relink_at(i, offset) }
                 }
-                Inst::Jal { rd, offset } => Inst::Jal { rd, offset: relink(offset) },
+                Inst::Jal { rd, offset } => Inst::Jal { rd, offset: relink_at(i, offset) },
+                Inst::Jalr { rd, rs1, offset } => {
+                    // jal rs1, +4 directly before: rs1 == this jalr's
+                    // own address, so the offset anchors here.
+                    let paired = i > 0
+                        && kept(i - 1)
+                        && matches!(insts[i - 1], Inst::Jal { rd: link, offset: 4 } if link == rs1);
+                    if paired {
+                        Inst::Jalr { rd, rs1, offset: relink_at(i, offset) }
+                    } else {
+                        Inst::Jalr { rd, rs1, offset }
+                    }
+                }
+                Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm } if rd == rs1 => {
+                    // The middle of an auipc/addi/jalr triplet: the
+                    // immediate anchors at the auipc one slot back.
+                    let triplet = i > 0
+                        && i + 1 < insts.len()
+                        && kept(i - 1)
+                        && kept(i + 1)
+                        && imm % 4 == 0
+                        && matches!(insts[i - 1], Inst::Auipc { rd: a, imm: 0 } if a == rd)
+                        && matches!(
+                            insts[i + 1],
+                            Inst::Jalr { rs1: j, offset: 0, .. } if j == rd
+                        );
+                    if triplet {
+                        Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: relink_at(i - 1, imm) }
+                    } else {
+                        Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm }
+                    }
+                }
                 other => other,
             }
         })
@@ -169,6 +215,90 @@ mod tests {
         let out2 = remove_range_relinked(&prog, 1, 3);
         assert_eq!(out2.len(), 2);
         assert_eq!(out2[1], Inst::Jal { rd: Reg::X0, offset: 0 });
+    }
+
+    #[test]
+    fn relink_rebuilds_jal_jalr_pair_offsets() {
+        let nop = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X0, rs1: Reg::X0, imm: 0 };
+        // 0: jal x1, +4   1: jalr x2, x1, +12 (-> 4)   2: nop   3: nop   4: nop
+        let prog = vec![
+            Inst::Jal { rd: Reg::X1, offset: 4 },
+            Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 12 },
+            nop,
+            nop,
+            nop,
+        ];
+        // Remove index 2: the jalr's target (4) slides to 3.
+        let out = remove_range_relinked(&prog, 2, 3);
+        assert_eq!(out[1], Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 8 });
+        // Without the jal anchor the jalr's offset must not be touched
+        // (its base register is an arbitrary run-time value).
+        let unanchored = vec![nop, Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 12 }, nop, nop];
+        let out2 = remove_range_relinked(&unanchored, 2, 3);
+        assert_eq!(out2[1], Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 12 });
+    }
+
+    #[test]
+    fn relink_rebuilds_auipc_addi_jalr_triplets() {
+        let nop = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X0, rs1: Reg::X0, imm: 0 };
+        // 0: auipc x1, 0   1: addi x1, x1, 20 (-> 5)   2: jalr x2, x1, 0
+        // 3: nop   4: nop   5: nop
+        let prog = vec![
+            Inst::Auipc { rd: Reg::X1, imm: 0 },
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X1, imm: 20 },
+            Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 0 },
+            nop,
+            nop,
+            nop,
+        ];
+        // Remove the two skipped nops: target index 5 snaps to 3.
+        let out = remove_range_relinked(&prog, 3, 5);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[1], Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X1, imm: 12 });
+        // A plain rd==rs1 addi with no auipc/jalr neighbours keeps its
+        // immediate — it is arithmetic, not an address.
+        let plain = vec![
+            nop,
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X3, rs1: Reg::X3, imm: 20 },
+            nop,
+            nop,
+        ];
+        let out2 = remove_range_relinked(&plain, 2, 3);
+        assert_eq!(
+            out2[1],
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X3, rs1: Reg::X3, imm: 20 }
+        );
+    }
+
+    #[test]
+    fn indirect_jump_reproducers_shrink_through_their_chains() {
+        // A program whose "failure" is: an indirect jump executes and
+        // the run terminates. ddmin must strip all the ballast while
+        // relinking both indirect-jump idioms.
+        let nop = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X0, rs1: Reg::X0, imm: 0 };
+        let mut prog = vec![nop; 6];
+        prog.extend([
+            Inst::Auipc { rd: Reg::X1, imm: 0 },
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X1, imm: 20 },
+            Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 0 },
+            nop,
+            nop,
+        ]);
+        prog.extend(vec![nop; 6]);
+        let fails = |cand: &[Inst]| {
+            let p = FuzzProgram::from_insts(cand);
+            match crate::golden_run(&p) {
+                Ok(g) => g.trace.iter().any(|r| r.branch.is_some_and(|b| b.is_indirect)),
+                Err(_) => false,
+            }
+        };
+        assert!(fails(&prog));
+        let min = shrink_insts(prog, fails);
+        assert!(
+            min.len() <= 3,
+            "the triplet alone reproduces; relinking must let the rest go, got {min:?}"
+        );
+        assert!(min.iter().any(|i| matches!(i, Inst::Jalr { .. })));
     }
 
     #[test]

@@ -136,6 +136,12 @@ impl Fabric for AxiInterconnect {
         self.buffers.iter().all(DcBuffer::is_empty)
     }
 
+    fn flush(&mut self) {
+        for buf in &mut self.buffers {
+            self.stats.squashed += buf.clear() as u64;
+        }
+    }
+
     fn payload_words(&self) -> u32 {
         2 // 128-bit bus
     }

@@ -97,6 +97,15 @@ impl DcBuffer {
         }
     }
 
+    /// Drops everything queued on both channels, returning how many
+    /// packets were discarded (recovery squash).
+    pub fn clear(&mut self) -> usize {
+        let dropped = self.len();
+        self.runtime.clear();
+        self.status.clear();
+        dropped
+    }
+
     /// Total queued packets across both channels.
     pub fn len(&self) -> usize {
         self.runtime.len() + self.status.len()

@@ -50,6 +50,9 @@ pub struct FabricStats {
     pub blocked_cycles: u64,
     /// Cycles in which at least one transaction moved.
     pub busy_cycles: u64,
+    /// Packets dropped by recovery squashes ([`Fabric::flush`]): data
+    /// extracted for segments a rollback discarded before delivery.
+    pub squashed: u64,
 }
 
 /// A destination for forwarded packets — a little core's Load-Store Log.
@@ -83,6 +86,12 @@ pub trait Fabric {
 
     /// Whether all internal buffers are empty (used at drain/quiesce).
     fn is_empty(&self) -> bool;
+
+    /// Drops every queued packet — the fabric half of a recovery
+    /// rollback: in-flight run-time records and checkpoint chunks of
+    /// squashed segments must not reach any LSL after the roll-back
+    /// point. Counts the drops in [`FabricStats::squashed`].
+    fn flush(&mut self);
 
     /// Number of 64-bit payload words one packet carries — determines how
     /// many packets a 65-word register checkpoint needs (wider F2 packets

@@ -150,6 +150,12 @@ impl Fabric for F2 {
         self.buffers.iter().all(DcBuffer::is_empty)
     }
 
+    fn flush(&mut self) {
+        for buf in &mut self.buffers {
+            self.stats.squashed += buf.clear() as u64;
+        }
+    }
+
     fn payload_words(&self) -> u32 {
         4 // 256-bit datapath
     }

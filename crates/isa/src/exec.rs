@@ -102,6 +102,11 @@ pub struct Retired {
     /// CSR read value, if this is a CSR instruction — a "non-repeatable"
     /// result that the DEU must forward for replay (paper §II footnote).
     pub csr_read: Option<(u16, u64)>,
+    /// CSR write side-effect `(addr, new value)`, if this is a CSR
+    /// instruction. Replay drops CSR writes by design, but the recovery
+    /// subsystem's commit-order shadow must track them so a rollback
+    /// restores the full architectural state, CSRs included.
+    pub csr_write: Option<(u16, u64)>,
     /// `true` for ECALL/EBREAK: enters the kernel, which forces an RCP
     /// (segment boundary) in MEEK.
     pub is_kernel_trap: bool,
@@ -136,6 +141,7 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
     let mut branch = None;
     let mut mem_access = None;
     let mut csr_read = None;
+    let mut csr_write = None;
     let mut is_kernel_trap = false;
 
     match inst {
@@ -308,6 +314,7 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
             st.set_csr(csr, new);
             st.set_x(rd, old);
             csr_read = Some((csr, old));
+            csr_write = Some((csr, new));
         }
         Inst::Fence => {}
         Inst::Ecall | Inst::Ebreak => is_kernel_trap = true,
@@ -346,6 +353,7 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
         branch,
         mem: mem_access,
         csr_read,
+        csr_write,
         is_kernel_trap,
         wb,
     }

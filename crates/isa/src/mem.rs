@@ -91,6 +91,25 @@ impl SparseMemory {
         self.peek(addr, 4) as u32
     }
 
+    /// Whether two memories hold identical contents, treating absent
+    /// pages as all-zero. Plain `==` on the page maps would call two
+    /// states different when one merely materialised a zero page (e.g.
+    /// a recovery rollback writing zeros back over a squashed store) —
+    /// architecturally they are the same memory.
+    pub fn content_eq(&self, other: &SparseMemory) -> bool {
+        let covered =
+            |mem: &SparseMemory, page: u64, data: &[u8; PAGE_SIZE]| match mem.pages.get(&page) {
+                Some(p) => p.as_ref() == data,
+                None => data.iter().all(|&b| b == 0),
+            };
+        self.pages.iter().all(|(&page, data)| covered(other, page, data))
+            && other
+                .pages
+                .iter()
+                .filter(|(page, _)| !self.pages.contains_key(page))
+                .all(|(_, data)| data.iter().all(|&b| b == 0))
+    }
+
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
         self.pages.entry(addr >> PAGE_BITS).or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
@@ -158,6 +177,23 @@ mod tests {
         m.write(0x200, 8, u64::MAX);
         m.write(0x202, 2, 0);
         assert_eq!(m.read(0x200, 8), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn content_eq_ignores_materialised_zero_pages() {
+        let mut a = SparseMemory::new();
+        let mut b = SparseMemory::new();
+        a.write(0x1000, 8, 0xFEED);
+        b.write(0x1000, 8, 0xFEED);
+        assert!(a.content_eq(&b));
+        // b materialises a zero page a never touched.
+        b.write(0x9000, 8, 7);
+        assert!(!a.content_eq(&b));
+        b.write(0x9000, 8, 0);
+        assert!(a.content_eq(&b), "an all-zero page equals an absent page");
+        assert!(b.content_eq(&a), "content equality is symmetric");
+        a.write(0x1000, 1, 0xAA);
+        assert!(!a.content_eq(&b));
     }
 
     #[test]

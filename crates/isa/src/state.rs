@@ -67,6 +67,20 @@ impl ArchState {
         RegCheckpoint { pc: self.pc, x: self.x, f: self.f }
     }
 
+    /// A snapshot of the CSR file. RCPs deliberately exclude CSRs (the
+    /// checkers re-seed CSR reads from the log), but the recovery
+    /// subsystem must restore them on rollback, so checkpoints pin this
+    /// alongside the [`RegCheckpoint`].
+    pub fn csr_snapshot(&self) -> BTreeMap<u16, u64> {
+        self.csrs.clone()
+    }
+
+    /// Replaces the CSR file from a snapshot — the CSR half of a
+    /// recovery rollback.
+    pub fn restore_csr_snapshot(&mut self, csrs: BTreeMap<u16, u64>) {
+        self.csrs = csrs;
+    }
+
     /// Overwrites the architectural registers from a checkpoint — the
     /// `l.apply` operation of the MEEK ISA.
     pub fn apply_checkpoint(&mut self, cp: &RegCheckpoint) {

@@ -558,7 +558,17 @@ impl LittleCore {
     /// program's initial architectural state, synthesised by the OS at
     /// `b.hook` time rather than forwarded through the fabric).
     pub fn seed_initial_checkpoint(&mut self, cp: RegCheckpoint) {
-        self.carried_srcp = Some(StatusRecord { seg: 0, inst_count: 0, cp, arrived_at: 0 });
+        self.seed_carried_srcp(0, cp, 0);
+    }
+
+    /// Seeds checkpoint `prev_seg` (the SRCP of segment `prev_seg + 1`)
+    /// directly into the carried slot. Used at boot (checkpoint 0) and
+    /// by the recovery subsystem when a rollback re-opens a segment
+    /// whose start checkpoint is pinned in the big core's checkpoint
+    /// store rather than resident in any LSL.
+    pub fn seed_carried_srcp(&mut self, prev_seg: u32, cp: RegCheckpoint, now: u64) {
+        self.carried_srcp =
+            Some(StatusRecord { seg: prev_seg, inst_count: 0, cp, arrived_at: now });
     }
 
     /// Executes one instruction of an ordinary application thread — the

@@ -18,9 +18,11 @@ pub mod config;
 pub mod dram;
 pub mod hierarchy;
 pub mod parity;
+pub mod undo;
 
 pub use cache::{AccessKind, Cache, CacheStats};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use dram::Dram;
 pub use hierarchy::{AccessOutcome, MemHierarchy, ServedBy};
 pub use parity::{byte_parity, check_parity, Parity};
+pub use undo::{JournaledMem, UndoEntry, UndoLog, UNDO_ENTRY_BYTES};

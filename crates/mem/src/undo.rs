@@ -1,0 +1,225 @@
+//! Memory undo-log: the rollback half of the recovery subsystem.
+//!
+//! Detection alone cannot restore a corrupted run: once a checker
+//! reports a mismatch, every store committed after the last verified
+//! checkpoint is suspect. The undo-log layers journaling over the
+//! functional [`SparseMemory`]: each write records the bytes it
+//! overwrites, tagged with the dynamic instruction index that produced
+//! it, so the recovery manager can rewind memory to any instruction
+//! boundary that still has a pinned checkpoint — and release the tail
+//! of the journal as verdicts drain.
+//!
+//! The journal is strictly append-ordered (instruction indices ascend)
+//! and rewinding applies pre-images newest-first, so overlapping writes
+//! restore correctly.
+
+use meek_isa::{Bus, SparseMemory};
+use std::collections::VecDeque;
+
+/// One journaled write: the pre-image of `size` bytes at `addr`,
+/// overwritten by the instruction with dynamic index `inst`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UndoEntry {
+    /// Dynamic instruction index (1-based: the n-th executed
+    /// instruction) whose store this entry undoes.
+    pub inst: u64,
+    /// Byte address of the write.
+    pub addr: u64,
+    /// Width of the write in bytes (1, 2, 4 or 8).
+    pub size: u8,
+    /// The bytes the write replaced.
+    pub old: u64,
+}
+
+/// Bytes one journal entry occupies in the modelled checkpoint store
+/// (address + pre-image + index/size tag, packed).
+pub const UNDO_ENTRY_BYTES: u64 = 24;
+
+/// An append-only write journal over a [`SparseMemory`].
+#[derive(Debug, Clone, Default)]
+pub struct UndoLog {
+    entries: VecDeque<UndoEntry>,
+    /// High-water mark of [`UndoLog::bytes`] over the log's lifetime.
+    peak_bytes: u64,
+}
+
+impl UndoLog {
+    /// An empty journal.
+    pub fn new() -> UndoLog {
+        UndoLog::default()
+    }
+
+    /// Journaled entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Modelled storage footprint of the journal in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.entries.len() as u64 * UNDO_ENTRY_BYTES
+    }
+
+    /// Largest storage footprint the journal ever reached.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Records the pre-image of a write performed by instruction
+    /// `inst`. Indices must be non-decreasing (commit order); a rewind
+    /// re-opens lower indices for re-execution.
+    pub fn record(&mut self, inst: u64, addr: u64, size: u8, old: u64) {
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.inst <= inst),
+            "undo journal must be appended in instruction order"
+        );
+        self.entries.push_back(UndoEntry { inst, addr, size, old });
+        self.peak_bytes = self.peak_bytes.max(self.bytes());
+    }
+
+    /// Rewinds `mem` to the state it had after instruction `inst`:
+    /// every journaled write from a later instruction is undone
+    /// (newest first) and dropped from the journal.
+    pub fn rewind(&mut self, mem: &mut SparseMemory, inst: u64) {
+        while let Some(e) = self.entries.back() {
+            if e.inst <= inst {
+                break;
+            }
+            let e = self.entries.pop_back().expect("back exists");
+            mem.write(e.addr, e.size, e.old);
+        }
+    }
+
+    /// Releases journal entries from instructions at or before `inst`
+    /// — their checkpoint has been verified, so they can never be
+    /// rewound again. Returns the number of entries released.
+    pub fn release_through(&mut self, inst: u64) -> usize {
+        let mut released = 0;
+        while self.entries.front().is_some_and(|e| e.inst <= inst) {
+            self.entries.pop_front();
+            released += 1;
+        }
+        released
+    }
+}
+
+/// A [`Bus`] adapter that journals write pre-images into an [`UndoLog`]
+/// before letting them through to the backing [`SparseMemory`].
+///
+/// # Example
+///
+/// ```
+/// use meek_isa::{Bus, SparseMemory};
+/// use meek_mem::{JournaledMem, UndoLog};
+///
+/// let mut mem = SparseMemory::new();
+/// let mut log = UndoLog::new();
+/// mem.write(0x100, 8, 0xAAAA);
+/// JournaledMem::new(&mut mem, &mut log, 1).write(0x100, 8, 0xBBBB);
+/// assert_eq!(mem.read(0x100, 8), 0xBBBB);
+/// log.rewind(&mut mem, 0);
+/// assert_eq!(mem.read(0x100, 8), 0xAAAA);
+/// ```
+pub struct JournaledMem<'a> {
+    mem: &'a mut SparseMemory,
+    log: &'a mut UndoLog,
+    inst: u64,
+}
+
+impl<'a> JournaledMem<'a> {
+    /// Wraps `mem`, attributing journaled writes to instruction `inst`.
+    pub fn new(mem: &'a mut SparseMemory, log: &'a mut UndoLog, inst: u64) -> JournaledMem<'a> {
+        JournaledMem { mem, log, inst }
+    }
+}
+
+impl Bus for JournaledMem<'_> {
+    fn read(&mut self, addr: u64, size: u8) -> u64 {
+        self.mem.read(addr, size)
+    }
+
+    fn write(&mut self, addr: u64, size: u8, val: u64) {
+        let old = self.mem.peek(addr, size);
+        if old != val {
+            self.log.record(self.inst, addr, size, old);
+        }
+        self.mem.write(addr, size, val);
+    }
+
+    fn fetch(&mut self, addr: u64) -> u32 {
+        self.mem.fetch(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rewind_restores_overlapping_writes_in_reverse() {
+        let mut mem = SparseMemory::new();
+        let mut log = UndoLog::new();
+        mem.write(0x200, 8, 0x1111_1111_1111_1111);
+        JournaledMem::new(&mut mem, &mut log, 1).write(0x200, 8, 0x2222_2222_2222_2222);
+        JournaledMem::new(&mut mem, &mut log, 2).write(0x202, 2, 0x3333);
+        JournaledMem::new(&mut mem, &mut log, 3).write(0x200, 4, 0x4444_4444);
+        log.rewind(&mut mem, 1);
+        assert_eq!(mem.peek(0x200, 8), 0x2222_2222_2222_2222, "index-1 write survives");
+        log.rewind(&mut mem, 0);
+        assert_eq!(mem.peek(0x200, 8), 0x1111_1111_1111_1111);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn rewind_is_idempotent_at_the_boundary() {
+        let mut mem = SparseMemory::new();
+        let mut log = UndoLog::new();
+        JournaledMem::new(&mut mem, &mut log, 5).write(0x10, 8, 7);
+        log.rewind(&mut mem, 5);
+        assert_eq!(log.len(), 1, "entry at the boundary is kept");
+        assert_eq!(mem.peek(0x10, 8), 7);
+    }
+
+    #[test]
+    fn release_drops_only_the_verified_prefix() {
+        let mut mem = SparseMemory::new();
+        let mut log = UndoLog::new();
+        for i in 1..=6u64 {
+            JournaledMem::new(&mut mem, &mut log, i).write(0x100 + i * 8, 8, i);
+        }
+        assert_eq!(log.release_through(3), 3);
+        assert_eq!(log.len(), 3);
+        // The released prefix can no longer be rewound…
+        log.rewind(&mut mem, 0);
+        assert_eq!(mem.peek(0x108, 8), 1, "released write survives a deep rewind");
+        // …but the unreleased tail was undone.
+        assert_eq!(mem.peek(0x120, 8), 0);
+    }
+
+    #[test]
+    fn silent_stores_are_not_journaled() {
+        let mut mem = SparseMemory::new();
+        let mut log = UndoLog::new();
+        mem.write(0x40, 8, 9);
+        JournaledMem::new(&mut mem, &mut log, 1).write(0x40, 8, 9);
+        assert!(log.is_empty(), "a write of the same value needs no undo entry");
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water() {
+        let mut mem = SparseMemory::new();
+        let mut log = UndoLog::new();
+        for i in 1..=4u64 {
+            JournaledMem::new(&mut mem, &mut log, i).write(i * 8, 8, i);
+        }
+        let peak = log.peak_bytes();
+        assert_eq!(peak, 4 * UNDO_ENTRY_BYTES);
+        log.rewind(&mut mem, 0);
+        assert_eq!(log.bytes(), 0);
+        assert_eq!(log.peak_bytes(), peak, "high-water survives the rewind");
+    }
+}

@@ -1,0 +1,271 @@
+//! The pinned-checkpoint store: per-segment architectural snapshots
+//! held until the segment's check verdict drains.
+//!
+//! Checkpoint `k` is the full architectural state (registers, PC,
+//! CSRs) at the commit boundary that opened segment `k`; memory at
+//! that boundary is reachable by rewinding the memory undo-log to the
+//! checkpoint's commit index. A checkpoint stays pinned until segment
+//! `k` — and every earlier segment — has delivered a *pass* verdict;
+//! only then can no future rollback target it, and its slice of the
+//! undo journal is released with it.
+
+use meek_isa::state::RegCheckpoint;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One pinned checkpoint: everything a rollback needs to restore the
+/// big core to the start of segment `seg`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentCheckpoint {
+    /// Segment this checkpoint is the start state of.
+    pub seg: u32,
+    /// Instructions committed when the checkpoint was cut — the rewind
+    /// target for the memory undo-log and the oracle.
+    pub commit_index: u64,
+    /// Architectural registers and PC.
+    pub cp: RegCheckpoint,
+    /// CSR file at the boundary (RCPs exclude CSRs; rollback must not).
+    pub csrs: BTreeMap<u16, u64>,
+}
+
+impl SegmentCheckpoint {
+    /// Modelled storage footprint: 65 checkpoint words plus 16 bytes
+    /// per pinned CSR (address + value, padded).
+    pub fn bytes(&self) -> u64 {
+        RegCheckpoint::WORDS as u64 * 8 + self.csrs.len() as u64 * 16
+    }
+}
+
+/// What [`CheckpointStore::on_verified`] unlocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReleaseOutcome {
+    /// Commit index through which the memory undo-log may be released
+    /// (`Some` only when at least one checkpoint was unpinned).
+    pub release_through: Option<u64>,
+    /// Checkpoints unpinned by this verdict.
+    pub released: usize,
+}
+
+/// Ordered store of pinned checkpoints (segment numbers ascend).
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    pinned: VecDeque<SegmentCheckpoint>,
+    /// Segments with a delivered pass verdict whose checkpoints are
+    /// still pinned behind an unverified predecessor.
+    verified: BTreeSet<u32>,
+    /// Running byte total of `pinned` (kept incrementally: callers
+    /// sample [`CheckpointStore::bytes`] every cycle).
+    cur_bytes: u64,
+    peak_bytes: u64,
+    peak_pinned: usize,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> CheckpointStore {
+        CheckpointStore::default()
+    }
+
+    /// Pins the checkpoint opening `cp.seg`. Segments must be pinned in
+    /// ascending order; a rollback pops the suffix first.
+    pub fn pin(&mut self, cp: SegmentCheckpoint) {
+        debug_assert!(
+            self.pinned.back().is_none_or(|b| b.seg < cp.seg),
+            "checkpoints must be pinned in segment order"
+        );
+        self.cur_bytes += cp.bytes();
+        self.pinned.push_back(cp);
+        self.peak_pinned = self.peak_pinned.max(self.pinned.len());
+        self.peak_bytes = self.peak_bytes.max(self.cur_bytes);
+    }
+
+    /// Number of checkpoints currently pinned.
+    pub fn pinned(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Most checkpoints ever pinned at once.
+    pub fn peak_pinned(&self) -> usize {
+        self.peak_pinned
+    }
+
+    /// Modelled storage footprint of all pinned checkpoints.
+    pub fn bytes(&self) -> u64 {
+        self.cur_bytes
+    }
+
+    /// Largest storage footprint the store ever reached.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    /// Records a pass verdict for `seg` and unpins the now-unreachable
+    /// prefix: checkpoints release strictly in segment order, so one
+    /// slow verdict pins everything behind it (exactly the storage
+    /// pressure the high-water mark measures).
+    ///
+    /// `hold_from` keeps checkpoints at or after that segment pinned
+    /// even when verified — a scheduled rollback with depth > 1 may
+    /// target a checkpoint whose own segment has already passed, and
+    /// releasing it (with its slice of the undo journal) would destroy
+    /// the rewind state before the rollback fires. The held verdicts
+    /// stay marked and release once the hold lifts.
+    pub fn on_verified(&mut self, seg: u32, hold_from: Option<u32>) -> ReleaseOutcome {
+        self.verified.insert(seg);
+        let mut out = ReleaseOutcome::default();
+        while let Some(front) = self.pinned.front() {
+            if !self.verified.contains(&front.seg) || hold_from.is_some_and(|h| front.seg >= h) {
+                break;
+            }
+            self.verified.remove(&front.seg);
+            let released = self.pinned.pop_front().expect("front exists");
+            self.cur_bytes -= released.bytes();
+            out.released += 1;
+            // Everything up to the *next* pinned checkpoint's commit
+            // index is final; without a successor, the released
+            // checkpoint's own index bounds what is known-verified.
+            out.release_through = Some(match self.pinned.front() {
+                Some(next) => next.commit_index,
+                None => released.commit_index,
+            });
+        }
+        out
+    }
+
+    /// The checkpoint a failure of `failed_seg` rolls back to under
+    /// `depth`: the latest pinned checkpoint at or before the failed
+    /// segment, stepped back `depth - 1` further where available.
+    pub fn target_for(&self, failed_seg: u32, depth: u32) -> Option<&SegmentCheckpoint> {
+        let at_or_before = self.pinned.iter().rposition(|c| c.seg <= failed_seg)?;
+        let idx = at_or_before.saturating_sub(depth.saturating_sub(1) as usize);
+        self.pinned.get(idx)
+    }
+
+    /// Executes a rollback to `target_seg`: checkpoints for later
+    /// segments are discarded (their segments re-execute and re-pin),
+    /// and stale pass verdicts at or after the target are voided.
+    /// Returns the target checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_seg` is not pinned — the caller must have
+    /// obtained it from [`CheckpointStore::target_for`].
+    pub fn rollback_to(&mut self, target_seg: u32) -> SegmentCheckpoint {
+        while self.pinned.back().is_some_and(|b| b.seg > target_seg) {
+            let dropped = self.pinned.pop_back().expect("back exists");
+            self.cur_bytes -= dropped.bytes();
+        }
+        self.verified.retain(|&s| s < target_seg);
+        let target = self.pinned.back().expect("rollback target must be pinned");
+        assert_eq!(target.seg, target_seg, "rollback target vanished from the store");
+        target.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(seg: u32, commit_index: u64) -> SegmentCheckpoint {
+        SegmentCheckpoint {
+            seg,
+            commit_index,
+            cp: RegCheckpoint::zeroed(0x1000 + commit_index * 4),
+            csrs: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn release_is_contiguous_in_segment_order() {
+        let mut store = CheckpointStore::new();
+        for s in 1..=4 {
+            store.pin(cp(s, s as u64 * 100));
+        }
+        // Segment 2 verifies first: nothing releases past unverified 1.
+        assert_eq!(store.on_verified(2, None), ReleaseOutcome::default());
+        assert_eq!(store.pinned(), 4);
+        // Segment 1 verifies: 1 and 2 release; undo is final through
+        // checkpoint 3's commit index.
+        let out = store.on_verified(1, None);
+        assert_eq!(out.released, 2);
+        assert_eq!(out.release_through, Some(300));
+        assert_eq!(store.pinned(), 2);
+    }
+
+    #[test]
+    fn last_checkpoint_releases_through_itself() {
+        let mut store = CheckpointStore::new();
+        store.pin(cp(1, 50));
+        let out = store.on_verified(1, None);
+        assert_eq!(out.released, 1);
+        assert_eq!(out.release_through, Some(50));
+        assert_eq!(store.pinned(), 0);
+    }
+
+    #[test]
+    fn target_respects_depth_and_floor() {
+        let mut store = CheckpointStore::new();
+        for s in 3..=6 {
+            store.pin(cp(s, s as u64 * 100));
+        }
+        assert_eq!(store.target_for(5, 1).unwrap().seg, 5);
+        assert_eq!(store.target_for(5, 2).unwrap().seg, 4);
+        assert_eq!(store.target_for(5, 99).unwrap().seg, 3, "depth clamps at the oldest pin");
+        assert_eq!(store.target_for(2, 1), None, "nothing pinned at or before segment 2");
+    }
+
+    #[test]
+    fn rollback_drops_the_suffix_and_voids_stale_passes() {
+        let mut store = CheckpointStore::new();
+        for s in 1..=5 {
+            store.pin(cp(s, s as u64 * 100));
+        }
+        store.on_verified(3, None); // pinned behind 1 and 2, so still held
+        let target = store.rollback_to(3);
+        assert_eq!(target.seg, 3);
+        assert_eq!(store.pinned(), 3, "checkpoints 4 and 5 dropped");
+        // Segment 3's stale pass was voided: verifying 1 and 2 must not
+        // release checkpoint 3.
+        store.on_verified(1, None);
+        let out = store.on_verified(2, None);
+        assert!(out.released > 0);
+        assert_eq!(store.pinned(), 1);
+        assert_eq!(store.target_for(9, 1).unwrap().seg, 3);
+    }
+
+    #[test]
+    fn hold_pins_a_verified_rollback_target() {
+        // The depth >= 2 race: a pending rollback targets checkpoint 4,
+        // whose own segment passes while the rollback waits on older
+        // verdicts. The hold must keep 4 (and its undo slice) pinned.
+        let mut store = CheckpointStore::new();
+        for s in 1..=5 {
+            store.pin(cp(s, s as u64 * 100));
+        }
+        store.on_verified(4, Some(4));
+        for s in 1..=3 {
+            store.on_verified(s, Some(4));
+        }
+        assert_eq!(store.pinned(), 2, "checkpoints 1-3 release; 4 is held for the rollback");
+        let target = store.rollback_to(4);
+        assert_eq!(target.seg, 4);
+        // After the rollback the hold lifts; 4 re-verifies and releases.
+        let out = store.on_verified(4, None);
+        assert_eq!(out.released, 1);
+        assert_eq!(store.pinned(), 0);
+    }
+
+    #[test]
+    fn high_water_marks_survive_release() {
+        let mut store = CheckpointStore::new();
+        for s in 1..=3 {
+            store.pin(cp(s, s as u64));
+        }
+        let bytes = store.bytes();
+        store.on_verified(1, None);
+        store.on_verified(2, None);
+        store.on_verified(3, None);
+        assert_eq!(store.bytes(), 0);
+        assert_eq!(store.peak_bytes(), bytes);
+        assert_eq!(store.peak_pinned(), 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! **meek-recover** — checkpoint/rollback/re-execution recovery for the
+//! MEEK SoC.
+//!
+//! MEEK's checkers *detect* divergence; until this crate, a `fail`
+//! verdict was the end of the story — the run was diagnosed, and dead.
+//! Recovery closes the loop: the system keeps a per-segment
+//! architectural checkpoint (register file, PC, CSRs) pinned until the
+//! segment's check verdict drains, layers a write undo-log
+//! (`meek_mem::UndoLog`) over the functional memory, and on a fail
+//! verdict rolls the big core back to the last trusted checkpoint,
+//! squashes everything in flight (pipeline, DC-Buffers, fabric,
+//! checker assignments), and re-executes forward — turning
+//! detect-only into **detect → rollback → re-execute → verify**.
+//!
+//! The pieces:
+//!
+//! * [`RecoveryPolicy`] — the knobs: rollback depth, retry budget,
+//!   golden escalation, restore latency;
+//! * [`CheckpointStore`] — pinned [`SegmentCheckpoint`]s, released in
+//!   segment order as verdicts drain, with storage high-water marks;
+//! * [`RecoveryManager`] — the verdict-driven state machine deciding
+//!   *what* to do; the SoC layer (`meek-core`) owns *how*;
+//! * [`RecoveryReport`] — latency/storage/retry metrics merged into
+//!   the system's `RunReport`.
+//!
+//! The subsystem is exercised end to end by `meek-difftest --recover`:
+//! every injected-and-detected fault must leave the recovered run with
+//! a final architectural state (registers, CSRs, and memory) equal to
+//! the golden interpreter's.
+
+pub mod checkpoint;
+pub mod manager;
+pub mod policy;
+pub mod report;
+
+pub use checkpoint::{CheckpointStore, ReleaseOutcome, SegmentCheckpoint};
+pub use manager::{FailAction, RecoveryManager, VerdictOutcome};
+pub use policy::RecoveryPolicy;
+pub use report::RecoveryReport;

@@ -1,0 +1,352 @@
+//! The recovery state machine: turns segment verdicts into pin /
+//! release / rollback decisions.
+//!
+//! The manager is deliberately system-agnostic: it owns the checkpoint
+//! store, the policy and the metrics, and tells the caller *what* to do
+//! (schedule a rollback to segment `t`, release the undo journal
+//! through commit `c`, lift golden suppression) — the SoC layer owns
+//! *how* (squashing the pipeline and fabric, rewinding the oracle,
+//! reseeding checkers).
+
+use crate::checkpoint::{CheckpointStore, SegmentCheckpoint};
+use crate::policy::RecoveryPolicy;
+use crate::report::RecoveryReport;
+use meek_isa::state::RegCheckpoint;
+use std::collections::BTreeMap;
+
+/// What a fail verdict resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Recovery is disabled (or the failure is not recoverable):
+    /// detect-only behaviour.
+    Ignored,
+    /// A rollback was scheduled; the caller executes it once every
+    /// segment older than [`RecoveryManager::pending_target`] has
+    /// concluded.
+    Scheduled,
+    /// The retry budget is exhausted and escalation is off: the
+    /// episode is abandoned and counted as unrecovered.
+    GiveUp,
+}
+
+/// What a pass verdict unlocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerdictOutcome {
+    /// Release the memory undo-log through this commit index (their
+    /// checkpoints unpinned).
+    pub release_through: Option<u64>,
+    /// The open failure episode just closed: the re-executed segment
+    /// verified. Golden suppression, if any, lifts now.
+    pub episode_closed: bool,
+    /// Cycle the closed episode's first fail verdict arrived (for
+    /// annotating the detections it recovered).
+    pub episode_started: Option<u64>,
+}
+
+/// An open failure episode: from the first fail verdict to the pass
+/// verdict of the (most recently) failed segment.
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    failed_seg: u32,
+    started: u64,
+    rollbacks: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    target_seg: u32,
+    golden: bool,
+}
+
+/// The recovery subsystem's brain, embedded in the SoC.
+#[derive(Debug, Clone)]
+pub struct RecoveryManager {
+    policy: RecoveryPolicy,
+    store: CheckpointStore,
+    report: RecoveryReport,
+    episode: Option<Episode>,
+    pending: Option<Pending>,
+}
+
+impl RecoveryManager {
+    /// A manager for `policy` (inert when the policy is disabled).
+    pub fn new(policy: RecoveryPolicy) -> RecoveryManager {
+        RecoveryManager {
+            policy,
+            store: CheckpointStore::new(),
+            report: RecoveryReport::default(),
+            episode: None,
+            pending: None,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &RecoveryPolicy {
+        &self.policy
+    }
+
+    /// Whether the subsystem is active at all.
+    pub fn enabled(&self) -> bool {
+        self.policy.enabled
+    }
+
+    /// Accumulated metrics.
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Pins the checkpoint that opens segment `seg` (no-op when
+    /// disabled — detect-only runs pay no checkpoint cost).
+    pub fn pin_checkpoint(
+        &mut self,
+        seg: u32,
+        commit_index: u64,
+        cp: RegCheckpoint,
+        csrs: BTreeMap<u16, u64>,
+    ) {
+        if !self.policy.enabled {
+            return;
+        }
+        self.store.pin(SegmentCheckpoint { seg, commit_index, cp, csrs });
+        self.report.pinned_checkpoints_hwm =
+            self.report.pinned_checkpoints_hwm.max(self.store.peak_pinned() as u64);
+    }
+
+    /// Samples combined recovery storage (pinned checkpoints + the
+    /// caller's undo-journal footprint) into the high-water mark.
+    pub fn note_storage(&mut self, undo_bytes: u64) {
+        if self.policy.enabled {
+            self.report.storage_bytes_hwm =
+                self.report.storage_bytes_hwm.max(self.store.bytes() + undo_bytes);
+        }
+    }
+
+    /// Handles a pass verdict for `seg`.
+    pub fn on_verified(&mut self, seg: u32, now: u64) -> VerdictOutcome {
+        if !self.policy.enabled {
+            return VerdictOutcome::default();
+        }
+        // A scheduled rollback pins its target (and everything after
+        // it) against release: with depth > 1 the target's own segment
+        // may already have passed, and releasing it before the
+        // rollback fires would destroy the rewind state.
+        let hold_from = self.pending.as_ref().map(|p| p.target_seg);
+        let mut out = VerdictOutcome {
+            release_through: self.store.on_verified(seg, hold_from).release_through,
+            ..VerdictOutcome::default()
+        };
+        if let Some(ep) = self.episode {
+            if ep.rollbacks > 0 && seg == ep.failed_seg {
+                let latency = now.saturating_sub(ep.started);
+                self.report.recovered += 1;
+                self.report.recovery_cycles_total += latency;
+                self.report.max_recovery_cycles = self.report.max_recovery_cycles.max(latency);
+                self.episode = None;
+                out.episode_closed = true;
+                out.episode_started = Some(ep.started);
+            }
+        }
+        out
+    }
+
+    /// Handles a fail verdict for `seg`: opens (or extends) the failure
+    /// episode and schedules a rollback, subject to the retry budget.
+    pub fn on_failed(&mut self, seg: u32, now: u64) -> FailAction {
+        if !self.policy.enabled {
+            return FailAction::Ignored;
+        }
+        let ep =
+            self.episode.get_or_insert(Episode { failed_seg: seg, started: now, rollbacks: 0 });
+        ep.failed_seg = seg;
+        let mut golden = false;
+        if ep.rollbacks >= self.policy.max_retries {
+            if self.policy.escalate_to_golden {
+                golden = true;
+                self.report.escalations += 1;
+            } else {
+                self.report.unrecovered += 1;
+                self.episode = None;
+                self.pending = None;
+                return FailAction::GiveUp;
+            }
+        }
+        let Some(target) = self.store.target_for(seg, self.policy.rollback_depth) else {
+            // No reachable checkpoint (should not happen: the failed
+            // segment's own start checkpoint is pinned until now).
+            self.report.unrecovered += 1;
+            self.episode = None;
+            self.pending = None;
+            return FailAction::GiveUp;
+        };
+        let target_seg = target.seg;
+        self.pending = Some(match self.pending {
+            // An earlier failure is already waiting: keep the older
+            // (smaller) target; golden escalation sticks.
+            Some(p) => {
+                Pending { target_seg: p.target_seg.min(target_seg), golden: p.golden || golden }
+            }
+            None => Pending { target_seg, golden },
+        });
+        FailAction::Scheduled
+    }
+
+    /// The segment a scheduled rollback restores to, if one is waiting.
+    /// The caller may execute it once every older segment has concluded
+    /// (their verdicts are final and their checkpoints releasable).
+    pub fn pending_target(&self) -> Option<u32> {
+        self.pending.as_ref().map(|p| p.target_seg)
+    }
+
+    /// Executes the scheduled rollback: pops later checkpoints, counts
+    /// the squashed instructions, and returns the restore state plus
+    /// whether the re-execution runs golden (injection suppressed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rollback is pending.
+    pub fn take_rollback(&mut self, committed: u64) -> (SegmentCheckpoint, bool) {
+        let p = self.pending.take().expect("no rollback pending");
+        let target = self.store.rollback_to(p.target_seg);
+        let ep = self.episode.as_mut().expect("rollback without an open episode");
+        if ep.rollbacks > 0 {
+            self.report.retries += 1;
+        }
+        ep.rollbacks += 1;
+        self.report.rollbacks += 1;
+        self.report.reexecuted_insts += committed.saturating_sub(target.commit_index);
+        (target, p.golden)
+    }
+
+    /// Whether recovery work is outstanding (a scheduled rollback or an
+    /// episode awaiting its pass verdict). The system must not report
+    /// completion while this holds.
+    pub fn in_flight(&self) -> bool {
+        self.pending.is_some() || self.episode.is_some()
+    }
+
+    /// Called at drain: an episode that never closed (no verdict could
+    /// ever arrive) is abandoned and counted.
+    pub fn resolve_at_drain(&mut self) {
+        if self.episode.take().is_some() {
+            self.report.unrecovered += 1;
+        }
+        self.pending = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> RecoveryManager {
+        let mut m = RecoveryManager::new(RecoveryPolicy::enabled());
+        for seg in 1..=4 {
+            m.pin_checkpoint(seg, seg as u64 * 100, RegCheckpoint::zeroed(0), BTreeMap::new());
+        }
+        m
+    }
+
+    #[test]
+    fn fail_schedules_and_pass_closes_the_episode() {
+        let mut m = mgr();
+        assert_eq!(m.on_failed(3, 1_000), FailAction::Scheduled);
+        assert_eq!(m.pending_target(), Some(3));
+        assert!(m.in_flight());
+        let (target, golden) = m.take_rollback(350);
+        assert_eq!(target.seg, 3);
+        assert!(!golden);
+        assert_eq!(m.report().reexecuted_insts, 50);
+        // Re-executed segment 3 verifies.
+        let out = m.on_verified(3, 1_900);
+        assert!(out.episode_closed);
+        assert_eq!(out.episode_started, Some(1_000));
+        assert!(!m.in_flight());
+        let r = m.report();
+        assert_eq!(r.rollbacks, 1);
+        assert_eq!(r.recovered, 1);
+        assert_eq!(r.recovery_cycles_total, 900);
+        assert_eq!(r.max_recovery_cycles, 900);
+    }
+
+    #[test]
+    fn retry_budget_escalates_to_golden() {
+        let mut m = mgr();
+        for round in 0..4u64 {
+            assert_eq!(m.on_failed(2, round * 100), FailAction::Scheduled);
+            let (_, golden) = m.take_rollback(250);
+            assert_eq!(golden, round >= 3, "round {round}");
+        }
+        assert_eq!(m.report().escalations, 1);
+        assert_eq!(m.report().retries, 3);
+        let out = m.on_verified(2, 5_000);
+        assert!(out.episode_closed, "golden re-execution closes the episode");
+    }
+
+    #[test]
+    fn pass_verdicts_cannot_release_a_pending_deep_rollback_target() {
+        // Depth 2: segment 5 fails, targeting checkpoint 4. While the
+        // rollback waits for older verdicts, segment 4 passes — then
+        // 1..3 pass, which would (without the hold) sweep checkpoint 4
+        // out of the store and panic take_rollback.
+        let mut m = RecoveryManager::new(RecoveryPolicy::with_depth(2));
+        for seg in 1..=5 {
+            m.pin_checkpoint(seg, seg as u64 * 100, RegCheckpoint::zeroed(0), BTreeMap::new());
+        }
+        assert_eq!(m.on_failed(5, 1_000), FailAction::Scheduled);
+        assert_eq!(m.pending_target(), Some(4));
+        m.on_verified(4, 1_010);
+        for seg in 1..=3 {
+            let out = m.on_verified(seg, 1_020 + seg as u64);
+            assert!(!out.episode_closed);
+        }
+        // The gate opens (all older segments concluded): the target
+        // must still be there.
+        let (target, golden) = m.take_rollback(520);
+        assert_eq!(target.seg, 4);
+        assert!(!golden);
+        let out = m.on_verified(5, 2_000);
+        assert!(out.episode_closed);
+        assert_eq!(m.report().recovered, 1);
+    }
+
+    #[test]
+    fn give_up_without_escalation() {
+        let mut m = RecoveryManager::new(RecoveryPolicy {
+            max_retries: 0,
+            escalate_to_golden: false,
+            ..RecoveryPolicy::enabled()
+        });
+        m.pin_checkpoint(1, 0, RegCheckpoint::zeroed(0), BTreeMap::new());
+        assert_eq!(m.on_failed(1, 10), FailAction::GiveUp);
+        assert_eq!(m.report().unrecovered, 1);
+        assert!(!m.in_flight());
+    }
+
+    #[test]
+    fn disabled_manager_is_inert() {
+        let mut m = RecoveryManager::new(RecoveryPolicy::default());
+        m.pin_checkpoint(1, 0, RegCheckpoint::zeroed(0), BTreeMap::new());
+        assert_eq!(m.on_failed(1, 10), FailAction::Ignored);
+        assert_eq!(m.on_verified(1, 20), VerdictOutcome::default());
+        assert!(!m.in_flight());
+        assert_eq!(*m.report(), RecoveryReport::default());
+    }
+
+    #[test]
+    fn concurrent_failures_keep_the_older_target() {
+        let mut m = mgr();
+        m.on_failed(3, 100);
+        m.on_failed(2, 110);
+        assert_eq!(m.pending_target(), Some(2));
+    }
+
+    #[test]
+    fn unclosed_episode_counts_unrecovered_at_drain() {
+        let mut m = mgr();
+        m.on_failed(4, 100);
+        let _ = m.take_rollback(500);
+        m.resolve_at_drain();
+        assert_eq!(m.report().unrecovered, 1);
+        assert!(!m.in_flight());
+    }
+}

@@ -1,0 +1,78 @@
+//! Recovery policy: the knobs that turn a detection into a survivable
+//! event instead of a dead run.
+
+/// Configuration of the checkpoint/rollback/re-execution subsystem.
+///
+/// The default policy is **disabled** — the detect-only pipeline the
+/// paper evaluates. [`RecoveryPolicy::enabled`] gives the full
+/// detect→rollback→re-execute→verify loop with production defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Whether detections trigger rollback at all.
+    pub enabled: bool,
+    /// How many pinned checkpoints before the failed segment's own
+    /// start checkpoint the rollback may reach (1 = roll back exactly
+    /// to the start of the failed segment). Deeper rollback trades
+    /// re-execution work for slack against detection aliasing.
+    pub rollback_depth: u32,
+    /// Rollbacks allowed per failure episode before the policy
+    /// escalates (or gives up): a fault storm that keeps re-failing the
+    /// same region must not loop forever.
+    pub max_retries: u32,
+    /// After `max_retries`, re-execute the region in *golden* mode —
+    /// fault injection suppressed until the failing segment verifies —
+    /// modelling escalation to a fully-trusted (checker-core) re-run.
+    /// When `false`, the episode is abandoned instead and counted in
+    /// [`RecoveryReport::unrecovered`].
+    ///
+    /// [`RecoveryReport::unrecovered`]: crate::RecoveryReport
+    pub escalate_to_golden: bool,
+    /// Big-core stall cycles modelling the architectural-state restore
+    /// (streaming 65 checkpoint words back through the PRF write
+    /// ports), charged on top of the pipeline-flush redirect penalty.
+    pub restore_cycles: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            rollback_depth: 1,
+            max_retries: 3,
+            escalate_to_golden: true,
+            restore_cycles: 24,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// The production policy: recovery on, rollback to the failed
+    /// segment's start checkpoint, three retries, golden escalation.
+    pub fn enabled() -> RecoveryPolicy {
+        RecoveryPolicy { enabled: true, ..RecoveryPolicy::default() }
+    }
+
+    /// [`RecoveryPolicy::enabled`] with a custom rollback depth.
+    pub fn with_depth(depth: u32) -> RecoveryPolicy {
+        assert!(depth >= 1, "rollback depth must be at least 1");
+        RecoveryPolicy { rollback_depth: depth, ..RecoveryPolicy::enabled() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_detect_only() {
+        assert!(!RecoveryPolicy::default().enabled);
+        assert!(RecoveryPolicy::enabled().enabled);
+        assert_eq!(RecoveryPolicy::with_depth(2).rollback_depth, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback depth")]
+    fn zero_depth_rejected() {
+        let _ = RecoveryPolicy::with_depth(0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Recovery metrics merged into the system's `RunReport`.
+
+/// Counters and latency/storage roll-up of the recovery subsystem for
+/// one run. All-zero when recovery is disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Rollbacks executed (squash + state restore + re-execution).
+    pub rollbacks: u64,
+    /// Rollbacks beyond the first within a failure episode.
+    pub retries: u64,
+    /// Episodes that exceeded the retry budget and re-executed in
+    /// golden (injection-suppressed) mode.
+    pub escalations: u64,
+    /// Failure episodes closed by a pass verdict for the failed
+    /// segment: the detection was fully recovered.
+    pub recovered: u64,
+    /// Failure episodes abandoned (retry budget exhausted with
+    /// escalation disabled, or no reachable checkpoint).
+    pub unrecovered: u64,
+    /// Instructions squashed and re-executed across all rollbacks.
+    pub reexecuted_insts: u64,
+    /// Sum of recovery latencies: big-core cycles from each fail
+    /// verdict to the pass verdict of the re-executed segment.
+    pub recovery_cycles_total: u64,
+    /// Worst-case single-episode recovery latency in cycles.
+    pub max_recovery_cycles: u64,
+    /// High-water mark of recovery storage: pinned checkpoints plus
+    /// the memory undo-log, in modelled bytes.
+    pub storage_bytes_hwm: u64,
+    /// Most checkpoints pinned at once.
+    pub pinned_checkpoints_hwm: u64,
+}
+
+impl RecoveryReport {
+    /// Mean recovery latency in cycles (`None` without recoveries).
+    pub fn mean_recovery_cycles(&self) -> Option<f64> {
+        if self.recovered == 0 {
+            None
+        } else {
+            Some(self.recovery_cycles_total as f64 / self.recovered as f64)
+        }
+    }
+
+    /// Whether every failure episode was recovered.
+    pub fn fully_recovered(&self) -> bool {
+        self.unrecovered == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_needs_recoveries() {
+        let mut r = RecoveryReport::default();
+        assert_eq!(r.mean_recovery_cycles(), None);
+        assert!(r.fully_recovered());
+        r.recovered = 4;
+        r.recovery_cycles_total = 1000;
+        assert_eq!(r.mean_recovery_cycles(), Some(250.0));
+        r.unrecovered = 1;
+        assert!(!r.fully_recovered());
+    }
+}

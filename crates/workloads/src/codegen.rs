@@ -27,8 +27,10 @@ use crate::profile::BenchmarkProfile;
 use meek_isa::inst::{AluImmOp, AluOp, BranchOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
 use meek_isa::state::RegCheckpoint;
 use meek_isa::{encode, exec, ArchState, Bus, FReg, Reg, Retired, SparseMemory, Trap};
+use meek_mem::{JournaledMem, UndoLog};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 
 /// Base address of the generated code.
 pub const CODE_BASE: u64 = 0x1000;
@@ -128,6 +130,7 @@ impl Workload {
             exit_pc: self.exit_pc,
             executed: 0,
             cap: max_insts,
+            undo: None,
         }
     }
 }
@@ -141,6 +144,8 @@ pub struct WorkloadRun {
     exit_pc: u64,
     executed: u64,
     cap: u64,
+    /// Write journal for rollback (recovery-enabled runs only).
+    undo: Option<UndoLog>,
 }
 
 impl WorkloadRun {
@@ -155,7 +160,14 @@ impl WorkloadRun {
         if self.executed >= self.cap || self.st.pc == self.exit_pc {
             return None;
         }
-        match exec::step(&mut self.st, &mut self.mem) {
+        let stepped = match &mut self.undo {
+            Some(log) => {
+                let mut bus = JournaledMem::new(&mut self.mem, log, self.executed + 1);
+                exec::step(&mut self.st, &mut bus)
+            }
+            None => exec::step(&mut self.st, &mut self.mem),
+        };
+        match stepped {
             Ok(r) => {
                 self.executed += 1;
                 Some(r)
@@ -169,6 +181,72 @@ impl WorkloadRun {
     /// Instructions retired so far.
     pub fn executed(&self) -> u64 {
         self.executed
+    }
+
+    /// Turns on write journaling so the run becomes rewindable. Must be
+    /// enabled before execution starts — a journal that misses early
+    /// writes cannot rewind through them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any instruction has already executed.
+    pub fn enable_undo(&mut self) {
+        assert_eq!(self.executed, 0, "undo journaling must be enabled before execution");
+        self.undo = Some(UndoLog::new());
+    }
+
+    /// Whether write journaling is active.
+    pub fn undo_enabled(&self) -> bool {
+        self.undo.is_some()
+    }
+
+    /// Current undo-journal footprint in modelled bytes (0 when
+    /// journaling is off).
+    pub fn undo_bytes(&self) -> u64 {
+        self.undo.as_ref().map_or(0, UndoLog::bytes)
+    }
+
+    /// High-water mark of the undo-journal footprint.
+    pub fn undo_peak_bytes(&self) -> u64 {
+        self.undo.as_ref().map_or(0, UndoLog::peak_bytes)
+    }
+
+    /// Releases journal entries for instructions at or before
+    /// `commit_index` — their checkpoint has verified, so no rollback
+    /// can reach past them anymore.
+    pub fn release_undo_through(&mut self, commit_index: u64) {
+        if let Some(log) = &mut self.undo {
+            log.release_through(commit_index);
+        }
+    }
+
+    /// Rewinds the run to the state it had after `commit_index`
+    /// instructions: memory through the undo journal, registers and PC
+    /// from `cp`, CSRs from `csrs`. Execution resumes from there and
+    /// deterministically re-retires the squashed instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if journaling is off, if the run has not reached
+    /// `commit_index` yet, or if the journal was already released past
+    /// the target.
+    pub fn rollback(&mut self, commit_index: u64, cp: &RegCheckpoint, csrs: BTreeMap<u16, u64>) {
+        assert!(
+            self.executed >= commit_index,
+            "cannot roll forward: executed {} < target {commit_index}",
+            self.executed
+        );
+        let log = self.undo.as_mut().expect("rollback requires undo journaling");
+        log.rewind(&mut self.mem, commit_index);
+        self.st.apply_checkpoint(cp);
+        self.st.restore_csr_snapshot(csrs);
+        self.executed = commit_index;
+    }
+
+    /// The run's functional memory (final-state oracles compare this
+    /// against a golden re-execution).
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
     }
 
     /// The architectural state before the first instruction — checkpoint
