@@ -1,11 +1,13 @@
 //! Criterion benchmarks for the recovery subsystem: the fig-7-style
 //! recovery-latency curve (how long detect→rollback→re-execute→verify
 //! takes as the fault lands later in the run, i.e. with more state to
-//! squash) plus the checkpointing overhead a fault-free run pays for
-//! carrying the undo-log and pinned checkpoints.
+//! squash), the rollback-depth sweep (recovery latency vs how many
+//! checkpoints back the policy rewinds), plus the checkpointing
+//! overhead a fault-free run pays for carrying the undo-log and pinned
+//! checkpoints.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use meek_core::{cycle_cap, FaultSite, FaultSpec, MeekConfig, MeekSystem, RecoveryPolicy};
+use meek_core::{FaultSite, FaultSpec, RecoveryPolicy, Sim};
 use meek_workloads::{parsec3, Workload};
 
 const INSTS: u64 = 12_000;
@@ -26,16 +28,52 @@ fn bench_recovery_latency_curve(c: &mut Criterion) {
     for arm_at in [2_000u64, 5_000, 8_000] {
         g.bench_function(&format!("arm_at_{arm_at}"), |b| {
             b.iter(|| {
-                let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
-                let mut sys = MeekSystem::new(cfg, black_box(&wl), INSTS);
-                sys.set_faults(vec![FaultSpec {
-                    arm_at_commit: arm_at,
-                    site: FaultSite::MemAddr,
-                    bit: 9,
-                }]);
-                let report = sys.run_to_completion(cycle_cap(INSTS));
+                let report = Sim::builder(black_box(&wl), INSTS)
+                    .recovery(RecoveryPolicy::enabled())
+                    .faults(vec![FaultSpec {
+                        arm_at_commit: arm_at,
+                        site: FaultSite::MemAddr,
+                        bit: 9,
+                    }])
+                    .build()
+                    .expect("valid")
+                    .run()
+                    .report;
                 assert_eq!(report.recovery.unrecovered, 0);
                 report.recovery.recovery_cycles_total
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The rollback-depth sweep: the same detected fault, recovered with
+/// policies that rewind 1, 2 or 3 checkpoints behind the failed
+/// segment. Deeper rollback squashes (and re-executes) more committed
+/// work per episode — this curve is the figure that quantifies the
+/// trade.
+fn bench_rollback_depth_sweep(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("recover/rollback_depth");
+    g.throughput(Throughput::Elements(1));
+    for depth in [1u32, 2, 3] {
+        g.bench_function(&format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                let report = Sim::builder(black_box(&wl), INSTS)
+                    .recovery(RecoveryPolicy::with_depth(depth))
+                    .faults(vec![FaultSpec {
+                        arm_at_commit: 6_000,
+                        site: FaultSite::MemAddr,
+                        bit: 9,
+                    }])
+                    .build()
+                    .expect("valid")
+                    .run()
+                    .report;
+                assert_eq!(report.recovery.unrecovered, 0);
+                assert!(report.recovery.rollbacks > 0);
+                // Deeper policies re-execute at least as much work.
+                (report.recovery.recovery_cycles_total, report.recovery.reexecuted_insts)
             })
         });
     }
@@ -50,16 +88,16 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("recover/clean_run");
     g.throughput(Throughput::Elements(INSTS));
     g.bench_function("detect_only", |b| {
-        b.iter(|| {
-            let mut sys = MeekSystem::new(MeekConfig::default(), black_box(&wl), INSTS);
-            sys.run_to_completion(cycle_cap(INSTS)).cycles
-        })
+        b.iter(|| Sim::builder(black_box(&wl), INSTS).build().expect("valid").run().report.cycles)
     });
     g.bench_function("recovery_enabled", |b| {
         b.iter(|| {
-            let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
-            let mut sys = MeekSystem::new(cfg, black_box(&wl), INSTS);
-            let report = sys.run_to_completion(cycle_cap(INSTS));
+            let report = Sim::builder(black_box(&wl), INSTS)
+                .recovery(RecoveryPolicy::enabled())
+                .build()
+                .expect("valid")
+                .run()
+                .report;
             assert!(report.recovery.storage_bytes_hwm > 0);
             report.cycles
         })
@@ -70,6 +108,6 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_recovery_latency_curve, bench_checkpoint_overhead
+    targets = bench_recovery_latency_curve, bench_rollback_depth_sweep, bench_checkpoint_overhead
 }
 criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! of regenerating the paper's figures.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use meek_core::{MeekConfig, MeekSystem};
+use meek_core::Sim;
 use meek_workloads::{parsec3, Workload};
 
 fn bench_system(c: &mut Criterion) {
@@ -11,16 +11,10 @@ fn bench_system(c: &mut Criterion) {
     let mut g = c.benchmark_group("system");
     g.throughput(Throughput::Elements(N));
     g.bench_function("meek_4core_10k_insts", |b| {
-        b.iter(|| {
-            let mut sys = MeekSystem::new(MeekConfig::default(), &wl, N);
-            sys.run_to_completion(100_000_000).cycles
-        })
+        b.iter(|| Sim::builder(&wl, N).build().expect("valid").run().report.cycles)
     });
     g.bench_function("meek_2core_10k_insts", |b| {
-        b.iter(|| {
-            let mut sys = MeekSystem::new(MeekConfig::with_little_cores(2), &wl, N);
-            sys.run_to_completion(100_000_000).cycles
-        })
+        b.iter(|| Sim::builder(&wl, N).little_cores(2).build().expect("valid").run().report.cycles)
     });
     g.finish();
 }

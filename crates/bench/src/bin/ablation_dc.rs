@@ -9,8 +9,8 @@
 //! fans out on the `meek-campaign` executor (`MEEK_THREADS` workers);
 //! results are printed in sweep order regardless of thread count.
 
-use meek_bench::{banner, cycle_cap, executor, sim_insts, write_csv};
-use meek_core::{run_vanilla, FabricKind, MeekConfig, MeekSystem, RunReport};
+use meek_bench::{banner, executor, sim_insts, write_csv};
+use meek_core::{run_vanilla, FabricKind, MeekConfig, RunReport, Sim};
 use meek_fabric::{AxiConfig, AxiInterconnect, DcBufferConfig, F2Config, Fabric, F2};
 use meek_workloads::{parsec3, Workload};
 
@@ -24,21 +24,18 @@ enum Point {
 }
 
 fn simulate(point: Point, wl: &Workload, insts: u64) -> RunReport {
-    match point {
-        Point::Fabric(_, kind) => {
-            let cfg = MeekConfig { fabric: kind, ..MeekConfig::default() };
-            MeekSystem::new(cfg, wl, insts).run_to_completion(cycle_cap(insts))
-        }
+    let builder = match point {
+        Point::Fabric(_, kind) => Sim::builder(wl, insts).fabric(kind),
         Point::DcDepth(depth) => {
-            let cfg = MeekConfig { fabric: FabricKind::F2, ..MeekConfig::default() };
             // Depth applies to both channels.
             let fabric = Box::new(F2::new(F2Config {
                 dc: DcBufferConfig { runtime_depth: depth, status_depth: depth * 2 },
                 ..F2Config::default()
             }));
-            MeekSystem::with_fabric(cfg, wl, insts, fabric).run_to_completion(cycle_cap(insts))
+            Sim::builder(wl, insts).custom_fabric(fabric)
         }
-    }
+    };
+    builder.build().expect("ablation grid points are valid").run().report
 }
 
 fn main() {

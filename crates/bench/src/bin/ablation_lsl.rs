@@ -5,8 +5,8 @@
 //! full"), trading checkpoint frequency (forwarding load, handoff
 //! overhead) against detection latency and little-core load balance.
 
-use meek_bench::{banner, cycle_cap, sim_insts, write_csv};
-use meek_core::{run_vanilla, MeekConfig, MeekSystem};
+use meek_bench::{banner, sim_insts, write_csv};
+use meek_core::{run_vanilla, MeekConfig, Sim};
 use meek_littlecore::{LittleCoreConfig, LslConfig};
 use meek_workloads::{parsec3, Workload};
 
@@ -28,10 +28,14 @@ fn main() {
             lsl: LslConfig { runtime_capacity: capacity, ..LslConfig::default() },
             ..LittleCoreConfig::optimized()
         };
-        let cfg =
-            MeekConfig { little, seg_record_budget: capacity as u64, ..MeekConfig::default() };
-        let mut sys = MeekSystem::new(cfg, &wl, insts);
-        let r = sys.run_to_completion(cycle_cap(insts));
+        // The record budget follows the swept LSL capacity (the
+        // builder's little_config coupling).
+        let r = Sim::builder(&wl, insts)
+            .little_config(little)
+            .build()
+            .expect("valid sweep point")
+            .run()
+            .report;
         let seg_len = r.committed / r.rcps.max(1);
         println!("{capacity:>8} {:>10.3} {:>8} {:>10}", r.slowdown_vs(vanilla), r.rcps, seg_len);
         rows.push(format!("lsl,{capacity},{:.4},{},{seg_len}", r.slowdown_vs(vanilla), r.rcps));
@@ -40,9 +44,12 @@ fn main() {
     println!("\nSegment instruction-timeout sweep (LSL fixed at 192 records):");
     println!("{:>8} {:>10} {:>8}", "timeout", "slowdown", "RCPs");
     for timeout in [500u64, 1_000, 2_500, 5_000, 10_000] {
-        let cfg = MeekConfig { seg_timeout: timeout, ..MeekConfig::default() };
-        let mut sys = MeekSystem::new(cfg, &wl, insts);
-        let r = sys.run_to_completion(cycle_cap(insts));
+        let r = Sim::builder(&wl, insts)
+            .segment_timeout(timeout)
+            .build()
+            .expect("valid sweep point")
+            .run()
+            .report;
         println!("{timeout:>8} {:>10.3} {:>8}", r.slowdown_vs(vanilla), r.rcps);
         rows.push(format!("timeout,{timeout},{:.4},{},", r.slowdown_vs(vanilla), r.rcps));
     }

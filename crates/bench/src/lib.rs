@@ -10,7 +10,7 @@
 
 use meek_bigcore::BigCoreConfig;
 use meek_campaign::Executor;
-use meek_core::{run_vanilla, MeekConfig, MeekSystem, RunReport};
+use meek_core::{run_vanilla, MeekConfig, RunReport, Sim};
 use meek_workloads::{BenchmarkProfile, Workload};
 use std::fs;
 use std::io::Write as _;
@@ -29,8 +29,6 @@ pub fn sim_insts() -> u64 {
 pub fn fault_count() -> usize {
     std::env::var("MEEK_FAULTS").ok().and_then(|v| v.parse().ok()).unwrap_or(300)
 }
-
-pub use meek_core::cycle_cap;
 
 /// Worker threads for the experiment harnesses (`MEEK_THREADS` env
 /// override; 0 = one per hardware thread).
@@ -107,8 +105,8 @@ pub fn measure_meek_workload(
     insts: u64,
 ) -> MeekMeasurement {
     let vanilla_cycles = run_vanilla(&cfg.big, wl, insts);
-    let mut sys = MeekSystem::new(cfg, wl, insts);
-    let report = sys.run_to_completion(cycle_cap(insts));
+    let report =
+        Sim::builder(wl, insts).config(cfg).build().expect("harness config is valid").run().report;
     MeekMeasurement { name, vanilla_cycles, report }
 }
 

@@ -2,16 +2,19 @@
 //! them on the work-stealing [`Executor`], and streams every shard's
 //! detections through the configured sinks in deterministic order.
 //!
-//! Each worker builds its own [`MeekSystem`] (systems are `Send` but a
-//! simulation is single-threaded by nature); the *programs* under test
-//! are built once per benchmark in a shared [`WorkloadCache`] and
-//! shared by reference, so codegen cost is O(benchmarks), not
-//! O(faults).
+//! Each worker builds its own simulation through the typed
+//! [`meek_core::SimBuilder`] (systems are `Send` but a simulation is
+//! single-threaded by nature); the *programs* under test are built
+//! once per benchmark in a shared [`WorkloadCache`] and shared by
+//! reference, so codegen cost is O(benchmarks), not O(faults). With
+//! [`CampaignSpec::trace_events`] set, each shard additionally
+//! attaches the JSONL event observer and ships its structured trace
+//! through the sinks' trace channel.
 
 use crate::executor::Executor;
 use crate::sink::{CampaignRecord, RecordSink, ShardSummary};
 use crate::spec::{CampaignSpec, ShardSpec};
-use meek_core::MeekSystem;
+use meek_core::{validate_config, JsonlEventSink, SharedBuf, Sim};
 use meek_workloads::WorkloadCache;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -53,6 +56,8 @@ pub struct CampaignSummary {
 struct ShardResult {
     records: Vec<CampaignRecord>,
     summary: ShardSummary,
+    /// Serialised JSONL event trace (empty when tracing is off).
+    trace: Vec<u8>,
 }
 
 /// An empty result for a shard skipped after campaign cancellation.
@@ -75,6 +80,7 @@ fn cancelled_shard(shard: &ShardSpec) -> ShardResult {
             unrecovered: 0,
             storage_bytes_hwm: 0,
         },
+        trace: Vec::new(),
     }
 }
 
@@ -85,9 +91,20 @@ fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> S
     let workload = cache.get(profile, spec.workload_seed(profile));
     let faults = shard.fault_specs();
     let n_faults = faults.len();
-    let mut sys = MeekSystem::new(spec.config.clone(), &workload, shard.insts);
-    sys.set_faults(faults);
-    let report = sys.run_to_completion(shard.cycle_cap());
+    let mut builder =
+        Sim::builder(&workload, shard.insts).config(spec.config.clone()).faults(faults);
+    // With tracing on, the JSONL event observer serialises the shard's
+    // structured event stream; every line carries the shard's identity
+    // so the re-sequenced global trace stays self-describing.
+    let trace_buf = spec.trace_events.then(SharedBuf::new);
+    if let Some(buf) = &trace_buf {
+        let prefix =
+            format!("\"workload\":\"{}\",\"shard\":{},", shard.workload, shard.shard_in_workload);
+        builder = builder.observe(JsonlEventSink::with_prefix(buf.clone(), prefix));
+    }
+    // Infallible: run_campaign validated the config up front, and
+    // shard fault plans always arm inside the instruction budget.
+    let report = builder.build().expect("validated by run_campaign").run().report;
     let pending = report.pending_faults;
     let records: Vec<CampaignRecord> = report
         .detections
@@ -116,6 +133,7 @@ fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> S
             storage_bytes_hwm: report.recovery.storage_bytes_hwm,
         },
         records,
+        trace: trace_buf.map(|b| b.take_bytes()).unwrap_or_default(),
     }
 }
 
@@ -129,13 +147,18 @@ fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> S
 ///
 /// # Errors
 ///
-/// Returns the first sink I/O error; simulation itself does not fail
-/// (a shard that cannot drain is a liveness bug and panics).
+/// Returns a degenerate `spec.config` (zero little cores, recovery
+/// without checkpoints) as an error up front, and the first sink I/O
+/// error thereafter; simulation itself does not fail (a shard that
+/// cannot drain is a liveness bug and panics).
 pub fn run_campaign(
     spec: &CampaignSpec,
     executor: &Executor,
     sinks: &mut [&mut dyn RecordSink],
 ) -> io::Result<CampaignSummary> {
+    // Surface a bad config as a typed error on the caller's thread —
+    // the per-shard builds below are then infallible.
+    validate_config(&spec.config).map_err(io::Error::other)?;
     let shards = spec.shards();
     let cache = WorkloadCache::new();
     let mut summary = CampaignSummary { shards: shards.len(), ..CampaignSummary::default() };
@@ -175,6 +198,7 @@ pub fn run_campaign(
                     .records
                     .iter()
                     .try_for_each(|rec| sink.on_record(rec))
+                    .and_then(|()| sink.on_trace(&result.trace))
                     .and_then(|()| sink.on_shard(s));
                 if let Err(e) = r {
                     sink_err = Some(e);
@@ -264,6 +288,19 @@ mod tests {
         let (s4, bytes4) = run_with(4);
         assert_eq!(s1, s4);
         assert_eq!(bytes1, bytes4, "CSV output must be byte-identical across thread counts");
+    }
+
+    #[test]
+    fn degenerate_config_is_rejected_up_front() {
+        // A bad config must surface as an error from run_campaign, not
+        // a panic on a worker thread mid-campaign.
+        let mut spec = tiny_spec();
+        spec.config.recovery =
+            meek_core::RecoveryPolicy { rollback_depth: 0, ..meek_core::RecoveryPolicy::enabled() };
+        let mut agg = AggregateSink::new();
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg];
+        let err = run_campaign(&spec, &Executor::new(2), &mut sinks).unwrap_err();
+        assert!(err.to_string().contains("rollback_depth 0"), "{err}");
     }
 
     #[test]

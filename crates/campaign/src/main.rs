@@ -11,7 +11,7 @@
 //! latency stats), and prints the paper-style summary table.
 
 use meek_campaign::{
-    run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink, RecordSink,
+    run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink, RecordSink, TraceSink,
 };
 use meek_core::MeekConfig;
 use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile};
@@ -45,6 +45,12 @@ OPTIONS:
     --recover             Enable checkpoint/rollback recovery: every
                           detection rolls the big core back to the last
                           verified checkpoint and re-executes
+    --trace <PATH>        Attach the JSONL event observer to every shard
+                          and write the structured event trace (segment
+                          opens, verdicts, injections, detections,
+                          rollbacks) to PATH — byte-identical at any
+                          --threads, the diagnostics path for campaign
+                          failures
     --quiet               Suppress the per-workload table
     -h, --help            Print this help
 ";
@@ -60,6 +66,7 @@ struct Args {
     insts_per_fault: u64,
     little: usize,
     recover: bool,
+    trace: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -83,6 +90,7 @@ impl Args {
             insts_per_fault: meek_campaign::spec::DEFAULT_INSTS_PER_FAULT,
             little: 4,
             recover: false,
+            trace: None,
             quiet: false,
         };
         let mut it = argv.iter();
@@ -105,6 +113,7 @@ impl Args {
                 }
                 "--little" => args.little = parse_num(&value("--little")?, "--little")?,
                 "--recover" => args.recover = true,
+                "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
                 "--quiet" => args.quiet = true,
                 "-h" | "--help" => return Err(String::new()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -190,6 +199,7 @@ fn run(args: &Args) -> io::Result<()> {
         faults_per_shard: args.shard_faults,
         insts_per_fault: args.insts_per_fault,
         seed: args.seed,
+        trace_events: args.trace.is_some(),
     };
     let executor = Executor::new(args.threads);
     fs::create_dir_all(&args.out)?;
@@ -206,6 +216,15 @@ fn run(args: &Args) -> io::Result<()> {
         Some((JsonlSink::new(BufWriter::new(File::create(&path)?)), path))
     } else {
         None
+    };
+    let mut trace = match &args.trace {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                fs::create_dir_all(parent)?;
+            }
+            Some((TraceSink::new(BufWriter::new(File::create(path)?)), path.clone()))
+        }
+        None => None,
     };
 
     let n_workloads = spec.workloads.len();
@@ -224,6 +243,9 @@ fn run(args: &Args) -> io::Result<()> {
             sinks.push(s);
         }
         if let Some((s, _)) = jsonl.as_mut() {
+            sinks.push(s);
+        }
+        if let Some((s, _)) = trace.as_mut() {
             sinks.push(s);
         }
         run_campaign(&spec, &executor, &mut sinks)?
@@ -311,6 +333,9 @@ fn run(args: &Args) -> io::Result<()> {
     }
     if let Some((_, path)) = &jsonl {
         println!("[jsonl] {}", path.display());
+    }
+    if let Some((_, path)) = &trace {
+        println!("[trace] {}", path.display());
     }
     Ok(())
 }

@@ -19,14 +19,9 @@ pub struct CampaignRecord {
 }
 
 /// Stable lower-case name for a fault site (column value in sinks).
+/// Shared with the sim event stream via [`FaultSite::name`].
 pub fn site_name(site: FaultSite) -> &'static str {
-    match site {
-        FaultSite::MemAddr => "mem_addr",
-        FaultSite::MemData => "mem_data",
-        FaultSite::RcpRegister => "rcp_register",
-        FaultSite::LsqParity => "lsq_parity",
-        FaultSite::CacheData => "cache_data",
-    }
+    site.name()
 }
 
 impl CampaignRecord {
@@ -116,6 +111,15 @@ pub trait RecordSink {
     /// Called once per detection, in shard order then injection order.
     fn on_record(&mut self, rec: &CampaignRecord) -> io::Result<()>;
 
+    /// Called once per shard (before [`RecordSink::on_shard`]) with
+    /// the shard's serialised JSONL event trace — complete lines, each
+    /// already carrying `workload`/`shard` context fields. Empty when
+    /// event tracing is off. Most sinks ignore it; [`TraceSink`]
+    /// writes it through.
+    fn on_trace(&mut self, _jsonl: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
     /// Called once per shard, after all its records.
     fn on_shard(&mut self, _summary: &ShardSummary) -> io::Result<()> {
         Ok(())
@@ -124,6 +128,39 @@ pub trait RecordSink {
     /// Called once, after every shard.
     fn finish(&mut self) -> io::Result<()> {
         Ok(())
+    }
+}
+
+/// Streams the structured per-shard event traces (`--trace`): one JSON
+/// line per [`meek_core::SimEvent`], in deterministic shard order —
+/// the typed replacement for the old debug-string diagnostics.
+pub struct TraceSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> TraceSink<W> {
+    /// A trace sink writing to `out`.
+    pub fn new(out: W) -> TraceSink<W> {
+        TraceSink { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> RecordSink for TraceSink<W> {
+    fn on_record(&mut self, _rec: &CampaignRecord) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn on_trace(&mut self, jsonl: &[u8]) -> io::Result<()> {
+        self.out.write_all(jsonl)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
     }
 }
 

@@ -35,6 +35,13 @@ pub struct CampaignSpec {
     /// Campaign master seed: workload programs, fault sites, bits and
     /// arm points all derive from it.
     pub seed: u64,
+    /// When `true`, every shard's run attaches the JSONL event
+    /// observer and streams its structured event trace (segment opens,
+    /// verdicts, injections, detections, rollbacks) to the sinks'
+    /// trace channel — the diagnostics path for campaign failures.
+    /// Trace output is re-sequenced into shard order like every other
+    /// sink, so it stays byte-identical at any thread count.
+    pub trace_events: bool,
 }
 
 /// Default faults per shard.
@@ -64,6 +71,7 @@ impl CampaignSpec {
             faults_per_shard: DEFAULT_FAULTS_PER_SHARD,
             insts_per_fault: DEFAULT_INSTS_PER_FAULT,
             seed,
+            trace_events: false,
         }
     }
 
@@ -138,11 +146,6 @@ impl ShardSpec {
     pub fn fault_specs(&self) -> Vec<FaultSpec> {
         let mut rng = SmallRng::seed_from_u64(self.rng_seed);
         random_fault_specs(self.faults, self.insts * 7 / 10, &mut rng)
-    }
-
-    /// Simulation liveness bound for this shard.
-    pub fn cycle_cap(&self) -> u64 {
-        meek_core::cycle_cap(self.insts)
     }
 }
 

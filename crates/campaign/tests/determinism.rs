@@ -5,7 +5,7 @@
 
 use meek_campaign::{
     run_campaign, AggregateSink, CampaignSpec, CampaignSummary, CsvSink, Executor, JsonlSink,
-    RecordSink,
+    RecordSink, TraceSink,
 };
 use meek_workloads::parsec3;
 
@@ -100,6 +100,50 @@ fn recovery_campaign_is_thread_count_invariant() {
         }),
         "no record carries a completed recovery annotation:\n{text}"
     );
+}
+
+#[test]
+fn event_trace_is_thread_count_invariant() {
+    // `--trace` attaches the JSONL event observer to every shard; the
+    // re-sequenced global trace must obey the same byte-identity
+    // contract as the record sinks.
+    let run = |threads: usize| {
+        let mut spec = spec();
+        spec.trace_events = true;
+        let mut trace = TraceSink::new(Vec::new());
+        let mut csv = CsvSink::new(Vec::new());
+        {
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut trace, &mut csv];
+            run_campaign(&spec, &Executor::new(threads), &mut sinks).expect("campaign runs");
+        }
+        (trace.into_inner(), csv.into_inner())
+    };
+    let (t1, csv1) = run(1);
+    let (t8, csv8) = run(8);
+    assert_eq!(t1, t8, "event trace must be byte-identical across thread counts");
+    assert_eq!(csv1, csv8);
+    let text = String::from_utf8(t1).unwrap();
+    assert!(!text.is_empty(), "tracing was enabled: the trace must not be empty");
+    for line in text.lines() {
+        assert!(
+            line.starts_with("{\"workload\":\"") && line.contains("\"shard\":"),
+            "every line must be shard-contextualised: {line}"
+        );
+        assert!(line.contains("\"event\":\""), "every line is one typed event: {line}");
+    }
+    // The stream carries the fault lifecycle, not just segment chatter.
+    assert!(text.contains("\"event\":\"fault_injected\""));
+    assert!(text.contains("\"event\":\"fault_detected\""));
+    assert!(text.contains("\"event\":\"segment_closed\""));
+    // Tracing must not perturb the simulation itself.
+    let mut spec_untraced = spec();
+    spec_untraced.trace_events = false;
+    let mut csv_untraced = CsvSink::new(Vec::new());
+    {
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut csv_untraced];
+        run_campaign(&spec_untraced, &Executor::new(4), &mut sinks).expect("campaign runs");
+    }
+    assert_eq!(csv1, csv_untraced.into_inner(), "tracing must not change the records");
 }
 
 #[test]

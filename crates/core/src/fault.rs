@@ -36,6 +36,20 @@ pub enum FaultSite {
     CacheData,
 }
 
+impl FaultSite {
+    /// Stable lower-case name — the column/field value every sink
+    /// (campaign CSV/JSONL, the sim event stream) writes.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::MemAddr => "mem_addr",
+            FaultSite::MemData => "mem_data",
+            FaultSite::RcpRegister => "rcp_register",
+            FaultSite::LsqParity => "lsq_parity",
+            FaultSite::CacheData => "cache_data",
+        }
+    }
+}
+
 /// A pending fault: armed at a commit index, fires on the next matching
 /// packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +211,11 @@ pub struct FaultInjector {
     /// golden escalation re-executes a repeatedly-failing region with
     /// injection suppressed, modelling a fully-trusted re-run.
     pub suppressed: bool,
+    /// `(site, segment, cycle)` of every corruption that actually fired
+    /// since the last [`FaultInjector::take_injections`] — drained each
+    /// cycle by the system to emit typed `FaultInjected` events. A
+    /// [`FaultInjector::revert`] (dropped packet) pops its entry.
+    injection_log: Vec<(FaultSite, u32, u64)>,
 }
 
 impl FaultInjector {
@@ -212,6 +231,7 @@ impl FaultInjector {
             detections: Vec::new(),
             masked: Vec::new(),
             suppressed: false,
+            injection_log: Vec::new(),
         }
     }
 
@@ -232,6 +252,8 @@ impl FaultInjector {
     pub fn revert(&mut self) {
         if let Some(fl) = self.in_flight.take() {
             self.armed = Some((fl.spec, fl.armed_at_commit));
+            // The corruption never left the DEU: un-log its event.
+            self.injection_log.pop();
         }
     }
 
@@ -255,17 +277,18 @@ impl FaultInjector {
             + self.tentative.len()
     }
 
-    /// Debug string of the injector state.
-    pub fn debug(&self) -> String {
-        format!(
-            "armed={:?} in_flight={:?} queued={} tentative={} det={} masked={}",
-            self.armed.map(|(f, _)| f),
-            self.in_flight.as_ref().map(|fl| fl.spec),
-            self.queue.len(),
-            self.tentative.len(),
-            self.detections.len(),
-            self.masked.len()
-        )
+    /// Latest arm point across the queued faults (`None` when empty) —
+    /// what `SimBuilder` validates against the instruction budget.
+    pub fn latest_arm(&self) -> Option<u64> {
+        // The queue is kept reverse-sorted so `pop()` yields earliest
+        // first; the latest arm is therefore at the front.
+        self.queue.first().map(|f| f.arm_at_commit)
+    }
+
+    /// Drains the `(site, segment, cycle)` log of corruptions that
+    /// fired since the last call.
+    pub fn take_injections(&mut self) -> Vec<(FaultSite, u32, u64)> {
+        std::mem::take(&mut self.injection_log)
     }
 
     /// Arms the next fault once the commit counter passes its trigger.
@@ -334,6 +357,7 @@ impl FaultInjector {
         };
         if let Some(field) = field {
             self.armed = None;
+            self.injection_log.push((f.site, seg, now));
             self.in_flight = Some(InFlight {
                 spec: f,
                 injected: now,
@@ -362,6 +386,7 @@ impl FaultInjector {
             return None;
         }
         self.armed = None;
+        self.injection_log.push((FaultSite::LsqParity, seg, now));
         self.detections.push(DetectionRecord {
             site: FaultSite::LsqParity,
             injected_cycle: now,

@@ -25,23 +25,41 @@
 //!
 //! # Quickstart
 //!
+//! Every simulation is constructed through the typed, validating
+//! [`sim::SimBuilder`] and run with [`sim::Sim::run`], which yields a
+//! structured [`sim::RunOutcome`] (report + final state + per-segment
+//! timeline). Instrumentation attaches as [`sim::Observer`]s with
+//! typed hooks instead of polled debug strings:
+//!
 //! ```
-//! use meek_core::{MeekConfig, MeekSystem};
+//! use meek_core::sim::{EventCounter, Sim};
 //! use meek_workloads::{parsec3, Workload};
 //!
 //! let profile = &parsec3()[0]; // blackscholes
 //! let wl = Workload::build(profile, 1);
-//! let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 20_000);
-//! let report = sys.run_to_completion(10_000_000);
-//! assert_eq!(report.failed_segments, 0, "clean run must verify");
-//! assert!(report.verified_segments > 0);
+//! let counter = EventCounter::new();
+//! let outcome = Sim::builder(&wl, 20_000)
+//!     .little_cores(4)
+//!     .observe(counter.clone())
+//!     .build()
+//!     .expect("a valid configuration")
+//!     .run();
+//! assert_eq!(outcome.report.failed_segments, 0, "clean run must verify");
+//! assert!(outcome.report.verified_segments > 0);
+//! // The timeline and event counts expose what the run actually did.
+//! assert_eq!(outcome.timeline.len() as u64, outcome.report.verified_segments);
+//! assert_eq!(counter.counts().passes, outcome.report.verified_segments);
 //! ```
+//!
+//! Faults, recovery policies and fabric choices compose on the same
+//! builder — see [`sim`] for the full scenario-matrix surface.
 
 pub mod deu;
 pub mod fault;
 pub mod os;
 pub mod report;
 pub mod segments;
+pub mod sim;
 pub mod system;
 
 pub use deu::{DeuHook, DeuState, BIG_CORE_NS_PER_CYCLE};
@@ -52,4 +70,8 @@ pub use fault::{
 pub use meek_recover::{RecoveryPolicy, RecoveryReport};
 pub use report::{RunReport, StallBreakdown};
 pub use segments::SegmentManager;
+pub use sim::{
+    validate_config, BuildError, EventCounter, EventCounts, JsonlEventSink, Observer, RunOutcome,
+    SegmentSpan, SharedBuf, Sim, SimBuilder, SimEvent, TraceLog,
+};
 pub use system::{cycle_cap, run_vanilla, FabricKind, MeekConfig, MeekSystem};

@@ -28,6 +28,10 @@ pub struct SegmentManager {
     next_rr: usize,
     /// Total segments opened.
     pub opened: u64,
+    /// `(segment, checker)` pairs opened since the last
+    /// [`SegmentManager::take_opened`] — the system drains this every
+    /// cycle to emit typed `SegmentOpened` events.
+    opened_log: Vec<(u32, usize)>,
 }
 
 impl SegmentManager {
@@ -60,6 +64,7 @@ impl SegmentManager {
                 self.assignments.insert(seg, c);
                 self.next_rr = (c + 1) % n;
                 self.opened += 1;
+                self.opened_log.push((seg, c));
                 return Some(c);
             }
         }
@@ -112,6 +117,12 @@ impl SegmentManager {
     /// Number of currently open segments.
     pub fn open_count(&self) -> usize {
         self.assignments.len()
+    }
+
+    /// Drains the `(segment, checker)` open log accumulated since the
+    /// last call.
+    pub fn take_opened(&mut self) -> Vec<(u32, usize)> {
+        std::mem::take(&mut self.opened_log)
     }
 }
 

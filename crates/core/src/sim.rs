@@ -1,0 +1,1153 @@
+//! Typed, validating simulation construction and structured run
+//! introspection — the one composable entry point every harness
+//! (campaign engine, difftest oracles, benches, examples) builds its
+//! systems through.
+//!
+//! Historically each downstream crate hand-assembled a [`MeekSystem`]
+//! through a different ad-hoc sequence (`new` vs `with_fabric`, then
+//! `set_faults`/`set_injector`, then a manually computed cycle cap
+//! threaded into `run_to_completion`) and introspected runs through
+//! preformatted debug strings. [`SimBuilder`] replaces all of that:
+//!
+//! * every knob (workload, little-core count, fabric kind or a custom
+//!   fabric, recovery policy, fault plan, instruction budget) is set on
+//!   one builder, and degenerate combinations are rejected with a typed
+//!   [`BuildError`] instead of a mid-run panic;
+//! * the simulation liveness bound is derived internally from the
+//!   instruction budget ([`cycle_cap`]) — widened automatically for
+//!   recovery-enabled runs, whose rollbacks legitimately re-execute
+//!   work — with [`SimBuilder::cycle_headroom`] for stress scenarios
+//!   beyond even that;
+//! * [`Sim::run`] yields a structured [`RunOutcome`] — the familiar
+//!   [`RunReport`] plus the final architectural state and a
+//!   per-segment [`SegmentSpan`] timeline;
+//! * instead of polling strings, callers attach [`Observer`]s with
+//!   typed hooks (`segment_opened`/`segment_closed`, `verdict`,
+//!   `fault_injected`/`fault_detected`, `rollback_started`/
+//!   `rollback_completed`, `tick`) that the system drives as the
+//!   simulation progresses.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use meek_core::sim::{EventCounter, Sim};
+//! use meek_core::{FaultSite, FaultSpec};
+//! use meek_workloads::{parsec3, Workload};
+//!
+//! let wl = Workload::build(&parsec3()[0], 1);
+//! let counter = EventCounter::new();
+//! let outcome = Sim::builder(&wl, 12_000)
+//!     .little_cores(4)
+//!     .faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }])
+//!     .observe(counter.clone())
+//!     .build()
+//!     .expect("valid configuration")
+//!     .run();
+//! assert_eq!(outcome.report.detections.len(), 1);
+//! assert_eq!(counter.counts().faults_detected, 1);
+//! assert!(outcome.timeline.iter().any(|span| span.pass == Some(false)));
+//! ```
+//!
+//! # Validation
+//!
+//! ```
+//! use meek_core::sim::{BuildError, Sim};
+//! use meek_workloads::{parsec3, Workload};
+//!
+//! let wl = Workload::build(&parsec3()[0], 1);
+//! let err = Sim::builder(&wl, 10_000).little_cores(0).build().unwrap_err();
+//! assert_eq!(err, BuildError::NoLittleCores);
+//! ```
+
+use crate::fault::{DetectionRecord, FaultInjector, FaultSite, FaultSpec};
+use crate::report::RunReport;
+use crate::system::{cycle_cap, FabricKind, MeekConfig, MeekSystem};
+use meek_bigcore::BigCoreConfig;
+use meek_fabric::Fabric;
+use meek_isa::{ArchState, SparseMemory};
+use meek_littlecore::LittleCoreConfig;
+use meek_recover::RecoveryPolicy;
+use meek_workloads::Workload;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+/// One structured simulation event, stamped with the big-core cycle it
+/// happened on. This is what [`Observer`]s receive and what the JSONL
+/// event sink serialises.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A segment was opened on (assigned to) a checker core.
+    SegmentOpened {
+        /// Segment id (1-based).
+        seg: u32,
+        /// Little core chosen by the scheduler.
+        checker: usize,
+        /// Big-core cycle of the assignment.
+        cycle: u64,
+    },
+    /// A segment's verdict was delivered and its checker released.
+    SegmentClosed {
+        /// Segment id.
+        seg: u32,
+        /// `true` = verified clean, `false` = mismatch (a detection).
+        pass: bool,
+        /// Big-core cycle of the verdict.
+        cycle: u64,
+    },
+    /// An armed fault fired: one bit of forwarded data (or the LSQ
+    /// parity window) was actually corrupted.
+    FaultInjected {
+        /// Corrupted site.
+        site: FaultSite,
+        /// Segment whose data was corrupted.
+        seg: u32,
+        /// Big-core cycle of the flip.
+        cycle: u64,
+    },
+    /// A checker (or the parity double-check) reported an injected
+    /// fault. The record is a snapshot at detection time — its
+    /// `recovery_cycles` annotation lands later, in the final report.
+    FaultDetected {
+        /// The detection as recorded by the injector.
+        record: DetectionRecord,
+    },
+    /// A recovery rollback began executing (oracle rewind, pipeline
+    /// squash, fabric flush).
+    RollbackStarted {
+        /// Segment being rolled back to (re-executed from).
+        seg: u32,
+        /// Whether this retry escalated to golden (injection-suppressed)
+        /// re-execution.
+        golden: bool,
+        /// Big-core cycle the rollback fired.
+        cycle: u64,
+    },
+    /// A failure episode closed: the re-executed region verified clean.
+    RollbackCompleted {
+        /// The re-verified segment that closed the episode.
+        seg: u32,
+        /// Big-core cycle of the closing verdict.
+        cycle: u64,
+    },
+}
+
+impl SimEvent {
+    /// The big-core cycle this event is stamped with.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            SimEvent::SegmentOpened { cycle, .. }
+            | SimEvent::SegmentClosed { cycle, .. }
+            | SimEvent::FaultInjected { cycle, .. }
+            | SimEvent::RollbackStarted { cycle, .. }
+            | SimEvent::RollbackCompleted { cycle, .. } => cycle,
+            SimEvent::FaultDetected { ref record } => record.detected_cycle,
+        }
+    }
+
+    /// Stable snake-case event name (the JSONL `"event"` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SimEvent::SegmentOpened { .. } => "segment_opened",
+            SimEvent::SegmentClosed { .. } => "segment_closed",
+            SimEvent::FaultInjected { .. } => "fault_injected",
+            SimEvent::FaultDetected { .. } => "fault_detected",
+            SimEvent::RollbackStarted { .. } => "rollback_started",
+            SimEvent::RollbackCompleted { .. } => "rollback_completed",
+        }
+    }
+}
+
+/// Renders one event as a flat, stable JSON object (no newline) — the
+/// line format of [`JsonlEventSink`] and `meek-campaign --trace`.
+pub fn event_json(ev: &SimEvent) -> String {
+    match *ev {
+        SimEvent::SegmentOpened { seg, checker, cycle } => format!(
+            "{{\"event\":\"segment_opened\",\"seg\":{seg},\"checker\":{checker},\
+             \"cycle\":{cycle}}}"
+        ),
+        SimEvent::SegmentClosed { seg, pass, cycle } => format!(
+            "{{\"event\":\"segment_closed\",\"seg\":{seg},\"pass\":{pass},\"cycle\":{cycle}}}"
+        ),
+        SimEvent::FaultInjected { site, seg, cycle } => format!(
+            "{{\"event\":\"fault_injected\",\"site\":\"{}\",\"seg\":{seg},\"cycle\":{cycle}}}",
+            site.name()
+        ),
+        SimEvent::FaultDetected { ref record } => format!(
+            "{{\"event\":\"fault_detected\",\"site\":\"{}\",\"injected_cycle\":{},\
+             \"detected_cycle\":{},\"latency_ns\":{:.3},\"seg\":{}}}",
+            record.site.name(),
+            record.injected_cycle,
+            record.detected_cycle,
+            record.latency_ns,
+            record.seg
+        ),
+        SimEvent::RollbackStarted { seg, golden, cycle } => format!(
+            "{{\"event\":\"rollback_started\",\"seg\":{seg},\"golden\":{golden},\
+             \"cycle\":{cycle}}}"
+        ),
+        SimEvent::RollbackCompleted { seg, cycle } => {
+            format!("{{\"event\":\"rollback_completed\",\"seg\":{seg},\"cycle\":{cycle}}}")
+        }
+    }
+}
+
+/// Typed run instrumentation: the system drives these hooks as the
+/// simulation progresses, replacing the old polled debug strings
+/// (`debug_state`, `injector_debug`, `debug_little_phases`).
+///
+/// Every hook has a no-op default — implement only what you need.
+/// Observers that want the whole stream (loggers, serialisers) can
+/// override [`Observer::event`] instead; its default implementation
+/// fans each [`SimEvent`] out to the matching typed hooks
+/// ([`SimEvent::SegmentClosed`] drives *both* `verdict` and
+/// `segment_closed`).
+pub trait Observer: Send {
+    /// Catch-all: called once per event, before-the-fact dispatch to
+    /// the typed hooks. Override to consume the raw stream.
+    fn event(&mut self, ev: &SimEvent) {
+        match *ev {
+            SimEvent::SegmentOpened { seg, checker, cycle } => {
+                self.segment_opened(seg, checker, cycle)
+            }
+            SimEvent::SegmentClosed { seg, pass, cycle } => {
+                self.verdict(seg, pass, cycle);
+                self.segment_closed(seg, pass, cycle);
+            }
+            SimEvent::FaultInjected { site, seg, cycle } => self.fault_injected(site, seg, cycle),
+            SimEvent::FaultDetected { ref record } => self.fault_detected(record),
+            SimEvent::RollbackStarted { seg, golden, cycle } => {
+                self.rollback_started(seg, golden, cycle)
+            }
+            SimEvent::RollbackCompleted { seg, cycle } => self.rollback_completed(seg, cycle),
+        }
+    }
+
+    /// A segment was assigned to checker core `checker`.
+    fn segment_opened(&mut self, _seg: u32, _checker: usize, _cycle: u64) {}
+    /// A segment's verdict was delivered and its checker released.
+    fn segment_closed(&mut self, _seg: u32, _pass: bool, _cycle: u64) {}
+    /// A segment verdict: `pass == false` is a checker-reported
+    /// mismatch. Fired together with [`Observer::segment_closed`].
+    fn verdict(&mut self, _seg: u32, _pass: bool, _cycle: u64) {}
+    /// An armed fault corrupted forwarded data.
+    fn fault_injected(&mut self, _site: FaultSite, _seg: u32, _cycle: u64) {}
+    /// An injected fault was detected.
+    fn fault_detected(&mut self, _record: &DetectionRecord) {}
+    /// A recovery rollback began.
+    fn rollback_started(&mut self, _seg: u32, _golden: bool, _cycle: u64) {}
+    /// A failure episode closed with a clean re-verification.
+    fn rollback_completed(&mut self, _seg: u32, _cycle: u64) {}
+    /// One big-core cycle elapsed. Called every cycle — keep it cheap.
+    fn tick(&mut self, _cycle: u64) {}
+    /// The run drained; final report available. Flush buffers here.
+    fn finished(&mut self, _report: &RunReport) {}
+}
+
+/// A bounded ring buffer of the most recent [`SimEvent`]s — the
+/// structured replacement for the old one-line debug-state strings
+/// when diagnosing a stuck or misbehaving run.
+///
+/// `TraceLog` is a cheap cloneable handle: keep one clone, pass the
+/// other to [`SimBuilder::observe`], and read
+/// [`TraceLog::snapshot`]/[`TraceLog::render`] after (or during) the
+/// run.
+#[derive(Clone, Debug, Default)]
+pub struct TraceLog {
+    inner: Arc<Mutex<TraceBuf>>,
+}
+
+#[derive(Debug, Default)]
+struct TraceBuf {
+    capacity: usize,
+    events: VecDeque<SimEvent>,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// A ring keeping the last `capacity` events (0 = unbounded).
+    pub fn new(capacity: usize) -> TraceLog {
+        TraceLog { inner: Arc::new(Mutex::new(TraceBuf { capacity, ..TraceBuf::default() })) }
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<SimEvent> {
+        self.inner.lock().expect("trace log lock").events.iter().cloned().collect()
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("trace log lock").dropped
+    }
+
+    /// The retained events rendered one per line — ready for a panic
+    /// message or a bug report.
+    pub fn render(&self) -> String {
+        self.snapshot().iter().map(|ev| event_json(ev) + "\n").collect()
+    }
+}
+
+impl Observer for TraceLog {
+    fn event(&mut self, ev: &SimEvent) {
+        let mut buf = self.inner.lock().expect("trace log lock");
+        if buf.capacity > 0 && buf.events.len() == buf.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(ev.clone());
+    }
+}
+
+/// Per-kind event totals (plus elapsed cycles) for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Segment open events (first opens and rollback re-opens).
+    pub segments_opened: u64,
+    /// Verdicts delivered.
+    pub verdicts: u64,
+    /// Verdicts that passed.
+    pub passes: u64,
+    /// Verdicts that failed (detections at segment granularity).
+    pub fails: u64,
+    /// Corruptions that fired.
+    pub faults_injected: u64,
+    /// Detections reported.
+    pub faults_detected: u64,
+    /// Rollbacks executed.
+    pub rollbacks_started: u64,
+    /// Failure episodes closed clean.
+    pub rollbacks_completed: u64,
+    /// Big-core cycles observed.
+    pub ticks: u64,
+}
+
+/// Counts events by kind — a cheap cloneable handle like [`TraceLog`].
+#[derive(Clone, Debug, Default)]
+pub struct EventCounter {
+    inner: Arc<Mutex<EventCounts>>,
+}
+
+impl EventCounter {
+    /// A zeroed counter.
+    pub fn new() -> EventCounter {
+        EventCounter::default()
+    }
+
+    /// The counts accumulated so far.
+    pub fn counts(&self) -> EventCounts {
+        *self.inner.lock().expect("event counter lock")
+    }
+}
+
+impl Observer for EventCounter {
+    fn event(&mut self, ev: &SimEvent) {
+        let mut c = self.inner.lock().expect("event counter lock");
+        match ev {
+            SimEvent::SegmentOpened { .. } => c.segments_opened += 1,
+            SimEvent::SegmentClosed { pass, .. } => {
+                c.verdicts += 1;
+                if *pass {
+                    c.passes += 1;
+                } else {
+                    c.fails += 1;
+                }
+            }
+            SimEvent::FaultInjected { .. } => c.faults_injected += 1,
+            SimEvent::FaultDetected { .. } => c.faults_detected += 1,
+            SimEvent::RollbackStarted { .. } => c.rollbacks_started += 1,
+            SimEvent::RollbackCompleted { .. } => c.rollbacks_completed += 1,
+        }
+    }
+
+    fn tick(&mut self, _cycle: u64) {
+        self.inner.lock().expect("event counter lock").ticks += 1;
+    }
+}
+
+/// A cloneable in-memory byte buffer implementing [`Write`] — pair it
+/// with [`JsonlEventSink`] when the serialised events must be read
+/// back after the run (the sink itself is consumed by the builder).
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuf {
+    inner: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> SharedBuf {
+        SharedBuf::default()
+    }
+
+    /// Takes the accumulated bytes, leaving the buffer empty.
+    pub fn take_bytes(&self) -> Vec<u8> {
+        std::mem::take(&mut self.inner.lock().expect("shared buf lock"))
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.lock().expect("shared buf lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Serialises every event as one JSON line ([`event_json`]) — the
+/// observer behind `meek-campaign --trace`. Write errors are latched
+/// and re-raised as a panic at [`Observer::finished`] time so a full
+/// disk cannot silently truncate a trace.
+pub struct JsonlEventSink<W: Write + Send> {
+    out: W,
+    /// Raw JSON fields (e.g. `"workload":"mcf","shard":3,`) injected
+    /// after the opening brace of every line — context for traces that
+    /// interleave many runs in one file.
+    prefix: String,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + Send> JsonlEventSink<W> {
+    /// A sink writing plain event lines to `out`.
+    pub fn new(out: W) -> JsonlEventSink<W> {
+        JsonlEventSink::with_prefix(out, String::new())
+    }
+
+    /// A sink that splices `prefix` (raw JSON fields, trailing comma
+    /// included) into every line after the opening `{`.
+    pub fn with_prefix(out: W, prefix: String) -> JsonlEventSink<W> {
+        JsonlEventSink { out, prefix, error: None }
+    }
+
+    /// Consumes the sink, returning the writer (or the first latched
+    /// write error).
+    pub fn into_inner(self) -> io::Result<W> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+}
+
+impl<W: Write + Send> Observer for JsonlEventSink<W> {
+    fn event(&mut self, ev: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event_json(ev);
+        let r = if self.prefix.is_empty() {
+            writeln!(self.out, "{line}")
+        } else {
+            writeln!(self.out, "{{{}{}", self.prefix, &line[1..])
+        };
+        if let Err(e) = r {
+            self.error = Some(e);
+        }
+    }
+
+    fn finished(&mut self, _report: &RunReport) {
+        if let Some(e) = self.error.take() {
+            panic!("event trace lost: {e}");
+        }
+        if let Err(e) = self.out.flush() {
+            panic!("event trace lost: {e}");
+        }
+    }
+}
+
+/// A rejected [`SimBuilder`] configuration. Every variant is a
+/// degenerate combination the old constructors either panicked on or
+/// silently mis-simulated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// MEEK needs at least one little (checker) core.
+    NoLittleCores,
+    /// A run of zero dynamic instructions has no segments to verify.
+    ZeroInstructionBudget,
+    /// Recovery was enabled with `rollback_depth == 0`: a rollback
+    /// with no checkpoint to reach is unexecutable.
+    RecoveryWithoutCheckpoints,
+    /// Both a [`FabricKind`] and a custom fabric instance were set —
+    /// the builder cannot honour both.
+    ConflictingFabric,
+    /// Both [`SimBuilder::faults`] and [`SimBuilder::injector`] were
+    /// set — one fault source per run.
+    ConflictingFaultSources,
+    /// A fault arms at or past the instruction budget: it could never
+    /// fire, and would be misreported as pending.
+    FaultBeyondBudget {
+        /// The offending arm point.
+        arm_at_commit: u64,
+        /// The run's dynamic instruction budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::NoLittleCores => write!(f, "MEEK needs at least one little core"),
+            BuildError::ZeroInstructionBudget => {
+                write!(f, "instruction budget must be positive")
+            }
+            BuildError::RecoveryWithoutCheckpoints => {
+                write!(f, "recovery enabled with rollback_depth 0: no checkpoint to roll back to")
+            }
+            BuildError::ConflictingFabric => {
+                write!(f, "both a fabric kind and a custom fabric were configured")
+            }
+            BuildError::ConflictingFaultSources => {
+                write!(f, "both a fault list and a pre-built injector were configured")
+            }
+            BuildError::FaultBeyondBudget { arm_at_commit, budget } => write!(
+                f,
+                "fault arms at commit {arm_at_commit}, at or past the {budget}-instruction budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Checks the configuration-level invariants [`SimBuilder::build`]
+/// enforces, without needing a workload. Front-ends that accept a
+/// [`MeekConfig`] from outside (e.g. the campaign engine's spec) call
+/// this once up front so a degenerate config surfaces as a typed error
+/// on the caller's thread instead of a panic on a worker.
+///
+/// # Errors
+///
+/// Returns [`BuildError::NoLittleCores`] or
+/// [`BuildError::RecoveryWithoutCheckpoints`] for the corresponding
+/// degenerate configurations.
+pub fn validate_config(cfg: &MeekConfig) -> Result<(), BuildError> {
+    if cfg.n_little == 0 {
+        return Err(BuildError::NoLittleCores);
+    }
+    if cfg.recovery.enabled && cfg.recovery.rollback_depth == 0 {
+        return Err(BuildError::RecoveryWithoutCheckpoints);
+    }
+    Ok(())
+}
+
+/// Builder for a [`Sim`]: one validated, composable construction path
+/// for every MEEK scenario — fabric × recovery × fault matrices
+/// included.
+pub struct SimBuilder<'a> {
+    workload: &'a Workload,
+    insts: u64,
+    cfg: MeekConfig,
+    record_budget_set: bool,
+    fabric_kind_set: bool,
+    custom_fabric: Option<Box<dyn Fabric + Send>>,
+    faults: Option<Vec<FaultSpec>>,
+    injector: Option<FaultInjector>,
+    headroom: u64,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl<'a> SimBuilder<'a> {
+    /// A builder for `insts` dynamic instructions of `workload`, at the
+    /// paper's Table II defaults (4 little cores, F2 fabric, recovery
+    /// off).
+    pub fn new(workload: &'a Workload, insts: u64) -> SimBuilder<'a> {
+        SimBuilder {
+            workload,
+            insts,
+            cfg: MeekConfig::default(),
+            record_budget_set: false,
+            fabric_kind_set: false,
+            custom_fabric: None,
+            faults: None,
+            injector: None,
+            headroom: 1,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Replaces the whole system configuration (the campaign engine's
+    /// path: its spec carries a prebuilt [`MeekConfig`]). Individual
+    /// setters called afterwards still apply on top.
+    pub fn config(mut self, cfg: MeekConfig) -> Self {
+        self.cfg = cfg;
+        self.record_budget_set = true; // the config's budget is explicit
+        self
+    }
+
+    /// Number of little (checker) cores.
+    pub fn little_cores(mut self, n: usize) -> Self {
+        self.cfg.n_little = n;
+        self
+    }
+
+    /// Little-core microarchitecture. Unless overridden, the segment
+    /// record budget follows the configured LSL run-time capacity.
+    pub fn little_config(mut self, little: LittleCoreConfig) -> Self {
+        if !self.record_budget_set {
+            self.cfg.seg_record_budget = little.lsl.runtime_capacity as u64;
+        }
+        self.cfg.little = little;
+        self
+    }
+
+    /// Big-core microarchitecture.
+    pub fn big_config(mut self, big: BigCoreConfig) -> Self {
+        self.cfg.big = big;
+        self
+    }
+
+    /// Interconnect choice (the Fig. 9 ablation axis). Conflicts with
+    /// [`SimBuilder::custom_fabric`].
+    pub fn fabric(mut self, kind: FabricKind) -> Self {
+        self.cfg.fabric = kind;
+        self.fabric_kind_set = true;
+        self
+    }
+
+    /// A caller-built interconnect instance (parameter sweeps beyond
+    /// the built-in kinds). Conflicts with [`SimBuilder::fabric`].
+    pub fn custom_fabric(mut self, fabric: Box<dyn Fabric + Send>) -> Self {
+        self.custom_fabric = Some(fabric);
+        self
+    }
+
+    /// Run-time records per segment before an RCP is forced.
+    pub fn segment_record_budget(mut self, budget: u64) -> Self {
+        self.cfg.seg_record_budget = budget;
+        self.record_budget_set = true;
+        self
+    }
+
+    /// Instruction timeout per segment (Table II: 5 000).
+    pub fn segment_timeout(mut self, timeout: u64) -> Self {
+        self.cfg.seg_timeout = timeout;
+        self
+    }
+
+    /// Recovery policy (checkpoint/rollback/re-execution knobs).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.cfg.recovery = policy;
+        self
+    }
+
+    /// Fault-injection plan. Conflicts with [`SimBuilder::injector`].
+    pub fn faults(mut self, faults: Vec<FaultSpec>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// A pre-built injector (e.g. [`FaultInjector::random_campaign`]).
+    /// Conflicts with [`SimBuilder::faults`].
+    pub fn injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Multiplies the internally derived liveness bound beyond its
+    /// default (recovery-enabled runs already get a retry-budget-aware
+    /// multiplier — see [`SimBuilder::build`]). Use for runs that
+    /// legitimately exceed even that — e.g. stress tests stacking many
+    /// failure episodes. The larger of the explicit and derived
+    /// multipliers wins.
+    pub fn cycle_headroom(mut self, multiplier: u64) -> Self {
+        self.headroom = multiplier.max(1);
+        self
+    }
+
+    /// Attaches an [`Observer`]; may be called repeatedly. Observers
+    /// are driven in attachment order.
+    pub fn observe(mut self, observer: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Validates the configuration and assembles the system.
+    ///
+    /// The liveness bound is derived from the instruction budget
+    /// ([`cycle_cap`]); recovery-enabled runs automatically widen it by
+    /// a retry-budget-aware multiplier (rollback re-execution can
+    /// legitimately repeat committed work once per retry, plus the
+    /// golden escalation pass), so ordinary recovery scenarios need no
+    /// manual [`SimBuilder::cycle_headroom`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`BuildError`] for every degenerate
+    /// combination; see the enum's variants.
+    pub fn build(self) -> Result<Sim, BuildError> {
+        if self.insts == 0 {
+            return Err(BuildError::ZeroInstructionBudget);
+        }
+        validate_config(&self.cfg)?;
+        if self.fabric_kind_set && self.custom_fabric.is_some() {
+            return Err(BuildError::ConflictingFabric);
+        }
+        if self.faults.is_some() && self.injector.is_some() {
+            return Err(BuildError::ConflictingFaultSources);
+        }
+        let latest_arm = match (&self.faults, &self.injector) {
+            (Some(faults), _) => faults.iter().map(|f| f.arm_at_commit).max(),
+            (None, Some(inj)) => inj.latest_arm(),
+            (None, None) => None,
+        };
+        if let Some(arm) = latest_arm {
+            if arm >= self.insts {
+                return Err(BuildError::FaultBeyondBudget {
+                    arm_at_commit: arm,
+                    budget: self.insts,
+                });
+            }
+        }
+        let fabric = match self.custom_fabric {
+            Some(f) => f,
+            None => MeekSystem::default_fabric(&self.cfg),
+        };
+        let mut sys = MeekSystem::with_fabric(self.cfg, self.workload, self.insts, fabric);
+        if let Some(faults) = self.faults {
+            sys.set_faults(faults);
+        } else if let Some(injector) = self.injector {
+            sys.set_injector(injector);
+        }
+        sys.enable_event_capture();
+        // Each failure episode may re-execute committed work once per
+        // retry, and golden escalation adds one more pass.
+        let recovery = &sys.config().recovery;
+        let derived = if recovery.enabled { 2 + recovery.max_retries as u64 } else { 1 };
+        let max_cycles = cycle_cap(self.insts).saturating_mul(self.headroom.max(derived));
+        Ok(Sim { sys, max_cycles, observers: self.observers })
+    }
+}
+
+/// A validated, ready-to-run simulation. Obtain one from
+/// [`Sim::builder`]; consume it with [`Sim::run`].
+pub struct Sim {
+    sys: MeekSystem,
+    max_cycles: u64,
+    observers: Vec<Box<dyn Observer>>,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("max_cycles", &self.max_cycles)
+            .field("observers", &self.observers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Sim {
+    /// Starts a builder — the canonical construction path for every
+    /// MEEK simulation.
+    pub fn builder(workload: &Workload, insts: u64) -> SimBuilder<'_> {
+        SimBuilder::new(workload, insts)
+    }
+
+    /// The derived liveness bound (cycles) this run will panic at.
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// The underlying system (advanced introspection between manual
+    /// ticks; most callers only need [`Sim::run`]).
+    pub fn system(&self) -> &MeekSystem {
+        &self.sys
+    }
+
+    /// Runs the simulation to drain, driving every attached
+    /// [`Observer`], and returns the structured outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to drain within the derived cycle
+    /// bound — a liveness bug, not a measurement artefact.
+    pub fn run(mut self) -> RunOutcome {
+        let start = self.sys.now();
+        let mut timeline: BTreeMap<u32, SegmentSpan> = BTreeMap::new();
+        while !self.sys.is_complete() {
+            assert!(
+                self.sys.now() - start < self.max_cycles,
+                "system failed to drain within {} cycles: {}",
+                self.max_cycles,
+                self.sys.liveness_context(),
+            );
+            self.sys.tick();
+            let cycle = self.sys.now() - 1;
+            for ev in self.sys.take_events() {
+                apply_to_timeline(&mut timeline, &ev);
+                for obs in &mut self.observers {
+                    obs.event(&ev);
+                }
+            }
+            for obs in &mut self.observers {
+                obs.tick(cycle);
+            }
+        }
+        self.sys.resolve_drain();
+        let report = self.sys.report();
+        for obs in &mut self.observers {
+            obs.finished(&report);
+        }
+        RunOutcome { report, timeline: timeline.into_values().collect(), sys: self.sys }
+    }
+}
+
+/// One segment's life in the run timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentSpan {
+    /// Segment id (1-based).
+    pub seg: u32,
+    /// The checker core the segment last ran on.
+    pub checker: usize,
+    /// Cycle of the segment's first open.
+    pub opened_cycle: u64,
+    /// Cycle of the (final) verdict, if one was delivered.
+    pub closed_cycle: Option<u64>,
+    /// The final verdict, if delivered.
+    pub pass: Option<bool>,
+    /// Times the segment was re-opened by recovery rollbacks.
+    pub reopens: u32,
+}
+
+fn apply_to_timeline(timeline: &mut BTreeMap<u32, SegmentSpan>, ev: &SimEvent) {
+    match *ev {
+        SimEvent::SegmentOpened { seg, checker, cycle } => {
+            timeline
+                .entry(seg)
+                .and_modify(|span| {
+                    span.checker = checker;
+                    span.reopens += 1;
+                    // A re-opened segment's earlier verdict was voided.
+                    span.closed_cycle = None;
+                    span.pass = None;
+                })
+                .or_insert(SegmentSpan {
+                    seg,
+                    checker,
+                    opened_cycle: cycle,
+                    closed_cycle: None,
+                    pass: None,
+                    reopens: 0,
+                });
+        }
+        SimEvent::SegmentClosed { seg, pass, cycle } => {
+            if let Some(span) = timeline.get_mut(&seg) {
+                span.closed_cycle = Some(cycle);
+                span.pass = Some(pass);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The structured result of one [`Sim::run`]: the familiar report plus
+/// final architectural state and the per-segment timeline.
+pub struct RunOutcome {
+    /// The run report (cycles, stalls, detections, recovery metrics).
+    pub report: RunReport,
+    /// Per-segment spans in segment order: open/close cycles, verdict,
+    /// checker assignment, rollback re-opens.
+    pub timeline: Vec<SegmentSpan>,
+    sys: MeekSystem,
+}
+
+impl RunOutcome {
+    /// Final architectural state of the application (the functional
+    /// oracle's registers, PC and CSRs). After a recovered run this
+    /// must equal a fault-free golden execution.
+    pub fn final_state(&self) -> &ArchState {
+        self.sys.final_state()
+    }
+
+    /// Final functional memory of the application (same oracle role as
+    /// [`RunOutcome::final_state`]).
+    pub fn final_memory(&self) -> &SparseMemory {
+        self.sys.final_memory()
+    }
+
+    /// The drained system, for introspection the report does not cover.
+    pub fn system(&self) -> &MeekSystem {
+        &self.sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_fabric::{F2Config, F2};
+    use meek_workloads::parsec3;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_workload() -> Workload {
+        Workload::build(&parsec3()[0], 11)
+    }
+
+    #[test]
+    fn zero_little_cores_is_a_typed_error() {
+        let wl = small_workload();
+        let err = Sim::builder(&wl, 1_000).little_cores(0).build().unwrap_err();
+        assert_eq!(err, BuildError::NoLittleCores);
+        assert!(err.to_string().contains("little core"));
+    }
+
+    #[test]
+    fn zero_instruction_budget_is_a_typed_error() {
+        let wl = small_workload();
+        let err = Sim::builder(&wl, 0).build().unwrap_err();
+        assert_eq!(err, BuildError::ZeroInstructionBudget);
+    }
+
+    #[test]
+    fn recovery_without_checkpoints_is_a_typed_error() {
+        let wl = small_workload();
+        let policy = RecoveryPolicy { rollback_depth: 0, ..RecoveryPolicy::enabled() };
+        let err = Sim::builder(&wl, 1_000).recovery(policy).build().unwrap_err();
+        assert_eq!(err, BuildError::RecoveryWithoutCheckpoints);
+        // Depth 0 is fine while recovery is off (the knob is inert).
+        let policy = RecoveryPolicy { rollback_depth: 0, ..RecoveryPolicy::default() };
+        assert!(Sim::builder(&wl, 1_000).recovery(policy).build().is_ok());
+    }
+
+    #[test]
+    fn conflicting_fabric_settings_are_a_typed_error() {
+        let wl = small_workload();
+        let err = Sim::builder(&wl, 1_000)
+            .fabric(FabricKind::Axi)
+            .custom_fabric(Box::new(F2::new(F2Config::default())))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ConflictingFabric);
+        // Each alone is fine.
+        assert!(Sim::builder(&wl, 1_000).fabric(FabricKind::Axi).build().is_ok());
+        assert!(Sim::builder(&wl, 1_000)
+            .custom_fabric(Box::new(F2::new(F2Config::default())))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn fault_beyond_the_budget_is_a_typed_error() {
+        let wl = small_workload();
+        let spec = FaultSpec { arm_at_commit: 1_000, site: FaultSite::MemAddr, bit: 1 };
+        let err = Sim::builder(&wl, 1_000).faults(vec![spec]).build().unwrap_err();
+        assert_eq!(err, BuildError::FaultBeyondBudget { arm_at_commit: 1_000, budget: 1_000 });
+        // The same guard applies to pre-built injectors.
+        let inj = FaultInjector::new(vec![spec]);
+        let err = Sim::builder(&wl, 1_000).injector(inj).build().unwrap_err();
+        assert!(matches!(err, BuildError::FaultBeyondBudget { .. }));
+        // One instruction of slack makes it valid.
+        assert!(Sim::builder(&wl, 1_001).faults(vec![spec]).build().is_ok());
+    }
+
+    #[test]
+    fn conflicting_fault_sources_are_a_typed_error() {
+        let wl = small_workload();
+        let spec = FaultSpec { arm_at_commit: 10, site: FaultSite::MemData, bit: 1 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let err = Sim::builder(&wl, 1_000)
+            .faults(vec![spec])
+            .injector(FaultInjector::random_campaign(3, 500, &mut rng))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::ConflictingFaultSources);
+    }
+
+    #[test]
+    fn clean_run_produces_a_consistent_timeline() {
+        let wl = small_workload();
+        let outcome = Sim::builder(&wl, 10_000).build().expect("valid").run();
+        assert_eq!(outcome.report.failed_segments, 0);
+        assert_eq!(outcome.timeline.len() as u64, outcome.report.verified_segments);
+        let mut prev = 0;
+        for span in &outcome.timeline {
+            assert_eq!(span.seg, prev + 1, "timeline is dense in segment order");
+            prev = span.seg;
+            assert_eq!(span.pass, Some(true));
+            assert_eq!(span.reopens, 0);
+            assert!(span.closed_cycle.is_some_and(|c| c > span.opened_cycle));
+            assert!(span.checker < 4);
+        }
+    }
+
+    #[test]
+    fn observers_see_the_fault_lifecycle() {
+        let wl = small_workload();
+        let counter = EventCounter::new();
+        let trace = TraceLog::new(0);
+        let outcome = Sim::builder(&wl, 12_000)
+            .faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }])
+            .observe(counter.clone())
+            .observe(trace.clone())
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(outcome.report.detections.len(), 1);
+        let c = counter.counts();
+        assert_eq!(c.faults_injected, 1);
+        assert_eq!(c.faults_detected, 1);
+        assert_eq!(c.fails, 1);
+        assert_eq!(c.verdicts, c.passes + c.fails);
+        assert_eq!(c.segments_opened, c.verdicts, "every opened segment concluded");
+        assert_eq!(c.ticks, outcome.report.cycles);
+        // The trace carries the same story in order.
+        let events = trace.snapshot();
+        let injected = events
+            .iter()
+            .position(|e| matches!(e, SimEvent::FaultInjected { .. }))
+            .expect("injection logged");
+        let detected = events
+            .iter()
+            .position(|e| matches!(e, SimEvent::FaultDetected { .. }))
+            .expect("detection logged");
+        assert!(injected < detected);
+        assert!(events.windows(2).all(|w| w[0].cycle() <= w[1].cycle()), "cycle-ordered");
+        // The failed segment shows in the timeline.
+        let failed: Vec<_> = outcome.timeline.iter().filter(|s| s.pass == Some(false)).collect();
+        assert_eq!(failed.len() as u64, outcome.report.failed_segments);
+    }
+
+    #[test]
+    fn recovery_run_emits_rollback_events_and_reopens() {
+        let wl = small_workload();
+        let counter = EventCounter::new();
+        let outcome = Sim::builder(&wl, 12_000)
+            .recovery(RecoveryPolicy::enabled())
+            .faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }])
+            .observe(counter.clone())
+            .build()
+            .expect("valid")
+            .run();
+        assert_eq!(outcome.report.recovery.rollbacks, 1);
+        let c = counter.counts();
+        assert_eq!(c.rollbacks_started, 1);
+        assert_eq!(c.rollbacks_completed, 1);
+        assert!(
+            outcome.timeline.iter().any(|s| s.reopens > 0),
+            "a rollback must re-open its target segment"
+        );
+        // Re-opened segments end verified: recovery re-checked them.
+        for span in &outcome.timeline {
+            assert_eq!(span.pass, Some(true), "segment {} unverified after recovery", span.seg);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_serialises_the_stream() {
+        let wl = small_workload();
+        let buf = SharedBuf::new();
+        let sink = JsonlEventSink::with_prefix(buf.clone(), "\"shard\":7,".to_string());
+        let outcome = Sim::builder(&wl, 6_000)
+            .faults(vec![FaultSpec { arm_at_commit: 2_000, site: FaultSite::MemData, bit: 3 }])
+            .observe(sink)
+            .build()
+            .expect("valid")
+            .run();
+        let text = String::from_utf8(buf.take_bytes()).expect("utf8");
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line.starts_with("{\"shard\":7,\"event\":\""), "bad line: {line}");
+            assert!(line.ends_with('}'));
+        }
+        let opened = text.matches("\"event\":\"segment_opened\"").count() as u64;
+        assert_eq!(opened, outcome.report.verified_segments + outcome.report.failed_segments);
+        assert_eq!(text.matches("\"event\":\"fault_injected\"").count(), 1);
+    }
+
+    #[test]
+    fn trace_log_ring_evicts_oldest() {
+        let wl = small_workload();
+        let trace = TraceLog::new(4);
+        let outcome =
+            Sim::builder(&wl, 10_000).observe(trace.clone()).build().expect("valid").run();
+        let events = trace.snapshot();
+        assert_eq!(events.len(), 4);
+        assert!(trace.dropped() > 0);
+        // The tail of the run: the last event is a clean verdict
+        // (segments can conclude out of order across checkers, so it
+        // need not be the highest-numbered segment).
+        match events.last().expect("non-empty") {
+            SimEvent::SegmentClosed { seg, pass: true, .. } => {
+                assert!(*seg as u64 <= outcome.report.verified_segments);
+            }
+            other => panic!("unexpected tail event {other:?}"),
+        }
+        assert_eq!(trace.render().lines().count(), 4);
+    }
+
+    #[test]
+    fn custom_fabric_runs_and_headroom_scales_the_cap() {
+        let wl = small_workload();
+        let sim = Sim::builder(&wl, 5_000)
+            .custom_fabric(Box::new(F2::new(F2Config::default())))
+            .cycle_headroom(3)
+            .build()
+            .expect("valid");
+        assert_eq!(sim.max_cycles(), 3 * cycle_cap(5_000));
+        let outcome = sim.run();
+        assert_eq!(outcome.report.failed_segments, 0);
+        assert_eq!(outcome.report.committed, 5_000);
+    }
+
+    #[test]
+    fn recovery_widens_the_derived_cap_automatically() {
+        let wl = small_workload();
+        let policy = RecoveryPolicy::enabled(); // max_retries 3
+        let sim = Sim::builder(&wl, 5_000).recovery(policy).build().expect("valid");
+        assert_eq!(sim.max_cycles(), (2 + 3) * cycle_cap(5_000));
+        // An explicit larger headroom still wins.
+        let sim =
+            Sim::builder(&wl, 5_000).recovery(policy).cycle_headroom(20).build().expect("valid");
+        assert_eq!(sim.max_cycles(), 20 * cycle_cap(5_000));
+    }
+
+    #[test]
+    fn sim_is_send() {
+        // Campaign workers build and run sims on worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<Sim>();
+        assert_send::<RunOutcome>();
+        assert_send::<SimEvent>();
+        assert_send::<TraceLog>();
+        assert_send::<EventCounter>();
+        assert_send::<JsonlEventSink<SharedBuf>>();
+    }
+
+    #[test]
+    fn event_json_is_flat_and_stable() {
+        assert_eq!(
+            event_json(&SimEvent::SegmentOpened { seg: 3, checker: 1, cycle: 99 }),
+            "{\"event\":\"segment_opened\",\"seg\":3,\"checker\":1,\"cycle\":99}"
+        );
+        assert_eq!(
+            event_json(&SimEvent::SegmentClosed { seg: 3, pass: false, cycle: 120 }),
+            "{\"event\":\"segment_closed\",\"seg\":3,\"pass\":false,\"cycle\":120}"
+        );
+        assert_eq!(
+            event_json(&SimEvent::FaultInjected { site: FaultSite::MemAddr, seg: 2, cycle: 7 }),
+            "{\"event\":\"fault_injected\",\"site\":\"mem_addr\",\"seg\":2,\"cycle\":7}"
+        );
+        let rec = DetectionRecord {
+            site: FaultSite::RcpRegister,
+            injected_cycle: 10,
+            detected_cycle: 42,
+            latency_ns: 10.0,
+            seg: 2,
+            recovery_cycles: None,
+        };
+        assert_eq!(
+            event_json(&SimEvent::FaultDetected { record: rec }),
+            "{\"event\":\"fault_detected\",\"site\":\"rcp_register\",\"injected_cycle\":10,\
+             \"detected_cycle\":42,\"latency_ns\":10.000,\"seg\":2}"
+        );
+        assert_eq!(
+            event_json(&SimEvent::RollbackStarted { seg: 5, golden: true, cycle: 1 }),
+            "{\"event\":\"rollback_started\",\"seg\":5,\"golden\":true,\"cycle\":1}"
+        );
+        assert_eq!(
+            event_json(&SimEvent::RollbackCompleted { seg: 5, cycle: 2 }),
+            "{\"event\":\"rollback_completed\",\"seg\":5,\"cycle\":2}"
+        );
+    }
+}

@@ -6,6 +6,7 @@ use crate::deu::{DeuHook, DeuState, BIG_CORE_NS_PER_CYCLE};
 use crate::fault::{FaultInjector, FaultSite, FaultSpec};
 use crate::report::{RunReport, StallBreakdown};
 use crate::segments::SegmentManager;
+use crate::sim::SimEvent;
 use meek_bigcore::{BigCore, BigCoreConfig, NullHook};
 use meek_fabric::{AxiConfig, AxiInterconnect, DestMask, F2Config, Fabric, PacketSink, F2};
 use meek_isa::{ArchState, SparseMemory};
@@ -88,6 +89,14 @@ pub struct MeekSystem {
     app_done_cycle: Option<u64>,
     verified_segments: u64,
     failed_segments: u64,
+    /// Structured events accumulated since the last drain (empty unless
+    /// capture is enabled — the `sim::Sim` runner enables it and drains
+    /// every cycle into its observers).
+    events: Vec<SimEvent>,
+    record_events: bool,
+    /// Detections already surfaced as events (watermark into
+    /// `injector.detections`).
+    detections_seen: usize,
 }
 
 impl MeekSystem {
@@ -99,8 +108,19 @@ impl MeekSystem {
     /// # Panics
     ///
     /// Panics if `cfg.n_little` is zero.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through `meek_core::sim::SimBuilder`, which validates the \
+                configuration, derives the cycle cap, and exposes typed run events"
+    )]
     pub fn new(cfg: MeekConfig, workload: &Workload, max_insts: u64) -> MeekSystem {
-        let fabric: Box<dyn Fabric + Send> = match cfg.fabric {
+        let fabric = MeekSystem::default_fabric(&cfg);
+        MeekSystem::with_fabric(cfg, workload, max_insts, fabric)
+    }
+
+    /// The built-in interconnect instance for `cfg.fabric`.
+    pub(crate) fn default_fabric(cfg: &MeekConfig) -> Box<dyn Fabric + Send> {
+        match cfg.fabric {
             FabricKind::F2 => {
                 Box::new(F2::new(F2Config { lanes: cfg.big.width as usize, ..F2Config::default() }))
             }
@@ -108,17 +128,16 @@ impl MeekSystem {
                 lanes: cfg.big.width as usize,
                 ..AxiConfig::default()
             })),
-        };
-        MeekSystem::with_fabric(cfg, workload, max_insts, fabric)
+        }
     }
 
-    /// Builds a system with a caller-provided interconnect (used by the
-    /// ablation harnesses to sweep fabric parameters).
+    /// Builds a system with a caller-provided interconnect (the
+    /// `SimBuilder::custom_fabric` path).
     ///
     /// # Panics
     ///
     /// Panics if `cfg.n_little` is zero.
-    pub fn with_fabric(
+    pub(crate) fn with_fabric(
         cfg: MeekConfig,
         workload: &Workload,
         max_insts: u64,
@@ -175,7 +194,69 @@ impl MeekSystem {
             app_done_cycle: None,
             verified_segments: 0,
             failed_segments: 0,
+            events: Vec::new(),
+            record_events: false,
+            detections_seen: 0,
         }
+    }
+
+    /// Turns on structured event recording ([`crate::sim::SimEvent`]).
+    /// The `sim::Sim` runner enables this and drains
+    /// [`MeekSystem::take_events`] every cycle.
+    pub(crate) fn enable_event_capture(&mut self) {
+        self.record_events = true;
+    }
+
+    /// Drains the events recorded since the last call.
+    pub(crate) fn take_events(&mut self) -> Vec<SimEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Settles end-of-run fault and recovery verdicts once the system
+    /// has drained (the tail of `run_to_completion`, shared with the
+    /// `sim::Sim` runner).
+    pub(crate) fn resolve_drain(&mut self) {
+        self.injector.resolve_at_drain();
+        self.recover.resolve_at_drain();
+    }
+
+    /// Liveness context for the cycle-cap panic message: the drain
+    /// predicate's inputs plus a per-little-core snapshot (assignment,
+    /// idle flag, LSL occupancies, replay progress) — enough to see
+    /// which core or queue wedged. A hung run emits no further events,
+    /// so this snapshot is the one diagnostic an attached observer
+    /// cannot reconstruct.
+    pub(crate) fn liveness_context(&self) -> String {
+        let littles: Vec<String> = self
+            .littles
+            .iter()
+            .map(|l| {
+                format!(
+                    "core{}(assign={:?} idle={} lsl_rt={} lsl_st={} replayed={})",
+                    l.id,
+                    l.assignment(),
+                    l.is_idle(),
+                    l.lsl.runtime_len(),
+                    l.lsl.status_len(),
+                    l.replayed(),
+                )
+            })
+            .collect();
+        format!(
+            "committed {}, seg {}, verified {}, failed {}, rob {}, drained={} finalized={} \
+             transfers_drained={} fabric_empty={} recovery_in_flight={} littles=[{}]",
+            self.big.stats().committed,
+            self.deu.seg,
+            self.verified_segments,
+            self.failed_segments,
+            self.big.rob_occupancy(),
+            self.big.is_drained(),
+            self.deu.finalized,
+            self.deu.transfers_drained(),
+            self.fabric.is_empty(),
+            self.recover.in_flight(),
+            littles.join(", ")
+        )
     }
 
     /// Installs a fault-injection campaign (replaces any previous one).
@@ -209,6 +290,9 @@ impl MeekSystem {
                     lc.tick_check(tl, &self.image)
                 {
                     self.seg_mgr.finish(seg, pass);
+                    if self.record_events {
+                        self.events.push(SimEvent::SegmentClosed { seg, pass, cycle: now });
+                    }
                     if pass {
                         self.verified_segments += 1;
                     } else {
@@ -221,6 +305,9 @@ impl MeekSystem {
                             self.run.release_undo_through(through);
                         }
                         if out.episode_closed {
+                            if self.record_events {
+                                self.events.push(SimEvent::RollbackCompleted { seg, cycle: now });
+                            }
                             // Golden escalation (if any) ends with the
                             // episode; annotate the detections this
                             // recovery closed with their latency.
@@ -276,7 +363,32 @@ impl MeekSystem {
             self.finalize(now);
         }
         self.injector.advance(self.big.stats().committed);
+        self.collect_component_events(now);
         self.now += 1;
+    }
+
+    /// Drains the sub-component event logs (segment opens, fired
+    /// corruptions, new detections) into the system's event stream,
+    /// stamped with this cycle. The logs are drained even with capture
+    /// off so they cannot grow unbounded.
+    fn collect_component_events(&mut self, now: u64) {
+        let opened = self.seg_mgr.take_opened();
+        let injected = self.injector.take_injections();
+        if !self.record_events {
+            self.detections_seen = self.injector.detections.len();
+            return;
+        }
+        for (seg, checker) in opened {
+            self.events.push(SimEvent::SegmentOpened { seg, checker, cycle: now });
+        }
+        for (site, seg, cycle) in injected {
+            self.events.push(SimEvent::FaultInjected { site, seg, cycle });
+        }
+        while self.detections_seen < self.injector.detections.len() {
+            let record = self.injector.detections[self.detections_seen];
+            self.events.push(SimEvent::FaultDetected { record });
+            self.detections_seen += 1;
+        }
     }
 
     /// Executes the scheduled rollback: restores the oracle (registers,
@@ -287,6 +399,9 @@ impl MeekSystem {
     fn execute_rollback(&mut self, now: u64) {
         let committed = self.big.stats().committed;
         let (target, golden) = self.recover.take_rollback(committed);
+        if self.record_events {
+            self.events.push(SimEvent::RollbackStarted { seg: target.seg, golden, cycle: now });
+        }
         self.run.rollback(target.commit_index, &target.cp, target.csrs.clone());
         self.big.rollback(now + self.cfg.recovery.restore_cycles, target.commit_index);
         self.fabric.flush();
@@ -345,20 +460,15 @@ impl MeekSystem {
         while !self.is_complete() {
             assert!(
                 self.now - start < max_cycles,
-                "system failed to drain within {max_cycles} cycles \
-                 (committed {}, seg {}, verified {}, rob {})",
-                self.big.stats().committed,
-                self.deu.seg,
-                self.verified_segments,
-                self.big.rob_occupancy(),
+                "system failed to drain within {max_cycles} cycles ({})",
+                self.liveness_context(),
             );
             self.tick();
         }
         // No further segment verdicts can arrive: settle the in-flight
         // fault (masked if every delivered candidate verdict was clean)
         // so the report separates masked from genuinely pending faults.
-        self.injector.resolve_at_drain();
-        self.recover.resolve_at_drain();
+        self.resolve_drain();
         self.report()
     }
 
@@ -376,54 +486,9 @@ impl MeekSystem {
         self.run.memory()
     }
 
-    /// A one-line liveness snapshot for debugging stuck simulations.
-    pub fn debug_state(&self) -> String {
-        let littles: Vec<String> = self
-            .littles
-            .iter()
-            .map(|l| {
-                format!(
-                    "core{}(assign={:?} idle={} lsl_rt={} lsl_st={} replayed={})",
-                    l.id,
-                    l.assignment(),
-                    l.is_idle(),
-                    l.lsl.runtime_len(),
-                    l.lsl.status_len(),
-                    l.replayed(),
-                )
-            })
-            .collect();
-        format!(
-            "now={} drained={} finalized={} transfers_drained={} fabric_empty={} seg={} verified={} failed={} littles=[{}]",
-            self.now,
-            self.big.is_drained(),
-            self.deu.finalized,
-            self.deu.transfers_drained(),
-            self.fabric.is_empty(),
-            self.deu.seg,
-            self.verified_segments,
-            self.failed_segments,
-            littles.join(", ")
-        )
-    }
-
     /// Faults still queued in the injector (not yet armed).
     pub fn injector_remaining(&self) -> usize {
         self.injector.remaining()
-    }
-
-    /// Debug string of the injector state.
-    pub fn injector_debug(&self) -> String {
-        self.injector.debug()
-    }
-
-    /// Debug phases of every little core.
-    pub fn debug_little_phases(&self) -> String {
-        self.littles
-            .iter()
-            .map(|l| format!("core{}: {}", l.id, l.debug_phase()))
-            .collect::<Vec<_>>()
-            .join("\n")
     }
 
     /// Builds the run report at any point.
@@ -501,6 +566,7 @@ pub fn run_vanilla(cfg: &BigCoreConfig, workload: &Workload, max_insts: u64) -> 
 mod tests {
     use super::*;
     use crate::fault::{FaultSite, FaultSpec};
+    use crate::sim::Sim;
     use meek_workloads::parsec3;
 
     fn small_workload() -> Workload {
@@ -521,8 +587,7 @@ mod tests {
     #[test]
     fn clean_run_verifies_every_segment() {
         let wl = small_workload();
-        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 15_000);
-        let report = sys.run_to_completion(5_000_000);
+        let report = Sim::builder(&wl, 15_000).build().expect("valid").run().report;
         assert_eq!(report.failed_segments, 0);
         assert!(report.verified_segments > 0);
         assert_eq!(report.committed, 15_000);
@@ -534,8 +599,7 @@ mod tests {
         let wl = small_workload();
         let cfg = MeekConfig::default();
         let vanilla = run_vanilla(&cfg.big, &wl, 15_000);
-        let mut sys = MeekSystem::new(cfg, &wl, 15_000);
-        let report = sys.run_to_completion(5_000_000);
+        let report = Sim::builder(&wl, 15_000).build().expect("valid").run().report;
         let slowdown = report.slowdown_vs(vanilla);
         assert!(slowdown < 1.6, "4-core slowdown {slowdown:.3} unreasonably high");
         assert!(slowdown >= 1.0 - 1e-9);
@@ -544,9 +608,12 @@ mod tests {
     #[test]
     fn injected_fault_is_detected() {
         let wl = small_workload();
-        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
-        sys.set_faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }]);
-        let report = sys.run_to_completion(5_000_000);
+        let report = Sim::builder(&wl, 12_000)
+            .faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }])
+            .build()
+            .expect("valid")
+            .run()
+            .report;
         assert_eq!(report.detections.len(), 1, "missed: {}", report.missed_faults);
         assert_eq!(report.missed_faults, 0);
         assert_eq!(report.failed_segments, 1);
@@ -558,8 +625,7 @@ mod tests {
     #[test]
     fn single_little_core_still_completes() {
         let wl = small_workload();
-        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(1), &wl, 6_000);
-        let report = sys.run_to_completion(20_000_000);
+        let report = Sim::builder(&wl, 6_000).little_cores(1).build().expect("valid").run().report;
         assert_eq!(report.failed_segments, 0);
         assert!(report.verified_segments > 0);
     }
@@ -568,8 +634,14 @@ mod tests {
     fn more_little_cores_never_slower() {
         let wl = small_workload();
         let run_n = |n: usize| {
-            let mut sys = MeekSystem::new(MeekConfig::with_little_cores(n), &wl, 10_000);
-            sys.run_to_completion(30_000_000).cycles
+            Sim::builder(&wl, 10_000)
+                .little_cores(n)
+                .cycle_headroom(2)
+                .build()
+                .expect("valid")
+                .run()
+                .report
+                .cycles
         };
         let two = run_n(2);
         let four = run_n(4);
@@ -579,22 +651,19 @@ mod tests {
     #[test]
     fn detected_fault_recovers_to_clean_completion() {
         let wl = small_workload();
-        let detect_only = {
-            let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
-            sys.set_faults(vec![FaultSpec {
-                arm_at_commit: 4_000,
-                site: FaultSite::MemAddr,
-                bit: 9,
-            }]);
-            sys.run_to_completion(5_000_000)
-        };
+        let fault = FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 };
+        let detect_only =
+            Sim::builder(&wl, 12_000).faults(vec![fault]).build().expect("valid").run().report;
         assert!(detect_only.recovery.rollbacks == 0 && detect_only.detections.len() == 1);
         assert_eq!(detect_only.detections[0].recovery_cycles, None);
 
-        let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
-        let mut sys = MeekSystem::new(cfg, &wl, 12_000);
-        sys.set_faults(vec![FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 }]);
-        let report = sys.run_to_completion(10_000_000);
+        let outcome = Sim::builder(&wl, 12_000)
+            .recovery(RecoveryPolicy::enabled())
+            .faults(vec![fault])
+            .build()
+            .expect("valid")
+            .run();
+        let report = &outcome.report;
         assert_eq!(report.detections.len(), 1);
         let r = &report.recovery;
         assert_eq!(r.rollbacks, 1, "one detection, one rollback: {r:?}");
@@ -610,16 +679,13 @@ mod tests {
         assert_eq!(report.committed, 12_000);
         assert_eq!(report.failed_segments, 1);
         // Final state equals a fault-free run of the same workload.
-        let mut clean = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
-        clean.run_to_completion(5_000_000);
-        assert_eq!(sys.final_state(), clean.final_state(), "recovery must be state-preserving");
+        let clean = Sim::builder(&wl, 12_000).build().expect("valid").run();
+        assert_eq!(outcome.final_state(), clean.final_state(), "recovery must be state-preserving");
     }
 
     #[test]
     fn recovery_survives_a_fault_barrage() {
         let wl = small_workload();
-        let cfg = MeekConfig::with_recovery(4, RecoveryPolicy::enabled());
-        let mut sys = MeekSystem::new(cfg, &wl, 15_000);
         let faults = (0..6)
             .map(|i| FaultSpec {
                 arm_at_commit: 1_500 + i * 2_000,
@@ -631,15 +697,19 @@ mod tests {
                 bit: (i as u32 * 11 + 3) % 48,
             })
             .collect();
-        sys.set_faults(faults);
-        let report = sys.run_to_completion(20_000_000);
+        let outcome = Sim::builder(&wl, 15_000)
+            .recovery(RecoveryPolicy::enabled())
+            .faults(faults)
+            .build()
+            .expect("valid")
+            .run();
+        let report = &outcome.report;
         let r = &report.recovery;
         assert_eq!(r.unrecovered, 0, "every detection must recover: {r:?}");
-        assert_eq!(r.recovered, report.detections.len() as u64 - lsq(&report));
+        assert_eq!(r.recovered, report.detections.len() as u64 - lsq(report));
         assert_eq!(report.committed, 15_000);
-        let mut clean = MeekSystem::new(MeekConfig::default(), &wl, 15_000);
-        clean.run_to_completion(5_000_000);
-        assert_eq!(sys.final_state(), clean.final_state());
+        let clean = Sim::builder(&wl, 15_000).build().expect("valid").run();
+        assert_eq!(outcome.final_state(), clean.final_state());
     }
 
     fn lsq(report: &RunReport) -> u64 {
@@ -649,13 +719,12 @@ mod tests {
     #[test]
     fn lsq_parity_fault_detected_without_failing_a_segment() {
         let wl = small_workload();
-        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
-        sys.set_faults(vec![FaultSpec {
-            arm_at_commit: 3_000,
-            site: FaultSite::LsqParity,
-            bit: 21,
-        }]);
-        let report = sys.run_to_completion(5_000_000);
+        let report = Sim::builder(&wl, 12_000)
+            .faults(vec![FaultSpec { arm_at_commit: 3_000, site: FaultSite::LsqParity, bit: 21 }])
+            .build()
+            .expect("valid")
+            .run()
+            .report;
         assert_eq!(report.detections.len(), 1);
         assert_eq!(report.detections[0].site, FaultSite::LsqParity);
         assert_eq!(report.failed_segments, 0, "parity catches it before any checker sees it");
@@ -666,13 +735,12 @@ mod tests {
     #[test]
     fn cache_data_fault_is_detected_by_replay() {
         let wl = small_workload();
-        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
-        sys.set_faults(vec![FaultSpec {
-            arm_at_commit: 3_000,
-            site: FaultSite::CacheData,
-            bit: 5,
-        }]);
-        let report = sys.run_to_completion(5_000_000);
+        let report = Sim::builder(&wl, 12_000)
+            .faults(vec![FaultSpec { arm_at_commit: 3_000, site: FaultSite::CacheData, bit: 5 }])
+            .build()
+            .expect("valid")
+            .run()
+            .report;
         assert_eq!(
             report.detections.len() + report.missed_faults as usize,
             1,
@@ -683,9 +751,13 @@ mod tests {
     #[test]
     fn axi_fabric_completes() {
         let wl = small_workload();
-        let cfg = MeekConfig { fabric: FabricKind::Axi, ..MeekConfig::default() };
-        let mut sys = MeekSystem::new(cfg, &wl, 8_000);
-        let report = sys.run_to_completion(30_000_000);
+        let report = Sim::builder(&wl, 8_000)
+            .fabric(FabricKind::Axi)
+            .cycle_headroom(2)
+            .build()
+            .expect("valid")
+            .run()
+            .report;
         assert_eq!(report.failed_segments, 0);
     }
 }

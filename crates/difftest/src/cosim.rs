@@ -21,7 +21,7 @@
 //! detection architecture), pinpointed for shrinking.
 
 use crate::fuzz::FuzzProgram;
-use meek_core::{cycle_cap, MeekConfig, MeekSystem};
+use meek_core::Sim;
 use meek_fabric::{DestMask, Packet, PacketSink, Payload};
 use meek_isa::disasm::{disasm_window, disasm_word};
 use meek_isa::state::RegCheckpoint;
@@ -356,8 +356,12 @@ fn system_check(
     let n = golden.trace.len() as u64;
     let wl = prog.workload();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(cfg.n_little), &wl, n);
-        sys.run_to_completion(cycle_cap(n))
+        Sim::builder(&wl, n)
+            .little_cores(cfg.n_little)
+            .build()
+            .expect("cosim configuration is valid")
+            .run()
+            .report
     }));
     let report = match outcome {
         Ok(r) => r,

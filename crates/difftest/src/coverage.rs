@@ -22,9 +22,7 @@
 
 use crate::cosim::GoldenRun;
 use crate::fuzz::FuzzProgram;
-use meek_core::{
-    cycle_cap, CorruptedField, FaultSite, FaultSpec, MaskRecord, MeekConfig, MeekSystem,
-};
+use meek_core::{CorruptedField, FaultSite, FaultSpec, MaskRecord, Sim};
 use meek_fabric::{DestMask, Packet, PacketSink, Payload};
 use meek_isa::state::RegCheckpoint;
 use meek_isa::{exec, ArchState};
@@ -105,11 +103,20 @@ pub fn classify(
     n_little: usize,
 ) -> FaultOutcome {
     let n = golden.trace.len() as u64;
+    if n == 0 {
+        // A program that exits immediately retires nothing: the fault
+        // can never fire, which is exactly the pending verdict.
+        return FaultOutcome::Pending;
+    }
     let wl = prog.workload();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(n_little), &wl, n);
-        sys.set_faults(vec![spec]);
-        sys.run_to_completion(cycle_cap(n))
+        Sim::builder(&wl, n)
+            .little_cores(n_little)
+            .faults(vec![spec])
+            .build()
+            .expect("coverage configuration is valid")
+            .run()
+            .report
     }));
     let report = match outcome {
         Ok(r) => r,

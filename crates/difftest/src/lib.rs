@@ -52,5 +52,5 @@ pub mod shrink;
 pub use cosim::{golden_run, CosimConfig, CosimVerdict, Divergence, GoldenRun};
 pub use coverage::{classify, classify_with, fault_plan, FaultOutcome};
 pub use fuzz::{fuzz_program, FuzzConfig, FuzzProgram};
-pub use recover::{verify_recovery, RecoveryVerdict};
+pub use recover::{verify_recovery, verify_recovery_on, RecoveryVerdict};
 pub use shrink::{emit_test, minimize, shrink_insts};

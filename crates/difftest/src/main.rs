@@ -149,7 +149,7 @@ fn run_case(case_seed: u64, args: &Args) -> CaseResult {
     let prog = fuzz_program(case_seed, &FuzzConfig { static_len: args.static_len });
     let verdict = cosim::run(&prog, &cfg);
     let mut outcomes = Vec::new();
-    if verdict.divergence.is_none() && args.faults > 0 {
+    if verdict.divergence.is_none() && args.faults > 0 && verdict.executed > 0 {
         // Only a program whose clean run agrees three ways is a valid
         // substrate for coverage classification.
         let golden = golden_run(&prog).expect("clean cosim implies clean golden");

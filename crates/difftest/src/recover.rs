@@ -19,7 +19,7 @@
 use crate::cosim::GoldenRun;
 use crate::coverage::{classify_with, FaultOutcome};
 use crate::fuzz::FuzzProgram;
-use meek_core::{cycle_cap, FaultSite, FaultSpec, MeekConfig, MeekSystem, RecoveryPolicy};
+use meek_core::{FabricKind, FaultSite, FaultSpec, RecoveryPolicy, Sim};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -72,24 +72,45 @@ impl fmt::Display for RecoveryVerdict {
     }
 }
 
-/// Injects `spec` into a recovery-enabled system run and returns the
-/// coverage classification plus the recovery verdict.
+/// Injects `spec` into a recovery-enabled system run (F2 fabric) and
+/// returns the coverage classification plus the recovery verdict.
 pub fn verify_recovery(
     prog: &FuzzProgram,
     golden: &GoldenRun,
     spec: FaultSpec,
     n_little: usize,
 ) -> (FaultOutcome, RecoveryVerdict) {
+    verify_recovery_on(prog, golden, spec, n_little, FabricKind::F2)
+}
+
+/// [`verify_recovery`] with an explicit interconnect — the recovery ×
+/// fabric-ablation axis: rollback correctness must hold whether the
+/// corrupted data travelled the bespoke F2 or the AXI baseline.
+pub fn verify_recovery_on(
+    prog: &FuzzProgram,
+    golden: &GoldenRun,
+    spec: FaultSpec,
+    n_little: usize,
+    fabric: FabricKind,
+) -> (FaultOutcome, RecoveryVerdict) {
     let n = golden.trace.len() as u64;
+    if n == 0 {
+        // Nothing retires, so the fault never fires and nothing can
+        // need recovery — same verdicts the detect-only oracle gives.
+        return (FaultOutcome::Pending, RecoveryVerdict::NothingToRecover);
+    }
     let wl = prog.workload();
-    let cfg = MeekConfig::with_recovery(n_little, RecoveryPolicy::enabled());
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut sys = MeekSystem::new(cfg, &wl, n);
-        sys.set_faults(vec![spec]);
-        let report = sys.run_to_completion(cycle_cap(n));
-        (report, sys)
+        Sim::builder(&wl, n)
+            .little_cores(n_little)
+            .fabric(fabric)
+            .recovery(RecoveryPolicy::enabled())
+            .faults(vec![spec])
+            .build()
+            .expect("recovery oracle configuration is valid")
+            .run()
     }));
-    let (report, sys) = match outcome {
+    let run = match outcome {
         Ok(r) => r,
         Err(_) => {
             return (
@@ -100,7 +121,8 @@ pub fn verify_recovery(
             )
         }
     };
-    let coverage = classify_with(prog, golden, spec, &report);
+    let report = &run.report;
+    let coverage = classify_with(prog, golden, spec, report);
     if coverage.is_escape() {
         return (coverage, RecoveryVerdict::Unrecovered { reason: "coverage escape".into() });
     }
@@ -115,15 +137,15 @@ pub fn verify_recovery(
     }
     // Invariant 2: final state equals the golden interpreter's —
     // registers, CSRs, and memory.
-    if sys.final_state() != &golden.final_state {
-        let cp = sys.final_state().checkpoint();
+    if run.final_state() != &golden.final_state {
+        let cp = run.final_state().checkpoint();
         let reason = match golden.final_cp.first_mismatch(&cp) {
             Some(m) => format!("final registers diverged: {m:?}"),
             None => "final CSR state diverged".to_string(),
         };
         return (coverage, RecoveryVerdict::StateDiverged { reason });
     }
-    if !sys.final_memory().content_eq(&golden.final_mem) {
+    if !run.final_memory().content_eq(&golden.final_mem) {
         let reason = "final memory diverged from the golden run".to_string();
         return (coverage, RecoveryVerdict::StateDiverged { reason });
     }
@@ -157,6 +179,26 @@ mod tests {
     use crate::cosim::golden_run;
     use crate::coverage::fault_plan;
     use crate::fuzz::{fuzz_program, FuzzConfig};
+
+    #[test]
+    fn empty_golden_trace_reports_pending_not_panic() {
+        // A program that exits immediately retires nothing; the oracles
+        // must report the fault pending (the pre-SimBuilder behaviour),
+        // not panic on a zero instruction budget.
+        let prog = fuzz_program(0, &FuzzConfig::default());
+        let st = meek_isa::ArchState::new(prog.entry());
+        let golden = GoldenRun {
+            trace: Vec::new(),
+            final_cp: st.checkpoint(),
+            final_state: st,
+            final_mem: prog.image(),
+        };
+        let spec = FaultSpec { arm_at_commit: 0, site: FaultSite::MemData, bit: 1 };
+        let (outcome, verdict) = verify_recovery(&prog, &golden, spec, 4);
+        assert_eq!(outcome, FaultOutcome::Pending);
+        assert_eq!(verdict, RecoveryVerdict::NothingToRecover);
+        assert_eq!(crate::coverage::classify(&prog, &golden, spec, 4), FaultOutcome::Pending);
+    }
 
     #[test]
     fn detected_faults_recover_to_golden_state() {

@@ -175,7 +175,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`](vec()).
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,
@@ -296,7 +296,7 @@ pub mod shrink {
     /// `remove(items, start, end)` builds the candidate with
     /// `items[start..end]` taken out, patching up whatever internal
     /// structure removal disturbs (e.g. relative branch offsets in an
-    /// instruction stream). [`vec`] is this with plain slicing.
+    /// instruction stream). [`vec()`](vec()) is this with plain slicing.
     pub fn vec_with<T, R, F>(items: Vec<T>, mut remove: R, mut fails: F) -> Vec<T>
     where
         R: FnMut(&[T], usize, usize) -> Vec<T>,
@@ -333,7 +333,7 @@ pub mod shrink {
 
     /// Element-wise simplification pass: for each position, tries the
     /// replacements `simplify` proposes (in order) and keeps the first
-    /// that still fails. Run after [`vec`] to canonicalise the survivors
+    /// that still fails. Run after [`vec()`](vec()) to canonicalise the survivors
     /// (e.g. replacing instructions with NOPs).
     pub fn elements<T: Clone, S, F>(items: Vec<T>, mut simplify: S, mut fails: F) -> Vec<T>
     where

@@ -7,7 +7,7 @@
 //! ```
 
 use meek_core::fault::FaultInjector;
-use meek_core::{MeekConfig, MeekSystem};
+use meek_core::Sim;
 use meek_workloads::{parsec3, Workload};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -25,10 +25,14 @@ fn main() {
     println!("{bench}: injecting {n_faults} random faults over {insts} instructions\n");
 
     let workload = Workload::build(&profile, 7);
-    let mut sys = MeekSystem::new(MeekConfig::default(), &workload, insts);
     let mut rng = SmallRng::seed_from_u64(0xDEAD);
-    sys.set_injector(FaultInjector::random_campaign(n_faults, insts, &mut rng));
-    let report = sys.run_to_completion(insts * 500);
+    let report = Sim::builder(&workload, insts)
+        .injector(FaultInjector::random_campaign(n_faults, insts, &mut rng))
+        .cycle_headroom(2)
+        .build()
+        .expect("a valid campaign configuration")
+        .run()
+        .report;
 
     let mut lat: Vec<f64> = report.detections.iter().map(|d| d.latency_ns).collect();
     lat.sort_by(f64::total_cmp);

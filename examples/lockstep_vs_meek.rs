@@ -7,7 +7,7 @@
 
 use meek_area::{ea_lockstep_scale, meek_area_overhead, BOOM_AREA_MM2};
 use meek_baselines::{ea_lockstep_config, run_ea_lockstep};
-use meek_core::{run_vanilla, MeekConfig, MeekSystem};
+use meek_core::{run_vanilla, MeekConfig, Sim};
 use meek_workloads::{parsec3, spec_int_2006, Workload};
 
 fn main() {
@@ -36,8 +36,13 @@ fn main() {
     );
 
     let vanilla = run_vanilla(&cfg.big, &workload, insts);
-    let mut sys = MeekSystem::new(cfg, &workload, insts);
-    let meek = sys.run_to_completion(100_000_000).cycles;
+    let meek = Sim::builder(&workload, insts)
+        .cycle_headroom(5)
+        .build()
+        .expect("a valid configuration")
+        .run()
+        .report
+        .cycles;
     let lockstep = run_ea_lockstep(4, &workload, insts);
     let ls_cfg = ea_lockstep_config(4);
 

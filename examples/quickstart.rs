@@ -1,12 +1,14 @@
-//! Quickstart: build a MEEK system (one BOOM-class big core, four
-//! Rocket-class checker cores), run a workload under verification, and
-//! show an injected fault being caught.
+//! Quickstart: build a MEEK simulation through `SimBuilder` (one
+//! BOOM-class big core, four Rocket-class checker cores), run a
+//! workload under verification, and show an injected fault being
+//! caught — with a typed `Observer` watching the run instead of
+//! polled debug strings.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use meek_core::{run_vanilla, FaultSite, FaultSpec, MeekConfig, MeekSystem};
+use meek_core::{run_vanilla, EventCounter, FaultSite, FaultSpec, MeekConfig, Sim};
 use meek_workloads::{parsec3, Workload};
 
 fn main() {
@@ -20,12 +22,17 @@ fn main() {
     let vanilla_cycles = run_vanilla(&cfg.big, &workload, insts);
     println!("vanilla big core: {vanilla_cycles} cycles");
 
-    // 3. The same program under MEEK verification.
-    let mut sys = MeekSystem::new(cfg.clone(), &workload, insts);
-    let report = sys.run_to_completion(50_000_000);
+    // 3. The same program under MEEK verification. The builder
+    //    validates the configuration and derives the cycle cap; the
+    //    outcome carries the report plus a per-segment timeline.
+    let outcome = Sim::builder(&workload, insts)
+        .little_cores(4)
+        .build()
+        .expect("a valid configuration")
+        .run();
+    let report = &outcome.report;
     println!(
-        "MEEK ({} little cores): {} cycles — slowdown {:.3} ({:.1}% overhead)",
-        cfg.n_little,
+        "MEEK (4 little cores): {} cycles — slowdown {:.3} ({:.1}% overhead)",
         report.cycles,
         report.slowdown_vs(vanilla_cycles),
         (report.slowdown_vs(vanilla_cycles) - 1.0) * 100.0
@@ -34,17 +41,35 @@ fn main() {
         "segments verified: {} (RCPs taken: {}), failures: {}",
         report.verified_segments, report.rcps, report.failed_segments
     );
+    let first = outcome.timeline.first().expect("at least one segment");
+    println!(
+        "timeline: segment 1 opened at cycle {} on checker {}, verdict at cycle {}",
+        first.opened_cycle,
+        first.checker,
+        first.closed_cycle.expect("concluded")
+    );
 
     // 4. Inject a single bit flip into the forwarded data and watch the
-    //    checkers catch it.
-    let mut sys = MeekSystem::new(cfg, &workload, insts);
-    sys.set_faults(vec![FaultSpec { arm_at_commit: 10_000, site: FaultSite::MemAddr, bit: 13 }]);
-    let report = sys.run_to_completion(50_000_000);
+    //    checkers catch it — through an observer this time.
+    let counter = EventCounter::new();
+    let report = Sim::builder(&workload, insts)
+        .faults(vec![FaultSpec { arm_at_commit: 10_000, site: FaultSite::MemAddr, bit: 13 }])
+        .observe(counter.clone())
+        .build()
+        .expect("a valid configuration")
+        .run()
+        .report;
     let d = report.detections.first().expect("the fault must be detected");
     println!(
         "\ninjected a bit flip in a forwarded address at commit 10000:\n  \
          detected in segment {} after {:.0} ns (paper: avg < 1 us)",
         d.seg, d.latency_ns
     );
+    let counts = counter.counts();
+    println!(
+        "observer saw {} segment verdicts, {} injection(s), {} detection(s)",
+        counts.verdicts, counts.faults_injected, counts.faults_detected
+    );
     assert_eq!(report.missed_faults, 0);
+    assert_eq!(counts.faults_detected, 1);
 }

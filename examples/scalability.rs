@@ -5,7 +5,7 @@
 //! cargo run --release --example scalability [benchmark]
 //! ```
 
-use meek_core::{run_vanilla, MeekConfig, MeekSystem};
+use meek_core::{run_vanilla, MeekConfig, Sim};
 use meek_workloads::{parsec3, Workload};
 
 fn main() {
@@ -24,8 +24,13 @@ fn main() {
 
     let mut prev: Option<f64> = None;
     for n in 1..=8 {
-        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(n), &workload, insts);
-        let report = sys.run_to_completion(200_000_000);
+        let report = Sim::builder(&workload, insts)
+            .little_cores(n)
+            .cycle_headroom(10)
+            .build()
+            .expect("a valid configuration")
+            .run()
+            .report;
         let s = report.slowdown_vs(vanilla);
         println!("{n:>6} {:>10} {:>10.3} {:>12}", report.cycles, s, report.stalls.little_core);
         if let Some(p) = prev {

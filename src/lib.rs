@@ -5,11 +5,13 @@
 //! The actual implementation lives in the `crates/` workspace:
 //!
 //! * [`isa`] — RV64 subset: decode/encode/execute, architectural state
-//! * [`mem`] — cache hierarchy, DRAM, parity
-//! * [`bigcore`] — OoO superscalar timing model (SonicBOOM-class)
+//! * `meek-mem` — cache hierarchy, DRAM, parity
+//! * `meek-bigcore` — OoO superscalar timing model (SonicBOOM-class)
 //! * [`littlecore`] — in-order checker core with the Load-Store Log
-//! * [`fabric`] — the F2 forwarding fabric and the AXI baseline
-//! * [`core`] — the assembled MEEK SoC (DEU, segments, OS model, faults)
+//! * `meek-fabric` — the F2 forwarding fabric and the AXI baseline
+//! * [`core`] — the assembled MEEK SoC (DEU, segments, OS model,
+//!   faults) and its typed construction surface
+//!   (`meek_core::sim::SimBuilder` / `Observer`)
 //! * [`workloads`] — SPECint 2006 / PARSEC 3 profile-driven codegen
 //! * [`baselines`] — EA-LockStep and Nzdc comparison points
 //! * [`area`] — Table III area model

@@ -2,7 +2,7 @@
 //! duplication) and EA-LockStep both cost far more than MEEK.
 
 use meek_baselines::{ea_lockstep_config, run_ea_lockstep, run_nzdc, NzdcStream};
-use meek_core::{run_vanilla, MeekConfig, MeekSystem};
+use meek_core::{run_vanilla, MeekConfig, Sim};
 use meek_workloads::{parsec3, spec_int_2006, Workload};
 
 const INSTS: u64 = 10_000;
@@ -14,8 +14,9 @@ fn meek_beats_both_baselines() {
     let wl = Workload::build(&p, challenge_seed());
     let cfg = MeekConfig::default();
     let vanilla = run_vanilla(&cfg.big, &wl, INSTS);
-    let mut sys = MeekSystem::new(cfg.clone(), &wl, INSTS);
-    let meek = sys.run_to_completion(100_000_000).app_cycles as f64 / vanilla as f64;
+    let meek_report =
+        Sim::builder(&wl, INSTS).cycle_headroom(5).build().expect("valid").run().report;
+    let meek = meek_report.app_cycles as f64 / vanilla as f64;
     let lockstep = run_ea_lockstep(4, &wl, INSTS) as f64 / vanilla as f64;
     let (nz, _) = run_nzdc(&cfg.big, &wl, INSTS);
     let nzdc = nz as f64 / vanilla as f64;

@@ -2,19 +2,21 @@
 //! by the checkers, within FTTI-compatible latency.
 
 use meek_core::fault::FaultInjector;
-use meek_core::{FaultSite, FaultSpec, MeekConfig, MeekSystem};
+use meek_core::{FaultSite, FaultSpec, Sim};
 use meek_workloads::{parsec3, Workload};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-const CAP: u64 = 200_000_000;
-
 fn run_one_fault(site: FaultSite, bit: u32, seed: u64) -> meek_core::RunReport {
     let p = &parsec3()[3]; // ferret
     let wl = Workload::build(p, seed);
-    let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 12_000);
-    sys.set_faults(vec![FaultSpec { arm_at_commit: 5_000, site, bit }]);
-    sys.run_to_completion(CAP)
+    Sim::builder(&wl, 12_000)
+        .faults(vec![FaultSpec { arm_at_commit: 5_000, site, bit }])
+        .cycle_headroom(10)
+        .build()
+        .expect("valid")
+        .run()
+        .report
 }
 
 #[test]
@@ -59,10 +61,14 @@ fn campaign_has_high_coverage_and_sane_latencies() {
     let p = &parsec3()[0]; // blackscholes
     let insts = 80_000;
     let wl = Workload::build(p, 0xCA4);
-    let mut sys = MeekSystem::new(MeekConfig::default(), &wl, insts);
     let mut rng = SmallRng::seed_from_u64(0xCA4);
-    sys.set_injector(FaultInjector::random_campaign(40, insts, &mut rng));
-    let r = sys.run_to_completion(CAP);
+    let r = Sim::builder(&wl, insts)
+        .injector(FaultInjector::random_campaign(40, insts, &mut rng))
+        .cycle_headroom(6)
+        .build()
+        .expect("valid")
+        .run()
+        .report;
     assert!(r.detections.len() >= 10, "campaign too small: {} detections", r.detections.len());
     // Data and checkpoint faults can land on architecturally dead
     // values (masked faults, standard AVF derating); unmasked coverage
@@ -83,8 +89,7 @@ fn campaign_has_high_coverage_and_sane_latencies() {
 fn clean_run_has_zero_detections() {
     let p = &parsec3()[5];
     let wl = Workload::build(p, 0xC1E);
-    let mut sys = MeekSystem::new(MeekConfig::default(), &wl, 10_000);
-    let r = sys.run_to_completion(CAP);
+    let r = Sim::builder(&wl, 10_000).cycle_headroom(10).build().expect("valid").run().report;
     assert!(r.detections.is_empty());
     assert_eq!(r.failed_segments, 0, "no false positives");
 }

@@ -1,18 +1,26 @@
 //! End-to-end integration: workload synthesis → big-core execution →
 //! DEU extraction → fabric → checker replay, across every profile.
 
-use meek_core::{run_vanilla, FabricKind, MeekConfig, MeekSystem};
+use meek_core::{run_vanilla, FabricKind, MeekConfig, RunReport, Sim, SimBuilder};
 use meek_workloads::{parsec3, spec_int_2006, Workload};
 
 const INSTS: u64 = 8_000;
-const CAP: u64 = 80_000_000;
+
+/// A default-configuration builder with the headroom the stress
+/// configurations below (1–2 cores, AXI) need.
+fn sim(wl: &Workload) -> SimBuilder<'_> {
+    Sim::builder(wl, INSTS).cycle_headroom(4)
+}
+
+fn run(wl: &Workload) -> RunReport {
+    sim(wl).build().expect("valid").run().report
+}
 
 #[test]
 fn every_parsec_profile_verifies_cleanly() {
     for p in &parsec3() {
         let wl = Workload::build(p, 0xE2E);
-        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, INSTS);
-        let r = sys.run_to_completion(CAP);
+        let r = run(&wl);
         assert_eq!(r.failed_segments, 0, "{}: spurious failure", p.name);
         assert!(r.verified_segments > 0, "{}: nothing verified", p.name);
         assert_eq!(r.committed, INSTS, "{}", p.name);
@@ -23,8 +31,7 @@ fn every_parsec_profile_verifies_cleanly() {
 fn every_spec_profile_verifies_cleanly() {
     for p in &spec_int_2006() {
         let wl = Workload::build(p, 0xE2E);
-        let mut sys = MeekSystem::new(MeekConfig::default(), &wl, INSTS);
-        let r = sys.run_to_completion(CAP);
+        let r = run(&wl);
         assert_eq!(r.failed_segments, 0, "{}: spurious failure", p.name);
         assert!(r.verified_segments > 0, "{}: nothing verified", p.name);
     }
@@ -34,9 +41,7 @@ fn every_spec_profile_verifies_cleanly() {
 fn axi_fabric_also_verifies_cleanly() {
     let p = &parsec3()[2]; // dedup
     let wl = Workload::build(p, 0xA31);
-    let cfg = MeekConfig { fabric: FabricKind::Axi, ..MeekConfig::default() };
-    let mut sys = MeekSystem::new(cfg, &wl, INSTS);
-    let r = sys.run_to_completion(CAP);
+    let r = sim(&wl).fabric(FabricKind::Axi).build().expect("valid").run().report;
     assert_eq!(r.failed_segments, 0);
     assert!(r.verified_segments > 0);
 }
@@ -45,8 +50,7 @@ fn axi_fabric_also_verifies_cleanly() {
 fn segment_count_matches_rcps() {
     let p = &parsec3()[0];
     let wl = Workload::build(p, 0x5E6);
-    let mut sys = MeekSystem::new(MeekConfig::default(), &wl, INSTS);
-    let r = sys.run_to_completion(CAP);
+    let r = run(&wl);
     assert_eq!(r.rcps, r.verified_segments, "every RCP closes exactly one verified segment");
 }
 
@@ -56,8 +60,7 @@ fn kernel_traps_force_extra_rcps() {
     // length must produce more segments than its record budget implies.
     let dedup = parsec3().into_iter().find(|p| p.name == "dedup").expect("profile");
     let wl = Workload::build(&dedup, 0x6E4);
-    let mut sys = MeekSystem::new(MeekConfig::default(), &wl, INSTS);
-    let r = sys.run_to_completion(CAP);
+    let r = run(&wl);
     let mut run = wl.run(INSTS);
     let mut traps = 0;
     while let Some(ret) = run.next_retired() {
@@ -79,8 +82,7 @@ fn slowdown_sane_across_core_counts() {
     let vanilla = run_vanilla(&MeekConfig::default().big, &wl, INSTS);
     let mut prev = f64::MAX;
     for n in [2usize, 4, 6] {
-        let mut sys = MeekSystem::new(MeekConfig::with_little_cores(n), &wl, INSTS);
-        let r = sys.run_to_completion(CAP);
+        let r = sim(&wl).little_cores(n).build().expect("valid").run().report;
         let s = r.app_cycles as f64 / vanilla as f64;
         assert!(s >= 0.999, "MEEK cannot be faster than vanilla ({s})");
         assert!(s < prev * 1.05, "more cores must not hurt ({prev:.3} -> {s:.3} at {n})");
@@ -92,10 +94,9 @@ fn slowdown_sane_across_core_counts() {
 fn deterministic_end_to_end() {
     let p = &parsec3()[1];
     let wl = Workload::build(p, 0xDE7);
-    let run = |wl: &Workload| {
-        let mut sys = MeekSystem::new(MeekConfig::default(), wl, INSTS);
-        let r = sys.run_to_completion(CAP);
+    let once = |wl: &Workload| {
+        let r = run(wl);
         (r.cycles, r.verified_segments, r.committed)
     };
-    assert_eq!(run(&wl), run(&wl), "simulation must be deterministic");
+    assert_eq!(once(&wl), once(&wl), "simulation must be deterministic");
 }

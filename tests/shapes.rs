@@ -4,16 +4,18 @@
 //! of tables.
 
 use meek_core::report::geomean;
-use meek_core::{run_vanilla, FabricKind, MeekConfig, MeekSystem};
+use meek_core::{run_vanilla, FabricKind, MeekConfig, RunReport, Sim};
 use meek_littlecore::LittleCoreConfig;
 use meek_workloads::{parsec3, Workload};
 
 const INSTS: u64 = 20_000;
-const CAP: u64 = 200_000_000;
+
+fn measure(cfg: MeekConfig, wl: &Workload) -> RunReport {
+    Sim::builder(wl, INSTS).config(cfg).cycle_headroom(10).build().expect("valid").run().report
+}
 
 fn slowdown(cfg: MeekConfig, wl: &Workload, vanilla: u64) -> f64 {
-    let mut sys = MeekSystem::new(cfg, wl, INSTS);
-    sys.run_to_completion(CAP).app_cycles as f64 / vanilla as f64
+    measure(cfg, wl).app_cycles as f64 / vanilla as f64
 }
 
 #[test]
@@ -69,8 +71,7 @@ fn fig9_shape_axi_worse_than_f2() {
         let wl = Workload::build(p, 0xF9);
         let vanilla = run_vanilla(&MeekConfig::default().big, &wl, INSTS);
         let cfg = MeekConfig { fabric: FabricKind::Axi, ..MeekConfig::default() };
-        let mut sys = MeekSystem::new(cfg, &wl, INSTS);
-        let r = sys.run_to_completion(CAP);
+        let r = measure(cfg, &wl);
         axi.push(r.app_cycles as f64 / vanilla as f64);
         if r.stalls.data_forward > r.stalls.little_core {
             fwd_dominant += 1;
