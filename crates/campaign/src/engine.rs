@@ -9,12 +9,14 @@
 //! reference, so codegen cost is O(benchmarks), not O(faults). With
 //! [`CampaignSpec::trace_events`] set, each shard additionally
 //! attaches the JSONL event observer and ships its structured trace
-//! through the sinks' trace channel.
+//! through the sinks' trace channel; with a non-zero
+//! [`CampaignSpec::sample_stride`], a [`SamplingObserver`] ships each
+//! shard's ROB-occupancy / fabric-depth time series the same way.
 
 use crate::executor::Executor;
 use crate::sink::{CampaignRecord, RecordSink, ShardSummary};
 use crate::spec::{CampaignSpec, ShardSpec};
-use meek_core::{validate_config, JsonlEventSink, SharedBuf, Sim};
+use meek_core::{validate_config, JsonlEventSink, SamplingObserver, SharedBuf, Sim};
 use meek_workloads::WorkloadCache;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,6 +60,8 @@ struct ShardResult {
     summary: ShardSummary,
     /// Serialised JSONL event trace (empty when tracing is off).
     trace: Vec<u8>,
+    /// Serialised occupancy time series (empty when sampling is off).
+    samples: Vec<u8>,
 }
 
 /// An empty result for a shard skipped after campaign cancellation.
@@ -81,6 +85,7 @@ fn cancelled_shard(shard: &ShardSpec) -> ShardResult {
             storage_bytes_hwm: 0,
         },
         trace: Vec::new(),
+        samples: Vec::new(),
     }
 }
 
@@ -101,6 +106,12 @@ fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> S
         let prefix =
             format!("\"workload\":\"{}\",\"shard\":{},", shard.workload, shard.shard_in_workload);
         builder = builder.observe(JsonlEventSink::with_prefix(buf.clone(), prefix));
+    }
+    // With sampling on, a SamplingObserver keeps the shard's ROB /
+    // fabric-depth time series, rendered with shard identity columns.
+    let sampler = (spec.sample_stride > 0).then(|| SamplingObserver::new(spec.sample_stride));
+    if let Some(s) = &sampler {
+        builder = builder.observe(s.clone());
     }
     // Infallible: run_campaign validated the config up front, and
     // shard fault plans always arm inside the instruction budget.
@@ -134,6 +145,12 @@ fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> S
         },
         records,
         trace: trace_buf.map(|b| b.take_bytes()).unwrap_or_default(),
+        samples: sampler
+            .map(|s| {
+                s.render_csv(&format!("{},{},", shard.workload, shard.shard_in_workload))
+                    .into_bytes()
+            })
+            .unwrap_or_default(),
     }
 }
 
@@ -199,6 +216,7 @@ pub fn run_campaign(
                     .iter()
                     .try_for_each(|rec| sink.on_record(rec))
                     .and_then(|()| sink.on_trace(&result.trace))
+                    .and_then(|()| sink.on_samples(&result.samples))
                     .and_then(|()| sink.on_shard(s));
                 if let Err(e) = r {
                     sink_err = Some(e);

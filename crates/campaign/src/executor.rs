@@ -93,6 +93,44 @@ impl Executor {
         });
     }
 
+    /// Generalises [`Executor::map_ordered`] from a fixed grid to
+    /// feedback-driven work: `next_round` produces each round's items
+    /// *after* seeing every previous round's consumed results, so later
+    /// work can depend on earlier outcomes (the coverage-guided fuzzer's
+    /// mutate → evaluate → corpus-update loop). Within a round, items
+    /// run work-stealing in parallel and are consumed in item order;
+    /// rounds are strictly sequential. An empty round ends the loop.
+    ///
+    /// Because round boundaries and consumption order are independent
+    /// of the thread count, any state threaded through `next_round` /
+    /// `consume` evolves identically at `--threads 1` and `--threads
+    /// 16` — the same determinism contract as the grid API, extended to
+    /// dynamically generated work.
+    pub fn map_rounds<I, T, F, G, C>(&self, mut next_round: G, work: F, mut consume: C)
+    where
+        I: Sync,
+        T: Send,
+        G: FnMut(usize) -> Vec<I>,
+        F: Fn(usize, &I) -> T + Sync,
+        C: FnMut(usize, &I, T),
+    {
+        let mut round = 0usize;
+        let mut base = 0usize; // global index of this round's first item
+        loop {
+            let items = next_round(round);
+            if items.is_empty() {
+                return;
+            }
+            self.map_ordered(
+                &items,
+                |i, item| work(base + i, item),
+                |i, out| consume(base + i, &items[i], out),
+            );
+            base += items.len();
+            round += 1;
+        }
+    }
+
     /// Runs `work` over every item and returns the results in item
     /// order. A panicking task propagates to the caller.
     pub fn map<I, T, F>(&self, items: &[I], work: F) -> Vec<T>
@@ -152,6 +190,37 @@ mod tests {
         });
         assert_eq!(runs.load(Ordering::Relaxed), 113);
         assert_eq!(out.len(), 113);
+    }
+
+    #[test]
+    fn map_rounds_feeds_results_forward_deterministically() {
+        // Each round's items derive from consumed results so far; the
+        // evolution must not depend on the thread count.
+        let run_with = |threads: usize| {
+            let sum = std::cell::Cell::new(0u64);
+            let mut trace: Vec<(usize, u64)> = Vec::new();
+            Executor::new(threads).map_rounds(
+                |round| {
+                    if round == 4 {
+                        return Vec::new();
+                    }
+                    // Round contents depend on everything consumed so far.
+                    (0..3 + sum.get() % 5).map(|i| sum.get() + i).collect::<Vec<u64>>()
+                },
+                |_global, &x| x * 2 + 1,
+                |global, &item, out| {
+                    assert_eq!(out, item * 2 + 1);
+                    sum.set(sum.get() + out);
+                    trace.push((global, out));
+                },
+            );
+            (sum.get(), trace)
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(4));
+        assert_eq!(one, run_with(8));
+        // Global indices are dense across rounds.
+        assert!(one.1.iter().enumerate().all(|(i, &(g, _))| g == i));
     }
 
     #[test]

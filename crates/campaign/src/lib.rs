@@ -54,6 +54,6 @@ pub use engine::{run_campaign, CampaignSummary};
 pub use executor::Executor;
 pub use sink::{
     site_name, AggregateSink, CampaignRecord, CsvSink, JsonlSink, LatencyStats, RecordSink,
-    ShardSummary, TraceSink,
+    SampleSink, ShardSummary, TraceSink,
 };
 pub use spec::{CampaignSpec, ShardSpec};

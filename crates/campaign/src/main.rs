@@ -11,7 +11,8 @@
 //! latency stats), and prints the paper-style summary table.
 
 use meek_campaign::{
-    run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink, RecordSink, TraceSink,
+    run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink, RecordSink,
+    SampleSink, TraceSink,
 };
 use meek_core::MeekConfig;
 use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile};
@@ -51,6 +52,13 @@ OPTIONS:
                           rollbacks) to PATH — byte-identical at any
                           --threads, the diagnostics path for campaign
                           failures
+    --sample <PATH>       Attach the per-cycle sampling observer to every
+                          shard and write the ROB-occupancy / fabric-depth
+                          time series (CSV: workload,shard,cycle,
+                          rob_occupancy,fabric_depth) to PATH —
+                          byte-identical at any --threads
+    --sample-stride <N>   Keep every N-th cycle in --sample output
+                          [default: 64]
     --quiet               Suppress the per-workload table
     -h, --help            Print this help
 ";
@@ -67,6 +75,8 @@ struct Args {
     little: usize,
     recover: bool,
     trace: Option<PathBuf>,
+    sample: Option<PathBuf>,
+    sample_stride: u64,
     quiet: bool,
 }
 
@@ -91,6 +101,8 @@ impl Args {
             little: 4,
             recover: false,
             trace: None,
+            sample: None,
+            sample_stride: 64,
             quiet: false,
         };
         let mut it = argv.iter();
@@ -114,6 +126,10 @@ impl Args {
                 "--little" => args.little = parse_num(&value("--little")?, "--little")?,
                 "--recover" => args.recover = true,
                 "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+                "--sample" => args.sample = Some(PathBuf::from(value("--sample")?)),
+                "--sample-stride" => {
+                    args.sample_stride = parse_num(&value("--sample-stride")?, "--sample-stride")?
+                }
                 "--quiet" => args.quiet = true,
                 "-h" | "--help" => return Err(String::new()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -127,6 +143,9 @@ impl Args {
         }
         if !matches!(args.format.as_str(), "csv" | "jsonl" | "both") {
             return Err(format!("--format must be csv, jsonl or both, got `{}`", args.format));
+        }
+        if args.sample_stride == 0 {
+            return Err("--sample-stride must be positive".into());
         }
         Ok(args)
     }
@@ -200,6 +219,7 @@ fn run(args: &Args) -> io::Result<()> {
         insts_per_fault: args.insts_per_fault,
         seed: args.seed,
         trace_events: args.trace.is_some(),
+        sample_stride: if args.sample.is_some() { args.sample_stride } else { 0 },
     };
     let executor = Executor::new(args.threads);
     fs::create_dir_all(&args.out)?;
@@ -226,6 +246,15 @@ fn run(args: &Args) -> io::Result<()> {
         }
         None => None,
     };
+    let mut sample = match &args.sample {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                fs::create_dir_all(parent)?;
+            }
+            Some((SampleSink::new(BufWriter::new(File::create(path)?)), path.clone()))
+        }
+        None => None,
+    };
 
     let n_workloads = spec.workloads.len();
     println!(
@@ -246,6 +275,9 @@ fn run(args: &Args) -> io::Result<()> {
             sinks.push(s);
         }
         if let Some((s, _)) = trace.as_mut() {
+            sinks.push(s);
+        }
+        if let Some((s, _)) = sample.as_mut() {
             sinks.push(s);
         }
         run_campaign(&spec, &executor, &mut sinks)?
@@ -336,6 +368,9 @@ fn run(args: &Args) -> io::Result<()> {
     }
     if let Some((_, path)) = &trace {
         println!("[trace] {}", path.display());
+    }
+    if let Some((_, path)) = &sample {
+        println!("[sample] {}", path.display());
     }
     Ok(())
 }

@@ -120,6 +120,15 @@ pub trait RecordSink {
         Ok(())
     }
 
+    /// Called once per shard (before [`RecordSink::on_shard`]) with the
+    /// shard's occupancy time series as CSV rows
+    /// `workload,shard,cycle,rob_occupancy,fabric_depth`. Empty when
+    /// sampling is off. Most sinks ignore it; [`SampleSink`] writes it
+    /// through.
+    fn on_samples(&mut self, _csv: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
     /// Called once per shard, after all its records.
     fn on_shard(&mut self, _summary: &ShardSummary) -> io::Result<()> {
         Ok(())
@@ -157,6 +166,48 @@ impl<W: Write> RecordSink for TraceSink<W> {
 
     fn on_trace(&mut self, jsonl: &[u8]) -> io::Result<()> {
         self.out.write_all(jsonl)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Streams the per-shard occupancy time series (`--sample`): CSV rows
+/// `workload,shard,cycle,rob_occupancy,fabric_depth` in deterministic
+/// shard order — the data behind ROB-occupancy / fabric-depth
+/// time-series figures.
+pub struct SampleSink<W: Write> {
+    out: W,
+    wrote_header: bool,
+}
+
+impl<W: Write> SampleSink<W> {
+    /// A sample sink writing to `out`.
+    pub fn new(out: W) -> SampleSink<W> {
+        SampleSink { out, wrote_header: false }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> RecordSink for SampleSink<W> {
+    fn on_record(&mut self, _rec: &CampaignRecord) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn on_samples(&mut self, csv: &[u8]) -> io::Result<()> {
+        if csv.is_empty() {
+            return Ok(());
+        }
+        if !self.wrote_header {
+            writeln!(self.out, "workload,shard,cycle,rob_occupancy,fabric_depth")?;
+            self.wrote_header = true;
+        }
+        self.out.write_all(csv)
     }
 
     fn finish(&mut self) -> io::Result<()> {

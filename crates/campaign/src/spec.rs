@@ -42,6 +42,13 @@ pub struct CampaignSpec {
     /// Trace output is re-sequenced into shard order like every other
     /// sink, so it stays byte-identical at any thread count.
     pub trace_events: bool,
+    /// When non-zero, every shard's run attaches a
+    /// [`meek_core::SamplingObserver`] keeping every `sample_stride`-th
+    /// cycle's ROB-occupancy / fabric-depth sample, and streams the
+    /// per-shard CSV time series to the sinks' sample channel
+    /// (`meek-campaign --sample`). Re-sequenced into shard order like
+    /// every other sink. `0` disables sampling.
+    pub sample_stride: u64,
 }
 
 /// Default faults per shard.
@@ -72,6 +79,7 @@ impl CampaignSpec {
             insts_per_fault: DEFAULT_INSTS_PER_FAULT,
             seed,
             trace_events: false,
+            sample_stride: 0,
         }
     }
 

@@ -5,7 +5,7 @@
 
 use meek_campaign::{
     run_campaign, AggregateSink, CampaignSpec, CampaignSummary, CsvSink, Executor, JsonlSink,
-    RecordSink, TraceSink,
+    RecordSink, SampleSink, TraceSink,
 };
 use meek_workloads::parsec3;
 
@@ -144,6 +144,54 @@ fn event_trace_is_thread_count_invariant() {
         run_campaign(&spec_untraced, &Executor::new(4), &mut sinks).expect("campaign runs");
     }
     assert_eq!(csv1, csv_untraced.into_inner(), "tracing must not change the records");
+}
+
+#[test]
+fn occupancy_samples_are_thread_count_invariant() {
+    // `--sample` attaches the per-cycle SamplingObserver to every
+    // shard; the re-sequenced time series obeys the same byte-identity
+    // contract, and must not perturb the records.
+    let run = |threads: usize| {
+        let mut spec = spec();
+        spec.sample_stride = 32;
+        let mut samples = SampleSink::new(Vec::new());
+        let mut csv = CsvSink::new(Vec::new());
+        {
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut samples, &mut csv];
+            run_campaign(&spec, &Executor::new(threads), &mut sinks).expect("campaign runs");
+        }
+        (samples.into_inner(), csv.into_inner())
+    };
+    let (s1, csv1) = run(1);
+    let (s8, csv8) = run(8);
+    assert_eq!(s1, s8, "sample series must be byte-identical across thread counts");
+    assert_eq!(csv1, csv8);
+    let text = String::from_utf8(s1).unwrap();
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next(),
+        Some("workload,shard,cycle,rob_occupancy,fabric_depth"),
+        "the series leads with its header"
+    );
+    let mut saw_rob = false;
+    let mut saw_fabric = false;
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 5, "five columns per row: {line}");
+        assert!(cols[0] == "blackscholes" || cols[0] == "swaptions", "{line}");
+        assert!(cols[2].parse::<u64>().unwrap() % 32 == 0, "stride-32 grid: {line}");
+        saw_rob |= cols[3] != "0";
+        saw_fabric |= cols[4] != "0";
+    }
+    assert!(saw_rob, "the ROB must fill at some sampled cycle");
+    assert!(saw_fabric, "the fabric must queue packets at some sampled cycle");
+    // Sampling must not change the simulation itself.
+    let mut unsampled = CsvSink::new(Vec::new());
+    {
+        let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut unsampled];
+        run_campaign(&spec(), &Executor::new(4), &mut sinks).expect("campaign runs");
+    }
+    assert_eq!(csv1, unsampled.into_inner(), "sampling must not change the records");
 }
 
 #[test]

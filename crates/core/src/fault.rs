@@ -37,6 +37,19 @@ pub enum FaultSite {
 }
 
 impl FaultSite {
+    /// Inverse of [`FaultSite::name`] — lives beside it so adding a
+    /// variant forces both mappings to be updated together.
+    pub fn from_name(name: &str) -> Option<FaultSite> {
+        match name {
+            "mem_addr" => Some(FaultSite::MemAddr),
+            "mem_data" => Some(FaultSite::MemData),
+            "rcp_register" => Some(FaultSite::RcpRegister),
+            "lsq_parity" => Some(FaultSite::LsqParity),
+            "cache_data" => Some(FaultSite::CacheData),
+            _ => None,
+        }
+    }
+
     /// Stable lower-case name — the column/field value every sink
     /// (campaign CSV/JSONL, the sim event stream) writes.
     pub fn name(self) -> &'static str {
@@ -559,6 +572,20 @@ mod tests {
             payload: Payload::Mem { seg: 1, addr: 0x1000, size: 8, data: 0xAB, is_store: true },
             created_at: 0,
         }
+    }
+
+    #[test]
+    fn site_names_round_trip() {
+        for site in [
+            FaultSite::MemAddr,
+            FaultSite::MemData,
+            FaultSite::RcpRegister,
+            FaultSite::LsqParity,
+            FaultSite::CacheData,
+        ] {
+            assert_eq!(FaultSite::from_name(site.name()), Some(site));
+        }
+        assert_eq!(FaultSite::from_name("bogus"), None);
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub use report::{RunReport, StallBreakdown};
 pub use segments::SegmentManager;
 pub use sim::{
     validate_config, BuildError, EventCounter, EventCounts, JsonlEventSink, Observer, RunOutcome,
-    SegmentSpan, SharedBuf, Sim, SimBuilder, SimEvent, TraceLog,
+    SampleRow, SamplingObserver, SegmentSpan, SharedBuf, Sim, SimBuilder, SimEvent, TickSample,
+    TraceLog,
 };
 pub use system::{cycle_cap, run_vanilla, FabricKind, MeekConfig, MeekSystem};

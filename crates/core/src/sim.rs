@@ -241,8 +241,23 @@ pub trait Observer: Send {
     fn rollback_completed(&mut self, _seg: u32, _cycle: u64) {}
     /// One big-core cycle elapsed. Called every cycle — keep it cheap.
     fn tick(&mut self, _cycle: u64) {}
+    /// Per-cycle occupancy sample (ROB, fabric backlog), taken right
+    /// after the cycle's tick. Called every cycle whenever at least one
+    /// observer is attached — keep it cheap.
+    fn sample(&mut self, _cycle: u64, _sample: TickSample) {}
     /// The run drained; final report available. Flush buffers here.
     fn finished(&mut self, _report: &RunReport) {}
+}
+
+/// One cycle's occupancy snapshot, handed to [`Observer::sample`] —
+/// the structured source for time-series figures (ROB occupancy and
+/// fabric depth over time) and for coverage buckets in the fuzzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickSample {
+    /// Instructions resident in the big core's re-order buffer.
+    pub rob_occupancy: usize,
+    /// Packets queued across the forwarding fabric's DC-buffers.
+    pub fabric_depth: usize,
 }
 
 /// A bounded ring buffer of the most recent [`SimEvent`]s — the
@@ -362,6 +377,67 @@ impl Observer for EventCounter {
 
     fn tick(&mut self, _cycle: u64) {
         self.inner.lock().expect("event counter lock").ticks += 1;
+    }
+}
+
+/// One retained row of a [`SamplingObserver`] time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRow {
+    /// Big-core cycle the sample was taken on.
+    pub cycle: u64,
+    /// ROB occupancy that cycle.
+    pub rob_occupancy: usize,
+    /// Fabric backlog (queued packets) that cycle.
+    pub fabric_depth: usize,
+}
+
+/// Built-in per-cycle occupancy sampler: records the ROB-occupancy and
+/// fabric-depth time series of a run (the ROADMAP's time-series-figure
+/// observer, surfaced as `meek-campaign --sample`).
+///
+/// A cheap cloneable handle like [`TraceLog`]: keep one clone, attach
+/// the other with [`SimBuilder::observe`], read the series after the
+/// run. A `stride` of `n` keeps every `n`-th cycle (cycle 0 included);
+/// 1 keeps everything.
+#[derive(Clone, Debug)]
+pub struct SamplingObserver {
+    inner: Arc<Mutex<Vec<SampleRow>>>,
+    stride: u64,
+}
+
+impl SamplingObserver {
+    /// A sampler keeping every `stride`-th cycle (0 is treated as 1).
+    pub fn new(stride: u64) -> SamplingObserver {
+        SamplingObserver { inner: Arc::new(Mutex::new(Vec::new())), stride: stride.max(1) }
+    }
+
+    /// The rows retained so far, in cycle order.
+    pub fn rows(&self) -> Vec<SampleRow> {
+        self.inner.lock().expect("sampling observer lock").clone()
+    }
+
+    /// Renders the series as CSV rows `cycle,rob,fabric_depth` (no
+    /// header), each line prefixed with `prefix` verbatim — campaign
+    /// shards pass `"workload,shard,"` so a merged file stays
+    /// self-describing.
+    pub fn render_csv(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for r in self.inner.lock().expect("sampling observer lock").iter() {
+            out.push_str(&format!("{prefix}{},{},{}\n", r.cycle, r.rob_occupancy, r.fabric_depth));
+        }
+        out
+    }
+}
+
+impl Observer for SamplingObserver {
+    fn sample(&mut self, cycle: u64, sample: TickSample) {
+        if cycle.is_multiple_of(self.stride) {
+            self.inner.lock().expect("sampling observer lock").push(SampleRow {
+                cycle,
+                rob_occupancy: sample.rob_occupancy,
+                fabric_depth: sample.fabric_depth,
+            });
+        }
     }
 }
 
@@ -780,8 +856,15 @@ impl Sim {
                     obs.event(&ev);
                 }
             }
-            for obs in &mut self.observers {
-                obs.tick(cycle);
+            if !self.observers.is_empty() {
+                let sample = TickSample {
+                    rob_occupancy: self.sys.rob_occupancy(),
+                    fabric_depth: self.sys.fabric_depth(),
+                };
+                for obs in &mut self.observers {
+                    obs.tick(cycle);
+                    obs.sample(cycle, sample);
+                }
             }
         }
         self.sys.resolve_drain();
@@ -1074,6 +1157,27 @@ mod tests {
             other => panic!("unexpected tail event {other:?}"),
         }
         assert_eq!(trace.render().lines().count(), 4);
+    }
+
+    #[test]
+    fn sampling_observer_records_the_occupancy_time_series() {
+        let wl = small_workload();
+        let sampler = SamplingObserver::new(8);
+        let outcome =
+            Sim::builder(&wl, 10_000).observe(sampler.clone()).build().expect("valid").run();
+        let rows = sampler.rows();
+        assert_eq!(rows.len() as u64, outcome.report.cycles.div_ceil(8));
+        assert_eq!(rows[0].cycle, 0);
+        assert!(rows.windows(2).all(|w| w[1].cycle == w[0].cycle + 8), "stride-8 grid");
+        assert!(rows.iter().any(|r| r.rob_occupancy > 0), "the ROB fills during the run");
+        assert!(rows.iter().any(|r| r.fabric_depth > 0), "forwarding traffic must appear");
+        let csv = sampler.render_csv("mcf,3,");
+        assert_eq!(csv.lines().count(), rows.len());
+        assert!(csv.starts_with("mcf,3,0,"), "prefix and cycle lead each row: {csv}");
+        // A stride-1 sampler sees every cycle.
+        let dense = SamplingObserver::new(1);
+        let outcome = Sim::builder(&wl, 5_000).observe(dense.clone()).build().expect("valid").run();
+        assert_eq!(dense.rows().len() as u64, outcome.report.cycles);
     }
 
     #[test]

@@ -100,24 +100,6 @@ pub struct MeekSystem {
 }
 
 impl MeekSystem {
-    /// Builds a system around `workload`, capped at `max_insts` dynamic
-    /// instructions. Performs the OS-side setup: `b.hook` of the little
-    /// cores, `l.mode(CHECK)`, seeding of checkpoint 0 (the program's
-    /// initial state) on segment 1's checker, and `b.check(ENABLE)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cfg.n_little` is zero.
-    #[deprecated(
-        since = "0.1.0",
-        note = "construct through `meek_core::sim::SimBuilder`, which validates the \
-                configuration, derives the cycle cap, and exposes typed run events"
-    )]
-    pub fn new(cfg: MeekConfig, workload: &Workload, max_insts: u64) -> MeekSystem {
-        let fabric = MeekSystem::default_fabric(&cfg);
-        MeekSystem::with_fabric(cfg, workload, max_insts, fabric)
-    }
-
     /// The built-in interconnect instance for `cfg.fabric`.
     pub(crate) fn default_fabric(cfg: &MeekConfig) -> Box<dyn Fabric + Send> {
         match cfg.fabric {
@@ -131,8 +113,12 @@ impl MeekSystem {
         }
     }
 
-    /// Builds a system with a caller-provided interconnect (the
-    /// `SimBuilder::custom_fabric` path).
+    /// Builds a system around `workload`, capped at `max_insts` dynamic
+    /// instructions, on a caller-provided interconnect. Performs the
+    /// OS-side setup: `b.hook` of the little cores, `l.mode(CHECK)`,
+    /// seeding of checkpoint 0 (the program's initial state) on segment
+    /// 1's checker, and `b.check(ENABLE)`. Only reachable through
+    /// `sim::SimBuilder`, the sole construction path.
     ///
     /// # Panics
     ///
@@ -272,6 +258,16 @@ impl MeekSystem {
     /// Current big-core cycle.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Instructions currently occupying the big core's re-order buffer.
+    pub fn rob_occupancy(&self) -> usize {
+        self.big.rob_occupancy()
+    }
+
+    /// Packets queued in the forwarding fabric's DC-buffers right now.
+    pub fn fabric_depth(&self) -> usize {
+        self.fabric.depth()
     }
 
     /// The configuration this system was built with.

@@ -97,6 +97,20 @@ pub enum Divergence {
     },
 }
 
+impl Divergence {
+    /// Stable snake-case name of the divergence kind (payload-free) —
+    /// the discriminator the shrinker holds fixed while minimising, and
+    /// a coverage-feature key for the fuzzer.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Divergence::GoldenTrap { .. } => "golden_trap",
+            Divergence::Replay { .. } => "replay",
+            Divergence::ReplayStuck { .. } => "replay_stuck",
+            Divergence::System { .. } => "system",
+        }
+    }
+}
+
 impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -19,7 +19,7 @@
 use crate::cosim::GoldenRun;
 use crate::coverage::{classify_with, FaultOutcome};
 use crate::fuzz::FuzzProgram;
-use meek_core::{FabricKind, FaultSite, FaultSpec, RecoveryPolicy, Sim};
+use meek_core::{FabricKind, FaultSite, FaultSpec, RecoveryPolicy, RunOutcome, Sim};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -121,6 +121,21 @@ pub fn verify_recovery_on(
             )
         }
     };
+    verify_recovery_outcome(prog, golden, spec, &run)
+}
+
+/// Classifies an already-completed recovery-enabled [`RunOutcome`]
+/// against the golden reference — the post-run half of
+/// [`verify_recovery_on`], exposed so harnesses that attach their own
+/// observers to the run (the coverage-guided fuzzer) reuse the exact
+/// oracle instead of re-implementing its invariants.
+pub fn verify_recovery_outcome(
+    prog: &FuzzProgram,
+    golden: &GoldenRun,
+    spec: FaultSpec,
+    run: &RunOutcome,
+) -> (FaultOutcome, RecoveryVerdict) {
+    let n = golden.trace.len() as u64;
     let report = &run.report;
     let coverage = classify_with(prog, golden, spec, report);
     if coverage.is_escape() {

@@ -87,6 +87,11 @@ pub trait Fabric {
     /// Whether all internal buffers are empty (used at drain/quiesce).
     fn is_empty(&self) -> bool;
 
+    /// Packets currently queued across every internal buffer — the
+    /// instantaneous forwarding backlog, sampled per cycle by
+    /// time-series observers (ROB occupancy vs fabric depth figures).
+    fn depth(&self) -> usize;
+
     /// Drops every queued packet — the fabric half of a recovery
     /// rollback: in-flight run-time records and checkpoint chunks of
     /// squashed segments must not reach any LSL after the roll-back

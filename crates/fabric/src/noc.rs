@@ -150,6 +150,10 @@ impl Fabric for F2 {
         self.buffers.iter().all(DcBuffer::is_empty)
     }
 
+    fn depth(&self) -> usize {
+        self.buffers.iter().map(DcBuffer::len).sum()
+    }
+
     fn flush(&mut self) {
         for buf in &mut self.buffers {
             self.stats.squashed += buf.clear() as u64;

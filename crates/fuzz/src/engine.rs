@@ -1,0 +1,533 @@
+//! The coverage-guided fuzz loop.
+//!
+//! The engine schedules *candidates* — fresh seed-fuzzer programs or
+//! mutations of corpus entries — over the campaign
+//! [`meek_campaign::Executor`] in deterministic rounds
+//! (`Executor::map_rounds`): each round's candidates are generated from
+//! the corpus state left by every previous round, evaluated in
+//! parallel, and merged back in candidate order. Because generation and
+//! merging are sequential and evaluation is a pure function of the
+//! candidate, the whole run — corpus directory, feature set, report —
+//! is byte-identical at any `--threads`.
+//!
+//! Evaluating a candidate reuses the difftest oracle end to end:
+//! bounded golden pre-screen (mutated programs may legitimately trap or
+//! diverge into a relink-manufactured loop — those are *rejected*, not
+//! failures), three-way co-simulation (a divergence on a valid mutated
+//! program is a real finding, shrunk under `--minimize`), then the
+//! fault plan classified fault by fault with a [`CoverageMap`] observer
+//! attached to the very runs the oracle judges.
+
+use crate::corpus::{Corpus, CorpusEntry};
+use crate::coverage::{bucket, golden_features, CoverageMap, FeatureSet};
+use crate::mutate::{self, decodable, writes_anchor};
+use crate::report::FuzzReport;
+use meek_campaign::Executor;
+use meek_core::{FaultSite, FaultSpec, RecoveryPolicy, Sim};
+use meek_difftest::{
+    classify_with, cosim, emit_test, fault_plan, fuzz_program, golden_run_bounded, minimize,
+    shrink_insts, verify_recovery_outcome, CosimConfig, FaultOutcome, FuzzConfig, FuzzProgram,
+    GoldenRun,
+};
+use meek_isa::{encode, Inst};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Dynamic-instruction ceiling per candidate: splice can nest loops, so
+/// mutated programs legitimately grow — past this they are rejected to
+/// bound evaluation cost (like the shrinker's runaway pre-screen).
+pub const EVAL_CAP: u64 = 60_000;
+
+/// Fuzz-run settings (the `meek-fuzz` CLI surface).
+#[derive(Debug, Clone)]
+pub struct FuzzSettings {
+    /// Candidates to evaluate.
+    pub iters: u64,
+    /// Master seed: candidates, mutations and fault plans all derive
+    /// from it.
+    pub seed: u64,
+    /// Worker threads (0 = all hardware threads).
+    pub threads: usize,
+    /// Coverage-guided (`true`) or the purely-random difftest baseline
+    /// (`false`, every candidate fresh).
+    pub guided: bool,
+    /// Classify faults under the recovery oracle (golden-equal final
+    /// state) instead of detect-only coverage.
+    pub recover: bool,
+    /// Shrink discovering programs before corpus insertion (preserving
+    /// the golden-derived subset of their new features).
+    pub minimize: bool,
+    /// Static body length of fresh programs.
+    pub static_len: usize,
+    /// Faults injected and classified per candidate.
+    pub faults_per_case: usize,
+    /// Checker cores in the full-system runs.
+    pub n_little: usize,
+    /// Corpus capacity (0 = default).
+    pub corpus_cap: usize,
+    /// Candidates per scheduling round (fixed, thread-independent).
+    pub batch: usize,
+}
+
+impl Default for FuzzSettings {
+    fn default() -> FuzzSettings {
+        FuzzSettings {
+            iters: 100,
+            seed: 0,
+            threads: 0,
+            guided: true,
+            recover: false,
+            minimize: false,
+            static_len: 220,
+            faults_per_case: 2,
+            n_little: 4,
+            corpus_cap: 0,
+            batch: 32,
+        }
+    }
+}
+
+/// SplitMix64 finaliser, for deriving per-candidate seeds.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CandidateKind {
+    Fresh,
+    Mutated,
+}
+
+/// One scheduled unit of work: a fully materialised program plus the
+/// seed its fault plan (and plan mutation) derives from.
+struct Candidate {
+    words: Vec<u32>,
+    parent_plan: Option<Vec<FaultSpec>>,
+    tweak: u64,
+    kind: CandidateKind,
+}
+
+/// What one evaluation produced, merged sequentially by the engine.
+struct CaseEval {
+    features: Vec<(u64, String)>,
+    plan: Vec<FaultSpec>,
+    faults: u64,
+    escapes: Vec<String>,
+    divergence: Option<String>,
+    reproducer: Option<String>,
+    rejected: bool,
+}
+
+impl CaseEval {
+    fn rejected() -> CaseEval {
+        CaseEval {
+            features: Vec::new(),
+            plan: Vec::new(),
+            faults: 0,
+            escapes: Vec::new(),
+            divergence: None,
+            reproducer: None,
+            rejected: true,
+        }
+    }
+}
+
+/// Derives candidate `g` from the current corpus: a mutation of a
+/// corpus entry, or a fresh seed-fuzzer program (always fresh in
+/// random mode, on an empty corpus, and for every 8th candidate so
+/// exploration never stops).
+fn make_candidate(g: u64, s: &FuzzSettings, corpus: &Corpus) -> Candidate {
+    let mut rng = SmallRng::seed_from_u64(splitmix(
+        s.seed ^ g.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF0CC_5EED,
+    ));
+    let fresh = |rng: &mut SmallRng| {
+        let seed = rng.gen::<u64>();
+        Candidate {
+            words: fuzz_program(seed, &FuzzConfig { static_len: s.static_len }).words,
+            parent_plan: None,
+            tweak: seed,
+            kind: CandidateKind::Fresh,
+        }
+    };
+    if !s.guided || corpus.is_empty() || g.is_multiple_of(8) {
+        return fresh(&mut rng);
+    }
+    let parent = &corpus.entries()[rng.gen_range(0..corpus.len())];
+    let donor = &corpus.entries()[rng.gen_range(0..corpus.len())];
+    let subject: Vec<Inst> = FuzzProgram::from_words(&parent.words).insts();
+    let donor_insts: Vec<Inst> = FuzzProgram::from_words(&donor.words).insts();
+    for _ in 0..4 {
+        let op = mutate::OPS[rng.gen_range(0..mutate::OPS.len())];
+        if let Some(out) = mutate::mutate(&subject, &donor_insts, op, &mut rng) {
+            return Candidate {
+                words: out.iter().map(encode).collect(),
+                parent_plan: Some(parent.plan.clone()),
+                tweak: rng.gen(),
+                kind: CandidateKind::Mutated,
+            };
+        }
+    }
+    fresh(&mut rng)
+}
+
+/// A fresh random fault spec inside `span` — the plan-mutation
+/// operator's vocabulary (all five sites).
+fn random_spec(rng: &mut SmallRng, span: u64) -> FaultSpec {
+    let site = match rng.gen_range(0..5) {
+        0 => FaultSite::RcpRegister,
+        1 => FaultSite::MemData,
+        2 => FaultSite::MemAddr,
+        3 => FaultSite::LsqParity,
+        _ => FaultSite::CacheData,
+    };
+    FaultSpec { arm_at_commit: rng.gen_range(0..span), site, bit: rng.gen_range(0..64) }
+}
+
+/// Stable name of a coverage outcome (feature-key vocabulary).
+fn outcome_name(oc: &FaultOutcome) -> &'static str {
+    match oc {
+        FaultOutcome::Detected { .. } => "detected",
+        FaultOutcome::MaskedProvenBenign => "masked",
+        FaultOutcome::Pending => "pending",
+        FaultOutcome::Escaped { .. } => "escaped",
+    }
+}
+
+/// Evaluates one candidate — a pure function of the candidate and
+/// settings, safe to run on any worker.
+fn evaluate(cand: &Candidate, s: &FuzzSettings) -> CaseEval {
+    let prog = FuzzProgram::from_words(&cand.words);
+    let cfg = CosimConfig { n_little: s.n_little, ..CosimConfig::default() };
+    // Bounded golden pre-screen. Mutated programs that trap or run away
+    // are rejected (relinking manufactures both); a *fresh* program
+    // doing either is a seed-fuzzer bug and counts as a divergence.
+    let golden: GoldenRun = match golden_run_bounded(&prog, EVAL_CAP) {
+        Ok(g) if (g.trace.len() as u64) < EVAL_CAP && !g.trace.is_empty() => g,
+        Ok(_) if cand.kind == CandidateKind::Mutated => return CaseEval::rejected(),
+        Ok(_) => {
+            return CaseEval {
+                divergence: Some(format!(
+                    "fresh program {:#x} ran away past {EVAL_CAP} instructions",
+                    cand.tweak
+                )),
+                ..CaseEval::rejected()
+            }
+        }
+        Err(_) if cand.kind == CandidateKind::Mutated => return CaseEval::rejected(),
+        Err(d) => {
+            return CaseEval {
+                divergence: Some(format!("fresh program {:#x}: {d}", cand.tweak)),
+                ..CaseEval::rejected()
+            }
+        }
+    };
+    let executed = golden.trace.len() as u64;
+    let span = (executed * 6 / 10).max(1);
+
+    // The fault plan: inherited from the parent (arms re-fitted to this
+    // program's span, one spec re-drawn — the plan-mutation operator)
+    // or the standard difftest plan.
+    let mut rng = SmallRng::seed_from_u64(cand.tweak);
+    let plan: Vec<FaultSpec> = match &cand.parent_plan {
+        Some(p) if !p.is_empty() => {
+            let mut p: Vec<FaultSpec> = p
+                .iter()
+                .map(|f| FaultSpec { arm_at_commit: f.arm_at_commit % span, ..*f })
+                .collect();
+            let k = rng.gen_range(0..p.len());
+            p[k] = random_spec(&mut rng, span);
+            p
+        }
+        _ => fault_plan(cand.tweak, s.faults_per_case, executed),
+    };
+
+    let map = CoverageMap::new();
+    golden_features(&golden, &map);
+
+    // Three-way co-simulation: any divergence on a valid program is a
+    // real finding.
+    let verdict = cosim::run(&prog, &cfg);
+    map.note(format!("segments:{}", bucket(verdict.segments as u64)));
+    if let Some(d) = verdict.divergence {
+        map.note(format!("divergence:{}", d.kind_name()));
+        let reproducer = s.minimize.then(|| {
+            let min = minimize(&prog, &cfg);
+            emit_test(
+                &format!("fuzz_case_{:x}", cand.tweak),
+                &min,
+                &format!(
+                    "Shrunk by meek-fuzz from a {} candidate ({} -> {} instructions).",
+                    if cand.kind == CandidateKind::Fresh { "fresh" } else { "mutated" },
+                    prog.words.len(),
+                    min.words.len()
+                ),
+            )
+        });
+        return CaseEval {
+            features: map.take_features(),
+            plan,
+            faults: 0,
+            escapes: Vec::new(),
+            divergence: Some(d.to_string()),
+            reproducer,
+            rejected: false,
+        };
+    }
+
+    // Fault phase: every spec classified against the golden reference,
+    // with the coverage observer attached to the very run the oracle
+    // judges.
+    let mut escapes = Vec::new();
+    let wl = prog.workload();
+    for &spec in &plan {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut b = Sim::builder(&wl, executed)
+                .little_cores(s.n_little)
+                .faults(vec![spec])
+                .observe(map.clone());
+            if s.recover {
+                b = b.recovery(RecoveryPolicy::enabled());
+            }
+            b.build().expect("fuzz oracle configuration is valid").run()
+        }));
+        let run = match run {
+            Ok(r) => r,
+            Err(_) => {
+                // The aborted run never fired Observer::finished, so
+                // clear the map's per-run scratch before the next
+                // fault's run reuses the handle.
+                map.reset_scratch();
+                map.note(format!("outcome:hang:{}", spec.site.name()));
+                escapes.push(format!("system failed to drain with fault {spec:?}"));
+                continue;
+            }
+        };
+        if s.recover {
+            let (oc, rv) = verify_recovery_outcome(&prog, &golden, spec, &run);
+            map.note(format!("outcome:{}:{}", outcome_name(&oc), spec.site.name()));
+            if let FaultOutcome::Escaped { reason } = &oc {
+                escapes.push(format!("{spec:?}: {reason}"));
+            }
+            if rv.is_failure() {
+                escapes.push(format!("{spec:?}: {rv}"));
+            }
+        } else {
+            let oc = classify_with(&prog, &golden, spec, &run.report);
+            map.note(format!("outcome:{}:{}", outcome_name(&oc), spec.site.name()));
+            if let FaultOutcome::Escaped { reason } = &oc {
+                escapes.push(format!("{spec:?}: {reason}"));
+            }
+        }
+    }
+    let faults = plan.len() as u64;
+    CaseEval {
+        features: map.take_features(),
+        plan,
+        faults,
+        escapes,
+        divergence: None,
+        reproducer: None,
+        rejected: false,
+    }
+}
+
+/// Shrinks a discovering program before corpus insertion, preserving
+/// the golden-derived subset of its newly discovered features (and the
+/// anchor-register discipline). Returns the words unchanged when
+/// nothing golden-derived is at stake.
+fn minimize_entry(words: &[u32], fresh_ids: &[u64]) -> Vec<u32> {
+    let prog = FuzzProgram::from_words(words);
+    let Ok(g) = golden_run_bounded(&prog, EVAL_CAP) else { return words.to_vec() };
+    let map = CoverageMap::new();
+    golden_features(&g, &map);
+    let golden_ids: BTreeSet<u64> = map.take_features().into_iter().map(|(id, _)| id).collect();
+    let preserve: Vec<u64> =
+        fresh_ids.iter().copied().filter(|id| golden_ids.contains(id)).collect();
+    if preserve.is_empty() {
+        return words.to_vec();
+    }
+    let insts = prog.insts();
+    let anchors = insts.iter().filter(|i| writes_anchor(i)).count();
+    let keeps = |cand: &[Inst]| {
+        if cand.is_empty()
+            || !decodable(cand)
+            || cand.iter().filter(|i| writes_anchor(i)).count() != anchors
+        {
+            return false;
+        }
+        let p = FuzzProgram::from_insts(cand);
+        match golden_run_bounded(&p, EVAL_CAP) {
+            Ok(g) if (g.trace.len() as u64) < EVAL_CAP && !g.trace.is_empty() => {
+                let m = CoverageMap::new();
+                golden_features(&g, &m);
+                let ids: BTreeSet<u64> = m.take_features().into_iter().map(|(id, _)| id).collect();
+                preserve.iter().all(|id| ids.contains(id))
+            }
+            _ => false,
+        }
+    };
+    shrink_insts(insts, keeps).iter().map(encode).collect()
+}
+
+struct EngineState {
+    corpus: Corpus,
+    features: FeatureSet,
+    report: FuzzReport,
+    generated: u64,
+}
+
+/// Runs one fuzz campaign from `initial` corpus state, returning the
+/// report plus the final corpus and feature universe. Deterministic:
+/// for fixed settings (threads excluded) and initial corpus, every
+/// byte of all three results is identical at any thread count.
+pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, FeatureSet) {
+    let executor = Executor::new(s.threads);
+    // A loaded corpus seeds the feature universe with everything its
+    // entries already own — plus the persisted features.txt digest,
+    // which survives entries whose first discoverer was since evicted —
+    // so continued runs extend prior coverage instead of re-discovering
+    // (and re-inserting) it, and persisted coverage never shrinks.
+    let mut features = FeatureSet::new();
+    features.merge(0, initial.digest());
+    for e in initial.entries() {
+        features.merge(0, &e.owned);
+    }
+    let state = RefCell::new(EngineState {
+        corpus: initial,
+        features,
+        report: FuzzReport {
+            iters: s.iters,
+            seed: s.seed,
+            guided: s.guided,
+            recover: s.recover,
+            ..FuzzReport::default()
+        },
+        generated: 0,
+    });
+    executor.map_rounds(
+        |_round| {
+            let mut st = state.borrow_mut();
+            if st.generated >= s.iters {
+                return Vec::new();
+            }
+            let n = (s.batch.max(1) as u64).min(s.iters - st.generated);
+            let base = st.generated;
+            let cands: Vec<Candidate> =
+                (0..n).map(|i| make_candidate(base + i, s, &st.corpus)).collect();
+            st.generated += n;
+            cands
+        },
+        |_g, cand| evaluate(cand, s),
+        |g, cand, result: CaseEval| {
+            let st = &mut *state.borrow_mut();
+            st.report.evaluated += 1;
+            match cand.kind {
+                CandidateKind::Fresh => st.report.fresh += 1,
+                CandidateKind::Mutated => st.report.mutated += 1,
+            }
+            st.report.faults += result.faults;
+            if result.rejected && result.divergence.is_none() {
+                st.report.rejected += 1;
+            }
+            if let Some(d) = result.divergence {
+                st.report.divergences.push(d);
+                st.report.reproducers.extend(result.reproducer);
+            }
+            st.report.escapes.extend(result.escapes);
+            let fresh = st.features.merge(g as u64, &result.features);
+            if !fresh.is_empty() {
+                st.report.timeline.push((g as u64, st.features.len()));
+                let fresh_set: BTreeSet<u64> = fresh.iter().copied().collect();
+                let owned: Vec<(u64, String)> =
+                    result.features.into_iter().filter(|(id, _)| fresh_set.contains(id)).collect();
+                let mut words = cand.words.clone();
+                if s.minimize {
+                    let min = minimize_entry(&words, &fresh);
+                    if min.len() < words.len() {
+                        st.report.minimized += 1;
+                        words = min;
+                    }
+                }
+                st.corpus.insert(CorpusEntry { words, plan: result.plan, owned, iter: g as u64 });
+            }
+        },
+    );
+    let EngineState { corpus, features, mut report, .. } = state.into_inner();
+    report.features_total = features.len();
+    report.features_after_iter0 = features.discovered_after(0);
+    report.corpus_len = corpus.len();
+    report.corpus_evicted = corpus.evicted();
+    (report, corpus, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(iters: u64) -> FuzzSettings {
+        FuzzSettings {
+            iters,
+            seed: 0x5EED,
+            threads: 2,
+            static_len: 70,
+            faults_per_case: 1,
+            batch: 8,
+            ..FuzzSettings::default()
+        }
+    }
+
+    #[test]
+    fn a_short_run_discovers_features_and_stays_clean() {
+        let (report, corpus, features) = run_fuzz(&tiny(12), Corpus::new(0));
+        assert_eq!(report.evaluated, 12);
+        assert!(report.clean(), "{report}");
+        assert!(features.len() > 40, "a dozen cases cover plenty: {}", features.len());
+        assert!(report.features_after_iter0 >= 1, "{report}");
+        assert!(!corpus.is_empty());
+        assert!(report.fresh >= 2, "the 1-in-8 fresh schedule must fire");
+        assert!(report.mutated >= 1, "guidance must schedule mutations");
+        assert_eq!(report.features_total, features.len());
+        // Every corpus entry owns at least one feature and decodes.
+        for e in corpus.entries() {
+            assert!(!e.owned.is_empty());
+            assert_eq!(FuzzProgram::from_words(&e.words).insts().len(), e.words.len());
+        }
+    }
+
+    #[test]
+    fn runs_are_thread_count_invariant_and_reproducible() {
+        let run = |threads: usize| {
+            let s = FuzzSettings { threads, ..tiny(10) };
+            let (report, corpus, features) = run_fuzz(&s, Corpus::new(0));
+            (report.to_string(), format!("{:?}", corpus.entries()), features.render_names())
+        };
+        let a = run(1);
+        assert_eq!(a, run(4));
+        assert_eq!(a, run(8));
+        assert_eq!(a, run(1), "re-running reproduces the campaign");
+    }
+
+    #[test]
+    fn random_mode_never_mutates() {
+        let s = FuzzSettings { guided: false, ..tiny(9) };
+        let (report, _, _) = run_fuzz(&s, Corpus::new(0));
+        assert_eq!(report.mutated, 0);
+        assert_eq!(report.fresh + report.rejected, 9);
+        assert!(report.clean(), "{report}");
+    }
+
+    #[test]
+    fn recovery_oracle_runs_clean() {
+        let s = FuzzSettings { recover: true, ..tiny(6) };
+        let (report, _, features) = run_fuzz(&s, Corpus::new(0));
+        assert!(report.clean(), "{report}");
+        assert!(report.faults > 0);
+        assert!(features.rows().iter().any(|(_, n, _)| n.starts_with("outcome:")));
+    }
+}

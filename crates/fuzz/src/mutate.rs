@@ -1,0 +1,550 @@
+//! Mutation operators over fuzzed programs — the shrinker's relink
+//! machinery run in reverse.
+//!
+//! `meek-difftest`'s minimiser removes ranges and relinks every
+//! PC-relative offset that crosses them ([`remove_range_relinked`]);
+//! this module adds the inverse ([`insert_range_relinked`]) plus
+//! point mutations, and composes them into the operators the
+//! coverage-guided engine schedules:
+//!
+//! * **splice** — copy a self-contained range from a donor corpus
+//!   program into the subject, widening every crossing offset;
+//! * **delete** — remove a range, shrinker-style;
+//! * **mix shift** — replace one computational instruction with a
+//!   freshly generated one (same register discipline as the fuzzer);
+//! * **branch retarget** — move a conditional branch's forward target;
+//! * **fault-plan mutation** — handled by the engine (the plan is a
+//!   function of the mutated program's dynamic length).
+//!
+//! Every operator preserves two invariants the oracles rely on:
+//!
+//! * **decodability** — candidates round-trip `encode`/`decode`
+//!   ([`decodable`] gates every emitted program), so a mutated word
+//!   list is always a well-formed RV64 program;
+//! * **the data-window discipline** — no operator removes, replaces,
+//!   or inserts an instruction that writes the fuzzer's anchor
+//!   registers (`x26`/`x27`, the data-window base and mask), so memory
+//!   traffic stays inside the window and can never overwrite code
+//!   (self-modifying code would diverge the replay way, whose fetch
+//!   path models an incoherent I-cache). Non-termination and stray
+//!   traps the relinking can still manufacture are rejected by the
+//!   engine's bounded golden pre-screen, exactly like shrink
+//!   candidates.
+
+use meek_difftest::remove_range_relinked;
+#[cfg(test)]
+use meek_isa::inst::BranchOp;
+use meek_isa::inst::{AluImmOp, AluOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
+use meek_isa::{decode, encode, FReg, Reg};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The fuzzer's data-window anchor registers: a write to either can
+/// send a store outside the data window (see module docs). `x26` =
+/// window base, `x27` = window mask.
+const ANCHORS: [Reg; 2] = [Reg::X26, Reg::X27];
+
+/// Registers random replacement instructions may write — the seed
+/// fuzzer's pool (structural registers excluded).
+const POOL: [Reg; 16] = [
+    Reg::X1,
+    Reg::X2,
+    Reg::X3,
+    Reg::X4,
+    Reg::X5,
+    Reg::X6,
+    Reg::X7,
+    Reg::X8,
+    Reg::X9,
+    Reg::X10,
+    Reg::X11,
+    Reg::X12,
+    Reg::X13,
+    Reg::X14,
+    Reg::X15,
+    Reg::X31,
+];
+
+/// The data pointer register memory traffic goes through.
+const R_PTR: Reg = Reg::X28;
+
+/// CSR addresses fuzzed CSR traffic targets (mirrors the seed fuzzer).
+const CSRS: [u16; 4] = [0x340, 0x341, 0x342, 0xC00];
+
+/// Whether `inst` writes an anchor register (`x26`/`x27`).
+pub fn writes_anchor(inst: &Inst) -> bool {
+    let rd = match *inst {
+        Inst::Lui { rd, .. }
+        | Inst::Auipc { rd, .. }
+        | Inst::Jal { rd, .. }
+        | Inst::Jalr { rd, .. }
+        | Inst::Load { rd, .. }
+        | Inst::AluImm { rd, .. }
+        | Inst::Alu { rd, .. }
+        | Inst::MulDiv { rd, .. }
+        | Inst::FpCmp { rd, .. }
+        | Inst::FcvtLD { rd, .. }
+        | Inst::FmvXD { rd, .. }
+        | Inst::Csr { rd, .. } => rd,
+        _ => return false,
+    };
+    ANCHORS.contains(&rd)
+}
+
+/// Whether every instruction round-trips through `encode`/`decode`
+/// unchanged — the gate every mutated candidate must pass (relinking
+/// can push an offset out of its encoding range).
+pub fn decodable(insts: &[Inst]) -> bool {
+    insts.iter().all(|i| decode(encode(i)) == Ok(*i))
+}
+
+/// Inserts `payload` before index `at`, rewriting every branch/`jal`
+/// offset of the host program that crosses the insertion point —
+/// [`remove_range_relinked`] in reverse. The same positional idioms
+/// relink: `jal rs1, +4; jalr` pairs and `auipc`/`addi`/`jalr`
+/// triplets. Payload-internal offsets are untouched (relative
+/// distances inside a contiguous block survive insertion).
+pub fn insert_range_relinked(insts: &[Inst], at: usize, payload: &[Inst]) -> Vec<Inst> {
+    let k = payload.len() as i64;
+    let at = at.min(insts.len());
+    // Adjusted index of original host index j after the insertion.
+    let adj = |j: i64| -> i64 {
+        if j < at as i64 {
+            j
+        } else {
+            j + k
+        }
+    };
+    let mut out: Vec<Inst> = Vec::with_capacity(insts.len() + payload.len());
+    for (i, inst) in insts.iter().enumerate() {
+        if i == at {
+            out.extend_from_slice(payload);
+        }
+        // New offset for a pc-relative displacement anchored at
+        // original host index `anchor`.
+        let relink_at = |anchor: usize, offset: i32| -> i32 {
+            let target = anchor as i64 + offset as i64 / 4;
+            ((adj(target) - adj(anchor as i64)) * 4) as i32
+        };
+        out.push(match *inst {
+            Inst::Branch { op, rs1, rs2, offset } => {
+                Inst::Branch { op, rs1, rs2, offset: relink_at(i, offset) }
+            }
+            Inst::Jal { rd, offset } => Inst::Jal { rd, offset: relink_at(i, offset) },
+            Inst::Jalr { rd, rs1, offset } => {
+                let paired = i > 0
+                    && matches!(insts[i - 1], Inst::Jal { rd: link, offset: 4 } if link == rs1)
+                    && i != at; // insertion between the pair breaks the anchor
+                if paired {
+                    Inst::Jalr { rd, rs1, offset: relink_at(i, offset) }
+                } else {
+                    Inst::Jalr { rd, rs1, offset }
+                }
+            }
+            Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm } if rd == rs1 => {
+                let triplet = i > 0
+                    && i + 1 < insts.len()
+                    && i != at // splitting auipc/addi breaks the anchor
+                    && i + 1 != at // splitting addi/jalr too
+                    && imm % 4 == 0
+                    && matches!(insts[i - 1], Inst::Auipc { rd: a, imm: 0 } if a == rd)
+                    && matches!(insts[i + 1], Inst::Jalr { rs1: j, offset: 0, .. } if j == rd);
+                if triplet {
+                    Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm: relink_at(i - 1, imm) }
+                } else {
+                    Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm }
+                }
+            }
+            other => other,
+        });
+    }
+    if at >= insts.len() {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Whether `insts[start..end]` is *self-contained*: every control-flow
+/// target stays inside the range (branches and `jal`s), and `jalr`s
+/// appear only inside a complete in-range pair/triplet idiom — the
+/// donor ranges splice may copy without manufacturing wild jumps.
+pub fn self_contained(insts: &[Inst], start: usize, end: usize) -> bool {
+    let in_range = |j: i64| j >= start as i64 && j <= end as i64;
+    for (i, inst) in insts[start..end].iter().enumerate() {
+        let i = start + i;
+        match *inst {
+            Inst::Branch { offset, .. } | Inst::Jal { offset, .. }
+                if !in_range(i as i64 + offset as i64 / 4) =>
+            {
+                return false;
+            }
+            Inst::Jalr { rs1, offset, .. } => {
+                let paired = i > start
+                    && matches!(insts[i - 1], Inst::Jal { rd: link, offset: 4 } if link == rs1);
+                let tripled = offset == 0
+                    && i >= start + 2
+                    && matches!(insts[i - 2], Inst::Auipc { rd: a, imm: 0 } if a == rs1)
+                    && matches!(
+                        insts[i - 1],
+                        Inst::AluImm { op: AluImmOp::Addi, rd, rs1: r, .. } if rd == rs1 && r == rs1
+                    );
+                if paired {
+                    if !in_range(i as i64 + offset as i64 / 4) {
+                        return false;
+                    }
+                } else if tripled {
+                    let Inst::AluImm { imm, .. } = insts[i - 1] else { unreachable!() };
+                    if imm % 4 != 0 || !in_range((i - 2) as i64 + imm as i64 / 4) {
+                        return false;
+                    }
+                } else {
+                    return false; // unanchored indirect jump: wild target
+                }
+            }
+            _ => {}
+        }
+    }
+    true
+}
+
+/// One freshly generated computational instruction (never control
+/// flow, never an anchor write) — the mix-shift replacement vocabulary,
+/// mirroring the seed fuzzer's register discipline.
+pub fn random_simple_inst(rng: &mut SmallRng) -> Inst {
+    let reg = |rng: &mut SmallRng| POOL[rng.gen_range(0..POOL.len())];
+    let freg = |rng: &mut SmallRng| FReg::new(rng.gen_range(0..8));
+    match rng.gen_range(0..10) {
+        0..=2 => {
+            const OPS: [AluOp; 10] = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Sll,
+                AluOp::Xor,
+                AluOp::Srl,
+                AluOp::Sra,
+                AluOp::Or,
+                AluOp::And,
+                AluOp::Addw,
+                AluOp::Subw,
+            ];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            Inst::Alu { op, rd: reg(rng), rs1: reg(rng), rs2: reg(rng) }
+        }
+        3..=4 => {
+            const OPS: [AluImmOp; 6] = [
+                AluImmOp::Addi,
+                AluImmOp::Xori,
+                AluImmOp::Ori,
+                AluImmOp::Andi,
+                AluImmOp::Slti,
+                AluImmOp::Addiw,
+            ];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            Inst::AluImm { op, rd: reg(rng), rs1: reg(rng), imm: rng.gen_range(-2048..2048) }
+        }
+        5 => {
+            const OPS: [MulDivOp; 6] = [
+                MulDivOp::Mul,
+                MulDivOp::Mulh,
+                MulDivOp::Div,
+                MulDivOp::Rem,
+                MulDivOp::Mulw,
+                MulDivOp::Remu,
+            ];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            Inst::MulDiv { op, rd: reg(rng), rs1: reg(rng), rs2: reg(rng) }
+        }
+        6 => {
+            // Memory through the data pointer only: the window
+            // discipline that keeps stores away from code.
+            let offset = rng.gen_range(-256..256);
+            match rng.gen_range(0..6) {
+                0 => Inst::Load { op: LoadOp::Lb, rd: reg(rng), rs1: R_PTR, offset },
+                1 => Inst::Load { op: LoadOp::Lw, rd: reg(rng), rs1: R_PTR, offset },
+                2 => Inst::Load { op: LoadOp::Ld, rd: reg(rng), rs1: R_PTR, offset },
+                3 => Inst::Store { op: StoreOp::Sb, rs1: R_PTR, rs2: reg(rng), offset },
+                4 => Inst::Store { op: StoreOp::Sh, rs1: R_PTR, rs2: reg(rng), offset },
+                _ => Inst::Store { op: StoreOp::Sd, rs1: R_PTR, rs2: reg(rng), offset },
+            }
+        }
+        7 => {
+            const OPS: [CsrOp; 6] =
+                [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc, CsrOp::Rwi, CsrOp::Rsi, CsrOp::Rci];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            let csr = CSRS[rng.gen_range(0..CSRS.len())];
+            Inst::Csr { op, rd: reg(rng), rs1: reg(rng), csr }
+        }
+        8 => {
+            const OPS: [FpOp; 6] =
+                [FpOp::FaddD, FpOp::FsubD, FpOp::FmulD, FpOp::FsgnjD, FpOp::FminD, FpOp::FmaxD];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            Inst::Fp { op, rd: freg(rng), rs1: freg(rng), rs2: freg(rng) }
+        }
+        _ => {
+            const OPS: [FpCmpOp; 3] = [FpCmpOp::FeqD, FpCmpOp::FltD, FpCmpOp::FleD];
+            let op = OPS[rng.gen_range(0..OPS.len())];
+            Inst::FpCmp { op, rd: reg(rng), rs1: freg(rng), rs2: freg(rng) }
+        }
+    }
+}
+
+/// The mutation operators the engine schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Copy a self-contained donor range into the subject.
+    Splice,
+    /// Remove a range (relinked).
+    Delete,
+    /// Replace one computational instruction with a fresh one.
+    MixShift,
+    /// Move a conditional branch's forward target.
+    BranchRetarget,
+}
+
+/// Every operator, in schedule order.
+pub const OPS: [MutationOp; 4] =
+    [MutationOp::Splice, MutationOp::Delete, MutationOp::MixShift, MutationOp::BranchRetarget];
+
+/// Longest candidate the engine will evaluate (keeps branch offsets
+/// inside their encodings and evaluation cost bounded).
+pub const MAX_LEN: usize = 1024;
+
+/// Applies `op` to `subject` (donor feeds splice), driven by `rng`.
+/// Returns `None` when the operator cannot apply (no eligible site) or
+/// the result violates an invariant — the engine then falls back to a
+/// fresh program. A `Some` result is guaranteed decodable, anchor-safe
+/// and at most [`MAX_LEN`] long.
+pub fn mutate(
+    subject: &[Inst],
+    donor: &[Inst],
+    op: MutationOp,
+    rng: &mut SmallRng,
+) -> Option<Vec<Inst>> {
+    if subject.is_empty() {
+        return None;
+    }
+    let out = match op {
+        MutationOp::Splice => {
+            if donor.is_empty() {
+                return None;
+            }
+            // Pick a short donor range and retry a few times for a
+            // self-contained, anchor-free one.
+            let mut range = None;
+            for _ in 0..8 {
+                let len = rng.gen_range(1..=12.min(donor.len()));
+                let start = rng.gen_range(0..=donor.len() - len);
+                let (s, e) = (start, start + len);
+                if self_contained(donor, s, e) && !donor[s..e].iter().any(writes_anchor) {
+                    range = Some((s, e));
+                    break;
+                }
+            }
+            let (s, e) = range?;
+            let at = rng.gen_range(0..=subject.len());
+            insert_range_relinked(subject, at, &donor[s..e])
+        }
+        MutationOp::Delete => {
+            let len = rng.gen_range(1..=8.min(subject.len()));
+            let start = rng.gen_range(0..=subject.len() - len);
+            if subject[start..start + len].iter().any(writes_anchor) {
+                return None;
+            }
+            remove_range_relinked(subject, start, start + len)
+        }
+        MutationOp::MixShift => {
+            // Replace a computational instruction in place: positions
+            // that are control flow, anchors, or idiom middles are
+            // skipped (a few retries, then give up).
+            let mut out = subject.to_vec();
+            let mut done = false;
+            for _ in 0..8 {
+                let i = rng.gen_range(0..out.len());
+                let replaceable = !matches!(
+                    out[i],
+                    Inst::Branch { .. }
+                        | Inst::Jal { .. }
+                        | Inst::Jalr { .. }
+                        | Inst::Auipc { .. }
+                        | Inst::Ecall
+                        | Inst::Ebreak
+                ) && !writes_anchor(&out[i]);
+                // Never rewrite the addi of an auipc/addi/jalr triplet.
+                let triplet_mid = i > 0
+                    && i + 1 < out.len()
+                    && matches!(out[i - 1], Inst::Auipc { .. })
+                    && matches!(out[i + 1], Inst::Jalr { .. });
+                if replaceable && !triplet_mid {
+                    out[i] = random_simple_inst(rng);
+                    done = true;
+                    break;
+                }
+            }
+            if !done {
+                return None;
+            }
+            out
+        }
+        MutationOp::BranchRetarget => {
+            let mut out = subject.to_vec();
+            let branches: Vec<usize> = out
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| matches!(i, Inst::Branch { .. }))
+                .map(|(i, _)| i)
+                .collect();
+            if branches.is_empty() {
+                return None;
+            }
+            let i = branches[rng.gen_range(0..branches.len())];
+            let room = out.len() - i - 1;
+            if room == 0 {
+                return None;
+            }
+            // A new forward target 1..=8 instructions ahead (staying in
+            // the program): forward-only, so no new loop appears.
+            let k = rng.gen_range(1..=room.min(8)) as i32;
+            if let Inst::Branch { offset, .. } = &mut out[i] {
+                *offset = 4 * (k + 1);
+            }
+            out
+        }
+    };
+    (out.len() <= MAX_LEN && !out.is_empty() && decodable(&out)).then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_difftest::{fuzz_program, FuzzConfig};
+    use rand::SeedableRng;
+
+    fn nop() -> Inst {
+        Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X0, rs1: Reg::X0, imm: 0 }
+    }
+
+    #[test]
+    fn insert_relinks_crossing_offsets() {
+        // 0: beq +12 (-> 3)   1: nop   2: nop   3: jal -8 (-> 1)
+        let prog = vec![
+            Inst::Branch { op: BranchOp::Beq, rs1: Reg::X0, rs2: Reg::X0, offset: 12 },
+            nop(),
+            nop(),
+            Inst::Jal { rd: Reg::X0, offset: -8 },
+        ];
+        let payload = [random_simple_inst(&mut SmallRng::seed_from_u64(1))];
+        // Insert at 2: the branch (0 -> 3) crosses, the jal (3 -> 1) crosses.
+        let out = insert_range_relinked(&prog, 2, &payload);
+        assert_eq!(out.len(), 5);
+        assert_eq!(
+            out[0],
+            Inst::Branch { op: BranchOp::Beq, rs1: Reg::X0, rs2: Reg::X0, offset: 16 }
+        );
+        assert_eq!(out[4], Inst::Jal { rd: Reg::X0, offset: -12 });
+        // Insert before everything: both endpoints shift, offsets keep.
+        let out = insert_range_relinked(&prog, 0, &payload);
+        assert_eq!(out[1], prog[0]);
+        assert_eq!(out[4], prog[3]);
+        // Insert past the end: nothing crosses.
+        let out = insert_range_relinked(&prog, 4, &payload);
+        assert_eq!(&out[..4], &prog[..]);
+    }
+
+    #[test]
+    fn insert_relinks_pair_and_triplet_idioms() {
+        // 0: jal x1,+4  1: jalr x2,x1,+12 (-> 4)  2: nop  3: nop  4: nop
+        let pair = vec![
+            Inst::Jal { rd: Reg::X1, offset: 4 },
+            Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 12 },
+            nop(),
+            nop(),
+            nop(),
+        ];
+        let payload = [nop(), nop()];
+        let out = insert_range_relinked(&pair, 3, &payload);
+        assert_eq!(out[1], Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 20 });
+        // Inserting *between* the pair breaks the anchor: offset kept.
+        let out = insert_range_relinked(&pair, 1, &payload);
+        assert_eq!(out[3], Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 12 });
+
+        // 0: auipc x1  1: addi x1,x1,20 (-> 5)  2: jalr x2,x1  3..5: nop
+        let tri = vec![
+            Inst::Auipc { rd: Reg::X1, imm: 0 },
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X1, imm: 20 },
+            Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 0 },
+            nop(),
+            nop(),
+            nop(),
+        ];
+        let out = insert_range_relinked(&tri, 4, &payload);
+        assert_eq!(out[1], Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X1, imm: 28 });
+    }
+
+    #[test]
+    fn self_containment_classifies_ranges() {
+        let prog = vec![
+            nop(),
+            Inst::Branch { op: BranchOp::Bne, rs1: Reg::X1, rs2: Reg::X0, offset: 8 },
+            nop(),
+            nop(),
+            Inst::Jalr { rd: Reg::X2, rs1: Reg::X5, offset: 0 },
+            nop(),
+        ];
+        assert!(self_contained(&prog, 1, 4), "branch targets inside the range");
+        assert!(!self_contained(&prog, 1, 2), "branch escapes a 1-wide range");
+        assert!(!self_contained(&prog, 3, 5), "unanchored jalr is wild");
+        let tri = vec![
+            Inst::Auipc { rd: Reg::X1, imm: 0 },
+            Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X1, imm: 12 },
+            Inst::Jalr { rd: Reg::X2, rs1: Reg::X1, offset: 0 },
+            nop(),
+        ];
+        assert!(self_contained(&tri, 0, 4), "complete triplet targeting in-range");
+        assert!(!self_contained(&tri, 1, 4), "beheaded triplet is wild");
+    }
+
+    #[test]
+    fn every_operator_preserves_decodability_and_anchors() {
+        let mut rng = SmallRng::seed_from_u64(0xA1B2);
+        let mut produced = [0usize; OPS.len()];
+        for seed in 0..8u64 {
+            let subject = fuzz_program(seed, &FuzzConfig { static_len: 120 }).insts();
+            let donor = fuzz_program(seed ^ 0xFF, &FuzzConfig { static_len: 120 }).insts();
+            let anchors_before = subject.iter().filter(|i| writes_anchor(i)).count();
+            for (k, &op) in OPS.iter().enumerate() {
+                for _ in 0..16 {
+                    if let Some(out) = mutate(&subject, &donor, op, &mut rng) {
+                        produced[k] += 1;
+                        assert!(decodable(&out), "{op:?} broke decodability (seed {seed})");
+                        assert!(out.len() <= MAX_LEN);
+                        assert_eq!(
+                            out.iter().filter(|i| writes_anchor(i)).count(),
+                            anchors_before,
+                            "{op:?} touched an anchor register write (seed {seed})"
+                        );
+                    }
+                }
+            }
+        }
+        for (k, &op) in OPS.iter().enumerate() {
+            assert!(produced[k] > 0, "{op:?} never produced a candidate");
+        }
+    }
+
+    #[test]
+    fn random_simple_insts_are_safe_vocabulary() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let i = random_simple_inst(&mut rng);
+            assert!(decodable(&[i]));
+            assert!(!writes_anchor(&i));
+            assert!(!matches!(
+                i,
+                Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Auipc { .. }
+            ));
+            if let Inst::Load { rs1, .. } | Inst::Store { rs1, .. } = i {
+                assert_eq!(rs1, R_PTR, "memory goes through the data pointer");
+            }
+        }
+    }
+}

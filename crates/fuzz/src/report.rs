@@ -1,0 +1,167 @@
+//! The fuzz run's structured result and its deterministic rendering.
+
+use std::fmt;
+
+/// Everything one fuzz run produced: discovery timeline, corpus
+/// geometry, and the failures that matter (escapes, divergences,
+/// shrunk reproducers). The rendering is a pure function of the run's
+/// seed/settings — no timing, no paths — so reports are byte-identical
+/// at any thread count and comparable across machines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Requested iterations.
+    pub iters: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Coverage-guided (`true`) or purely random baseline (`false`).
+    pub guided: bool,
+    /// Whether faults ran under the recovery oracle.
+    pub recover: bool,
+    /// Candidates evaluated (== iters unless the run was cut short).
+    pub evaluated: u64,
+    /// Fresh (non-mutated) candidates among them.
+    pub fresh: u64,
+    /// Mutated candidates among them.
+    pub mutated: u64,
+    /// Candidates rejected before evaluation (golden trap / runaway
+    /// after mutation — relinking legitimately manufactures those).
+    pub rejected: u64,
+    /// Faults classified across all candidates.
+    pub faults: u64,
+    /// Distinct coverage features discovered.
+    pub features_total: usize,
+    /// Features first discovered by a candidate after iteration 0.
+    pub features_after_iter0: usize,
+    /// `(iteration, cumulative feature count)` at each discovery.
+    pub timeline: Vec<(u64, usize)>,
+    /// Live corpus entries at end of run.
+    pub corpus_len: usize,
+    /// Corpus entries evicted by the capacity bound.
+    pub corpus_evicted: u64,
+    /// Programs the corpus minimiser shrank on insertion.
+    pub minimized: u64,
+    /// Coverage escapes (faults the checkers missed that the replay
+    /// twin could not prove benign) — must stay empty.
+    pub escapes: Vec<String>,
+    /// Three-way divergences — must stay empty.
+    pub divergences: Vec<String>,
+    /// Ready-to-commit `#[test]` reproducers for shrunk divergences.
+    pub reproducers: Vec<String>,
+}
+
+impl FuzzReport {
+    /// Whether the run found no escapes and no divergences.
+    pub fn clean(&self) -> bool {
+        self.escapes.is_empty() && self.divergences.is_empty()
+    }
+}
+
+impl fmt::Display for FuzzReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "meek-fuzz: {} iteration(s), seed {:#x}, {} mode{}",
+            self.iters,
+            self.seed,
+            if self.guided { "coverage-guided" } else { "random-baseline" },
+            if self.recover { ", recovery oracle" } else { "" }
+        )?;
+        writeln!(
+            f,
+            "evaluated {} candidate(s): {} fresh, {} mutated, {} rejected; {} fault(s) classified",
+            self.evaluated, self.fresh, self.mutated, self.rejected, self.faults
+        )?;
+        writeln!(
+            f,
+            "features: {} total, {} discovered after iter 0",
+            self.features_total, self.features_after_iter0
+        )?;
+        writeln!(f, "coverage timeline (iter -> cumulative features):")?;
+        let n = self.timeline.len();
+        for (i, (iter, cum)) in self.timeline.iter().enumerate() {
+            if n > 64 && (32..n - 32).contains(&i) {
+                if i == 32 {
+                    writeln!(f, "  ...")?;
+                }
+                continue;
+            }
+            writeln!(f, "  {iter} -> {cum}")?;
+        }
+        writeln!(
+            f,
+            "corpus: {} entr(ies), {} evicted, {} minimized",
+            self.corpus_len, self.corpus_evicted, self.minimized
+        )?;
+        writeln!(f, "escapes: {}", self.escapes.len())?;
+        for e in &self.escapes {
+            writeln!(f, "  ESCAPE: {e}")?;
+        }
+        writeln!(f, "divergences: {}", self.divergences.len())?;
+        for d in &self.divergences {
+            writeln!(f, "  DIVERGENCE: {d}")?;
+        }
+        for r in &self.reproducers {
+            writeln!(f, "\n// ---- ready-to-commit regression test ----\n{r}")?;
+        }
+        if self.clean() {
+            writeln!(f, "OK: zero divergences, zero escapes")?;
+        } else {
+            writeln!(f, "FAILED: the oracle found real disagreements")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_stable_and_complete() {
+        let r = FuzzReport {
+            iters: 10,
+            seed: 7,
+            guided: true,
+            recover: false,
+            evaluated: 10,
+            fresh: 4,
+            mutated: 6,
+            rejected: 1,
+            faults: 18,
+            features_total: 42,
+            features_after_iter0: 5,
+            timeline: vec![(0, 37), (3, 40), (7, 42)],
+            corpus_len: 3,
+            corpus_evicted: 0,
+            minimized: 0,
+            escapes: Vec::new(),
+            divergences: Vec::new(),
+            reproducers: Vec::new(),
+        };
+        let text = r.to_string();
+        assert_eq!(text, r.to_string(), "rendering is a pure function");
+        assert!(text.contains("features: 42 total, 5 discovered after iter 0"));
+        assert!(text.contains("  3 -> 40"));
+        assert!(text.contains("OK: zero divergences, zero escapes"));
+        assert!(r.clean());
+
+        let mut bad = r.clone();
+        bad.escapes.push("fault vanished".into());
+        assert!(!bad.clean());
+        assert!(bad.to_string().contains("ESCAPE: fault vanished"));
+        assert!(bad.to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn long_timelines_elide_the_middle() {
+        let r = FuzzReport {
+            timeline: (0..100).map(|i| (i as u64, i + 1)).collect(),
+            ..FuzzReport::default()
+        };
+        let text = r.to_string();
+        assert!(text.contains("  0 -> 1"));
+        assert!(text.contains("  99 -> 100"));
+        assert!(text.contains("  ..."));
+        assert!(!text.contains("  50 -> 51"), "the middle is elided");
+    }
+}
