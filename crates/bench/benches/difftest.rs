@@ -1,53 +1,12 @@
-//! Criterion micro-benchmarks for the difftest pipeline: program
-//! fuzzing rate, golden-interpreter throughput on fuzzed code, and the
-//! full three-way co-simulation — the numbers that bound how many
-//! cases a CI budget buys.
+//! `cargo bench` harness for the difftest suite; the bodies live in
+//! [`meek_bench::suites::difftest`] so `meek-bench-export` can run them
+//! in-process for the committed perf baseline.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use meek_difftest::{cosim, fuzz_program, golden_run, CosimConfig, FuzzConfig};
-
-fn bench_fuzz(c: &mut Criterion) {
-    let mut g = c.benchmark_group("difftest");
-    g.throughput(Throughput::Elements(1));
-    let mut seed = 0u64;
-    g.bench_function("fuzz_program", |b| {
-        b.iter(|| {
-            seed += 1;
-            black_box(fuzz_program(seed, &FuzzConfig::default())).words.len()
-        })
-    });
-    g.finish();
-}
-
-fn bench_golden(c: &mut Criterion) {
-    let prog = fuzz_program(1, &FuzzConfig::default());
-    let n = golden_run(&prog).expect("clean").trace.len() as u64;
-    let mut g = c.benchmark_group("difftest");
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("golden_run", |b| {
-        b.iter(|| golden_run(black_box(&prog)).expect("clean").trace.len())
-    });
-    g.finish();
-}
-
-fn bench_cosim(c: &mut Criterion) {
-    let prog = fuzz_program(2, &FuzzConfig::default());
-    let n = golden_run(&prog).expect("clean").trace.len() as u64;
-    let mut g = c.benchmark_group("difftest");
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("three_way_cosim", |b| {
-        b.iter(|| {
-            let v = cosim::run(black_box(&prog), &CosimConfig::default());
-            assert!(v.divergence.is_none());
-            v.executed
-        })
-    });
-    g.finish();
-}
+use criterion::{criterion_group, criterion_main, Criterion};
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_fuzz, bench_golden, bench_cosim
+    targets = meek_bench::suites::difftest::all
 }
 criterion_main!(benches);

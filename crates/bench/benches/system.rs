@@ -1,27 +1,12 @@
-//! Criterion benchmark of the full MEEK SoC simulation rate — the cost
-//! of regenerating the paper's figures.
+//! `cargo bench` harness for the system suite; the bodies live in
+//! [`meek_bench::suites::system`] so `meek-bench-export` can run them
+//! in-process for the committed perf baseline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use meek_core::Sim;
-use meek_workloads::{parsec3, Workload};
-
-fn bench_system(c: &mut Criterion) {
-    let wl = Workload::build(&parsec3()[0], 1);
-    const N: u64 = 10_000;
-    let mut g = c.benchmark_group("system");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("meek_4core_10k_insts", |b| {
-        b.iter(|| Sim::builder(&wl, N).build().expect("valid").run().report.cycles)
-    });
-    g.bench_function("meek_2core_10k_insts", |b| {
-        b.iter(|| Sim::builder(&wl, N).little_cores(2).build().expect("valid").run().report.cycles)
-    });
-    g.finish();
-}
+use criterion::{criterion_group, criterion_main, Criterion};
 
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_system
+    targets = meek_bench::suites::system::all
 }
 criterion_main!(benches);

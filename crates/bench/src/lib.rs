@@ -8,6 +8,8 @@
 //! fault campaigns, and `MEEK_THREADS` to bound the parallel
 //! harnesses (0 = all hardware threads).
 
+pub mod suites;
+
 use meek_bigcore::BigCoreConfig;
 use meek_campaign::Executor;
 use meek_core::{run_vanilla, MeekConfig, RunReport, Sim};

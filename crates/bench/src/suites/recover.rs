@@ -1,0 +1,113 @@
+//! Benchmarks for the recovery subsystem: the fig-7-style
+//! recovery-latency curve (how long detect→rollback→re-execute→verify
+//! takes as the fault lands later in the run, i.e. with more state to
+//! squash), the rollback-depth sweep (recovery latency vs how many
+//! checkpoints back the policy rewinds), plus the checkpointing
+//! overhead a fault-free run pays for carrying the undo-log and pinned
+//! checkpoints.
+
+use criterion::{black_box, Criterion, Throughput};
+use meek_core::{FaultSite, FaultSpec, RecoveryPolicy, Sim};
+use meek_workloads::{parsec3, Workload};
+
+const INSTS: u64 = 12_000;
+
+fn workload() -> Workload {
+    Workload::build(&parsec3()[0], 11) // blackscholes: smallest footprint
+}
+
+/// The recovery-latency curve: one detected fault per run, armed
+/// progressively deeper into the program. Each iteration simulates the
+/// whole detect→rollback→re-execute→verify loop; the reported
+/// per-element time is dominated by the re-executed tail, which is the
+/// quantity the latency figure plots.
+fn bench_recovery_latency_curve(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("recover/latency_curve");
+    g.throughput(Throughput::Elements(1));
+    for arm_at in [2_000u64, 5_000, 8_000] {
+        g.bench_function(&format!("arm_at_{arm_at}"), |b| {
+            b.iter(|| {
+                let report = Sim::builder(black_box(&wl), INSTS)
+                    .recovery(RecoveryPolicy::enabled())
+                    .faults(vec![FaultSpec {
+                        arm_at_commit: arm_at,
+                        site: FaultSite::MemAddr,
+                        bit: 9,
+                    }])
+                    .build()
+                    .expect("valid")
+                    .run()
+                    .report;
+                assert_eq!(report.recovery.unrecovered, 0);
+                report.recovery.recovery_cycles_total
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The rollback-depth sweep: the same detected fault, recovered with
+/// policies that rewind 1, 2 or 3 checkpoints behind the failed
+/// segment. Deeper rollback squashes (and re-executes) more committed
+/// work per episode — this curve is the figure that quantifies the
+/// trade.
+fn bench_rollback_depth_sweep(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("recover/rollback_depth");
+    g.throughput(Throughput::Elements(1));
+    for depth in [1u32, 2, 3] {
+        g.bench_function(&format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                let report = Sim::builder(black_box(&wl), INSTS)
+                    .recovery(RecoveryPolicy::with_depth(depth))
+                    .faults(vec![FaultSpec {
+                        arm_at_commit: 6_000,
+                        site: FaultSite::MemAddr,
+                        bit: 9,
+                    }])
+                    .build()
+                    .expect("valid")
+                    .run()
+                    .report;
+                assert_eq!(report.recovery.unrecovered, 0);
+                assert!(report.recovery.rollbacks > 0);
+                // Deeper policies re-execute at least as much work.
+                (report.recovery.recovery_cycles_total, report.recovery.reexecuted_insts)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// What an always-on recovery policy costs when nothing ever fails:
+/// the undo-log journaling and per-boundary checkpoint pinning on the
+/// fault-free hot path, vs the detect-only baseline.
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let wl = workload();
+    let mut g = c.benchmark_group("recover/clean_run");
+    g.throughput(Throughput::Elements(INSTS));
+    g.bench_function("detect_only", |b| {
+        b.iter(|| Sim::builder(black_box(&wl), INSTS).build().expect("valid").run().report.cycles)
+    });
+    g.bench_function("recovery_enabled", |b| {
+        b.iter(|| {
+            let report = Sim::builder(black_box(&wl), INSTS)
+                .recovery(RecoveryPolicy::enabled())
+                .build()
+                .expect("valid")
+                .run()
+                .report;
+            assert!(report.recovery.storage_bytes_hwm > 0);
+            report.cycles
+        })
+    });
+    g.finish();
+}
+
+/// Runs the whole suite.
+pub fn all(c: &mut Criterion) {
+    bench_recovery_latency_curve(c);
+    bench_rollback_depth_sweep(c);
+    bench_checkpoint_overhead(c);
+}

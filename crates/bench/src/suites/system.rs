@@ -1,0 +1,25 @@
+//! Benchmark of the full MEEK SoC simulation rate — the cost of
+//! regenerating the paper's figures.
+
+use criterion::{Criterion, Throughput};
+use meek_core::Sim;
+use meek_workloads::{parsec3, Workload};
+
+fn bench_system(c: &mut Criterion) {
+    let wl = Workload::build(&parsec3()[0], 1);
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("system");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("meek_4core_10k_insts", |b| {
+        b.iter(|| Sim::builder(&wl, N).build().expect("valid").run().report.cycles)
+    });
+    g.bench_function("meek_2core_10k_insts", |b| {
+        b.iter(|| Sim::builder(&wl, N).little_cores(2).build().expect("valid").run().report.cycles)
+    });
+    g.finish();
+}
+
+/// Runs the whole suite.
+pub fn all(c: &mut Criterion) {
+    bench_system(c);
+}

@@ -55,13 +55,20 @@ pub struct CampaignSummary {
 }
 
 /// Result of one shard's simulation, in deterministic shard order.
-struct ShardResult {
-    records: Vec<CampaignRecord>,
-    summary: ShardSummary,
+///
+/// Public so external schedulers (`meek-serve`) can run shards
+/// individually via [`run_shard`] and persist results at shard
+/// granularity; the batch path consumes these through [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct ShardResult {
+    /// Detection records in injection order.
+    pub records: Vec<CampaignRecord>,
+    /// The shard's summary counters.
+    pub summary: ShardSummary,
     /// Serialised JSONL event trace (empty when tracing is off).
-    trace: Vec<u8>,
+    pub trace: Vec<u8>,
     /// Serialised occupancy time series (empty when sampling is off).
-    samples: Vec<u8>,
+    pub samples: Vec<u8>,
 }
 
 /// An empty result for a shard skipped after campaign cancellation.
@@ -91,7 +98,11 @@ fn cancelled_shard(shard: &ShardSpec) -> ShardResult {
 
 /// Runs one shard: build (or reuse) the program, queue the shard's
 /// faults, simulate to drain, and package the detections.
-fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> ShardResult {
+///
+/// The caller must have validated `spec.config` (see
+/// [`meek_core::validate_config`]); [`run_campaign`] does so up front,
+/// and `meek-serve` validates at job admission.
+pub fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> ShardResult {
     let profile = &spec.workloads[shard.workload_idx];
     let workload = cache.get(profile, spec.workload_seed(profile));
     let faults = shard.fault_specs();
@@ -294,18 +305,23 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_output() {
         let spec = tiny_spec();
-        let run_with = |threads: usize| {
+        let run_with = |executor: Executor| {
             let mut csv = CsvSink::new(Vec::new());
             let summary = {
                 let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut csv];
-                run_campaign(&spec, &Executor::new(threads), &mut sinks).unwrap()
+                run_campaign(&spec, &executor, &mut sinks).unwrap()
             };
             (summary, csv.into_inner())
         };
-        let (s1, bytes1) = run_with(1);
-        let (s4, bytes4) = run_with(4);
+        let (s1, bytes1) = run_with(Executor::new(1));
+        let (s4, bytes4) = run_with(Executor::new(4));
         assert_eq!(s1, s4);
         assert_eq!(bytes1, bytes4, "CSV output must be byte-identical across thread counts");
+        // A bounded streaming window throttles the schedule, never the
+        // bytes.
+        let (sw, bytes_w) = run_with(Executor::new(4).stream_window(1));
+        assert_eq!(s1, sw);
+        assert_eq!(bytes1, bytes_w, "stream window must not change output");
     }
 
     #[test]

@@ -50,10 +50,10 @@ pub mod executor;
 pub mod sink;
 pub mod spec;
 
-pub use engine::{run_campaign, CampaignSummary};
+pub use engine::{run_campaign, run_shard, CampaignSummary, ShardResult};
 pub use executor::Executor;
 pub use sink::{
     site_name, AggregateSink, CampaignRecord, CsvSink, JsonlSink, LatencyStats, RecordSink,
     SampleSink, ShardSummary, TraceSink,
 };
-pub use spec::{CampaignSpec, ShardSpec};
+pub use spec::{resolve_suite, CampaignSpec, ShardSpec};

@@ -11,11 +11,10 @@
 //! latency stats), and prints the paper-style summary table.
 
 use meek_campaign::{
-    run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink, RecordSink,
-    SampleSink, TraceSink,
+    resolve_suite, run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink,
+    RecordSink, SampleSink, TraceSink,
 };
 use meek_core::MeekConfig;
-use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile};
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::PathBuf;
@@ -59,6 +58,14 @@ OPTIONS:
                           byte-identical at any --threads
     --sample-stride <N>   Keep every N-th cycle in --sample output
                           [default: 64]
+    --stream-window <N>   Cap completed-but-unwritten shard results held
+                          in memory at N; 0 = unbounded. Shard output is
+                          drained in shard order, so while one slow shard
+                          holds the watermark every later shard's full
+                          result — records plus --trace/--sample payloads
+                          — buffers in memory: peak memory is O(shards)
+                          unbounded, O(N) with a window. Output bytes are
+                          unchanged [default: 0]
     --quiet               Suppress the per-workload table
     -h, --help            Print this help
 ";
@@ -77,6 +84,7 @@ struct Args {
     trace: Option<PathBuf>,
     sample: Option<PathBuf>,
     sample_stride: u64,
+    stream_window: usize,
     quiet: bool,
 }
 
@@ -103,6 +111,7 @@ impl Args {
             trace: None,
             sample: None,
             sample_stride: 64,
+            stream_window: 0,
             quiet: false,
         };
         let mut it = argv.iter();
@@ -130,6 +139,9 @@ impl Args {
                 "--sample-stride" => {
                     args.sample_stride = parse_num(&value("--sample-stride")?, "--sample-stride")?
                 }
+                "--stream-window" => {
+                    args.stream_window = parse_num(&value("--stream-window")?, "--stream-window")?
+                }
                 "--quiet" => args.quiet = true,
                 "-h" | "--help" => return Err(String::new()),
                 other => return Err(format!("unknown flag `{other}`")),
@@ -153,33 +165,6 @@ impl Args {
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: cannot parse `{s}` as a number"))
-}
-
-/// Resolves a `--suite` value to benchmark profiles.
-fn resolve_suite(suite: &str) -> Result<Vec<BenchmarkProfile>, String> {
-    match suite {
-        "specint" | "spec" | "specint2006" => Ok(spec_int_2006()),
-        "parsec" | "parsec3" => Ok(parsec3()),
-        "all" => Ok(spec_int_2006().into_iter().chain(parsec3()).collect()),
-        names => {
-            let all: Vec<BenchmarkProfile> = spec_int_2006().into_iter().chain(parsec3()).collect();
-            let mut picked = Vec::new();
-            for name in names.split(',') {
-                let name = name.trim();
-                match all.iter().find(|p| p.name == name) {
-                    Some(p) => picked.push(p.clone()),
-                    None => {
-                        let known: Vec<&str> = all.iter().map(|p| p.name).collect();
-                        return Err(format!(
-                            "unknown benchmark `{name}`; known: {}",
-                            known.join(", ")
-                        ));
-                    }
-                }
-            }
-            Ok(picked)
-        }
-    }
 }
 
 fn main() -> ExitCode {
@@ -221,7 +206,7 @@ fn run(args: &Args) -> io::Result<()> {
         trace_events: args.trace.is_some(),
         sample_stride: if args.sample.is_some() { args.sample_stride } else { 0 },
     };
-    let executor = Executor::new(args.threads);
+    let executor = Executor::new(args.threads).stream_window(args.stream_window);
     fs::create_dir_all(&args.out)?;
 
     let mut agg = AggregateSink::new();

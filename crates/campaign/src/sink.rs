@@ -188,6 +188,13 @@ impl<W: Write> SampleSink<W> {
         SampleSink { out, wrote_header: false }
     }
 
+    /// A sample sink appending to a writer that already holds the CSV
+    /// header — the resume path, where earlier shards' output survived
+    /// a restart and the header must not repeat.
+    pub fn resuming(out: W) -> SampleSink<W> {
+        SampleSink { out, wrote_header: true }
+    }
+
     /// Consumes the sink, returning the writer.
     pub fn into_inner(self) -> W {
         self.out
@@ -225,6 +232,13 @@ impl<W: Write> CsvSink<W> {
     /// A CSV sink writing to `out`.
     pub fn new(out: W) -> CsvSink<W> {
         CsvSink { out, wrote_header: false }
+    }
+
+    /// A CSV sink appending to a writer that already holds the header —
+    /// the resume path, where earlier shards' output survived a restart
+    /// and the header must not repeat.
+    pub fn resuming(out: W) -> CsvSink<W> {
+        CsvSink { out, wrote_header: true }
     }
 
     /// Consumes the sink, returning the writer.

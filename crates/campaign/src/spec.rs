@@ -11,7 +11,7 @@
 
 use meek_core::fault::{random_fault_specs, FaultSpec};
 use meek_core::MeekConfig;
-use meek_workloads::BenchmarkProfile;
+use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -157,6 +157,41 @@ impl ShardSpec {
     }
 }
 
+/// Resolves a suite selector to benchmark profiles: `specint`,
+/// `parsec`, `all`, or a comma-separated list of benchmark names. The
+/// one vocabulary shared by `meek-campaign --suite` and `meek-serve`
+/// job specs, so a spec means the same thing on both paths.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown benchmark (and the known ones)
+/// when a name does not resolve.
+pub fn resolve_suite(suite: &str) -> Result<Vec<BenchmarkProfile>, String> {
+    match suite {
+        "specint" | "spec" | "specint2006" => Ok(spec_int_2006()),
+        "parsec" | "parsec3" => Ok(parsec3()),
+        "all" => Ok(spec_int_2006().into_iter().chain(parsec3()).collect()),
+        names => {
+            let all: Vec<BenchmarkProfile> = spec_int_2006().into_iter().chain(parsec3()).collect();
+            let mut picked = Vec::new();
+            for name in names.split(',') {
+                let name = name.trim();
+                match all.iter().find(|p| p.name == name) {
+                    Some(p) => picked.push(p.clone()),
+                    None => {
+                        let known: Vec<&str> = all.iter().map(|p| p.name).collect();
+                        return Err(format!(
+                            "unknown benchmark `{name}`; known: {}",
+                            known.join(", ")
+                        ));
+                    }
+                }
+            }
+            Ok(picked)
+        }
+    }
+}
+
 /// FNV-1a, for mixing benchmark names into seed derivations.
 fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -243,6 +278,19 @@ mod tests {
     fn workload_seed_differs_per_benchmark() {
         let spec = two_workload_spec();
         assert_ne!(spec.workload_seed(&spec.workloads[0]), spec.workload_seed(&spec.workloads[1]));
+    }
+
+    #[test]
+    fn suite_selectors_resolve() {
+        assert!(!resolve_suite("specint").unwrap().is_empty());
+        assert!(!resolve_suite("parsec").unwrap().is_empty());
+        let all = resolve_suite("all").unwrap();
+        assert_eq!(all.len(), resolve_suite("specint").unwrap().len() + parsec3().len());
+        let one = resolve_suite(all[0].name).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name, all[0].name);
+        let err = resolve_suite("not-a-benchmark").unwrap_err();
+        assert!(err.contains("unknown benchmark"), "{err}");
     }
 
     #[test]

@@ -15,12 +15,35 @@ use meek_recover::{RecoveryManager, RecoveryPolicy};
 use meek_workloads::{Workload, WorkloadRun};
 
 /// Which interconnect forwards extracted data (the Fig. 9 ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FabricKind {
     /// The paper's bespoke fabric (§III-B).
     F2,
     /// The full-featured AXI-Interconnect baseline.
     Axi,
+}
+
+impl FabricKind {
+    /// Every built-in kind, in stable sweep order.
+    pub const ALL: [FabricKind; 2] = [FabricKind::F2, FabricKind::Axi];
+
+    /// Stable lower-case name (CLI values, coverage-feature keys,
+    /// corpus persistence, serve wire format).
+    pub fn name(self) -> &'static str {
+        match self {
+            FabricKind::F2 => "f2",
+            FabricKind::Axi => "axi",
+        }
+    }
+
+    /// Inverse of [`FabricKind::name`].
+    pub fn from_name(name: &str) -> Option<FabricKind> {
+        match name {
+            "f2" => Some(FabricKind::F2),
+            "axi" => Some(FabricKind::Axi),
+            _ => None,
+        }
+    }
 }
 
 /// Configuration of a complete MEEK system.
@@ -755,5 +778,13 @@ mod tests {
             .run()
             .report;
         assert_eq!(report.failed_segments, 0);
+    }
+
+    #[test]
+    fn fabric_kind_names_roundtrip() {
+        for kind in FabricKind::ALL {
+            assert_eq!(FabricKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FabricKind::from_name("bogus"), None);
     }
 }

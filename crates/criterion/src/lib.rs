@@ -7,7 +7,13 @@
 //! `sample_size` timed samples, and reports the median sample with
 //! throughput. Good enough to spot order-of-magnitude regressions; not
 //! a replacement for real criterion runs.
+//!
+//! Beyond printing, every timed benchmark is recorded as a
+//! [`BenchResult`] retrievable via [`Criterion::results`] — the
+//! machine-readable channel `meek-bench-export` uses to emit and check
+//! the committed `BENCH_baseline.json` without scraping stdout.
 
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Opaque value sink preventing the optimiser from deleting benchmark
@@ -26,15 +32,27 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// One timed benchmark's outcome, as recorded by the harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// `group/name` — the stable benchmark id.
+    pub id: String,
+    /// Median per-iteration time over the timed samples.
+    pub median: Duration,
+    /// Samples taken.
+    pub samples: usize,
+}
+
 /// Top-level harness handle passed to every benchmark function.
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    results: Arc<Mutex<Vec<BenchResult>>>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
-        Criterion { sample_size: 10 }
+        Criterion { sample_size: 10, results: Arc::new(Mutex::new(Vec::new())) }
     }
 }
 
@@ -50,20 +68,38 @@ impl Criterion {
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
         println!("group: {name}");
-        BenchmarkGroup { sample_size: self.sample_size, throughput: None }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            results: self.results.clone(),
+        }
     }
 
     /// Runs a stand-alone benchmark (group of one).
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
-        let mut g = BenchmarkGroup { sample_size: self.sample_size, throughput: None };
+        let mut g = BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            results: self.results.clone(),
+        };
         g.bench_function(name, f);
+    }
+
+    /// Every result recorded through this handle (and its groups), in
+    /// execution order.
+    pub fn results(&self) -> Vec<BenchResult> {
+        self.results.lock().expect("results lock").clone()
     }
 }
 
 /// A group of benchmarks sharing throughput settings.
 pub struct BenchmarkGroup {
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    results: Arc<Mutex<Vec<BenchResult>>>,
 }
 
 impl BenchmarkGroup {
@@ -96,6 +132,11 @@ impl BenchmarkGroup {
             _ => String::new(),
         };
         println!("  {name}: median {median:?} over {} samples{rate}", samples.len());
+        self.results.lock().expect("results lock").push(BenchResult {
+            id: format!("{}/{name}", self.name),
+            median,
+            samples: samples.len(),
+        });
     }
 
     /// Ends the group (criterion-API parity; prints a separator).
@@ -111,12 +152,28 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `body`, accumulating into the current sample.
+    /// Times `body`, accumulating into the current sample. Bodies
+    /// shorter than ~5 ms are re-run in a batch sized to accumulate at
+    /// least that much wall time, so the per-iteration mean is not at
+    /// the mercy of timer granularity and cache state — a single
+    /// microsecond-scale call is mostly jitter.
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut body: F) {
+        const FLOOR: Duration = Duration::from_millis(5);
         let start = Instant::now();
         black_box(body());
-        self.elapsed += start.elapsed();
+        let one = start.elapsed();
+        self.elapsed += one;
         self.iters += 1;
+        if one >= FLOOR {
+            return;
+        }
+        let reps = (FLOOR.as_nanos() / one.as_nanos().max(1)).clamp(1, 100_000) as u32;
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(body());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += reps;
     }
 }
 
@@ -174,5 +231,17 @@ mod tests {
     fn plain_macro_form_compiles() {
         criterion_group!(simple, sample_bench);
         simple();
+    }
+
+    #[test]
+    fn results_are_recorded_with_group_ids() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| black_box(41) + 1));
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "shim/count");
+        assert_eq!(results[0].samples, 3);
+        assert_eq!(results[1].id, "standalone/standalone");
     }
 }

@@ -14,7 +14,7 @@
 //! sorted feature-name digest) and `report.txt` (the run's
 //! [`FuzzReport`](crate::report::FuzzReport) rendering).
 
-use meek_core::{FaultSite, FaultSpec};
+use meek_core::{FabricKind, FaultSite, FaultSpec};
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
@@ -30,6 +30,11 @@ pub struct CorpusEntry {
     pub owned: Vec<(u64, String)>,
     /// Global iteration that produced the entry.
     pub iter: u64,
+    /// Interconnect the discovering evaluation ran under (part of the
+    /// candidate; mutations mostly inherit it). Entries persisted
+    /// before the fabric axis existed load as [`FabricKind::F2`], the
+    /// kind every evaluation used then.
+    pub fabric: FabricKind,
 }
 
 /// An in-memory corpus with the deterministic replacement policy.
@@ -105,6 +110,7 @@ impl Corpus {
     fn render_entry(e: &CorpusEntry) -> String {
         let mut out = String::new();
         out.push_str(&format!("iter {}\n", e.iter));
+        out.push_str(&format!("fabric {}\n", e.fabric.name()));
         for w in &e.words {
             out.push_str(&format!("word {w:08x}\n"));
         }
@@ -125,12 +131,19 @@ impl Corpus {
                 format!("{}: malformed corpus line `{line}`", path.display()),
             )
         };
-        let mut e = CorpusEntry { words: Vec::new(), plan: Vec::new(), owned: Vec::new(), iter: 0 };
+        let mut e = CorpusEntry {
+            words: Vec::new(),
+            plan: Vec::new(),
+            owned: Vec::new(),
+            iter: 0,
+            fabric: FabricKind::F2,
+        };
         for line in text.lines() {
             let mut it = line.splitn(2, ' ');
             let (tag, rest) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
             match tag {
                 "iter" => e.iter = rest.parse().map_err(|_| bad(line))?,
+                "fabric" => e.fabric = FabricKind::from_name(rest).ok_or_else(|| bad(line))?,
                 "word" => {
                     e.words.push(u32::from_str_radix(rest, 16).map_err(|_| bad(line))?);
                 }
@@ -229,6 +242,7 @@ mod tests {
             plan: vec![FaultSpec { site: FaultSite::MemData, bit: 3, arm_at_commit: 17 }],
             owned: owned.iter().map(|n| (feature_id(n), n.to_string())).collect(),
             iter,
+            fabric: FabricKind::F2,
         }
     }
 
@@ -237,7 +251,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("meek-fuzz-corpus-{}", std::process::id()));
         let mut corpus = Corpus::new(8);
         corpus.insert(entry(vec![0x13, 0x9302_0293], &["a", "b"], 0));
-        corpus.insert(entry(vec![0xDEAD_BEEF], &["mem:store:4:2"], 5));
+        let mut axi = entry(vec![0xDEAD_BEEF], &["mem:store:4:2"], 5);
+        axi.fabric = FabricKind::Axi;
+        corpus.insert(axi);
         corpus.save(&dir).unwrap();
         let loaded = Corpus::load(&dir, 8).unwrap();
         assert_eq!(loaded.entries(), corpus.entries());
@@ -297,5 +313,17 @@ mod tests {
         assert!(Corpus::parse_entry("fault bogus_site 1 2\n", p).is_err());
         assert!(Corpus::parse_entry("", p).is_err(), "no words");
         assert!(Corpus::parse_entry("word 00000013\nnonsense 1\n", p).is_err());
+        assert!(Corpus::parse_entry("word 00000013\nfabric warp\n", p).is_err());
+    }
+
+    #[test]
+    fn entries_without_a_fabric_line_load_as_f2() {
+        // Corpora persisted before the fabric axis carry no `fabric`
+        // line; they must load under the kind they were evaluated with.
+        let e = Corpus::parse_entry("iter 7\nword 00000013\n", Path::new("old.seed")).unwrap();
+        assert_eq!(e.fabric, FabricKind::F2);
+        let e = Corpus::parse_entry("iter 7\nfabric axi\nword 00000013\n", Path::new("new.seed"))
+            .unwrap();
+        assert_eq!(e.fabric, FabricKind::Axi);
     }
 }

@@ -23,7 +23,7 @@ use crate::coverage::{bucket, golden_features, CoverageMap, FeatureSet};
 use crate::mutate::{self, decodable, writes_anchor};
 use crate::report::FuzzReport;
 use meek_campaign::Executor;
-use meek_core::{FaultSite, FaultSpec, RecoveryPolicy, Sim};
+use meek_core::{FabricKind, FaultSite, FaultSpec, RecoveryPolicy, Sim};
 use meek_difftest::{
     classify_with, cosim, emit_test, fault_plan, fuzz_program, golden_run_bounded, minimize,
     shrink_insts, verify_recovery_outcome, CosimConfig, FaultOutcome, FuzzConfig, FuzzProgram,
@@ -105,12 +105,15 @@ enum CandidateKind {
 }
 
 /// One scheduled unit of work: a fully materialised program plus the
-/// seed its fault plan (and plan mutation) derives from.
+/// seed its fault plan (and plan mutation) derives from, and the
+/// interconnect the fault phase runs under — the fabric is part of the
+/// candidate, so search explores the program × plan × fabric space.
 struct Candidate {
     words: Vec<u32>,
     parent_plan: Option<Vec<FaultSpec>>,
     tweak: u64,
     kind: CandidateKind,
+    fabric: FabricKind,
 }
 
 /// What one evaluation produced, merged sequentially by the engine.
@@ -153,6 +156,7 @@ fn make_candidate(g: u64, s: &FuzzSettings, corpus: &Corpus) -> Candidate {
             parent_plan: None,
             tweak: seed,
             kind: CandidateKind::Fresh,
+            fabric: random_fabric(rng),
         }
     };
     if !s.guided || corpus.is_empty() || g.is_multiple_of(8) {
@@ -165,15 +169,28 @@ fn make_candidate(g: u64, s: &FuzzSettings, corpus: &Corpus) -> Candidate {
     for _ in 0..4 {
         let op = mutate::OPS[rng.gen_range(0..mutate::OPS.len())];
         if let Some(out) = mutate::mutate(&subject, &donor_insts, op, &mut rng) {
+            // Inherit the parent's interconnect most of the time — its
+            // features were discovered under it — but re-draw 1-in-4 so
+            // search also moves along the fabric axis.
+            let fabric =
+                if rng.gen_range(0..4) == 0 { random_fabric(&mut rng) } else { parent.fabric };
             return Candidate {
                 words: out.iter().map(encode).collect(),
                 parent_plan: Some(parent.plan.clone()),
                 tweak: rng.gen(),
                 kind: CandidateKind::Mutated,
+                fabric,
             };
         }
     }
     fresh(&mut rng)
+}
+
+/// Draws one of the built-in fabric kinds from the candidate's RNG
+/// stream — fresh candidates land on every interconnect in both guided
+/// and random mode, so the `--compare-random` budgets stay comparable.
+fn random_fabric(rng: &mut SmallRng) -> FabricKind {
+    FabricKind::ALL[rng.gen_range(0..FabricKind::ALL.len())]
 }
 
 /// A fresh random fault spec inside `span` — the plan-mutation
@@ -289,6 +306,7 @@ fn evaluate(cand: &Candidate, s: &FuzzSettings) -> CaseEval {
         let run = catch_unwind(AssertUnwindSafe(|| {
             let mut b = Sim::builder(&wl, executed)
                 .little_cores(s.n_little)
+                .fabric(cand.fabric)
                 .faults(vec![spec])
                 .observe(map.clone());
             if s.recover {
@@ -304,25 +322,28 @@ fn evaluate(cand: &Candidate, s: &FuzzSettings) -> CaseEval {
                 // fault's run reuses the handle.
                 map.reset_scratch();
                 map.note(format!("outcome:hang:{}", spec.site.name()));
+                map.note(format!("fabric_outcome:hang:{}", cand.fabric.name()));
                 escapes.push(format!("system failed to drain with fault {spec:?}"));
                 continue;
             }
         };
-        if s.recover {
+        let oc = if s.recover {
             let (oc, rv) = verify_recovery_outcome(&prog, &golden, spec, &run);
-            map.note(format!("outcome:{}:{}", outcome_name(&oc), spec.site.name()));
-            if let FaultOutcome::Escaped { reason } = &oc {
-                escapes.push(format!("{spec:?}: {reason}"));
-            }
             if rv.is_failure() {
                 escapes.push(format!("{spec:?}: {rv}"));
             }
+            oc
         } else {
-            let oc = classify_with(&prog, &golden, spec, &run.report);
-            map.note(format!("outcome:{}:{}", outcome_name(&oc), spec.site.name()));
-            if let FaultOutcome::Escaped { reason } = &oc {
-                escapes.push(format!("{spec:?}: {reason}"));
-            }
+            classify_with(&prog, &golden, spec, &run.report)
+        };
+        map.note(format!("outcome:{}:{}", outcome_name(&oc), spec.site.name()));
+        // The verdict × fabric bucket: the same fault plan can resolve
+        // differently under a different interconnect (latency shifts
+        // which segment a detection lands in), and this feature makes
+        // that divergence count as coverage.
+        map.note(format!("fabric_outcome:{}:{}", outcome_name(&oc), cand.fabric.name()));
+        if let FaultOutcome::Escaped { reason } = &oc {
+            escapes.push(format!("{spec:?}: {reason}"));
         }
     }
     let faults = plan.len() as u64;
@@ -454,7 +475,13 @@ pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, Featu
                         words = min;
                     }
                 }
-                st.corpus.insert(CorpusEntry { words, plan: result.plan, owned, iter: g as u64 });
+                st.corpus.insert(CorpusEntry {
+                    words,
+                    plan: result.plan,
+                    owned,
+                    iter: g as u64,
+                    fabric: cand.fabric,
+                });
             }
         },
     );
@@ -529,5 +556,20 @@ mod tests {
         assert!(report.clean(), "{report}");
         assert!(report.faults > 0);
         assert!(features.rows().iter().any(|(_, n, _)| n.starts_with("outcome:")));
+    }
+
+    #[test]
+    fn search_explores_the_fabric_axis() {
+        // Enough candidates that the per-candidate fabric draw lands on
+        // both built-in interconnects, and the verdict × fabric bucket
+        // shows up in the universe.
+        let (report, corpus, features) = run_fuzz(&tiny(24), Corpus::new(0));
+        assert!(report.clean(), "{report}");
+        let fabrics: BTreeSet<FabricKind> = corpus.entries().iter().map(|e| e.fabric).collect();
+        assert!(fabrics.len() > 1, "candidates must land on both fabrics: {fabrics:?}");
+        assert!(
+            features.rows().iter().any(|(_, n, _)| n.starts_with("fabric_outcome:")),
+            "verdict x fabric bucket missing"
+        );
     }
 }

@@ -1,0 +1,548 @@
+//! Job coordinators: one per admitted job, turning a [`JobSpec`] into
+//! units on the shared pool and committing each unit's output to the
+//! spool in deterministic order.
+//!
+//! The unit is the checkpoint grain: a campaign shard, a difftest case
+//! batch, or a fuzz chunk. Units are pure functions of the spec (and,
+//! for fuzz, of the previous chunk's persisted corpus), so the commit
+//! protocol — append output bytes, sync, then atomically advance
+//! `state.json` — makes every job resumable with byte-identical
+//! output: whatever a dying daemon wrote past its last checkpoint is
+//! truncated on resume and recomputed identically.
+//!
+//! Campaign and difftest units run *concurrently* with a bounded
+//! submit-ahead window (the same backpressure idea as
+//! `meek-campaign --stream-window`): the coordinator never has more
+//! than `window` units in flight, so completed-but-uncommitted results
+//! occupy O(window) memory while results are still re-sequenced into
+//! deterministic unit order. Fuzz chunks are sequentially dependent
+//! (each feeds the next its corpus) and run one at a time.
+
+use crate::proto::{CampaignJob, DifftestJob, FuzzJob, JobSpec, JobState, JobStatus};
+use crate::sched::PoolHandle;
+use crate::spool::{
+    append_output, read_state, touch_output, truncate_outputs, write_state, JobProgress,
+};
+use meek_campaign::{run_shard, CsvSink, RecordSink, SampleSink, ShardResult};
+use meek_difftest::{
+    classify, cosim, fault_plan, fuzz_program, golden_run, verify_recovery, CosimConfig,
+    FaultOutcome, FuzzConfig, RecoveryVerdict,
+};
+use meek_fuzz::{run_fuzz, Corpus, FuzzSettings};
+use meek_workloads::WorkloadCache;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Everything a coordinator needs from the daemon.
+pub struct JobContext {
+    /// Job id.
+    pub id: u64,
+    /// The job's spool directory.
+    pub dir: PathBuf,
+    /// Scheduling priority for this job's units.
+    pub priority: i64,
+    /// Submit-ahead bound (units in flight); clamped to at least 1.
+    pub window: usize,
+    /// The shared pool.
+    pub pool: PoolHandle,
+    /// Set by a client `cancel`.
+    pub cancel: Arc<AtomicBool>,
+    /// Set by daemon shutdown: stop at the next unit boundary, leaving
+    /// the job `running` on disk so the next start resumes it.
+    pub quiesce: Arc<AtomicBool>,
+    /// Test hook: behave like a crash after committing this many units
+    /// *in this run* (the restart-resume tests and the CI smoke).
+    pub fail_after_units: Option<u64>,
+    /// Live status shared with the daemon's registry.
+    pub status: Arc<Mutex<JobStatus>>,
+}
+
+/// How a coordinator's unit loop ended.
+enum LoopEnd {
+    Completed,
+    Cancelled,
+    Interrupted,
+}
+
+/// Runs a job to a terminal state, checkpointing as it goes. The
+/// returned state is the in-memory one (`Interrupted` stays `running`
+/// on disk); on error the job is marked `failed` both places.
+pub fn run_job(spec: &JobSpec, ctx: &JobContext) -> JobState {
+    let result = match spec {
+        JobSpec::Campaign(job) => run_campaign_job(job, ctx),
+        JobSpec::Difftest(job) => run_difftest_job(job, ctx),
+        JobSpec::Fuzz(job) => run_fuzz_job(job, ctx),
+    };
+    let state = match result {
+        Ok(state) => state,
+        Err(e) => {
+            let failed = JobState::Failed(e);
+            if let Ok(mut progress) = read_state(&ctx.dir) {
+                progress.state = failed.clone();
+                let _ = write_state(&ctx.dir, &progress);
+            }
+            failed
+        }
+    };
+    set_status_state(ctx, state.clone());
+    state
+}
+
+fn set_status_state(ctx: &JobContext, state: JobState) {
+    ctx.status.lock().expect("status lock").state = state;
+}
+
+fn publish_progress(ctx: &JobContext, progress: &JobProgress, state: JobState) {
+    let mut status = ctx.status.lock().expect("status lock");
+    status.state = state;
+    status.units_total = progress.units_total;
+    status.units_done = progress.units_done;
+    status.counters = progress.counters.clone();
+}
+
+fn bump(counters: &mut BTreeMap<String, u64>, key: &str, delta: u64) {
+    *counters.entry(key.to_string()).or_insert(0) += delta;
+}
+
+fn peak(counters: &mut BTreeMap<String, u64>, key: &str, value: u64) {
+    let slot = counters.entry(key.to_string()).or_insert(0);
+    *slot = (*slot).max(value);
+}
+
+/// Loads progress, truncates outputs back to the checkpoint, and
+/// marks the job running on disk — the common prologue.
+fn start_progress(ctx: &JobContext, units_total: u64) -> Result<JobProgress, String> {
+    let mut progress = read_state(&ctx.dir).map_err(|e| e.to_string())?;
+    progress.units_total = units_total;
+    progress.state = JobState::Running;
+    truncate_outputs(&ctx.dir, &progress.offsets).map_err(|e| e.to_string())?;
+    write_state(&ctx.dir, &progress).map_err(|e| e.to_string())?;
+    publish_progress(ctx, &progress, JobState::Running);
+    Ok(progress)
+}
+
+/// The common epilogue: persist the terminal state (except
+/// `Interrupted`, which must stay `running` on disk to resume).
+fn finish_progress(
+    ctx: &JobContext,
+    progress: &mut JobProgress,
+    end: LoopEnd,
+) -> Result<JobState, String> {
+    let state = match end {
+        LoopEnd::Completed => JobState::Done,
+        LoopEnd::Cancelled => JobState::Cancelled,
+        LoopEnd::Interrupted => JobState::Interrupted,
+    };
+    if !matches!(state, JobState::Interrupted) {
+        progress.state = state.clone();
+        write_state(&ctx.dir, progress).map_err(|e| e.to_string())?;
+    }
+    publish_progress(ctx, progress, state.clone());
+    Ok(state)
+}
+
+/// Windowed unit loop shared by campaign and difftest: submit up to
+/// `window` units ahead, re-sequence results into unit order, commit
+/// each in order. `make_unit` builds the (pure, `'static`) work for a
+/// unit index; `commit` appends its output and advances the checkpoint.
+fn run_units<T: Send + 'static>(
+    ctx: &JobContext,
+    total: u64,
+    start: u64,
+    make_unit: impl Fn(u64) -> Box<dyn FnOnce() -> T + Send>,
+    mut commit: impl FnMut(u64, T) -> Result<(), String>,
+) -> Result<LoopEnd, String> {
+    let window = ctx.window.max(1) as u64;
+    let (tx, rx) = mpsc::channel::<(u64, T)>();
+    let mut next = start;
+    let mut emitted = start;
+    let mut emitted_this_run = 0u64;
+    let mut parked: BTreeMap<u64, T> = BTreeMap::new();
+    while emitted < total {
+        if ctx.cancel.load(Ordering::Acquire) {
+            return Ok(LoopEnd::Cancelled);
+        }
+        if ctx.quiesce.load(Ordering::Acquire) {
+            return Ok(LoopEnd::Interrupted);
+        }
+        while next < total && next - emitted < window {
+            let work = make_unit(next);
+            let tx = tx.clone();
+            let idx = next;
+            // A send failure means the coordinator already returned
+            // (cancel/quiesce); the result is recomputed on resume.
+            if !ctx.pool.submit(ctx.priority, move || {
+                let _ = tx.send((idx, work()));
+            }) {
+                return Ok(LoopEnd::Interrupted);
+            }
+            next += 1;
+        }
+        let (idx, result) = rx.recv().map_err(|_| "unit result channel closed".to_string())?;
+        parked.insert(idx, result);
+        while let Some(result) = parked.remove(&emitted) {
+            commit(emitted, result)?;
+            emitted += 1;
+            emitted_this_run += 1;
+            if ctx.fail_after_units.is_some_and(|n| emitted_this_run >= n) && emitted < total {
+                return Ok(LoopEnd::Interrupted);
+            }
+        }
+    }
+    Ok(LoopEnd::Completed)
+}
+
+// ---------------------------------------------------------------- campaign
+
+fn run_campaign_job(job: &CampaignJob, ctx: &JobContext) -> Result<JobState, String> {
+    let spec = Arc::new(job.to_spec()?);
+    let shards = spec.shards();
+    let total = shards.len() as u64;
+    let mut progress = start_progress(ctx, total)?;
+    touch_output(&ctx.dir, "records.csv").map_err(|e| e.to_string())?;
+    if spec.trace_events {
+        touch_output(&ctx.dir, "trace.jsonl").map_err(|e| e.to_string())?;
+    }
+    if spec.sample_stride > 0 {
+        touch_output(&ctx.dir, "samples.csv").map_err(|e| e.to_string())?;
+    }
+    let cache = Arc::new(WorkloadCache::new());
+    let start = progress.units_done;
+
+    let end = run_units(
+        ctx,
+        total,
+        start,
+        |idx| {
+            let spec = Arc::clone(&spec);
+            let cache = Arc::clone(&cache);
+            let shard = shards[idx as usize];
+            Box::new(move || run_shard(&spec, &cache, &shard))
+        },
+        |idx, res: ShardResult| {
+            commit_shard(ctx, &mut progress, &spec, idx, &res).map_err(|e| e.to_string())
+        },
+    )?;
+    finish_progress(ctx, &mut progress, end)
+}
+
+/// Appends one shard's output to the spool files and advances the
+/// checkpoint. Bytes are rendered through the very sinks the batch CLI
+/// uses (`CsvSink` / `SampleSink`, with their `resuming` variants when
+/// earlier bytes already hold the header), so the concatenation across
+/// units — and across daemon restarts — is byte-identical to a batch
+/// run's files.
+fn commit_shard(
+    ctx: &JobContext,
+    progress: &mut JobProgress,
+    spec: &meek_campaign::CampaignSpec,
+    idx: u64,
+    res: &ShardResult,
+) -> io::Result<()> {
+    let records_off = progress.offsets.get("records.csv").copied().unwrap_or(0);
+    let mut csv =
+        if records_off == 0 { CsvSink::new(Vec::new()) } else { CsvSink::resuming(Vec::new()) };
+    for record in &res.records {
+        csv.on_record(record)?;
+    }
+    csv.finish()?;
+    let bytes = csv.into_inner();
+    append_output(&ctx.dir, "records.csv", &bytes)?;
+    progress.offsets.insert("records.csv".to_string(), records_off + bytes.len() as u64);
+
+    if spec.trace_events {
+        let off = progress.offsets.get("trace.jsonl").copied().unwrap_or(0);
+        append_output(&ctx.dir, "trace.jsonl", &res.trace)?;
+        progress.offsets.insert("trace.jsonl".to_string(), off + res.trace.len() as u64);
+    }
+    if spec.sample_stride > 0 {
+        let off = progress.offsets.get("samples.csv").copied().unwrap_or(0);
+        let mut sink =
+            if off == 0 { SampleSink::new(Vec::new()) } else { SampleSink::resuming(Vec::new()) };
+        sink.on_samples(&res.samples)?;
+        sink.finish()?;
+        let bytes = sink.into_inner();
+        append_output(&ctx.dir, "samples.csv", &bytes)?;
+        progress.offsets.insert("samples.csv".to_string(), off + bytes.len() as u64);
+    }
+
+    let s = &res.summary;
+    let c = &mut progress.counters;
+    bump(c, "faults", s.faults as u64);
+    bump(c, "detected", s.detected as u64);
+    bump(c, "masked", s.masked);
+    bump(c, "pending", s.pending as u64);
+    bump(c, "records", res.records.len() as u64);
+    bump(c, "verified_segments", s.verified_segments);
+    bump(c, "failed_segments", s.failed_segments);
+    bump(c, "cycles", s.cycles);
+    bump(c, "committed", s.committed);
+    bump(c, "rollbacks", s.rollbacks);
+    bump(c, "recovered", s.recovered);
+    bump(c, "unrecovered", s.unrecovered);
+    peak(c, "storage_bytes_hwm", s.storage_bytes_hwm);
+
+    progress.units_done = idx + 1;
+    write_state(&ctx.dir, progress)?;
+    publish_progress(ctx, progress, JobState::Running);
+    Ok(())
+}
+
+// ---------------------------------------------------------------- difftest
+
+/// One difftest batch's rendered output plus its counter deltas.
+struct BatchResult {
+    jsonl: Vec<u8>,
+    deltas: BTreeMap<String, u64>,
+}
+
+fn run_difftest_job(job: &DifftestJob, ctx: &JobContext) -> Result<JobState, String> {
+    job.validate()?;
+    let total = job.cases.div_ceil(job.batch);
+    let mut progress = start_progress(ctx, total)?;
+    touch_output(&ctx.dir, "results.jsonl").map_err(|e| e.to_string())?;
+    let job = Arc::new(job.clone());
+    let start = progress.units_done;
+
+    let end = run_units(
+        ctx,
+        total,
+        start,
+        |idx| {
+            let job = Arc::clone(&job);
+            Box::new(move || run_difftest_batch(&job, idx))
+        },
+        |idx, res: BatchResult| {
+            let off = progress.offsets.get("results.jsonl").copied().unwrap_or(0);
+            append_output(&ctx.dir, "results.jsonl", &res.jsonl).map_err(|e| e.to_string())?;
+            progress.offsets.insert("results.jsonl".to_string(), off + res.jsonl.len() as u64);
+            for (k, v) in &res.deltas {
+                bump(&mut progress.counters, k, *v);
+            }
+            progress.units_done = idx + 1;
+            write_state(&ctx.dir, &progress).map_err(|e| e.to_string())?;
+            publish_progress(ctx, &progress, JobState::Running);
+            Ok(())
+        },
+    )?;
+    finish_progress(ctx, &mut progress, end)
+}
+
+/// SplitMix64 finaliser, matching the difftest CLI's per-case seed
+/// derivation so a serve job explores the same case grid.
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn run_difftest_batch(job: &DifftestJob, batch_idx: u64) -> BatchResult {
+    let cfg = CosimConfig { seg_len: job.seg_len, n_little: job.little, ..CosimConfig::default() };
+    let first = batch_idx * job.batch;
+    let last = (first + job.batch).min(job.cases);
+    let mut jsonl = Vec::new();
+    let mut deltas = BTreeMap::new();
+    for case in first..last {
+        let case_seed = splitmix(job.seed ^ case.wrapping_mul(0x9E37_79B9));
+        let prog = fuzz_program(case_seed, &FuzzConfig { static_len: job.static_len });
+        let verdict = cosim::run(&prog, &cfg);
+        bump(&mut deltas, "cases", 1);
+        bump(&mut deltas, "executed", verdict.executed);
+        bump(&mut deltas, "segments", verdict.segments as u64);
+        bump(&mut deltas, "cycles", verdict.system_cycles);
+        let mut line = format!(
+            "{{\"case\":{case},\"case_seed\":\"{case_seed:#x}\",\"executed\":{},\
+             \"segments\":{},\"cycles\":{}",
+            verdict.executed, verdict.segments, verdict.system_cycles
+        );
+        match &verdict.divergence {
+            Some(d) => {
+                bump(&mut deltas, "divergences", 1);
+                let _ = write!(line, ",\"divergence\":\"{}\"", crate::json::escape(&d.to_string()));
+            }
+            None => line.push_str(",\"divergence\":null"),
+        }
+        line.push_str(",\"faults\":[");
+        if verdict.divergence.is_none() && job.faults > 0 && verdict.executed > 0 {
+            let golden = golden_run(&prog).expect("clean cosim implies clean golden");
+            for (i, spec) in fault_plan(case_seed, job.faults, verdict.executed).iter().enumerate()
+            {
+                if i > 0 {
+                    line.push(',');
+                }
+                bump(&mut deltas, "faults", 1);
+                let (outcome, recovery) = if job.recover {
+                    let (o, r) = verify_recovery(&prog, &golden, *spec, job.little);
+                    (o, Some(r))
+                } else {
+                    (classify(&prog, &golden, *spec, job.little), None)
+                };
+                let _ = write!(
+                    line,
+                    "{{\"site\":\"{}\",\"bit\":{},\"arm\":{}",
+                    spec.site.name(),
+                    spec.bit,
+                    spec.arm_at_commit
+                );
+                match &outcome {
+                    FaultOutcome::Detected { latency_ns } => {
+                        bump(&mut deltas, "detected", 1);
+                        let _ = write!(
+                            line,
+                            ",\"outcome\":\"detected\",\"latency_ns\":{latency_ns:.3}"
+                        );
+                    }
+                    FaultOutcome::MaskedProvenBenign => {
+                        bump(&mut deltas, "masked", 1);
+                        line.push_str(",\"outcome\":\"masked\"");
+                    }
+                    FaultOutcome::Pending => {
+                        bump(&mut deltas, "pending", 1);
+                        line.push_str(",\"outcome\":\"pending\"");
+                    }
+                    FaultOutcome::Escaped { reason } => {
+                        bump(&mut deltas, "escapes", 1);
+                        let _ = write!(
+                            line,
+                            ",\"outcome\":\"escaped\",\"reason\":\"{}\"",
+                            crate::json::escape(reason)
+                        );
+                    }
+                }
+                match &recovery {
+                    None => {}
+                    Some(RecoveryVerdict::Recovered { rollbacks, max_cycles }) => {
+                        bump(&mut deltas, "recovered", 1);
+                        let _ = write!(
+                            line,
+                            ",\"recovery\":\"recovered\",\"rollbacks\":{rollbacks},\
+                             \"recovery_cycles\":{max_cycles}"
+                        );
+                    }
+                    Some(RecoveryVerdict::NothingToRecover) => {
+                        line.push_str(",\"recovery\":\"nothing_to_recover\"");
+                    }
+                    Some(RecoveryVerdict::Unrecovered { reason }) => {
+                        bump(&mut deltas, "unrecovered", 1);
+                        let _ = write!(
+                            line,
+                            ",\"recovery\":\"unrecovered\",\"reason\":\"{}\"",
+                            crate::json::escape(reason)
+                        );
+                    }
+                    Some(RecoveryVerdict::StateDiverged { reason }) => {
+                        bump(&mut deltas, "state_diverged", 1);
+                        let _ = write!(
+                            line,
+                            ",\"recovery\":\"state_diverged\",\"reason\":\"{}\"",
+                            crate::json::escape(reason)
+                        );
+                    }
+                }
+                line.push('}');
+            }
+        }
+        line.push_str("]}\n");
+        jsonl.extend_from_slice(line.as_bytes());
+    }
+    BatchResult { jsonl, deltas }
+}
+
+// -------------------------------------------------------------------- fuzz
+
+fn run_fuzz_job(job: &FuzzJob, ctx: &JobContext) -> Result<JobState, String> {
+    job.validate()?;
+    let total = job.iters.div_ceil(job.chunk);
+    let mut progress = start_progress(ctx, total)?;
+    touch_output(&ctx.dir, "results.jsonl").map_err(|e| e.to_string())?;
+    let corpus_dir = ctx.dir.join("corpus");
+    let mut emitted_this_run = 0u64;
+
+    // Chunks are sequentially dependent — each seeds its search with
+    // the corpus the previous chunk persisted — so this loop runs one
+    // pool task at a time. The pool still arbitrates priority against
+    // other jobs' units.
+    let mut chunk_idx = progress.units_done;
+    let end = loop {
+        if chunk_idx >= total {
+            break LoopEnd::Completed;
+        }
+        if ctx.cancel.load(Ordering::Acquire) {
+            break LoopEnd::Cancelled;
+        }
+        if ctx.quiesce.load(Ordering::Acquire) {
+            break LoopEnd::Interrupted;
+        }
+        let iters = job.chunk.min(job.iters - chunk_idx * job.chunk);
+        let settings = FuzzSettings {
+            iters,
+            // Decorrelated per-chunk seed stream: a resumed chunk
+            // re-runs with the same seed and the same input corpus,
+            // hence identical output.
+            seed: splitmix(job.seed ^ chunk_idx.wrapping_mul(0x9E37_79B9)),
+            threads: 1,
+            guided: job.guided,
+            recover: job.recover,
+            minimize: false,
+            static_len: job.static_len,
+            faults_per_case: job.faults_per_case,
+            n_little: job.little,
+            corpus_cap: job.corpus_cap,
+            ..FuzzSettings::default()
+        };
+        let corpus = Corpus::load(&corpus_dir, job.corpus_cap).map_err(|e| e.to_string())?;
+        let (tx, rx) = mpsc::channel();
+        if !ctx.pool.submit(ctx.priority, move || {
+            let _ = tx.send(run_fuzz(&settings, corpus));
+        }) {
+            break LoopEnd::Interrupted;
+        }
+        let (report, corpus, features) =
+            rx.recv().map_err(|_| "fuzz chunk channel closed".to_string())?;
+        corpus.save(&corpus_dir).map_err(|e| e.to_string())?;
+        // Persist the feature digest beside the entries (as the fuzz
+        // CLI does): the next chunk's engine — and a resumed daemon —
+        // must start from the same coverage universe, and CI keys its
+        // corpus cache on this file.
+        std::fs::write(corpus_dir.join("features.txt"), features.render_names())
+            .map_err(|e| e.to_string())?;
+
+        let line = format!(
+            "{{\"chunk\":{chunk_idx},\"iters\":{iters},\"evaluated\":{},\"features\":{},\
+             \"corpus\":{},\"evicted\":{},\"escapes\":{},\"divergences\":{}}}\n",
+            report.evaluated,
+            features.len(),
+            corpus.len(),
+            corpus.evicted(),
+            report.escapes.len(),
+            report.divergences.len()
+        );
+        let off = progress.offsets.get("results.jsonl").copied().unwrap_or(0);
+        append_output(&ctx.dir, "results.jsonl", line.as_bytes()).map_err(|e| e.to_string())?;
+        progress.offsets.insert("results.jsonl".to_string(), off + line.len() as u64);
+
+        let c = &mut progress.counters;
+        bump(c, "iters", iters);
+        bump(c, "evaluated", report.evaluated);
+        bump(c, "escapes", report.escapes.len() as u64);
+        bump(c, "divergences", report.divergences.len() as u64);
+        c.insert("features".to_string(), features.len() as u64);
+        c.insert("corpus".to_string(), corpus.len() as u64);
+        c.insert("evicted".to_string(), corpus.evicted());
+
+        progress.units_done = chunk_idx + 1;
+        write_state(&ctx.dir, &progress).map_err(|e| e.to_string())?;
+        publish_progress(ctx, &progress, JobState::Running);
+        chunk_idx += 1;
+        emitted_this_run += 1;
+        if ctx.fail_after_units.is_some_and(|n| emitted_this_run >= n) && chunk_idx < total {
+            break LoopEnd::Interrupted;
+        }
+    };
+    finish_progress(ctx, &mut progress, end)
+}

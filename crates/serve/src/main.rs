@@ -1,0 +1,302 @@
+//! `meek-serve` CLI: the daemon (`serve`) plus thin client
+//! subcommands speaking the JSONL socket protocol.
+
+use meek_serve::daemon::{Daemon, ServeConfig};
+use meek_serve::json::Json;
+use meek_serve::proto::{Channel, JobSpec, Request};
+use meek_serve::{client, Endpoint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+meek-serve: campaign/difftest/fuzz job daemon with streaming results
+
+USAGE:
+    meek-serve serve    --spool DIR [--socket PATH] [--tcp ADDR]
+                        [--workers N] [--window N] [--fail-after-units N]
+    meek-serve submit   (--socket PATH | --tcp ADDR) --json SPEC [--priority N]
+    meek-serve status   (--socket PATH | --tcp ADDR) [--job N]
+    meek-serve cancel   (--socket PATH | --tcp ADDR) --job N
+    meek-serve tail     (--socket PATH | --tcp ADDR) --job N [--channel C]
+                        [--from OFFSET] [--follow]
+    meek-serve metrics  (--socket PATH | --tcp ADDR) [--follow]
+    meek-serve shutdown (--socket PATH | --tcp ADDR)
+
+SERVE OPTIONS:
+    --spool DIR           Spool root: one directory per job, holding its
+                          spec, streamed outputs, and checkpointed state.
+                          Restarting on the same spool resumes every
+                          unfinished job from its last checkpoint.
+    --socket PATH         Listen on a Unix domain socket.
+    --tcp ADDR            Listen on a TCP address (e.g. 127.0.0.1:7799).
+    --workers N           Shared-pool worker threads (default: cores).
+    --window N            Per-job submit-ahead window: at most N units in
+                          flight, so completed-but-unwritten results hold
+                          O(window) memory (default 4) — the serve-side
+                          twin of `meek-campaign --stream-window`.
+    --fail-after-units N  Test hook: die (leaving resumable state) after
+                          committing N units per job.
+
+CLIENT NOTES:
+    --json SPEC           A one-line job spec, e.g.
+                          '{\"kind\":\"campaign\",\"suite\":\"specint\",\"faults\":100}'
+                          Kinds: campaign, difftest, fuzz; missing fields
+                          take that kind's defaults.
+    --channel C           records | trace | samples | results (default
+                          records). `tail` prints the decoded lines; the
+                          final eof frame's offset resumes a later tail.
+";
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: cannot parse `{s}` as a number"))
+}
+
+struct Common {
+    endpoint: Option<Endpoint>,
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<ExitCode, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(String::new());
+    };
+    match cmd.as_str() {
+        "serve" => serve(rest),
+        "submit" => submit(rest),
+        "status" => status(rest),
+        "cancel" => cancel(rest),
+        "tail" => tail(rest),
+        "metrics" => metrics(rest),
+        "shutdown" => shutdown(rest),
+        "-h" | "--help" => Err(String::new()),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Pulls the shared endpoint flags out of an argument list, returning
+/// the leftovers for subcommand-specific parsing.
+fn split_endpoint(args: &[String]) -> Result<(Common, Vec<String>), String> {
+    let mut endpoint = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => {
+                let path = it.next().ok_or("--socket needs a value")?;
+                endpoint = Some(Endpoint::Unix(PathBuf::from(path)));
+            }
+            "--tcp" => {
+                let addr = it.next().ok_or("--tcp needs a value")?;
+                endpoint = Some(Endpoint::Tcp(addr.clone()));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => rest.push(other.to_string()),
+        }
+    }
+    Ok((Common { endpoint }, rest))
+}
+
+fn need_endpoint(common: &Common) -> Result<Endpoint, String> {
+    common.endpoint.clone().ok_or_else(|| "need --socket PATH or --tcp ADDR".to_string())
+}
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let (common, rest) = split_endpoint(args)?;
+    let mut spool = None;
+    let mut cfg_workers = 0usize;
+    let mut window = 4usize;
+    let mut fail_after = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--spool" => spool = Some(PathBuf::from(value("--spool")?)),
+            "--workers" => cfg_workers = parse_num(&value("--workers")?, "--workers")?,
+            "--window" => window = parse_num(&value("--window")?, "--window")?,
+            "--fail-after-units" => {
+                fail_after = Some(parse_num(&value("--fail-after-units")?, "--fail-after-units")?)
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let spool = spool.ok_or("serve needs --spool DIR")?;
+    let cfg = ServeConfig { spool, workers: cfg_workers, window, fail_after_units: fail_after };
+    let daemon = Daemon::start(cfg).map_err(|e| e.to_string())?;
+    match &common.endpoint {
+        Some(Endpoint::Unix(path)) => daemon.serve_unix(path).map_err(|e| e.to_string())?,
+        Some(Endpoint::Tcp(addr)) => {
+            let bound = daemon.serve_tcp(addr).map_err(|e| e.to_string())?;
+            println!("meek-serve: listening on tcp {bound}");
+        }
+        None => return Err("serve needs --socket PATH or --tcp ADDR (or both)".into()),
+    }
+    if let Some(Endpoint::Unix(path)) = &common.endpoint {
+        println!("meek-serve: listening on unix {}", path.display());
+    }
+    // The daemon runs until a client sends `shutdown`; coordinators
+    // then stop at their next unit boundary and state stays resumable.
+    while !daemon.quiesce_requested() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    daemon.shutdown();
+    println!("meek-serve: stopped");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Sends one request; prints every response line; fails the process if
+/// the first response carries `"ok":false`.
+fn simple_exchange(endpoint: &Endpoint, req: &Request) -> Result<ExitCode, String> {
+    let lines = client::request(endpoint, req).map_err(|e| e.to_string())?;
+    let mut ok = true;
+    for line in &lines {
+        println!("{line}");
+        if let Ok(v) = Json::parse(line) {
+            if v.get("ok").and_then(Json::as_bool) == Some(false) {
+                ok = false;
+            }
+        }
+    }
+    Ok(if ok { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+}
+
+fn submit(args: &[String]) -> Result<ExitCode, String> {
+    let (common, rest) = split_endpoint(args)?;
+    let endpoint = need_endpoint(&common)?;
+    let mut json = None;
+    let mut priority = 0i64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--json" => json = Some(value("--json")?),
+            "--priority" => priority = parse_num(&value("--priority")?, "--priority")?,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let text = json.ok_or("submit needs --json SPEC")?;
+    let spec = JobSpec::from_json(&Json::parse(&text)?)?;
+    simple_exchange(&endpoint, &Request::Submit { spec, priority })
+}
+
+fn status(args: &[String]) -> Result<ExitCode, String> {
+    let (common, rest) = split_endpoint(args)?;
+    let endpoint = need_endpoint(&common)?;
+    let mut job = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--job" => {
+                job = Some(parse_num(it.next().ok_or("--job needs a value")?, "--job")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    simple_exchange(&endpoint, &Request::Status { job })
+}
+
+fn cancel(args: &[String]) -> Result<ExitCode, String> {
+    let (common, rest) = split_endpoint(args)?;
+    let endpoint = need_endpoint(&common)?;
+    let mut job = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--job" => {
+                job = Some(parse_num(it.next().ok_or("--job needs a value")?, "--job")?);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let job = job.ok_or("cancel needs --job N")?;
+    simple_exchange(&endpoint, &Request::Cancel { job })
+}
+
+fn tail(args: &[String]) -> Result<ExitCode, String> {
+    let (common, rest) = split_endpoint(args)?;
+    let endpoint = need_endpoint(&common)?;
+    let mut job = None;
+    let mut channel = Channel::Records;
+    let mut from = 0u64;
+    let mut follow = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| it.next().cloned().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--job" => job = Some(parse_num(&value("--job")?, "--job")?),
+            "--channel" => channel = Channel::from_name(&value("--channel")?)?,
+            "--from" => from = parse_num(&value("--from")?, "--from")?,
+            "--follow" => follow = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let job = job.ok_or("tail needs --job N")?;
+    let req = Request::Tail { job, channel, from, follow };
+    let mut failed = false;
+    client::stream_request(&endpoint, &req, |line| {
+        match Json::parse(line) {
+            Ok(v) => {
+                if let Some(text) = v.get("line").and_then(Json::as_str) {
+                    println!("{text}");
+                } else if v.get("eof").and_then(Json::as_bool) == Some(true) {
+                    if let Some(offset) = v.get("offset").and_then(Json::as_u64) {
+                        eprintln!("eof: next offset {offset}");
+                    }
+                } else if v.get("ok").and_then(Json::as_bool) == Some(false) {
+                    eprintln!("{line}");
+                    failed = true;
+                }
+            }
+            Err(_) => println!("{line}"),
+        }
+        true
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS })
+}
+
+fn metrics(args: &[String]) -> Result<ExitCode, String> {
+    let (common, rest) = split_endpoint(args)?;
+    let endpoint = need_endpoint(&common)?;
+    let mut follow = false;
+    for flag in &rest {
+        match flag.as_str() {
+            "--follow" => follow = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let req = Request::Metrics { follow };
+    client::stream_request(&endpoint, &req, |line| {
+        println!("{line}");
+        true
+    })
+    .map_err(|e| e.to_string())?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn shutdown(args: &[String]) -> Result<ExitCode, String> {
+    let (common, rest) = split_endpoint(args)?;
+    let endpoint = need_endpoint(&common)?;
+    if let Some(other) = rest.first() {
+        return Err(format!("unknown flag `{other}`"));
+    }
+    simple_exchange(&endpoint, &Request::Shutdown)
+}
