@@ -409,6 +409,13 @@ fn dispatch(inner: &Inner, req: &Request, out: &mut Stream) -> Result<(), String
 /// the source of truth — it survives restarts, so a tail started after
 /// a resume sees the complete, byte-identical stream. Only whole lines
 /// are emitted; a final `eof` frame carries the next resume offset.
+///
+/// Each poll reads only the bytes appended since the last one (seek +
+/// bounded read), so a follow costs O(new bytes), not O(file), per
+/// tick. File length is re-checked via metadata every tick: a shrink
+/// means a restarted daemon truncated un-checkpointed bytes, and since
+/// the re-run reproduces them identically the tail just waits for the
+/// file to grow back past its offset.
 fn tail(
     inner: &Inner,
     job: u64,
@@ -417,30 +424,48 @@ fn tail(
     follow: bool,
     out: &mut Stream,
 ) -> io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
     if inner.status(Some(job)).is_empty() {
         return Err(io::Error::other(format!("no job {job}")));
     }
     let path = inner.spool.job_dir(job).join(channel.file_name());
     let mut offset = from;
     let mut pending: Vec<u8> = Vec::new();
+    let mut file: Option<std::fs::File> = None;
     loop {
-        let bytes = match std::fs::read(&path) {
-            Ok(all) => all,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        let len = match std::fs::metadata(&path) {
+            Ok(m) => m.len(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
             Err(e) => return Err(e),
         };
-        if (offset as usize) < bytes.len() {
-            pending.extend_from_slice(&bytes[offset as usize..]);
-            offset = bytes.len() as u64;
-            while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
-                let line: Vec<u8> = pending.drain(..=nl).collect();
-                let text = String::from_utf8_lossy(&line[..line.len() - 1]);
-                writeln!(out, "{{\"line\":\"{}\"}}", crate::json::escape(&text))?;
+        if len < offset {
+            file = None;
+        } else if len > offset {
+            if file.is_none() {
+                file = match std::fs::File::open(&path) {
+                    Ok(f) => Some(f),
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+                    Err(e) => return Err(e),
+                };
             }
-            out.flush()?;
+            if let Some(f) = file.as_mut() {
+                f.seek(SeekFrom::Start(offset))?;
+                let new = Read::by_ref(f).take(len - offset).read_to_end(&mut pending)?;
+                offset += new as u64;
+                let mut emitted = false;
+                while let Some(nl) = pending.iter().position(|&b| b == b'\n') {
+                    let line: Vec<u8> = pending.drain(..=nl).collect();
+                    let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+                    writeln!(out, "{{\"line\":\"{}\"}}", crate::json::escape(&text))?;
+                    emitted = true;
+                }
+                if emitted {
+                    out.flush()?;
+                }
+            }
         }
         let terminal = inner.status(Some(job)).pop().is_none_or(|s| s.state.is_terminal());
-        if !follow || (terminal && (offset as usize) >= bytes.len()) {
+        if !follow || (terminal && offset >= len) {
             let resume_at = offset - pending.len() as u64;
             writeln!(out, "{{\"eof\":true,\"offset\":{resume_at}}}")?;
             return out.flush();

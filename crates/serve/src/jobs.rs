@@ -4,11 +4,11 @@
 //!
 //! The unit is the checkpoint grain: a campaign shard, a difftest case
 //! batch, or a fuzz chunk. Units are pure functions of the spec (and,
-//! for fuzz, of the previous chunk's persisted corpus), so the commit
-//! protocol — append output bytes, sync, then atomically advance
-//! `state.json` — makes every job resumable with byte-identical
-//! output: whatever a dying daemon wrote past its last checkpoint is
-//! truncated on resume and recomputed identically.
+//! for fuzz, of the immutable input corpus generation the checkpoint
+//! names), so the commit protocol — append output bytes, sync, then
+//! atomically advance `state.json` — makes every job resumable with
+//! byte-identical output: whatever a dying daemon wrote past its last
+//! checkpoint is truncated on resume and recomputed identically.
 //!
 //! Campaign and difftest units run *concurrently* with a bounded
 //! submit-ahead window (the same backpressure idea as
@@ -28,12 +28,12 @@ use meek_difftest::{
     classify, cosim, fault_plan, fuzz_program, golden_run, verify_recovery, CosimConfig,
     FaultOutcome, FuzzConfig, RecoveryVerdict,
 };
-use meek_fuzz::{run_fuzz, Corpus, FuzzSettings};
+use meek_fuzz::{run_fuzz, Corpus, FeatureSet, FuzzSettings};
 use meek_workloads::WorkloadCache;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 
@@ -104,6 +104,15 @@ fn publish_progress(ctx: &JobContext, progress: &JobProgress, state: JobState) {
     status.counters = progress.counters.clone();
 }
 
+/// Best-effort text of a panic payload (for job failure messages).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
 fn bump(counters: &mut BTreeMap<String, u64>, key: &str, delta: u64) {
     *counters.entry(key.to_string()).or_insert(0) += delta;
 }
@@ -157,7 +166,11 @@ fn run_units<T: Send + 'static>(
     mut commit: impl FnMut(u64, T) -> Result<(), String>,
 ) -> Result<LoopEnd, String> {
     let window = ctx.window.max(1) as u64;
-    let (tx, rx) = mpsc::channel::<(u64, T)>();
+    // Units send a `Result`: the work runs under `catch_unwind`, so a
+    // panicking unit reaches the coordinator as an error (failing the
+    // job) instead of a silently missing message that would leave this
+    // loop blocked on `recv` forever.
+    let (tx, rx) = mpsc::channel::<(u64, std::thread::Result<T>)>();
     let mut next = start;
     let mut emitted = start;
     let mut emitted_this_run = 0u64;
@@ -176,13 +189,16 @@ fn run_units<T: Send + 'static>(
             // A send failure means the coordinator already returned
             // (cancel/quiesce); the result is recomputed on resume.
             if !ctx.pool.submit(ctx.priority, move || {
-                let _ = tx.send((idx, work()));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work));
+                let _ = tx.send((idx, result));
             }) {
                 return Ok(LoopEnd::Interrupted);
             }
             next += 1;
         }
         let (idx, result) = rx.recv().map_err(|_| "unit result channel closed".to_string())?;
+        let result =
+            result.map_err(|p| format!("unit {idx} panicked: {}", panic_text(p.as_ref())))?;
         parked.insert(idx, result);
         while let Some(result) = parked.remove(&emitted) {
             commit(emitted, result)?;
@@ -460,13 +476,22 @@ fn run_fuzz_job(job: &FuzzJob, ctx: &JobContext) -> Result<JobState, String> {
     let total = job.iters.div_ceil(job.chunk);
     let mut progress = start_progress(ctx, total)?;
     touch_output(&ctx.dir, "results.jsonl").map_err(|e| e.to_string())?;
-    let corpus_dir = ctx.dir.join("corpus");
     let mut emitted_this_run = 0u64;
 
     // Chunks are sequentially dependent — each seeds its search with
     // the corpus the previous chunk persisted — so this loop runs one
     // pool task at a time. The pool still arbitrates priority against
     // other jobs' units.
+    //
+    // Corpus generations: chunk K reads the immutable `corpus-K`
+    // directory (missing for K=0: the empty corpus) and stages its
+    // output as `corpus-(K+1)` *before* the checkpoint advances, so
+    // `units_done` always names the next chunk's input. A crash
+    // anywhere between staging and the checkpoint re-runs chunk K from
+    // the same `corpus-K` and re-stages identical bytes — the corpus a
+    // chunk consumes is determined by the checkpoint, never by which
+    // writes happened to land before the daemon died.
+    let gen_dir = |gen: u64| ctx.dir.join(format!("corpus-{gen:06}"));
     let mut chunk_idx = progress.units_done;
     let end = loop {
         if chunk_idx >= total {
@@ -495,22 +520,22 @@ fn run_fuzz_job(job: &FuzzJob, ctx: &JobContext) -> Result<JobState, String> {
             corpus_cap: job.corpus_cap,
             ..FuzzSettings::default()
         };
-        let corpus = Corpus::load(&corpus_dir, job.corpus_cap).map_err(|e| e.to_string())?;
+        let corpus =
+            Corpus::load(&gen_dir(chunk_idx), job.corpus_cap).map_err(|e| e.to_string())?;
         let (tx, rx) = mpsc::channel();
         if !ctx.pool.submit(ctx.priority, move || {
-            let _ = tx.send(run_fuzz(&settings, corpus));
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_fuzz(&settings, corpus)
+            }));
+            let _ = tx.send(result);
         }) {
             break LoopEnd::Interrupted;
         }
-        let (report, corpus, features) =
-            rx.recv().map_err(|_| "fuzz chunk channel closed".to_string())?;
-        corpus.save(&corpus_dir).map_err(|e| e.to_string())?;
-        // Persist the feature digest beside the entries (as the fuzz
-        // CLI does): the next chunk's engine — and a resumed daemon —
-        // must start from the same coverage universe, and CI keys its
-        // corpus cache on this file.
-        std::fs::write(corpus_dir.join("features.txt"), features.render_names())
-            .map_err(|e| e.to_string())?;
+        let (report, corpus, features) = rx
+            .recv()
+            .map_err(|_| "fuzz chunk channel closed".to_string())?
+            .map_err(|p| format!("fuzz chunk {chunk_idx} panicked: {}", panic_text(p.as_ref())))?;
+        stage_corpus(&gen_dir(chunk_idx + 1), &corpus, &features).map_err(|e| e.to_string())?;
 
         let line = format!(
             "{{\"chunk\":{chunk_idx},\"iters\":{iters},\"evaluated\":{},\"features\":{},\
@@ -538,11 +563,43 @@ fn run_fuzz_job(job: &FuzzJob, ctx: &JobContext) -> Result<JobState, String> {
         progress.units_done = chunk_idx + 1;
         write_state(&ctx.dir, &progress).map_err(|e| e.to_string())?;
         publish_progress(ctx, &progress, JobState::Running);
+        // The consumed input generation is unreachable from any
+        // checkpoint now that `units_done` moved past it: reclaim it.
+        let _ = std::fs::remove_dir_all(gen_dir(chunk_idx));
         chunk_idx += 1;
         emitted_this_run += 1;
         if ctx.fail_after_units.is_some_and(|n| emitted_this_run >= n) && chunk_idx < total {
             break LoopEnd::Interrupted;
         }
     };
-    finish_progress(ctx, &mut progress, end)
+    let state = finish_progress(ctx, &mut progress, end)?;
+    // Once the terminal state is durable the corpus stops evolving:
+    // publish the last staged generation at the stable `corpus/` path
+    // (the layout the fuzz CLI produces and the e2e tests read).
+    // Renaming only *after* the terminal checkpoint means a crash can
+    // never orphan a still-resumable job's input generation;
+    // `Interrupted` keeps its dir — the resumed daemon needs it.
+    if matches!(state, JobState::Done | JobState::Cancelled) {
+        let last = gen_dir(progress.units_done);
+        if last.exists() {
+            let publish = ctx.dir.join("corpus");
+            let _ = std::fs::remove_dir_all(&publish);
+            std::fs::rename(&last, &publish).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(state)
+}
+
+/// Stages a chunk's output corpus atomically: entries plus the
+/// `features.txt` digest are written to a temp directory, then renamed
+/// over the generation path — a generation either exists complete or
+/// not at all, and re-staging after a crash simply replaces it with
+/// the identical re-computed bytes.
+fn stage_corpus(dir: &Path, corpus: &Corpus, features: &FeatureSet) -> io::Result<()> {
+    let tmp = dir.with_extension("tmp");
+    let _ = std::fs::remove_dir_all(&tmp);
+    corpus.save(&tmp)?;
+    std::fs::write(tmp.join("features.txt"), features.render_names())?;
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::rename(&tmp, dir)
 }

@@ -167,7 +167,12 @@ fn worker_loop(inner: &PoolInner) {
                 state = inner.available.wait(state).expect("pool lock");
             }
         };
-        (task.work)();
+        // Contain panics: a panicking task must not take the worker
+        // thread (or the `running` gauge) down with it. Coordinators
+        // observe the panic through their unit channel — tasks send a
+        // `Result` produced under their own `catch_unwind` — so the
+        // job fails cleanly instead of wedging the daemon.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task.work));
         inner.state.lock().expect("pool lock").running -= 1;
     }
 }
@@ -246,6 +251,23 @@ mod tests {
             .map(|_| order_rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap())
             .collect();
         assert_eq!(order, [0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn panicking_task_does_not_wedge_the_pool() {
+        let pool = Pool::new(1);
+        let handle = pool.handle();
+        assert!(handle.submit(0, || panic!("unit blew up")));
+        let (tx, rx) = mpsc::channel();
+        assert!(handle.submit(0, move || tx.send(()).unwrap()));
+        // The sole worker survives the panic and runs the next task…
+        rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        // …and the running gauge is not leaked by the unwound task.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.running() != 0 {
+            assert!(std::time::Instant::now() < deadline, "running gauge leaked");
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -12,7 +12,8 @@
 //!   trace.jsonl   # campaign event trace         (streamed, resumable)
 //!   samples.csv   # campaign occupancy series    (streamed, resumable)
 //!   results.jsonl # difftest cases / fuzz chunks (streamed, resumable)
-//!   corpus/       # fuzz corpus snapshot (rewritten after each chunk)
+//!   corpus-NNNNNN/ # fuzz corpus generation N (immutable once staged)
+//!   corpus/       # final fuzz corpus, published on done/cancelled
 //! ```
 //!
 //! The durability contract: `state.json` is written *after* the unit's
@@ -147,15 +148,25 @@ impl Spool {
     }
 
     /// Admits a job: allocates the next id and persists `job.json`
-    /// plus a queued `state.json`.
+    /// plus a queued `state.json`. Ids are reserved by creating the
+    /// job directory with `create_dir`, which is atomic at the
+    /// filesystem level — concurrent submits (even from separate
+    /// processes sharing a spool) can never allocate the same id; a
+    /// loser of the race simply moves on to the next id.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures.
     pub fn create_job(&self, spec: &JobSpec, priority: i64) -> io::Result<u64> {
-        let id = self.next_id()?;
+        let mut id = self.next_id()?;
+        loop {
+            match fs::create_dir(self.job_dir(id)) {
+                Ok(()) => break,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => id += 1,
+                Err(e) => return Err(e),
+            }
+        }
         let dir = self.job_dir(id);
-        fs::create_dir_all(&dir)?;
         let job_json = format!("{{\"priority\":{priority},\"spec\":{}}}\n", spec.to_json());
         write_atomic(&dir.join("job.json"), job_json.as_bytes())?;
         write_state(&dir, &JobProgress::queued())?;
@@ -325,6 +336,27 @@ mod tests {
         // Ids keep ascending across a re-open (a restart).
         let reopened = Spool::open(&root).unwrap();
         assert_eq!(reopened.create_job(&fuzz, 0).unwrap(), 3);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn concurrent_submits_allocate_distinct_ids() {
+        let root = scratch("race");
+        let spool = Spool::open(&root).unwrap();
+        let spec = JobSpec::Fuzz(FuzzJob::default());
+        let ids: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let spool = spool.clone();
+                    let spec = spec.clone();
+                    s.spawn(move || spool.create_job(&spec, 0).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let distinct: std::collections::BTreeSet<u64> = ids.iter().copied().collect();
+        assert_eq!(distinct.len(), ids.len(), "racing submits shared an id: {ids:?}");
+        assert_eq!(spool.scan().unwrap().len(), ids.len(), "every job directory is intact");
         fs::remove_dir_all(&root).unwrap();
     }
 

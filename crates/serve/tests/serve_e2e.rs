@@ -233,7 +233,18 @@ fn fuzz_job_resumes_with_corpus_continuity() {
         let status = daemon_a.wait(id, WAIT).expect("fuzz job settles");
         let status = if fail_after.is_some() {
             assert_eq!(status.state, JobState::Interrupted);
+            let dir = daemon_a.job_dir(id);
             drop(daemon_a);
+            // Emulate the worst crash window: the dying daemon staged
+            // the next corpus generation but never advanced the
+            // checkpoint past it. The resume must re-run the chunk
+            // from its checkpoint-named input generation and replace
+            // this stale staging wholesale — never consume it.
+            let stale = dir.join("corpus-000002");
+            std::fs::create_dir_all(&stale).unwrap();
+            std::fs::write(stale.join("corpus_00000.seed"), b"garbage from a dead daemon\n")
+                .unwrap();
+            std::fs::write(stale.join("features.txt"), "bogus-feature\n").unwrap();
             let daemon_b = Daemon::start(ServeConfig::new(&spool)).unwrap();
             let s = daemon_b.wait(id, WAIT).expect("resumed fuzz completes");
             let dir = daemon_b.job_dir(id);
