@@ -35,7 +35,7 @@ fn simulate(point: Point, wl: &Workload, insts: u64) -> RunReport {
             Sim::builder(wl, insts).custom_fabric(fabric)
         }
     };
-    builder.build().expect("ablation grid points are valid").run().report
+    builder.build_unobserved().expect("ablation grid points are valid").run().report
 }
 
 fn main() {

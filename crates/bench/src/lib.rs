@@ -107,8 +107,12 @@ pub fn measure_meek_workload(
     insts: u64,
 ) -> MeekMeasurement {
     let vanilla_cycles = run_vanilla(&cfg.big, wl, insts);
-    let report =
-        Sim::builder(wl, insts).config(cfg).build().expect("harness config is valid").run().report;
+    let report = Sim::builder(wl, insts)
+        .config(cfg)
+        .build_unobserved()
+        .expect("harness config is valid")
+        .run()
+        .report;
     MeekMeasurement { name, vanilla_cycles, report }
 }
 

@@ -35,7 +35,7 @@ fn bench_recovery_latency_curve(c: &mut Criterion) {
                         site: FaultSite::MemAddr,
                         bit: 9,
                     }])
-                    .build()
+                    .build_unobserved()
                     .expect("valid")
                     .run()
                     .report;
@@ -66,7 +66,7 @@ fn bench_rollback_depth_sweep(c: &mut Criterion) {
                         site: FaultSite::MemAddr,
                         bit: 9,
                     }])
-                    .build()
+                    .build_unobserved()
                     .expect("valid")
                     .run()
                     .report;
@@ -88,13 +88,20 @@ fn bench_checkpoint_overhead(c: &mut Criterion) {
     let mut g = c.benchmark_group("recover/clean_run");
     g.throughput(Throughput::Elements(INSTS));
     g.bench_function("detect_only", |b| {
-        b.iter(|| Sim::builder(black_box(&wl), INSTS).build().expect("valid").run().report.cycles)
+        b.iter(|| {
+            Sim::builder(black_box(&wl), INSTS)
+                .build_unobserved()
+                .expect("valid")
+                .run()
+                .report
+                .cycles
+        })
     });
     g.bench_function("recovery_enabled", |b| {
         b.iter(|| {
             let report = Sim::builder(black_box(&wl), INSTS)
                 .recovery(RecoveryPolicy::enabled())
-                .build()
+                .build_unobserved()
                 .expect("valid")
                 .run()
                 .report;

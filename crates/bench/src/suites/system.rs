@@ -11,10 +11,18 @@ fn bench_system(c: &mut Criterion) {
     let mut g = c.benchmark_group("system");
     g.throughput(Throughput::Elements(N));
     g.bench_function("meek_4core_10k_insts", |b| {
-        b.iter(|| Sim::builder(&wl, N).build().expect("valid").run().report.cycles)
+        b.iter(|| Sim::builder(&wl, N).build_unobserved().expect("valid").run().report.cycles)
     });
     g.bench_function("meek_2core_10k_insts", |b| {
-        b.iter(|| Sim::builder(&wl, N).little_cores(2).build().expect("valid").run().report.cycles)
+        b.iter(|| {
+            Sim::builder(&wl, N)
+                .little_cores(2)
+                .build_unobserved()
+                .expect("valid")
+                .run()
+                .report
+                .cycles
+        })
     });
     g.finish();
 }

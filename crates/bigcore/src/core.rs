@@ -99,14 +99,24 @@ impl BigCoreStats {
     }
 }
 
+/// Producer-dependency bound: two integer sources plus three FP sources
+/// is the widest any instruction gets (FMA).
+const MAX_DEPS: usize = 5;
+
 #[derive(Debug, Clone)]
 struct Uop {
     seq: u64,
     ret: Retired,
-    /// Producer seqs this uop waits on.
-    deps: Vec<u64>,
+    /// Producer seqs this uop waits on (first `ndeps` slots).
+    deps: [u64; MAX_DEPS],
+    ndeps: u8,
     /// Earliest issue cycle (front-end depth).
     min_issue: u64,
+    /// Scheduler wake bound: dependencies are known not-ready before
+    /// this cycle, so the issue scan skips the uop without re-walking
+    /// its producers. Always a lower bound on real readiness — issue
+    /// decisions are identical to an every-cycle recheck.
+    wake_at: u64,
     issued: bool,
     complete_at: u64,
     is_load: bool,
@@ -139,6 +149,10 @@ pub struct BigCore {
     fetch_resume_at: u64,
     cur_fetch_line: Option<u64>,
     div_busy_until: u64,
+    /// `(seq, addr & !7)` of issued, uncommitted stores — the
+    /// store-to-load forwarding CAM, maintained incrementally instead of
+    /// being rebuilt from a full window scan every cycle.
+    store_addrs: Vec<(u64, u64)>,
     oracle_done: bool,
     stats: BigCoreStats,
 }
@@ -166,6 +180,7 @@ impl BigCore {
             fetch_resume_at: 0,
             cur_fetch_line: None,
             div_busy_until: 0,
+            store_addrs: Vec::new(),
             oracle_done: false,
             stats: BigCoreStats::default(),
         }
@@ -214,6 +229,7 @@ impl BigCore {
         self.fetch_resume_at = now + self.cfg.redirect_penalty;
         self.cur_fetch_line = None;
         self.div_busy_until = 0;
+        self.store_addrs.clear();
         self.oracle_done = false;
         self.stats.committed = committed;
     }
@@ -257,11 +273,25 @@ impl BigCore {
         self.window.get((seq - base) as usize)
     }
 
-    fn deps_ready(&self, uop: &Uop, now: u64) -> bool {
-        uop.deps.iter().all(|&d| match self.uop_by_seq(d) {
-            None => true,
-            Some(p) => p.issued && p.complete_at <= now,
-        })
+    /// `Ok(())` when every producer has completed; otherwise the
+    /// earliest cycle the answer could change (the latest incomplete
+    /// producer's completion, or just next cycle while a producer is
+    /// still unissued).
+    fn deps_ready(&self, uop: &Uop, now: u64) -> Result<(), u64> {
+        let mut wake = 0u64;
+        for &d in &uop.deps[..uop.ndeps as usize] {
+            match self.uop_by_seq(d) {
+                None => {}
+                Some(p) if !p.issued => wake = wake.max(now + 1),
+                Some(p) if p.complete_at > now => wake = wake.max(p.complete_at),
+                Some(_) => {}
+            }
+        }
+        if wake == 0 {
+            Ok(())
+        } else {
+            Err(wake)
+        }
     }
 
     /// One big-core cycle: commit, issue, fetch.
@@ -298,6 +328,10 @@ impl BigCore {
                     }
                     if uop.is_store {
                         self.stq_count -= 1;
+                        if let Some(pos) = self.store_addrs.iter().position(|&(s, _)| s == uop.seq)
+                        {
+                            self.store_addrs.swap_remove(pos);
+                        }
                     }
                     if let Some(rd) = uop.ret.inst.int_dest() {
                         if rd != Reg::X0 {
@@ -347,27 +381,19 @@ impl BigCore {
         let mut fpm = self.cfg.fp_muldiv;
         let mut div = u32::from(now >= self.div_busy_until);
 
-        // Collect issue decisions first (oldest-first), then apply, to
-        // keep the borrow checker and ordering honest.
-        let mut issued: Vec<(usize, u64)> = Vec::new();
-        let mut store_addrs: Vec<(u64, u64)> = self
-            .window
-            .iter()
-            .filter(|u| u.is_store && u.issued)
-            .filter_map(|u| u.ret.mem.map(|m| (u.seq, m.addr & !7)))
-            .collect();
-
         for i in 0..self.window.len() {
             if alu == 0 && mem == 0 && jump == 0 && csr == 0 && fpm == 0 && div == 0 {
                 break;
             }
             let uop = &self.window[i];
-            if uop.issued || uop.min_issue > now {
+            if uop.issued || uop.min_issue > now || uop.wake_at > now {
                 continue;
             }
-            if !self.deps_ready(uop, now) {
+            if let Err(wake) = self.deps_ready(uop, now) {
+                self.window[i].wake_at = wake;
                 continue;
             }
+            let uop = &self.window[i];
             let class = uop.ret.class;
             let unit = match class {
                 ExecClass::IntAlu | ExecClass::Branch => &mut alu,
@@ -385,7 +411,7 @@ impl BigCore {
                 let addr = uop.ret.mem.expect("load has mem").addr;
                 let seq = uop.seq;
                 // Store-to-load forwarding from older in-flight stores.
-                let forwarded = store_addrs.iter().any(|&(s, a)| s < seq && a == addr & !7);
+                let forwarded = self.store_addrs.iter().any(|&(s, a)| s < seq && a == addr & !7);
                 if forwarded {
                     now + 2
                 } else {
@@ -399,14 +425,13 @@ impl BigCore {
             uop.complete_at = complete_at;
             if uop.is_store {
                 if let Some(m) = uop.ret.mem {
-                    store_addrs.push((uop.seq, m.addr & !7));
+                    self.store_addrs.push((uop.seq, m.addr & !7));
                 }
             }
             if class == ExecClass::IntDiv || class == ExecClass::FpDiv {
                 // The iterative divider is unpipelined.
                 self.div_busy_until = complete_at;
             }
-            issued.push((i, complete_at));
             self.iq_count -= 1;
             // Resolve a fetch block when the offending branch issues.
             if self.fetch_stalled_on == Some(self.window[i].seq) {
@@ -475,17 +500,20 @@ impl BigCore {
             // Commit resources are available: dispatch.
             let seq = self.next_seq;
             self.next_seq += 1;
-            let mut deps = Vec::new();
+            let mut deps = [0u64; MAX_DEPS];
+            let mut ndeps = 0u8;
             for src in ret.inst.int_srcs().into_iter().flatten() {
                 if src != Reg::X0 {
                     if let Some(p) = self.int_producer[src.index() as usize] {
-                        deps.push(p);
+                        deps[ndeps as usize] = p;
+                        ndeps += 1;
                     }
                 }
             }
             for src in ret.inst.fp_srcs().into_iter().flatten() {
                 if let Some(p) = self.fp_producer[src.index() as usize] {
-                    deps.push(p);
+                    deps[ndeps as usize] = p;
+                    ndeps += 1;
                 }
             }
             if let Some(rd) = ret.inst.int_dest() {
@@ -566,7 +594,9 @@ impl BigCore {
                 seq,
                 ret,
                 deps,
+                ndeps,
                 min_issue: now + self.cfg.frontend_depth,
+                wake_at: 0,
                 issued: false,
                 complete_at: u64::MAX,
                 is_load,

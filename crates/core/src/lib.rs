@@ -71,8 +71,8 @@ pub use meek_recover::{RecoveryPolicy, RecoveryReport};
 pub use report::{RunReport, StallBreakdown};
 pub use segments::SegmentManager;
 pub use sim::{
-    validate_config, BuildError, EventCounter, EventCounts, JsonlEventSink, Observer, RunOutcome,
-    SampleRow, SamplingObserver, SegmentSpan, SharedBuf, Sim, SimBuilder, SimEvent, TickSample,
-    TraceLog,
+    validate_config, BuildError, EventCounter, EventCounts, JsonlEventSink, NoObserver, Observer,
+    ObserverSet, RunOutcome, SampleRow, SamplingObserver, SegmentSpan, SharedBuf, Sim, SimBuilder,
+    SimEvent, TickSample, TraceLog,
 };
 pub use system::{cycle_cap, run_vanilla, FabricKind, MeekConfig, MeekSystem};

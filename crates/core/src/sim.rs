@@ -242,11 +242,105 @@ pub trait Observer: Send {
     /// One big-core cycle elapsed. Called every cycle — keep it cheap.
     fn tick(&mut self, _cycle: u64) {}
     /// Per-cycle occupancy sample (ROB, fabric backlog), taken right
-    /// after the cycle's tick. Called every cycle whenever at least one
-    /// observer is attached — keep it cheap.
+    /// after the cycle's tick. Only called on cycles for which
+    /// [`Observer::wants_sample_at`] returned `true` — keep it cheap.
     fn sample(&mut self, _cycle: u64, _sample: TickSample) {}
     /// The run drained; final report available. Flush buffers here.
     fn finished(&mut self, _report: &RunReport) {}
+    /// Whether this observer does anything at all. [`Sim::run`] skips
+    /// the whole per-cycle hook path when this returns `false`; the
+    /// zero-sized [`NoObserver`] pins it to `false` so unobserved runs
+    /// compile the hooks away entirely.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+    /// Whether this observer wants a [`TickSample`] for `cycle`.
+    /// [`Sim::run`] builds the (ROB + fabric occupancy) sample only on
+    /// cycles where some attached observer answers `true`, so stride-N
+    /// samplers no longer force per-cycle sample construction. The
+    /// conservative default is every cycle.
+    fn wants_sample_at(&self, _cycle: u64) -> bool {
+        true
+    }
+}
+
+/// The zero-sized "nobody is watching" observer — the default type
+/// parameter of [`Sim`]. Runs built with
+/// [`SimBuilder::build_unobserved`] monomorphize against it, so every
+/// per-cycle hook (tick, sample construction, event fan-out) is
+/// statically dead code instead of an empty dynamic dispatch loop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoObserver;
+
+impl Observer for NoObserver {
+    fn event(&mut self, _ev: &SimEvent) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn wants_sample_at(&self, _cycle: u64) -> bool {
+        false
+    }
+}
+
+/// A dynamic collection of boxed observers, driven in attachment
+/// order — what [`SimBuilder::build`] monomorphizes [`Sim`] against.
+/// This keeps `Box<dyn Observer>` at the construction boundary (CLI
+/// front-ends attaching a run-time-chosen mix) while the per-cycle
+/// dispatch itself stays a single static call on the set.
+#[derive(Default)]
+pub struct ObserverSet(Vec<Box<dyn Observer>>);
+
+impl ObserverSet {
+    /// Wraps an attachment-ordered list of observers.
+    pub fn new(observers: Vec<Box<dyn Observer>>) -> ObserverSet {
+        ObserverSet(observers)
+    }
+
+    /// Number of attached observers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no observers are attached.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Observer for ObserverSet {
+    fn event(&mut self, ev: &SimEvent) {
+        for obs in &mut self.0 {
+            obs.event(ev);
+        }
+    }
+
+    fn tick(&mut self, cycle: u64) {
+        for obs in &mut self.0 {
+            obs.tick(cycle);
+        }
+    }
+
+    fn sample(&mut self, cycle: u64, sample: TickSample) {
+        for obs in &mut self.0 {
+            obs.sample(cycle, sample);
+        }
+    }
+
+    fn finished(&mut self, report: &RunReport) {
+        for obs in &mut self.0 {
+            obs.finished(report);
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        !self.0.is_empty()
+    }
+
+    fn wants_sample_at(&self, cycle: u64) -> bool {
+        self.0.iter().any(|obs| obs.wants_sample_at(cycle))
+    }
 }
 
 /// One cycle's occupancy snapshot, handed to [`Observer::sample`] —
@@ -311,6 +405,10 @@ impl Observer for TraceLog {
             buf.dropped += 1;
         }
         buf.events.push_back(ev.clone());
+    }
+
+    fn wants_sample_at(&self, _cycle: u64) -> bool {
+        false // event-stream only: never consumes TickSamples
     }
 }
 
@@ -378,6 +476,10 @@ impl Observer for EventCounter {
     fn tick(&mut self, _cycle: u64) {
         self.inner.lock().expect("event counter lock").ticks += 1;
     }
+
+    fn wants_sample_at(&self, _cycle: u64) -> bool {
+        false // counts events and ticks: never consumes TickSamples
+    }
 }
 
 /// One retained row of a [`SamplingObserver`] time series.
@@ -406,7 +508,13 @@ pub struct SamplingObserver {
 }
 
 impl SamplingObserver {
-    /// A sampler keeping every `stride`-th cycle (0 is treated as 1).
+    /// A sampler keeping every `stride`-th cycle.
+    ///
+    /// A `stride` of 0 is explicitly clamped to 1 (sample every cycle):
+    /// a zero stride has no meaningful grid, and library callers get
+    /// the densest series rather than a panic. Front-ends that treat 0
+    /// as a user error (the campaign CLI rejects `--sample 0`) must
+    /// validate before constructing the observer.
     pub fn new(stride: u64) -> SamplingObserver {
         SamplingObserver { inner: Arc::new(Mutex::new(Vec::new())), stride: stride.max(1) }
     }
@@ -438,6 +546,10 @@ impl Observer for SamplingObserver {
                 fabric_depth: sample.fabric_depth,
             });
         }
+    }
+
+    fn wants_sample_at(&self, cycle: u64) -> bool {
+        cycle.is_multiple_of(self.stride)
     }
 }
 
@@ -530,6 +642,10 @@ impl<W: Write + Send> Observer for JsonlEventSink<W> {
         if let Err(e) = self.out.flush() {
             panic!("event trace lost: {e}");
         }
+    }
+
+    fn wants_sample_at(&self, _cycle: u64) -> bool {
+        false // serialises the event stream: never consumes TickSamples
     }
 }
 
@@ -752,7 +868,42 @@ impl<'a> SimBuilder<'a> {
     ///
     /// Returns a typed [`BuildError`] for every degenerate
     /// combination; see the enum's variants.
-    pub fn build(self) -> Result<Sim, BuildError> {
+    pub fn build(self) -> Result<Sim<ObserverSet>, BuildError> {
+        let (sys, max_cycles, observers) = self.assemble()?;
+        Ok(Sim {
+            sys,
+            max_cycles,
+            observer: ObserverSet::new(observers),
+            halt_on_first_detection: false,
+        })
+    }
+
+    /// Like [`SimBuilder::build`], but monomorphizes the run against
+    /// the zero-sized [`NoObserver`]: no boxed observers exist, so the
+    /// per-cycle hook path (tick, sample construction, event fan-out)
+    /// compiles away entirely. This is the hot path for oracle-style
+    /// callers that only need the [`RunOutcome`] — the difftest
+    /// cosimulator, fault classification, recovery verification and the
+    /// benches.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same typed [`BuildError`]s as [`SimBuilder::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if observers were attached — attaching via
+    /// [`SimBuilder::observe`] and then discarding silently would be a
+    /// caller bug.
+    pub fn build_unobserved(self) -> Result<Sim<NoObserver>, BuildError> {
+        let (sys, max_cycles, observers) = self.assemble()?;
+        assert!(observers.is_empty(), "observers attached to an unobserved build");
+        Ok(Sim { sys, max_cycles, observer: NoObserver, halt_on_first_detection: false })
+    }
+
+    /// The shared validation + assembly behind both build flavours.
+    #[allow(clippy::type_complexity)]
+    fn assemble(self) -> Result<(MeekSystem, u64, Vec<Box<dyn Observer>>), BuildError> {
         if self.insts == 0 {
             return Err(BuildError::ZeroInstructionBudget);
         }
@@ -792,34 +943,41 @@ impl<'a> SimBuilder<'a> {
         let recovery = &sys.config().recovery;
         let derived = if recovery.enabled { 2 + recovery.max_retries as u64 } else { 1 };
         let max_cycles = cycle_cap(self.insts).saturating_mul(self.headroom.max(derived));
-        Ok(Sim { sys, max_cycles, observers: self.observers })
+        Ok((sys, max_cycles, self.observers))
     }
 }
 
-/// A validated, ready-to-run simulation. Obtain one from
+/// A validated, ready-to-run simulation, monomorphized over its
+/// observer: [`SimBuilder::build`] yields `Sim<ObserverSet>` (dynamic
+/// observers at the construction boundary only), and
+/// [`SimBuilder::build_unobserved`] yields `Sim<NoObserver>` whose
+/// per-cycle hook path is statically dead. Obtain one from
 /// [`Sim::builder`]; consume it with [`Sim::run`].
-pub struct Sim {
+pub struct Sim<O: Observer = NoObserver> {
     sys: MeekSystem,
     max_cycles: u64,
-    observers: Vec<Box<dyn Observer>>,
+    observer: O,
+    halt_on_first_detection: bool,
 }
 
-impl fmt::Debug for Sim {
+impl<O: Observer> fmt::Debug for Sim<O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Sim")
             .field("max_cycles", &self.max_cycles)
-            .field("observers", &self.observers.len())
+            .field("observed", &self.observer.is_enabled())
             .finish_non_exhaustive()
     }
 }
 
-impl Sim {
+impl Sim<NoObserver> {
     /// Starts a builder — the canonical construction path for every
     /// MEEK simulation.
     pub fn builder(workload: &Workload, insts: u64) -> SimBuilder<'_> {
         SimBuilder::new(workload, insts)
     }
+}
 
+impl<O: Observer> Sim<O> {
     /// The derived liveness bound (cycles) this run will panic at.
     pub fn max_cycles(&self) -> u64 {
         self.max_cycles
@@ -829,6 +987,24 @@ impl Sim {
     /// ticks; most callers only need [`Sim::run`]).
     pub fn system(&self) -> &MeekSystem {
         &self.sys
+    }
+
+    /// Stops [`Sim::run`] as soon as the first fault detection is
+    /// recorded instead of draining the system.
+    ///
+    /// This is a fast path for detect-only oracles that consume nothing
+    /// but the first [`DetectionRecord`]: the
+    /// record — site, segment, cycles, `latency_ns` — is complete the
+    /// moment the injector pushes it, so halting there returns an
+    /// identical verdict at a fraction of the simulated cycles. Every
+    /// other report field (cycle counts, stall decomposition, pending
+    /// verdicts) then reflects the truncated run, so callers that read
+    /// beyond `detections` must not use this. Recovery-enabled runs
+    /// should not halt either: recovery annotates the detection after
+    /// the fact.
+    pub fn halt_on_first_detection(mut self) -> Self {
+        self.halt_on_first_detection = true;
+        self
     }
 
     /// Runs the simulation to drain, driving every attached
@@ -842,6 +1018,9 @@ impl Sim {
         let start = self.sys.now();
         let mut timeline: BTreeMap<u32, SegmentSpan> = BTreeMap::new();
         while !self.sys.is_complete() {
+            if self.halt_on_first_detection && self.sys.detection_count() > 0 {
+                break;
+            }
             assert!(
                 self.sys.now() - start < self.max_cycles,
                 "system failed to drain within {} cycles: {}",
@@ -852,26 +1031,27 @@ impl Sim {
             let cycle = self.sys.now() - 1;
             for ev in self.sys.take_events() {
                 apply_to_timeline(&mut timeline, &ev);
-                for obs in &mut self.observers {
-                    obs.event(&ev);
-                }
+                self.observer.event(&ev);
             }
-            if !self.observers.is_empty() {
-                let sample = TickSample {
-                    rob_occupancy: self.sys.rob_occupancy(),
-                    fabric_depth: self.sys.fabric_depth(),
-                };
-                for obs in &mut self.observers {
-                    obs.tick(cycle);
-                    obs.sample(cycle, sample);
+            if self.observer.is_enabled() {
+                self.observer.tick(cycle);
+                if self.observer.wants_sample_at(cycle) {
+                    let sample = TickSample {
+                        rob_occupancy: self.sys.rob_occupancy(),
+                        fabric_depth: self.sys.fabric_depth(),
+                    };
+                    self.observer.sample(cycle, sample);
                 }
             }
         }
-        self.sys.resolve_drain();
+        if !(self.halt_on_first_detection && self.sys.detection_count() > 0) {
+            // Settling end-of-run verdicts only makes sense on a drained
+            // system; a halted-on-detection run already has the one
+            // record its caller consumes.
+            self.sys.resolve_drain();
+        }
         let report = self.sys.report();
-        for obs in &mut self.observers {
-            obs.finished(&report);
-        }
+        self.observer.finished(&report);
         RunOutcome { report, timeline: timeline.into_values().collect(), sys: self.sys }
     }
 }
@@ -1092,6 +1272,31 @@ mod tests {
     }
 
     #[test]
+    fn halted_run_preserves_the_first_detection_record() {
+        // The detect-only fast path must surface the exact detection
+        // record the drained run would — site, cycles, latency — while
+        // simulating strictly fewer (or equal) cycles.
+        let wl = small_workload();
+        let spec = FaultSpec { arm_at_commit: 4_000, site: FaultSite::MemAddr, bit: 9 };
+        let full = Sim::builder(&wl, 12_000)
+            .faults(vec![spec])
+            .build_unobserved()
+            .expect("valid")
+            .run()
+            .report;
+        let halted = Sim::builder(&wl, 12_000)
+            .faults(vec![spec])
+            .build_unobserved()
+            .expect("valid")
+            .halt_on_first_detection()
+            .run()
+            .report;
+        assert_eq!(full.detections.len(), 1);
+        assert_eq!(halted.detections.first(), full.detections.first());
+        assert!(halted.cycles <= full.cycles, "{} > {}", halted.cycles, full.cycles);
+    }
+
+    #[test]
     fn recovery_run_emits_rollback_events_and_reopens() {
         let wl = small_workload();
         let counter = EventCounter::new();
@@ -1211,11 +1416,81 @@ mod tests {
         // Campaign workers build and run sims on worker threads.
         fn assert_send<T: Send>() {}
         assert_send::<Sim>();
+        assert_send::<Sim<ObserverSet>>();
         assert_send::<RunOutcome>();
         assert_send::<SimEvent>();
         assert_send::<TraceLog>();
         assert_send::<EventCounter>();
         assert_send::<JsonlEventSink<SharedBuf>>();
+    }
+
+    #[test]
+    fn unobserved_build_matches_observed_build() {
+        let wl = small_workload();
+        let observed = Sim::builder(&wl, 10_000).build().expect("valid").run();
+        let unobserved = Sim::builder(&wl, 10_000).build_unobserved().expect("valid").run();
+        assert_eq!(observed.report.cycles, unobserved.report.cycles);
+        assert_eq!(observed.report.committed, unobserved.report.committed);
+        assert_eq!(observed.report.verified_segments, unobserved.report.verified_segments);
+        assert_eq!(observed.report.failed_segments, unobserved.report.failed_segments);
+        assert_eq!(observed.final_state().checkpoint(), unobserved.final_state().checkpoint());
+        assert_eq!(observed.timeline.len(), unobserved.timeline.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "observers attached")]
+    fn unobserved_build_with_observers_panics() {
+        let wl = small_workload();
+        let _ = Sim::builder(&wl, 1_000).observe(EventCounter::new()).build_unobserved();
+    }
+
+    /// An observer that declines sampling and treats any delivered
+    /// sample as a bug — the regression guard for the hoisted
+    /// "anyone sampling this cycle?" check.
+    #[derive(Clone, Default)]
+    struct RefusesSamples {
+        ticks: Arc<Mutex<u64>>,
+    }
+
+    impl Observer for RefusesSamples {
+        fn tick(&mut self, _cycle: u64) {
+            *self.ticks.lock().expect("tick counter lock") += 1;
+        }
+
+        fn sample(&mut self, cycle: u64, _sample: TickSample) {
+            panic!("TickSample built on cycle {cycle} although nobody wants samples");
+        }
+
+        fn wants_sample_at(&self, _cycle: u64) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn sample_path_is_dead_when_no_observer_wants_samples() {
+        let wl = small_workload();
+        let obs = RefusesSamples::default();
+        let outcome = Sim::builder(&wl, 5_000).observe(obs.clone()).build().expect("valid").run();
+        // tick still fires every cycle; the sample path never did.
+        assert_eq!(*obs.ticks.lock().expect("tick counter lock"), outcome.report.cycles);
+        // The zero-sized unobserved path reports itself hook-free.
+        assert!(!NoObserver.is_enabled());
+        assert!(!NoObserver.wants_sample_at(0));
+        assert!(!ObserverSet::default().is_enabled());
+    }
+
+    #[test]
+    fn sampling_stride_zero_is_clamped_to_one() {
+        // The documented contract: stride 0 samples every cycle, exactly
+        // like stride 1 (the campaign CLI rejects 0 before getting here).
+        let sampler = SamplingObserver::new(0);
+        assert!(sampler.wants_sample_at(0));
+        assert!(sampler.wants_sample_at(1));
+        assert!(sampler.wants_sample_at(7));
+        let wl = small_workload();
+        let outcome =
+            Sim::builder(&wl, 3_000).observe(sampler.clone()).build().expect("valid").run();
+        assert_eq!(sampler.rows().len() as u64, outcome.report.cycles);
     }
 
     #[test]

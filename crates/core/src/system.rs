@@ -8,7 +8,10 @@ use crate::report::{RunReport, StallBreakdown};
 use crate::segments::SegmentManager;
 use crate::sim::SimEvent;
 use meek_bigcore::{BigCore, BigCoreConfig, NullHook};
-use meek_fabric::{AxiConfig, AxiInterconnect, DestMask, F2Config, Fabric, PacketSink, F2};
+use meek_fabric::{
+    AxiConfig, AxiInterconnect, DestMask, F2Config, Fabric, Packet, PacketKind, PacketSink,
+    SinkBank, F2,
+};
 use meek_isa::{ArchState, SparseMemory};
 use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig};
 use meek_recover::{RecoveryManager, RecoveryPolicy};
@@ -96,6 +99,25 @@ impl MeekConfig {
     }
 }
 
+/// The checker array viewed as the fabric's sink bank: sink `i` is
+/// little core `i`'s Load-Store Log. Handing this to [`Fabric::tick`]
+/// avoids materialising a slice of trait objects every cycle.
+struct LittleSinks<'a>(&'a mut [LittleCore]);
+
+impl SinkBank for LittleSinks<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn can_accept(&self, i: usize, kind: PacketKind) -> bool {
+        self.0[i].lsl.can_accept(kind)
+    }
+
+    fn deliver(&mut self, i: usize, pkt: Packet, now: u64) {
+        self.0[i].lsl.deliver(pkt, now);
+    }
+}
+
 /// The full system under simulation.
 pub struct MeekSystem {
     cfg: MeekConfig,
@@ -177,6 +199,9 @@ impl MeekSystem {
                 // The shared L2/LLC are warm with the program by the time
                 // checker threads are hooked.
                 lc.prewarm_code(workload.entry(), 4 * workload.static_len as u64);
+                // Replay consumes the workload's pre-decoded record
+                // table instead of re-decoding words per instruction.
+                lc.install_predecode(workload.predecoded().clone());
                 lc
             })
             .collect();
@@ -362,11 +387,7 @@ impl MeekSystem {
         // DEU background streaming of checkpoint chunks.
         self.deu.pump_transfers(self.fabric.as_mut(), &mut self.injector, now);
         // Fabric moves packets toward the LSLs.
-        {
-            let mut sinks: Vec<&mut dyn PacketSink> =
-                self.littles.iter_mut().map(|l| &mut l.lsl as &mut dyn PacketSink).collect();
-            self.fabric.tick(now, &mut sinks);
-        }
+        self.fabric.tick(now, &mut LittleSinks(&mut self.littles));
         // Big clock domain.
         if self.big.is_drained() && self.app_done_cycle.is_none() {
             self.app_done_cycle = Some(now);
@@ -508,6 +529,12 @@ impl MeekSystem {
     /// Faults still queued in the injector (not yet armed).
     pub fn injector_remaining(&self) -> usize {
         self.injector.remaining()
+    }
+
+    /// Fault detections recorded so far (cheap; polled per cycle by the
+    /// halt-on-first-detection fast path).
+    pub fn detection_count(&self) -> usize {
+        self.injector.detections.len()
     }
 
     /// Builds the run report at any point.

@@ -25,8 +25,9 @@ use meek_core::Sim;
 use meek_fabric::{DestMask, Packet, PacketSink, Payload};
 use meek_isa::disasm::{disasm_window, disasm_word};
 use meek_isa::state::RegCheckpoint;
-use meek_isa::{exec, ArchState, Retired, Trap};
+use meek_isa::{step_predecoded, ArchState, Retired, Trap};
 use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig, MismatchKind};
+use meek_workloads::Workload;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -161,18 +162,26 @@ pub fn golden_run(prog: &FuzzProgram) -> Result<GoldenRun, Divergence> {
 /// fuzzer-facing cap, so a relink-manufactured infinite loop costs only
 /// `cap` interpreter steps to discard.
 pub fn golden_run_bounded(prog: &FuzzProgram, cap: u64) -> Result<GoldenRun, Divergence> {
-    let mut mem = prog.image();
-    let mut st = ArchState::new(prog.entry());
+    golden_run_in(&prog.workload(), cap)
+}
+
+/// [`golden_run_bounded`] against an already-built [`Workload`], so the
+/// per-case image build and pre-decode pass happen exactly once across
+/// all three co-simulation ways and every fault oracle that follows.
+pub fn golden_run_in(wl: &Workload, cap: u64) -> Result<GoldenRun, Divergence> {
+    let mut mem = wl.image().clone();
+    let pd = wl.predecoded();
+    let mut st = ArchState::new(wl.entry());
     let mut trace = Vec::new();
-    while st.pc != prog.exit_pc() && (trace.len() as u64) < cap {
-        match exec::step(&mut st, &mut mem) {
+    while st.pc != wl.exit_pc() && (trace.len() as u64) < cap {
+        match step_predecoded(&mut st, &mut mem, pd) {
             Ok(r) => trace.push(r),
             Err(Trap::IllegalInstruction { pc, word }) => {
-                let start = pc.saturating_sub(16).max(prog.entry());
+                let start = pc.saturating_sub(16).max(wl.entry());
                 return Err(Divergence::GoldenTrap {
                     pc,
                     word,
-                    window: disasm_window(&prog.image(), start, 9, pc),
+                    window: disasm_window(wl.image(), start, 9, pc),
                 });
             }
         }
@@ -208,42 +217,56 @@ pub struct CosimVerdict {
 
 /// Runs all three ways and lock-steps them.
 pub fn run(prog: &FuzzProgram, cfg: &CosimConfig) -> CosimVerdict {
+    run_full(prog, cfg).0
+}
+
+/// [`run`], but also hands back the shared per-case artifacts — the
+/// golden run and the built [`Workload`] (image + pre-decode table) —
+/// so fault oracles downstream reuse them instead of rebuilding both
+/// for every injected fault. `None` when the golden run itself trapped
+/// (there is nothing to reuse).
+pub fn run_full(
+    prog: &FuzzProgram,
+    cfg: &CosimConfig,
+) -> (CosimVerdict, Option<(GoldenRun, Workload)>) {
     let mut verdict = CosimVerdict { executed: 0, segments: 0, system_cycles: 0, divergence: None };
-    let golden = match golden_run(prog) {
+    let wl = prog.workload();
+    let golden = match golden_run_in(&wl, GOLDEN_CAP) {
         Ok(g) => g,
         Err(d) => {
             verdict.divergence = Some(d);
-            return verdict;
+            return (verdict, None);
         }
     };
     verdict.executed = golden.trace.len() as u64;
     if golden.trace.is_empty() {
-        return verdict;
+        return (verdict, Some((golden, wl)));
     }
-    match replay_lockstep(prog, &golden, cfg) {
+    match replay_lockstep(&wl, &golden, cfg) {
         Ok(segments) => verdict.segments = segments,
         Err(d) => {
             verdict.divergence = Some(d);
-            return verdict;
+            return (verdict, Some((golden, wl)));
         }
     }
-    match system_check(prog, &golden, cfg) {
+    match system_check(&wl, &golden, cfg) {
         Ok(cycles) => verdict.system_cycles = cycles,
         Err(d) => verdict.divergence = Some(d),
     }
-    verdict
+    (verdict, Some((golden, wl)))
 }
 
 /// Way 2: feeds the golden run's forwarded data to a real littlecore,
 /// one segment at a time, and demands a clean verdict for every one.
 fn replay_lockstep(
-    prog: &FuzzProgram,
+    wl: &Workload,
     golden: &GoldenRun,
     cfg: &CosimConfig,
 ) -> Result<u32, Divergence> {
-    let image = prog.image();
+    let image = wl.image();
     let mut core = LittleCore::new(0, LittleCoreConfig::optimized(), CHUNKS_PER_CP);
-    core.seed_initial_checkpoint(ArchState::new(prog.entry()).checkpoint());
+    core.install_predecode(wl.predecoded().clone());
+    core.seed_initial_checkpoint(ArchState::new(wl.entry()).checkpoint());
     let n = golden.trace.len();
     let seg_len = cfg.seg_len.max(1) as usize;
     let n_segs = n.div_ceil(seg_len);
@@ -252,7 +275,7 @@ fn replay_lockstep(
     // Replaying the segment's end state requires the checkpoint *after*
     // its last instruction; track it by replaying the writebacks the
     // golden trace already carries.
-    let mut shadow = ArchState::new(prog.entry());
+    let mut shadow = ArchState::new(wl.entry());
     for seg_idx in 0..n_segs {
         let seg = (seg_idx + 1) as u32;
         let start = seg_idx * seg_len;
@@ -313,28 +336,30 @@ fn replay_lockstep(
         seq += 1;
         let replayed_before = core.stats().replayed_insts;
         let deadline = now + 400 * (end - start) as u64 + 50_000;
-        loop {
-            match core.tick_check(now, &image) {
-                Some(CheckerEvent::SegmentVerified { seg: vseg, pass, mismatch }) => {
-                    now += 1;
-                    if !pass {
-                        let in_seg = core.stats().replayed_insts - replayed_before;
-                        // The failing comparison is the last replayed
-                        // instruction (LSL mismatches) or the segment end
-                        // (ERCP register mismatches).
-                        let at = (start as u64 + in_seg.saturating_sub(1)).min(n as u64 - 1);
-                        return Err(Divergence::Replay {
-                            seg: vseg,
-                            kind: mismatch.expect("failed segment carries a mismatch"),
-                            at_index: at,
-                            window: trace_window(golden, at as usize, cfg.window),
-                        });
-                    }
-                    break;
+        // All forwarded data for the segment is already in the LSL, so
+        // the batched fast path consumes the whole record window in one
+        // call; a missing verdict means the replay starved (or spun past
+        // the deadline) — it can never catch up, because nothing more
+        // will be delivered.
+        let (resumed_at, ev) = core.check_burst(now, image, deadline);
+        now = resumed_at + 1;
+        match ev {
+            Some(CheckerEvent::SegmentVerified { seg: vseg, pass, mismatch }) => {
+                if !pass {
+                    let in_seg = core.stats().replayed_insts - replayed_before;
+                    // The failing comparison is the last replayed
+                    // instruction (LSL mismatches) or the segment end
+                    // (ERCP register mismatches).
+                    let at = (start as u64 + in_seg.saturating_sub(1)).min(n as u64 - 1);
+                    return Err(Divergence::Replay {
+                        seg: vseg,
+                        kind: mismatch.expect("failed segment carries a mismatch"),
+                        at_index: at,
+                        window: trace_window(golden, at as usize, cfg.window),
+                    });
                 }
-                _ => now += 1,
             }
-            if now > deadline {
+            _ => {
                 return Err(Divergence::ReplayStuck {
                     seg,
                     replayed: core.stats().replayed_insts - replayed_before,
@@ -362,17 +387,12 @@ fn apply_writeback(shadow: &mut ArchState, r: &Retired) {
 /// Way 3: the full MEEK SoC runs the program; the big core's commit
 /// stream must match the golden count and every forwarded segment must
 /// verify clean on the checker cluster.
-fn system_check(
-    prog: &FuzzProgram,
-    golden: &GoldenRun,
-    cfg: &CosimConfig,
-) -> Result<u64, Divergence> {
+fn system_check(wl: &Workload, golden: &GoldenRun, cfg: &CosimConfig) -> Result<u64, Divergence> {
     let n = golden.trace.len() as u64;
-    let wl = prog.workload();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        Sim::builder(&wl, n)
+        Sim::builder(wl, n)
             .little_cores(cfg.n_little)
-            .build()
+            .build_unobserved()
             .expect("cosim configuration is valid")
             .run()
             .report
@@ -456,7 +476,7 @@ mod tests {
         if let Some(m) = &mut golden.trace[victim].mem {
             m.data ^= 1 << 5;
         }
-        let d = replay_lockstep(&prog, &golden, &CosimConfig::default())
+        let d = replay_lockstep(&prog.workload(), &golden, &CosimConfig::default())
             .expect_err("corruption must be detected");
         match d {
             Divergence::Replay { kind, window, .. } => {

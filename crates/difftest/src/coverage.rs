@@ -25,8 +25,9 @@ use crate::fuzz::FuzzProgram;
 use meek_core::{CorruptedField, FaultSite, FaultSpec, MaskRecord, Sim};
 use meek_fabric::{DestMask, Packet, PacketSink, Payload};
 use meek_isa::state::RegCheckpoint;
-use meek_isa::{exec, ArchState};
+use meek_isa::{step_predecoded, ArchState};
 use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig};
+use meek_workloads::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -102,19 +103,33 @@ pub fn classify(
     spec: FaultSpec,
     n_little: usize,
 ) -> FaultOutcome {
+    classify_in(golden, &prog.workload(), spec, n_little)
+}
+
+/// [`classify`] against an already-built [`Workload`], so a fault plan
+/// of N specs shares one image build and pre-decode pass instead of
+/// repeating both per fault.
+pub fn classify_in(
+    golden: &GoldenRun,
+    wl: &Workload,
+    spec: FaultSpec,
+    n_little: usize,
+) -> FaultOutcome {
     let n = golden.trace.len() as u64;
     if n == 0 {
         // A program that exits immediately retires nothing: the fault
         // can never fire, which is exactly the pending verdict.
         return FaultOutcome::Pending;
     }
-    let wl = prog.workload();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        Sim::builder(&wl, n)
+        // Detect-only classification consumes nothing but the first
+        // detection record, so the run may halt the moment it lands.
+        Sim::builder(wl, n)
             .little_cores(n_little)
             .faults(vec![spec])
-            .build()
+            .build_unobserved()
             .expect("coverage configuration is valid")
+            .halt_on_first_detection()
             .run()
             .report
     }));
@@ -126,7 +141,7 @@ pub fn classify(
             }
         }
     };
-    classify_with(prog, golden, spec, &report)
+    classify_with_in(golden, wl, spec, &report)
 }
 
 /// Classifies an already-completed run's report against the golden
@@ -141,8 +156,26 @@ pub fn classify_with(
     if let Some(d) = report.detections.first() {
         return FaultOutcome::Detected { latency_ns: d.latency_ns };
     }
+    if report.masked_faults.is_empty() && report.pending_faults > 0 {
+        return FaultOutcome::Pending;
+    }
+    // Only the masked branch (the replay-twin prover) needs the image
+    // and pre-decode table, so the workload is built lazily here.
+    classify_with_in(golden, &prog.workload(), spec, report)
+}
+
+/// [`classify_with`] against an already-built [`Workload`].
+pub fn classify_with_in(
+    golden: &GoldenRun,
+    wl: &Workload,
+    spec: FaultSpec,
+    report: &meek_core::RunReport,
+) -> FaultOutcome {
+    if let Some(d) = report.detections.first() {
+        return FaultOutcome::Detected { latency_ns: d.latency_ns };
+    }
     if let Some(mask) = report.masked_faults.first() {
-        return prove_benign(prog, golden, mask);
+        return prove_benign(golden, wl, mask);
     }
     if report.pending_faults > 0 {
         return FaultOutcome::Pending;
@@ -162,7 +195,7 @@ pub fn classify_with(
 /// the corruption either — the mask is benign. If it mismatches, the
 /// real system should have detected it, and the masked verdict is an
 /// escape.
-fn prove_benign(prog: &FuzzProgram, golden: &GoldenRun, mask: &MaskRecord) -> FaultOutcome {
+fn prove_benign(golden: &GoldenRun, wl: &Workload, mask: &MaskRecord) -> FaultOutcome {
     match &mask.field {
         &CorruptedField::Mem { addr, size, data, is_store } => {
             // The corrupted packet is the first matching memory record
@@ -199,13 +232,13 @@ fn prove_benign(prog: &FuzzProgram, golden: &GoldenRun, mask: &MaskRecord) -> Fa
                     unreachable!("parity faults always detect; they never mask")
                 }
             };
-            let srcp = ArchState::new(prog.entry()).checkpoint();
-            replay_twin(prog, golden, 0, srcp, Some((idx, caddr, cdata)), mask)
+            let srcp = ArchState::new(wl.entry()).checkpoint();
+            replay_twin(golden, wl, 0, srcp, Some((idx, caddr, cdata)), mask)
         }
         CorruptedField::Register { index, clean_cp } => {
             // Locate the boundary the corrupted checkpoint was cut at:
             // the first golden state equal to the clean checkpoint.
-            let Some(j) = find_state_index(prog, clean_cp) else {
+            let Some(j) = find_state_index(wl, clean_cp) else {
                 return FaultOutcome::Escaped {
                     reason: format!(
                         "masked checkpoint fault's clean state not found in the golden run: \
@@ -215,25 +248,26 @@ fn prove_benign(prog: &FuzzProgram, golden: &GoldenRun, mask: &MaskRecord) -> Fa
             };
             let mut srcp = **clean_cp;
             srcp.x[*index] ^= 1 << (mask.spec.bit % 64);
-            replay_twin(prog, golden, j, srcp, None, mask)
+            replay_twin(golden, wl, j, srcp, None, mask)
         }
     }
 }
 
 /// Scans the golden run for the first architectural state equal to
 /// `cp`, returning how many instructions had retired at that point.
-fn find_state_index(prog: &FuzzProgram, cp: &RegCheckpoint) -> Option<usize> {
-    let mut mem = prog.image();
-    let mut st = ArchState::new(prog.entry());
+fn find_state_index(wl: &Workload, cp: &RegCheckpoint) -> Option<usize> {
+    let mut mem = wl.image().clone();
+    let pd = wl.predecoded();
+    let mut st = ArchState::new(wl.entry());
     let mut executed = 0usize;
     loop {
         if st.pc == cp.pc && st.checkpoint() == *cp {
             return Some(executed);
         }
-        if st.pc == prog.exit_pc() || executed as u64 >= crate::cosim::GOLDEN_CAP {
+        if st.pc == wl.exit_pc() || executed as u64 >= crate::cosim::GOLDEN_CAP {
             return None;
         }
-        exec::step(&mut st, &mut mem).ok()?;
+        step_predecoded(&mut st, &mut mem, pd).ok()?;
         executed += 1;
     }
 }
@@ -244,18 +278,18 @@ fn find_state_index(prog: &FuzzProgram, cp: &RegCheckpoint) -> Option<usize> {
 /// trace index replaced by the corrupted `(addr, data)` — and the
 /// fault-free final registers as the ERCP.
 fn replay_twin(
-    prog: &FuzzProgram,
     golden: &GoldenRun,
+    wl: &Workload,
     start: usize,
     srcp: RegCheckpoint,
     corrupt: Option<(usize, u64, u64)>,
     mask: &MaskRecord,
 ) -> FaultOutcome {
-    let image = prog.image();
+    let image = wl.image();
     let mut core = LittleCore::new(0, LittleCoreConfig::optimized(), crate::cosim::CHUNKS_PER_CP);
+    core.install_predecode(wl.predecoded().clone());
     core.seed_initial_checkpoint(srcp);
     core.assign(1);
-    let mut now = 0u64;
     let mut seq = 0u64;
     for (i, r) in golden.trace[start..].iter().enumerate() {
         let abs = start + i;
@@ -305,28 +339,21 @@ fn replay_twin(
         0,
     );
     let deadline = 400 * len + 50_000;
-    loop {
-        if let Some(CheckerEvent::SegmentVerified { pass, mismatch, .. }) =
-            core.tick_check(now, &image)
-        {
-            return if pass {
-                FaultOutcome::MaskedProvenBenign
-            } else {
-                FaultOutcome::Escaped {
-                    reason: format!(
-                        "replay twin caught the masked corruption as {:?} — the checkers \
-                         should have: {mask:?}",
-                        mismatch.expect("failed segment carries a mismatch")
-                    ),
-                }
-            };
-        }
-        now += 1;
-        if now > deadline {
-            return FaultOutcome::Escaped {
-                reason: format!("replay twin made no progress with the corruption: {mask:?}"),
-            };
-        }
+    // The whole (possibly corrupted) log is pre-delivered, so the twin
+    // replays the giant segment as one batched record window.
+    let (_, ev) = core.check_burst(0, image, deadline);
+    match ev {
+        Some(CheckerEvent::SegmentVerified { pass: true, .. }) => FaultOutcome::MaskedProvenBenign,
+        Some(CheckerEvent::SegmentVerified { mismatch, .. }) => FaultOutcome::Escaped {
+            reason: format!(
+                "replay twin caught the masked corruption as {:?} — the checkers \
+                 should have: {mask:?}",
+                mismatch.expect("failed segment carries a mismatch")
+            ),
+        },
+        _ => FaultOutcome::Escaped {
+            reason: format!("replay twin made no progress with the corruption: {mask:?}"),
+        },
     }
 }
 
@@ -381,7 +408,7 @@ mod tests {
             armed_at_commit: idx as u64,
             field: CorruptedField::Mem { addr: m.addr, size: m.size, data: m.data, is_store: true },
         };
-        let outcome = prove_benign(&prog, &golden, &mask);
+        let outcome = prove_benign(&golden, &prog.workload(), &mask);
         assert!(outcome.is_escape(), "a live store corruption must convict, got {outcome}");
     }
 

@@ -19,7 +19,7 @@
 use meek_isa::inst::{
     AluImmOp, AluOp, BranchOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp,
 };
-use meek_isa::{encode, ArchState, Bus, FReg, Reg, SparseMemory};
+use meek_isa::{encode, ArchState, Bus, FReg, PreDecoded, Reg, SparseMemory};
 use meek_workloads::Workload;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -130,6 +130,13 @@ impl FuzzProgram {
             image.write(DATA_BASE + off, 8, xs);
         }
         image
+    }
+
+    /// Pre-decodes the code span once for the hot drivers (golden
+    /// interpreter, lock-step replay, coverage twin). Fuzzed code is
+    /// never self-modified, so the table stays valid for the whole run.
+    pub fn predecoded(&self) -> PreDecoded {
+        PreDecoded::from_image(&self.image(), CODE_BASE, self.words.len())
     }
 
     /// Wraps the program as a `meek-workloads` workload so the full MEEK

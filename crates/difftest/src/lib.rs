@@ -49,8 +49,15 @@ pub mod fuzz;
 pub mod recover;
 pub mod shrink;
 
-pub use cosim::{golden_run, golden_run_bounded, CosimConfig, CosimVerdict, Divergence, GoldenRun};
-pub use coverage::{classify, classify_with, fault_plan, FaultOutcome};
+pub use cosim::{
+    golden_run, golden_run_bounded, golden_run_in, CosimConfig, CosimVerdict, Divergence, GoldenRun,
+};
+pub use coverage::{
+    classify, classify_in, classify_with, classify_with_in, fault_plan, FaultOutcome,
+};
 pub use fuzz::{fuzz_program, FuzzConfig, FuzzProgram};
-pub use recover::{verify_recovery, verify_recovery_on, verify_recovery_outcome, RecoveryVerdict};
+pub use recover::{
+    verify_recovery, verify_recovery_in, verify_recovery_on, verify_recovery_outcome,
+    verify_recovery_outcome_in, RecoveryVerdict,
+};
 pub use shrink::{emit_test, minimize, remove_range_relinked, shrink_insts};

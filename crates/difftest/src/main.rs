@@ -13,8 +13,9 @@
 //! order, so output is byte-identical at any `--threads`.
 
 use meek_campaign::Executor;
+use meek_core::FabricKind;
 use meek_difftest::{
-    classify, cosim, emit_test, fault_plan, fuzz_program, golden_run, minimize, verify_recovery,
+    classify_in, cosim, emit_test, fault_plan, fuzz_program, minimize, verify_recovery_in,
     CosimConfig, Divergence, FaultOutcome, FuzzConfig, RecoveryVerdict,
 };
 use std::io::Write;
@@ -147,18 +148,21 @@ fn run_case(case_seed: u64, args: &Args) -> CaseResult {
     let cfg =
         CosimConfig { seg_len: args.seg_len, n_little: args.little, ..CosimConfig::default() };
     let prog = fuzz_program(case_seed, &FuzzConfig { static_len: args.static_len });
-    let verdict = cosim::run(&prog, &cfg);
+    let (verdict, shared) = cosim::run_full(&prog, &cfg);
     let mut outcomes = Vec::new();
     if verdict.divergence.is_none() && args.faults > 0 && verdict.executed > 0 {
         // Only a program whose clean run agrees three ways is a valid
-        // substrate for coverage classification.
-        let golden = golden_run(&prog).expect("clean cosim implies clean golden");
+        // substrate for coverage classification. The co-simulation
+        // already produced the golden run and the built workload; every
+        // injected fault reuses both.
+        let (golden, wl) = shared.expect("clean cosim carries its golden run");
         for spec in fault_plan(case_seed, args.faults, verdict.executed) {
             if args.recover {
-                let (outcome, recovery) = verify_recovery(&prog, &golden, spec, args.little);
+                let (outcome, recovery) =
+                    verify_recovery_in(&golden, &wl, spec, args.little, FabricKind::F2);
                 outcomes.push((spec, outcome, Some(recovery)));
             } else {
-                let outcome = classify(&prog, &golden, spec, args.little);
+                let outcome = classify_in(&golden, &wl, spec, args.little);
                 outcomes.push((spec, outcome, None));
             }
         }

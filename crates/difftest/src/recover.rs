@@ -17,9 +17,10 @@
 //!   loudly here.
 
 use crate::cosim::GoldenRun;
-use crate::coverage::{classify_with, FaultOutcome};
+use crate::coverage::{classify_with, classify_with_in, FaultOutcome};
 use crate::fuzz::FuzzProgram;
 use meek_core::{FabricKind, FaultSite, FaultSpec, RecoveryPolicy, RunOutcome, Sim};
+use meek_workloads::Workload;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -93,20 +94,32 @@ pub fn verify_recovery_on(
     n_little: usize,
     fabric: FabricKind,
 ) -> (FaultOutcome, RecoveryVerdict) {
+    verify_recovery_in(golden, &prog.workload(), spec, n_little, fabric)
+}
+
+/// [`verify_recovery_on`] against an already-built [`Workload`], so a
+/// fault plan of N specs shares one image build and pre-decode pass
+/// instead of repeating both per fault.
+pub fn verify_recovery_in(
+    golden: &GoldenRun,
+    wl: &Workload,
+    spec: FaultSpec,
+    n_little: usize,
+    fabric: FabricKind,
+) -> (FaultOutcome, RecoveryVerdict) {
     let n = golden.trace.len() as u64;
     if n == 0 {
         // Nothing retires, so the fault never fires and nothing can
         // need recovery — same verdicts the detect-only oracle gives.
         return (FaultOutcome::Pending, RecoveryVerdict::NothingToRecover);
     }
-    let wl = prog.workload();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        Sim::builder(&wl, n)
+        Sim::builder(wl, n)
             .little_cores(n_little)
             .fabric(fabric)
             .recovery(RecoveryPolicy::enabled())
             .faults(vec![spec])
-            .build()
+            .build_unobserved()
             .expect("recovery oracle configuration is valid")
             .run()
     }));
@@ -121,7 +134,7 @@ pub fn verify_recovery_on(
             )
         }
     };
-    verify_recovery_outcome(prog, golden, spec, &run)
+    verify_recovery_outcome_in(golden, wl, spec, &run)
 }
 
 /// Classifies an already-completed recovery-enabled [`RunOutcome`]
@@ -135,9 +148,29 @@ pub fn verify_recovery_outcome(
     spec: FaultSpec,
     run: &RunOutcome,
 ) -> (FaultOutcome, RecoveryVerdict) {
+    finish_recovery_verdict(golden, classify_with(prog, golden, spec, &run.report), run)
+}
+
+/// [`verify_recovery_outcome`] against an already-built [`Workload`].
+pub fn verify_recovery_outcome_in(
+    golden: &GoldenRun,
+    wl: &Workload,
+    spec: FaultSpec,
+    run: &RunOutcome,
+) -> (FaultOutcome, RecoveryVerdict) {
+    finish_recovery_verdict(golden, classify_with_in(golden, wl, spec, &run.report), run)
+}
+
+/// The recovery invariants proper, applied after coverage
+/// classification: golden-equal commit count, final state, and memory,
+/// plus a completed rollback for every non-parity detection.
+fn finish_recovery_verdict(
+    golden: &GoldenRun,
+    coverage: FaultOutcome,
+    run: &RunOutcome,
+) -> (FaultOutcome, RecoveryVerdict) {
     let n = golden.trace.len() as u64;
     let report = &run.report;
-    let coverage = classify_with(prog, golden, spec, report);
     if coverage.is_escape() {
         return (coverage, RecoveryVerdict::Unrecovered { reason: "coverage escape".into() });
     }

@@ -10,7 +10,7 @@
 
 use crate::dc_buffer::{DcBuffer, DcBufferConfig};
 use crate::packet::{Packet, PacketKind};
-use crate::{Fabric, FabricStats, PacketSink};
+use crate::{Fabric, FabricStats, SinkBank};
 
 /// AXI interconnect configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,14 +60,15 @@ impl AxiInterconnect {
         &self.cfg
     }
 
-    /// Lowest-seq eligible head, excluding `skip` — the bus serialises
-    /// the DEU's commit lanes through one master port, so packets move
-    /// in extraction order.
-    fn lowest_head(&self, now: u64, skip: &[PacketKind]) -> Option<(usize, PacketKind)> {
+    /// Lowest-seq eligible head, excluding kinds flagged in `skip`
+    /// (indexed by `PacketKind as usize`) — the bus serialises the DEU's
+    /// commit lanes through one master port, so packets move in
+    /// extraction order.
+    fn lowest_head(&self, now: u64, skip: [bool; 2]) -> Option<(usize, PacketKind)> {
         let mut best: Option<(u64, usize, PacketKind)> = None;
         for (lane, buf) in self.buffers.iter().enumerate() {
             for kind in [PacketKind::Runtime, PacketKind::Status] {
-                if skip.contains(&kind) {
+                if skip[kind as usize] {
                     continue;
                 }
                 if let Some(p) = buf.head(kind) {
@@ -93,35 +94,39 @@ impl Fabric for AxiInterconnect {
         r
     }
 
-    fn tick(&mut self, now: u64, sinks: &mut [&mut dyn PacketSink]) {
+    fn tick(&mut self, now: u64, sinks: &mut dyn SinkBank) {
         // One beat per `cycles_per_beat` big-core cycles.
         if !now.is_multiple_of(self.cfg.cycles_per_beat) {
             return;
         }
-        let mut skip: Vec<PacketKind> = Vec::new();
+        let mut skip = [false; 2];
         let mut saw_blocked = false;
-        while let Some((lane, kind)) = self.lowest_head(now, &skip) {
+        while let Some((lane, kind)) = self.lowest_head(now, skip) {
             let head = self.buffers[lane].head(kind).expect("head exists");
             // Unicast: serve one targeted core that can accept.
             let Some(core) =
-                head.dest.iter().find(|&c| c < sinks.len() && sinks[c].can_accept(kind))
+                head.dest.iter().find(|&c| c < sinks.len() && sinks.can_accept(c, kind))
             else {
                 // The oldest packet of this kind is blocked: stall the
                 // kind so younger packets cannot overtake it.
-                skip.push(kind);
+                skip[kind as usize] = true;
                 saw_blocked = true;
                 continue;
             };
             let mut pkt = self.buffers[lane].pop(kind).expect("head exists");
-            sinks[core].deliver(pkt.clone(), now);
             pkt.dest.remove(core);
-            self.stats.delivered += 1;
-            self.stats.transactions += 1;
-            self.stats.busy_cycles += 1;
-            if !pkt.dest.is_empty() {
+            if pkt.dest.is_empty() {
+                // Sole destination takes the packet by move — sinks
+                // never read the dest mask.
+                sinks.deliver(core, pkt, now);
+            } else {
+                sinks.deliver(core, pkt.clone(), now);
                 // Remaining destinations need their own bus beats.
                 self.buffers[lane].push_front(kind, pkt);
             }
+            self.stats.delivered += 1;
+            self.stats.transactions += 1;
+            self.stats.busy_cycles += 1;
             if saw_blocked {
                 self.stats.blocked_cycles += 1;
             }
@@ -159,6 +164,7 @@ impl Fabric for AxiInterconnect {
 mod tests {
     use super::*;
     use crate::packet::{DestMask, Payload};
+    use crate::PacketSink;
 
     #[derive(Debug, Default)]
     struct Sink {

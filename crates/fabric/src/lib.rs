@@ -68,6 +68,44 @@ pub trait PacketSink {
     fn deliver(&mut self, pkt: Packet, now: u64);
 }
 
+/// An indexed bank of packet sinks — the little cores' LSLs as the
+/// fabric sees them.
+///
+/// Ticking through this trait lets the system hand the fabric its
+/// checker array directly instead of materialising a slice of trait
+/// objects every cycle. Test harnesses keep the slice shape via the
+/// impl for `Vec<&mut dyn PacketSink>`.
+pub trait SinkBank {
+    /// Number of sinks in the bank.
+    fn len(&self) -> usize;
+
+    /// Whether the bank has no sinks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether sink `i` can currently accept one more packet of `kind`.
+    fn can_accept(&self, i: usize, kind: PacketKind) -> bool;
+
+    /// Delivers a packet into sink `i`. Called only when `can_accept`
+    /// returned `true` this cycle.
+    fn deliver(&mut self, i: usize, pkt: Packet, now: u64);
+}
+
+impl<'a> SinkBank for Vec<&'a mut (dyn PacketSink + 'a)> {
+    fn len(&self) -> usize {
+        <[_]>::len(self)
+    }
+
+    fn can_accept(&self, i: usize, kind: PacketKind) -> bool {
+        self[i].can_accept(kind)
+    }
+
+    fn deliver(&mut self, i: usize, pkt: Packet, now: u64) {
+        self[i].deliver(pkt, now);
+    }
+}
+
 /// A packet interconnect between the big core's DC-Buffers and the little
 /// cores' LSLs.
 pub trait Fabric {
@@ -82,7 +120,7 @@ pub trait Fabric {
     fn try_push(&mut self, lane: usize, pkt: Packet) -> Result<(), Packet>;
 
     /// Advances one big-core cycle, moving packets toward the sinks.
-    fn tick(&mut self, now: u64, sinks: &mut [&mut dyn PacketSink]);
+    fn tick(&mut self, now: u64, sinks: &mut dyn SinkBank);
 
     /// Whether all internal buffers are empty (used at drain/quiesce).
     fn is_empty(&self) -> bool;

@@ -8,7 +8,7 @@
 
 use crate::dc_buffer::{DcBuffer, DcBufferConfig};
 use crate::packet::{Packet, PacketKind};
-use crate::{Fabric, FabricStats, PacketSink};
+use crate::{Fabric, FabricStats, SinkBank};
 
 /// F2 configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,15 +59,16 @@ impl F2 {
     }
 
     /// Finds the (lane, kind) whose head packet has the lowest seq among
-    /// eligible heads, excluding whole kinds in `skip` — once the oldest
-    /// packet of a kind is blocked, no younger packet of that kind may
-    /// overtake it (the ordering FSMs of §III-B). Per-lane FIFOs plus
-    /// this rule give a per-kind total order at every destination.
-    fn lowest_head(&self, now: u64, skip: &[PacketKind]) -> Option<(usize, PacketKind)> {
+    /// eligible heads, excluding kinds flagged in `skip` (indexed by
+    /// `PacketKind as usize`) — once the oldest packet of a kind is
+    /// blocked, no younger packet of that kind may overtake it (the
+    /// ordering FSMs of §III-B). Per-lane FIFOs plus this rule give a
+    /// per-kind total order at every destination.
+    fn lowest_head(&self, now: u64, skip: [bool; 2]) -> Option<(usize, PacketKind)> {
         let mut best: Option<(u64, usize, PacketKind)> = None;
         for (lane, buf) in self.buffers.iter().enumerate() {
             for kind in [PacketKind::Runtime, PacketKind::Status] {
-                if skip.contains(&kind) {
+                if skip[kind as usize] {
                     continue;
                 }
                 if let Some(p) = buf.head(kind) {
@@ -93,50 +94,63 @@ impl Fabric for F2 {
         r
     }
 
-    fn tick(&mut self, now: u64, sinks: &mut [&mut dyn PacketSink]) {
+    fn tick(&mut self, now: u64, sinks: &mut dyn SinkBank) {
         let mut budget = self.cfg.packets_per_cycle;
-        let mut skip: Vec<PacketKind> = Vec::new();
+        let mut skip = [false; 2];
         let mut moved = false;
         let mut saw_blocked = false;
         while budget > 0 {
-            let Some((lane, kind)) = self.lowest_head(now, &skip) else {
+            let Some((lane, kind)) = self.lowest_head(now, skip) else {
                 break;
             };
             let head = self.buffers[lane].head(kind).expect("head exists");
             // Selective broadcast: deliver to every targeted core that can
             // accept this cycle.
-            let ready: Vec<usize> = head
-                .dest
-                .iter()
-                .filter(|&c| c < sinks.len() && sinks[c].can_accept(kind))
-                .collect();
-            if ready.is_empty() {
+            let mut ready = 0u16;
+            for c in head.dest.iter() {
+                if c < sinks.len() && sinks.can_accept(c, kind) {
+                    ready |= 1 << c;
+                }
+            }
+            if ready == 0 {
                 // Forwarding backpressure: the oldest packet of this kind
                 // cannot move, so the whole kind stalls this cycle
                 // (younger packets must not overtake it at a shared
                 // destination).
-                skip.push(kind);
+                skip[kind as usize] = true;
                 saw_blocked = true;
                 continue;
             }
             let mut pkt = self.buffers[lane].pop(kind).expect("head exists");
-            let reached = ready.len() as u64;
-            for c in ready {
-                sinks[c].deliver(pkt.clone(), now);
+            let reached = u64::from(ready.count_ones());
+            loop {
+                let c = ready.trailing_zeros() as usize;
+                ready &= ready - 1;
                 pkt.dest.remove(c);
+                if ready != 0 {
+                    sinks.deliver(c, pkt.clone(), now);
+                    continue;
+                }
+                if pkt.dest.is_empty() {
+                    // The last reachable destination takes the packet by
+                    // move — sinks never read the dest mask.
+                    sinks.deliver(c, pkt, now);
+                } else {
+                    sinks.deliver(c, pkt.clone(), now);
+                    // Some destinations were full: the packet stays at
+                    // the head of its FIFO for the remaining
+                    // destinations, and younger packets of this kind
+                    // must wait behind it.
+                    self.buffers[lane].push_front(kind, pkt);
+                    skip[kind as usize] = true;
+                }
+                break;
             }
             self.stats.delivered += reached;
             self.stats.transactions += 1;
             self.stats.multicast_saved += reached - 1;
             moved = true;
             budget -= 1;
-            if !pkt.dest.is_empty() {
-                // Some destinations were full: the packet stays at the
-                // head of its FIFO for the remaining destinations, and
-                // younger packets of this kind must wait behind it.
-                self.buffers[lane].push_front(kind, pkt);
-                skip.push(kind);
-            }
         }
         if moved {
             self.stats.busy_cycles += 1;
@@ -173,6 +187,7 @@ impl Fabric for F2 {
 mod tests {
     use super::*;
     use crate::packet::{DestMask, Payload};
+    use crate::PacketSink;
 
     /// A test sink with per-kind capacity.
     #[derive(Debug, Default)]

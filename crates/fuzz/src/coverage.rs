@@ -155,6 +155,12 @@ impl Observer for CoverageMap {
         st.max_fabric = st.max_fabric.max(sample.fabric_depth);
     }
 
+    fn wants_sample_at(&self, _cycle: u64) -> bool {
+        // The rob_max/fabric_max features are per-cycle maxima: skipping
+        // any cycle could change the pinned feature universe.
+        true
+    }
+
     fn finished(&mut self, _report: &RunReport) {
         let mut st = self.inner.lock().expect("coverage map lock");
         let (max_open, rollbacks) = (st.max_open, st.rollbacks);

@@ -1,0 +1,169 @@
+//! Pre-decoded instruction tables: decode a program image **once**,
+//! then execute by table lookup instead of re-decoding `u32`s on every
+//! visit.
+//!
+//! Every hot loop in the reproduction — the golden interpreter, the
+//! big-core oracle feed, and little-core replay — walks the same static
+//! code over and over (workload bodies are loops by construction), so
+//! per-visit `decode()` is pure overhead. A [`PreDecoded`] table lowers
+//! the image's code span into a flat, cache-dense `Vec` of
+//! `(raw word, decoded instruction)` records indexed by PC. Lookups on
+//! PCs outside the table (or not 4-aligned — JALR masks its target with
+//! `!1`, so 2-mod-4 targets are architecturally reachable) fall back to
+//! word-at-a-time fetch+decode, keeping the fast path an exact
+//! refinement of the slow one.
+//!
+//! The table snapshots the code at construction time: it is only valid
+//! while the covered span is immutable. Both program sources in this
+//! repo guarantee that (workload codegen keeps all stores inside its
+//! data working set; the fuzzer's pointer masking confines traffic to a
+//! data window far from code), and the golden-equivalence suite in
+//! `meek-workloads`/`meek-difftest` pins the two paths to identical
+//! architectural streams.
+
+use crate::decode::decode;
+use crate::exec::{self, Retired, Trap};
+use crate::inst::Inst;
+use crate::mem::{Bus, SparseMemory};
+use crate::state::ArchState;
+
+/// One pre-decoded code word: the raw bits plus the decoded form
+/// (`None` when the word does not decode — executing it must raise the
+/// same [`Trap::IllegalInstruction`] the word-decode path raises).
+type Entry = (u32, Option<Inst>);
+
+/// A flat pre-decoded view of the code span `[base, base + 4·len)`.
+#[derive(Debug, Clone)]
+pub struct PreDecoded {
+    base: u64,
+    entries: Vec<Entry>,
+}
+
+impl PreDecoded {
+    /// Decodes `words` instruction slots starting at `base` out of
+    /// `image`. Undecodable words are recorded as such, not skipped, so
+    /// lookup never silently diverges from fetch+decode.
+    pub fn from_image(image: &SparseMemory, base: u64, words: usize) -> PreDecoded {
+        let entries = (0..words as u64)
+            .map(|i| {
+                let raw = image.peek_inst(base + 4 * i);
+                (raw, decode(raw).ok())
+            })
+            .collect();
+        PreDecoded { base, entries }
+    }
+
+    /// First covered PC.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Covered instruction slots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table covers no code at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Table lookup: the `(raw, decoded)` record for `pc`, or `None`
+    /// when `pc` is outside the covered span or not 4-aligned (a
+    /// genuinely dynamic target — the caller must fall back to word
+    /// decode).
+    #[inline]
+    pub fn lookup(&self, pc: u64) -> Option<Entry> {
+        let off = pc.wrapping_sub(self.base);
+        if off & 3 != 0 {
+            return None;
+        }
+        self.entries.get((off >> 2) as usize).copied()
+    }
+}
+
+/// [`exec::step`] through a pre-decoded table: executes one instruction
+/// at `st.pc`, using the table when it covers the PC and falling back
+/// to fetch+decode otherwise.
+///
+/// # Errors
+///
+/// Returns [`Trap::IllegalInstruction`] exactly where [`exec::step`]
+/// would: on a word (tabled or fetched) that does not decode.
+#[inline]
+pub fn step_predecoded<B: Bus>(
+    st: &mut ArchState,
+    mem: &mut B,
+    pd: &PreDecoded,
+) -> Result<Retired, Trap> {
+    let pc = st.pc;
+    match pd.lookup(pc) {
+        Some((raw, Some(inst))) => Ok(exec::execute(st, mem, pc, raw, inst)),
+        Some((raw, None)) => Err(Trap::IllegalInstruction { pc, word: raw }),
+        None => exec::step(st, mem),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::inst::AluImmOp;
+    use crate::reg::Reg;
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+        encode(&Inst::AluImm { op: AluImmOp::Addi, rd, rs1, imm })
+    }
+
+    #[test]
+    fn table_matches_word_decode_step_for_step() {
+        let base = 0x1000u64;
+        let words = [addi(Reg::X5, Reg::X0, 7), addi(Reg::X6, Reg::X5, 1), 0xFFFF_FFFF];
+        let mut image = SparseMemory::new();
+        image.load_program(base, &words);
+        let pd = PreDecoded::from_image(&image, base, words.len());
+        assert_eq!(pd.base(), base);
+        assert_eq!(pd.len(), 3);
+
+        let mut fast = (ArchState::new(base), image.clone());
+        let mut slow = (ArchState::new(base), image);
+        for _ in 0..2 {
+            let a = step_predecoded(&mut fast.0, &mut fast.1, &pd).expect("decodes");
+            let b = exec::step(&mut slow.0, &mut slow.1).expect("decodes");
+            assert_eq!(a, b);
+        }
+        // The third word is undecodable: both paths trap identically.
+        let a = step_predecoded(&mut fast.0, &mut fast.1, &pd).unwrap_err();
+        let b = exec::step(&mut slow.0, &mut slow.1).unwrap_err();
+        assert_eq!(a, b);
+        assert_eq!(a, Trap::IllegalInstruction { pc: base + 8, word: 0xFFFF_FFFF });
+    }
+
+    #[test]
+    fn misaligned_and_out_of_span_pcs_miss_the_table() {
+        let base = 0x1000u64;
+        let mut image = SparseMemory::new();
+        image.load_program(base, &[addi(Reg::X5, Reg::X0, 1)]);
+        let pd = PreDecoded::from_image(&image, base, 1);
+        assert!(pd.lookup(base).is_some());
+        assert!(pd.lookup(base + 2).is_none(), "2-mod-4 JALR targets must fall back");
+        assert!(pd.lookup(base + 4).is_none(), "one past the end is outside");
+        assert!(pd.lookup(base - 4).is_none(), "below base is outside");
+        assert!(pd.lookup(0).is_none());
+    }
+
+    #[test]
+    fn out_of_span_execution_falls_back_to_fetch_decode() {
+        // Table covers only the first instruction; the second executes
+        // through the fallback path and must behave identically.
+        let base = 0x1000u64;
+        let words = [addi(Reg::X5, Reg::X0, 7), addi(Reg::X6, Reg::X5, 1)];
+        let mut image = SparseMemory::new();
+        image.load_program(base, &words);
+        let pd = PreDecoded::from_image(&image, base, 1);
+        let mut st = ArchState::new(base);
+        step_predecoded(&mut st, &mut image, &pd).expect("tabled");
+        step_predecoded(&mut st, &mut image, &pd).expect("fallback");
+        assert_eq!(st.x(Reg::X6), 8);
+    }
+}

@@ -21,8 +21,9 @@ use crate::lsl::{release_status_chunks, LoadStoreLog, RuntimeRecord, StatusRecor
 use meek_isa::exec;
 use meek_isa::inst::{ExecClass, Inst};
 use meek_isa::state::{CheckpointMismatch, RegCheckpoint};
-use meek_isa::{decode, ArchState, Bus, SparseMemory};
+use meek_isa::{decode, ArchState, Bus, PreDecoded, SparseMemory};
 use meek_mem::MemHierarchy;
+use std::sync::Arc;
 
 /// What diverged when a check fails.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,8 +41,15 @@ pub enum MismatchKind {
     /// A replayed CSR access targeted a different CSR.
     CsrAddr,
     /// Replay raised a trap the main thread did not (e.g. a corrupted
-    /// SRCP PC steering fetch into non-code bytes).
-    ReplayTrap,
+    /// SRCP PC steering fetch into non-code bytes). Carries the fetch
+    /// that failed so the diagnostic pins down *where* replay left the
+    /// decodable code image.
+    ReplayTrap {
+        /// PC of the undecodable fetch.
+        pc: u64,
+        /// The word that failed to decode.
+        word: u32,
+    },
     /// The ERCP register-file comparison failed.
     Register(CheckpointMismatch),
 }
@@ -102,6 +110,22 @@ enum Phase {
     Compare { remaining: u64, result: Option<MismatchKind> },
 }
 
+/// Outcome of one replay-phase step, shared between the cycle-accurate
+/// [`LittleCore::tick_check`] driver and the batched
+/// [`LittleCore::check_burst`] fast path.
+enum StepResult {
+    /// An instruction issued (or an I-cache miss stalled the fetch);
+    /// `busy_until` has been advanced past the cost.
+    Busy,
+    /// The core is starved of LSL data at this cycle.
+    Starved,
+    /// The segment boundary was reached; the phase is now `Compare`
+    /// with the comparison result already latched.
+    ToCompare,
+    /// Replay detected a divergence and closed the segment.
+    Done(CheckerEvent),
+}
+
 /// One little core with MSU and LSL, running a checker thread.
 ///
 /// The core is driven by the system at the little-clock rate via
@@ -134,6 +158,10 @@ pub struct LittleCore {
     /// Little-cycle until which the pipeline is busy.
     busy_until: u64,
     stats: LittleCoreStats,
+    /// Pre-decoded code table shared with the other execution ways
+    /// (installed by the system; replay falls back to word decode for
+    /// PCs it does not cover).
+    predecoded: Option<Arc<PreDecoded>>,
 }
 
 impl LittleCore {
@@ -154,7 +182,16 @@ impl LittleCore {
             last_load_dest: None,
             busy_until: 0,
             stats: LittleCoreStats::default(),
+            predecoded: None,
         }
+    }
+
+    /// Installs a pre-decoded view of the program image, replacing
+    /// per-instruction word decode in the replay loop with table
+    /// lookups. The table must describe the same code `tick_check`'s
+    /// `imem` holds.
+    pub fn install_predecode(&mut self, pd: Arc<PreDecoded>) {
+        self.predecoded = Some(pd);
     }
 
     /// The configuration in use.
@@ -242,18 +279,130 @@ impl LittleCore {
                 }
                 None
             }
-            Phase::Replay => self.replay_cycle(now, seg, imem),
+            Phase::Replay => match self.replay_step(now, seg, imem) {
+                StepResult::Done(ev) => Some(ev),
+                StepResult::Starved => {
+                    self.stats.wait_data_cycles += 1;
+                    None
+                }
+                StepResult::Busy | StepResult::ToCompare => None,
+            },
             Phase::Compare { remaining, result } => {
                 self.stats.compare_cycles += 1;
                 *remaining -= 1;
                 if *remaining == 0 {
                     let mismatch = *result;
-                    self.finish_segment(seg, mismatch)
+                    Some(self.finish_segment(seg, mismatch))
                 } else {
                     None
                 }
             }
         }
+    }
+
+    /// Batched replay: advances the checker from `now` until the current
+    /// segment closes, the LSL starves, or `deadline` passes — consuming
+    /// whole record windows per call instead of one record per tick,
+    /// which amortizes the per-record phase dispatch and LSL lookups.
+    ///
+    /// This is the oracle drivers' fast path (the lock-step cosim way
+    /// and the coverage prover's replay twin): every forwarded packet is
+    /// pre-delivered into the LSL before the call, and the cycle values
+    /// are driver bookkeeping rather than measured artifacts, so the
+    /// `Apply`/`Compare` countdowns and inter-instruction busy cycles
+    /// are fast-forwarded instead of ticked and `SegmentStarted` events
+    /// are coalesced away. The verdict event — segment id, pass flag,
+    /// mismatch kind — is exactly what [`LittleCore::tick_check`] would
+    /// deliver, as is every architectural side effect. In-system cores
+    /// keep the cycle-accurate `tick_check` driver: their per-cycle LSL
+    /// occupancy is what the fabric's backpressure (and thus the whole
+    /// timing model) observes.
+    ///
+    /// Returns `(cycle, verdict)`: the little-cycle the core is next
+    /// runnable at, and the segment verdict if one was reached.
+    /// `(cycle, None)` means the core starved (no SRCP, no run-time
+    /// record, or no assignment) or overran `deadline`.
+    pub fn check_burst(
+        &mut self,
+        now: u64,
+        imem: &SparseMemory,
+        deadline: u64,
+    ) -> (u64, Option<CheckerEvent>) {
+        let mut vnow = now.max(self.busy_until);
+        let Some(seg) = self.assignment else {
+            return (vnow, None);
+        };
+        while vnow <= deadline {
+            match &mut self.phase {
+                Phase::WaitSrcp => {
+                    while self.lsl.peek_status().is_some_and(|r| r.seg < seg - 1) {
+                        self.lsl.pop_status();
+                        release_status_chunks(&mut self.lsl, self.chunks_per_cp);
+                    }
+                    let srcp = if self.carried_srcp.as_ref().map(|r| r.seg) == Some(seg - 1) {
+                        self.carried_srcp.take()
+                    } else if self.lsl.peek_status().map(|r| r.seg) == Some(seg - 1) {
+                        let rec = self.lsl.pop_status();
+                        release_status_chunks(&mut self.lsl, self.chunks_per_cp);
+                        rec
+                    } else {
+                        None
+                    };
+                    match srcp {
+                        Some(rec) => {
+                            self.arch.apply_checkpoint(&rec.cp);
+                            self.phase = Phase::Apply { remaining: self.cfg.apply_latency };
+                            vnow += 1;
+                        }
+                        None => {
+                            self.stats.wait_data_cycles += 1;
+                            self.busy_until = vnow;
+                            return (vnow, None);
+                        }
+                    }
+                }
+                Phase::Apply { remaining } => {
+                    self.stats.apply_cycles += *remaining;
+                    vnow += *remaining;
+                    self.phase = Phase::Replay;
+                    self.last_load_dest = None;
+                }
+                Phase::Compare { remaining, result } => {
+                    self.stats.compare_cycles += *remaining;
+                    vnow += *remaining;
+                    let mismatch = *result;
+                    let ev = self.finish_segment(seg, mismatch);
+                    self.busy_until = vnow;
+                    return (vnow, Some(ev));
+                }
+                Phase::Replay => match self.replay_step(vnow, seg, imem) {
+                    StepResult::Busy => vnow = self.busy_until,
+                    StepResult::Starved => {
+                        self.stats.wait_data_cycles += 1;
+                        self.busy_until = vnow;
+                        return (vnow, None);
+                    }
+                    StepResult::ToCompare => vnow += 1,
+                    StepResult::Done(ev) => {
+                        self.busy_until = vnow;
+                        return (vnow, Some(ev));
+                    }
+                },
+            }
+        }
+        (vnow, None)
+    }
+
+    /// The Mini-Decoder: the `(raw, decoded)` pair for the current PC,
+    /// through the pre-decoded table when one is installed and covers
+    /// the PC, falling back to a word fetch+decode from `imem`.
+    #[inline]
+    fn fetch_decoded(&self, imem: &SparseMemory) -> (u32, Option<Inst>) {
+        if let Some(entry) = self.predecoded.as_deref().and_then(|pd| pd.lookup(self.arch.pc)) {
+            return entry;
+        }
+        let raw = imem.peek_inst(self.arch.pc);
+        (raw, decode(raw).ok())
     }
 
     /// Ensures the ERCP for `seg` is popped into `self.ercp`.
@@ -274,7 +423,7 @@ impl LittleCore {
         false
     }
 
-    fn replay_cycle(&mut self, now: u64, seg: u32, imem: &SparseMemory) -> Option<CheckerEvent> {
+    fn replay_step(&mut self, now: u64, seg: u32, imem: &SparseMemory) -> StepResult {
         // Do we know the segment length yet?
         let end = if self.take_ercp(seg) {
             Some(self.ercp.as_ref().expect("ercp present").inst_count)
@@ -287,7 +436,7 @@ impl LittleCore {
                     remaining: self.cfg.compare_latency,
                     result: self.compare_ercp(),
                 };
-                return None;
+                return StepResult::ToCompare;
             }
         }
         // Drop stale records from segments this core abandoned after a
@@ -303,10 +452,7 @@ impl LittleCore {
         if end.is_none() {
             match self.lsl.peek_runtime() {
                 Some(rec) if rec.seg() == seg => {}
-                _ => {
-                    self.stats.wait_data_cycles += 1;
-                    return None;
-                }
+                _ => return StepResult::Starved,
             }
         }
         // Fetch through the 4 KB I-cache.
@@ -317,11 +463,13 @@ impl LittleCore {
             self.busy_until = fetch.ready_at - 1;
             // The instruction issues when fetch resolves; charge the wait
             // and fall through next tick.
-            return None;
+            return StepResult::Busy;
         }
-        let raw = imem.peek_inst(self.arch.pc);
-        let Ok(inst) = decode(raw) else {
-            return self.detect(seg, MismatchKind::ReplayTrap);
+        let (raw, decoded) = self.fetch_decoded(imem);
+        let Some(inst) = decoded else {
+            return StepResult::Done(
+                self.detect(seg, MismatchKind::ReplayTrap { pc: self.arch.pc, word: raw }),
+            );
         };
         // Structural timing: issue cost in cycles beyond this one.
         let mut extra = 0u64;
@@ -370,9 +518,9 @@ impl LittleCore {
                 }
                 // Check for segment end right away so the Compare phase
                 // begins on the next cycle.
-                None
+                StepResult::Busy
             }
-            Err(kind) => self.detect(seg, kind),
+            Err(kind) => StepResult::Done(self.detect(seg, kind)),
         }
     }
 
@@ -516,11 +664,11 @@ impl LittleCore {
     }
 
     /// Immediate detection during replay (LSL comparison).
-    fn detect(&mut self, seg: u32, kind: MismatchKind) -> Option<CheckerEvent> {
+    fn detect(&mut self, seg: u32, kind: MismatchKind) -> CheckerEvent {
         self.finish_segment(seg, Some(kind))
     }
 
-    fn finish_segment(&mut self, seg: u32, mismatch: Option<MismatchKind>) -> Option<CheckerEvent> {
+    fn finish_segment(&mut self, seg: u32, mismatch: Option<MismatchKind>) -> CheckerEvent {
         self.stats.segments_checked += 1;
         if mismatch.is_some() {
             self.stats.mismatches += 1;
@@ -536,7 +684,7 @@ impl LittleCore {
         self.assignment = None;
         self.replayed = 0;
         self.phase = Phase::WaitSrcp;
-        Some(CheckerEvent::SegmentVerified { seg, pass: mismatch.is_none(), mismatch })
+        CheckerEvent::SegmentVerified { seg, pass: mismatch.is_none(), mismatch }
     }
 
     /// Warms the code image into the shared cache levels (the big core
@@ -919,6 +1067,106 @@ mod tests {
             slow > fast + 32 * 40,
             "1-bit divider ({slow} cyc) must be far slower than 8-unroll ({fast} cyc)"
         );
+    }
+
+    /// Drives a prepared core with the batched fast path instead of the
+    /// per-cycle driver.
+    fn burst_to_event(core: &mut LittleCore, imem: &SparseMemory, limit: u64) -> CheckerEvent {
+        let (_, ev) = core.check_burst(0, imem, limit);
+        ev.expect("burst must reach a verdict")
+    }
+
+    #[test]
+    fn burst_verdict_matches_ticked_replay() {
+        // The batched fast path must reach exactly the verdict (and the
+        // same per-instruction work) the cycle-accurate driver does.
+        let (imem, srcp, pkts, ercp) = golden_run(&test_program());
+        let prepare = |pkts: &[Packet]| {
+            let mut core = make_core();
+            core.seed_initial_checkpoint(srcp);
+            core.assign(1);
+            for p in pkts {
+                core.lsl.deliver(p.clone(), 0);
+            }
+            deliver_ercp(&mut core, 1, EXECUTED, ercp);
+            core
+        };
+        let mut ticked = prepare(&pkts);
+        let (ticked_ev, _) = run_to_event(&mut ticked, &imem, 10_000);
+        let mut burst = prepare(&pkts);
+        let burst_ev = burst_to_event(&mut burst, &imem, 10_000);
+        assert_eq!(burst_ev, ticked_ev);
+        assert_eq!(burst.stats().replayed_insts, ticked.stats().replayed_insts);
+        assert_eq!(burst.stats().segments_checked, ticked.stats().segments_checked);
+        assert_eq!(burst.stats().mismatches, 0);
+        assert!(burst.is_idle());
+    }
+
+    #[test]
+    fn burst_detects_corruption_like_ticked_replay() {
+        let (imem, srcp, mut pkts, ercp) = golden_run(&test_program());
+        for p in &mut pkts {
+            if let Payload::Mem { data, is_store: true, .. } = &mut p.payload {
+                *data ^= 1 << 9;
+                break;
+            }
+        }
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        for p in pkts {
+            core.lsl.deliver(p, 0);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let ev = burst_to_event(&mut core, &imem, 10_000);
+        assert!(matches!(
+            ev,
+            CheckerEvent::SegmentVerified {
+                pass: false,
+                mismatch: Some(MismatchKind::StoreData),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn burst_starves_without_data_and_resumes() {
+        let (imem, srcp, pkts, ercp) = golden_run(&test_program());
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        // No run-time records delivered: the burst applies the SRCP and
+        // then starves instead of running ahead of the log.
+        let (resume_at, ev) = core.check_burst(0, &imem, 10_000);
+        assert_eq!(ev, None);
+        assert_eq!(core.stats().replayed_insts, 0, "must not run ahead of the log");
+        for p in pkts {
+            core.lsl.deliver(p, resume_at);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let (_, ev) = core.check_burst(resume_at, &imem, resume_at + 10_000);
+        assert_eq!(ev, Some(CheckerEvent::SegmentVerified { seg: 1, pass: true, mismatch: None }));
+        assert_eq!(core.stats().replayed_insts, EXECUTED);
+    }
+
+    #[test]
+    fn burst_carries_srcp_across_segments() {
+        let (imem, srcp, pkts, ercp) = golden_run(&test_program());
+        let mut core = make_core();
+        core.seed_initial_checkpoint(srcp);
+        core.assign(1);
+        for p in pkts {
+            core.lsl.deliver(p, 0);
+        }
+        deliver_ercp(&mut core, 1, EXECUTED, ercp);
+        let (t, ev) = core.check_burst(0, &imem, 10_000);
+        assert!(matches!(ev, Some(CheckerEvent::SegmentVerified { seg: 1, pass: true, .. })));
+        // Segment 2: empty segment ending in the same state, verified
+        // off the carried ERCP-as-SRCP.
+        core.assign(2);
+        deliver_ercp(&mut core, 2, 0, ercp);
+        let (_, ev) = core.check_burst(t, &imem, t + 1_000);
+        assert!(matches!(ev, Some(CheckerEvent::SegmentVerified { seg: 2, pass: true, .. })));
     }
 
     #[test]

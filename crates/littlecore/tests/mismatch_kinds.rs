@@ -230,11 +230,21 @@ fn csr_addr_mismatch() {
 fn replay_trap_on_corrupted_srcp_pc() {
     // A corrupted SRCP PC steers fetch into non-code bytes; the
     // Mini-Decoder rejects the zero word and the checker reports a
-    // replay trap.
+    // replay trap carrying the faulting PC and the raw word it refused.
     let kind = replay_with(|parts| {
         parts.srcp.pc = 0x9000;
     });
-    assert_eq!(kind, MismatchKind::ReplayTrap);
+    assert_eq!(kind, MismatchKind::ReplayTrap { pc: 0x9000, word: 0 });
+}
+
+#[test]
+fn replay_trap_reports_the_undecodable_word_and_pc() {
+    // Corrupt the third code word in place: the replay trap must carry
+    // exactly the garbage bits the Mini-Decoder saw and where.
+    let kind = replay_with(|parts| {
+        parts.imem.write(0x1008, 4, 0xFFFF_FFFF);
+    });
+    assert_eq!(kind, MismatchKind::ReplayTrap { pc: 0x1008, word: 0xFFFF_FFFF });
 }
 
 #[test]

@@ -24,9 +24,10 @@ use crate::spool::{
     append_output, read_state, touch_output, truncate_outputs, write_state, JobProgress,
 };
 use meek_campaign::{run_shard, CsvSink, RecordSink, SampleSink, ShardResult};
+use meek_core::FabricKind;
 use meek_difftest::{
-    classify, cosim, fault_plan, fuzz_program, golden_run, verify_recovery, CosimConfig,
-    FaultOutcome, FuzzConfig, RecoveryVerdict,
+    classify_in, cosim, fault_plan, fuzz_program, verify_recovery_in, CosimConfig, FaultOutcome,
+    FuzzConfig, RecoveryVerdict,
 };
 use meek_fuzz::{run_fuzz, Corpus, FeatureSet, FuzzSettings};
 use meek_workloads::WorkloadCache;
@@ -366,7 +367,7 @@ fn run_difftest_batch(job: &DifftestJob, batch_idx: u64) -> BatchResult {
     for case in first..last {
         let case_seed = splitmix(job.seed ^ case.wrapping_mul(0x9E37_79B9));
         let prog = fuzz_program(case_seed, &FuzzConfig { static_len: job.static_len });
-        let verdict = cosim::run(&prog, &cfg);
+        let (verdict, shared) = cosim::run_full(&prog, &cfg);
         bump(&mut deltas, "cases", 1);
         bump(&mut deltas, "executed", verdict.executed);
         bump(&mut deltas, "segments", verdict.segments as u64);
@@ -385,7 +386,9 @@ fn run_difftest_batch(job: &DifftestJob, batch_idx: u64) -> BatchResult {
         }
         line.push_str(",\"faults\":[");
         if verdict.divergence.is_none() && job.faults > 0 && verdict.executed > 0 {
-            let golden = golden_run(&prog).expect("clean cosim implies clean golden");
+            // The co-simulation already built the golden run and the
+            // workload; the whole fault plan reuses both.
+            let (golden, wl) = shared.expect("clean cosim carries its golden run");
             for (i, spec) in fault_plan(case_seed, job.faults, verdict.executed).iter().enumerate()
             {
                 if i > 0 {
@@ -393,10 +396,11 @@ fn run_difftest_batch(job: &DifftestJob, batch_idx: u64) -> BatchResult {
                 }
                 bump(&mut deltas, "faults", 1);
                 let (outcome, recovery) = if job.recover {
-                    let (o, r) = verify_recovery(&prog, &golden, *spec, job.little);
+                    let (o, r) =
+                        verify_recovery_in(&golden, &wl, *spec, job.little, FabricKind::F2);
                     (o, Some(r))
                 } else {
-                    (classify(&prog, &golden, *spec, job.little), None)
+                    (classify_in(&golden, &wl, *spec, job.little), None)
                 };
                 let _ = write!(
                     line,

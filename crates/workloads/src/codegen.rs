@@ -26,11 +26,14 @@
 use crate::profile::BenchmarkProfile;
 use meek_isa::inst::{AluImmOp, AluOp, BranchOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
 use meek_isa::state::RegCheckpoint;
-use meek_isa::{encode, exec, ArchState, Bus, FReg, Reg, Retired, SparseMemory, Trap};
+use meek_isa::{
+    encode, step_predecoded, ArchState, Bus, FReg, PreDecoded, Reg, Retired, SparseMemory, Trap,
+};
 use meek_mem::{JournaledMem, UndoLog};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Base address of the generated code.
 pub const CODE_BASE: u64 = 0x1000;
@@ -88,6 +91,10 @@ pub struct Workload {
     /// Static instructions in the program.
     pub static_len: usize,
     initial: ArchState,
+    /// The code span decoded once at construction — every execution way
+    /// (golden oracle, big-core feed, little-core replay) consumes this
+    /// table instead of re-decoding words in its hot loop.
+    predecoded: Arc<PreDecoded>,
 }
 
 impl Workload {
@@ -109,7 +116,8 @@ impl Workload {
         static_len: usize,
         initial: ArchState,
     ) -> Workload {
-        Workload { name, image, entry, exit_pc, static_len, initial }
+        let predecoded = Arc::new(PreDecoded::from_image(&image, entry, static_len));
+        Workload { name, image, entry, exit_pc, static_len, initial, predecoded }
     }
 
     /// The read-only program image (little cores fetch from this).
@@ -122,6 +130,16 @@ impl Workload {
         self.entry
     }
 
+    /// PC one past the last instruction — reaching it ends a run.
+    pub fn exit_pc(&self) -> u64 {
+        self.exit_pc
+    }
+
+    /// The pre-decoded code table, shared by every execution way.
+    pub fn predecoded(&self) -> &Arc<PreDecoded> {
+        &self.predecoded
+    }
+
     /// Starts a functional run capped at `max_insts` retired instructions.
     pub fn run(&self, max_insts: u64) -> WorkloadRun {
         WorkloadRun {
@@ -131,6 +149,7 @@ impl Workload {
             executed: 0,
             cap: max_insts,
             undo: None,
+            predecoded: Arc::clone(&self.predecoded),
         }
     }
 }
@@ -146,6 +165,7 @@ pub struct WorkloadRun {
     cap: u64,
     /// Write journal for rollback (recovery-enabled runs only).
     undo: Option<UndoLog>,
+    predecoded: Arc<PreDecoded>,
 }
 
 impl WorkloadRun {
@@ -163,9 +183,9 @@ impl WorkloadRun {
         let stepped = match &mut self.undo {
             Some(log) => {
                 let mut bus = JournaledMem::new(&mut self.mem, log, self.executed + 1);
-                exec::step(&mut self.st, &mut bus)
+                step_predecoded(&mut self.st, &mut bus, &self.predecoded)
             }
-            None => exec::step(&mut self.st, &mut self.mem),
+            None => step_predecoded(&mut self.st, &mut self.mem, &self.predecoded),
         };
         match stepped {
             Ok(r) => {
@@ -627,14 +647,14 @@ impl<'p> Generator<'p> {
         }
 
         let initial = ArchState::new(CODE_BASE);
-        Workload {
-            name: self.profile.name,
+        Workload::from_image(
+            self.profile.name,
             image,
-            entry: CODE_BASE,
-            exit_pc: CODE_BASE + 4 * words.len() as u64,
-            static_len: words.len(),
+            CODE_BASE,
+            CODE_BASE + 4 * words.len() as u64,
+            words.len(),
             initial,
-        }
+        )
     }
 }
 

@@ -1,0 +1,69 @@
+//! Golden-equivalence property suite for the pre-decoded fast path.
+//!
+//! The PR-7 hot-loop refactor replaced word-at-a-time fetch+decode with
+//! a [`PreDecoded`] table lookup in every hot driver. The table path
+//! must be an *exact refinement* of the slow path: identical retired
+//! records (the trace bytes every downstream oracle consumes),
+//! identical final architectural state, and identical final memory —
+//! over arbitrary synthesised programs, not just the fixed goldens.
+//!
+//! [`PreDecoded`]: meek_isa::PreDecoded
+
+use meek_isa::{exec, ArchState};
+use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile, Workload};
+use proptest::prelude::*;
+
+/// Dynamic-instruction cap per case; workload main loops iterate far
+/// beyond this, so the window exercises preamble and steady state.
+const CAP: u64 = 4_000;
+
+fn all_profiles() -> Vec<BenchmarkProfile> {
+    spec_int_2006().into_iter().chain(parsec3()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The table-lookup path retires byte-identical records and lands
+    /// in the same architectural state as word-at-a-time decode.
+    #[test]
+    fn predecoded_path_matches_word_decode(pick in 0usize..20, seed in 0u64..1_000_000) {
+        let profiles = all_profiles();
+        let wl = Workload::build(&profiles[pick], seed);
+
+        // New path: the workload runner steps through the pre-decoded
+        // table (falling back to word decode on dynamic targets only).
+        let mut fast = wl.run(CAP);
+
+        // Old path: fetch + decode every visit. Generated workloads
+        // start from a fresh architectural state at the entry PC.
+        let mut st = ArchState::new(wl.entry());
+        let mut mem = wl.image().clone();
+
+        let mut steps = 0u64;
+        while st.pc != wl.exit_pc() && steps < CAP {
+            let slow = exec::step(&mut st, &mut mem)
+                .expect("generated programs are trap-free");
+            let fast_r = fast.next_retired();
+            prop_assert_eq!(
+                fast_r.as_ref(),
+                Some(&slow),
+                "retired record {} diverged ({}/{})",
+                steps,
+                profiles[pick].name,
+                seed
+            );
+            steps += 1;
+        }
+        // The fast path must stop exactly where the slow path stopped.
+        prop_assert_eq!(fast.next_retired(), None);
+        prop_assert_eq!(fast.executed(), steps);
+        prop_assert_eq!(fast.state(), &st, "final state diverged");
+        prop_assert!(
+            fast.memory().content_eq(&mem),
+            "final memory diverged ({}/{})",
+            profiles[pick].name,
+            seed
+        );
+    }
+}
