@@ -78,6 +78,7 @@ fn synth(base: &Retired, inst: Inst) -> Retired {
         csr_read: None,
         csr_write: None,
         is_kernel_trap: false,
+        syscall: None,
         wb: None,
     }
 }

@@ -1,0 +1,12 @@
+//! `cargo bench` harness for the real-program workload suite; the
+//! bodies live in [`meek_bench::suites::progs`] so `meek-bench-export`
+//! can run them in-process for the committed perf baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = meek_bench::suites::progs::all
+}
+criterion_main!(benches);

@@ -5,19 +5,25 @@
 
 use criterion::{black_box, Criterion, Throughput};
 use meek_difftest::{fuzz_program, golden_run, FuzzConfig};
-use meek_fuzz::{golden_features, mutate, run_fuzz, Corpus, CoverageMap, FuzzSettings, MutationOp};
+use meek_fuzz::{
+    golden_features, mutate, run_fuzz, Corpus, CoverageMap, Dictionary, FuzzSettings, MutationOp,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn bench_mutation(c: &mut Criterion) {
     let subject = fuzz_program(1, &FuzzConfig::default()).insts();
     let donor = fuzz_program(2, &FuzzConfig::default()).insts();
+    let dict = Dictionary::from_suite();
     let mut g = c.benchmark_group("fuzz");
     g.throughput(Throughput::Elements(1));
-    for op in [MutationOp::Splice, MutationOp::Delete, MutationOp::MixShift] {
+    for op in [MutationOp::Splice, MutationOp::Delete, MutationOp::MixShift, MutationOp::DictSplice]
+    {
         let mut rng = SmallRng::seed_from_u64(7);
         g.bench_function(&format!("mutate_{op:?}").to_lowercase(), |b| {
-            b.iter(|| mutate(black_box(&subject), &donor, op, &mut rng).map(|v| v.len()))
+            b.iter(|| {
+                mutate(black_box(&subject), &donor, dict.fragments(), op, &mut rng).map(|v| v.len())
+            })
         });
     }
     g.finish();

@@ -10,6 +10,7 @@
 pub mod campaign;
 pub mod difftest;
 pub mod fuzz;
+pub mod progs;
 pub mod recover;
 pub mod system;
 
@@ -17,10 +18,11 @@ pub mod system;
 pub type SuiteFn = fn(&mut criterion::Criterion);
 
 /// The suites the committed perf baseline covers, by stable name.
-pub const BASELINE_SUITES: [(&str, SuiteFn); 5] = [
+pub const BASELINE_SUITES: [(&str, SuiteFn); 6] = [
     ("system", system::all),
     ("recover", recover::all),
     ("difftest", difftest::all),
     ("fuzz", fuzz::all),
+    ("progs", progs::all),
     ("campaign", campaign::all),
 ];

@@ -15,7 +15,7 @@
 
 use crate::executor::Executor;
 use crate::sink::{CampaignRecord, RecordSink, ShardSummary};
-use crate::spec::{CampaignSpec, ShardSpec};
+use crate::spec::{CampaignSpec, CampaignWorkload, ShardSpec};
 use meek_core::{validate_config, JsonlEventSink, SamplingObserver, SharedBuf, Sim};
 use meek_workloads::WorkloadCache;
 use std::io;
@@ -103,8 +103,17 @@ fn cancelled_shard(shard: &ShardSpec) -> ShardResult {
 /// [`meek_core::validate_config`]); [`run_campaign`] does so up front,
 /// and `meek-serve` validates at job admission.
 pub fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) -> ShardResult {
-    let profile = &spec.workloads[shard.workload_idx];
-    let workload = cache.get(profile, spec.workload_seed(profile));
+    let source = &spec.workloads[shard.workload_idx];
+    let seed = spec.workload_seed(source.name());
+    let workload = match source {
+        CampaignWorkload::Profile(p) => cache.get(p, seed),
+        CampaignWorkload::Prog(k) => {
+            cache.get_with(k.name, seed, || meek_progs::suite::workload(k))
+        }
+        CampaignWorkload::ProgSet => {
+            cache.get_with(meek_progs::SET_NAME, seed, || meek_progs::WorkloadSet::all().fuse())
+        }
+    };
     let faults = shard.fault_specs();
     let n_faults = faults.len();
     let mut builder =

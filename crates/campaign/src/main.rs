@@ -28,9 +28,11 @@ USAGE:
     meek-campaign [OPTIONS]
 
 OPTIONS:
-    --suite <specint|parsec|all|NAME[,NAME...]>
-                          Benchmarks to inject into; names select
-                          individual benchmarks [default: parsec]
+    --suite <specint|parsec|all|progs|NAME[,NAME...]>
+                          Benchmarks to inject into; `progs` selects the
+                          committed real-program kernels plus the fused
+                          multi-workload set; names select individual
+                          benchmarks or kernels [default: parsec]
     --faults <N>          Faults per workload [default: 1000]
     --threads <N>         Worker threads; 0 = all hardware threads
                           [default: 0]

@@ -11,15 +11,46 @@
 
 use meek_core::fault::{random_fault_specs, FaultSpec};
 use meek_core::MeekConfig;
+use meek_progs::Kernel;
 use meek_workloads::{parsec3, spec_int_2006, BenchmarkProfile};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// One benchmark a campaign injects into: a profile-synthesised model
+/// program, or a committed real program from the `meek-progs` suite.
+#[derive(Debug, Clone)]
+pub enum CampaignWorkload {
+    /// A profile-synthesised benchmark (the SPECint/PARSEC models).
+    Profile(BenchmarkProfile),
+    /// One committed real-program kernel.
+    Prog(&'static Kernel),
+    /// The fused all-kernel multi-workload set: one image whose
+    /// scheduler stub context-switches through every suite kernel.
+    ProgSet,
+}
+
+impl CampaignWorkload {
+    /// The benchmark name as it appears in shard specs and records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CampaignWorkload::Profile(p) => p.name,
+            CampaignWorkload::Prog(k) => k.name,
+            CampaignWorkload::ProgSet => meek_progs::SET_NAME,
+        }
+    }
+}
+
+impl From<BenchmarkProfile> for CampaignWorkload {
+    fn from(p: BenchmarkProfile) -> CampaignWorkload {
+        CampaignWorkload::Profile(p)
+    }
+}
 
 /// A full fault-injection campaign description.
 #[derive(Debug, Clone)]
 pub struct CampaignSpec {
     /// Benchmarks to inject into.
-    pub workloads: Vec<BenchmarkProfile>,
+    pub workloads: Vec<CampaignWorkload>,
     /// System configuration every shard simulates.
     pub config: MeekConfig,
     /// Faults injected per workload.
@@ -67,12 +98,12 @@ impl CampaignSpec {
     /// A spec with the paper's Table II configuration and default
     /// sharding parameters.
     pub fn new(
-        workloads: Vec<BenchmarkProfile>,
+        workloads: impl IntoIterator<Item = impl Into<CampaignWorkload>>,
         faults_per_workload: usize,
         seed: u64,
     ) -> CampaignSpec {
         CampaignSpec {
-            workloads,
+            workloads: workloads.into_iter().map(Into::into).collect(),
             config: MeekConfig::default(),
             faults_per_workload,
             faults_per_shard: DEFAULT_FAULTS_PER_SHARD,
@@ -84,9 +115,11 @@ impl CampaignSpec {
     }
 
     /// The seed a workload's program is synthesised with (one build per
-    /// benchmark per campaign, shared by all its shards).
-    pub fn workload_seed(&self, profile: &BenchmarkProfile) -> u64 {
-        splitmix(self.seed ^ fnv1a(profile.name))
+    /// benchmark per campaign, shared by all its shards). Committed
+    /// real programs ignore it for codegen — assembly is deterministic —
+    /// but it still keys the build cache.
+    pub fn workload_seed(&self, name: &str) -> u64 {
+        splitmix(self.seed ^ fnv1a(name))
     }
 
     /// Expands the grid into its dense shard list.
@@ -101,21 +134,31 @@ impl CampaignSpec {
         assert!(self.faults_per_shard > 0, "faults_per_shard must be positive");
         assert!(self.insts_per_fault > 0, "insts_per_fault must be positive");
         let mut shards = Vec::new();
-        for (workload_idx, p) in self.workloads.iter().enumerate() {
+        for (workload_idx, w) in self.workloads.iter().enumerate() {
             let n_shards = self.faults_per_workload.div_ceil(self.faults_per_shard);
             for s in 0..n_shards {
                 let faults =
                     self.faults_per_shard.min(self.faults_per_workload - s * self.faults_per_shard);
-                let insts = (faults as u64 * self.insts_per_fault).max(MIN_SHARD_INSTS);
+                // A committed real program runs once and exits, so its
+                // shard budget — and with it the fault arm window — is
+                // its measured dynamic length, not a headroom formula
+                // sized for synthetic loops that fill any budget.
+                let insts = match w {
+                    CampaignWorkload::Profile(_) => {
+                        (faults as u64 * self.insts_per_fault).max(MIN_SHARD_INSTS)
+                    }
+                    CampaignWorkload::Prog(k) => meek_progs::dynamic_len(k),
+                    CampaignWorkload::ProgSet => meek_progs::set_dynamic_len(),
+                };
                 shards.push(ShardSpec {
                     index: shards.len(),
                     workload_idx,
-                    workload: p.name,
+                    workload: w.name(),
                     shard_in_workload: s as u32,
                     faults,
                     insts,
                     rng_seed: splitmix(
-                        self.seed ^ fnv1a(p.name) ^ (s as u64).wrapping_mul(0x9E37_79B9),
+                        self.seed ^ fnv1a(w.name()) ^ (s as u64).wrapping_mul(0x9E37_79B9),
                     ),
                 });
             }
@@ -157,34 +200,51 @@ impl ShardSpec {
     }
 }
 
-/// Resolves a suite selector to benchmark profiles: `specint`,
-/// `parsec`, `all`, or a comma-separated list of benchmark names. The
-/// one vocabulary shared by `meek-campaign --suite` and `meek-serve`
-/// job specs, so a spec means the same thing on both paths.
+/// Resolves a suite selector to campaign workloads: `specint`,
+/// `parsec`, `all`, `progs` (the committed real-program kernels plus
+/// the fused multi-workload set), or a comma-separated list of
+/// benchmark names — profile names, suite kernel names, and
+/// `progs-set` may be mixed freely. The one vocabulary shared by
+/// `meek-campaign --suite` and `meek-serve` job specs, so a spec means
+/// the same thing on both paths.
 ///
 /// # Errors
 ///
 /// Returns a message naming the unknown benchmark (and the known ones)
 /// when a name does not resolve.
-pub fn resolve_suite(suite: &str) -> Result<Vec<BenchmarkProfile>, String> {
+pub fn resolve_suite(suite: &str) -> Result<Vec<CampaignWorkload>, String> {
+    let profiles = |ps: Vec<BenchmarkProfile>| ps.into_iter().map(CampaignWorkload::from).collect();
+    let progs = || -> Vec<CampaignWorkload> {
+        meek_progs::KERNELS
+            .iter()
+            .map(CampaignWorkload::Prog)
+            .chain([CampaignWorkload::ProgSet])
+            .collect()
+    };
     match suite {
-        "specint" | "spec" | "specint2006" => Ok(spec_int_2006()),
-        "parsec" | "parsec3" => Ok(parsec3()),
-        "all" => Ok(spec_int_2006().into_iter().chain(parsec3()).collect()),
+        "specint" | "spec" | "specint2006" => Ok(profiles(spec_int_2006())),
+        "parsec" | "parsec3" => Ok(profiles(parsec3())),
+        "all" => Ok(profiles(spec_int_2006().into_iter().chain(parsec3()).collect())),
+        "progs" => Ok(progs()),
         names => {
             let all: Vec<BenchmarkProfile> = spec_int_2006().into_iter().chain(parsec3()).collect();
             let mut picked = Vec::new();
             for name in names.split(',') {
                 let name = name.trim();
-                match all.iter().find(|p| p.name == name) {
-                    Some(p) => picked.push(p.clone()),
-                    None => {
-                        let known: Vec<&str> = all.iter().map(|p| p.name).collect();
-                        return Err(format!(
-                            "unknown benchmark `{name}`; known: {}",
-                            known.join(", ")
-                        ));
-                    }
+                if let Some(p) = all.iter().find(|p| p.name == name) {
+                    picked.push(CampaignWorkload::Profile(p.clone()));
+                } else if let Some(k) = meek_progs::kernel(name) {
+                    picked.push(CampaignWorkload::Prog(k));
+                } else if name == meek_progs::SET_NAME {
+                    picked.push(CampaignWorkload::ProgSet);
+                } else {
+                    let known: Vec<&str> = all
+                        .iter()
+                        .map(|p| p.name)
+                        .chain(meek_progs::KERNELS.iter().map(|k| k.name))
+                        .chain([meek_progs::SET_NAME])
+                        .collect();
+                    return Err(format!("unknown benchmark `{name}`; known: {}", known.join(", ")));
                 }
             }
             Ok(picked)
@@ -277,7 +337,10 @@ mod tests {
     #[test]
     fn workload_seed_differs_per_benchmark() {
         let spec = two_workload_spec();
-        assert_ne!(spec.workload_seed(&spec.workloads[0]), spec.workload_seed(&spec.workloads[1]));
+        assert_ne!(
+            spec.workload_seed(spec.workloads[0].name()),
+            spec.workload_seed(spec.workloads[1].name())
+        );
     }
 
     #[test]
@@ -286,11 +349,49 @@ mod tests {
         assert!(!resolve_suite("parsec").unwrap().is_empty());
         let all = resolve_suite("all").unwrap();
         assert_eq!(all.len(), resolve_suite("specint").unwrap().len() + parsec3().len());
-        let one = resolve_suite(all[0].name).unwrap();
+        let one = resolve_suite(all[0].name()).unwrap();
         assert_eq!(one.len(), 1);
-        assert_eq!(one[0].name, all[0].name);
+        assert_eq!(one[0].name(), all[0].name());
         let err = resolve_suite("not-a-benchmark").unwrap_err();
         assert!(err.contains("unknown benchmark"), "{err}");
+    }
+
+    #[test]
+    fn progs_suite_resolves_kernels_plus_fused_set() {
+        let progs = resolve_suite("progs").unwrap();
+        assert_eq!(progs.len(), meek_progs::KERNELS.len() + 1);
+        assert!(matches!(progs.last(), Some(CampaignWorkload::ProgSet)));
+        // Kernel names, profile names, and the set name mix freely.
+        let mixed = resolve_suite("memcpy,blackscholes,progs-set").unwrap();
+        assert_eq!(mixed.len(), 3);
+        assert!(matches!(&mixed[0], CampaignWorkload::Prog(k) if k.name == "memcpy"));
+        assert!(matches!(&mixed[1], CampaignWorkload::Profile(p) if p.name == "blackscholes"));
+        assert!(matches!(&mixed[2], CampaignWorkload::ProgSet));
+        let err = resolve_suite("memcpy,bogus").unwrap_err();
+        assert!(err.contains("progs-set"), "kernel names are listed as known: {err}");
+    }
+
+    #[test]
+    fn prog_shards_use_the_measured_dynamic_length() {
+        let k = meek_progs::kernel("memcpy").unwrap();
+        let mut spec = CampaignSpec::new(
+            vec![CampaignWorkload::Prog(k), CampaignWorkload::ProgSet],
+            4,
+            0xC0FFEE,
+        );
+        spec.faults_per_shard = 2;
+        let shards = spec.shards();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards[0].workload, "memcpy");
+        assert_eq!(shards[0].insts, meek_progs::dynamic_len(k));
+        assert_eq!(shards[2].workload, meek_progs::SET_NAME);
+        assert_eq!(shards[2].insts, meek_progs::set_dynamic_len());
+        // Arm points must land inside what the program actually runs.
+        for sh in &shards {
+            for f in sh.fault_specs() {
+                assert!(f.arm_at_commit < sh.insts, "{f:?} arms past the program end");
+            }
+        }
     }
 
     #[test]

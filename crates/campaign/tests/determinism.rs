@@ -12,7 +12,7 @@ use meek_workloads::parsec3;
 /// Two benchmarks, three shards each — enough to exercise cross-thread
 /// interleaving and the reorder buffer without a long test.
 fn spec() -> CampaignSpec {
-    let profiles = parsec3()
+    let profiles: Vec<_> = parsec3()
         .into_iter()
         .filter(|p| p.name == "blackscholes" || p.name == "swaptions")
         .collect();

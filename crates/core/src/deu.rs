@@ -344,6 +344,9 @@ impl DeuHook<'_> {
         if !dest.is_empty() {
             self.deu.queue_transfer(cur, inst_count, cp, dest);
         }
+        // The injector learns where each segment's boundary fell so mask
+        // records can carry exact detection-surface commit bounds.
+        self.injector.on_boundary(cur, self.deu.committed_total);
         self.deu.rcps += 1;
         self.deu.seg = cur + 1;
         self.deu.insts_in_seg = 0;
@@ -482,6 +485,7 @@ mod tests {
             csr_read: None,
             csr_write: None,
             is_kernel_trap: trap,
+            syscall: None,
             wb: Some((WbDest::Int(Reg::X1), 7)),
         }
     }

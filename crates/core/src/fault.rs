@@ -12,6 +12,7 @@ use meek_fabric::{Packet, Payload};
 use meek_isa::state::RegCheckpoint;
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::collections::BTreeMap;
 
 /// Where to flip a bit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +134,19 @@ pub struct MaskRecord {
     pub armed_at_commit: u64,
     /// Clean value of the corrupted field.
     pub field: CorruptedField,
+    /// First commit index of the detection surface the checkers
+    /// actually had for this corruption: the fault segment's start for
+    /// memory-record faults, the *successor* segment's start (= the
+    /// boundary the corrupted checkpoint was cut at) for checkpoint
+    /// faults. Segment boundaries re-seed every checker from the big
+    /// core's clean shadow, so nothing outside this range could ever
+    /// have exposed the flip — an external prover replaying past it
+    /// over-convicts.
+    pub surface_start: u64,
+    /// One-past-the-end commit index of the detection surface. `None`
+    /// when the closing boundary never occurred (the run drained inside
+    /// the surface segment): the surface extends to the end of the run.
+    pub surface_end: Option<u64>,
 }
 
 /// Outcome of one injected fault.
@@ -188,13 +202,15 @@ struct InFlight {
 }
 
 impl InFlight {
-    fn mask_record(&self) -> MaskRecord {
+    fn mask_record(&self, surface: (u64, Option<u64>)) -> MaskRecord {
         MaskRecord {
             spec: self.spec,
             injected_cycle: self.injected,
             seg: self.fseg,
             armed_at_commit: self.armed_at_commit,
             field: self.field.clone(),
+            surface_start: surface.0,
+            surface_end: surface.1,
         }
     }
 }
@@ -229,6 +245,12 @@ pub struct FaultInjector {
     /// cycle by the system to emit typed `FaultInjected` events. A
     /// [`FaultInjector::revert`] (dropped packet) pops its entry.
     injection_log: Vec<(FaultSite, u32, u64)>,
+    /// Commit index at which each segment's closing boundary fell,
+    /// reported by the DEU ([`FaultInjector::on_boundary`]). Mask
+    /// records carry the bounds so external provers replay exactly the
+    /// detection surface the checkers had. Entries of rolled-back
+    /// segments are dropped and re-recorded during re-execution.
+    seg_end: BTreeMap<u32, u64>,
 }
 
 impl FaultInjector {
@@ -245,6 +267,32 @@ impl FaultInjector {
             masked: Vec::new(),
             suppressed: false,
             injection_log: Vec::new(),
+            seg_end: BTreeMap::new(),
+        }
+    }
+
+    /// Records that segment `seg`'s closing boundary fell at commit
+    /// index `end_commit` — called by the DEU at every RCP (and at the
+    /// final checkpoint). The bounds flow into [`MaskRecord`]s so the
+    /// coverage prover replays only the segment(s) the checkers saw.
+    pub fn on_boundary(&mut self, seg: u32, end_commit: u64) {
+        self.seg_end.insert(seg, end_commit);
+    }
+
+    /// The detection-surface commit bounds for a fault injected into
+    /// segment `fseg`: the fault segment itself for run-time records,
+    /// the successor segment for checkpoint faults (the corrupted
+    /// RcpEnd seeds `fseg + 1`'s replay as its SRCP).
+    fn surface_of(&self, site: FaultSite, fseg: u32) -> (u64, Option<u64>) {
+        match site {
+            FaultSite::RcpRegister => (
+                self.seg_end.get(&fseg).copied().unwrap_or(0),
+                self.seg_end.get(&(fseg + 1)).copied(),
+            ),
+            _ => (
+                fseg.checked_sub(1).and_then(|p| self.seg_end.get(&p).copied()).unwrap_or(0),
+                self.seg_end.get(&fseg).copied(),
+            ),
         }
     }
 
@@ -434,6 +482,9 @@ impl FaultInjector {
             self.queue.sort_by_key(|f| f.arm_at_commit);
             self.queue.reverse(); // pop() yields earliest first
         }
+        // Boundaries of squashed segments are stale: re-execution will
+        // re-record them as the segments re-commit.
+        self.seg_end.retain(|&s, _| s < first_seg);
     }
 
     /// Reports a segment verification result to the injector.
@@ -453,7 +504,8 @@ impl FaultInjector {
         if let Some(pos) = self.tentative.iter().position(|fl| seg == fl.fseg) {
             let fl = self.tentative.remove(pos);
             if pass {
-                self.masked.push(fl.mask_record());
+                let surface = self.surface_of(fl.spec.site, fl.fseg);
+                self.masked.push(fl.mask_record(surface));
             } else {
                 let latency_ns = (now - fl.injected) as f64 * ns_per_cycle;
                 self.detections.push(DetectionRecord {
@@ -467,7 +519,9 @@ impl FaultInjector {
                 return; // the fail verdict is this fault's detection
             }
         }
+        let surface = self.in_flight.as_ref().map(|fl| self.surface_of(fl.spec.site, fl.fseg));
         let Some(fl) = &mut self.in_flight else { return };
+        let surface = surface.expect("computed from the same in-flight fault");
         if seg < fl.fseg {
             return;
         }
@@ -490,7 +544,7 @@ impl FaultInjector {
             }
             FaultSite::MemAddr | FaultSite::MemData | FaultSite::CacheData => {
                 if seg == fl.fseg {
-                    let rec = fl.mask_record();
+                    let rec = fl.mask_record(surface);
                     self.masked.push(rec);
                     self.in_flight = None;
                 }
@@ -502,7 +556,7 @@ impl FaultInjector {
                     fl.next_passed = true;
                 }
                 if fl.next_passed && fl.fseg_passed {
-                    let rec = fl.mask_record();
+                    let rec = fl.mask_record(surface);
                     self.masked.push(rec);
                     self.in_flight = None;
                 } else if fl.next_passed && seg > fl.fseg + 4 {
@@ -535,8 +589,9 @@ impl FaultInjector {
     pub fn resolve_at_drain(&mut self) {
         // Tentatives whose own-segment verdict never arrived: the clean
         // successor verdict stands — masked.
-        for fl in self.tentative.drain(..) {
-            self.masked.push(fl.mask_record());
+        for fl in std::mem::take(&mut self.tentative) {
+            let surface = self.surface_of(fl.spec.site, fl.fseg);
+            self.masked.push(fl.mask_record(surface));
         }
         let Some(fl) = self.in_flight.take() else { return };
         let masked = match fl.spec.site {
@@ -552,7 +607,8 @@ impl FaultInjector {
             FaultSite::RcpRegister => fl.fseg_passed || fl.next_passed,
         };
         if masked {
-            self.masked.push(fl.mask_record());
+            let surface = self.surface_of(fl.spec.site, fl.fseg);
+            self.masked.push(fl.mask_record(surface));
         } else {
             self.in_flight = Some(fl);
         }

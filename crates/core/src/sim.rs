@@ -675,6 +675,36 @@ pub enum BuildError {
         /// The run's dynamic instruction budget.
         budget: u64,
     },
+    /// The workload's entry PC is not 4-aligned. RV64 (without the C
+    /// extension) fetches 4-byte-aligned words; a misaligned entry can
+    /// only come from a mis-assembled or mis-declared image.
+    MisalignedEntry {
+        /// The offending entry PC.
+        entry: u64,
+    },
+    /// The word at the workload's entry PC does not decode — the image
+    /// has no code there (wrong load address, wrong entry metadata), so
+    /// a run would trap on its first fetch and be misreported as a
+    /// cycle-cap liveness failure.
+    EntryNotExecutable {
+        /// The entry PC with no decodable instruction.
+        entry: u64,
+        /// The word found there.
+        word: u32,
+    },
+    /// The workload's declared writable data window overlaps its code
+    /// span: stores would self-modify code that every execution way
+    /// pre-decoded at build time, silently diverging replay from fetch.
+    DataWindowOverlapsCode {
+        /// Declared window base.
+        data_base: u64,
+        /// Declared window size in bytes.
+        data_size: u64,
+        /// Code span start (the entry PC).
+        code_base: u64,
+        /// Code span end (one past the last static instruction).
+        code_end: u64,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -697,6 +727,21 @@ impl fmt::Display for BuildError {
                 f,
                 "fault arms at commit {arm_at_commit}, at or past the {budget}-instruction budget"
             ),
+            BuildError::MisalignedEntry { entry } => {
+                write!(f, "entry PC {entry:#x} is not 4-aligned")
+            }
+            BuildError::EntryNotExecutable { entry, word } => write!(
+                f,
+                "no decodable instruction at entry PC {entry:#x} (found word {word:#010x})"
+            ),
+            BuildError::DataWindowOverlapsCode { data_base, data_size, code_base, code_end } => {
+                write!(
+                    f,
+                    "data window [{data_base:#x}, {:#x}) overlaps code span \
+                     [{code_base:#x}, {code_end:#x})",
+                    data_base + data_size
+                )
+            }
         }
     }
 }
@@ -908,6 +953,28 @@ impl<'a> SimBuilder<'a> {
             return Err(BuildError::ZeroInstructionBudget);
         }
         validate_config(&self.cfg)?;
+        // Image-shape validation: degenerate loaded images used to run
+        // straight into the cycle-cap liveness panic; reject them with
+        // typed errors instead.
+        let entry = self.workload.entry();
+        if !entry.is_multiple_of(4) {
+            return Err(BuildError::MisalignedEntry { entry });
+        }
+        let entry_word = self.workload.image().peek_inst(entry);
+        if meek_isa::decode(entry_word).is_err() {
+            return Err(BuildError::EntryNotExecutable { entry, word: entry_word });
+        }
+        if let Some((data_base, data_size)) = self.workload.data_window() {
+            let code_end = entry + 4 * self.workload.static_len as u64;
+            if data_base < code_end && data_base + data_size > entry {
+                return Err(BuildError::DataWindowOverlapsCode {
+                    data_base,
+                    data_size,
+                    code_base: entry,
+                    code_end,
+                });
+            }
+        }
         if self.fabric_kind_set && self.custom_fabric.is_some() {
             return Err(BuildError::ConflictingFabric);
         }
@@ -1215,6 +1282,62 @@ mod tests {
             .build()
             .unwrap_err();
         assert_eq!(err, BuildError::ConflictingFaultSources);
+    }
+
+    /// A tiny hand-built loaded image: one `addi` at `entry`, used by the
+    /// image-shape rejection tests below.
+    fn image_workload(entry: u64) -> Workload {
+        use meek_isa::inst::AluImmOp;
+        use meek_isa::{encode, Inst, Reg};
+        let mut image = SparseMemory::new();
+        let addi = encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 1 });
+        image.load_program(entry & !3, &[addi, addi]);
+        Workload::from_image("image-test", image, entry, (entry & !3) + 8, 2, ArchState::new(entry))
+    }
+
+    #[test]
+    fn misaligned_entry_is_a_typed_error() {
+        let wl = image_workload(0x1002);
+        let err = Sim::builder(&wl, 1_000).build().unwrap_err();
+        assert_eq!(err, BuildError::MisalignedEntry { entry: 0x1002 });
+        assert!(err.to_string().contains("4-aligned"));
+    }
+
+    #[test]
+    fn undecodable_entry_word_is_a_typed_error() {
+        // An image with nothing loaded at the entry PC reads back as an
+        // all-zero word, which is not a valid RV64 instruction.
+        let wl = Workload::from_image(
+            "empty-entry",
+            SparseMemory::new(),
+            0x4000,
+            0x4008,
+            2,
+            ArchState::new(0x4000),
+        );
+        let err = Sim::builder(&wl, 1_000).build().unwrap_err();
+        assert_eq!(err, BuildError::EntryNotExecutable { entry: 0x4000, word: 0 });
+        assert!(err.to_string().contains("entry PC"));
+    }
+
+    #[test]
+    fn data_window_overlapping_code_is_a_typed_error() {
+        // Code span is [0x1000, 0x1008); a window starting mid-span must
+        // be rejected, while one starting at the span end is fine.
+        let wl = image_workload(0x1000).with_data_window(0x1004, 0x100);
+        let err = Sim::builder(&wl, 1_000).build().unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::DataWindowOverlapsCode {
+                data_base: 0x1004,
+                data_size: 0x100,
+                code_base: 0x1000,
+                code_end: 0x1008,
+            }
+        );
+        assert!(err.to_string().contains("overlaps code"));
+        let wl = image_workload(0x1000).with_data_window(0x1008, 0x100);
+        assert!(Sim::builder(&wl, 1_000).build().is_ok());
     }
 
     #[test]

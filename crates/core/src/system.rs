@@ -192,7 +192,20 @@ impl MeekSystem {
             cfg.seg_timeout,
             initial_cp,
         );
+        // The CSR shadow must start from the workload's initial CSR file
+        // (not empty): rollback *replaces* the run's CSRs with the pinned
+        // snapshot, and a snapshot missing the initial CSRs — the OS-mode
+        // gate in particular — would silently flip syscall semantics for
+        // everything re-executed after recovery.
+        deu.shadow_csrs = run.state().csr_snapshot();
         let chunks = deu.chunks_per_cp();
+        // Checkpoints exclude CSRs, so a program whose *initial* state
+        // carries CSRs (loaded images: the OS-surface gate) must have
+        // them seeded into every checker's replay state directly.
+        let initial_csrs = {
+            let snap = workload.initial_state().csr_snapshot();
+            (!snap.is_empty()).then(|| std::sync::Arc::new(snap))
+        };
         let mut littles: Vec<LittleCore> = (0..cfg.n_little)
             .map(|i| {
                 let mut lc = LittleCore::new(i, cfg.little, chunks);
@@ -202,6 +215,9 @@ impl MeekSystem {
                 // Replay consumes the workload's pre-decoded record
                 // table instead of re-decoding words per instruction.
                 lc.install_predecode(workload.predecoded().clone());
+                if let Some(csrs) = &initial_csrs {
+                    lc.install_initial_csrs(csrs.clone());
+                }
                 lc
             })
             .collect();
@@ -579,6 +595,7 @@ impl DeuHook<'_> {
         let cp = self.deu.shadow_checkpoint();
         let inst_count = self.deu.insts_in_seg();
         self.deu.queue_transfer(seg, inst_count, cp, DestMask::single(checker));
+        self.injector.on_boundary(seg, self.deu.committed_total);
         self.deu.rcps += 1;
         true
     }

@@ -171,7 +171,7 @@ pub fn golden_run_bounded(prog: &FuzzProgram, cap: u64) -> Result<GoldenRun, Div
 pub fn golden_run_in(wl: &Workload, cap: u64) -> Result<GoldenRun, Divergence> {
     let mut mem = wl.image().clone();
     let pd = wl.predecoded();
-    let mut st = ArchState::new(wl.entry());
+    let mut st = wl.initial_state().clone();
     let mut trace = Vec::new();
     while st.pc != wl.exit_pc() && (trace.len() as u64) < cap {
         match step_predecoded(&mut st, &mut mem, pd) {
@@ -229,9 +229,19 @@ pub fn run_full(
     prog: &FuzzProgram,
     cfg: &CosimConfig,
 ) -> (CosimVerdict, Option<(GoldenRun, Workload)>) {
-    let mut verdict = CosimVerdict { executed: 0, segments: 0, system_cycles: 0, divergence: None };
     let wl = prog.workload();
-    let golden = match golden_run_in(&wl, GOLDEN_CAP) {
+    let (verdict, golden) = run_workload(&wl, cfg);
+    (verdict, golden.map(|g| (g, wl)))
+}
+
+/// Three-way co-simulation of an already-built [`Workload`] — the entry
+/// the real-program suite uses (loaded images carry initial register
+/// and CSR state that a [`FuzzProgram`] never has). Returns the verdict
+/// plus the golden run for downstream fault oracles, `None` when the
+/// golden way itself trapped.
+pub fn run_workload(wl: &Workload, cfg: &CosimConfig) -> (CosimVerdict, Option<GoldenRun>) {
+    let mut verdict = CosimVerdict { executed: 0, segments: 0, system_cycles: 0, divergence: None };
+    let golden = match golden_run_in(wl, GOLDEN_CAP) {
         Ok(g) => g,
         Err(d) => {
             verdict.divergence = Some(d);
@@ -240,20 +250,20 @@ pub fn run_full(
     };
     verdict.executed = golden.trace.len() as u64;
     if golden.trace.is_empty() {
-        return (verdict, Some((golden, wl)));
+        return (verdict, Some(golden));
     }
-    match replay_lockstep(&wl, &golden, cfg) {
+    match replay_lockstep(wl, &golden, cfg) {
         Ok(segments) => verdict.segments = segments,
         Err(d) => {
             verdict.divergence = Some(d);
-            return (verdict, Some((golden, wl)));
+            return (verdict, Some(golden));
         }
     }
-    match system_check(&wl, &golden, cfg) {
+    match system_check(wl, &golden, cfg) {
         Ok(cycles) => verdict.system_cycles = cycles,
         Err(d) => verdict.divergence = Some(d),
     }
-    (verdict, Some((golden, wl)))
+    (verdict, Some(golden))
 }
 
 /// Way 2: feeds the golden run's forwarded data to a real littlecore,
@@ -266,7 +276,11 @@ fn replay_lockstep(
     let image = wl.image();
     let mut core = LittleCore::new(0, LittleCoreConfig::optimized(), CHUNKS_PER_CP);
     core.install_predecode(wl.predecoded().clone());
-    core.seed_initial_checkpoint(ArchState::new(wl.entry()).checkpoint());
+    core.seed_initial_checkpoint(wl.initial_state().checkpoint());
+    let initial_csrs = wl.initial_state().csr_snapshot();
+    if !initial_csrs.is_empty() {
+        core.install_initial_csrs(std::sync::Arc::new(initial_csrs));
+    }
     let n = golden.trace.len();
     let seg_len = cfg.seg_len.max(1) as usize;
     let n_segs = n.div_ceil(seg_len);
@@ -275,7 +289,7 @@ fn replay_lockstep(
     // Replaying the segment's end state requires the checkpoint *after*
     // its last instruction; track it by replaying the writebacks the
     // golden trace already carries.
-    let mut shadow = ArchState::new(wl.entry());
+    let mut shadow = wl.initial_state().clone();
     for seg_idx in 0..n_segs {
         let seg = (seg_idx + 1) as u32;
         let start = seg_idx * seg_len;
@@ -372,8 +386,9 @@ fn replay_lockstep(
 
 /// Applies a retired instruction's writeback to a commit-order shadow
 /// state (the DEU's view), so segment-end checkpoints can be cut at
-/// arbitrary trace indices.
-fn apply_writeback(shadow: &mut ArchState, r: &Retired) {
+/// arbitrary trace indices. Shared with the coverage prover, which cuts
+/// its replay-twin checkpoints at recorded segment boundaries.
+pub(crate) fn apply_writeback(shadow: &mut ArchState, r: &Retired) {
     use meek_isa::WbDest;
     if let Some((dest, v)) = r.wb {
         match dest {

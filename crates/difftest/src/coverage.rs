@@ -5,11 +5,12 @@
 //!
 //! * **Detected** — a checker reported the corrupted segment;
 //! * **Masked, proven benign** — no checker fired, but a *replay twin*
-//!   (a littlecore replay of the whole golden run with only the
-//!   recorded corruption applied) verifies clean end to end, proving
-//!   the flipped bit could not reach any compared artifact: every load
-//!   and store address, every store value, every CSR access, and the
-//!   final register file match the fault-free run;
+//!   (a littlecore replay of the detection surface the checkers had —
+//!   the fault segment, or the successor segment a corrupted checkpoint
+//!   seeds — with only the recorded corruption applied) verifies clean,
+//!   proving the flipped bit could not reach any compared artifact:
+//!   every load and store address, every store value, every CSR access,
+//!   and the boundary register file match the fault-free run;
 //! * **Pending** — the fault never fired (armed too late for any
 //!   matching packet) or its verdict structurally cannot arrive.
 //!
@@ -25,7 +26,6 @@ use crate::fuzz::FuzzProgram;
 use meek_core::{CorruptedField, FaultSite, FaultSpec, MaskRecord, Sim};
 use meek_fabric::{DestMask, Packet, PacketSink, Payload};
 use meek_isa::state::RegCheckpoint;
-use meek_isa::{step_predecoded, ArchState};
 use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig};
 use meek_workloads::Workload;
 use rand::rngs::SmallRng;
@@ -186,16 +186,22 @@ pub fn classify_with_in(
 /// Proves a masked fault benign by replay twin, or convicts it as an
 /// escape.
 ///
-/// The twin replays the *entire* golden run on a littlecore as one
-/// segment, with exactly the recorded corruption applied (a flipped
-/// forwarded record, or a flipped start-checkpoint register), and the
-/// fault-free final registers as the end checkpoint. The replay
-/// compares every artifact the MEEK checkers compare; if it verifies
-/// clean, no per-segment re-check in the real system could have seen
-/// the corruption either — the mask is benign. If it mismatches, the
-/// real system should have detected it, and the masked verdict is an
-/// escape.
+/// The twin replays exactly the detection surface the real checkers had
+/// — the fault segment for a run-time record flip, the successor
+/// segment for a checkpoint-register flip (its SRCP) — on a littlecore,
+/// with the recorded corruption applied and the fault-free golden state
+/// at the surface's closing boundary as the end checkpoint. Segment
+/// boundaries re-seed every checker from the big core's clean shadow,
+/// so corruption that survives the surface in *registers* without
+/// touching a compared artifact (addresses, store data, CSR accesses,
+/// the boundary register file) is architecturally erased at the next
+/// boundary; replaying further would over-convict. If the twin verifies
+/// clean, the mask is benign; if it mismatches, the real system should
+/// have detected it, and the masked verdict is an escape.
 fn prove_benign(golden: &GoldenRun, wl: &Workload, mask: &MaskRecord) -> FaultOutcome {
+    let n = golden.trace.len();
+    let start = (mask.surface_start as usize).min(n);
+    let end = mask.surface_end.map_or(n, |e| (e as usize).min(n));
     match &mask.field {
         &CorruptedField::Mem { addr, size, data, is_store } => {
             // The corrupted packet is the first matching memory record
@@ -203,7 +209,7 @@ fn prove_benign(golden: &GoldenRun, wl: &Workload, mask: &MaskRecord) -> FaultOu
             // count with a memory access (a *load* for cache-data
             // faults, which skip stores).
             let loads_only = mask.spec.site == FaultSite::CacheData;
-            let from = (mask.armed_at_commit as usize).min(golden.trace.len());
+            let from = (mask.armed_at_commit as usize).min(n);
             let Some(idx) = golden.trace[from..]
                 .iter()
                 .position(|r| r.mem.is_some_and(|m| !(loads_only && m.is_store)))
@@ -222,6 +228,14 @@ fn prove_benign(golden: &GoldenRun, wl: &Workload, mask: &MaskRecord) -> FaultOu
                     ),
                 };
             }
+            if idx < start || idx >= end {
+                return FaultOutcome::Escaped {
+                    reason: format!(
+                        "mask anchor at trace index {idx} falls outside the recorded \
+                         detection surface [{start}, {end}): {mask:?}"
+                    ),
+                };
+            }
             let (caddr, cdata) = match mask.spec.site {
                 FaultSite::MemAddr => (addr ^ (1 << (mask.spec.bit % 64)), data),
                 FaultSite::MemData | FaultSite::CacheData => {
@@ -232,55 +246,49 @@ fn prove_benign(golden: &GoldenRun, wl: &Workload, mask: &MaskRecord) -> FaultOu
                     unreachable!("parity faults always detect; they never mask")
                 }
             };
-            let srcp = ArchState::new(wl.entry()).checkpoint();
-            replay_twin(golden, wl, 0, srcp, Some((idx, caddr, cdata)), mask)
+            let srcp = state_at(golden, wl, start);
+            replay_twin(golden, wl, start, end, srcp, Some((idx, caddr, cdata)), mask)
         }
         CorruptedField::Register { index, clean_cp } => {
-            // Locate the boundary the corrupted checkpoint was cut at:
-            // the first golden state equal to the clean checkpoint.
-            let Some(j) = find_state_index(wl, clean_cp) else {
+            // The corrupted checkpoint was cut at the surface's opening
+            // boundary; the golden state there must equal the recorded
+            // clean checkpoint, or the mask evidence is inconsistent.
+            if state_at(golden, wl, start) != **clean_cp {
                 return FaultOutcome::Escaped {
                     reason: format!(
-                        "masked checkpoint fault's clean state not found in the golden run: \
-                         {mask:?}"
+                        "masked checkpoint fault's clean state does not match the golden \
+                         state at its boundary (commit {start}): {mask:?}"
                     ),
                 };
-            };
+            }
             let mut srcp = **clean_cp;
             srcp.x[*index] ^= 1 << (mask.spec.bit % 64);
-            replay_twin(golden, wl, j, srcp, None, mask)
+            replay_twin(golden, wl, start, end, srcp, None, mask)
         }
     }
 }
 
-/// Scans the golden run for the first architectural state equal to
-/// `cp`, returning how many instructions had retired at that point.
-fn find_state_index(wl: &Workload, cp: &RegCheckpoint) -> Option<usize> {
-    let mut mem = wl.image().clone();
-    let pd = wl.predecoded();
-    let mut st = ArchState::new(wl.entry());
-    let mut executed = 0usize;
-    loop {
-        if st.pc == cp.pc && st.checkpoint() == *cp {
-            return Some(executed);
-        }
-        if st.pc == wl.exit_pc() || executed as u64 >= crate::cosim::GOLDEN_CAP {
-            return None;
-        }
-        step_predecoded(&mut st, &mut mem, pd).ok()?;
-        executed += 1;
+/// The golden architectural registers after `k` retired instructions —
+/// the workload's initial state folded forward through the trace's
+/// writeback records (the same commit-order view the DEU shadows).
+fn state_at(golden: &GoldenRun, wl: &Workload, k: usize) -> RegCheckpoint {
+    let mut shadow = wl.initial_state().clone();
+    for r in &golden.trace[..k] {
+        crate::cosim::apply_writeback(&mut shadow, r);
     }
+    shadow.checkpoint()
 }
 
-/// Replays `golden.trace[start..]` on a littlecore as one giant
-/// segment: SRCP = `srcp` (possibly corrupted), run-time records from
-/// the golden trace — with the record anchored at `corrupt`'s absolute
-/// trace index replaced by the corrupted `(addr, data)` — and the
-/// fault-free final registers as the ERCP.
+/// Replays `golden.trace[start..end]` on a littlecore as one segment:
+/// SRCP = `srcp` (possibly corrupted), run-time records from the golden
+/// trace — with the record anchored at `corrupt`'s absolute trace index
+/// replaced by the corrupted `(addr, data)` — and the fault-free golden
+/// registers at `end` as the ERCP.
 fn replay_twin(
     golden: &GoldenRun,
     wl: &Workload,
     start: usize,
+    end: usize,
     srcp: RegCheckpoint,
     corrupt: Option<(usize, u64, u64)>,
     mask: &MaskRecord,
@@ -288,10 +296,14 @@ fn replay_twin(
     let image = wl.image();
     let mut core = LittleCore::new(0, LittleCoreConfig::optimized(), crate::cosim::CHUNKS_PER_CP);
     core.install_predecode(wl.predecoded().clone());
+    let initial_csrs = wl.initial_state().csr_snapshot();
+    if !initial_csrs.is_empty() {
+        core.install_initial_csrs(std::sync::Arc::new(initial_csrs));
+    }
     core.seed_initial_checkpoint(srcp);
     core.assign(1);
     let mut seq = 0u64;
-    for (i, r) in golden.trace[start..].iter().enumerate() {
+    for (i, r) in golden.trace[start..end].iter().enumerate() {
         let abs = start + i;
         if let Some(m) = r.mem {
             let (addr, data) = match corrupt {
@@ -328,19 +340,20 @@ fn replay_twin(
             seq += 1;
         }
     }
-    let len = (golden.trace.len() - start) as u64;
+    let len = (end - start) as u64;
+    let ercp = if end == golden.trace.len() { golden.final_cp } else { state_at(golden, wl, end) };
     core.lsl.deliver(
         Packet {
             seq,
             dest: DestMask::single(0),
-            payload: Payload::RcpEnd { seg: 1, inst_count: len, cp: Box::new(golden.final_cp) },
+            payload: Payload::RcpEnd { seg: 1, inst_count: len, cp: Box::new(ercp) },
             created_at: 0,
         },
         0,
     );
     let deadline = 400 * len + 50_000;
     // The whole (possibly corrupted) log is pre-delivered, so the twin
-    // replays the giant segment as one batched record window.
+    // replays the surface segment as one batched record window.
     let (_, ev) = core.check_burst(0, image, deadline);
     match ev {
         Some(CheckerEvent::SegmentVerified { pass: true, .. }) => FaultOutcome::MaskedProvenBenign,
@@ -407,6 +420,8 @@ mod tests {
             seg: 1,
             armed_at_commit: idx as u64,
             field: CorruptedField::Mem { addr: m.addr, size: m.size, data: m.data, is_store: true },
+            surface_start: 0,
+            surface_end: None,
         };
         let outcome = prove_benign(&golden, &prog.workload(), &mask);
         assert!(outcome.is_escape(), "a live store corruption must convict, got {outcome}");

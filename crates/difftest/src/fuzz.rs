@@ -150,6 +150,7 @@ impl FuzzProgram {
             self.words.len(),
             ArchState::new(self.entry()),
         )
+        .with_data_window(DATA_BASE, DATA_WINDOW)
     }
 }
 

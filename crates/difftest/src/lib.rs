@@ -50,7 +50,8 @@ pub mod recover;
 pub mod shrink;
 
 pub use cosim::{
-    golden_run, golden_run_bounded, golden_run_in, CosimConfig, CosimVerdict, Divergence, GoldenRun,
+    golden_run, golden_run_bounded, golden_run_in, run_workload, CosimConfig, CosimVerdict,
+    Divergence, GoldenRun,
 };
 pub use coverage::{
     classify, classify_in, classify_with, classify_with_in, fault_plan, FaultOutcome,

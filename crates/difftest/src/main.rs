@@ -7,10 +7,13 @@
 //!
 //! Each case fuzzes one program, lock-steps it across the three
 //! execution ways, then injects a small fault plan and classifies every
-//! fault. The process exits non-zero on any divergence or coverage
-//! escape. All of stdout is a pure function of the flags: cases fan out
-//! over the campaign executor and results are re-sequenced into case
-//! order, so output is byte-identical at any `--threads`.
+//! fault. With `--suite progs` the cases rotate over the committed
+//! real-program benchmark kernels (plus the fused multi-workload set)
+//! instead of fuzzed programs, with a fresh per-case fault plan. The
+//! process exits non-zero on any divergence or coverage escape. All of
+//! stdout is a pure function of the flags: cases fan out over the
+//! campaign executor and results are re-sequenced into case order, so
+//! output is byte-identical at any `--threads`.
 
 use meek_campaign::Executor;
 use meek_core::FabricKind;
@@ -41,6 +44,11 @@ OPTIONS:
     --static-len <N>   Static body length of fuzzed programs
                        [default: 220]
     --little <N>       Checker cores in the full-system way [default: 4]
+    --suite <NAME>     Co-simulate real-program workloads instead of
+                       fuzzed ones: `progs` rotates the committed
+                       benchmark kernels plus the fused multi-workload
+                       set, with a fresh fault plan per case
+                       (--static-len is ignored)
     --recover          Run every fault with checkpoint/rollback recovery
                        enabled and verify each detected fault recovers
                        to a golden-equal final state
@@ -58,6 +66,7 @@ struct Args {
     seg_len: u64,
     static_len: usize,
     little: usize,
+    suite: bool,
     recover: bool,
     shrink: bool,
     emit_path: Option<String>,
@@ -95,6 +104,7 @@ impl Args {
             seg_len: 192,
             static_len: 220,
             little: 4,
+            suite: false,
             recover: false,
             shrink: false,
             emit_path: None,
@@ -113,6 +123,13 @@ impl Args {
                     args.static_len = parse_num(&value("--static-len")?, "--static-len")?
                 }
                 "--little" => args.little = parse_num(&value("--little")?, "--little")?,
+                "--suite" => {
+                    let name = value("--suite")?;
+                    if name != "progs" {
+                        return Err(format!("unknown suite `{name}` (try `progs`)"));
+                    }
+                    args.suite = true;
+                }
                 "--recover" => args.recover = true,
                 "--shrink" => args.shrink = true,
                 "--emit-test" => args.emit_path = Some(value("--emit-test")?),
@@ -144,11 +161,24 @@ struct CaseResult {
     outcomes: Vec<(meek_core::FaultSpec, FaultOutcome, Option<RecoveryVerdict>)>,
 }
 
-fn run_case(case_seed: u64, args: &Args) -> CaseResult {
+/// The `--suite progs` rotation: the committed benchmark kernels in
+/// canonical order, then the fused all-kernel multi-workload set —
+/// the canonical rotation `meek-serve` difftest jobs share.
+fn suite_workload(case: u64) -> meek_workloads::Workload {
+    meek_progs::rotation_workload(case)
+}
+
+fn run_case(case_seed: u64, case: u64, args: &Args) -> CaseResult {
     let cfg =
         CosimConfig { seg_len: args.seg_len, n_little: args.little, ..CosimConfig::default() };
-    let prog = fuzz_program(case_seed, &FuzzConfig { static_len: args.static_len });
-    let (verdict, shared) = cosim::run_full(&prog, &cfg);
+    let (verdict, shared) = if args.suite {
+        let wl = suite_workload(case);
+        let (verdict, golden) = cosim::run_workload(&wl, &cfg);
+        (verdict, golden.map(|g| (g, wl)))
+    } else {
+        let prog = fuzz_program(case_seed, &FuzzConfig { static_len: args.static_len });
+        cosim::run_full(&prog, &cfg)
+    };
     let mut outcomes = Vec::new();
     if verdict.divergence.is_none() && args.faults > 0 && verdict.executed > 0 {
         // Only a program whose clean run agrees three ways is a valid
@@ -191,11 +221,24 @@ fn main() -> ExitCode {
         }
     };
     let executor = Executor::new(args.threads);
-    println!(
-        "meek-difftest: {} case(s), seed {:#x}, {} fault(s)/case, seg-len {}, static-len {}, \
-         {} little core(s)",
-        args.cases, args.seed, args.faults, args.seg_len, args.static_len, args.little
-    );
+    if args.suite {
+        println!(
+            "meek-difftest: {} case(s) over the `progs` suite ({} kernel(s) + fused set), \
+             seed {:#x}, {} fault(s)/case, seg-len {}, {} little core(s)",
+            args.cases,
+            meek_progs::KERNELS.len(),
+            args.seed,
+            args.faults,
+            args.seg_len,
+            args.little
+        );
+    } else {
+        println!(
+            "meek-difftest: {} case(s), seed {:#x}, {} fault(s)/case, seg-len {}, \
+             static-len {}, {} little core(s)",
+            args.cases, args.seed, args.faults, args.seg_len, args.static_len, args.little
+        );
+    }
     let started = Instant::now();
 
     let case_ids: Vec<u64> = (0..args.cases).collect();
@@ -208,7 +251,7 @@ fn main() -> ExitCode {
     let mut latency_sum = 0.0f64;
     executor.map_ordered(
         &case_ids,
-        |_idx, &case| run_case(splitmix(args.seed ^ case.wrapping_mul(0x9E37_79B9)), &args),
+        |_idx, &case| run_case(splitmix(args.seed ^ case.wrapping_mul(0x9E37_79B9)), case, &args),
         |idx, r: CaseResult| {
             executed += r.executed;
             segments += r.segments as u64;
@@ -290,7 +333,9 @@ fn main() -> ExitCode {
         started.elapsed()
     );
 
-    if args.shrink {
+    if args.shrink && args.suite {
+        eprintln!("[shrink] --suite cases are committed programs; nothing to shrink");
+    } else if args.shrink {
         if let Some((case_seed, _)) = failures.first() {
             let cfg = CosimConfig {
                 seg_len: args.seg_len,

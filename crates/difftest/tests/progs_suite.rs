@@ -1,0 +1,83 @@
+//! Suite oracle for the committed real-program kernels: every kernel
+//! (and the fused all-kernel set) must co-simulate three ways with zero
+//! divergences, classify a fixed-seed fault barrage with zero escapes,
+//! and — with recovery enabled — end every detected fault in a
+//! golden-equal final state. This is the permanent, debug-sized
+//! counterpart of the release CLI's `--suite progs` run.
+
+use meek_core::FabricKind;
+use meek_difftest::{
+    classify_in, cosim, fault_plan, verify_recovery_in, CosimConfig, FaultOutcome, GoldenRun,
+    RecoveryVerdict,
+};
+use meek_progs::{suite, WorkloadSet, KERNELS};
+use meek_workloads::Workload;
+
+/// The barrage seed is fixed so the plan (and thus the oracle verdicts)
+/// never drift between runs or machines.
+const BARRAGE_SEED: u64 = 0xD1FF_7E57;
+
+/// Matches the cap `cosim::run_workload` itself uses for the golden way.
+const GOLDEN_CAP: u64 = 500_000;
+
+/// Every suite workload, plus the fused set as a ninth entry — the same
+/// rotation `meek-difftest --suite progs` drives.
+fn suite_workloads() -> Vec<(String, Workload)> {
+    let mut wls: Vec<(String, Workload)> =
+        KERNELS.iter().map(|k| (k.name.to_string(), suite::workload(k))).collect();
+    let set = WorkloadSet::all();
+    wls.push((set.display_name(), set.fuse()));
+    wls
+}
+
+fn cosim_clean(name: &str, wl: &Workload) -> GoldenRun {
+    let (verdict, golden) = cosim::run_workload(wl, &CosimConfig::default());
+    assert!(
+        verdict.divergence.is_none(),
+        "{name}: three-way co-simulation diverged: {}",
+        verdict.divergence.unwrap()
+    );
+    assert!(verdict.executed > 0, "{name}: retired nothing");
+    golden.expect("clean co-simulation always yields the golden run")
+}
+
+/// Every kernel and the fused set co-simulate cleanly across the
+/// golden, littlecore-replay, and full-system ways.
+#[test]
+fn every_kernel_cosims_clean_three_ways() {
+    for (name, wl) in suite_workloads() {
+        cosim_clean(&name, &wl);
+    }
+}
+
+/// A fixed-seed fault barrage over the whole suite: no injected fault
+/// may escape detect-only classification, and with recovery enabled
+/// every fault must end in a golden-equal final state.
+///
+/// Two faults per workload keeps the debug-mode runtime tier-1-friendly;
+/// the CLI smoke (`--suite progs --faults N`) scales the same barrage up
+/// in release builds.
+#[test]
+fn fault_barrage_has_zero_escapes_and_recovers() {
+    for (wi, (name, wl)) in suite_workloads().into_iter().enumerate() {
+        let golden = cosim::golden_run_in(&wl, GOLDEN_CAP)
+            .unwrap_or_else(|d| panic!("{name}: golden run diverged: {d}"));
+        let seed = BARRAGE_SEED ^ (wi as u64).wrapping_mul(0x9E37_79B9);
+        for spec in fault_plan(seed, 2, golden.trace.len() as u64) {
+            let outcome = classify_in(&golden, &wl, spec, 4);
+            assert!(
+                !matches!(outcome, FaultOutcome::Escaped { .. }),
+                "{name}: fault {spec:?} ESCAPED: {outcome}"
+            );
+            let (r_outcome, verdict) = verify_recovery_in(&golden, &wl, spec, 4, FabricKind::F2);
+            assert!(
+                !matches!(r_outcome, FaultOutcome::Escaped { .. }),
+                "{name}: fault {spec:?} escaped under recovery: {r_outcome}"
+            );
+            assert!(
+                !matches!(verdict, RecoveryVerdict::Unrecovered { .. }),
+                "{name}: fault {spec:?} UNRECOVERED: {verdict:?}"
+            );
+        }
+    }
+}

@@ -5,10 +5,14 @@
 //! [`meek_campaign::Executor`] in deterministic rounds
 //! (`Executor::map_rounds`): each round's candidates are generated from
 //! the corpus state left by every previous round, evaluated in
-//! parallel, and merged back in candidate order. Because generation and
-//! merging are sequential and evaluation is a pure function of the
-//! candidate, the whole run — corpus directory, feature set, report —
-//! is byte-identical at any `--threads`.
+//! parallel, and merged back in candidate order. Mutation parents are
+//! drawn by *rarity weight* ([`parent_weight`]): every evaluation bumps
+//! a global hit count per feature it produced, and an entry's weight is
+//! the sum of inverse hit counts over the features it owns — so search
+//! keeps digging at behaviour the rest of the corpus rarely reaches.
+//! Because generation and merging are sequential and evaluation is a
+//! pure function of the candidate, the whole run — corpus directory,
+//! feature set, report — is byte-identical at any `--threads`.
 //!
 //! Evaluating a candidate reuses the difftest oracle end to end:
 //! bounded golden pre-screen (mutated programs may legitimately trap or
@@ -20,6 +24,7 @@
 
 use crate::corpus::{Corpus, CorpusEntry};
 use crate::coverage::{bucket, golden_features, CoverageMap, FeatureSet};
+use crate::dict::Dictionary;
 use crate::mutate::{self, decodable, writes_anchor};
 use crate::report::FuzzReport;
 use meek_campaign::Executor;
@@ -33,7 +38,7 @@ use meek_isa::{encode, Inst};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Dynamic-instruction ceiling per candidate: splice can nest loops, so
@@ -141,11 +146,51 @@ impl CaseEval {
     }
 }
 
+/// Fixed-point scale of rarity weights (1/1 hit = one `WEIGHT_SCALE`).
+const WEIGHT_SCALE: u64 = 1 << 16;
+
+/// Rarity weight of a corpus entry: the sum of inverse global hit
+/// counts over the features it owns. An entry whose features keep
+/// re-appearing across evaluations decays toward the floor; an entry
+/// owning behaviour almost nothing else reaches keeps a high weight, so
+/// parent selection digs at the coverage tail instead of re-mutating
+/// the crowd. Integer arithmetic, so scheduling stays byte-identical at
+/// any thread count.
+pub fn parent_weight(entry: &CorpusEntry, hits: &BTreeMap<u64, u64>) -> u64 {
+    let w: u64 = entry
+        .owned
+        .iter()
+        .map(|(id, _)| WEIGHT_SCALE / hits.get(id).copied().unwrap_or(1).max(1))
+        .sum();
+    w.max(1)
+}
+
+/// Draws a parent index by rarity weight from the candidate's RNG
+/// stream.
+fn pick_parent(corpus: &Corpus, hits: &BTreeMap<u64, u64>, rng: &mut SmallRng) -> usize {
+    let weights: Vec<u64> = corpus.entries().iter().map(|e| parent_weight(e, hits)).collect();
+    let total: u64 = weights.iter().sum();
+    let mut r = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if r < *w {
+            return i;
+        }
+        r -= w;
+    }
+    unreachable!("weights sum to total")
+}
+
 /// Derives candidate `g` from the current corpus: a mutation of a
-/// corpus entry, or a fresh seed-fuzzer program (always fresh in
-/// random mode, on an empty corpus, and for every 8th candidate so
-/// exploration never stops).
-fn make_candidate(g: u64, s: &FuzzSettings, corpus: &Corpus) -> Candidate {
+/// corpus entry (parent drawn by rarity weight, donor uniformly), or a
+/// fresh seed-fuzzer program (always fresh in random mode, on an empty
+/// corpus, and for every 8th candidate so exploration never stops).
+fn make_candidate(
+    g: u64,
+    s: &FuzzSettings,
+    corpus: &Corpus,
+    hits: &BTreeMap<u64, u64>,
+    dict: &Dictionary,
+) -> Candidate {
     let mut rng = SmallRng::seed_from_u64(splitmix(
         s.seed ^ g.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xF0CC_5EED,
     ));
@@ -162,13 +207,13 @@ fn make_candidate(g: u64, s: &FuzzSettings, corpus: &Corpus) -> Candidate {
     if !s.guided || corpus.is_empty() || g.is_multiple_of(8) {
         return fresh(&mut rng);
     }
-    let parent = &corpus.entries()[rng.gen_range(0..corpus.len())];
+    let parent = &corpus.entries()[pick_parent(corpus, hits, &mut rng)];
     let donor = &corpus.entries()[rng.gen_range(0..corpus.len())];
     let subject: Vec<Inst> = FuzzProgram::from_words(&parent.words).insts();
     let donor_insts: Vec<Inst> = FuzzProgram::from_words(&donor.words).insts();
     for _ in 0..4 {
         let op = mutate::OPS[rng.gen_range(0..mutate::OPS.len())];
-        if let Some(out) = mutate::mutate(&subject, &donor_insts, op, &mut rng) {
+        if let Some(out) = mutate::mutate(&subject, &donor_insts, dict.fragments(), op, &mut rng) {
             // Inherit the parent's interconnect most of the time — its
             // features were discovered under it — but re-draw 1-in-4 so
             // search also moves along the fabric axis.
@@ -399,6 +444,12 @@ fn minimize_entry(words: &[u32], fresh_ids: &[u64]) -> Vec<u32> {
 struct EngineState {
     corpus: Corpus,
     features: FeatureSet,
+    /// Evaluations that produced each feature id, ever — the rarity
+    /// denominator [`parent_weight`] divides by.
+    hits: BTreeMap<u64, u64>,
+    /// Splice fragments: seeded from the benchmark suite, extended from
+    /// shrunk discovering programs during the run.
+    dict: Dictionary,
     report: FuzzReport,
     generated: u64,
 }
@@ -416,12 +467,19 @@ pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, Featu
     // (and re-inserting) it, and persisted coverage never shrinks.
     let mut features = FeatureSet::new();
     features.merge(0, initial.digest());
+    let mut hits: BTreeMap<u64, u64> = BTreeMap::new();
     for e in initial.entries() {
         features.merge(0, &e.owned);
+        // A loaded entry's features were produced at least once.
+        for (id, _) in &e.owned {
+            *hits.entry(*id).or_insert(0) += 1;
+        }
     }
     let state = RefCell::new(EngineState {
         corpus: initial,
         features,
+        hits,
+        dict: Dictionary::from_suite(),
         report: FuzzReport {
             iters: s.iters,
             seed: s.seed,
@@ -439,8 +497,9 @@ pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, Featu
             }
             let n = (s.batch.max(1) as u64).min(s.iters - st.generated);
             let base = st.generated;
-            let cands: Vec<Candidate> =
-                (0..n).map(|i| make_candidate(base + i, s, &st.corpus)).collect();
+            let cands: Vec<Candidate> = (0..n)
+                .map(|i| make_candidate(base + i, s, &st.corpus, &st.hits, &st.dict))
+                .collect();
             st.generated += n;
             cands
         },
@@ -461,6 +520,11 @@ pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, Featu
                 st.report.reproducers.extend(result.reproducer);
             }
             st.report.escapes.extend(result.escapes);
+            // Rarity accounting: every feature this evaluation produced
+            // — fresh or re-hit — bumps its global hit count.
+            for (id, _) in &result.features {
+                *st.hits.entry(*id).or_insert(0) += 1;
+            }
             let fresh = st.features.merge(g as u64, &result.features);
             if !fresh.is_empty() {
                 st.report.timeline.push((g as u64, st.features.len()));
@@ -473,6 +537,9 @@ pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, Featu
                     if min.len() < words.len() {
                         st.report.minimized += 1;
                         words = min;
+                        // A shrunk discoverer is distilled interesting
+                        // behaviour: feed its idioms to the dictionary.
+                        st.dict.harvest_words(&words);
                     }
                 }
                 st.corpus.insert(CorpusEntry {
@@ -538,6 +605,56 @@ mod tests {
         assert_eq!(a, run(4));
         assert_eq!(a, run(8));
         assert_eq!(a, run(1), "re-running reproduces the campaign");
+    }
+
+    #[test]
+    fn rarity_weighting_prefers_entries_with_rare_features() {
+        use crate::coverage::feature_id;
+        let entry = |names: &[&str]| CorpusEntry {
+            words: vec![0x13],
+            plan: Vec::new(),
+            owned: names.iter().map(|n| (feature_id(n), n.to_string())).collect(),
+            iter: 0,
+            fabric: FabricKind::F2,
+        };
+        let mut hits: BTreeMap<u64, u64> = BTreeMap::new();
+        hits.insert(feature_id("common"), 100);
+        hits.insert(feature_id("rare"), 1);
+        let common = entry(&["common"]);
+        let rare = entry(&["rare"]);
+        assert!(parent_weight(&rare, &hits) > 50 * parent_weight(&common, &hits));
+        // Unknown features count as one hit; weight never hits zero.
+        assert!(parent_weight(&entry(&["unseen"]), &hits) >= parent_weight(&rare, &hits));
+        assert!(parent_weight(&entry(&[]), &hits) >= 1);
+        // Equal ownership under equal hits ties exactly.
+        assert_eq!(parent_weight(&common, &hits), parent_weight(&entry(&["common"]), &hits));
+    }
+
+    #[test]
+    fn the_dictionary_splice_operator_is_scheduled() {
+        // With the suite-seeded dictionary present, a guided run that
+        // mutates at all exercises DictSplice among its operators; the
+        // run must stay clean and deterministic (covered above). Here,
+        // assert the op actually produces candidates from corpus-shaped
+        // subjects.
+        let dict = Dictionary::from_suite();
+        assert!(!dict.is_empty());
+        let subject = fuzz_program(3, &FuzzConfig { static_len: 80 }).insts();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut produced = 0;
+        for _ in 0..8 {
+            if let Some(out) = mutate::mutate(
+                &subject,
+                &[],
+                dict.fragments(),
+                mutate::MutationOp::DictSplice,
+                &mut rng,
+            ) {
+                assert!(out.len() > subject.len(), "dict splice inserts");
+                produced += 1;
+            }
+        }
+        assert!(produced > 0);
     }
 
     #[test]

@@ -20,11 +20,16 @@
 //!   with deterministic eviction and byte-stable on-disk persistence.
 //! * [`mod@mutate`] is the difftest shrinker's relink machinery run in
 //!   reverse: splice ([`insert_range_relinked`]), delete, instruction
-//!   mix-shift, branch retarget — plus fault-plan mutation in the
-//!   engine — all preserving decodability and the data-window
-//!   discipline.
+//!   mix-shift, branch retarget, dictionary splice — plus fault-plan
+//!   mutation in the engine — all preserving decodability and the
+//!   data-window discipline.
+//! * [`dict`] harvests sanitised real-program fragments from the
+//!   `meek-progs` benchmark suite (and from shrunk discoverers during a
+//!   run) as the dictionary-splice donor pool.
 //! * [`engine`] schedules candidates over the campaign executor in
-//!   deterministic rounds: a fuzz run's corpus directory and
+//!   deterministic rounds, drawing mutation parents by *rarity weight*
+//!   (inverse global hit count of the features an entry owns, see
+//!   [`parent_weight`]): a fuzz run's corpus directory and
 //!   [`FuzzReport`] are byte-identical at any `--threads`.
 //!
 //! The `meek-fuzz` CLI fronts the engine; `--compare-random` runs the
@@ -54,13 +59,15 @@
 
 pub mod corpus;
 pub mod coverage;
+pub mod dict;
 pub mod engine;
 pub mod mutate;
 pub mod report;
 
 pub use corpus::{site_from_name, Corpus, CorpusEntry};
 pub use coverage::{bucket, feature_id, golden_features, CoverageMap, FeatureSet};
-pub use engine::{run_fuzz, FuzzSettings, EVAL_CAP};
+pub use dict::Dictionary;
+pub use engine::{parent_weight, run_fuzz, FuzzSettings, EVAL_CAP};
 pub use mutate::{
     decodable, insert_range_relinked, mutate, random_simple_inst, self_contained, writes_anchor,
     MutationOp,

@@ -66,14 +66,14 @@ const POOL: [Reg; 16] = [
 ];
 
 /// The data pointer register memory traffic goes through.
-const R_PTR: Reg = Reg::X28;
+pub const R_PTR: Reg = Reg::X28;
 
 /// CSR addresses fuzzed CSR traffic targets (mirrors the seed fuzzer).
 const CSRS: [u16; 4] = [0x340, 0x341, 0x342, 0xC00];
 
-/// Whether `inst` writes an anchor register (`x26`/`x27`).
-pub fn writes_anchor(inst: &Inst) -> bool {
-    let rd = match *inst {
+/// The integer register `inst` writes, if any.
+pub fn dest_reg(inst: &Inst) -> Option<Reg> {
+    match *inst {
         Inst::Lui { rd, .. }
         | Inst::Auipc { rd, .. }
         | Inst::Jal { rd, .. }
@@ -85,10 +85,14 @@ pub fn writes_anchor(inst: &Inst) -> bool {
         | Inst::FpCmp { rd, .. }
         | Inst::FcvtLD { rd, .. }
         | Inst::FmvXD { rd, .. }
-        | Inst::Csr { rd, .. } => rd,
-        _ => return false,
-    };
-    ANCHORS.contains(&rd)
+        | Inst::Csr { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+/// Whether `inst` writes an anchor register (`x26`/`x27`).
+pub fn writes_anchor(inst: &Inst) -> bool {
+    dest_reg(inst).is_some_and(|rd| ANCHORS.contains(&rd))
 }
 
 /// Whether every instruction round-trips through `encode`/`decode`
@@ -299,24 +303,34 @@ pub enum MutationOp {
     MixShift,
     /// Move a conditional branch's forward target.
     BranchRetarget,
+    /// Insert a dictionary fragment (real-program idioms harvested from
+    /// the benchmark suite and shrunk discoverers).
+    DictSplice,
 }
 
 /// Every operator, in schedule order.
-pub const OPS: [MutationOp; 4] =
-    [MutationOp::Splice, MutationOp::Delete, MutationOp::MixShift, MutationOp::BranchRetarget];
+pub const OPS: [MutationOp; 5] = [
+    MutationOp::Splice,
+    MutationOp::Delete,
+    MutationOp::MixShift,
+    MutationOp::BranchRetarget,
+    MutationOp::DictSplice,
+];
 
 /// Longest candidate the engine will evaluate (keeps branch offsets
 /// inside their encodings and evaluation cost bounded).
 pub const MAX_LEN: usize = 1024;
 
-/// Applies `op` to `subject` (donor feeds splice), driven by `rng`.
-/// Returns `None` when the operator cannot apply (no eligible site) or
-/// the result violates an invariant — the engine then falls back to a
-/// fresh program. A `Some` result is guaranteed decodable, anchor-safe
-/// and at most [`MAX_LEN`] long.
+/// Applies `op` to `subject` (donor feeds splice, `dict` feeds
+/// dictionary splice), driven by `rng`. Returns `None` when the
+/// operator cannot apply (no eligible site) or the result violates an
+/// invariant — the engine then falls back to a fresh program. A `Some`
+/// result is guaranteed decodable, anchor-safe and at most [`MAX_LEN`]
+/// long.
 pub fn mutate(
     subject: &[Inst],
     donor: &[Inst],
+    dict: &[Vec<Inst>],
     op: MutationOp,
     rng: &mut SmallRng,
 ) -> Option<Vec<Inst>> {
@@ -408,6 +422,17 @@ pub fn mutate(
                 *offset = 4 * (k + 1);
             }
             out
+        }
+        MutationOp::DictSplice => {
+            if dict.is_empty() {
+                return None;
+            }
+            // Dictionary fragments are sanitised at harvest time
+            // (self-contained, anchor-free, in-window memory), so any
+            // fragment inserts anywhere.
+            let frag = &dict[rng.gen_range(0..dict.len())];
+            let at = rng.gen_range(0..=subject.len());
+            insert_range_relinked(subject, at, frag)
         }
     };
     (out.len() <= MAX_LEN && !out.is_empty() && decodable(&out)).then_some(out)
@@ -507,13 +532,14 @@ mod tests {
     fn every_operator_preserves_decodability_and_anchors() {
         let mut rng = SmallRng::seed_from_u64(0xA1B2);
         let mut produced = [0usize; OPS.len()];
+        let dict = crate::dict::Dictionary::from_suite();
         for seed in 0..8u64 {
             let subject = fuzz_program(seed, &FuzzConfig { static_len: 120 }).insts();
             let donor = fuzz_program(seed ^ 0xFF, &FuzzConfig { static_len: 120 }).insts();
             let anchors_before = subject.iter().filter(|i| writes_anchor(i)).count();
             for (k, &op) in OPS.iter().enumerate() {
                 for _ in 0..16 {
-                    if let Some(out) = mutate(&subject, &donor, op, &mut rng) {
+                    if let Some(out) = mutate(&subject, &donor, dict.fragments(), op, &mut rng) {
                         produced[k] += 1;
                         assert!(decodable(&out), "{op:?} broke decodability (seed {seed})");
                         assert!(out.len() <= MAX_LEN);

@@ -194,7 +194,9 @@ pub fn disasm_window(
 ) -> String {
     let mut out = String::new();
     for i in 0..n {
-        let pc = start_pc + 4 * i as u64;
+        // PCs wrap mod 2^64 like all byte addresses: a trap window near
+        // the top of the address space renders across the wrap.
+        let pc = start_pc.wrapping_add(4 * i as u64);
         let cursor = if pc == mark_pc { "=>" } else { "  " };
         let line = disasm_word(image.peek_inst(pc));
         out.push_str(&format!("{cursor} {pc:#08x}: {line}\n"));

@@ -8,6 +8,7 @@ use crate::inst::{
 };
 use crate::meek::MeekOp;
 use crate::mem::Bus;
+use crate::os::{Syscall, CSR_INSTRET, CSR_OS_ENABLE, HALT_PC, SYS_EXIT, SYS_PUTCHAR};
 use crate::reg::{FReg, Reg};
 use crate::state::ArchState;
 use std::fmt;
@@ -110,6 +111,10 @@ pub struct Retired {
     /// `true` for ECALL/EBREAK: enters the kernel, which forces an RCP
     /// (segment boundary) in MEEK.
     pub is_kernel_trap: bool,
+    /// The OS-surface syscall performed, if this is an `ecall` and the
+    /// surface is enabled (see [`crate::os`]). Syscalls never touch
+    /// memory or clobber registers, so replay needs no extra records.
+    pub syscall: Option<Syscall>,
     /// Register writeback performed (value read back after execution) —
     /// used by the DEU's commit-order shadow state.
     pub wb: Option<(WbDest, u64)>,
@@ -143,6 +148,7 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
     let mut csr_read = None;
     let mut csr_write = None;
     let mut is_kernel_trap = false;
+    let mut syscall = None;
 
     match inst {
         Inst::Lui { rd, imm } => st.set_x(rd, ((imm as i64) << 12) as u64),
@@ -299,6 +305,18 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
         }
         Inst::FmvXD { rd, rs1 } => st.set_x(rd, st.f(rs1)),
         Inst::FmvDX { rd, rs1 } => st.set_f(rd, st.x(rs1)),
+        Inst::Csr { op, rd, rs1, csr } if csr == CSR_INSTRET && st.csr(CSR_OS_ENABLE) != 0 => {
+            // With the OS surface enabled, 0xC02 is the retired-
+            // instruction counter: reads return the count, writes are
+            // dropped. The read value is forwarded for replay like any
+            // other non-repeatable CSR result; there is no write
+            // side-effect for the recovery shadow to track (the counter
+            // is rewound by the rollback itself).
+            let old = st.instret();
+            let _ = (op, rs1);
+            st.set_x(rd, old);
+            csr_read = Some((csr, old));
+        }
         Inst::Csr { op, rd, rs1, csr } => {
             let old = st.csr(csr);
             let operand = match op {
@@ -317,7 +335,30 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
             csr_write = Some((csr, new));
         }
         Inst::Fence => {}
-        Inst::Ecall | Inst::Ebreak => is_kernel_trap = true,
+        Inst::Ecall => {
+            is_kernel_trap = true;
+            if st.csr(CSR_OS_ENABLE) != 0 {
+                match st.x(Reg::X17) {
+                    SYS_EXIT => {
+                        syscall = Some(Syscall::Exit { code: st.x(Reg::X10) });
+                        next_pc = HALT_PC;
+                        branch = Some(BranchInfo {
+                            taken: true,
+                            target: HALT_PC,
+                            is_conditional: false,
+                            is_indirect: true,
+                        });
+                    }
+                    SYS_PUTCHAR => {
+                        syscall = Some(Syscall::Putchar { byte: st.x(Reg::X10) as u8 });
+                    }
+                    // Unknown syscall numbers are no-ops (still kernel
+                    // traps, so they still force an RCP boundary).
+                    _ => {}
+                }
+            }
+        }
+        Inst::Ebreak => is_kernel_trap = true,
         Inst::Meek(op) => match op {
             // Functional semantics of the MEEK ops are system-level; the
             // MSU (little core) and OS model give them real behaviour.
@@ -339,6 +380,7 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
     }
 
     st.pc = next_pc;
+    st.bump_instret();
     let wb = if let Some(rd) = inst.int_dest() {
         Some((WbDest::Int(rd), st.x(rd)))
     } else {
@@ -355,6 +397,7 @@ pub fn execute<B: Bus>(st: &mut ArchState, mem: &mut B, pc: u64, raw: u32, inst:
         csr_read,
         csr_write,
         is_kernel_trap,
+        syscall,
         wb,
     }
 }
@@ -434,6 +477,7 @@ mod tests {
     use crate::encode::encode;
     use crate::inst::StoreOp;
     use crate::mem::SparseMemory;
+    use crate::os::{Syscall, CSR_INSTRET, CSR_OS_ENABLE, HALT_PC, SYS_EXIT, SYS_PUTCHAR};
 
     fn run(prog: &[Inst]) -> (ArchState, SparseMemory) {
         let mut mem = SparseMemory::new();
@@ -610,7 +654,98 @@ mod tests {
         let mut st = ArchState::new(0x1000);
         let r = step(&mut st, &mut mem).unwrap();
         assert!(r.is_kernel_trap);
+        assert!(r.syscall.is_none(), "OS surface is off by default");
         assert_eq!(st.pc, 0x1004);
+    }
+
+    #[test]
+    fn ecall_exit_redirects_to_halt_when_enabled() {
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x1000, &[encode(&Inst::Ecall)]);
+        let mut st = ArchState::new(0x1000);
+        st.set_csr(CSR_OS_ENABLE, 1);
+        st.set_x(Reg::X17, SYS_EXIT);
+        st.set_x(Reg::X10, 7);
+        let r = step(&mut st, &mut mem).unwrap();
+        assert!(r.is_kernel_trap);
+        assert_eq!(r.syscall, Some(Syscall::Exit { code: 7 }));
+        assert_eq!(r.next_pc, HALT_PC);
+        assert_eq!(st.pc, HALT_PC);
+        let b = r.branch.unwrap();
+        assert!(b.taken && b.is_indirect && !b.is_conditional);
+        assert_eq!(b.target, HALT_PC);
+    }
+
+    #[test]
+    fn ecall_putchar_records_byte_without_side_effects() {
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x1000, &[encode(&Inst::Ecall)]);
+        let mut st = ArchState::new(0x1000);
+        st.set_csr(CSR_OS_ENABLE, 1);
+        st.set_x(Reg::X17, SYS_PUTCHAR);
+        st.set_x(Reg::X10, 0x141); // only the low byte is the character
+        let r = step(&mut st, &mut mem).unwrap();
+        assert_eq!(r.syscall, Some(Syscall::Putchar { byte: 0x41 }));
+        assert_eq!(r.mem, None, "syscalls must never touch memory");
+        assert_eq!(st.pc, 0x1004);
+        assert_eq!(st.x(Reg::X10), 0x141, "syscalls must not clobber registers");
+    }
+
+    #[test]
+    fn ecall_unknown_number_is_noop_trap() {
+        let mut mem = SparseMemory::new();
+        mem.load_program(0x1000, &[encode(&Inst::Ecall)]);
+        let mut st = ArchState::new(0x1000);
+        st.set_csr(CSR_OS_ENABLE, 1);
+        st.set_x(Reg::X17, 1234);
+        let r = step(&mut st, &mut mem).unwrap();
+        assert!(r.is_kernel_trap);
+        assert!(r.syscall.is_none());
+        assert_eq!(st.pc, 0x1004);
+    }
+
+    #[test]
+    fn instret_csr_counts_retirements_when_enabled() {
+        let mut mem = SparseMemory::new();
+        mem.load_program(
+            0x1000,
+            &[
+                encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 1 }),
+                encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X1, imm: 1 }),
+                encode(&Inst::Csr { op: CsrOp::Rs, rd: Reg::X2, rs1: Reg::X0, csr: CSR_INSTRET }),
+                // A write attempt must be dropped, not stored.
+                encode(&Inst::Csr { op: CsrOp::Rw, rd: Reg::X3, rs1: Reg::X1, csr: CSR_INSTRET }),
+                encode(&Inst::Csr { op: CsrOp::Rs, rd: Reg::X4, rs1: Reg::X0, csr: CSR_INSTRET }),
+            ],
+        );
+        let mut st = ArchState::new(0x1000);
+        st.set_csr(CSR_OS_ENABLE, 1);
+        for _ in 0..5 {
+            step(&mut st, &mut mem).unwrap();
+        }
+        assert_eq!(st.x(Reg::X2), 2, "two instructions retired before the first read");
+        assert_eq!(st.x(Reg::X3), 3);
+        assert_eq!(st.x(Reg::X4), 4, "the csrrw must not have stored x1 into the counter");
+        assert_eq!(st.instret(), 5);
+    }
+
+    #[test]
+    fn instret_csr_is_plain_storage_when_disabled() {
+        let mut mem = SparseMemory::new();
+        mem.load_program(
+            0x1000,
+            &[
+                encode(&Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X1, rs1: Reg::X0, imm: 9 }),
+                encode(&Inst::Csr { op: CsrOp::Rw, rd: Reg::X2, rs1: Reg::X1, csr: CSR_INSTRET }),
+                encode(&Inst::Csr { op: CsrOp::Rs, rd: Reg::X3, rs1: Reg::X0, csr: CSR_INSTRET }),
+            ],
+        );
+        let mut st = ArchState::new(0x1000);
+        for _ in 0..3 {
+            step(&mut st, &mut mem).unwrap();
+        }
+        assert_eq!(st.x(Reg::X3), 9, "legacy CSR semantics must be untouched");
+        assert_eq!(st.csr(CSR_INSTRET), 9);
     }
 
     #[test]

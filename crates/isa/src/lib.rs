@@ -39,6 +39,7 @@ pub mod exec;
 pub mod inst;
 pub mod meek;
 pub mod mem;
+pub mod os;
 pub mod predecode;
 pub mod reg;
 pub mod state;
@@ -49,6 +50,7 @@ pub use exec::{step, MemAccess, Retired, Trap, WbDest};
 pub use inst::{BranchOp, ExecClass, Inst, LoadOp, StoreOp};
 pub use meek::MeekOp;
 pub use mem::{Bus, SparseMemory};
+pub use os::{Syscall, CSR_INSTRET, CSR_OS_ENABLE, HALT_PC, SYS_EXIT, SYS_PUTCHAR};
 pub use predecode::{step_predecoded, PreDecoded};
 pub use reg::{FReg, Reg};
 pub use state::ArchState;

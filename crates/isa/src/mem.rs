@@ -81,7 +81,7 @@ impl SparseMemory {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
         let mut v = 0u64;
         for i in 0..size as u64 {
-            v |= (self.byte(addr + i) as u64) << (8 * i);
+            v |= (self.byte(addr.wrapping_add(i)) as u64) << (8 * i);
         }
         v
     }
@@ -123,11 +123,13 @@ impl SparseMemory {
 }
 
 impl Bus for SparseMemory {
+    // Byte addresses wrap mod 2^64: a fuzzed access at the top of the
+    // address space must straddle to address 0, not overflow-panic.
     fn read(&mut self, addr: u64, size: u8) -> u64 {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
         let mut v = 0u64;
         for i in 0..size as u64 {
-            v |= (self.byte(addr + i) as u64) << (8 * i);
+            v |= (self.byte(addr.wrapping_add(i)) as u64) << (8 * i);
         }
         v
     }
@@ -135,7 +137,7 @@ impl Bus for SparseMemory {
     fn write(&mut self, addr: u64, size: u8, val: u64) {
         debug_assert!(matches!(size, 1 | 2 | 4 | 8));
         for i in 0..size as u64 {
-            let a = addr + i;
+            let a = addr.wrapping_add(i);
             let page = self.page_mut(a);
             page[(a & (PAGE_SIZE as u64 - 1)) as usize] = (val >> (8 * i)) as u8;
         }

@@ -1,0 +1,72 @@
+//! The minimal syscall/OS surface for real-program workloads.
+//!
+//! Synthetic codegen and fuzz programs never trap on purpose — `ecall`
+//! is just a kernel-trap marker that forces a segment boundary. Real
+//! assembled kernels, however, need a way to *finish* (exit), to emit
+//! observable output (putchar into a console buffer), and to read a
+//! deterministic cycle/instruction counter. This module defines that
+//! surface.
+//!
+//! The whole surface is gated on the [`CSR_OS_ENABLE`] custom CSR so
+//! that every pre-existing workload executes bit-identically: with the
+//! gate CSR at zero (the default), `ecall` remains a pure kernel-trap
+//! no-op and CSR `0xC02` keeps plain read/write-storage semantics.
+//! The `meek-progs` loader sets the gate in the initial [`ArchState`]
+//! of every loaded image.
+//!
+//! Syscall ABI (a standard RISC-V Linux-flavoured subset):
+//!
+//! | a7 (x17)       | call    | semantics                                   |
+//! |----------------|---------|---------------------------------------------|
+//! | [`SYS_EXIT`]   | exit    | redirect to [`HALT_PC`] (the program's exit PC) |
+//! | [`SYS_PUTCHAR`]| putchar | append `a0 & 0xFF` to the run's console buffer |
+//!
+//! Unknown syscall numbers are architectural no-ops (still kernel
+//! traps, so they still force an RCP). Syscalls never touch memory and
+//! never clobber registers — this keeps little-core replay (which runs
+//! against a panicking no-memory bus) an exact refinement of the golden
+//! interpreter.
+//!
+//! [`ArchState`]: crate::state::ArchState
+
+/// Custom machine-mode CSR enabling the OS surface when non-zero.
+///
+/// `0x7C0` is in the standard custom-read/write CSR space, away from
+/// the scratch CSRs (`0x340`–`0x342`) and counter CSRs the fuzzer
+/// exercises.
+pub const CSR_OS_ENABLE: u16 = 0x7C0;
+
+/// The `instret` counter CSR. With the OS surface enabled, reads
+/// return the number of instructions retired so far (a deterministic
+/// stand-in for a cycle counter) and writes are ignored; with the
+/// surface disabled it is ordinary CSR storage.
+pub const CSR_INSTRET: u16 = 0xC02;
+
+/// The PC an exiting program redirects to. Loaded images use this as
+/// their exit PC, so `ecall`/exit terminates the run exactly like a
+/// synthetic workload falling off its final instruction. Far above any
+/// code or data placement and 4-aligned.
+pub const HALT_PC: u64 = 0xFFFF_F000;
+
+/// Syscall number (in `a7`) of `exit`.
+pub const SYS_EXIT: u64 = 93;
+
+/// Syscall number (in `a7`) of `putchar` (write-one-byte).
+pub const SYS_PUTCHAR: u64 = 64;
+
+/// A syscall performed by a retired `ecall`, as recorded in
+/// [`Retired::syscall`](crate::exec::Retired::syscall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Syscall {
+    /// `exit(code)` — the program is done; control transfers to
+    /// [`HALT_PC`].
+    Exit {
+        /// Exit code from `a0`.
+        code: u64,
+    },
+    /// `putchar(byte)` — append one byte to the console buffer.
+    Putchar {
+        /// The byte from `a0 & 0xFF`.
+        byte: u8,
+    },
+}

@@ -15,12 +15,17 @@ pub struct ArchState {
     x: [u64; 32],
     f: [u64; 32],
     csrs: BTreeMap<u16, u64>,
+    /// Retired-instruction counter, bumped once per executed
+    /// instruction. Backs the OS-surface `instret` CSR read (see
+    /// [`crate::os`]); a recovery rollback must rewind it alongside the
+    /// register and CSR state (`WorkloadRun::rollback` does).
+    instret: u64,
 }
 
 impl ArchState {
     /// Creates a state with all registers zero and the PC at `pc`.
     pub fn new(pc: u64) -> ArchState {
-        ArchState { pc, x: [0; 32], f: [0; 32], csrs: BTreeMap::new() }
+        ArchState { pc, x: [0; 32], f: [0; 32], csrs: BTreeMap::new(), instret: 0 }
     }
 
     /// Reads integer register `r` (`x0` always reads zero).
@@ -59,6 +64,26 @@ impl ArchState {
     #[inline]
     pub fn set_csr(&mut self, addr: u16, v: u64) {
         self.csrs.insert(addr, v);
+    }
+
+    /// The retired-instruction count.
+    #[inline]
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Rewinds (or forces) the retired-instruction count — the
+    /// instret half of a recovery rollback.
+    #[inline]
+    pub fn set_instret(&mut self, v: u64) {
+        self.instret = v;
+    }
+
+    /// Advances the retired-instruction count by one. Called by the
+    /// executor after every instruction.
+    #[inline]
+    pub fn bump_instret(&mut self) {
+        self.instret = self.instret.wrapping_add(1);
     }
 
     /// A snapshot of the architectural registers — the paper's Register

@@ -162,6 +162,11 @@ pub struct LittleCore {
     /// (installed by the system; replay falls back to word decode for
     /// PCs it does not cover).
     predecoded: Option<Arc<PreDecoded>>,
+    /// Initial CSR file of the program under check (loaded images carry
+    /// e.g. the OS-surface enable CSR). Checkpoints deliberately exclude
+    /// CSRs, so the system seeds these at `b.hook` time and re-seeds
+    /// them whenever the core is reset.
+    initial_csrs: Option<Arc<std::collections::BTreeMap<u16, u64>>>,
 }
 
 impl LittleCore {
@@ -183,6 +188,7 @@ impl LittleCore {
             busy_until: 0,
             stats: LittleCoreStats::default(),
             predecoded: None,
+            initial_csrs: None,
         }
     }
 
@@ -192,6 +198,18 @@ impl LittleCore {
     /// `imem` holds.
     pub fn install_predecode(&mut self, pd: Arc<PreDecoded>) {
         self.predecoded = Some(pd);
+    }
+
+    /// Installs the program's initial CSR file into the replay state,
+    /// and remembers it so [`LittleCore::reset`] re-seeds it. Register
+    /// checkpoints exclude CSRs by design, so without this a replayed
+    /// `ecall` of a loaded image would see the OS-surface gate CSR as
+    /// zero and diverge from the golden way.
+    pub fn install_initial_csrs(&mut self, csrs: Arc<std::collections::BTreeMap<u16, u64>>) {
+        for (&addr, &v) in csrs.iter() {
+            self.arch.set_csr(addr, v);
+        }
+        self.initial_csrs = Some(csrs);
     }
 
     /// The configuration in use.
@@ -800,6 +818,11 @@ impl LittleCore {
         self.replayed = 0;
         self.busy_until = 0;
         self.last_load_dest = None;
+        if let Some(csrs) = self.initial_csrs.clone() {
+            for (&addr, &v) in csrs.iter() {
+                self.arch.set_csr(addr, v);
+            }
+        }
     }
 }
 

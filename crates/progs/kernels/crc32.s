@@ -1,0 +1,80 @@
+# crc32: bitwise reflected CRC-32 (poly 0xEDB88320) over a classic test
+# vector, printed as 8 hex digits. Exercises bit manipulation, 32-bit
+# shift/arith forms, and nested loops.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    la a0, label
+    call puts
+    la t3, msg
+    li t4, -1              # crc = 0xFFFFFFFF
+    lui t5, 0xedb88        # poly 0xEDB88320 (sign-extended)
+    addi t5, t5, 0x320
+byte_loop:
+    lbu t0, 0(t3)
+    beqz t0, crc_done
+    xor t4, t4, t0
+    li t1, 8
+bit_loop:
+    andi t2, t4, 1
+    srliw t4, t4, 1
+    beqz t2, no_xor
+    xor t4, t4, t5
+no_xor:
+    addi t1, t1, -1
+    bnez t1, bit_loop
+    addi t3, t3, 1
+    j byte_loop
+crc_done:
+    not t4, t4
+    mv a0, t4
+    call print_hex8
+    li a0, '\n'
+    li a7, 64
+    ecall
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+# print_hex8(a0): prints the low 32 bits as 8 lowercase hex digits.
+print_hex8:
+    slli t0, a0, 32
+    srli t0, t0, 32
+    li t1, 28
+ph_loop:
+    srl t2, t0, t1
+    andi t2, t2, 15
+    li a0, 10
+    blt t2, a0, ph_digit
+    addi a0, t2, 87        # 'a' - 10
+    j ph_put
+ph_digit:
+    addi a0, t2, 48        # '0'
+ph_put:
+    li a7, 64
+    ecall
+    addi t1, t1, -4
+    bge t1, zero, ph_loop
+    ret
+
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+label: .asciz "crc32 "
+msg:   .asciz "The quick brown fox jumps over the lazy dog"

@@ -1,0 +1,70 @@
+# list: builds a 32-node singly linked list head-first from a bump
+# allocator, then traverses it summing values and counting nodes.
+# Exercises pointer chasing — loads whose addresses depend on prior
+# loads — which stresses the load/store log forwarding path.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    la t0, arena           # bump pointer
+    li t1, 0               # head = null
+    li t2, 0               # i
+    li t3, 32
+build:
+    bge t2, t3, build_done
+    li t4, 3               # node.value = 3*i
+    mul t4, t4, t2
+    sd t4, 0(t0)
+    sd t1, 8(t0)           # node.next = head
+    mv t1, t0              # head = node
+    addi t0, t0, 16
+    addi t2, t2, 1
+    j build
+build_done:
+    li t2, 0               # sum
+    li t3, 0               # count
+trav:
+    beqz t1, trav_done
+    ld t4, 0(t1)
+    add t2, t2, t4
+    addi t3, t3, 1
+    ld t1, 8(t1)
+    j trav
+trav_done:
+    li t4, 1488            # 3 * (31*32/2)
+    bne t2, t4, fail
+    li t4, 32
+    bne t3, t4, fail
+    la a0, ok
+    call puts
+    j out
+fail:
+    la a0, bad
+    call puts
+out:
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+ok:  .asciz "list ok\n"
+bad: .asciz "list BAD\n"
+.align 3
+arena: .zero 512

@@ -1,0 +1,123 @@
+# matmul: 5x5 integer matrix multiply C = A x B with A[i][j] = 5i+j+1
+# and B all ones, then verifies every C[i][j] equals its row sum
+# 25i + 15. Exercises triple-nested loops and multiply-heavy indexing.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    # fill A (flat value idx+1) and B (all ones)
+    la t0, mata
+    la t1, matb
+    li t2, 0
+    li t3, 25
+fill:
+    bge t2, t3, fill_done
+    addi t4, t2, 1
+    slli t5, t2, 3
+    add t6, t0, t5
+    sd t4, 0(t6)
+    add t6, t1, t5
+    li t4, 1
+    sd t4, 0(t6)
+    addi t2, t2, 1
+    j fill
+fill_done:
+    la t2, matc
+    li t3, 0               # i
+mm_i:
+    li a4, 5
+    bge t3, a4, verify
+    li t4, 0               # j
+mm_j:
+    bge t4, a4, mm_i_next
+    li t5, 0               # k
+    li t6, 0               # acc
+mm_k:
+    bge t5, a4, mm_store
+    li a2, 5               # A[i][k]
+    mul a2, a2, t3
+    add a2, a2, t5
+    slli a2, a2, 3
+    add a2, a2, t0
+    ld a2, 0(a2)
+    li a3, 5               # B[k][j]
+    mul a3, a3, t5
+    add a3, a3, t4
+    slli a3, a3, 3
+    add a3, a3, t1
+    ld a3, 0(a3)
+    mul a2, a2, a3
+    add t6, t6, a2
+    addi t5, t5, 1
+    j mm_k
+mm_store:
+    li a2, 5
+    mul a2, a2, t3
+    add a2, a2, t4
+    slli a2, a2, 3
+    add a2, a2, t2
+    sd t6, 0(a2)
+    addi t4, t4, 1
+    j mm_j
+mm_i_next:
+    addi t3, t3, 1
+    j mm_i
+verify:
+    li t3, 0               # i
+vf_i:
+    li a4, 5
+    bge t3, a4, pass
+    li a5, 25
+    mul a5, a5, t3
+    addi a5, a5, 15        # expected row value
+    li t4, 0               # j
+vf_j:
+    bge t4, a4, vf_i_next
+    li a2, 5
+    mul a2, a2, t3
+    add a2, a2, t4
+    slli a2, a2, 3
+    add a2, a2, t2
+    ld a3, 0(a2)
+    bne a3, a5, fail
+    addi t4, t4, 1
+    j vf_j
+vf_i_next:
+    addi t3, t3, 1
+    j vf_i
+pass:
+    la a0, ok
+    call puts
+    j out
+fail:
+    la a0, bad
+    call puts
+out:
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+ok:  .asciz "matmul ok\n"
+bad: .asciz "matmul BAD\n"
+.align 3
+mata: .zero 200
+matb: .zero 200
+matc: .zero 200

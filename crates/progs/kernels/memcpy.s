@@ -1,0 +1,85 @@
+# memcpy: fills a 64-byte source buffer with a byte pattern, copies it
+# with a byte-loop memcpy, and verifies the copy against the recomputed
+# pattern. Exercises byte loads/stores and simple address arithmetic.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    # fill src[i] = (7*i + 3) & 0xff
+    la t0, src
+    li t1, 0
+    li t2, 64
+fill:
+    bge t1, t2, fill_done
+    li t3, 7
+    mul t3, t3, t1
+    addi t3, t3, 3
+    andi t3, t3, 255
+    add t4, t0, t1
+    sb t3, 0(t4)
+    addi t1, t1, 1
+    j fill
+fill_done:
+    # copy src -> dst, one byte at a time
+    la t0, src
+    la t1, dst
+    li t2, 64
+copy:
+    beqz t2, verify
+    lbu t3, 0(t0)
+    sb t3, 0(t1)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, -1
+    j copy
+verify:
+    # dst[i] must equal the recomputed pattern
+    la t0, dst
+    li t1, 0
+    li t2, 64
+vloop:
+    bge t1, t2, pass
+    li t3, 7
+    mul t3, t3, t1
+    addi t3, t3, 3
+    andi t3, t3, 255
+    add t4, t0, t1
+    lbu t5, 0(t4)
+    bne t3, t5, fail
+    addi t1, t1, 1
+    j vloop
+pass:
+    la a0, ok
+    call puts
+    j out
+fail:
+    la a0, bad
+    call puts
+out:
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+# puts(a0 = NUL-terminated string): prints via the putchar syscall.
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+ok:  .asciz "memcpy ok\n"
+bad: .asciz "memcpy BAD\n"
+src: .zero 64
+dst: .zero 64

@@ -1,0 +1,134 @@
+# qsort: fills an array from a 32-bit LCG, sorts it with a recursive
+# Lomuto quicksort, and verifies ascending order. Exercises recursion,
+# stack frames, and data-dependent branching.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    # arr[i] from x = x*1103515245 + 12345 (32-bit wrap via mulw/addiw)
+    la t0, arr
+    li t1, 0
+    li t2, 24
+    li t3, 12345
+    li t4, 1103515245
+    li t6, 12345
+fill:
+    bge t1, t2, fill_done
+    mulw t3, t3, t4
+    addw t3, t3, t6
+    slli t5, t1, 3
+    add t5, t5, t0
+    sd t3, 0(t5)
+    addi t1, t1, 1
+    j fill
+fill_done:
+    li a0, 0
+    li a1, 23
+    call qsort
+    # verify arr is ascending
+    la t0, arr
+    li t1, 1
+    li t2, 24
+check:
+    bge t1, t2, pass
+    slli t3, t1, 3
+    add t3, t3, t0
+    ld t4, 0(t3)
+    ld t5, -8(t3)
+    blt t4, t5, fail
+    addi t1, t1, 1
+    j check
+pass:
+    la a0, ok
+    call puts
+    j out
+fail:
+    la a0, bad
+    call puts
+out:
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+# qsort(a0 = lo, a1 = hi): sorts arr[lo..=hi] in place, recursively.
+qsort:
+    bge a0, a1, qs_done
+    addi sp, sp, -32
+    sd ra, 0(sp)
+    sd s0, 8(sp)
+    sd s1, 16(sp)
+    sd s2, 24(sp)
+    mv s0, a0
+    mv s1, a1
+    call partition
+    mv s2, a0
+    mv a0, s0
+    addi a1, s2, -1
+    call qsort
+    addi a0, s2, 1
+    mv a1, s1
+    call qsort
+    ld ra, 0(sp)
+    ld s0, 8(sp)
+    ld s1, 16(sp)
+    ld s2, 24(sp)
+    addi sp, sp, 32
+qs_done:
+    ret
+
+# partition(a0 = lo, a1 = hi): Lomuto partition around arr[hi];
+# returns the pivot's final slot in a0.
+partition:
+    la t0, arr
+    slli t1, a1, 3
+    add t1, t1, t0
+    ld t2, 0(t1)
+    mv t3, a0
+    mv t4, a0
+part_loop:
+    bge t4, a1, part_done
+    slli t5, t4, 3
+    add t5, t5, t0
+    ld t6, 0(t5)
+    bge t6, t2, part_next
+    slli a2, t3, 3
+    add a2, a2, t0
+    ld a3, 0(a2)
+    sd a3, 0(t5)
+    sd t6, 0(a2)
+    addi t3, t3, 1
+part_next:
+    addi t4, t4, 1
+    j part_loop
+part_done:
+    slli a2, t3, 3
+    add a2, a2, t0
+    ld a3, 0(a2)
+    ld a4, 0(t1)
+    sd a4, 0(a2)
+    sd a3, 0(t1)
+    mv a0, t3
+    ret
+
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+ok:  .asciz "qsort ok\n"
+bad: .asciz "qsort BAD\n"
+.align 3
+arr: .zero 192

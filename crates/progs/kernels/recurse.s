@@ -1,0 +1,64 @@
+# recurse: naive recursive Fibonacci with full stack frames per call —
+# fib(13) makes ~750 calls up to 13 frames deep. Exercises deep
+# call/return chains and stack push/pop traffic.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    li a0, 13
+    call fib
+    li t0, 233             # fib(13)
+    bne a0, t0, fail
+    la a0, ok
+    call puts
+    j out
+fail:
+    la a0, bad
+    call puts
+out:
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+# fib(a0 = n) -> a0: naive two-call recursion.
+fib:
+    li t0, 2
+    blt a0, t0, fib_base
+    addi sp, sp, -24
+    sd ra, 0(sp)
+    sd s0, 8(sp)
+    sd s1, 16(sp)
+    mv s0, a0
+    addi a0, a0, -1
+    call fib
+    mv s1, a0
+    addi a0, s0, -2
+    call fib
+    add a0, a0, s1
+    ld ra, 0(sp)
+    ld s0, 8(sp)
+    ld s1, 16(sp)
+    addi sp, sp, 24
+fib_base:
+    ret
+
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+ok:  .asciz "recurse ok\n"
+bad: .asciz "recurse BAD\n"

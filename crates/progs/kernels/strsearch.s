@@ -1,0 +1,63 @@
+# strsearch: naive substring search for "detection" inside a haystack
+# that contains the near-miss "detects" first, verifying the match
+# index. Exercises byte compares and irregular, data-dependent control
+# flow.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    la t0, hay
+    li t1, 0               # candidate index i
+outer:
+    add a2, t0, t1
+    lbu a3, 0(a2)
+    beqz a3, fail          # end of haystack: not found
+    la t2, needle
+    mv a4, a2
+inner:
+    lbu a5, 0(t2)
+    beqz a5, found         # needle exhausted: match at i
+    lbu a6, 0(a4)
+    bne a5, a6, next
+    addi t2, t2, 1
+    addi a4, a4, 1
+    j inner
+next:
+    addi t1, t1, 1
+    j outer
+found:
+    li a2, 30              # "detection" starts at index 30
+    bne t1, a2, fail
+    la a0, ok
+    call puts
+    j out
+fail:
+    la a0, bad
+    call puts
+out:
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+ok:     .asciz "strsearch ok\n"
+bad:    .asciz "strsearch BAD\n"
+hay:    .asciz "MEEK detects errors; parallel detection works"
+needle: .asciz "detection"

@@ -1,0 +1,56 @@
+# syscalls: a trap-heavy exerciser. Fires a barrage of kernel traps —
+# unknown syscalls and ebreaks in a tight loop — and brackets them with
+# retired-instruction CSR reads, checking the counter advanced by at
+# least the loop's instruction count. Every trap forces a register
+# checkpoint, so this kernel stresses segment-boundary handling.
+
+_start:
+    call main
+    li a7, 93
+    ecall
+
+main:
+    addi sp, sp, -16
+    sd ra, 0(sp)
+    csrr t3, 0xc02         # instret before the barrage
+    li t0, 0
+    li t1, 48
+sys_loop:
+    bge t0, t1, sys_done
+    li a7, 7               # unknown syscall: kernel-trap no-op
+    ecall
+    ebreak
+    addi t0, t0, 1
+    j sys_loop
+sys_done:
+    csrr t4, 0xc02         # instret after the barrage
+    bge t3, t4, fail       # must be strictly monotonic
+    sub t5, t4, t3
+    li t6, 240             # 48 iterations x 6 instructions, minus slack
+    blt t5, t6, fail
+    la a0, ok
+    call puts
+    j out
+fail:
+    la a0, bad
+    call puts
+out:
+    ld ra, 0(sp)
+    addi sp, sp, 16
+    ret
+
+puts:
+    mv t0, a0
+puts_loop:
+    lbu a0, 0(t0)
+    beqz a0, puts_done
+    li a7, 64
+    ecall
+    addi t0, t0, 1
+    j puts_loop
+puts_done:
+    ret
+
+.data
+ok:  .asciz "syscalls ok\n"
+bad: .asciz "syscalls BAD\n"

@@ -1,0 +1,33 @@
+//! meek-progs: real-program workloads for the MEEK co-simulation
+//! stack.
+//!
+//! This crate turns committed RV64 assembly sources into [`Workload`]s
+//! that run unchanged under every execution way the repo has — the
+//! golden interpreter, the big-core oracle feed, little-core replay,
+//! and the full fault-injection/recovery system:
+//!
+//! * [`asm`] — a two-pass RV64IMFD assembler covering exactly the
+//!   instruction surface `meek_isa` decodes, plus the usual pseudo-
+//!   instructions, labels, and `.data` directives. Its grammar is the
+//!   disassembler's output grammar, so `assemble ∘ disasm` round-trips.
+//! * [`loader`] — flat-image loading with the x26/x27 data-window
+//!   discipline, a descending stack, and the OS surface pre-enabled.
+//! * [`suite`] — eight committed benchmark kernels, each self-checking
+//!   through the console syscall.
+//! * [`set`] — multi-workload fusion: a generated scheduler stub
+//!   context-switches between several programs in one image.
+//!
+//! [`Workload`]: meek_workloads::Workload
+
+pub mod asm;
+pub mod loader;
+pub mod set;
+pub mod suite;
+
+pub use asm::{assemble, assemble_with, AsmConfig, AsmError, Program};
+pub use loader::{run_golden, workload, RunOutcome, DATA_WINDOW, STACK_RESERVE};
+pub use set::{fuse_programs, WorkloadSet};
+pub use suite::{
+    dynamic_len, kernel, rotation_len, rotation_workload, set_dynamic_len, Kernel, KERNELS,
+    KERNEL_INST_CAP, SET_NAME,
+};

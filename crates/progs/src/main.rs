@@ -1,0 +1,189 @@
+//! `meek-progs` — assemble, inspect, and run real-program workloads.
+//!
+//! ```text
+//! meek-progs list
+//! meek-progs asm crates/progs/kernels/crc32.s
+//! meek-progs run crc32
+//! meek-progs run crc32 --system
+//! meek-progs set memcpy crc32 recurse
+//! ```
+//!
+//! `run` and `set` execute on the golden interpreter by default and
+//! print the program's console output; `--system` additionally runs the
+//! full MEEK system (big core + checker cores) and cross-checks its
+//! final architectural state against the golden run.
+
+use meek_core::Sim;
+use meek_isa::disasm::disasm_word;
+use meek_progs::{
+    assemble, run_golden, suite, workload, RunOutcome, WorkloadSet, KERNELS, KERNEL_INST_CAP,
+};
+use meek_workloads::Workload;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+meek-progs — real-program workloads for MEEK
+
+USAGE:
+    meek-progs <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list                      List the committed benchmark suite
+    asm <FILE.s>              Assemble a source file and print a listing
+    run <KERNEL|FILE.s>       Assemble + run one program
+    set <KERNEL>...           Fuse several suite kernels into one
+                              multi-workload image and run it
+
+OPTIONS (run/set):
+    --max-insts <N>    Dynamic instruction cap [default: 200000]
+    --system           Also run the full MEEK system (big core + checker
+                       cores) and cross-check final state vs golden
+    -h, --help         Print this help
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "-h" || args[0] == "--help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let r = match args[0].as_str() {
+        "list" => cmd_list(),
+        "asm" => cmd_asm(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "set" => cmd_set(&args[1..]),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<10} {:<62} console", "kernel", "description");
+    for k in &KERNELS {
+        println!("{:<10} {:<62} {:?}", k.name, k.description, k.expected_console);
+    }
+    Ok(())
+}
+
+fn cmd_asm(rest: &[String]) -> Result<(), String> {
+    let [path] = rest else {
+        return Err("usage: meek-progs asm <FILE.s>".into());
+    };
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let prog = assemble("cli", &source).map_err(|e| format!("{path}: {e}"))?;
+    println!("# code: {} words at {:#x}", prog.code.len(), prog.code_base);
+    for (i, &w) in prog.code.iter().enumerate() {
+        let addr = prog.code_base + 4 * i as u64;
+        println!("{addr:#8x}: {w:08x}  {}", disasm_word(w));
+    }
+    if !prog.data.is_empty() {
+        println!("# data: {} bytes at {:#x}", prog.data.len(), prog.data_base);
+    }
+    if !prog.symbols.is_empty() {
+        println!("# symbols:");
+        for (name, addr) in &prog.symbols {
+            println!("#   {addr:#8x} {name}");
+        }
+    }
+    Ok(())
+}
+
+struct RunOpts {
+    max_insts: u64,
+    system: bool,
+    positional: Vec<String>,
+}
+
+fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
+    let mut opts = RunOpts { max_insts: KERNEL_INST_CAP, system: false, positional: Vec::new() };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--max-insts" => {
+                let v = it.next().ok_or("--max-insts needs a value")?;
+                opts.max_insts = v.parse().map_err(|_| format!("bad --max-insts value `{v}`"))?;
+            }
+            "--system" => opts.system = true,
+            s if s.starts_with('-') => return Err(format!("unknown option `{s}`")),
+            s => opts.positional.push(s.to_string()),
+        }
+    }
+    Ok(opts)
+}
+
+fn cmd_run(rest: &[String]) -> Result<(), String> {
+    let opts = parse_run_opts(rest)?;
+    let [target] = &opts.positional[..] else {
+        return Err("usage: meek-progs run <KERNEL|FILE.s> [OPTIONS]".into());
+    };
+    let wl = if let Some(k) = meek_progs::kernel(target) {
+        suite::workload(k)
+    } else if target.ends_with(".s") {
+        let source = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+        let prog = assemble("cli", &source).map_err(|e| format!("{target}: {e}"))?;
+        workload(&prog)
+    } else {
+        return Err(format!("`{target}` is neither a suite kernel nor a .s file"));
+    };
+    execute(&wl, &opts)
+}
+
+fn cmd_set(rest: &[String]) -> Result<(), String> {
+    let opts = parse_run_opts(rest)?;
+    if opts.positional.is_empty() {
+        return Err("usage: meek-progs set <KERNEL>... [OPTIONS]".into());
+    }
+    let names: Vec<&str> = opts.positional.iter().map(|s| s.as_str()).collect();
+    let set = WorkloadSet::from_names(&names)?;
+    let wl = set.fuse();
+    println!("# fused {} kernels: {}", set.kernels().len(), set.display_name());
+    execute(&wl, &opts)
+}
+
+fn execute(wl: &Workload, opts: &RunOpts) -> Result<(), String> {
+    let golden = run_golden(wl, opts.max_insts);
+    report_golden(&golden);
+    if !golden.exited {
+        return Err(format!("hit the {}-instruction cap before exit", opts.max_insts));
+    }
+    if opts.system {
+        run_system(wl, &golden)?;
+    }
+    Ok(())
+}
+
+fn report_golden(out: &RunOutcome) {
+    print!("{}", out.console_text());
+    println!(
+        "# golden: {} instructions retired, {}",
+        out.retired,
+        if out.exited { "exited" } else { "capped" }
+    );
+}
+
+fn run_system(wl: &Workload, golden: &RunOutcome) -> Result<(), String> {
+    let sim = Sim::builder(wl, golden.retired).build().map_err(|e| e.to_string())?;
+    let outcome = sim.run();
+    let mut check = wl.run(golden.retired);
+    while check.next_retired().is_some() {}
+    let ok = outcome.final_state() == check.state();
+    println!(
+        "# system: {} cycles ({} app), {} committed, {} segments verified, {} failed",
+        outcome.report.cycles,
+        outcome.report.app_cycles,
+        outcome.report.committed,
+        outcome.report.verified_segments,
+        outcome.report.failed_segments,
+    );
+    if !ok {
+        return Err("full-system final state diverges from golden".into());
+    }
+    println!("# system final state matches golden");
+    Ok(())
+}

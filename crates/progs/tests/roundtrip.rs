@@ -1,0 +1,159 @@
+//! Assembler ⇄ disassembler round-trip: the [`meek_isa::disasm`]
+//! grammar is exactly the grammar [`meek_progs::assemble`] parses, so
+//! disassembling any assembled program and reassembling the listing
+//! must reproduce the machine words byte-identically.
+
+use meek_isa::decode;
+use meek_isa::disasm::disasm_word;
+use meek_progs::{assemble, suite, KERNELS};
+
+/// Disassembles every code word of `code` and reassembles the listing,
+/// asserting the words come back byte-identical.
+fn assert_round_trips(name: &str, code: &[u32]) {
+    let listing: String = code.iter().map(|&w| disasm_word(w) + "\n").collect();
+    let back = assemble(name, &listing)
+        .unwrap_or_else(|e| panic!("{name}: disassembly does not reassemble: {e}\n{listing}"));
+    assert_eq!(back.code.len(), code.len(), "{name}: word count changed");
+    for (i, (&orig, &re)) in code.iter().zip(&back.code).enumerate() {
+        assert_eq!(
+            re,
+            orig,
+            "{name}: word {i} changed {orig:#010x} -> {re:#010x} via `{}`",
+            disasm_word(orig)
+        );
+    }
+}
+
+/// Every committed suite kernel round-trips: its pseudo-instructions,
+/// labels, and data references all flatten to base forms the
+/// disassembler prints and the assembler re-reads.
+#[test]
+fn committed_kernels_round_trip() {
+    for k in &KERNELS {
+        let prog = suite::program(k);
+        assert_round_trips(k.name, &prog.code);
+    }
+}
+
+/// One instance of every instruction form the assembler can emit,
+/// with immediates chosen to hit signs and field extremes the
+/// disassembler has to print faithfully.
+const ALL_FORMS: &str = "
+    lui a0, 0x12345
+    lui t0, 0xfffff
+    auipc s1, 0x7ffff
+    auipc gp, 0x80000
+    jal ra, 2048
+    jal zero, -4
+    jalr ra, 0(a0)
+    jalr zero, -2047(t6)
+    beq a0, a1, -8
+    bne s0, s1, 4094
+    blt t0, t1, -4096
+    bge sp, gp, 16
+    bltu a6, a7, -2
+    bgeu s10, s11, 1024
+    lb a0, -1(sp)
+    lh a1, 2(tp)
+    lw a2, -2048(s0)
+    ld a3, 2047(ra)
+    lbu a4, 0(t3)
+    lhu a5, 8(a0)
+    lwu t2, -16(s5)
+    sb a0, -1(sp)
+    sh a1, 2(tp)
+    sw a2, -2048(s0)
+    sd a3, 2047(ra)
+    addi a0, a1, -2048
+    slti t0, t1, 2047
+    sltiu s2, s3, 1
+    xori a4, a5, -1
+    ori t4, t5, 0x7f
+    andi s6, s7, 0xff
+    slli a0, a1, 63
+    srli a2, a3, 1
+    srai a4, a5, 32
+    addiw t0, t1, -5
+    slliw s0, s1, 31
+    srliw a6, a7, 0
+    sraiw t2, t3, 7
+    add a0, a1, a2
+    sub s0, s1, s2
+    sll t0, t1, t2
+    slt a3, a4, a5
+    sltu a6, a7, t3
+    xor s3, s4, s5
+    srl t4, t5, t6
+    sra s6, s7, s8
+    or s9, s10, s11
+    and ra, sp, gp
+    addw tp, a0, a1
+    subw a2, a3, a4
+    sllw a5, a6, a7
+    srlw t0, t1, t2
+    sraw s0, s1, s2
+    mul a0, a1, a2
+    mulh a3, a4, a5
+    mulhsu t0, t1, t2
+    mulhu s0, s1, s2
+    div a6, a7, t3
+    divu t4, t5, t6
+    rem s3, s4, s5
+    remu s6, s7, s8
+    mulw a0, a1, a2
+    divw a3, a4, a5
+    divuw t0, t1, t2
+    remw s0, s1, s2
+    remuw a6, a7, t3
+    fld f0, -8(a0)
+    fsd f31, 2040(sp)
+    fadd.d f1, f2, f3
+    fsub.d f4, f5, f6
+    fmul.d f7, f8, f9
+    fdiv.d f10, f11, f12
+    fsgnj.d f13, f14, f15
+    fmin.d f16, f17, f18
+    fmax.d f19, f20, f21
+    fsqrt.d f22, f23
+    fmadd.d f24, f25, f26, f27
+    feq.d a0, f1, f2
+    flt.d a1, f3, f4
+    fle.d a2, f5, f6
+    fcvt.d.l f28, t0
+    fcvt.l.d t1, f29
+    fmv.x.d t2, f30
+    fmv.d.x f0, t3
+    csrrw a0, 0x7c0, a1
+    csrrs t0, 0xc02, zero
+    csrrc s0, 0x340, s1
+    csrrwi a2, 0x7c0, 31
+    csrrsi a3, 0xc02, 0
+    csrrci a4, 0x340, 5
+    fence
+    ecall
+    ebreak
+";
+
+#[test]
+fn every_emittable_form_round_trips() {
+    let prog = assemble("all-forms", ALL_FORMS).expect("all-forms source assembles");
+    // Every word must genuinely decode — a `.word` fallback would make
+    // the round-trip vacuous for that line.
+    for &w in &prog.code {
+        decode(w).unwrap_or_else(|e| panic!("{:#010x} does not decode: {e:?}", w));
+    }
+    assert_round_trips("all-forms", &prog.code);
+}
+
+/// Undecodable words survive too, via the `.word` fallback both sides
+/// agree on.
+#[test]
+fn undecodable_words_round_trip_as_word_directives() {
+    for raw in [0u32, 0xFFFF_FFFF, 0x0000_006B] {
+        assert!(decode(raw).is_err(), "{raw:#010x} unexpectedly decodes");
+        let line = disasm_word(raw);
+        assert!(line.starts_with(".word "), "fallback form changed: `{line}`");
+        let back = assemble("raw", &line).unwrap();
+        assert_eq!(back.code, vec![raw], "`{line}`");
+    }
+}

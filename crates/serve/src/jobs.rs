@@ -366,15 +366,30 @@ fn run_difftest_batch(job: &DifftestJob, batch_idx: u64) -> BatchResult {
     let mut deltas = BTreeMap::new();
     for case in first..last {
         let case_seed = splitmix(job.seed ^ case.wrapping_mul(0x9E37_79B9));
-        let prog = fuzz_program(case_seed, &FuzzConfig { static_len: job.static_len });
-        let (verdict, shared) = cosim::run_full(&prog, &cfg);
+        // `progs` cases rotate over the committed benchmark kernels
+        // (plus the fused set) exactly like `meek-difftest --suite
+        // progs`; `fuzz` cases synthesise a random program per seed.
+        let (workload_name, verdict, shared) = if job.suite == "progs" {
+            let wl = meek_progs::rotation_workload(case);
+            let name = wl.name;
+            let (verdict, golden) = cosim::run_workload(&wl, &cfg);
+            (Some(name), verdict, golden.map(|g| (g, wl)))
+        } else {
+            let prog = fuzz_program(case_seed, &FuzzConfig { static_len: job.static_len });
+            let (verdict, shared) = cosim::run_full(&prog, &cfg);
+            (None, verdict, shared)
+        };
         bump(&mut deltas, "cases", 1);
         bump(&mut deltas, "executed", verdict.executed);
         bump(&mut deltas, "segments", verdict.segments as u64);
         bump(&mut deltas, "cycles", verdict.system_cycles);
-        let mut line = format!(
-            "{{\"case\":{case},\"case_seed\":\"{case_seed:#x}\",\"executed\":{},\
-             \"segments\":{},\"cycles\":{}",
+        let mut line = format!("{{\"case\":{case},\"case_seed\":\"{case_seed:#x}\"");
+        if let Some(name) = workload_name {
+            let _ = write!(line, ",\"workload\":\"{}\"", crate::json::escape(name));
+        }
+        let _ = write!(
+            line,
+            ",\"executed\":{},\"segments\":{},\"cycles\":{}",
             verdict.executed, verdict.segments, verdict.system_cycles
         );
         match &verdict.divergence {

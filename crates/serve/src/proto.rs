@@ -90,6 +90,9 @@ impl CampaignJob {
 /// `batch`-sized units so progress checkpoints at batch granularity.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DifftestJob {
+    /// Case source: `fuzz` (random programs) or `progs` (the committed
+    /// benchmark-kernel rotation, `meek_progs::rotation_workload`).
+    pub suite: String,
     /// Co-simulation cases.
     pub cases: u64,
     /// Master seed (per-case seeds derive from it).
@@ -111,6 +114,7 @@ pub struct DifftestJob {
 impl Default for DifftestJob {
     fn default() -> DifftestJob {
         DifftestJob {
+            suite: "fuzz".to_string(),
             cases: 100,
             seed: 0,
             faults: 3,
@@ -130,6 +134,9 @@ impl DifftestJob {
     ///
     /// Returns a message naming the offending field.
     pub fn validate(&self) -> Result<(), String> {
+        if !matches!(self.suite.as_str(), "fuzz" | "progs") {
+            return Err(format!("unknown difftest suite `{}` (want fuzz or progs)", self.suite));
+        }
         if self.cases == 0 || self.seg_len == 0 || self.static_len == 0 || self.little == 0 {
             return Err("cases, seg_len, static_len and little must be positive".into());
         }
@@ -251,9 +258,17 @@ impl JobSpec {
                 j.sample_stride
             ),
             JobSpec::Difftest(j) => format!(
-                "{{\"kind\":\"difftest\",\"cases\":{},\"seed\":{},\"faults\":{},\"seg_len\":{},\
-                 \"static_len\":{},\"little\":{},\"recover\":{},\"batch\":{}}}",
-                j.cases, j.seed, j.faults, j.seg_len, j.static_len, j.little, j.recover, j.batch
+                "{{\"kind\":\"difftest\",\"suite\":\"{}\",\"cases\":{},\"seed\":{},\"faults\":{},\
+                 \"seg_len\":{},\"static_len\":{},\"little\":{},\"recover\":{},\"batch\":{}}}",
+                escape(&j.suite),
+                j.cases,
+                j.seed,
+                j.faults,
+                j.seg_len,
+                j.static_len,
+                j.little,
+                j.recover,
+                j.batch
             ),
             JobSpec::Fuzz(j) => format!(
                 "{{\"kind\":\"fuzz\",\"iters\":{},\"seed\":{},\"static_len\":{},\
@@ -298,6 +313,7 @@ impl JobSpec {
             "difftest" => {
                 let d = DifftestJob::default();
                 Ok(JobSpec::Difftest(DifftestJob {
+                    suite: field_str(v, "suite", &d.suite)?,
                     cases: field_u64(v, "cases", d.cases)?,
                     seed: field_u64(v, "seed", d.seed)?,
                     faults: field_usize(v, "faults", d.faults)?,
@@ -676,6 +692,12 @@ mod tests {
         assert!(bad_suite.validate().unwrap_err().contains("unknown benchmark"));
         let zero_cases = JobSpec::Difftest(DifftestJob { cases: 0, ..DifftestJob::default() });
         assert!(zero_cases.validate().is_err());
+        let bad_dt_suite =
+            JobSpec::Difftest(DifftestJob { suite: "specint".into(), ..DifftestJob::default() });
+        assert!(bad_dt_suite.validate().unwrap_err().contains("want fuzz or progs"));
+        let progs =
+            JobSpec::Difftest(DifftestJob { suite: "progs".into(), ..DifftestJob::default() });
+        assert!(progs.validate().is_ok());
         let zero_chunk = JobSpec::Fuzz(FuzzJob { chunk: 0, ..FuzzJob::default() });
         assert!(zero_chunk.validate().is_err());
     }

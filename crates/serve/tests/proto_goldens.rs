@@ -41,6 +41,7 @@ fn campaign_spec_golden() {
 #[test]
 fn difftest_spec_golden() {
     let spec = JobSpec::Difftest(DifftestJob {
+        suite: "progs".into(),
         cases: 200,
         seed: u64::MAX,
         faults: 3,
@@ -52,9 +53,15 @@ fn difftest_spec_golden() {
     });
     assert_eq!(
         spec.to_json(),
-        r#"{"kind":"difftest","cases":200,"seed":18446744073709551615,"faults":3,"seg_len":192,"static_len":220,"little":4,"recover":false,"batch":16}"#
+        r#"{"kind":"difftest","suite":"progs","cases":200,"seed":18446744073709551615,"faults":3,"seg_len":192,"static_len":220,"little":4,"recover":false,"batch":16}"#
     );
     assert_eq!(round_trip_spec(&spec), spec, "u64::MAX seed survives the round trip");
+    // A pre-`suite` frame (no `suite` field) still parses, defaulting
+    // to the fuzz case source — old clients keep working.
+    let sparse = Json::parse(r#"{"kind":"difftest","cases":8}"#).unwrap();
+    let JobSpec::Difftest(job) = JobSpec::from_json(&sparse).unwrap() else { panic!("kind") };
+    assert_eq!(job.suite, "fuzz");
+    assert_eq!(job.cases, 8);
 }
 
 #[test]

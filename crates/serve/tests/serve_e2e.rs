@@ -209,6 +209,40 @@ fn difftest_job_resumes_to_identical_results() {
     let _ = std::fs::remove_dir_all(&spool);
 }
 
+/// A `suite: progs` difftest job walks the committed benchmark-kernel
+/// rotation instead of fuzzed programs: each JSONL line names its
+/// workload, the clean runs agree three ways, and no fault escapes.
+#[test]
+fn progs_suite_difftest_job_names_kernels_and_stays_clean() {
+    let job = DifftestJob {
+        suite: "progs".into(),
+        cases: 3, // first three kernels of the rotation
+        batch: 2,
+        faults: 1,
+        seed: 5,
+        ..DifftestJob::default()
+    };
+    let spool = scratch("difftest-progs");
+    let daemon = Daemon::start(ServeConfig::new(&spool)).unwrap();
+    let id = daemon.submit(JobSpec::Difftest(job.clone()), 0).unwrap();
+    let status = daemon.wait(id, WAIT).expect("progs difftest completes");
+    assert_eq!(status.state, JobState::Done);
+    assert_eq!(status.counters["cases"], job.cases);
+    assert_eq!(status.counters.get("divergences"), None, "kernels cosim clean");
+    assert_eq!(status.counters.get("escapes"), None, "no fault escapes on kernels");
+
+    let results = std::fs::read_to_string(daemon.job_dir(id).join("results.jsonl")).unwrap();
+    for (case, line) in results.lines().enumerate() {
+        let v = Json::parse(line).expect("result lines are JSON");
+        let workload = v.get("workload").and_then(Json::as_str).expect("line names its workload");
+        assert_eq!(workload, meek_progs::KERNELS[case].name, "rotation order is the kernel order");
+        assert!(matches!(v.get("divergence"), Some(Json::Null)), "case {case} diverged: {line}");
+    }
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
 /// Fuzz jobs run in sequential chunks (each chunk's mutations depend
 /// on the corpus the previous chunk persisted); an interrupted run
 /// must resume to the same results and the same saved corpus.

@@ -44,11 +44,24 @@ impl WorkloadCache {
     /// Returns the workload for `(profile, seed)`, building it on first
     /// access. Concurrent callers for the same key build once and share.
     pub fn get(&self, profile: &BenchmarkProfile, seed: u64) -> Arc<Workload> {
+        self.get_with(profile.name, seed, || Workload::build(profile, seed))
+    }
+
+    /// Build-once access for workloads that are not profile-synthesised
+    /// (assembled real programs, fused multi-workload sets): `build`
+    /// runs at most once per `(name, seed)` key, concurrent first
+    /// callers block on the same slot instead of building twice.
+    pub fn get_with(
+        &self,
+        name: &'static str,
+        seed: u64,
+        build: impl FnOnce() -> Workload,
+    ) -> Arc<Workload> {
         let cell = {
             let mut slots = self.slots.lock().expect("workload cache poisoned");
-            Arc::clone(slots.entry((profile.name, seed)).or_default())
+            Arc::clone(slots.entry((name, seed)).or_default())
         };
-        Arc::clone(cell.get_or_init(|| Arc::new(Workload::build(profile, seed))))
+        Arc::clone(cell.get_or_init(|| Arc::new(build())))
     }
 
     /// Number of distinct workloads built so far.

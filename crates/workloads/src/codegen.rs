@@ -91,6 +91,11 @@ pub struct Workload {
     /// Static instructions in the program.
     pub static_len: usize,
     initial: ArchState,
+    /// Declared writable data window `(base, size)`, when the program
+    /// source knows it (codegen working set, fuzz pointer-masked window,
+    /// loaded-image `.data` span). `None` for images with no declared
+    /// window.
+    data_window: Option<(u64, u64)>,
     /// The code span decoded once at construction — every execution way
     /// (golden oracle, big-core feed, little-core replay) consumes this
     /// table instead of re-decoding words in its hot loop.
@@ -117,7 +122,28 @@ impl Workload {
         initial: ArchState,
     ) -> Workload {
         let predecoded = Arc::new(PreDecoded::from_image(&image, entry, static_len));
-        Workload { name, image, entry, exit_pc, static_len, initial, predecoded }
+        Workload { name, image, entry, exit_pc, static_len, initial, data_window: None, predecoded }
+    }
+
+    /// Declares the program's writable data window `(base, size)` — the
+    /// span its stores are confined to. `SimBuilder` validates declared
+    /// windows against the code span, and loaded images use it to obey
+    /// the x26/x27 base/mask data discipline.
+    pub fn with_data_window(mut self, base: u64, size: u64) -> Workload {
+        self.data_window = Some((base, size));
+        self
+    }
+
+    /// The declared writable data window `(base, size)`, if any.
+    pub fn data_window(&self) -> Option<(u64, u64)> {
+        self.data_window
+    }
+
+    /// The architectural state a run starts from (loaded images carry
+    /// non-trivial initial register/CSR state: stack pointer, data-window
+    /// base/mask registers, the OS-surface enable CSR).
+    pub fn initial_state(&self) -> &ArchState {
+        &self.initial
     }
 
     /// The read-only program image (little cores fetch from this).
@@ -149,6 +175,7 @@ impl Workload {
             executed: 0,
             cap: max_insts,
             undo: None,
+            console: Vec::new(),
             predecoded: Arc::clone(&self.predecoded),
         }
     }
@@ -165,6 +192,9 @@ pub struct WorkloadRun {
     cap: u64,
     /// Write journal for rollback (recovery-enabled runs only).
     undo: Option<UndoLog>,
+    /// Console bytes from `putchar` syscalls, tagged with the retirement
+    /// index that produced each byte so a rollback can truncate exactly.
+    console: Vec<(u64, u8)>,
     predecoded: Arc<PreDecoded>,
 }
 
@@ -190,6 +220,9 @@ impl WorkloadRun {
         match stepped {
             Ok(r) => {
                 self.executed += 1;
+                if let Some(meek_isa::Syscall::Putchar { byte }) = r.syscall {
+                    self.console.push((self.executed, byte));
+                }
                 Some(r)
             }
             Err(Trap::IllegalInstruction { pc, word }) => {
@@ -260,6 +293,8 @@ impl WorkloadRun {
         log.rewind(&mut self.mem, commit_index);
         self.st.apply_checkpoint(cp);
         self.st.restore_csr_snapshot(csrs);
+        self.st.set_instret(commit_index);
+        self.console.retain(|&(idx, _)| idx <= commit_index);
         self.executed = commit_index;
     }
 
@@ -282,6 +317,13 @@ impl WorkloadRun {
     /// Current architectural state (for end-of-run assertions).
     pub fn state(&self) -> &ArchState {
         &self.st
+    }
+
+    /// The console bytes emitted by `putchar` syscalls so far, in
+    /// retirement order. Bytes from instructions squashed by a rollback
+    /// are gone — the console reflects the committed stream only.
+    pub fn console(&self) -> Vec<u8> {
+        self.console.iter().map(|&(_, b)| b).collect()
     }
 }
 
@@ -655,6 +697,7 @@ impl<'p> Generator<'p> {
             words.len(),
             initial,
         )
+        .with_data_window(DATA_BASE, self.profile.working_set.next_power_of_two())
     }
 }
 
