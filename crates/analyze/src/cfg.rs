@@ -1,0 +1,143 @@
+//! Decode and control-flow structure: the syntactic half of the
+//! analysis.
+//!
+//! Everything here is a property of the program *text* — no value
+//! tracking. Static control flow (conditional branches and `jal`) must
+//! stay 4-aligned and inside `[0, len]` (index `len` is the fall-off
+//! exit); indirect jumps are left to the value analysis. For
+//! loader-owned programs a write to an anchor register is flagged
+//! outright; for fuzzed programs the preamble legitimately materialises
+//! the anchors, so writes are only counted.
+
+use crate::{ProgramSpec, Violation};
+use meek_isa::inst::Inst;
+use meek_isa::invariants::{dest_reg, writes_anchor, R_PTR};
+use meek_isa::CSR_OS_ENABLE;
+
+/// Result of the syntactic scan.
+#[derive(Debug, Clone, Default)]
+pub struct Structure {
+    /// Violations provable from the text alone.
+    pub violations: Vec<Violation>,
+    /// Anchor-register writes in the text.
+    pub anchor_writes: usize,
+    /// Whether any instruction writes the OS-surface gate CSR — if so,
+    /// `ecall` semantics are not statically known.
+    pub os_touched: bool,
+}
+
+/// The static target of a branch or `jal` at `index`, in instruction
+/// indices, when the displacement is representable.
+pub fn static_target(index: usize, offset: i32) -> i64 {
+    index as i64 + offset as i64 / 4
+}
+
+/// Scans the program text (see module docs).
+pub fn scan(words: &[u32], decoded: &[Option<Inst>], spec: &ProgramSpec) -> Structure {
+    let mut st = Structure::default();
+    let len = decoded.len() as i64;
+    for (i, slot) in decoded.iter().enumerate() {
+        let Some(inst) = slot else {
+            if spec.contiguous {
+                st.violations.push(Violation::Undecodable { index: i, word: words[i] });
+            }
+            continue;
+        };
+        if writes_anchor(inst) {
+            st.anchor_writes += 1;
+            if spec.strict_anchors {
+                st.violations.push(Violation::AnchorClobber {
+                    index: i,
+                    reg: dest_reg(inst).expect("anchor write has a destination"),
+                });
+            }
+        }
+        match *inst {
+            Inst::Branch { offset, .. } | Inst::Jal { offset, .. } => {
+                if offset % 4 != 0 {
+                    st.violations
+                        .push(Violation::MisalignedJump { index: i, offset: offset as i64 });
+                } else {
+                    let t = static_target(i, offset);
+                    if t < 0 || t > len {
+                        st.violations.push(Violation::WildJump { index: i, target: t });
+                    }
+                }
+            }
+            Inst::Csr { csr, .. } if csr == CSR_OS_ENABLE => st.os_touched = true,
+            _ => {}
+        }
+    }
+    st
+}
+
+/// Whether every branch/`jal` in `insts` has a 4-aligned target inside
+/// `[0, len]` — the structural invariant the relinking operators
+/// (range removal/insertion) preserve.
+pub fn jump_targets_ok(insts: &[Inst]) -> bool {
+    let len = insts.len() as i64;
+    insts.iter().enumerate().all(|(i, inst)| match *inst {
+        Inst::Branch { offset, .. } | Inst::Jal { offset, .. } => {
+            offset % 4 == 0 && (0..=len).contains(&static_target(i, offset))
+        }
+        _ => true,
+    })
+}
+
+/// Why a candidate splice-dictionary fragment was rejected.
+///
+/// A fragment is spliced at arbitrary positions into arbitrary hosts,
+/// so its contract is stricter than a whole program's: nothing
+/// PC-relative at all, no anchor or data-pointer writes, no OS-gate
+/// CSR traffic, and conditional branches must stay inside the fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentReject {
+    /// Writes an anchor register (x26/x27) at this index.
+    AnchorWrite(usize),
+    /// Writes the data pointer (x28) at this index.
+    PointerWrite(usize),
+    /// `jal`/`jalr`/`auipc` — PC-relative meaning is lost on splice.
+    PcRelative(usize),
+    /// Touches the OS-surface gate CSR.
+    OsCsr(usize),
+    /// A conditional branch escapes (or misaligns within) the fragment.
+    EscapingBranch(usize),
+    /// The instruction does not round-trip the codec.
+    Undecodable(usize),
+}
+
+/// Checks one splice-dictionary fragment against the fragment contract.
+///
+/// # Errors
+///
+/// Returns the first [`FragmentReject`] the fragment trips.
+pub fn check_fragment(frag: &[Inst]) -> Result<(), FragmentReject> {
+    let len = frag.len() as i64;
+    for (i, inst) in frag.iter().enumerate() {
+        if writes_anchor(inst) {
+            return Err(FragmentReject::AnchorWrite(i));
+        }
+        if dest_reg(inst) == Some(R_PTR) {
+            return Err(FragmentReject::PointerWrite(i));
+        }
+        match *inst {
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Auipc { .. } => {
+                return Err(FragmentReject::PcRelative(i));
+            }
+            Inst::Csr { csr, .. } if csr == CSR_OS_ENABLE => {
+                return Err(FragmentReject::OsCsr(i));
+            }
+            Inst::Branch { offset, .. } => {
+                let t = static_target(i, offset);
+                if offset % 4 != 0 || t < 0 || t > len {
+                    return Err(FragmentReject::EscapingBranch(i));
+                }
+            }
+            _ => {}
+        }
+        if !meek_isa::invariants::decodable(std::slice::from_ref(inst)) {
+            return Err(FragmentReject::Undecodable(i));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the static verifier: the full suite lint
+//! (eight kernels under the strict loader contract plus the fused
+//! multi-workload image) measured end-to-end, exactly the admission
+//! cost `meek-serve` pays for a `progs` difftest job and the pre-screen
+//! cost the fuzz engine pays per mutant.
+
+use criterion::{black_box, Criterion, Throughput};
+use meek_difftest::{fuzz_program, FuzzConfig, FuzzProgram};
+use meek_progs::{analyze_program, analyze_workload, suite, WorkloadSet, KERNELS};
+
+fn bench_suite_lint(c: &mut Criterion) {
+    let progs: Vec<_> = KERNELS.iter().map(suite::program).collect();
+    let fused = WorkloadSet::all().fuse();
+    let mut g = c.benchmark_group("analyze");
+    // Eight kernels + the fused set per iteration.
+    g.throughput(Throughput::Elements(progs.len() as u64 + 1));
+    g.bench_function("analyze_progs_per_sec", |b| {
+        b.iter(|| {
+            let mut clean = 0usize;
+            for prog in black_box(&progs) {
+                clean += usize::from(analyze_program(prog).clean());
+            }
+            clean += usize::from(analyze_workload(black_box(&fused)).clean());
+            assert_eq!(clean, progs.len() + 1, "the committed suite must lint clean");
+            clean
+        })
+    });
+    g.finish();
+}
+
+fn bench_static_reject(c: &mut Criterion) {
+    // The fuzz pre-screen fast path on a fresh (never-rejected) program.
+    let prog = fuzz_program(7, &FuzzConfig { static_len: 220 });
+    let spec = FuzzProgram::spec();
+    let mut g = c.benchmark_group("analyze");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("static_reject_fresh", |b| {
+        b.iter(|| meek_analyze::static_reject(black_box(&prog.words), &spec).is_none())
+    });
+    g.finish();
+}
+
+/// Entry point for the bench harness and `meek-bench-export`.
+pub fn all(c: &mut Criterion) {
+    bench_suite_lint(c);
+    bench_static_reject(c);
+}

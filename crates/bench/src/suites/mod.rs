@@ -7,6 +7,7 @@
 //! [`criterion::BenchResult`]s, and emits / checks the committed
 //! `BENCH_baseline.json` perf trajectory.
 
+pub mod analyze;
 pub mod campaign;
 pub mod difftest;
 pub mod fuzz;
@@ -18,11 +19,12 @@ pub mod system;
 pub type SuiteFn = fn(&mut criterion::Criterion);
 
 /// The suites the committed perf baseline covers, by stable name.
-pub const BASELINE_SUITES: [(&str, SuiteFn); 6] = [
+pub const BASELINE_SUITES: [(&str, SuiteFn); 7] = [
     ("system", system::all),
     ("recover", recover::all),
     ("difftest", difftest::all),
     ("fuzz", fuzz::all),
     ("progs", progs::all),
     ("campaign", campaign::all),
+    ("analyze", analyze::all),
 ];

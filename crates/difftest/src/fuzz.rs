@@ -139,6 +139,19 @@ impl FuzzProgram {
         PreDecoded::from_image(&self.image(), CODE_BASE, self.words.len())
     }
 
+    /// The static contract fuzzed programs are analyzed against: code
+    /// at [`CODE_BASE`], all registers zero at entry, exit by falling
+    /// off the end, the fixed data window (with the 512-byte slack the
+    /// difftest oracles tolerate) pre-filled and mapped, OS surface
+    /// off. Anchor/window strictness stays off — the generated preamble
+    /// materialises the anchors itself and mutants may legally wander.
+    pub fn spec() -> meek_analyze::ProgramSpec {
+        let mut spec = meek_analyze::ProgramSpec::bare("fuzz", CODE_BASE);
+        spec.window = Some(meek_analyze::Window { base: DATA_BASE, size: DATA_WINDOW, slack: 512 });
+        spec.mapped = vec![(DATA_BASE, DATA_WINDOW)];
+        spec
+    }
+
     /// Wraps the program as a `meek-workloads` workload so the full MEEK
     /// system (big core, DEU, fabric, checkers) can run it.
     pub fn workload(&self) -> Workload {

@@ -30,6 +30,12 @@ meek-difftest — differential fuzzing & fault-coverage oracle for MEEK
 
 USAGE:
     meek-difftest [OPTIONS]
+    meek-difftest analyze [--suite progs] [--cases N] [--seed S]
+                       Statically verify programs instead of running
+                       them: per-program meek-analyze reports for fuzzed
+                       programs (or, with --suite progs, the committed
+                       kernels plus the fused set); non-zero exit on any
+                       violation
 
 OPTIONS:
     --cases <N>        Fuzzed programs to co-simulate [default: 100]
@@ -207,8 +213,57 @@ fn run_case(case_seed: u64, case: u64, args: &Args) -> CaseResult {
     }
 }
 
+/// `meek-difftest analyze`: static verification of the same program
+/// stream the co-simulation would run, one report per program.
+fn cmd_analyze(args: &Args) -> ExitCode {
+    let mut unclean = 0u64;
+    if args.suite {
+        for k in &meek_progs::KERNELS {
+            let prog = meek_progs::suite::program(k);
+            let report = meek_progs::analyze_program(&prog);
+            print!("{report}");
+            unclean += u64::from(!report.clean());
+        }
+        let fused = meek_progs::WorkloadSet::all().fuse();
+        let report = meek_progs::analyze_workload(&fused);
+        print!("{report}");
+        unclean += u64::from(!report.clean());
+        println!(
+            "analyzed {} kernel(s) + fused set: {}",
+            meek_progs::KERNELS.len(),
+            if unclean == 0 { "all clean".to_string() } else { format!("{unclean} unclean") },
+        );
+    } else {
+        for case in 0..args.cases {
+            let case_seed = splitmix(args.seed ^ case.wrapping_mul(0x9E37_79B9));
+            let prog = fuzz_program(case_seed, &FuzzConfig { static_len: args.static_len });
+            let mut spec = meek_difftest::FuzzProgram::spec();
+            spec.name = format!("case {case} (seed {case_seed:#x})");
+            let report = meek_analyze::analyze_words(&prog.words, &spec);
+            print!("{report}");
+            // A *fresh* fuzzed program must be spotless: violations and
+            // trap forecasts alike are seed-fuzzer bugs.
+            unclean += u64::from(!report.clean());
+        }
+        println!(
+            "analyzed {} fuzzed program(s): {}",
+            args.cases,
+            if unclean == 0 { "all clean".to_string() } else { format!("{unclean} unclean") },
+        );
+    }
+    if unclean == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let analyze_only = argv.first().is_some_and(|a| a == "analyze");
+    if analyze_only {
+        argv.remove(0);
+    }
     let args = match Args::parse(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -220,6 +275,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if analyze_only {
+        return cmd_analyze(&args);
+    }
     let executor = Executor::new(args.threads);
     if args.suite {
         println!(

@@ -36,6 +36,17 @@ use meek_isa::Reg;
 /// Without this, any removal between an indirect jump and its target
 /// breaks the candidate and indirect-jump reproducers stop shrinking.
 pub fn remove_range_relinked(insts: &[Inst], start: usize, end: usize) -> Vec<Inst> {
+    let out = remove_range_relinked_inner(insts, start, end);
+    // Relink post-condition: removing a range from a program whose
+    // jumps were all in bounds must leave them all in bounds.
+    debug_assert!(
+        meek_analyze::jump_targets_ok(&out) || !meek_analyze::jump_targets_ok(insts),
+        "remove_range_relinked broke a jump target (range {start}..{end})"
+    );
+    out
+}
+
+fn remove_range_relinked_inner(insts: &[Inst], start: usize, end: usize) -> Vec<Inst> {
     let removed = end - start;
     // Adjusted index of original index j after the removal.
     let adj = |j: i64| -> i64 {

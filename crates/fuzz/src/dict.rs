@@ -26,9 +26,9 @@
 //! dictionary — and everything downstream of it — is a pure function of
 //! the harvested programs.
 
-use crate::mutate::{decodable, dest_reg, writes_anchor, R_PTR};
+use crate::mutate::R_PTR;
 use meek_isa::inst::Inst;
-use meek_isa::{decode, encode, CSR_OS_ENABLE};
+use meek_isa::{decode, encode};
 use std::collections::BTreeSet;
 
 /// Window sizes the harvester scans, smallest first.
@@ -124,24 +124,19 @@ impl Dictionary {
 }
 
 /// Sanitises one candidate window into a fragment, or rejects it.
+///
+/// The per-instruction *transforms* live here (memory rebased onto the
+/// data pointer with clamped offsets); the *rejection* predicate is the
+/// analyzer's fragment contract ([`meek_analyze::check_fragment`]),
+/// applied to the transformed window — anchor/pointer writes,
+/// PC-relative instructions, OS-gate CSR traffic, escaping branches and
+/// undecodable results all reject through the same typed check the
+/// rest of the toolchain uses.
 fn sanitize_window(window: &[Inst]) -> Option<Vec<Inst>> {
-    let len = window.len() as i64;
-    let mut out = Vec::with_capacity(window.len());
-    for (i, inst) in window.iter().enumerate() {
-        if writes_anchor(inst) || dest_reg(inst) == Some(R_PTR) {
-            return None;
-        }
-        let clamp = |off: i32| off.clamp(-MEM_OFFSET_BOUND, MEM_OFFSET_BOUND - 1);
-        out.push(match *inst {
-            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Auipc { .. } => return None,
-            Inst::Csr { csr, .. } if csr == CSR_OS_ENABLE => return None,
-            Inst::Branch { op, rs1, rs2, offset } => {
-                let target = i as i64 + offset as i64 / 4;
-                if offset % 4 != 0 || target < 0 || target > len {
-                    return None;
-                }
-                Inst::Branch { op, rs1, rs2, offset }
-            }
+    let clamp = |off: i32| off.clamp(-MEM_OFFSET_BOUND, MEM_OFFSET_BOUND - 1);
+    let out: Vec<Inst> = window
+        .iter()
+        .map(|inst| match *inst {
             Inst::Load { op, rd, offset, .. } => {
                 Inst::Load { op, rd, rs1: R_PTR, offset: clamp(offset) }
             }
@@ -151,15 +146,15 @@ fn sanitize_window(window: &[Inst]) -> Option<Vec<Inst>> {
             Inst::Fld { rd, offset, .. } => Inst::Fld { rd, rs1: R_PTR, offset: clamp(offset) },
             Inst::Fsd { rs2, offset, .. } => Inst::Fsd { rs1: R_PTR, rs2, offset: clamp(offset) },
             other => other,
-        });
-    }
-    decodable(&out).then_some(out)
+        })
+        .collect();
+    meek_analyze::check_fragment(&out).is_ok().then_some(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mutate::self_contained;
+    use crate::mutate::{decodable, dest_reg, self_contained, writes_anchor};
     use meek_isa::inst::{AluImmOp, BranchOp, LoadOp, StoreOp};
     use meek_isa::Reg;
 

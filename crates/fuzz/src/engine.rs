@@ -266,6 +266,20 @@ fn outcome_name(oc: &FaultOutcome) -> &'static str {
 fn evaluate(cand: &Candidate, s: &FuzzSettings) -> CaseEval {
     let prog = FuzzProgram::from_words(&cand.words);
     let cfg = CosimConfig { n_little: s.n_little, ..CosimConfig::default() };
+    // Static pre-screen: a trap forecast from the analyzer is a proof
+    // the golden run below would return Err, so mutated candidates can
+    // be rejected without paying for the interpreter. Fresh candidates
+    // fall through — a trapping fresh program is a seed-fuzzer bug and
+    // must surface as a divergence, keeping output byte-identical.
+    if cand.kind == CandidateKind::Mutated {
+        if let Some(forecast) = meek_analyze::static_reject(&cand.words, &FuzzProgram::spec()) {
+            debug_assert!(
+                golden_run_bounded(&prog, EVAL_CAP).is_err(),
+                "static pre-screen claimed a trap the golden run does not raise: {forecast}"
+            );
+            return CaseEval::rejected();
+        }
+    }
     // Bounded golden pre-screen. Mutated programs that trap or run away
     // are rejected (relinking manufactures both); a *fresh* program
     // doing either is a seed-fuzzer bug and counts as a divergence.

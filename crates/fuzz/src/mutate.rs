@@ -35,14 +35,9 @@ use meek_difftest::remove_range_relinked;
 #[cfg(test)]
 use meek_isa::inst::BranchOp;
 use meek_isa::inst::{AluImmOp, AluOp, CsrOp, FpCmpOp, FpOp, Inst, LoadOp, MulDivOp, StoreOp};
-use meek_isa::{decode, encode, FReg, Reg};
+use meek_isa::{FReg, Reg};
 use rand::rngs::SmallRng;
 use rand::Rng;
-
-/// The fuzzer's data-window anchor registers: a write to either can
-/// send a store outside the data window (see module docs). `x26` =
-/// window base, `x27` = window mask.
-const ANCHORS: [Reg; 2] = [Reg::X26, Reg::X27];
 
 /// Registers random replacement instructions may write — the seed
 /// fuzzer's pool (structural registers excluded).
@@ -65,42 +60,13 @@ const POOL: [Reg; 16] = [
     Reg::X31,
 ];
 
-/// The data pointer register memory traffic goes through.
-pub const R_PTR: Reg = Reg::X28;
+// The shared predicate definitions live in `meek_isa::invariants`
+// (every program producer enforces the same invariants); re-exported
+// here so existing `crate::mutate::{...}` imports keep working.
+pub use meek_isa::invariants::{decodable, dest_reg, writes_anchor, R_PTR};
 
 /// CSR addresses fuzzed CSR traffic targets (mirrors the seed fuzzer).
 const CSRS: [u16; 4] = [0x340, 0x341, 0x342, 0xC00];
-
-/// The integer register `inst` writes, if any.
-pub fn dest_reg(inst: &Inst) -> Option<Reg> {
-    match *inst {
-        Inst::Lui { rd, .. }
-        | Inst::Auipc { rd, .. }
-        | Inst::Jal { rd, .. }
-        | Inst::Jalr { rd, .. }
-        | Inst::Load { rd, .. }
-        | Inst::AluImm { rd, .. }
-        | Inst::Alu { rd, .. }
-        | Inst::MulDiv { rd, .. }
-        | Inst::FpCmp { rd, .. }
-        | Inst::FcvtLD { rd, .. }
-        | Inst::FmvXD { rd, .. }
-        | Inst::Csr { rd, .. } => Some(rd),
-        _ => None,
-    }
-}
-
-/// Whether `inst` writes an anchor register (`x26`/`x27`).
-pub fn writes_anchor(inst: &Inst) -> bool {
-    dest_reg(inst).is_some_and(|rd| ANCHORS.contains(&rd))
-}
-
-/// Whether every instruction round-trips through `encode`/`decode`
-/// unchanged — the gate every mutated candidate must pass (relinking
-/// can push an offset out of its encoding range).
-pub fn decodable(insts: &[Inst]) -> bool {
-    insts.iter().all(|i| decode(encode(i)) == Ok(*i))
-}
 
 /// Inserts `payload` before index `at`, rewriting every branch/`jal`
 /// offset of the host program that crosses the insertion point —
@@ -165,6 +131,14 @@ pub fn insert_range_relinked(insts: &[Inst], at: usize, payload: &[Inst]) -> Vec
     if at >= insts.len() {
         out.extend_from_slice(payload);
     }
+    // Relink post-condition: inserting a self-contained payload into a
+    // host with in-bounds jumps must leave every jump in bounds.
+    debug_assert!(
+        meek_analyze::jump_targets_ok(&out)
+            || !(meek_analyze::jump_targets_ok(insts) && meek_analyze::jump_targets_ok(payload)),
+        "insert_range_relinked broke a jump target (at={at}, payload={})",
+        payload.len()
+    );
     out
 }
 
@@ -435,7 +409,21 @@ pub fn mutate(
             insert_range_relinked(subject, at, frag)
         }
     };
-    (out.len() <= MAX_LEN && !out.is_empty() && decodable(&out)).then_some(out)
+    if out.len() > MAX_LEN || out.is_empty() || !decodable(&out) {
+        return None;
+    }
+    // Post-condition: every emitted mutant satisfies the static program
+    // contract — the analyzer may forecast a legitimate trap (orphaned
+    // indirect jumps happen), but never a contract violation.
+    debug_assert!(
+        {
+            let report = meek_analyze::analyze_insts(&out, &meek_difftest::FuzzProgram::spec());
+            report.violations.is_empty()
+        },
+        "{op:?} produced a contract-violating mutant: {}",
+        meek_analyze::analyze_insts(&out, &meek_difftest::FuzzProgram::spec()),
+    );
+    Some(out)
 }
 
 #[cfg(test)]

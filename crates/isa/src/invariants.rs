@@ -1,0 +1,114 @@
+//! Shared instruction predicates for the MEEK workload invariants.
+//!
+//! Every program producer in the repo — the seed fuzzer, the mutation
+//! operators, the dictionary harvester, the static analyzer — enforces
+//! the same small set of invariants: candidates must round-trip the
+//! codec, and nothing may clobber the data-window anchor registers or
+//! the data pointer. These predicates used to live in
+//! `meek-fuzz::mutate`; they are ISA-level facts, so they live here and
+//! every consumer shares one definition.
+
+use crate::decode::decode;
+use crate::encode::encode;
+use crate::inst::{AluImmOp, Inst};
+use crate::reg::Reg;
+
+/// The data-window anchor registers: `x26` holds the window base,
+/// `x27` the window mask. A write to either can send a store outside
+/// the data window (self-modifying code would diverge the replay way,
+/// whose fetch path models an incoherent I-cache).
+pub const ANCHOR_REGS: [Reg; 2] = [Reg::X26, Reg::X27];
+
+/// The data pointer register memory traffic goes through.
+pub const R_PTR: Reg = Reg::X28;
+
+/// The integer register `inst` writes, if any.
+///
+/// Unlike [`Inst::int_dest`] this deliberately excludes the MEEK-ISA
+/// system instructions: they never appear in fuzzed or assembled user
+/// programs, and the mutation operators that call this predicate must
+/// not start treating them as replaceable computation.
+pub fn dest_reg(inst: &Inst) -> Option<Reg> {
+    match *inst {
+        Inst::Lui { rd, .. }
+        | Inst::Auipc { rd, .. }
+        | Inst::Jal { rd, .. }
+        | Inst::Jalr { rd, .. }
+        | Inst::Load { rd, .. }
+        | Inst::AluImm { rd, .. }
+        | Inst::Alu { rd, .. }
+        | Inst::MulDiv { rd, .. }
+        | Inst::FpCmp { rd, .. }
+        | Inst::FcvtLD { rd, .. }
+        | Inst::FmvXD { rd, .. }
+        | Inst::Csr { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+/// Whether `inst` writes an anchor register (`x26`/`x27`).
+pub fn writes_anchor(inst: &Inst) -> bool {
+    dest_reg(inst).is_some_and(|rd| ANCHOR_REGS.contains(&rd))
+}
+
+/// Whether `inst`'s immediates fit their encoding formats. `encode`
+/// debug-asserts these ranges, so they must be checked before
+/// round-tripping an instruction a relinker may have pushed out of
+/// range.
+fn immediates_fit(inst: &Inst) -> bool {
+    match *inst {
+        Inst::Jal { offset, .. } => (-(1 << 20)..1 << 20).contains(&offset) && offset % 2 == 0,
+        Inst::Branch { offset, .. } => (-4096..=4095).contains(&offset) && offset % 2 == 0,
+        Inst::Jalr { offset, .. } | Inst::Load { offset, .. } | Inst::Fld { offset, .. } => {
+            (-2048..=2047).contains(&offset)
+        }
+        Inst::Store { offset, .. } | Inst::Fsd { offset, .. } => (-2048..=2047).contains(&offset),
+        Inst::AluImm { op, imm, .. } => match op {
+            // Shift amounts are masked to their field width by `encode`.
+            AluImmOp::Slli
+            | AluImmOp::Srli
+            | AluImmOp::Srai
+            | AluImmOp::Slliw
+            | AluImmOp::Srliw
+            | AluImmOp::Sraiw => true,
+            _ => (-2048..=2047).contains(&imm),
+        },
+        _ => true,
+    }
+}
+
+/// Whether every instruction round-trips through `encode`/`decode`
+/// unchanged — the gate every mutated candidate must pass (relinking
+/// can push an offset out of its encoding range).
+pub fn decodable(insts: &[Inst]) -> bool {
+    insts.iter().all(|i| immediates_fit(i) && decode(encode(i)) == Ok(*i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluImmOp, LoadOp};
+    use crate::meek::MeekOp;
+
+    #[test]
+    fn dest_reg_covers_the_writing_forms() {
+        let addi = Inst::AluImm { op: AluImmOp::Addi, rd: Reg::X26, rs1: Reg::X0, imm: 1 };
+        assert_eq!(dest_reg(&addi), Some(Reg::X26));
+        assert!(writes_anchor(&addi));
+        let ld = Inst::Load { op: LoadOp::Ld, rd: Reg::X27, rs1: R_PTR, offset: 0 };
+        assert!(writes_anchor(&ld));
+        assert_eq!(dest_reg(&Inst::Ecall), None);
+        assert_eq!(dest_reg(&Inst::Fence), None);
+        // MEEK system instructions are deliberately outside the predicate.
+        assert_eq!(dest_reg(&Inst::Meek(MeekOp::LRslt { rd: Reg::X26 })), None);
+    }
+
+    #[test]
+    fn decodable_rejects_unencodable_offsets() {
+        let ok = Inst::Jal { rd: Reg::X0, offset: 16 };
+        assert!(decodable(&[ok]));
+        // A jal displacement beyond ±1 MiB cannot round-trip.
+        let wild = Inst::Jal { rd: Reg::X0, offset: 1 << 24 };
+        assert!(!decodable(&[wild]));
+    }
+}

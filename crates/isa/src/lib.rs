@@ -37,6 +37,7 @@ pub mod disasm;
 pub mod encode;
 pub mod exec;
 pub mod inst;
+pub mod invariants;
 pub mod meek;
 pub mod mem;
 pub mod os;
@@ -48,6 +49,7 @@ pub use decode::{decode, DecodeError};
 pub use encode::encode;
 pub use exec::{step, MemAccess, Retired, Trap, WbDest};
 pub use inst::{BranchOp, ExecClass, Inst, LoadOp, StoreOp};
+pub use invariants::{decodable, dest_reg, writes_anchor, ANCHOR_REGS, R_PTR};
 pub use meek::MeekOp;
 pub use mem::{Bus, SparseMemory};
 pub use os::{Syscall, CSR_INSTRET, CSR_OS_ENABLE, HALT_PC, SYS_EXIT, SYS_PUTCHAR};

@@ -1,0 +1,128 @@
+//! Static-analysis glue: `meek-analyze` specs for assembled programs
+//! and built workloads.
+//!
+//! An assembled [`Program`] is loader-owned, so it gets the *strict*
+//! contract: the loader freezes `x26`/`x27` (any anchor write in kernel
+//! text is a violation) and every statically-resolvable access must hit
+//! the declared data window. A fused [`Workload`] image relaxes the
+//! anchor rule — the scheduler stub re-anchors the window registers per
+//! member — and tolerates the zero-filled padding between code slots
+//! (only *reachable* undecodable words count).
+
+use crate::asm::Program;
+use crate::loader::DATA_WINDOW;
+use meek_analyze::{AnalysisReport, ExitModel, ProgramSpec, Window};
+use meek_isa::{Reg, CSR_OS_ENABLE, HALT_PC};
+use meek_workloads::Workload;
+
+/// The strict loader contract for an assembled kernel (see module
+/// docs).
+pub fn program_spec(prog: &Program) -> ProgramSpec {
+    let mut spec = ProgramSpec::bare(&prog.name, prog.code_base);
+    spec.exit = ExitModel::HaltPc(HALT_PC);
+    spec.entry_regs[2] = prog.data_base + DATA_WINDOW;
+    spec.entry_regs[26] = prog.data_base;
+    spec.entry_regs[27] = DATA_WINDOW - 1;
+    spec.window = Some(Window { base: prog.data_base, size: DATA_WINDOW, slack: 0 });
+    spec.os_enabled = true;
+    spec.contiguous = true;
+    spec.strict_anchors = true;
+    spec.strict_window = true;
+    spec.mapped = vec![(prog.data_base, DATA_WINDOW)];
+    spec
+}
+
+/// Analyzes an assembled program against [`program_spec`].
+pub fn analyze_program(prog: &Program) -> AnalysisReport {
+    meek_analyze::analyze_words(&prog.code, &program_spec(prog))
+}
+
+/// The contract for a built workload image (a fused set or any
+/// `Workload`): entry registers and OS surface from its initial state,
+/// window from its declaration, anchors unfrozen, padding tolerated.
+pub fn workload_spec(wl: &Workload) -> ProgramSpec {
+    let mut spec = ProgramSpec::bare(wl.name, wl.entry());
+    spec.exit = ExitModel::HaltPc(wl.exit_pc());
+    let st = wl.initial_state();
+    for i in 1..32u8 {
+        spec.entry_regs[i as usize] = st.x(Reg::from_index(i));
+    }
+    spec.os_enabled = st.csr(CSR_OS_ENABLE) != 0;
+    spec.contiguous = false;
+    spec.strict_window = true;
+    if let Some((base, size)) = wl.data_window() {
+        spec.window = Some(Window { base, size, slack: 0 });
+        spec.mapped = vec![(base, size)];
+    }
+    spec
+}
+
+/// Analyzes a built workload's code span against [`workload_spec`].
+pub fn analyze_workload(wl: &Workload) -> AnalysisReport {
+    let image = wl.image();
+    let words: Vec<u32> =
+        (0..wl.static_len).map(|i| image.peek_inst(wl.entry() + 4 * i as u64)).collect();
+    meek_analyze::analyze_words(&words, &workload_spec(wl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+    use crate::{WorkloadSet, KERNELS};
+
+    #[test]
+    fn every_committed_kernel_passes_the_strict_contract() {
+        for k in &KERNELS {
+            let prog = suite::program(k);
+            let r = analyze_program(&prog);
+            assert!(r.clean(), "{}:\n{r}", prog.name);
+            assert_eq!(r.anchor_writes, 0, "{}: kernels never touch the anchors", prog.name);
+            assert!(r.reachable > 0, "{}: entry must be reachable", prog.name);
+        }
+    }
+
+    #[test]
+    fn the_fused_set_passes_with_padding_tolerated() {
+        let wl = WorkloadSet::all().fuse();
+        let r = analyze_workload(&wl);
+        assert!(r.clean(), "{r}");
+        // The image has zero-filled gaps between member slots; none may
+        // be statically reachable.
+        assert!(r.reachable < r.len, "fused images contain unreachable padding");
+    }
+
+    #[test]
+    fn a_window_violating_kernel_is_rejected() {
+        let src = "
+_start:
+    lui t0, 0x300
+    sd zero, 0(t0)
+    li a7, 93
+    ecall
+";
+        let prog = crate::assemble("bad", src).unwrap();
+        let r = analyze_program(&prog);
+        assert!(
+            r.violations.iter().any(|v| matches!(v, meek_analyze::Violation::OutOfWindow { .. })),
+            "{r}"
+        );
+    }
+
+    #[test]
+    fn an_anchor_clobbering_kernel_is_rejected() {
+        let src = "
+_start:
+    addi s10, zero, 7
+    li a7, 93
+    ecall
+";
+        let prog = crate::assemble("bad", src).unwrap();
+        let r = analyze_program(&prog);
+        assert_eq!(
+            r.violations,
+            vec![meek_analyze::Violation::AnchorClobber { index: 0, reg: Reg::X26 }],
+            "{r}"
+        );
+    }
+}

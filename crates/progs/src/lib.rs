@@ -19,11 +19,13 @@
 //!
 //! [`Workload`]: meek_workloads::Workload
 
+pub mod analyze;
 pub mod asm;
 pub mod loader;
 pub mod set;
 pub mod suite;
 
+pub use analyze::{analyze_program, analyze_workload, program_spec, workload_spec};
 pub use asm::{assemble, assemble_with, AsmConfig, AsmError, Program};
 pub use loader::{run_golden, workload, RunOutcome, DATA_WINDOW, STACK_RESERVE};
 pub use set::{fuse_programs, WorkloadSet};

@@ -60,6 +60,14 @@ pub fn workload(prog: &Program) -> Workload {
         prog.name,
         prog.data.len(),
     );
+    // Lint-on-load: every program entering the loader must satisfy the
+    // strict loader contract the static analyzer checks.
+    debug_assert!(
+        crate::analyze::analyze_program(prog).violations.is_empty(),
+        "{}: program violates the loader contract:\n{}",
+        prog.name,
+        crate::analyze::analyze_program(prog),
+    );
     let mut image = SparseMemory::new();
     image.load_program(prog.code_base, &prog.code);
     if !prog.data.is_empty() {

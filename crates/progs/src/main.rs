@@ -29,7 +29,8 @@ USAGE:
 
 COMMANDS:
     list                      List the committed benchmark suite
-    asm <FILE.s>              Assemble a source file and print a listing
+    asm <FILE.s> [--lint]     Assemble a source file and print a listing
+                              (--lint: also run the static verifier)
     run <KERNEL|FILE.s>       Assemble + run one program
     set <KERNEL>...           Fuse several suite kernels into one
                               multi-workload image and run it
@@ -72,8 +73,11 @@ fn cmd_list() -> Result<(), String> {
 }
 
 fn cmd_asm(rest: &[String]) -> Result<(), String> {
-    let [path] = rest else {
-        return Err("usage: meek-progs asm <FILE.s>".into());
+    let (lint, paths): (Vec<&String>, Vec<&String>) =
+        rest.iter().partition(|a| a.as_str() == "--lint");
+    let lint = !lint.is_empty();
+    let [path] = paths[..] else {
+        return Err("usage: meek-progs asm <FILE.s> [--lint]".into());
     };
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let prog = assemble("cli", &source).map_err(|e| format!("{path}: {e}"))?;
@@ -89,6 +93,13 @@ fn cmd_asm(rest: &[String]) -> Result<(), String> {
         println!("# symbols:");
         for (name, addr) in &prog.symbols {
             println!("#   {addr:#8x} {name}");
+        }
+    }
+    if lint {
+        let report = meek_progs::analyze_program(&prog);
+        print!("{report}");
+        if !report.violations.is_empty() {
+            return Err(format!("{path}: {} static violation(s)", report.violations.len()));
         }
     }
     Ok(())

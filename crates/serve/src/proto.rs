@@ -143,8 +143,47 @@ impl DifftestJob {
         if self.batch == 0 {
             return Err("batch must be positive".into());
         }
+        if self.suite == "progs" {
+            // Program-bearing jobs are statically verified at admission:
+            // a job rotating over malformed programs must bounce with a
+            // typed message, not crash a worker mid-stream. The rotation
+            // is fixed (committed kernels + fused set), so the lint runs
+            // once per process.
+            if let Some(err) = progs_rotation_lint() {
+                return Err(format!("progs rotation failed static analysis: {err}"));
+            }
+        }
         Ok(())
     }
+}
+
+/// Lints the committed-kernel rotation (plus the fused set) with
+/// `meek-analyze`, once per process; `Some` carries the first unclean
+/// program's verdict line.
+fn progs_rotation_lint() -> Option<&'static str> {
+    static LINT: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    LINT.get_or_init(|| {
+        for k in &meek_progs::KERNELS {
+            let prog = meek_progs::suite::program(k);
+            let report = meek_progs::analyze_program(&prog);
+            if !report.clean() {
+                let what = report
+                    .violations
+                    .first()
+                    .map(|v| v.to_string())
+                    .or_else(|| report.guaranteed_trap.map(|t| t.to_string()))
+                    .unwrap_or_default();
+                return Some(format!("kernel `{}`: {what}", prog.name));
+            }
+        }
+        let fused = meek_progs::WorkloadSet::all().fuse();
+        let report = meek_progs::analyze_workload(&fused);
+        if !report.clean() {
+            return Some(format!("fused set `{}` is unclean", fused.name));
+        }
+        None
+    })
+    .as_deref()
 }
 
 /// A fuzz job: coverage-guided search chunked into `chunk`-iteration
