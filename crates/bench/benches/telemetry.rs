@@ -1,0 +1,12 @@
+//! `cargo bench` harness for the telemetry suite; the bodies live in
+//! [`meek_bench::suites::telemetry`] so `meek-bench-export` can run
+//! them in-process for the committed perf baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = meek_bench::suites::telemetry::all
+}
+criterion_main!(benches);

@@ -14,13 +14,15 @@ pub mod fuzz;
 pub mod progs;
 pub mod recover;
 pub mod system;
+pub mod telemetry;
 
 /// One suite runner: fills the passed harness with its benchmarks.
 pub type SuiteFn = fn(&mut criterion::Criterion);
 
 /// The suites the committed perf baseline covers, by stable name.
-pub const BASELINE_SUITES: [(&str, SuiteFn); 7] = [
+pub const BASELINE_SUITES: [(&str, SuiteFn); 8] = [
     ("system", system::all),
+    ("telemetry", telemetry::all),
     ("recover", recover::all),
     ("difftest", difftest::all),
     ("fuzz", fuzz::all),

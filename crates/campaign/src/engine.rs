@@ -15,8 +15,9 @@
 
 use crate::executor::Executor;
 use crate::sink::{CampaignRecord, RecordSink, ShardSummary};
-use crate::spec::{CampaignSpec, CampaignWorkload, ShardSpec};
+use crate::spec::{CampaignSpec, CampaignWorkload, ShardSpec, DEFAULT_METRICS_STRIDE};
 use meek_core::{validate_config, JsonlEventSink, SamplingObserver, SharedBuf, Sim};
+use meek_telemetry::MetricsObserver;
 use meek_workloads::WorkloadCache;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -69,6 +70,9 @@ pub struct ShardResult {
     pub trace: Vec<u8>,
     /// Serialised occupancy time series (empty when sampling is off).
     pub samples: Vec<u8>,
+    /// Rendered metrics registry ([`meek_telemetry::Registry::render`]
+    /// text; empty when metrics collection is off).
+    pub metrics: Vec<u8>,
 }
 
 /// An empty result for a shard skipped after campaign cancellation.
@@ -93,6 +97,7 @@ fn cancelled_shard(shard: &ShardSpec) -> ShardResult {
         },
         trace: Vec::new(),
         samples: Vec::new(),
+        metrics: Vec::new(),
     }
 }
 
@@ -133,6 +138,19 @@ pub fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) 
     if let Some(s) = &sampler {
         builder = builder.observe(s.clone());
     }
+    // With metrics on, a MetricsObserver accumulates the shard's
+    // registry (latency/occupancy histograms, verdict counters); its
+    // rendered text rides the metrics channel and is merged in shard
+    // order by the sink, keeping the campaign-wide registry
+    // thread-count invariant.
+    let metrics = spec.metrics.then(|| {
+        let stride =
+            if spec.sample_stride > 0 { spec.sample_stride } else { DEFAULT_METRICS_STRIDE };
+        MetricsObserver::new(stride)
+    });
+    if let Some(m) = &metrics {
+        builder = builder.observe(m.clone());
+    }
     // Infallible: run_campaign validated the config up front, and
     // shard fault plans always arm inside the instruction budget.
     let report = builder.build().expect("validated by run_campaign").run().report;
@@ -171,6 +189,7 @@ pub fn run_shard(spec: &CampaignSpec, cache: &WorkloadCache, shard: &ShardSpec) 
                     .into_bytes()
             })
             .unwrap_or_default(),
+        metrics: metrics.map(|m| m.render().into_bytes()).unwrap_or_default(),
     }
 }
 
@@ -237,6 +256,7 @@ pub fn run_campaign(
                     .try_for_each(|rec| sink.on_record(rec))
                     .and_then(|()| sink.on_trace(&result.trace))
                     .and_then(|()| sink.on_samples(&result.samples))
+                    .and_then(|()| sink.on_metrics(&result.metrics))
                     .and_then(|()| sink.on_shard(s));
                 if let Err(e) = r {
                     sink_err = Some(e);
@@ -331,6 +351,44 @@ mod tests {
         let (sw, bytes_w) = run_with(Executor::new(4).stream_window(1));
         assert_eq!(s1, sw);
         assert_eq!(bytes1, bytes_w, "stream window must not change output");
+    }
+
+    #[test]
+    fn metrics_registry_is_thread_count_invariant_and_reconciles() {
+        let mut spec = tiny_spec();
+        spec.metrics = true;
+        let run_with = |threads: usize| {
+            let mut agg = AggregateSink::new();
+            let mut metrics = crate::sink::MetricsSink::new(Vec::new());
+            let summary = {
+                let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut agg, &mut metrics];
+                run_campaign(&spec, &Executor::new(threads), &mut sinks).unwrap()
+            };
+            (summary, metrics.into_inner())
+        };
+        let (s1, m1) = run_with(1);
+        let (_, m4) = run_with(4);
+        let (_, m8) = run_with(8);
+        assert_eq!(m1, m4, "metrics must be byte-identical across thread counts");
+        assert_eq!(m1, m8);
+        let reg = meek_telemetry::Registry::parse(&String::from_utf8(m1).unwrap()).unwrap();
+        // One simulation per shard, and every detection accounted for:
+        // the per-site counter family and the latency histogram must
+        // both sum to exactly the campaign-wide detection total.
+        assert_eq!(reg.counter("runs"), s1.shards as u64);
+        let detected: u64 =
+            reg.counters().filter(|(k, _)| k.starts_with("faults_detected{")).map(|(_, v)| v).sum();
+        assert_eq!(detected, s1.detected as u64, "per-site detections must reconcile");
+        let latency: u64 = reg
+            .hists()
+            .filter(|(k, _)| k.starts_with("detection_latency_cycles{"))
+            .map(|(_, h)| h.count)
+            .sum();
+        assert_eq!(latency, detected, "one latency observation per detection");
+        assert!(
+            reg.hist("rob_occupancy").is_some_and(|h| h.count > 0),
+            "the default stride must leave time-series samples"
+        );
     }
 
     #[test]

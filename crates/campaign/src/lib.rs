@@ -53,7 +53,7 @@ pub mod spec;
 pub use engine::{run_campaign, run_shard, CampaignSummary, ShardResult};
 pub use executor::Executor;
 pub use sink::{
-    site_name, AggregateSink, CampaignRecord, CsvSink, JsonlSink, LatencyStats, RecordSink,
-    SampleSink, ShardSummary, TraceSink,
+    site_name, AggregateSink, CampaignRecord, CsvSink, JsonlSink, LatencyStats, MetricsSink,
+    RecordSink, SampleSink, ShardSummary, TraceSink,
 };
 pub use spec::{resolve_suite, CampaignSpec, CampaignWorkload, ShardSpec};

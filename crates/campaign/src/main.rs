@@ -12,7 +12,7 @@
 
 use meek_campaign::{
     resolve_suite, run_campaign, AggregateSink, CampaignSpec, CsvSink, Executor, JsonlSink,
-    RecordSink, SampleSink, TraceSink,
+    MetricsSink, RecordSink, SampleSink, TraceSink,
 };
 use meek_core::MeekConfig;
 use std::fs::{self, File};
@@ -56,10 +56,19 @@ OPTIONS:
     --sample <PATH>       Attach the per-cycle sampling observer to every
                           shard and write the ROB-occupancy / fabric-depth
                           time series (CSV: workload,shard,cycle,
-                          rob_occupancy,fabric_depth) to PATH —
-                          byte-identical at any --threads
+                          rob_occupancy,fabric_depth,littles_idle,
+                          lsl_occupancy) to PATH — byte-identical at any
+                          --threads
     --sample-stride <N>   Keep every N-th cycle in --sample output
                           [default: 64]
+    --metrics <PATH>      Attach the metrics observer to every shard and
+                          write the merged campaign-wide registry
+                          (detection-latency histograms by fault site,
+                          verdict counts, rollback depth/latency, ROB /
+                          fabric / LSL occupancy distributions,
+                          per-checker utilization) to PATH as stable
+                          text — registries merge in shard order, so
+                          output is byte-identical at any --threads
     --stream-window <N>   Cap completed-but-unwritten shard results held
                           in memory at N; 0 = unbounded. Shard output is
                           drained in shard order, so while one slow shard
@@ -86,6 +95,7 @@ struct Args {
     trace: Option<PathBuf>,
     sample: Option<PathBuf>,
     sample_stride: u64,
+    metrics: Option<PathBuf>,
     stream_window: usize,
     quiet: bool,
 }
@@ -113,6 +123,7 @@ impl Args {
             trace: None,
             sample: None,
             sample_stride: 64,
+            metrics: None,
             stream_window: 0,
             quiet: false,
         };
@@ -141,6 +152,7 @@ impl Args {
                 "--sample-stride" => {
                     args.sample_stride = parse_num(&value("--sample-stride")?, "--sample-stride")?
                 }
+                "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
                 "--stream-window" => {
                     args.stream_window = parse_num(&value("--stream-window")?, "--stream-window")?
                 }
@@ -207,6 +219,7 @@ fn run(args: &Args) -> io::Result<()> {
         seed: args.seed,
         trace_events: args.trace.is_some(),
         sample_stride: if args.sample.is_some() { args.sample_stride } else { 0 },
+        metrics: args.metrics.is_some(),
     };
     let executor = Executor::new(args.threads).stream_window(args.stream_window);
     fs::create_dir_all(&args.out)?;
@@ -242,6 +255,15 @@ fn run(args: &Args) -> io::Result<()> {
         }
         None => None,
     };
+    let mut metrics = match &args.metrics {
+        Some(path) => {
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                fs::create_dir_all(parent)?;
+            }
+            Some((MetricsSink::new(BufWriter::new(File::create(path)?)), path.clone()))
+        }
+        None => None,
+    };
 
     let n_workloads = spec.workloads.len();
     println!(
@@ -265,6 +287,9 @@ fn run(args: &Args) -> io::Result<()> {
             sinks.push(s);
         }
         if let Some((s, _)) = sample.as_mut() {
+            sinks.push(s);
+        }
+        if let Some((s, _)) = metrics.as_mut() {
             sinks.push(s);
         }
         run_campaign(&spec, &executor, &mut sinks)?
@@ -358,6 +383,9 @@ fn run(args: &Args) -> io::Result<()> {
     }
     if let Some((_, path)) = &sample {
         println!("[sample] {}", path.display());
+    }
+    if let Some((_, path)) = &metrics {
+        println!("[metrics] {}", path.display());
     }
     Ok(())
 }

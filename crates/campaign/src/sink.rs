@@ -122,10 +122,19 @@ pub trait RecordSink {
 
     /// Called once per shard (before [`RecordSink::on_shard`]) with the
     /// shard's occupancy time series as CSV rows
-    /// `workload,shard,cycle,rob_occupancy,fabric_depth`. Empty when
-    /// sampling is off. Most sinks ignore it; [`SampleSink`] writes it
-    /// through.
+    /// `workload,shard,cycle,rob_occupancy,fabric_depth,littles_idle,lsl_occupancy`.
+    /// Empty when sampling is off. Most sinks ignore it; [`SampleSink`]
+    /// writes it through.
     fn on_samples(&mut self, _csv: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Called once per shard (before [`RecordSink::on_shard`]) with the
+    /// shard's rendered metrics registry
+    /// ([`meek_telemetry::Registry::render`] text). Empty when metrics
+    /// collection is off. Most sinks ignore it; [`MetricsSink`] merges
+    /// the registries in call (= shard) order.
+    fn on_metrics(&mut self, _text: &[u8]) -> io::Result<()> {
         Ok(())
     }
 
@@ -174,9 +183,10 @@ impl<W: Write> RecordSink for TraceSink<W> {
 }
 
 /// Streams the per-shard occupancy time series (`--sample`): CSV rows
-/// `workload,shard,cycle,rob_occupancy,fabric_depth` in deterministic
-/// shard order — the data behind ROB-occupancy / fabric-depth
-/// time-series figures.
+/// `workload,shard,cycle,rob_occupancy,fabric_depth,littles_idle,lsl_occupancy`
+/// in deterministic shard order — the data behind ROB-occupancy /
+/// fabric-depth time-series figures and the adaptive-checking load
+/// signal.
 pub struct SampleSink<W: Write> {
     out: W,
     wrote_header: bool,
@@ -211,13 +221,64 @@ impl<W: Write> RecordSink for SampleSink<W> {
             return Ok(());
         }
         if !self.wrote_header {
-            writeln!(self.out, "workload,shard,cycle,rob_occupancy,fabric_depth")?;
+            writeln!(
+                self.out,
+                "workload,shard,cycle,rob_occupancy,fabric_depth,littles_idle,lsl_occupancy"
+            )?;
             self.wrote_header = true;
         }
         self.out.write_all(csv)
     }
 
     fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Merges the per-shard metrics registries (`--metrics`) and writes the
+/// merged [`meek_telemetry::Registry::render`] text once at
+/// [`RecordSink::finish`]. Registries arrive in deterministic shard
+/// order and [`meek_telemetry::Registry::merge`] is integer-only, so
+/// the merged output is byte-identical at any thread count.
+pub struct MetricsSink<W: Write> {
+    out: W,
+    merged: meek_telemetry::Registry,
+}
+
+impl<W: Write> MetricsSink<W> {
+    /// A metrics sink writing the merged registry to `out`.
+    pub fn new(out: W) -> MetricsSink<W> {
+        MetricsSink { out, merged: meek_telemetry::Registry::new() }
+    }
+
+    /// The merge state accumulated so far.
+    pub fn registry(&self) -> &meek_telemetry::Registry {
+        &self.merged
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> RecordSink for MetricsSink<W> {
+    fn on_record(&mut self, _rec: &CampaignRecord) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn on_metrics(&mut self, text: &[u8]) -> io::Result<()> {
+        if text.is_empty() {
+            return Ok(());
+        }
+        let text = std::str::from_utf8(text).map_err(io::Error::other)?;
+        let shard = meek_telemetry::Registry::parse(text).map_err(io::Error::other)?;
+        self.merged.merge(&shard);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.write_all(self.merged.render().as_bytes())?;
         self.out.flush()
     }
 }

@@ -80,6 +80,16 @@ pub struct CampaignSpec {
     /// (`meek-campaign --sample`). Re-sequenced into shard order like
     /// every other sink. `0` disables sampling.
     pub sample_stride: u64,
+    /// When `true`, every shard's run attaches a
+    /// [`meek_telemetry::MetricsObserver`] and ships its rendered
+    /// registry (detection-latency histograms by site, verdict counts,
+    /// occupancy distributions, …) to the sinks' metrics channel
+    /// (`meek-campaign --metrics`). Registries are merged in shard
+    /// order, so the merged output is byte-identical at any thread
+    /// count. Occupancy histograms sample on the [`Self::sample_stride`]
+    /// grid when sampling is on, else every
+    /// [`DEFAULT_METRICS_STRIDE`]-th cycle.
+    pub metrics: bool,
 }
 
 /// Default faults per shard.
@@ -93,6 +103,11 @@ pub const DEFAULT_INSTS_PER_FAULT: u64 = 4_000;
 /// Floor on a shard's instruction budget (keeps tiny tail shards from
 /// ending before their last fault's segment is verified).
 pub const MIN_SHARD_INSTS: u64 = 5_000;
+/// Occupancy-histogram sampling stride of `--metrics` when `--sample`
+/// is off: dense enough to populate every bucket a run visits, sparse
+/// enough that metric collection stays a rounding error next to the
+/// simulation itself.
+pub const DEFAULT_METRICS_STRIDE: u64 = 64;
 
 impl CampaignSpec {
     /// A spec with the paper's Table II configuration and default
@@ -111,6 +126,7 @@ impl CampaignSpec {
             seed,
             trace_events: false,
             sample_stride: 0,
+            metrics: false,
         }
     }
 

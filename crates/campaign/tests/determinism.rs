@@ -170,14 +170,14 @@ fn occupancy_samples_are_thread_count_invariant() {
     let mut lines = text.lines();
     assert_eq!(
         lines.next(),
-        Some("workload,shard,cycle,rob_occupancy,fabric_depth"),
+        Some("workload,shard,cycle,rob_occupancy,fabric_depth,littles_idle,lsl_occupancy"),
         "the series leads with its header"
     );
     let mut saw_rob = false;
     let mut saw_fabric = false;
     for line in lines {
         let cols: Vec<&str> = line.split(',').collect();
-        assert_eq!(cols.len(), 5, "five columns per row: {line}");
+        assert_eq!(cols.len(), 7, "seven columns per row: {line}");
         assert!(cols[0] == "blackscholes" || cols[0] == "swaptions", "{line}");
         assert!(cols[2].parse::<u64>().unwrap() % 32 == 0, "stride-32 grid: {line}");
         saw_rob |= cols[3] != "0";

@@ -352,6 +352,13 @@ pub struct TickSample {
     pub rob_occupancy: usize,
     /// Packets queued across the forwarding fabric's DC-buffers.
     pub fabric_depth: usize,
+    /// Checker (little) cores currently idle — no segment assigned.
+    /// Together with `lsl_occupancy` this is the load signal
+    /// runtime-adaptive checker allocation reacts to.
+    pub littles_idle: usize,
+    /// Load-store-log entries (run-time + status packets awaiting
+    /// replay) summed across every checker core.
+    pub lsl_occupancy: usize,
 }
 
 /// A bounded ring buffer of the most recent [`SimEvent`]s — the
@@ -491,6 +498,10 @@ pub struct SampleRow {
     pub rob_occupancy: usize,
     /// Fabric backlog (queued packets) that cycle.
     pub fabric_depth: usize,
+    /// Idle checker cores that cycle.
+    pub littles_idle: usize,
+    /// Total LSL backlog across checker cores that cycle.
+    pub lsl_occupancy: usize,
 }
 
 /// Built-in per-cycle occupancy sampler: records the ROB-occupancy and
@@ -524,14 +535,18 @@ impl SamplingObserver {
         self.inner.lock().expect("sampling observer lock").clone()
     }
 
-    /// Renders the series as CSV rows `cycle,rob,fabric_depth` (no
+    /// Renders the series as CSV rows
+    /// `cycle,rob,fabric_depth,littles_idle,lsl_occupancy` (no
     /// header), each line prefixed with `prefix` verbatim — campaign
     /// shards pass `"workload,shard,"` so a merged file stays
     /// self-describing.
     pub fn render_csv(&self, prefix: &str) -> String {
         let mut out = String::new();
         for r in self.inner.lock().expect("sampling observer lock").iter() {
-            out.push_str(&format!("{prefix}{},{},{}\n", r.cycle, r.rob_occupancy, r.fabric_depth));
+            out.push_str(&format!(
+                "{prefix}{},{},{},{},{}\n",
+                r.cycle, r.rob_occupancy, r.fabric_depth, r.littles_idle, r.lsl_occupancy
+            ));
         }
         out
     }
@@ -544,6 +559,8 @@ impl Observer for SamplingObserver {
                 cycle,
                 rob_occupancy: sample.rob_occupancy,
                 fabric_depth: sample.fabric_depth,
+                littles_idle: sample.littles_idle,
+                lsl_occupancy: sample.lsl_occupancy,
             });
         }
     }
@@ -1103,9 +1120,12 @@ impl<O: Observer> Sim<O> {
             if self.observer.is_enabled() {
                 self.observer.tick(cycle);
                 if self.observer.wants_sample_at(cycle) {
+                    let (littles_idle, lsl_occupancy) = self.sys.littlecore_load();
                     let sample = TickSample {
                         rob_occupancy: self.sys.rob_occupancy(),
                         fabric_depth: self.sys.fabric_depth(),
+                        littles_idle,
+                        lsl_occupancy,
                     };
                     self.observer.sample(cycle, sample);
                 }
@@ -1499,9 +1519,18 @@ mod tests {
         assert!(rows.windows(2).all(|w| w[1].cycle == w[0].cycle + 8), "stride-8 grid");
         assert!(rows.iter().any(|r| r.rob_occupancy > 0), "the ROB fills during the run");
         assert!(rows.iter().any(|r| r.fabric_depth > 0), "forwarding traffic must appear");
+        assert!(rows.iter().any(|r| r.lsl_occupancy > 0), "checker LSLs must fill");
+        assert!(
+            rows.iter().any(|r| r.littles_idle < MeekConfig::default().n_little),
+            "some sample must catch a busy checker"
+        );
         let csv = sampler.render_csv("mcf,3,");
         assert_eq!(csv.lines().count(), rows.len());
         assert!(csv.starts_with("mcf,3,0,"), "prefix and cycle lead each row: {csv}");
+        assert!(
+            csv.lines().all(|l| l.split(',').count() == 7),
+            "prefix + cycle,rob,fabric,idle,lsl on every row: {csv}"
+        );
         // A stride-1 sampler sees every cycle.
         let dense = SamplingObserver::new(1);
         let outcome = Sim::builder(&wl, 5_000).observe(dense.clone()).build().expect("valid").run();

@@ -334,6 +334,16 @@ impl MeekSystem {
         self.fabric.depth()
     }
 
+    /// The checker-pool load signal behind
+    /// [`TickSample`](crate::sim::TickSample): how many little cores
+    /// are idle right now, and the total LSL backlog (run-time +
+    /// status entries) summed across all of them.
+    pub fn littlecore_load(&self) -> (usize, usize) {
+        let idle = self.littles.iter().filter(|l| l.is_idle()).count();
+        let lsl = self.littles.iter().map(|l| l.lsl.runtime_len() + l.lsl.status_len()).sum();
+        (idle, lsl)
+    }
+
     /// The configuration this system was built with.
     pub fn config(&self) -> &MeekConfig {
         &self.cfg

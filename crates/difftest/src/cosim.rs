@@ -27,6 +27,7 @@ use meek_isa::disasm::{disasm_window, disasm_word};
 use meek_isa::state::RegCheckpoint;
 use meek_isa::{step_predecoded, ArchState, Retired, Trap};
 use meek_littlecore::{CheckerEvent, LittleCore, LittleCoreConfig, MismatchKind};
+use meek_telemetry::prof;
 use meek_workloads::Workload;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -229,7 +230,10 @@ pub fn run_full(
     prog: &FuzzProgram,
     cfg: &CosimConfig,
 ) -> (CosimVerdict, Option<(GoldenRun, Workload)>) {
-    let wl = prog.workload();
+    let wl = {
+        let _span = prof::span("image_build");
+        prog.workload()
+    };
     let (verdict, golden) = run_workload(&wl, cfg);
     (verdict, golden.map(|g| (g, wl)))
 }
@@ -241,7 +245,11 @@ pub fn run_full(
 /// golden way itself trapped.
 pub fn run_workload(wl: &Workload, cfg: &CosimConfig) -> (CosimVerdict, Option<GoldenRun>) {
     let mut verdict = CosimVerdict { executed: 0, segments: 0, system_cycles: 0, divergence: None };
-    let golden = match golden_run_in(wl, GOLDEN_CAP) {
+    let golden_result = {
+        let _span = prof::span("golden_run");
+        golden_run_in(wl, GOLDEN_CAP)
+    };
+    let golden = match golden_result {
         Ok(g) => g,
         Err(d) => {
             verdict.divergence = Some(d);
@@ -252,14 +260,22 @@ pub fn run_workload(wl: &Workload, cfg: &CosimConfig) -> (CosimVerdict, Option<G
     if golden.trace.is_empty() {
         return (verdict, Some(golden));
     }
-    match replay_lockstep(wl, &golden, cfg) {
+    let replay = {
+        let _span = prof::span("lockstep_replay");
+        replay_lockstep(wl, &golden, cfg)
+    };
+    match replay {
         Ok(segments) => verdict.segments = segments,
         Err(d) => {
             verdict.divergence = Some(d);
             return (verdict, Some(golden));
         }
     }
-    match system_check(wl, &golden, cfg) {
+    let system = {
+        let _span = prof::span("system_check");
+        system_check(wl, &golden, cfg)
+    };
+    match system {
         Ok(cycles) => verdict.system_cycles = cycles,
         Err(d) => verdict.divergence = Some(d),
     }

@@ -48,6 +48,7 @@ pub mod coverage;
 pub mod fuzz;
 pub mod recover;
 pub mod shrink;
+pub mod stats;
 
 pub use cosim::{
     golden_run, golden_run_bounded, golden_run_in, run_workload, CosimConfig, CosimVerdict,
@@ -62,3 +63,4 @@ pub use recover::{
     verify_recovery_outcome_in, RecoveryVerdict,
 };
 pub use shrink::{emit_test, minimize, remove_range_relinked, shrink_insts};
+pub use stats::DifftestStats;

@@ -19,8 +19,9 @@ use meek_campaign::Executor;
 use meek_core::FabricKind;
 use meek_difftest::{
     classify_in, cosim, emit_test, fault_plan, fuzz_program, minimize, verify_recovery_in,
-    CosimConfig, Divergence, FaultOutcome, FuzzConfig, RecoveryVerdict,
+    CosimConfig, DifftestStats, Divergence, FaultOutcome, FuzzConfig, RecoveryVerdict,
 };
+use meek_telemetry::prof;
 use std::io::Write;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -58,6 +59,14 @@ OPTIONS:
     --recover          Run every fault with checkpoint/rollback recovery
                        enabled and verify each detected fault recovers
                        to a golden-equal final state
+    --stats            Print a per-site detection-latency percentile
+                       table (p50/p90/p99/max) whose counts reconcile
+                       exactly with the coverage totals
+    --prof <PATH>      Self-profile the per-case pipeline (image build,
+                       golden run, lock-step replay, system check,
+                       classification, recovery) and write a
+                       chrome://tracing JSON trace to PATH; a per-phase
+                       host-time summary goes to stderr
     --shrink           On divergence, shrink the first failing case and
                        print a ready-to-commit #[test]
     --emit-test <PATH> With --shrink, also write the #[test] to PATH
@@ -74,6 +83,8 @@ struct Args {
     little: usize,
     suite: bool,
     recover: bool,
+    stats: bool,
+    prof: Option<String>,
     shrink: bool,
     emit_path: Option<String>,
 }
@@ -112,6 +123,8 @@ impl Args {
             little: 4,
             suite: false,
             recover: false,
+            stats: false,
+            prof: None,
             shrink: false,
             emit_path: None,
         };
@@ -137,6 +150,8 @@ impl Args {
                     args.suite = true;
                 }
                 "--recover" => args.recover = true,
+                "--stats" => args.stats = true,
+                "--prof" => args.prof = Some(value("--prof")?),
                 "--shrink" => args.shrink = true,
                 "--emit-test" => args.emit_path = Some(value("--emit-test")?),
                 "-h" | "--help" => return Err(String::new()),
@@ -178,7 +193,10 @@ fn run_case(case_seed: u64, case: u64, args: &Args) -> CaseResult {
     let cfg =
         CosimConfig { seg_len: args.seg_len, n_little: args.little, ..CosimConfig::default() };
     let (verdict, shared) = if args.suite {
-        let wl = suite_workload(case);
+        let wl = {
+            let _span = prof::span("image_build");
+            suite_workload(case)
+        };
         let (verdict, golden) = cosim::run_workload(&wl, &cfg);
         (verdict, golden.map(|g| (g, wl)))
     } else {
@@ -194,10 +212,12 @@ fn run_case(case_seed: u64, case: u64, args: &Args) -> CaseResult {
         let (golden, wl) = shared.expect("clean cosim carries its golden run");
         for spec in fault_plan(case_seed, args.faults, verdict.executed) {
             if args.recover {
+                let _span = prof::span("recovery");
                 let (outcome, recovery) =
                     verify_recovery_in(&golden, &wl, spec, args.little, FabricKind::F2);
                 outcomes.push((spec, outcome, Some(recovery)));
             } else {
+                let _span = prof::span("classify");
                 let outcome = classify_in(&golden, &wl, spec, args.little);
                 outcomes.push((spec, outcome, None));
             }
@@ -297,6 +317,9 @@ fn main() -> ExitCode {
             args.cases, args.seed, args.faults, args.seg_len, args.static_len, args.little
         );
     }
+    if args.prof.is_some() {
+        prof::enable();
+    }
     let started = Instant::now();
 
     let case_ids: Vec<u64> = (0..args.cases).collect();
@@ -307,6 +330,7 @@ fn main() -> ExitCode {
     let (mut recovered, mut rollbacks, mut unrecovered) = (0u64, 0u64, 0u64);
     let mut worst_recovery_cycles = 0u64;
     let mut latency_sum = 0.0f64;
+    let mut stats = args.stats.then(DifftestStats::new);
     executor.map_ordered(
         &case_ids,
         |_idx, &case| run_case(splitmix(args.seed ^ case.wrapping_mul(0x9E37_79B9)), case, &args),
@@ -320,6 +344,9 @@ fn main() -> ExitCode {
             }
             for (spec, outcome, recovery) in r.outcomes {
                 total_faults += 1;
+                if let Some(st) = stats.as_mut() {
+                    st.record(&spec, &outcome);
+                }
                 match outcome {
                     FaultOutcome::Detected { latency_ns } => {
                         detected += 1;
@@ -376,6 +403,14 @@ fn main() -> ExitCode {
             println!("mean detection latency: {:.1} ns", latency_sum / detected as f64);
         }
     }
+    if let Some(st) = &stats {
+        // The table is fed from the same outcome stream as the headline
+        // counters above, so the books must balance exactly.
+        assert_eq!(st.total(), total_faults, "--stats fault accounting must reconcile");
+        assert_eq!(st.verdicts("detected"), detected);
+        assert_eq!(st.latency_count(), detected, "one latency observation per detection");
+        print!("{}", st.render_table());
+    }
     if args.recover && total_faults > 0 {
         println!(
             "recovery: {recovered} detection(s) recovered to golden-equal final state \
@@ -390,6 +425,21 @@ fn main() -> ExitCode {
         cycles,
         started.elapsed()
     );
+    if let Some(path) = &args.prof {
+        let events = prof::take();
+        let total: u64 = prof::summary(&events).iter().map(|(_, us, _)| us).sum();
+        for (name, us, count) in prof::summary(&events) {
+            eprintln!(
+                "[prof] {name:<16} {:>10.3} ms  {count:>7} span(s)  {:>5.1}%",
+                us as f64 / 1e3,
+                100.0 * us as f64 / total.max(1) as f64
+            );
+        }
+        match std::fs::write(path, prof::chrome_trace(&events)) {
+            Ok(()) => eprintln!("[prof] wrote {path} ({} span(s))", events.len()),
+            Err(e) => eprintln!("[prof] cannot write {path}: {e}"),
+        }
+    }
 
     if args.shrink && args.suite {
         eprintln!("[shrink] --suite cases are committed programs; nothing to shrink");

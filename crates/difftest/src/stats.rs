@@ -1,0 +1,153 @@
+//! `--stats`: a detection-latency percentile table over the same fault
+//! outcomes the headline coverage line counts, so the two reconcile by
+//! construction.
+//!
+//! Every classified fault is folded into a [`meek_telemetry::Registry`]
+//! — one `verdicts{kind=...}` counter per outcome and one
+//! `detection_latency_ns{site=...}` histogram observation per
+//! detection. Percentiles come from the registry's log2 histograms, so
+//! each reported value is the *upper bound* of the bucket holding that
+//! rank (exact to within a factor of two), and the whole table is a
+//! pure function of the run — byte-identical at any `--threads` because
+//! the caller folds cases in case order.
+
+use meek_core::FaultSpec;
+use meek_telemetry::{Hist, Registry};
+use std::fmt::Write as _;
+
+use crate::coverage::FaultOutcome;
+
+/// Latency-percentile accumulator behind `meek-difftest --stats`.
+#[derive(Debug, Default)]
+pub struct DifftestStats {
+    reg: Registry,
+}
+
+impl DifftestStats {
+    /// An empty accumulator.
+    pub fn new() -> DifftestStats {
+        DifftestStats { reg: Registry::new() }
+    }
+
+    /// Folds one classified fault in. Call in case order.
+    pub fn record(&mut self, spec: &FaultSpec, outcome: &FaultOutcome) {
+        let kind = match outcome {
+            FaultOutcome::Detected { latency_ns } => {
+                self.reg.observe(
+                    format!("detection_latency_ns{{site={}}}", spec.site.name()),
+                    *latency_ns as u64,
+                );
+                "detected"
+            }
+            FaultOutcome::MaskedProvenBenign => "masked",
+            FaultOutcome::Pending => "pending",
+            FaultOutcome::Escaped { .. } => "escaped",
+        };
+        self.reg.inc(format!("verdicts{{kind={kind}}}"), 1);
+    }
+
+    /// The underlying registry (verdict counters + latency histograms).
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Faults recorded, over every verdict kind.
+    pub fn total(&self) -> u64 {
+        self.reg.counters().filter(|(k, _)| k.starts_with("verdicts{")).map(|(_, v)| v).sum()
+    }
+
+    /// Count for one verdict kind (`detected`, `masked`, ...).
+    pub fn verdicts(&self, kind: &str) -> u64 {
+        self.reg.counter(&format!("verdicts{{kind={kind}}}"))
+    }
+
+    /// Latency observations across all sites — must equal
+    /// [`DifftestStats::verdicts`]`("detected")`.
+    pub fn latency_count(&self) -> u64 {
+        self.sites().map(|(_, h)| h.count).sum()
+    }
+
+    fn sites(&self) -> impl Iterator<Item = (&str, &Hist)> {
+        self.reg.hists().filter_map(|(k, h)| {
+            k.strip_prefix("detection_latency_ns{site=")
+                .and_then(|rest| rest.strip_suffix('}'))
+                .map(|site| (site, h))
+        })
+    }
+
+    /// The percentile table: one row per fault site plus an `all` roll-up
+    /// row, columns `count p50 p90 p99 max` in nanoseconds (log2-bucket
+    /// upper bounds). Empty string when nothing was detected.
+    pub fn render_table(&self) -> String {
+        let mut all = Hist::default();
+        for (_, h) in self.sites() {
+            all.merge(h);
+        }
+        if all.count == 0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "detection latency by fault site (ns, log2-bucket upper bounds):");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "site", "count", "p50", "p90", "p99", "max"
+        );
+        let row = |out: &mut String, name: &str, h: &Hist| {
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>8} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max_bound()
+            );
+        };
+        for (site, h) in self.sites() {
+            row(&mut out, site, h);
+        }
+        row(&mut out, "all", &all);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meek_core::{FaultSite, FaultSpec};
+
+    fn spec(site: FaultSite) -> FaultSpec {
+        FaultSpec { site, arm_at_commit: 0, bit: 0 }
+    }
+
+    #[test]
+    fn the_table_reconciles_with_the_verdict_counters() {
+        let mut st = DifftestStats::new();
+        for (i, site) in
+            [FaultSite::MemData, FaultSite::MemAddr, FaultSite::MemData].into_iter().enumerate()
+        {
+            st.record(&spec(site), &FaultOutcome::Detected { latency_ns: 100.0 * (i + 1) as f64 });
+        }
+        st.record(&spec(FaultSite::CacheData), &FaultOutcome::MaskedProvenBenign);
+        st.record(&spec(FaultSite::LsqParity), &FaultOutcome::Pending);
+        assert_eq!(st.total(), 5);
+        assert_eq!(st.verdicts("detected"), 3);
+        assert_eq!(st.latency_count(), st.verdicts("detected"));
+        let table = st.render_table();
+        assert!(table.contains("mem_data"), "{table}");
+        assert!(table.contains("all"), "{table}");
+        let all_row = table.lines().last().unwrap();
+        let cols: Vec<&str> = all_row.split_whitespace().collect();
+        assert_eq!(cols[1], "3", "the all-row count is the detection total: {table}");
+    }
+
+    #[test]
+    fn no_detections_means_no_table() {
+        let mut st = DifftestStats::new();
+        st.record(&spec(FaultSite::MemData), &FaultOutcome::Pending);
+        assert_eq!(st.render_table(), "");
+        assert_eq!(st.total(), 1);
+    }
+}

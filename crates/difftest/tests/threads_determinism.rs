@@ -69,3 +69,54 @@ fn recovery_results_are_thread_count_invariant() {
     let t4 = campaign(4, true);
     assert_eq!(t1, t4, "recovery-mode 4-thread run diverged from single-threaded");
 }
+
+/// The `--stats` accumulator folded in case order: the rendered
+/// percentile table (and the registry behind it) must be byte-identical
+/// at any thread count, and its counts must reconcile with a direct
+/// tally of the same outcome stream.
+#[test]
+fn stats_table_is_thread_count_invariant_and_reconciles() {
+    let run = |threads: usize| {
+        let executor = Executor::new(threads);
+        let case_ids: Vec<u64> = (0..CASES).collect();
+        let cfg = CosimConfig::default();
+        let mut stats = meek_difftest::DifftestStats::new();
+        let mut detected = 0u64;
+        let mut total = 0u64;
+        executor.map_ordered(
+            &case_ids,
+            |_idx, &case| {
+                let prog = fuzz_program(case ^ 0x5EED, &FuzzConfig { static_len: 120 });
+                let (verdict, shared) = cosim::run_full(&prog, &cfg);
+                let mut outcomes = Vec::new();
+                if verdict.divergence.is_none() && verdict.executed > 0 {
+                    let (golden, wl) = shared.expect("clean cosim carries its golden run");
+                    for spec in fault_plan(case, FAULTS, verdict.executed) {
+                        outcomes.push((spec, classify_in(&golden, &wl, spec, 4)));
+                    }
+                }
+                outcomes
+            },
+            |_idx, outcomes| {
+                for (spec, outcome) in outcomes {
+                    total += 1;
+                    if matches!(outcome, meek_difftest::FaultOutcome::Detected { .. }) {
+                        detected += 1;
+                    }
+                    stats.record(&spec, &outcome);
+                }
+            },
+        );
+        (stats, detected, total)
+    };
+    let (s1, detected, total) = run(1);
+    let (s4, ..) = run(4);
+    let (s8, ..) = run(8);
+    assert_eq!(s1.registry().render(), s4.registry().render());
+    assert_eq!(s1.registry().render(), s8.registry().render());
+    assert_eq!(s1.render_table(), s4.render_table());
+    assert_eq!(s1.total(), total, "every classified fault lands in the table");
+    assert_eq!(s1.verdicts("detected"), detected);
+    assert_eq!(s1.latency_count(), detected, "one latency observation per detection");
+    assert!(detected > 0, "this campaign must detect something for the table to mean anything");
+}

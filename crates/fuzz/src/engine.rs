@@ -119,6 +119,9 @@ struct Candidate {
     tweak: u64,
     kind: CandidateKind,
     fabric: FabricKind,
+    /// The mutation operator that produced this candidate (`None` for
+    /// fresh programs) — the report's per-op rate accounting.
+    op: Option<mutate::MutationOp>,
 }
 
 /// What one evaluation produced, merged sequentially by the engine.
@@ -202,6 +205,7 @@ fn make_candidate(
             tweak: seed,
             kind: CandidateKind::Fresh,
             fabric: random_fabric(rng),
+            op: None,
         }
     };
     if !s.guided || corpus.is_empty() || g.is_multiple_of(8) {
@@ -225,6 +229,7 @@ fn make_candidate(
                 tweak: rng.gen(),
                 kind: CandidateKind::Mutated,
                 fabric,
+                op: Some(op),
             };
         }
     }
@@ -526,6 +531,9 @@ pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, Featu
                 CandidateKind::Mutated => st.report.mutated += 1,
             }
             st.report.faults += result.faults;
+            if let Some(op) = cand.op {
+                *st.report.mutation_ops.entry(op.name().to_string()).or_insert(0) += 1;
+            }
             if result.rejected && result.divergence.is_none() {
                 st.report.rejected += 1;
             }
@@ -541,6 +549,11 @@ pub fn run_fuzz(s: &FuzzSettings, initial: Corpus) -> (FuzzReport, Corpus, Featu
             }
             let fresh = st.features.merge(g as u64, &result.features);
             if !fresh.is_empty() {
+                st.report.discovering += 1;
+                if let Some(op) = cand.op {
+                    *st.report.mutation_op_discoveries.entry(op.name().to_string()).or_insert(0) +=
+                        1;
+                }
                 st.report.timeline.push((g as u64, st.features.len()));
                 let fresh_set: BTreeSet<u64> = fresh.iter().copied().collect();
                 let owned: Vec<(u64, String)> =
@@ -601,6 +614,16 @@ mod tests {
         assert!(report.fresh >= 2, "the 1-in-8 fresh schedule must fire");
         assert!(report.mutated >= 1, "guidance must schedule mutations");
         assert_eq!(report.features_total, features.len());
+        assert!(report.discovering >= 1, "discoveries must be counted: {report}");
+        assert_eq!(
+            report.mutation_ops.values().sum::<u64>(),
+            report.mutated,
+            "every mutated candidate is attributed to exactly one operator: {report}"
+        );
+        assert!(
+            report.mutation_op_discoveries.values().sum::<u64>() <= report.discovering,
+            "op discoveries are a subset of discovering candidates: {report}"
+        );
         // Every corpus entry owns at least one feature and decodes.
         for e in corpus.entries() {
             assert!(!e.owned.is_empty());

@@ -282,6 +282,19 @@ pub enum MutationOp {
     DictSplice,
 }
 
+impl MutationOp {
+    /// Stable lower-snake name — the report and metrics vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationOp::Splice => "splice",
+            MutationOp::Delete => "delete",
+            MutationOp::MixShift => "mix_shift",
+            MutationOp::BranchRetarget => "branch_retarget",
+            MutationOp::DictSplice => "dict_splice",
+        }
+    }
+}
+
 /// Every operator, in schedule order.
 pub const OPS: [MutationOp; 5] = [
     MutationOp::Splice,

@@ -1,5 +1,6 @@
 //! The fuzz run's structured result and its deterministic rendering.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Everything one fuzz run produced: discovery timeline, corpus
@@ -34,6 +35,14 @@ pub struct FuzzReport {
     pub features_after_iter0: usize,
     /// `(iteration, cumulative feature count)` at each discovery.
     pub timeline: Vec<(u64, usize)>,
+    /// Candidates whose evaluation grew coverage (the coverage-growth
+    /// counter: `discovering / evaluated` is the discovery rate).
+    pub discovering: u64,
+    /// Mutated candidates evaluated, per operator name.
+    pub mutation_ops: BTreeMap<String, u64>,
+    /// Discovering candidates per operator name — together with
+    /// [`FuzzReport::mutation_ops`] this is each operator's hit rate.
+    pub mutation_op_discoveries: BTreeMap<String, u64>,
     /// Live corpus entries at end of run.
     pub corpus_len: usize,
     /// Corpus entries evicted by the capacity bound.
@@ -76,6 +85,19 @@ impl fmt::Display for FuzzReport {
             "features: {} total, {} discovered after iter 0",
             self.features_total, self.features_after_iter0
         )?;
+        writeln!(
+            f,
+            "discovering candidates: {} of {} evaluated",
+            self.discovering, self.evaluated
+        )?;
+        if !self.mutation_ops.is_empty() {
+            write!(f, "mutation ops (evaluated/discovering):")?;
+            for (op, n) in &self.mutation_ops {
+                let d = self.mutation_op_discoveries.get(op).copied().unwrap_or(0);
+                write!(f, " {op} {n}/{d}")?;
+            }
+            writeln!(f)?;
+        }
         writeln!(f, "coverage timeline (iter -> cumulative features):")?;
         let n = self.timeline.len();
         for (i, (iter, cum)) in self.timeline.iter().enumerate() {
@@ -131,6 +153,9 @@ mod tests {
             features_total: 42,
             features_after_iter0: 5,
             timeline: vec![(0, 37), (3, 40), (7, 42)],
+            discovering: 3,
+            mutation_ops: BTreeMap::from([("splice".to_string(), 4), ("delete".to_string(), 2)]),
+            mutation_op_discoveries: BTreeMap::from([("splice".to_string(), 1)]),
             corpus_len: 3,
             corpus_evicted: 0,
             minimized: 0,
@@ -141,6 +166,8 @@ mod tests {
         let text = r.to_string();
         assert_eq!(text, r.to_string(), "rendering is a pure function");
         assert!(text.contains("features: 42 total, 5 discovered after iter 0"));
+        assert!(text.contains("discovering candidates: 3 of 10 evaluated"));
+        assert!(text.contains("mutation ops (evaluated/discovering): delete 2/0 splice 4/1"));
         assert!(text.contains("  3 -> 40"));
         assert!(text.contains("OK: zero divergences, zero escapes"));
         assert!(r.clean());

@@ -136,10 +136,14 @@ impl Inner {
     fn metrics_json(&self) -> String {
         let jobs = self.jobs.lock().expect("jobs lock");
         let mut rows = Vec::new();
+        let mut merged: BTreeMap<String, u64> = BTreeMap::new();
         for (id, entry) in jobs.iter() {
             let status = entry.status.lock().expect("status lock").clone();
             let elapsed = entry.started.elapsed().as_secs_f64().max(1e-9);
             let advanced = status.units_done.saturating_sub(entry.units_at_start);
+            for (k, v) in &status.counters {
+                *merged.entry(k.clone()).or_insert(0) += v;
+            }
             rows.push(format!(
                 "{{\"id\":{id},\"kind\":\"{}\",\"state\":\"{}\",\"priority\":{},\
                  \"units_total\":{},\"units_done\":{},\"units_per_s\":{:.3}}}",
@@ -151,14 +155,43 @@ impl Inner {
                 advanced as f64 / elapsed
             ));
         }
+        let counters: Vec<String> =
+            merged.iter().map(|(k, v)| format!("\"{}\":{v}", crate::json::escape(k))).collect();
         format!(
-            "{{\"uptime_ms\":{},\"workers\":{},\"queued\":{},\"running\":{},\"jobs\":[{}]}}",
+            "{{\"uptime_ms\":{},\"workers\":{},\"queued\":{},\"running\":{},\
+             \"counters\":{{{}}},\"jobs\":[{}]}}",
             self.started.elapsed().as_millis(),
             self.pool.workers(),
             self.pool.queued(),
             self.pool.running(),
+            counters.join(","),
             rows.join(",")
         )
+    }
+
+    /// The same snapshot as [`Inner::metrics_json`] rendered as
+    /// Prometheus text exposition: pool occupancy as gauges, job states
+    /// and unit progress as counters, and every job's kind-specific
+    /// counters summed into one `job_counters{name=...}` family (job-id
+    /// order, so the merge — like the JSON `counters` object — is
+    /// deterministic for a fixed job set).
+    fn metrics_prom(&self) -> String {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let mut reg = meek_telemetry::Registry::new();
+        reg.gauge_set("uptime_ms", self.started.elapsed().as_millis() as i64);
+        reg.gauge_set("workers", self.pool.workers() as i64);
+        reg.gauge_set("queued", self.pool.queued() as i64);
+        reg.gauge_set("running", self.pool.running() as i64);
+        for entry in jobs.values() {
+            let status = entry.status.lock().expect("status lock").clone();
+            reg.inc(format!("jobs{{state={}}}", status.state.name()), 1);
+            reg.inc("units_total", status.units_total);
+            reg.inc("units_done", status.units_done);
+            for (k, v) in &status.counters {
+                reg.inc(format!("job_counters{{name={k}}}"), *v);
+            }
+        }
+        reg.render_prom("meek_serve_")
     }
 }
 
@@ -254,6 +287,12 @@ impl Daemon {
     /// started working the job.
     pub fn metrics_json(&self) -> String {
         self.inner.metrics_json()
+    }
+
+    /// The same snapshot as Prometheus text exposition (`# TYPE` lines,
+    /// gauges for pool occupancy, merged per-job counters).
+    pub fn metrics_prom(&self) -> String {
+        self.inner.metrics_prom()
     }
 
     /// Whether a client has requested shutdown.
@@ -390,13 +429,20 @@ fn dispatch(inner: &Inner, req: &Request, out: &mut Stream) -> Result<(), String
         Request::Tail { job, channel, from, follow } => {
             tail(inner, *job, *channel, *from, *follow, out).map_err(|e| e.to_string())
         }
-        Request::Metrics { follow } => loop {
-            writeln!(out, "{}", inner.metrics_json()).map_err(|e| e.to_string())?;
+        Request::Metrics { follow, interval_ms, prom } => loop {
+            if *prom {
+                // Exposition is multi-line; a blank line terminates each
+                // scrape so a following client can frame snapshots.
+                write!(out, "{}\n\n", inner.metrics_prom().trim_end())
+                    .map_err(|e| e.to_string())?;
+            } else {
+                writeln!(out, "{}", inner.metrics_json()).map_err(|e| e.to_string())?;
+            }
             out.flush().map_err(|e| e.to_string())?;
             if !*follow || inner.quiesce.load(Ordering::Acquire) {
                 return Ok(());
             }
-            std::thread::sleep(Duration::from_millis(500));
+            std::thread::sleep(Duration::from_millis((*interval_ms).clamp(10, 60_000)));
         },
         Request::Shutdown => {
             inner.quiesce.store(true, Ordering::Release);

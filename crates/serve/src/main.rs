@@ -21,6 +21,7 @@ USAGE:
     meek-serve tail     (--socket PATH | --tcp ADDR) --job N [--channel C]
                         [--from OFFSET] [--follow]
     meek-serve metrics  (--socket PATH | --tcp ADDR) [--follow]
+                        [--interval-ms N] [--prom]
     meek-serve shutdown (--socket PATH | --tcp ADDR)
 
 SERVE OPTIONS:
@@ -46,6 +47,11 @@ CLIENT NOTES:
     --channel C           records | trace | samples | results (default
                           records). `tail` prints the decoded lines; the
                           final eof frame's offset resumes a later tail.
+    --interval-ms N       Milliseconds between `metrics --follow`
+                          snapshots (default 1000).
+    --prom                Render `metrics` as Prometheus text exposition
+                          (gauges for pool occupancy, merged per-job
+                          counters) instead of JSON snapshots.
 ";
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
@@ -277,13 +283,23 @@ fn metrics(args: &[String]) -> Result<ExitCode, String> {
     let (common, rest) = split_endpoint(args)?;
     let endpoint = need_endpoint(&common)?;
     let mut follow = false;
-    for flag in &rest {
+    let mut interval_ms = 1000u64;
+    let mut prom = false;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
         match flag.as_str() {
             "--follow" => follow = true,
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = v
+                    .parse()
+                    .map_err(|_| format!("--interval-ms: cannot parse `{v}` as a number"))?;
+            }
+            "--prom" => prom = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    let req = Request::Metrics { follow };
+    let req = Request::Metrics { follow, interval_ms, prom };
     client::stream_request(&endpoint, &req, |line| {
         println!("{line}");
         true

@@ -82,6 +82,7 @@ impl CampaignJob {
             seed: self.seed,
             trace_events: self.trace,
             sample_stride: self.sample_stride,
+            metrics: false,
         })
     }
 }
@@ -610,6 +611,10 @@ pub enum Request {
     Metrics {
         /// Keep emitting snapshots until the client disconnects.
         follow: bool,
+        /// Milliseconds between snapshots when following.
+        interval_ms: u64,
+        /// Emit Prometheus text exposition instead of JSON snapshots.
+        prom: bool,
     },
     /// Stop accepting work and exit once running units checkpoint.
     Shutdown,
@@ -633,8 +638,11 @@ impl Request {
                  \"follow\":{follow}}}",
                 channel.name()
             ),
-            Request::Metrics { follow } => {
-                format!("{{\"cmd\":\"metrics\",\"follow\":{follow}}}")
+            Request::Metrics { follow, interval_ms, prom } => {
+                format!(
+                    "{{\"cmd\":\"metrics\",\"follow\":{follow},\"interval_ms\":{interval_ms},\
+                     \"prom\":{prom}}}"
+                )
             }
             Request::Shutdown => "{\"cmd\":\"shutdown\"}".to_string(),
         }
@@ -670,6 +678,8 @@ impl Request {
             }),
             "metrics" => Ok(Request::Metrics {
                 follow: v.get("follow").and_then(Json::as_bool).unwrap_or(false),
+                interval_ms: v.get("interval_ms").and_then(Json::as_u64).unwrap_or(1000),
+                prom: v.get("prom").and_then(Json::as_bool).unwrap_or(false),
             }),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown command `{other}`")),

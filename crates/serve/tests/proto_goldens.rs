@@ -139,13 +139,26 @@ fn request_goldens() {
             Request::Tail { job: 2, channel: Channel::Trace, from: 4096, follow: true },
             r#"{"cmd":"tail","job":2,"channel":"trace","from":4096,"follow":true}"#,
         ),
-        (Request::Metrics { follow: false }, r#"{"cmd":"metrics","follow":false}"#),
+        (
+            Request::Metrics { follow: false, interval_ms: 1000, prom: false },
+            r#"{"cmd":"metrics","follow":false,"interval_ms":1000,"prom":false}"#,
+        ),
+        (
+            Request::Metrics { follow: true, interval_ms: 250, prom: true },
+            r#"{"cmd":"metrics","follow":true,"interval_ms":250,"prom":true}"#,
+        ),
         (Request::Shutdown, r#"{"cmd":"shutdown"}"#),
     ];
     for (req, golden) in cases {
         assert_eq!(req.to_json(), golden);
         assert_eq!(Request::from_line(golden).unwrap(), req);
     }
+    // Sparse pre-interval/prom metrics requests still parse: older
+    // clients omit the fields and get the defaults.
+    assert_eq!(
+        Request::from_line(r#"{"cmd":"metrics","follow":true}"#).unwrap(),
+        Request::Metrics { follow: true, interval_ms: 1000, prom: false },
+    );
 }
 
 #[test]

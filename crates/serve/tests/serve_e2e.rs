@@ -369,10 +369,31 @@ fn status_metrics_and_shutdown_frames() {
     assert_eq!(status.id, id);
     assert_eq!(status.priority, 3);
 
-    let lines = client::request(&endpoint, &Request::Metrics { follow: false }).unwrap();
+    let lines = client::request(
+        &endpoint,
+        &Request::Metrics { follow: false, interval_ms: 1000, prom: false },
+    )
+    .unwrap();
     let v = Json::parse(&lines[0]).unwrap();
     assert!(v.get("workers").and_then(Json::as_u64).is_some_and(|w| w > 0));
     assert!(v.get("jobs").and_then(Json::as_arr).is_some());
+    assert!(v.get("counters").is_some(), "snapshot carries the merged job counters");
+
+    // The Prometheus exposition of the same snapshot: typed, labelled,
+    // and parseable line by line.
+    let prom_lines = client::request(
+        &endpoint,
+        &Request::Metrics { follow: false, interval_ms: 1000, prom: true },
+    )
+    .unwrap();
+    let text = prom_lines.join("\n");
+    assert!(text.contains("# TYPE meek_serve_workers gauge"), "{text}");
+    assert!(text.contains("meek_serve_jobs{state="), "{text}");
+    for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(name.starts_with("meek_serve_"), "{line}");
+        assert!(value.parse::<f64>().is_ok(), "{line}");
+    }
 
     // Unknown-job requests answer with an error frame, not a hangup.
     let lines = client::request(&endpoint, &Request::Cancel { job: 999 }).unwrap();

@@ -1,0 +1,79 @@
+//! Prometheus exposition golden: the scrape format is an external
+//! contract (dashboards, alert rules), so the full rendered text of a
+//! representative registry is pinned byte for byte against a committed
+//! golden file. Regenerate with `MEEK_REGEN_GOLDEN=1 cargo test -p
+//! meek-telemetry --test prom_golden` after a deliberate format
+//! change.
+
+use meek_telemetry::Registry;
+use std::path::PathBuf;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/registry.prom")
+}
+
+/// A registry exercising every metric kind and the label syntax —
+/// shaped like a small campaign's output.
+fn representative() -> Registry {
+    let mut r = Registry::new();
+    r.inc("faults_injected{site=mem_data}", 25);
+    r.inc("faults_injected{site=rcp_register}", 17);
+    r.inc("faults_detected{site=mem_data}", 24);
+    r.inc("verdicts{kind=fail}", 24);
+    r.inc("verdicts{kind=pass}", 310);
+    r.inc("runs", 42);
+    r.gauge_set("workers", 8);
+    for v in [3u64, 9, 17, 17, 40, 1000] {
+        r.observe("detection_latency_cycles{site=mem_data}", v);
+    }
+    for v in [0u64, 2, 5, 11] {
+        r.observe("rob_occupancy", v);
+    }
+    r
+}
+
+#[test]
+fn prometheus_exposition_matches_the_committed_golden() {
+    let rendered = representative().render_prom("meek_");
+    let path = golden_path();
+    if std::env::var("MEEK_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("tests/goldens/registry.prom missing — run with MEEK_REGEN_GOLDEN=1");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus exposition drifted from the committed golden; if deliberate, regenerate \
+         with MEEK_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn the_exposition_parses_as_prometheus_text_format() {
+    // Every non-comment line must be `name{labels} value` with a
+    // prom-legal metric name and integer value — the shape a scraper
+    // validates before ingesting.
+    for line in representative().render_prom("meek_").lines() {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE meek_"), "comment lines are TYPE only: {line}");
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("`name value`");
+        assert!(value.parse::<i64>().is_ok(), "non-numeric value in {line}");
+        let name = series.split('{').next().unwrap();
+        assert!(
+            name.starts_with("meek_")
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name in {line}"
+        );
+        if let Some(rest) = series.split_once('{').map(|(_, r)| r) {
+            assert!(rest.ends_with('}'), "unterminated label set in {line}");
+            for pair in rest.trim_end_matches('}').split(',') {
+                let (k, v) = pair.split_once('=').expect("label pair");
+                assert!(k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+                assert!(v.starts_with('"') && v.ends_with('"'), "unquoted label in {line}");
+            }
+        }
+    }
+}

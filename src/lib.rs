@@ -16,6 +16,7 @@
 //! * [`baselines`] — EA-LockStep and Nzdc comparison points
 //! * [`area`] — Table III area model
 //! * [`campaign`] — sharded, deterministic fault-injection campaigns
+//! * [`telemetry`] — deterministic metrics registry + span profiler
 
 pub use meek_area as area;
 pub use meek_baselines as baselines;
@@ -23,4 +24,5 @@ pub use meek_campaign as campaign;
 pub use meek_core as core;
 pub use meek_isa as isa;
 pub use meek_littlecore as littlecore;
+pub use meek_telemetry as telemetry;
 pub use meek_workloads as workloads;
